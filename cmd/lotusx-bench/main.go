@@ -1,0 +1,66 @@
+// Command lotusx-bench runs the experiment suite E1–E10 (one experiment per
+// claim of the demo paper; see DESIGN.md §5) and prints the result tables.
+//
+//	lotusx-bench                # full suite at scale 1
+//	lotusx-bench -scale 4       # larger datasets
+//	lotusx-bench -exp E2,E3     # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lotusx/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "dataset scale factor")
+	seed := flag.Int64("seed", 42, "workload seed")
+	exps := flag.String("exp", "", "comma-separated experiments to run (default all), e.g. E2,E5")
+	flag.Parse()
+
+	runner, err := bench.NewRunner(bench.Config{Scale: *scale, Seed: *seed, Out: os.Stdout})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *exps == "" {
+		if err := runner.RunAll(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	table := map[string]func() error{
+		"E1":  runner.E1IndexBuild,
+		"E2":  runner.E2TwigAlgorithms,
+		"E3":  runner.E3Intermediate,
+		"E4":  runner.E4ParentChild,
+		"E5":  runner.E5CompletionLatency,
+		"E6":  runner.E6CompletionQuality,
+		"E7":  runner.E7Ranking,
+		"E8":  runner.E8Ordered,
+		"E9":  runner.E9Rewrite,
+		"E10": runner.E10Session,
+		"E11": runner.E11Scalability,
+		"A1":  runner.A1Pushdown,
+		"A2":  runner.A2Minimization,
+		"A3":  runner.A3PenaltyModel,
+	}
+	for _, id := range strings.Split(*exps, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		step, ok := table[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", id))
+		}
+		if err := step(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lotusx-bench:", err)
+	os.Exit(1)
+}

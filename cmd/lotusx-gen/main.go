@@ -1,0 +1,39 @@
+// Command lotusx-gen generates the synthetic datasets the experiments run
+// on (stand-ins for DBLP, XMark and TreeBank; see DESIGN.md §2).
+//
+//	lotusx-gen -kind dblp -scale 2 -seed 42 -o dblp.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lotusx/internal/dataset"
+)
+
+func main() {
+	kind := flag.String("kind", "dblp", "dataset kind: dblp, xmark or treebank")
+	scale := flag.Int("scale", 1, "scale factor (>= 1)")
+	seed := flag.Int64("seed", 42, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.Generate(dataset.Kind(*kind), *scale, *seed, w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lotusx-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command lotusx-query evaluates a twig query (XPath subset) against an XML
+// file or a persisted index.
+//
+//	lotusx-query -in dblp.xml '//article[author = "jiaheng lu"]/title'
+//	lotusx-query -index dblp.ltx -k 5 -rewrite '//article/autor'
+//	lotusx-query -in dblp.xml -alg pathstack -explain '//book[title]'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lotusx/internal/core"
+	"lotusx/internal/join"
+	"lotusx/internal/twig"
+)
+
+func main() {
+	in := flag.String("in", "", "input XML file")
+	indexFile := flag.String("index", "", "persisted index file (alternative to -in)")
+	k := flag.Int("k", 10, "answers wanted")
+	alg := flag.String("alg", "twigstack", "algorithm: nestedloop, structural, pathstack, twigstack")
+	doRewrite := flag.Bool("rewrite", false, "relax the query when answers are scarce")
+	explain := flag.Bool("explain", false, "print score breakdowns and join statistics")
+	plan := flag.Bool("plan", false, "print the planner's view (estimates, auto choice) before running")
+	xquery := flag.Bool("xquery", false, "print the equivalent XQuery and exit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lotusx-query [-in file.xml | -index file.ltx] [flags] QUERY")
+		os.Exit(2)
+	}
+	queryText := flag.Arg(0)
+
+	if *xquery {
+		q, err := twig.Parse(queryText)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(q.ToXQuery())
+		return
+	}
+
+	var engine *core.Engine
+	var err error
+	switch {
+	case *in != "":
+		engine, err = core.FromFile(*in)
+	case *indexFile != "":
+		var f *os.File
+		f, err = os.Open(*indexFile)
+		if err == nil {
+			defer f.Close()
+			engine, err = core.Open(f)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "lotusx-query: one of -in or -index is required")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *plan {
+		q, perr := twig.Parse(queryText)
+		if perr != nil {
+			fatal(perr)
+		}
+		fmt.Print(join.Explain(engine.Index(), q))
+	}
+
+	res, err := engine.SearchString(queryText, core.SearchOptions{
+		K:         *k,
+		Algorithm: join.Algorithm(*alg),
+		Rewrite:   *doRewrite,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	d := engine.Document()
+	fmt.Printf("%d answers (%d exact, %d rewrites tried) in %v\n",
+		len(res.Answers), res.Exact, res.RewritesTried, res.Elapsed)
+	for i, a := range res.Answers {
+		fmt.Printf("\n#%d  %s  score=%.3f", i+1, d.Path(a.Node), a.Score)
+		if a.Rewrite != nil {
+			fmt.Printf("  [via %s, penalty %.1f]", a.Rewrite.Query, a.Rewrite.Penalty)
+		}
+		fmt.Println()
+		if *explain {
+			fmt.Printf("    content=%.3f tightness=%.3f idf=%.3f\n",
+				a.Scored.Content, a.Scored.Tightness, a.Scored.IDF)
+		}
+		fmt.Print(indent(engine.Snippet(a.Node, 400), "    "))
+	}
+	if *explain {
+		fmt.Printf("\njoin stats: scanned=%d pathSolutions=%d edgePairs=%d matches=%d\n",
+			res.Stats.ElementsScanned, res.Stats.PathSolutions,
+			res.Stats.EdgePairs, res.Stats.MatchesEnumerated)
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return prefix + strings.Join(lines, "\n"+prefix) + "\n"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lotusx-query:", err)
+	os.Exit(1)
+}

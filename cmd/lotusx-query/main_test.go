@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestIndent(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"a\nb\n", "  a\n  b\n"},
+		{"single", "  single\n"},
+		{"trailing\n\n", "  trailing\n"}, // trailing blank lines collapse
+	}
+	for _, c := range cases {
+		if got := indent(c.in, "  "); got != c.want {
+			t.Errorf("indent(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

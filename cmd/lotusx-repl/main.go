@@ -1,0 +1,61 @@
+// Command lotusx-repl is the terminal version of the interactive demo: the
+// same session workflow as the web GUI (grow a twig with position-aware
+// candidates, run, read ranked highlighted answers), driven from stdin.
+//
+//	lotusx-repl -in dblp.xml
+//	lotusx-repl -dataset xmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lotusx/internal/core"
+	"lotusx/internal/dataset"
+	"lotusx/internal/repl"
+)
+
+func main() {
+	in := flag.String("in", "", "input XML file")
+	indexFile := flag.String("index", "", "persisted index file")
+	kind := flag.String("dataset", "", "synthetic dataset: dblp, xmark or treebank")
+	scale := flag.Int("scale", 1, "synthetic dataset scale")
+	seed := flag.Int64("seed", 42, "synthetic dataset seed")
+	flag.Parse()
+
+	engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := repl.Run(engine, os.Stdin, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func buildEngine(in, indexFile, kind string, scale int, seed int64) (*core.Engine, error) {
+	switch {
+	case in != "":
+		return core.FromFile(in)
+	case indexFile != "":
+		f, err := os.Open(indexFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.Open(f)
+	case kind != "":
+		d, err := dataset.Build(dataset.Kind(kind), scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return core.FromDocument(d), nil
+	default:
+		return nil, fmt.Errorf("one of -in, -index or -dataset is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lotusx-repl:", err)
+	os.Exit(1)
+}

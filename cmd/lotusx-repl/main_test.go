@@ -1,0 +1,27 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildEngineSources(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(path, []byte("<a><b>x</b></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := buildEngine(path, "", "", 1, 1); err != nil || e.Stats().Nodes != 2 {
+		t.Fatalf("file source: %v", err)
+	}
+	if e, err := buildEngine("", "", "treebank", 1, 1); err != nil || e.Stats().Nodes < 1000 {
+		t.Fatalf("dataset source: %v", err)
+	}
+	if _, err := buildEngine("", "", "", 1, 1); err == nil {
+		t.Fatal("no source should fail")
+	}
+	if _, err := buildEngine("", "/nonexistent.ltx", "", 1, 1); err == nil {
+		t.Fatal("missing index should fail")
+	}
+}

@@ -1,0 +1,83 @@
+// Command lotusx-server runs the interactive LotusX demo: the JSON API plus
+// the embedded single-page client (the stand-in for the paper's web GUI).
+//
+//	lotusx-server -in dblp.xml -addr :8080
+//	lotusx-server -dataset xmark -scale 2      # serve a synthetic dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"lotusx/internal/core"
+	"lotusx/internal/dataset"
+	"lotusx/internal/server"
+)
+
+func main() {
+	in := flag.String("in", "", "input XML file")
+	indexFile := flag.String("index", "", "persisted index file")
+	kind := flag.String("dataset", "", "serve a synthetic dataset: dblp, xmark, treebank, or \"all\" for a catalog")
+	scale := flag.Int("scale", 1, "synthetic dataset scale")
+	seed := flag.Int64("seed", 42, "synthetic dataset seed")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if *kind == "all" {
+		// The demo setup: every synthetic dataset in one catalog, selected
+		// per request with ?dataset=.
+		catalog := core.NewCatalog()
+		for _, k := range dataset.Kinds {
+			d, err := dataset.Build(k, *scale, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			catalog.Add(string(k), core.FromDocument(d))
+			fmt.Printf("loaded %s (%d nodes)\n", k, d.Len())
+		}
+		fmt.Printf("serving %d datasets on %s\n", catalog.Len(), *addr)
+		if err := http.ListenAndServe(*addr, server.NewCatalog(catalog)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	st := engine.Stats()
+	fmt.Printf("serving %s (%d nodes, %d tags) on %s\n", st.Document, st.Nodes, st.Tags, *addr)
+	if err := http.ListenAndServe(*addr, server.New(engine)); err != nil {
+		fatal(err)
+	}
+}
+
+func buildEngine(in, indexFile, kind string, scale int, seed int64) (*core.Engine, error) {
+	switch {
+	case in != "":
+		return core.FromFile(in)
+	case indexFile != "":
+		f, err := os.Open(indexFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.Open(f)
+	case kind != "":
+		d, err := dataset.Build(dataset.Kind(kind), scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return core.FromDocument(d), nil
+	default:
+		return nil, fmt.Errorf("one of -in, -index or -dataset is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lotusx-server:", err)
+	os.Exit(1)
+}

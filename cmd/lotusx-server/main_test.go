@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildEngineFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(path, []byte("<a><b>x</b></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := buildEngine(path, "", "", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Nodes != 2 {
+		t.Fatalf("nodes = %d", e.Stats().Nodes)
+	}
+}
+
+func TestBuildEngineFromIndexFile(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	idxPath := filepath.Join(dir, "doc.ltx")
+	if err := os.WriteFile(xmlPath, []byte("<a><b>x</b></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := buildEngine(xmlPath, "", "", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	e2, err := buildEngine("", idxPath, "", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Stats().Nodes != 2 {
+		t.Fatalf("reloaded nodes = %d", e2.Stats().Nodes)
+	}
+}
+
+func TestBuildEngineFromDataset(t *testing.T) {
+	e, err := buildEngine("", "", "dblp", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Nodes < 5000 {
+		t.Fatalf("dataset engine too small: %d", e.Stats().Nodes)
+	}
+}
+
+func TestBuildEngineErrors(t *testing.T) {
+	if _, err := buildEngine("", "", "", 1, 1); err == nil {
+		t.Error("no source should fail")
+	}
+	if _, err := buildEngine("/nonexistent.xml", "", "", 1, 1); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := buildEngine("", "/nonexistent.ltx", "", 1, 1); err == nil {
+		t.Error("missing index should fail")
+	}
+	if _, err := buildEngine("", "", "bogus", 1, 1); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}

@@ -1,0 +1,89 @@
+package lotusx_test
+
+import (
+	"fmt"
+	"strings"
+
+	"lotusx"
+)
+
+const exampleXML = `<library>
+  <book genre="db">
+    <title>XML Databases</title>
+    <author>Tok Wang Ling</author>
+  </book>
+  <book genre="ir">
+    <title>Twig Joins Explained</title>
+    <author>Jiaheng Lu</author>
+  </book>
+</library>`
+
+func ExampleFromReader() {
+	engine, err := lotusx.FromReader("library", strings.NewReader(exampleXML))
+	if err != nil {
+		panic(err)
+	}
+	st := engine.Stats()
+	fmt.Println(st.Nodes, "nodes,", st.Tags, "tags")
+	// Output: 9 nodes, 5 tags
+}
+
+func ExampleEngine_SearchString() {
+	engine, _ := lotusx.FromReader("library", strings.NewReader(exampleXML))
+	res, err := engine.SearchString(`//book[author = "Jiaheng Lu"]/title`, lotusx.SearchOptions{K: 5})
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range res.Answers {
+		fmt.Println(engine.Document().Value(a.Node))
+	}
+	// Output: Twig Joins Explained
+}
+
+func ExampleEngine_SearchString_rewrite() {
+	engine, _ := lotusx.FromReader("library", strings.NewReader(exampleXML))
+	// "auther" is a typo; rewriting substitutes the tag that occurs here.
+	res, _ := engine.SearchString(`//book/auther`, lotusx.SearchOptions{K: 1, Rewrite: true})
+	a := res.Answers[0]
+	fmt.Println(engine.Document().Value(a.Node), "via", a.Rewrite.Query)
+	// Output: Tok Wang Ling via //book/author
+}
+
+func ExampleSession() {
+	engine, _ := lotusx.FromReader("library", strings.NewReader(exampleXML))
+	s := engine.NewSession()
+
+	root, _ := s.Root("book", lotusx.Descendant)
+	// What can live under a book?  Position-aware completion answers.
+	cands, _ := s.SuggestTags(root, lotusx.Child, "t", 3)
+	fmt.Println("candidate:", cands[0].Text)
+
+	title, _ := s.AddNode(root, lotusx.Child, "title")
+	_ = s.SetPredicate(title, lotusx.Contains, "twig")
+	res, _ := s.Run(lotusx.SearchOptions{K: 3})
+	fmt.Println("answers:", len(res.Answers))
+	// Output:
+	// candidate: title
+	// answers: 1
+}
+
+func ExampleQuery_ToXQuery() {
+	q := lotusx.MustParse(`//book[author = "Jiaheng Lu"]/title`)
+	fmt.Println(q.ToXQuery())
+	// Output:
+	// for $v0 in doc()//book
+	// for $v1 in $v0/author
+	// for $v2 in $v0/title
+	// where lower-case(string($v1)) = "jiaheng lu"
+	// return $v2
+}
+
+func ExampleUnderline() {
+	engine, _ := lotusx.FromReader("library", strings.NewReader(exampleXML))
+	q := lotusx.MustParse(`//book[title contains "twig"]`)
+	res, _ := engine.Search(q, lotusx.SearchOptions{K: 1})
+	for _, h := range engine.Highlights(q, res.Answers[0].Scored.Match) {
+		fmt.Println(lotusx.Underline(h.Value, h.Spans))
+	}
+	// Output: >>Twig<< Joins Explained
+}

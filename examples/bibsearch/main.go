@@ -1,0 +1,80 @@
+// Bibsearch: the paper's motivating scenario — searching a bibliography
+// without knowing its schema.  Generates a synthetic DBLP-like dataset,
+// then demonstrates position-aware completion, ranked search, and the
+// rewriting safety net, all on data too large to eyeball.
+//
+//	go run ./examples/bibsearch
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lotusx"
+	"lotusx/internal/dataset"
+)
+
+func main() {
+	// Generate and index ~12k nodes of bibliography.
+	var buf bytes.Buffer
+	if err := dataset.Generate(dataset.DBLP, 1, 42, &buf); err != nil {
+		log.Fatal(err)
+	}
+	engine, err := lotusx.FromReader("dblp-synthetic", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := engine.Stats()
+	fmt.Printf("bibliography: %d nodes, %d tags\n\n", st.Nodes, st.Tags)
+
+	// A user who knows nothing about the schema starts typing "in..." —
+	// what entry kinds exist?
+	s := engine.NewSession()
+	cands, err := s.SuggestTags(lotusx.NewRoot, lotusx.Descendant, "in", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tags matching 'in...':")
+	for _, c := range cands {
+		fmt.Printf("  %-20s (%d occurrences)\n", c.Text, c.Count)
+	}
+
+	// Search: papers by an author, ranked.
+	res, err := engine.SearchString(
+		`//inproceedings[author = "jiaheng lu"][year]/title`,
+		lotusx.SearchOptions{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop titles by jiaheng lu (%d answers, %v):\n", len(res.Answers), res.Elapsed)
+	d := engine.Document()
+	for i, a := range res.Answers {
+		fmt.Printf("  %d. %s (score %.3f)\n", i+1, d.Value(a.Node), a.Score)
+	}
+
+	// Value completion: which venues start with "si"?
+	q := lotusx.MustParse(`//inproceedings/booktitle`)
+	vals := engine.Completer().SuggestValues(q, 1, "si", 5)
+	fmt.Println("\nvenues matching 'si...':")
+	for _, v := range vals {
+		fmt.Printf("  %-12s (%d papers)\n", v.Text, v.Count)
+	}
+
+	// The rewriting safety net: "jurnal" is not a tag; "artcle" is not
+	// either.  LotusX explains what it searched instead.
+	res, err = engine.SearchString(`//artcle[jurnal]/title`,
+		lotusx.SearchOptions{K: 3, Rewrite: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbroken query //artcle[jurnal]/title: %d answers after %d rewrites\n",
+		len(res.Answers), res.RewritesTried)
+	if len(res.Answers) > 0 && res.Answers[0].Rewrite != nil {
+		rw := res.Answers[0].Rewrite
+		fmt.Printf("  searched %s instead (penalty %.1f):\n", rw.Query, rw.Penalty)
+		for _, ap := range rw.Applied {
+			fmt.Printf("    - %s: %s\n", ap.Rule, ap.Detail)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Explain: the transparency features around search — where a suggested tag
+// occurs (the hover card next to completion candidates), why each answer
+// ranked where it did (score breakdown), and which words matched
+// (highlighting).  Run against the synthetic bibliography.
+//
+//	go run ./examples/explain
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lotusx"
+	"lotusx/internal/dataset"
+)
+
+func main() {
+	var buf bytes.Buffer
+	if err := dataset.Generate(dataset.DBLP, 1, 42, &buf); err != nil {
+		log.Fatal(err)
+	}
+	engine, err := lotusx.FromReader("dblp", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. "Where would 'title' land if I add it here?"
+	q := lotusx.MustParse("//dblp")
+	fmt.Println("occurrences of 'title' anywhere under //dblp:")
+	for _, occ := range engine.Completer().ExplainTag(q, q.Root.ID, lotusx.Descendant, "title", 5) {
+		fmt.Printf("  %6d×  %s\n", occ.Count, occ.Path)
+	}
+
+	// 2. Ranked answers with their score breakdown.
+	query := lotusx.MustParse(`//inproceedings[title contains "xml search"]`)
+	res, err := engine.Search(query, lotusx.SearchOptions{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop answers for %s:\n", query)
+	for i, a := range res.Answers {
+		fmt.Printf("\n#%d score=%.3f  (content=%.2f tightness=%.2f idf=%.2f)\n",
+			i+1, a.Score, a.Scored.Content, a.Scored.Tightness, a.Scored.IDF)
+		// 3. Highlighting: which words satisfied the predicate.
+		for _, h := range engine.Highlights(query, a.Scored.Match) {
+			fmt.Printf("   %s: %s\n", h.Tag, lotusx.Underline(h.Value, h.Spans))
+		}
+	}
+}

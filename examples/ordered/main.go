@@ -1,0 +1,67 @@
+// Ordered: order-sensitive twig queries on deeply recursive treebank-like
+// data — the workload where document order carries meaning (constituent
+// order in parse trees) and where stack-based evaluation handles recursion
+// that defeats naive matching.
+//
+//	go run ./examples/ordered
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lotusx"
+	"lotusx/internal/dataset"
+)
+
+func main() {
+	var buf bytes.Buffer
+	if err := dataset.Generate(dataset.TreeBank, 1, 42, &buf); err != nil {
+		log.Fatal(err)
+	}
+	engine, err := lotusx.FromReader("treebank", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("treebank: %d nodes, recursion depth visible in %d distinct paths\n\n",
+		engine.Stats().Nodes, engine.Stats().GuidePaths)
+
+	// Same twig, with and without an order constraint.  In this grammar NP
+	// precedes VP inside a sentence, so [NP << VP] keeps all matches while
+	// [VP << NP] keeps only sentences with a second, later NP — if any.
+	for _, queryText := range []string{
+		`//S[NP][VP]`,
+		`//S[NP << VP]`,
+		`//S[VP << NP]`,
+	} {
+		res, err := engine.SearchString(queryText, lotusx.SearchOptions{K: 1 << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s -> %5d sentences (%v)\n", queryText, len(res.Answers), res.Elapsed)
+	}
+
+	// Recursive structure: sentences nested inside sentences, and the
+	// subject of a subordinate clause.
+	fmt.Println()
+	for _, queryText := range []string{
+		`//S//S`,
+		`//S/SBAR/S/NP/NN`,
+	} {
+		res, err := engine.SearchString(queryText, lotusx.SearchOptions{K: 1 << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s -> %5d matches (%v)\n", queryText, len(res.Answers), res.Elapsed)
+	}
+
+	// Show one nested sentence.
+	res, err := engine.SearchString(`//S//S`, lotusx.SearchOptions{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Answers) > 0 {
+		fmt.Printf("\na sentence inside a sentence:\n%s", engine.Snippet(res.Answers[0].Node, 500))
+	}
+}

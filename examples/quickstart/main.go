@@ -1,0 +1,72 @@
+// Quickstart: index a small document, run a twig query, print ranked
+// answers.  This is the five-minute tour of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"lotusx"
+)
+
+const catalogXML = `<catalog>
+  <book id="b1">
+    <title>XML Databases</title>
+    <author>Tok Wang Ling</author>
+    <price>35</price>
+  </book>
+  <book id="b2">
+    <title>Holistic Twig Joins in Practice</title>
+    <author>Jiaheng Lu</author>
+    <price>42</price>
+  </book>
+  <journal id="j1">
+    <title>XML Query Processing</title>
+    <editor>Bogdan Cautis</editor>
+  </journal>
+</catalog>`
+
+func main() {
+	// 1. Build an engine: one call parses, labels and indexes the document.
+	engine, err := lotusx.FromReader("catalog", strings.NewReader(catalogXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := engine.Stats()
+	fmt.Printf("indexed %q: %d nodes, %d tags, %d distinct paths\n\n",
+		st.Document, st.Nodes, st.Tags, st.GuidePaths)
+
+	// 2. Query with the XPath subset: books whose title mentions "xml".
+	res, err := engine.SearchString(`//book[title contains "xml"]`, lotusx.SearchOptions{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query 1: %d answer(s) in %v\n", len(res.Answers), res.Elapsed)
+	for _, a := range res.Answers {
+		fmt.Printf("  score %.3f\n%s", a.Score, indent(engine.Snippet(a.Node, 0)))
+	}
+
+	// 3. The same engine explains what the GUI would have generated.
+	q := lotusx.MustParse(`//book[author = "Jiaheng Lu"]/title`)
+	fmt.Printf("\nthe twig %s compiles to:\n%s\n", q, q.ToXQuery())
+
+	// 4. Rewriting: "titel" is a typo — LotusX relaxes the query and says
+	// how it did it.
+	res, err = engine.SearchString(`//book/titel`, lotusx.SearchOptions{K: 3, Rewrite: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery 2 (typo): %d exact, %d recovered\n", res.Exact, len(res.Answers))
+	for _, a := range res.Answers {
+		fmt.Printf("  %q via %s (penalty %.1f)\n",
+			engine.Document().Value(a.Node), a.Rewrite.Query, a.Rewrite.Penalty)
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "    " + strings.Join(lines, "\n    ") + "\n"
+}

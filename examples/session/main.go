@@ -1,0 +1,104 @@
+// Session: a simulated GUI interaction, the paper's core demo.  Each step
+// prints what the user "sees" — the candidates LotusX proposes for the
+// position being edited — and what the user picks, until the twig is built
+// and executed.  The XQuery the user never had to write is printed at the
+// end.
+//
+//	go run ./examples/session
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lotusx"
+	"lotusx/internal/dataset"
+)
+
+func main() {
+	var buf bytes.Buffer
+	if err := dataset.Generate(dataset.XMark, 1, 42, &buf); err != nil {
+		log.Fatal(err)
+	}
+	engine, err := lotusx.FromReader("auction-site", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auction site: %d nodes\n", engine.Stats().Nodes)
+
+	s := engine.NewSession()
+
+	// The user wants auctions but only remembers it starts with "op".
+	show := func(step string, cands []lotusx.Candidate) {
+		fmt.Printf("\n[%s]\n", step)
+		for i, c := range cands {
+			marker := "   "
+			if i == 0 {
+				marker = " > "
+			}
+			fuzzy := ""
+			if c.Fuzzy {
+				fuzzy = "  (did you mean?)"
+			}
+			fmt.Printf("%s%-16s %6d×%s\n", marker, c.Text, c.Count, fuzzy)
+		}
+	}
+
+	cands, err := s.SuggestTags(lotusx.NewRoot, lotusx.Descendant, "op", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(`user types "op" for the root`, cands)
+	root, _ := s.Root(cands[0].Text, lotusx.Descendant) // open_auction
+
+	// Growing the twig: what can live under an open_auction?  Note the
+	// candidates are position-aware — "name" is frequent globally but does
+	// not occur here, so it is not offered.
+	cands, err = s.SuggestTags(root, lotusx.Child, "", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("user opens the child list of open_auction", cands)
+
+	bidder, _ := s.AddNode(root, lotusx.Child, "bidder")
+	cands, err = s.SuggestTags(bidder, lotusx.Child, "in", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(`user types "in" under bidder`, cands)
+	if _, err := s.AddNode(bidder, lotusx.Child, cands[0].Text); err != nil { // increase
+		log.Fatal(err)
+	}
+
+	// A typo still lands: "currrent".
+	cands, err = s.SuggestTags(root, lotusx.Child, "currrent", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(`user typos "currrent"`, cands)
+	current, _ := s.AddNode(root, lotusx.Child, cands[0].Text)
+
+	// Order-sensitive: the bidder must come before current (they always do,
+	// but the GUI lets users say so).
+	if err := s.AddOrder(bidder, current); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.SetOutput(current); err != nil {
+		log.Fatal(err)
+	}
+
+	xp, _ := s.XPath()
+	xq, _ := s.XQuery()
+	fmt.Printf("\nthe twig the user built:  %s\n", xp)
+	fmt.Printf("\nthe XQuery nobody wrote:\n%s\n", xq)
+
+	res, err := s.Run(lotusx.SearchOptions{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d answers (%v); top current prices:\n", len(res.Answers), res.Elapsed)
+	for _, a := range res.Answers {
+		fmt.Printf("  %s\n", engine.Document().Value(a.Node))
+	}
+}

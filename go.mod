@@ -1,0 +1,3 @@
+module lotusx
+
+go 1.22

@@ -1,0 +1,219 @@
+// Package bench implements the experiment suite E1–E10 of DESIGN.md §5:
+// for every claim of the LotusX demo paper, one experiment that prints a
+// table quantifying it.  cmd/lotusx-bench drives the suite; the repo-root
+// bench_test.go exposes each experiment as a testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"lotusx/internal/core"
+	"lotusx/internal/dataguide"
+	"lotusx/internal/dataset"
+	"lotusx/internal/doc"
+	"lotusx/internal/index"
+	"lotusx/internal/twig"
+)
+
+// Config tunes a Runner.
+type Config struct {
+	// Scale is the dataset scale factor (1 is ~10-40k nodes per dataset).
+	Scale int
+	// Seed makes workloads reproducible.
+	Seed int64
+	// Out receives the printed tables.
+	Out io.Writer
+}
+
+// Runner holds the built engines and runs experiments.
+type Runner struct {
+	cfg     Config
+	engines map[dataset.Kind]*core.Engine
+	// build timings captured while constructing engines (E1).
+	buildStats map[dataset.Kind]buildStat
+}
+
+type buildStat struct {
+	xmlBytes   int
+	nodes      int
+	tags       int
+	guidePaths int
+	parse      time.Duration
+	indexBuild time.Duration
+	guideBuild time.Duration
+}
+
+// NewRunner generates the datasets and builds one engine per dataset,
+// recording E1's construction measurements along the way.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.Out == nil {
+		return nil, fmt.Errorf("bench: Config.Out is required")
+	}
+	r := &Runner{
+		cfg:        cfg,
+		engines:    make(map[dataset.Kind]*core.Engine),
+		buildStats: make(map[dataset.Kind]buildStat),
+	}
+	for _, kind := range dataset.Kinds {
+		if err := r.buildOne(kind); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func (r *Runner) buildOne(kind dataset.Kind) error {
+	var bs buildStat
+	xml := &countingBuffer{}
+	if err := dataset.Generate(kind, r.cfg.Scale, r.cfg.Seed, xml); err != nil {
+		return err
+	}
+	bs.xmlBytes = xml.Len()
+
+	start := time.Now()
+	d, err := doc.FromReader(fmt.Sprintf("%s-s%d", kind, r.cfg.Scale), xml.Reader())
+	if err != nil {
+		return err
+	}
+	bs.parse = time.Since(start)
+	bs.nodes = d.Len()
+	bs.tags = d.Tags().Len()
+
+	start = time.Now()
+	ix := index.Build(d)
+	bs.indexBuild = time.Since(start)
+
+	start = time.Now()
+	guide := dataguide.Build(d)
+	guide.Warm()
+	bs.guideBuild = time.Since(start)
+	bs.guidePaths = guide.Size()
+	_ = ix
+
+	// The engine rebuilds index and guide; cheap relative to clarity.
+	r.engines[kind] = core.FromDocument(d)
+	r.buildStats[kind] = bs
+	return nil
+}
+
+// Engine returns the engine for a dataset kind.
+func (r *Runner) Engine(kind dataset.Kind) *core.Engine { return r.engines[kind] }
+
+// rng returns a fresh deterministic source for one experiment.
+func (r *Runner) rng(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(r.cfg.Seed + offset))
+}
+
+// RunAll executes every experiment in order.
+func (r *Runner) RunAll() error {
+	steps := []func() error{
+		r.E1IndexBuild,
+		r.E2TwigAlgorithms,
+		r.E3Intermediate,
+		r.E4ParentChild,
+		r.E5CompletionLatency,
+		r.E6CompletionQuality,
+		r.E7Ranking,
+		r.E8Ordered,
+		r.E9Rewrite,
+		r.E10Session,
+		r.E11Scalability,
+		r.A1Pushdown,
+		r.A2Minimization,
+		r.A3PenaltyModel,
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// header prints an experiment banner.
+func (r *Runner) header(id, claim string) {
+	fmt.Fprintf(r.cfg.Out, "\n=== %s — %s ===\n", id, claim)
+}
+
+// table returns a tabwriter over the configured output; callers must Flush.
+func (r *Runner) table() *tabwriter.Writer {
+	return tabwriter.NewWriter(r.cfg.Out, 2, 4, 2, ' ', 0)
+}
+
+// countingBuffer buffers generated XML and re-serves it as a reader.
+type countingBuffer struct {
+	data []byte
+}
+
+func (b *countingBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *countingBuffer) Len() int { return len(b.data) }
+
+func (b *countingBuffer) Reader() io.Reader { return &sliceReader{data: b.data} }
+
+type sliceReader struct {
+	data []byte
+	pos  int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.pos >= len(s.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// ms renders a duration in milliseconds with sensible precision.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// Query is one workload query.
+type Query struct {
+	ID   string
+	Kind dataset.Kind
+	Text string
+	// PCHeavy marks queries dominated by parent-child edges (E4's subset).
+	PCHeavy bool
+	// Ordered marks order-sensitive queries (E8's subset).
+	Ordered bool
+}
+
+// Workload returns the query set Q1–Q12 over the three datasets, covering
+// paths, branches, values, deep recursion, parent-child chains and order
+// constraints.
+func Workload() []Query {
+	return []Query{
+		{ID: "Q1", Kind: dataset.DBLP, Text: `//article/title`, PCHeavy: true},
+		{ID: "Q2", Kind: dataset.DBLP, Text: `//inproceedings[author][year]/title`},
+		{ID: "Q3", Kind: dataset.DBLP, Text: `//article[author = "wei lu"]/title`},
+		{ID: "Q4", Kind: dataset.DBLP, Text: `//dblp//author`},
+		{ID: "Q5", Kind: dataset.XMark, Text: `//item[description//text contains "vintage"]/name`},
+		{ID: "Q6", Kind: dataset.XMark, Text: `//person[profile/age]/name`, PCHeavy: true},
+		{ID: "Q7", Kind: dataset.XMark, Text: `//open_auction[bidder/increase][seller]`},
+		{ID: "Q8", Kind: dataset.XMark, Text: `//open_auction[bidder << current]`, Ordered: true},
+		{ID: "Q9", Kind: dataset.TreeBank, Text: `//S//NP//NN`},
+		{ID: "Q10", Kind: dataset.TreeBank, Text: `//S/VP/NP/NN`, PCHeavy: true},
+		{ID: "Q11", Kind: dataset.TreeBank, Text: `//S[NP/PP][VP//NN]`},
+		{ID: "Q12", Kind: dataset.TreeBank, Text: `//S[NP << VP]`, Ordered: true},
+		// NP nests inside NP only through a PP in this grammar, so every
+		// ancestor-descendant (NP, NP) pair is a parent-child decoy — the
+		// case look-ahead pruning exists for.
+		{ID: "Q13", Kind: dataset.TreeBank, Text: `//NP/NP/NN`, PCHeavy: true},
+	}
+}
+
+// mustParse parses a workload query (all are valid by construction).
+func mustParse(text string) *twig.Query { return twig.MustParse(text) }

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lotusx/internal/dataset"
+	"lotusx/internal/twig"
+)
+
+// newTestRunner builds a runner once for the whole test binary; dataset
+// construction dominates and every experiment is read-only.
+var sharedRunner *Runner
+
+func runner(t *testing.T) *Runner {
+	t.Helper()
+	if sharedRunner == nil {
+		r, err := NewRunner(Config{Scale: 1, Seed: 42, Out: &bytes.Buffer{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedRunner = r
+	}
+	return sharedRunner
+}
+
+// output redirects the runner's table output for one experiment.
+func output(r *Runner) *bytes.Buffer {
+	buf := &bytes.Buffer{}
+	r.cfg.Out = buf
+	return buf
+}
+
+func TestRunnerRequiresOut(t *testing.T) {
+	if _, err := NewRunner(Config{Scale: 1}); err == nil {
+		t.Fatal("nil Out should fail")
+	}
+}
+
+func TestWorkloadParsesAndCoversDatasets(t *testing.T) {
+	seen := make(map[dataset.Kind]bool)
+	ordered, pc := 0, 0
+	for _, q := range Workload() {
+		if _, err := twig.Parse(q.Text); err != nil {
+			t.Errorf("%s does not parse: %v", q.ID, err)
+		}
+		seen[q.Kind] = true
+		if q.Ordered {
+			ordered++
+		}
+		if q.PCHeavy {
+			pc++
+		}
+	}
+	if len(seen) != 3 || ordered < 2 || pc < 2 {
+		t.Fatalf("workload lacks coverage: kinds=%d ordered=%d pc=%d", len(seen), ordered, pc)
+	}
+}
+
+func TestE1Table(t *testing.T) {
+	r := runner(t)
+	buf := output(r)
+	if err := r.E1IndexBuild(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dblp", "xmark", "treebank", "nodes"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("E1 output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestE2AllAlgorithmsAgreeOnWorkload(t *testing.T) {
+	r := runner(t)
+	buf := output(r)
+	// E2 itself fails when any algorithm's match count disagrees with the
+	// oracle, so running it IS the cross-check on realistic data.
+	if err := r.E2TwigAlgorithms(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Q12") {
+		t.Error("E2 output incomplete")
+	}
+}
+
+func TestE3TwigStackNeverWorse(t *testing.T) {
+	r := runner(t)
+	buf := output(r)
+	if err := r.E3Intermediate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every ratio in the table must be >= 1 (TwigStack emits no more
+	// intermediate solutions than PathStack).
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 7 || fields[0] == "query" {
+			continue
+		}
+		ratio := fields[6]
+		if ratio == "-" {
+			continue
+		}
+		if strings.HasPrefix(ratio, "0.") {
+			t.Errorf("TwigStack emitted more path solutions than PathStack: %s", line)
+		}
+	}
+}
+
+func TestE5AndE6Run(t *testing.T) {
+	r := runner(t)
+	buf := output(r)
+	if err := r.E5CompletionLatency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.E6CompletionQuality(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "position-aware") || !strings.Contains(out, "MRR") {
+		t.Errorf("completion tables incomplete:\n%s", out)
+	}
+}
+
+func TestE6PositionAwareBeatsNaive(t *testing.T) {
+	r := runner(t)
+	probes := completionProbes()
+	if len(probes) < 10 {
+		t.Fatalf("only %d probes", len(probes))
+	}
+	var aware, naive metrics
+	for _, p := range probes {
+		engine := r.Engine(p.kind)
+		q, focus, err := probeQuery(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := p.intended[:1]
+		aware.observe(rankOf(p.intended, engine.Completer().SuggestTags(q, focus, p.axis, prefix, 10)))
+		naive.observe(rankOf(p.intended, engine.Completer().SuggestTagsNaive(prefix, 10)))
+	}
+	if aware.mrr() <= naive.mrr() {
+		t.Errorf("position-aware MRR %.3f should beat naive %.3f", aware.mrr(), naive.mrr())
+	}
+}
+
+func TestE7RankingBeatsBaselines(t *testing.T) {
+	r := runner(t)
+	buf := output(r)
+	if err := r.E7Ranking(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var lotusNDCG, docNDCG float64
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		switch fields[0] {
+		case "lotusx":
+			lotusNDCG = parseFloat(t, fields[1])
+		case "doc-order":
+			docNDCG = parseFloat(t, fields[1])
+		}
+	}
+	if lotusNDCG <= docNDCG {
+		t.Errorf("lotusx nDCG %.3f should beat doc-order %.3f", lotusNDCG, docNDCG)
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE8E9E10Run(t *testing.T) {
+	r := runner(t)
+	buf := output(r)
+	if err := r.E8Ordered(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.E9Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.E10Session(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "recovery rate") {
+		t.Error("E9 missing recovery rate")
+	}
+	if !strings.Contains(out, "total ms") {
+		t.Error("E10 missing session table")
+	}
+}
+
+func TestNDCGAndPrecision(t *testing.T) {
+	perfect := []float64{3, 2, 1}
+	if got := ndcg(perfect, 10); got != 1.0 {
+		t.Errorf("perfect ndcg = %f", got)
+	}
+	worst := []float64{1, 2, 3}
+	if got := ndcg(worst, 10); got >= 1.0 || got <= 0 {
+		t.Errorf("inverted ndcg = %f", got)
+	}
+	if got := precisionAt([]float64{3, 1, 2, 1, 1}, 5, 2); got != 0.4 {
+		t.Errorf("p@5 = %f", got)
+	}
+	if got := precisionAt(nil, 5, 2); got != 0 {
+		t.Errorf("empty p@5 = %f", got)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	var m metrics
+	m.observe(1)
+	m.observe(3)
+	m.observe(0) // miss
+	if m.successAt1() != 1.0/3 || m.successAt5() != 2.0/3 {
+		t.Errorf("metrics = %+v", m)
+	}
+	wantMRR := (1.0 + 1.0/3) / 3
+	if diff := m.mrr() - wantMRR; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("mrr = %f, want %f", m.mrr(), wantMRR)
+	}
+}
+
+func TestRunAllCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	var buf bytes.Buffer
+	r, err := NewRunner(Config{Scale: 1, Seed: 42, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, banner := range []string{"E1", "E2", "E3", "E4", "E5", "E6",
+		"E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"} {
+		if !strings.Contains(out, "=== "+banner+" ") {
+			t.Errorf("RunAll output missing %s", banner)
+		}
+	}
+}
+
+func TestE6ShapeRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a second dataset generation")
+	}
+	// The headline claim (position-aware beats naive) must not depend on
+	// the workload seed.
+	for _, seed := range []int64{7, 1234} {
+		r, err := NewRunner(Config{Scale: 1, Seed: seed, Out: &bytes.Buffer{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var aware, naive metrics
+		for _, p := range completionProbes() {
+			engine := r.Engine(p.kind)
+			q, focus, err := probeQuery(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefix := p.intended[:1]
+			aware.observe(rankOf(p.intended, engine.Completer().SuggestTags(q, focus, p.axis, prefix, 10)))
+			naive.observe(rankOf(p.intended, engine.Completer().SuggestTagsNaive(prefix, 10)))
+		}
+		if aware.mrr() <= naive.mrr() {
+			t.Errorf("seed %d: aware MRR %.3f <= naive %.3f", seed, aware.mrr(), naive.mrr())
+		}
+	}
+}

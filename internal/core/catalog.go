@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Catalog holds several named engines — the demo served DBLP, XMark and
+// TreeBank side by side with a dataset selector.  Lookups are cheap and
+// concurrent; Add is synchronized so datasets can be loaded in the
+// background while the server is already answering on the others.
+type Catalog struct {
+	mu      sync.RWMutex
+	engines map[string]*Engine
+	// defaultName is the dataset used when a request names none.
+	defaultName string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{engines: make(map[string]*Engine)}
+}
+
+// Add registers an engine under name; the first engine added becomes the
+// default.  Re-adding a name replaces the engine.
+func (c *Catalog) Add(name string, e *Engine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.engines) == 0 {
+		c.defaultName = name
+	}
+	c.engines[name] = e
+}
+
+// Get returns the engine registered under name; an empty name returns the
+// default engine.
+func (c *Catalog) Get(name string) (*Engine, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if name == "" {
+		name = c.defaultName
+	}
+	e, ok := c.engines[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no dataset %q in catalog", name)
+	}
+	return e, nil
+}
+
+// Names lists the registered datasets, sorted, with the default first.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.engines))
+	for n := range c.engines {
+		if n != c.defaultName {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if c.defaultName != "" {
+		names = append([]string{c.defaultName}, names...)
+	}
+	return names
+}
+
+// Len returns the number of registered datasets.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.engines)
+}

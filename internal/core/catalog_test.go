@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCatalogBasics(t *testing.T) {
+	c := NewCatalog()
+	if c.Len() != 0 {
+		t.Fatal("new catalog not empty")
+	}
+	if _, err := c.Get(""); err == nil {
+		t.Fatal("empty catalog should miss")
+	}
+
+	e1 := mustEngine(t)
+	e2, err := FromReader("other", strings.NewReader("<a><b>x</b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add("bib", e1)
+	c.Add("tiny", e2)
+
+	got, err := c.Get("tiny")
+	if err != nil || got != e2 {
+		t.Fatalf("Get(tiny) = %v, %v", got, err)
+	}
+	// The first added engine is the default.
+	def, err := c.Get("")
+	if err != nil || def != e1 {
+		t.Fatalf("default = %v, %v", def, err)
+	}
+	if _, err := c.Get("missing"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+
+	names := c.Names()
+	if len(names) != 2 || names[0] != "bib" || names[1] != "tiny" {
+		t.Fatalf("names = %v", names)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCatalogReplace(t *testing.T) {
+	c := NewCatalog()
+	e1 := mustEngine(t)
+	e2, _ := FromReader("v2", strings.NewReader("<a/>"))
+	c.Add("d", e1)
+	c.Add("d", e2)
+	got, _ := c.Get("d")
+	if got != e2 {
+		t.Fatal("Add did not replace")
+	}
+	if c.Len() != 1 {
+		t.Fatal("replace changed count")
+	}
+}
+
+func TestCatalogConcurrentAccess(t *testing.T) {
+	c := NewCatalog()
+	c.Add("base", mustEngine(t))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if i%2 == 0 {
+					e, _ := FromReader("x", strings.NewReader("<a><b>y</b></a>"))
+					c.Add("extra", e)
+				} else {
+					if _, err := c.Get(""); err != nil {
+						t.Error(err)
+						return
+					}
+					c.Names()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lotusx/internal/join"
+	"lotusx/internal/twig"
+)
+
+// TestConcurrentSearchesAndCompletions exercises the documented guarantee
+// that a built Engine is safe for concurrent readers: searches (all
+// algorithms), completions, value suggestions and rewriting fallbacks run
+// simultaneously from many goroutines.  Run with -race to make this test
+// meaningful.
+func TestConcurrentSearchesAndCompletions(t *testing.T) {
+	e := mustEngine(t)
+	queries := []string{
+		`//article/title`,
+		`//article[author = "Jiaheng Lu"]`,
+		`//book//title`,
+		`//article[author][year]/title`,
+		`//article/autor`, // exercises the rewriter
+	}
+	const workers = 8
+	const rounds = 20
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				qs := queries[(w+i)%len(queries)]
+				alg := join.Algorithms[(w+i)%len(join.Algorithms)]
+				if _, err := e.SearchString(qs, SearchOptions{Algorithm: alg, Rewrite: true, K: 5}); err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				q := twig.MustParse("//article")
+				e.Completer().SuggestTags(q, 0, twig.Child, "a", 5)
+				e.Completer().SuggestValues(twig.MustParse("//article/author"), 1, "j", 5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSessionsShareOneEngine: many sessions (each single-threaded)
+// over one engine do not interfere.
+func TestConcurrentSessionsShareOneEngine(t *testing.T) {
+	e := mustEngine(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.NewSession()
+			root, err := s.Root("article", twig.Descendant)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := s.SuggestTags(root, twig.Child, "a", 5); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := s.AddNode(root, twig.Child, "author"); err != nil {
+				errs <- err
+				return
+			}
+			res, err := s.Run(SearchOptions{K: 10})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Answers) != 3 {
+				errs <- fmt.Errorf("session got %d answers, want 3", len(res.Answers))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

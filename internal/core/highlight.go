@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/index"
+	"lotusx/internal/join"
+	"lotusx/internal/twig"
+)
+
+// Span marks a half-open byte range [Start, End) inside a node's value.
+type Span struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Highlight explains why one match satisfied one value predicate: the
+// document node bound to the predicate's query node, its value, and the
+// byte spans of the matched terms — what the GUI underlines in each answer.
+type Highlight struct {
+	QueryNodeID int        `json:"queryNode"`
+	Tag         string     `json:"tag"`
+	Node        doc.NodeID `json:"node"`
+	Value       string     `json:"value"`
+	Spans       []Span     `json:"spans"`
+}
+
+// Highlights computes the term highlights of one match under q.  Matches of
+// predicate-free queries highlight nothing.
+func (e *Engine) Highlights(q *twig.Query, m join.Match) []Highlight {
+	d := e.ix.Document()
+	var out []Highlight
+	for _, qn := range q.Nodes() {
+		if qn.Pred.Op == twig.NoPred {
+			continue
+		}
+		node := m[qn.ID]
+		value := d.Value(node)
+		h := Highlight{
+			QueryNodeID: qn.ID,
+			Tag:         d.TagName(node),
+			Node:        node,
+			Value:       value,
+		}
+		switch qn.Pred.Op {
+		case twig.Eq:
+			// The whole value matched.
+			h.Spans = []Span{{Start: 0, End: len(value)}}
+		case twig.Contains:
+			wanted := make(map[string]struct{})
+			for _, tok := range index.Tokenize(qn.Pred.Value) {
+				wanted[tok] = struct{}{}
+			}
+			for _, ts := range index.TokenizeSpans(value) {
+				if _, ok := wanted[ts.Token]; ok {
+					h.Spans = append(h.Spans, Span{Start: ts.Start, End: ts.End})
+				}
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// Underline renders a value with its spans marked, for terminals and tests:
+// "holistic >>twig<< joins".
+func Underline(value string, spans []Span) string {
+	if len(spans) == 0 {
+		return value
+	}
+	var b strings.Builder
+	pos := 0
+	for _, sp := range spans {
+		if sp.Start < pos || sp.End > len(value) {
+			continue // overlapping or out-of-range spans are skipped
+		}
+		b.WriteString(value[pos:sp.Start])
+		b.WriteString(">>")
+		b.WriteString(value[sp.Start:sp.End])
+		b.WriteString("<<")
+		pos = sp.End
+	}
+	b.WriteString(value[pos:])
+	return b.String()
+}

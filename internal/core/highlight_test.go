@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"lotusx/internal/join"
+	"lotusx/internal/twig"
+)
+
+func firstMatch(t *testing.T, e *Engine, qs string) (*twig.Query, join.Match) {
+	t.Helper()
+	q := twig.MustParse(qs)
+	res, err := join.Run(e.Index(), q, join.TwigStack, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 {
+		t.Fatalf("no matches for %q", qs)
+	}
+	return q, res.Matches[0]
+}
+
+func TestHighlightsContains(t *testing.T) {
+	e := mustEngine(t)
+	q, m := firstMatch(t, e, `//article[title contains "twig joins"]`)
+	hs := e.Highlights(q, m)
+	if len(hs) != 1 {
+		t.Fatalf("highlights = %+v", hs)
+	}
+	h := hs[0]
+	if h.Tag != "title" || h.Value != "Holistic Twig Joins" {
+		t.Fatalf("highlight = %+v", h)
+	}
+	if len(h.Spans) != 2 {
+		t.Fatalf("spans = %+v", h.Spans)
+	}
+	if got := Underline(h.Value, h.Spans); got != "Holistic >>Twig<< >>Joins<<" {
+		t.Fatalf("underlined = %q", got)
+	}
+}
+
+func TestHighlightsEq(t *testing.T) {
+	e := mustEngine(t)
+	q, m := firstMatch(t, e, `//article[year = "2005"]`)
+	hs := e.Highlights(q, m)
+	if len(hs) != 1 || len(hs[0].Spans) != 1 {
+		t.Fatalf("highlights = %+v", hs)
+	}
+	if got := Underline(hs[0].Value, hs[0].Spans); got != ">>2005<<" {
+		t.Fatalf("underlined = %q", got)
+	}
+}
+
+func TestHighlightsMultiplePredicates(t *testing.T) {
+	e := mustEngine(t)
+	q, m := firstMatch(t, e, `//article[author contains "lu"][title contains "twig"]`)
+	hs := e.Highlights(q, m)
+	if len(hs) != 2 {
+		t.Fatalf("highlights = %+v", hs)
+	}
+	tags := map[string]bool{}
+	for _, h := range hs {
+		tags[h.Tag] = true
+		if len(h.Spans) == 0 {
+			t.Errorf("predicate on %s matched without spans", h.Tag)
+		}
+	}
+	if !tags["author"] || !tags["title"] {
+		t.Fatalf("tags = %v", tags)
+	}
+}
+
+func TestHighlightsNoPredicates(t *testing.T) {
+	e := mustEngine(t)
+	q, m := firstMatch(t, e, `//article/title`)
+	if hs := e.Highlights(q, m); hs != nil {
+		t.Fatalf("predicate-free query highlighted %+v", hs)
+	}
+}
+
+func TestUnderlineEdgeCases(t *testing.T) {
+	if got := Underline("plain", nil); got != "plain" {
+		t.Errorf("no spans = %q", got)
+	}
+	// Out-of-range spans are skipped rather than panicking.
+	if got := Underline("ab", []Span{{Start: 1, End: 99}}); got != "ab" {
+		t.Errorf("bad span = %q", got)
+	}
+	if got := Underline("a b a", []Span{{0, 1}, {4, 5}}); got != ">>a<< b >>a<<" {
+		t.Errorf("two spans = %q", got)
+	}
+}

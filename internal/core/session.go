@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+
+	"lotusx/internal/complete"
+	"lotusx/internal/twig"
+)
+
+// Session models the GUI's interactive query construction: the user grows a
+// twig node by node, asking for position-aware candidates at every step.
+// Nodes are addressed by stable handles (the twig's preorder IDs change as
+// the tree grows, handles do not).  A Session is not safe for concurrent
+// use; the Engine behind it is.
+type Session struct {
+	engine  *Engine
+	query   *twig.Query
+	handles map[int]*twig.Node
+	nextH   int
+	// orders holds order constraints as node pairs; preorder IDs shift as
+	// the twig grows, so normalize() re-derives Query.Order from these.
+	orders [][2]*twig.Node
+}
+
+// NewSession starts an empty query-building session.
+func (e *Engine) NewSession() *Session {
+	return &Session{engine: e, handles: make(map[int]*twig.Node)}
+}
+
+// Root creates the query root with the given tag and axis (twig.Descendant
+// to search anywhere, twig.Child to anchor at the document root) and
+// returns its handle.
+func (s *Session) Root(tag string, axis twig.Axis) (int, error) {
+	if s.query != nil {
+		return 0, fmt.Errorf("session: root already set")
+	}
+	s.query = &twig.Query{Root: &twig.Node{Tag: tag, Axis: axis}}
+	return s.register(s.query.Root), nil
+}
+
+// AddNode attaches a new node under the anchor handle and returns the new
+// node's handle.
+func (s *Session) AddNode(anchor int, axis twig.Axis, tag string) (int, error) {
+	an, err := s.node(anchor)
+	if err != nil {
+		return 0, err
+	}
+	child := an.AddChild(tag, axis)
+	return s.register(child), nil
+}
+
+// SetPredicate sets the value predicate of the node with the given handle.
+func (s *Session) SetPredicate(handle int, op twig.PredOp, value string) error {
+	n, err := s.node(handle)
+	if err != nil {
+		return err
+	}
+	n.Pred = twig.Pred{Op: op, Value: value}
+	return nil
+}
+
+// SetTag renames the node with the given handle (the GUI lets users edit a
+// node after accepting a suggestion).
+func (s *Session) SetTag(handle int, tag string) error {
+	n, err := s.node(handle)
+	if err != nil {
+		return err
+	}
+	n.Tag = tag
+	return nil
+}
+
+// SetAxis changes how the node with the given handle relates to its parent
+// (or, for the root, to the document root).
+func (s *Session) SetAxis(handle int, axis twig.Axis) error {
+	n, err := s.node(handle)
+	if err != nil {
+		return err
+	}
+	n.Axis = axis
+	return nil
+}
+
+// RemoveNode deletes the node with the given handle and its whole subtree —
+// the GUI's delete button.  The root cannot be removed (start a new session
+// instead).  Handles inside the removed subtree become invalid, and order
+// constraints touching it are dropped.
+func (s *Session) RemoveNode(handle int) error {
+	n, err := s.node(handle)
+	if err != nil {
+		return err
+	}
+	if n == s.query.Root {
+		return fmt.Errorf("session: cannot remove the root node")
+	}
+	// Find the parent by scanning from the root (sessions are small trees;
+	// twig.Node parent pointers are only valid after Normalize).
+	parent := findParent(s.query.Root, n)
+	if parent == nil {
+		return fmt.Errorf("session: node %d is no longer in the query", handle)
+	}
+	kids := parent.Children[:0]
+	for _, c := range parent.Children {
+		if c != n {
+			kids = append(kids, c)
+		}
+	}
+	parent.Children = kids
+
+	// Invalidate handles and drop order constraints under the subtree.
+	removed := make(map[*twig.Node]bool)
+	var mark func(x *twig.Node)
+	mark = func(x *twig.Node) {
+		removed[x] = true
+		for _, c := range x.Children {
+			mark(c)
+		}
+	}
+	mark(n)
+	for h, hn := range s.handles {
+		if removed[hn] {
+			delete(s.handles, h)
+		}
+	}
+	kept := s.orders[:0]
+	for _, pr := range s.orders {
+		if !removed[pr[0]] && !removed[pr[1]] {
+			kept = append(kept, pr)
+		}
+	}
+	s.orders = kept
+	return s.normalize()
+}
+
+// findParent locates n's parent by tree walk from root.
+func findParent(root, n *twig.Node) *twig.Node {
+	for _, c := range root.Children {
+		if c == n {
+			return root
+		}
+		if p := findParent(c, n); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// SetOutput marks the node with the given handle as the query's output.
+func (s *Session) SetOutput(handle int) error {
+	n, err := s.node(handle)
+	if err != nil {
+		return err
+	}
+	for _, other := range s.handles {
+		other.Output = false
+	}
+	n.Output = true
+	return nil
+}
+
+// AddOrder constrains the match of the before handle to precede the match
+// of the after handle in document order.
+func (s *Session) AddOrder(before, after int) error {
+	bn, err := s.node(before)
+	if err != nil {
+		return err
+	}
+	an, err := s.node(after)
+	if err != nil {
+		return err
+	}
+	if bn == an {
+		return fmt.Errorf("session: order constraint needs two distinct nodes")
+	}
+	s.orders = append(s.orders, [2]*twig.Node{bn, an})
+	return s.normalize()
+}
+
+// SuggestTags returns position-aware tag candidates for a new node under
+// the anchor handle.  Use anchor == complete.NewRoot before Root is set.
+func (s *Session) SuggestTags(anchor int, axis twig.Axis, prefix string, k int) ([]complete.Candidate, error) {
+	if anchor == complete.NewRoot || s.query == nil {
+		// Root suggestions need no query context.
+		q := twig.NewQuery(twig.Wildcard)
+		if err := q.Normalize(); err != nil {
+			return nil, err
+		}
+		return s.engine.completer.SuggestTags(q, complete.NewRoot, axis, prefix, k), nil
+	}
+	an, err := s.node(anchor)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return s.engine.completer.SuggestTags(s.query, an.ID, axis, prefix, k), nil
+}
+
+// SuggestValues returns position-aware value candidates for the node with
+// the given handle.
+func (s *Session) SuggestValues(handle int, prefix string, k int) ([]complete.Candidate, error) {
+	n, err := s.node(handle)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return s.engine.completer.SuggestValues(s.query, n.ID, prefix, k), nil
+}
+
+// Query returns the current twig, normalized, or an error when the session
+// is empty or inconsistent.
+func (s *Session) Query() (*twig.Query, error) {
+	if s.query == nil {
+		return nil, fmt.Errorf("session: no query built yet")
+	}
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return s.query, nil
+}
+
+// XPath renders the current twig in the surface syntax.
+func (s *Session) XPath() (string, error) {
+	q, err := s.Query()
+	if err != nil {
+		return "", err
+	}
+	return q.String(), nil
+}
+
+// XQuery renders the current twig as the equivalent XQuery expression.
+func (s *Session) XQuery() (string, error) {
+	q, err := s.Query()
+	if err != nil {
+		return "", err
+	}
+	return q.ToXQuery(), nil
+}
+
+// Run evaluates the current twig.
+func (s *Session) Run(opts SearchOptions) (*SearchResult, error) {
+	q, err := s.Query()
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Search(q, opts)
+}
+
+func (s *Session) register(n *twig.Node) int {
+	h := s.nextH
+	s.nextH++
+	s.handles[h] = n
+	return h
+}
+
+func (s *Session) node(handle int) (*twig.Node, error) {
+	n, ok := s.handles[handle]
+	if !ok {
+		return nil, fmt.Errorf("session: unknown node handle %d", handle)
+	}
+	return n, nil
+}
+
+func (s *Session) normalize() error {
+	if s.query == nil {
+		return fmt.Errorf("session: no query built yet")
+	}
+	s.query.Order = nil
+	if err := s.query.Normalize(); err != nil {
+		return err
+	}
+	for _, pr := range s.orders {
+		s.query.Order = append(s.query.Order, twig.OrderConstraint{Before: pr[0].ID, After: pr[1].ID})
+	}
+	return nil
+}

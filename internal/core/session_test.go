@@ -1,0 +1,302 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lotusx/internal/complete"
+	"lotusx/internal/twig"
+)
+
+func TestSessionBuildsQueryInteractively(t *testing.T) {
+	e := mustEngine(t)
+	s := e.NewSession()
+
+	// Step 1: root suggestions before anything exists.
+	cands, err := s.SuggestTags(complete.NewRoot, twig.Descendant, "art", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Text != "article" {
+		t.Fatalf("root candidates = %+v", cands)
+	}
+
+	root, err := s.Root("article", twig.Descendant)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 2: grow a child; position-aware candidates for prefix "a".
+	cands, err = s.SuggestTags(root, twig.Child, "a", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Text != "author" {
+		t.Fatalf("child candidates = %+v", cands)
+	}
+	author, err := s.AddNode(root, twig.Child, "author")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 3: value completion on the author node.
+	vals, err := s.SuggestValues(author, "jia", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0].Text != "jiaheng lu" {
+		t.Fatalf("value candidates = %+v", vals)
+	}
+	if err := s.SetPredicate(author, twig.Eq, "jiaheng lu"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 4: add the output node.
+	title, err := s.AddNode(root, twig.Child, "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetOutput(title); err != nil {
+		t.Fatal(err)
+	}
+
+	// The session renders the query the user never had to write.
+	xp, err := s.XPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xp, "article") || !strings.Contains(xp, "jiaheng lu") {
+		t.Errorf("xpath = %q", xp)
+	}
+	xq, err := s.XQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xq, "for $v0") {
+		t.Errorf("xquery = %q", xq)
+	}
+
+	// Step 5: run.
+	res, err := s.Run(SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Fatalf("answers = %d, want 2", len(res.Answers))
+	}
+	d := e.Document()
+	for _, a := range res.Answers {
+		if d.TagName(a.Node) != "title" {
+			t.Errorf("answer tag = %q", d.TagName(a.Node))
+		}
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	e := mustEngine(t)
+	s := e.NewSession()
+
+	if _, err := s.Query(); err == nil {
+		t.Error("empty session should have no query")
+	}
+	if _, err := s.Run(SearchOptions{}); err == nil {
+		t.Error("empty session should not run")
+	}
+	if _, err := s.AddNode(42, twig.Child, "x"); err == nil {
+		t.Error("unknown handle should fail")
+	}
+	root, _ := s.Root("article", twig.Descendant)
+	if _, err := s.Root("again", twig.Descendant); err == nil {
+		t.Error("second root should fail")
+	}
+	if err := s.SetPredicate(999, twig.Eq, "x"); err == nil {
+		t.Error("unknown handle should fail")
+	}
+	if err := s.AddOrder(root, root); err == nil {
+		t.Error("self order should fail")
+	}
+}
+
+func TestSessionSetTagAfterSuggestion(t *testing.T) {
+	e := mustEngine(t)
+	s := e.NewSession()
+	root, _ := s.Root("article", twig.Descendant)
+	n, _ := s.AddNode(root, twig.Child, "placeholder")
+	if err := s.SetTag(n, "year"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(SearchOptions{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 3 {
+		t.Fatalf("answers = %d, want 3 articles with year", len(res.Answers))
+	}
+}
+
+func TestSessionOrderConstraintSurvivesGrowth(t *testing.T) {
+	e, err := FromReader("seq", strings.NewReader(
+		`<r><s><a/><b/><c/></s><s><b/><a/><c/></s></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	root, _ := s.Root("s", twig.Descendant)
+	a, _ := s.AddNode(root, twig.Child, "a")
+	b, _ := s.AddNode(root, twig.Child, "b")
+	if err := s.AddOrder(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Growing the twig after the constraint must not corrupt it.
+	if _, err := s.AddNode(root, twig.Child, "c"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(SearchOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("ordered answers = %d, want 1", len(res.Answers))
+	}
+}
+
+func TestSessionValueSuggestionsArePositionAware(t *testing.T) {
+	e, err := FromReader("shop", strings.NewReader(`<shop>
+	  <item><name>anvil</name></item>
+	  <person><name>alice</name></person>
+	</shop>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	root, _ := s.Root("person", twig.Descendant)
+	name, _ := s.AddNode(root, twig.Child, "name")
+	vals, err := s.SuggestValues(name, "a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0].Text != "alice" {
+		t.Fatalf("person/name values = %+v", vals)
+	}
+}
+
+func TestSessionRemoveNode(t *testing.T) {
+	e := mustEngine(t)
+	s := e.NewSession()
+	root, _ := s.Root("article", twig.Descendant)
+	author, _ := s.AddNode(root, twig.Child, "author")
+	year, _ := s.AddNode(root, twig.Child, "year")
+
+	if err := s.RemoveNode(year); err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("after removal Len = %d, want 2", q.Len())
+	}
+	// The removed handle is invalid now.
+	if err := s.SetPredicate(year, twig.Eq, "x"); err == nil {
+		t.Fatal("stale handle should fail")
+	}
+	// Other handles still work.
+	if err := s.SetPredicate(author, twig.Eq, "jiaheng lu"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(SearchOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Fatalf("answers = %d, want 2", len(res.Answers))
+	}
+}
+
+func TestSessionRemoveSubtreeDropsOrderAndHandles(t *testing.T) {
+	e, err := FromReader("seq", strings.NewReader(`<r><s><a/><b/></s></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	root, _ := s.Root("s", twig.Descendant)
+	a, _ := s.AddNode(root, twig.Child, "a")
+	b, _ := s.AddNode(root, twig.Child, "b")
+	sub, _ := s.AddNode(b, twig.Child, "x")
+	if err := s.AddOrder(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveNode(b); err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 2 || len(q.Order) != 0 {
+		t.Fatalf("after subtree removal: len=%d order=%d", q.Len(), len(q.Order))
+	}
+	if _, err := s.AddNode(sub, twig.Child, "y"); err == nil {
+		t.Fatal("handle inside removed subtree should be invalid")
+	}
+}
+
+func TestSessionRemoveRootRejected(t *testing.T) {
+	e := mustEngine(t)
+	s := e.NewSession()
+	root, _ := s.Root("article", twig.Descendant)
+	if err := s.RemoveNode(root); err == nil {
+		t.Fatal("removing the root should fail")
+	}
+	if err := s.RemoveNode(12345); err == nil {
+		t.Fatal("unknown handle should fail")
+	}
+}
+
+func TestSessionRemoveOutputNodeResetsOutput(t *testing.T) {
+	e := mustEngine(t)
+	s := e.NewSession()
+	root, _ := s.Root("article", twig.Descendant)
+	title, _ := s.AddNode(root, twig.Child, "title")
+	if err := s.SetOutput(title); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveNode(title); err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OutputNode() != q.Root {
+		t.Fatal("output should fall back to the root")
+	}
+}
+
+func TestSessionSetAxis(t *testing.T) {
+	e, err := FromReader("nest", strings.NewReader(`<r><a><m><b>x</b></m></a></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	root, _ := s.Root("a", twig.Descendant)
+	b, _ := s.AddNode(root, twig.Child, "b")
+	res, err := s.Run(SearchOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Fatal("child axis should not match the nested b")
+	}
+	if err := s.SetAxis(b, twig.Descendant); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(SearchOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("descendant axis answers = %d, want 1", len(res.Answers))
+	}
+}

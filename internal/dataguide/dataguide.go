@@ -1,0 +1,321 @@
+// Package dataguide builds the strong DataGuide structural summary LotusX's
+// position-aware features run on: one guide node per distinct root-to-node
+// label path in the document, annotated with occurrence counts and sample
+// values.  The guide answers the question at the core of position-aware
+// auto-completion — "which tags (and values) can occur at this position of
+// the partial twig?" — without touching the document.
+package dataguide
+
+import (
+	"sort"
+	"strings"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/twig"
+)
+
+// maxValuesPerPath caps the distinct values sampled per guide node; beyond
+// the cap new values are dropped but existing counters keep counting, so
+// frequent categorical values (the completion targets) stay accurate while
+// free-text paths degrade gracefully to tag-level completion.
+const maxValuesPerPath = 64
+
+// Node is one guide node: a distinct label path.
+type Node struct {
+	Tag      doc.TagID
+	Parent   *Node
+	Children map[doc.TagID]*Node
+	// Count is how many document nodes share this label path.
+	Count int
+	// Depth is the path length; the root element's guide node has depth 0.
+	Depth int
+
+	values      map[string]int
+	valuesFull  bool
+	subtreeTags map[doc.TagID]int // memoized by SubtreeTagCounts
+}
+
+// Guide is a strong DataGuide over one document.  It is immutable after
+// Build except for internal memoization, which is not synchronized: build
+// and warm it before sharing across goroutines (core.Engine does).
+type Guide struct {
+	root  *Node
+	byTag map[doc.TagID][]*Node
+	d     *doc.Document
+	size  int
+}
+
+// Build constructs the guide in one document traversal.
+func Build(d *doc.Document) *Guide {
+	g := &Guide{byTag: make(map[doc.TagID][]*Node), d: d}
+	g.root = g.newNode(d.Tag(d.Root()), nil, 0)
+
+	var walk func(n doc.NodeID, gn *Node)
+	walk = func(n doc.NodeID, gn *Node) {
+		gn.Count++
+		if v := d.Value(n); v != "" {
+			gn.addValue(strings.ToLower(v))
+		}
+		for c := d.FirstChild(n); c != doc.None; c = d.NextSibling(c) {
+			tag := d.Tag(c)
+			child := gn.Children[tag]
+			if child == nil {
+				child = g.newNode(tag, gn, gn.Depth+1)
+				gn.Children[tag] = child
+			}
+			walk(c, child)
+		}
+	}
+	walk(d.Root(), g.root)
+	return g
+}
+
+func (g *Guide) newNode(tag doc.TagID, parent *Node, depth int) *Node {
+	gn := &Node{
+		Tag:      tag,
+		Parent:   parent,
+		Children: make(map[doc.TagID]*Node),
+		Depth:    depth,
+		values:   make(map[string]int),
+	}
+	g.byTag[tag] = append(g.byTag[tag], gn)
+	g.size++
+	return gn
+}
+
+func (gn *Node) addValue(v string) {
+	if _, ok := gn.values[v]; !ok && len(gn.values) >= maxValuesPerPath {
+		gn.valuesFull = true
+		return
+	}
+	gn.values[v]++
+}
+
+// Root returns the guide node of the document root.
+func (g *Guide) Root() *Node { return g.root }
+
+// Size returns the number of guide nodes (distinct label paths).
+func (g *Guide) Size() int { return g.size }
+
+// Document returns the summarized document.
+func (g *Guide) Document() *doc.Document { return g.d }
+
+// NodesByTag returns the guide nodes with the given tag.
+func (g *Guide) NodesByTag(tag doc.TagID) []*Node { return g.byTag[tag] }
+
+// Path returns the guide node's label path, e.g. "/dblp/article/author".
+func (gn *Node) Path(tags *doc.TagDict) string {
+	var parts []string
+	for cur := gn; cur != nil; cur = cur.Parent {
+		parts = append(parts, tags.Name(cur.Tag))
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// ValueCount is a sampled value with its occurrence count.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// Values returns the node's sampled values, most frequent first
+// (lexicographic among ties).  ValuesTruncated reports whether the sample
+// hit the cap.
+func (gn *Node) Values() []ValueCount {
+	out := make([]ValueCount, 0, len(gn.values))
+	for v, c := range gn.values {
+		out = append(out, ValueCount{v, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// ValuesTruncated reports whether some values were dropped from the sample.
+func (gn *Node) ValuesTruncated() bool { return gn.valuesFull }
+
+// SubtreeTagCounts returns, for every tag occurring in this guide node's
+// subtree (the node excluded), the total document-node count.  The result is
+// memoized and shared; callers must not modify it.
+func (gn *Node) SubtreeTagCounts() map[doc.TagID]int {
+	if gn.subtreeTags != nil {
+		return gn.subtreeTags
+	}
+	acc := make(map[doc.TagID]int)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			acc[c.Tag] += c.Count
+			walk(c)
+		}
+	}
+	walk(gn)
+	gn.subtreeTags = acc
+	return acc
+}
+
+// Step is one constraint of a context path: reach a node tagged Tag via
+// Axis.  A Wildcard tag matches any guide node.
+type Step struct {
+	Axis twig.Axis
+	Tag  string // tag name or twig.Wildcard
+}
+
+// FindContext returns the guide nodes satisfying the chain of steps from the
+// document root.  The first step's Child axis anchors at the document root
+// element; Descendant matches the tag anywhere.  This is the positional
+// interpretation of a partial twig's root-to-focus path.
+func (g *Guide) FindContext(steps []Step) []*Node {
+	tags := g.d.Tags()
+	cur := map[*Node]struct{}{}
+	for i, st := range steps {
+		next := map[*Node]struct{}{}
+		match := func(gn *Node) bool {
+			if st.Tag == twig.Wildcard {
+				return true
+			}
+			id := tags.ID(st.Tag)
+			return id != doc.NoTag && gn.Tag == id
+		}
+		if i == 0 {
+			switch st.Axis {
+			case twig.Child:
+				if match(g.root) {
+					next[g.root] = struct{}{}
+				}
+			case twig.Descendant:
+				if st.Tag == twig.Wildcard {
+					g.walkAll(func(gn *Node) { next[gn] = struct{}{} })
+				} else if id := tags.ID(st.Tag); id != doc.NoTag {
+					for _, gn := range g.byTag[id] {
+						next[gn] = struct{}{}
+					}
+				}
+			}
+		} else {
+			for gn := range cur {
+				switch st.Axis {
+				case twig.Child:
+					if st.Tag == twig.Wildcard {
+						for _, c := range gn.Children {
+							next[c] = struct{}{}
+						}
+					} else if id := tags.ID(st.Tag); id != doc.NoTag {
+						if c := gn.Children[id]; c != nil {
+							next[c] = struct{}{}
+						}
+					}
+				case twig.Descendant:
+					var walk func(n *Node)
+					walk = func(n *Node) {
+						for _, c := range n.Children {
+							if match(c) {
+								next[c] = struct{}{}
+							}
+							walk(c)
+						}
+					}
+					walk(gn)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		cur = next
+	}
+	out := make([]*Node, 0, len(cur))
+	for gn := range cur {
+		out = append(out, gn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path(tags) < out[j].Path(tags) })
+	return out
+}
+
+func (g *Guide) walkAll(fn func(*Node)) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		fn(n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(g.root)
+}
+
+// CandidateTags aggregates the tags reachable from the given contexts via
+// axis: direct child tags for Child, all subtree tags for Descendant.  The
+// returned counts are document-node occurrence totals, the weights
+// completion ranks by.
+func (g *Guide) CandidateTags(contexts []*Node, axis twig.Axis) map[doc.TagID]int {
+	out := make(map[doc.TagID]int)
+	for _, gn := range contexts {
+		switch axis {
+		case twig.Child:
+			for tag, c := range gn.Children {
+				out[tag] += c.Count
+			}
+		case twig.Descendant:
+			for tag, cnt := range gn.SubtreeTagCounts() {
+				out[tag] += cnt
+			}
+		}
+	}
+	return out
+}
+
+// CandidateValues aggregates the sampled values of the given contexts,
+// most frequent first.
+func (g *Guide) CandidateValues(contexts []*Node) []ValueCount {
+	acc := make(map[string]int)
+	for _, gn := range contexts {
+		for v, c := range gn.values {
+			acc[v] += c
+		}
+	}
+	out := make([]ValueCount, 0, len(acc))
+	for v, c := range acc {
+		out = append(out, ValueCount{v, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// SiblingTags returns, for every guide node with the given tag, the tags of
+// its siblings (other children of its parents), with counts.  The rewrite
+// engine uses this to substitute a mistyped tag with one that occurs in the
+// same contexts.
+func (g *Guide) SiblingTags(tag doc.TagID) map[doc.TagID]int {
+	out := make(map[doc.TagID]int)
+	for _, gn := range g.byTag[tag] {
+		if gn.Parent == nil {
+			continue
+		}
+		for t, c := range gn.Parent.Children {
+			if t != tag {
+				out[t] += c.Count
+			}
+		}
+	}
+	return out
+}
+
+// Warm forces all memoized structures so a shared Guide is read-only
+// afterwards.
+func (g *Guide) Warm() {
+	g.walkAll(func(gn *Node) { gn.SubtreeTagCounts() })
+}

@@ -1,0 +1,264 @@
+package dataguide
+
+import (
+	"strings"
+	"testing"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/twig"
+)
+
+const bibXML = `<dblp>
+  <article key="a1">
+    <author>Jiaheng Lu</author>
+    <title>Holistic Twig Joins</title>
+    <year>2005</year>
+  </article>
+  <article key="a2">
+    <author>Chunbin Lin</author>
+    <author>Jiaheng Lu</author>
+    <title>LotusX</title>
+    <year>2012</year>
+  </article>
+  <book key="b1">
+    <author>Tok Wang Ling</author>
+    <title>XML Databases</title>
+    <chapter><title>Twigs</title></chapter>
+  </book>
+</dblp>`
+
+func mustGuide(t *testing.T, src string) *Guide {
+	t.Helper()
+	d, err := doc.FromString("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(d)
+}
+
+func TestGuideShape(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	// Distinct paths: /dblp, /dblp/article, /dblp/article/@key,
+	// /dblp/article/author, /dblp/article/title, /dblp/article/year,
+	// /dblp/book, /dblp/book/@key, /dblp/book/author, /dblp/book/title,
+	// /dblp/book/chapter, /dblp/book/chapter/title = 12.
+	if g.Size() != 12 {
+		t.Errorf("Size = %d, want 12", g.Size())
+	}
+	tags := g.Document().Tags()
+	if g.Root().Tag != tags.ID("dblp") || g.Root().Count != 1 {
+		t.Errorf("root = %+v", g.Root())
+	}
+}
+
+func TestGuideCounts(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	tags := g.Document().Tags()
+	art := g.Root().Children[tags.ID("article")]
+	if art == nil || art.Count != 2 {
+		t.Fatalf("article guide node = %+v", art)
+	}
+	au := art.Children[tags.ID("author")]
+	if au == nil || au.Count != 3 {
+		t.Fatalf("article/author count = %+v", au)
+	}
+	// title appears via three distinct paths.
+	if n := len(g.NodesByTag(tags.ID("title"))); n != 3 {
+		t.Errorf("title guide nodes = %d, want 3", n)
+	}
+}
+
+func TestGuidePathString(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	tags := g.Document().Tags()
+	var chapterTitle *Node
+	for _, gn := range g.NodesByTag(tags.ID("title")) {
+		if gn.Depth == 3 {
+			chapterTitle = gn
+		}
+	}
+	if chapterTitle == nil {
+		t.Fatal("chapter title path missing")
+	}
+	if got := chapterTitle.Path(tags); got != "/dblp/book/chapter/title" {
+		t.Errorf("path = %q", got)
+	}
+}
+
+func TestGuideValues(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	tags := g.Document().Tags()
+	art := g.Root().Children[tags.ID("article")]
+	au := art.Children[tags.ID("author")]
+	vals := au.Values()
+	if len(vals) != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+	if vals[0].Value != "jiaheng lu" || vals[0].Count != 2 {
+		t.Errorf("top value = %+v", vals[0])
+	}
+	if au.ValuesTruncated() {
+		t.Error("small sample should not be truncated")
+	}
+}
+
+func TestValueCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < maxValuesPerPath+10; i++ {
+		b.WriteString("<v>value")
+		b.WriteByte(byte('a' + i%26))
+		b.WriteByte(byte('a' + (i/26)%26))
+		b.WriteString("</v>")
+	}
+	b.WriteString("</r>")
+	g := mustGuide(t, b.String())
+	tags := g.Document().Tags()
+	vn := g.Root().Children[tags.ID("v")]
+	if len(vn.Values()) != maxValuesPerPath {
+		t.Errorf("sampled %d values, want %d", len(vn.Values()), maxValuesPerPath)
+	}
+	if !vn.ValuesTruncated() {
+		t.Error("truncation not flagged")
+	}
+}
+
+func TestSubtreeTagCounts(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	tags := g.Document().Tags()
+	book := g.Root().Children[tags.ID("book")]
+	counts := book.SubtreeTagCounts()
+	if counts[tags.ID("title")] != 2 { // direct + chapter title
+		t.Errorf("book subtree title count = %d, want 2", counts[tags.ID("title")])
+	}
+	if counts[tags.ID("year")] != 0 {
+		t.Errorf("book subtree should have no year")
+	}
+	root := g.Root().SubtreeTagCounts()
+	if root[tags.ID("author")] != 4 {
+		t.Errorf("root subtree author count = %d, want 4", root[tags.ID("author")])
+	}
+	// Memoized: repeated call returns the same map.
+	if &counts == nil || len(book.SubtreeTagCounts()) != len(counts) {
+		t.Error("memoization broken")
+	}
+}
+
+func TestFindContextRooted(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	ctx := g.FindContext([]Step{{twig.Child, "dblp"}, {twig.Child, "article"}})
+	if len(ctx) != 1 || ctx[0].Count != 2 {
+		t.Fatalf("ctx = %v", ctx)
+	}
+	if got := g.FindContext([]Step{{twig.Child, "article"}}); got != nil {
+		t.Error("/article should not match (root is dblp)")
+	}
+}
+
+func TestFindContextDescendant(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	tags := g.Document().Tags()
+	ctx := g.FindContext([]Step{{twig.Descendant, "title"}})
+	if len(ctx) != 3 {
+		t.Fatalf("//title contexts = %d, want 3", len(ctx))
+	}
+	ctx = g.FindContext([]Step{{twig.Descendant, "book"}, {twig.Descendant, "title"}})
+	if len(ctx) != 2 {
+		t.Fatalf("//book//title contexts = %d, want 2", len(ctx))
+	}
+	ctx = g.FindContext([]Step{{twig.Descendant, "book"}, {twig.Child, "title"}})
+	if len(ctx) != 1 || ctx[0].Path(tags) != "/dblp/book/title" {
+		t.Fatalf("//book/title ctx = %v", ctx)
+	}
+}
+
+func TestFindContextWildcard(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	ctx := g.FindContext([]Step{{twig.Descendant, "chapter"}, {twig.Child, twig.Wildcard}})
+	if len(ctx) != 1 {
+		t.Fatalf("chapter/* = %d contexts, want 1 (title)", len(ctx))
+	}
+	all := g.FindContext([]Step{{twig.Descendant, twig.Wildcard}})
+	if len(all) != g.Size() {
+		t.Fatalf("//* = %d, want %d", len(all), g.Size())
+	}
+}
+
+func TestFindContextMiss(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	if got := g.FindContext([]Step{{twig.Descendant, "nosuch"}}); got != nil {
+		t.Error("unknown tag should yield no context")
+	}
+	if got := g.FindContext([]Step{{twig.Descendant, "year"}, {twig.Child, "author"}}); got != nil {
+		t.Error("impossible nesting should yield no context")
+	}
+}
+
+func TestCandidateTags(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	tags := g.Document().Tags()
+	ctx := g.FindContext([]Step{{twig.Descendant, "article"}})
+	kids := g.CandidateTags(ctx, twig.Child)
+	if kids[tags.ID("author")] != 3 || kids[tags.ID("@key")] != 2 {
+		t.Errorf("article child tags = %v", kids)
+	}
+	if _, ok := kids[tags.ID("chapter")]; ok {
+		t.Error("chapter is not a child of article")
+	}
+	desc := g.CandidateTags(g.FindContext([]Step{{twig.Descendant, "book"}}), twig.Descendant)
+	if desc[tags.ID("title")] != 2 {
+		t.Errorf("book descendant title count = %d, want 2", desc[tags.ID("title")])
+	}
+}
+
+func TestCandidateValues(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	ctx := g.FindContext([]Step{{twig.Descendant, "author"}})
+	vals := g.CandidateValues(ctx)
+	if len(vals) != 3 {
+		t.Fatalf("author values = %v", vals)
+	}
+	if vals[0].Value != "jiaheng lu" || vals[0].Count != 2 {
+		t.Errorf("top author value = %+v", vals[0])
+	}
+}
+
+func TestSiblingTags(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	tags := g.Document().Tags()
+	sibs := g.SiblingTags(tags.ID("year"))
+	if _, ok := sibs[tags.ID("author")]; !ok {
+		t.Error("author should be a sibling tag of year")
+	}
+	if _, ok := sibs[tags.ID("year")]; ok {
+		t.Error("a tag is not its own sibling")
+	}
+	if _, ok := sibs[tags.ID("chapter")]; ok {
+		t.Error("chapter never co-occurs with year")
+	}
+}
+
+func TestWarm(t *testing.T) {
+	g := mustGuide(t, bibXML)
+	g.Warm()
+	g.walkAll(func(gn *Node) {
+		if gn.subtreeTags == nil {
+			t.Fatal("Warm left a node unmemoized")
+		}
+	})
+}
+
+func TestRecursiveDocumentGuide(t *testing.T) {
+	g := mustGuide(t, `<a><a><a><b/></a><b/></a></a>`)
+	tags := g.Document().Tags()
+	// Paths: /a, /a/a, /a/a/a, /a/a/a/b, /a/a/b — recursion unrolls per
+	// depth in a strong dataguide.
+	if g.Size() != 5 {
+		t.Errorf("Size = %d, want 5", g.Size())
+	}
+	ctx := g.FindContext([]Step{{twig.Descendant, "a"}, {twig.Child, "b"}})
+	if len(ctx) != 2 {
+		t.Errorf("//a/b contexts = %d, want 2", len(ctx))
+	}
+	_ = tags
+}

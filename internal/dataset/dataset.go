@@ -1,0 +1,125 @@
+// Package dataset generates the synthetic stand-ins for the datasets the
+// LotusX demo ran on.  The real DBLP, XMark and TreeBank files are not
+// available offline, so three deterministic generators reproduce the
+// structural properties that matter for twig evaluation and completion:
+//
+//   - dblp: a shallow, wide bibliography with repetitive entry shapes, a
+//     small tag vocabulary, and skewed value frequencies (author names
+//     recur) — the auto-completion showcase.
+//   - xmark: an auction site with moderate depth, many entity kinds,
+//     cross-entity attributes and free-text descriptions — the general twig
+//     workload.
+//   - treebank: deeply recursive grammar trees with the same tags nested
+//     many levels (S, NP, VP, ...) — the stress case for stack-based joins
+//     and order-sensitive queries.
+//
+// Generators are deterministic in (kind, scale, seed); documents grow
+// linearly with scale.
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"lotusx/internal/doc"
+)
+
+// Kind names a generator.
+type Kind string
+
+// The available dataset kinds.
+const (
+	DBLP     Kind = "dblp"
+	XMark    Kind = "xmark"
+	TreeBank Kind = "treebank"
+)
+
+// Kinds lists all generators.
+var Kinds = []Kind{DBLP, XMark, TreeBank}
+
+// Generate writes a synthetic document of the given kind and scale to w.
+// Scale 1 produces on the order of 10k-40k nodes depending on the kind.
+func Generate(kind Kind, scale int, seed int64, w io.Writer) error {
+	if scale < 1 {
+		return fmt.Errorf("dataset: scale must be >= 1, got %d", scale)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	rng := rand.New(rand.NewSource(seed))
+	var err error
+	switch kind {
+	case DBLP:
+		err = genDBLP(bw, rng, scale)
+	case XMark:
+		err = genXMark(bw, rng, scale)
+	case TreeBank:
+		err = genTreeBank(bw, rng, scale)
+	default:
+		return fmt.Errorf("dataset: unknown kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Build generates a document of the given kind in memory and parses it.
+func Build(kind Kind, scale int, seed int64) (*doc.Document, error) {
+	var buf bytes.Buffer
+	if err := Generate(kind, scale, seed, &buf); err != nil {
+		return nil, err
+	}
+	return doc.FromReader(fmt.Sprintf("%s-s%d", kind, scale), &buf)
+}
+
+// --- shared vocabulary ---
+
+var firstNames = []string{
+	"wei", "jiaheng", "chunbin", "mary", "john", "bogdan", "tok", "anna",
+	"li", "david", "elena", "marco", "yuki", "priya", "omar", "sofia",
+}
+
+var lastNames = []string{
+	"lu", "lin", "ling", "cautis", "smith", "zhang", "garcia", "tanaka",
+	"mueller", "ivanov", "rossi", "chen", "patel", "kim", "olsen", "silva",
+}
+
+var titleWords = []string{
+	"xml", "twig", "query", "holistic", "join", "index", "search", "graph",
+	"stream", "pattern", "structural", "ranking", "adaptive", "efficient",
+	"scalable", "distributed", "semantic", "keyword", "schema", "path",
+}
+
+var venueWords = []string{
+	"sigmod", "vldb", "icde", "edbt", "cikm", "www", "kdd", "tods",
+}
+
+var descWords = []string{
+	"vintage", "rare", "excellent", "condition", "shipping", "included",
+	"original", "collector", "edition", "antique", "modern", "classic",
+	"handmade", "limited", "signed", "restored",
+}
+
+var cities = []string{
+	"beijing", "paris", "boston", "tokyo", "berlin", "sydney", "cairo",
+	"toronto", "madrid", "seoul",
+}
+
+func pick(rng *rand.Rand, pool []string) string { return pool[rng.Intn(len(pool))] }
+
+func personName(rng *rand.Rand) string {
+	return pick(rng, firstNames) + " " + pick(rng, lastNames)
+}
+
+func phrase(rng *rand.Rand, pool []string, n int) string {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(pick(rng, pool))
+	}
+	return b.String()
+}

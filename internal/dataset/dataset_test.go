@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/index"
+	"lotusx/internal/join"
+	"lotusx/internal/twig"
+)
+
+func TestGenerateAllKindsParse(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			d, err := Build(kind, 1, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Len() < 5000 {
+				t.Errorf("%s scale 1 = %d nodes, want >= 5000", kind, d.Len())
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, kind := range Kinds {
+		var a, b bytes.Buffer
+		if err := Generate(kind, 1, 7, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := Generate(kind, 1, 7, &b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s not deterministic", kind)
+		}
+		var c bytes.Buffer
+		if err := Generate(kind, 1, 8, &c); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a.Bytes(), c.Bytes()) {
+			t.Errorf("%s ignores the seed", kind)
+		}
+	}
+}
+
+func TestScaleGrowsLinearly(t *testing.T) {
+	d1, err := Build(DBLP, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := Build(DBLP, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(d3.Len()) / float64(d1.Len())
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("scale 3 / scale 1 node ratio = %f, want ~3", ratio)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Generate(Kind("nope"), 1, 1, &buf); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if err := Generate(DBLP, 0, 1, &buf); err == nil {
+		t.Error("scale 0 should fail")
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	d, err := Build(DBLP, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(d)
+	tags := d.Tags()
+	for _, tag := range []string{"dblp", "article", "inproceedings", "book",
+		"phdthesis", "author", "title", "year", "@key", "@mdate"} {
+		if tags.ID(tag) == doc.NoTag {
+			t.Errorf("dblp missing tag %q", tag)
+		}
+	}
+	// Author names recur: the completion showcase needs skew.
+	if df := ix.DF("lu"); df < 50 {
+		t.Errorf("author token df = %d, want heavy recurrence", df)
+	}
+	// Real twig queries return work.
+	res, err := join.Run(ix, twig.MustParse(`//article[author][year]/title`), join.TwigStack, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) < 100 {
+		t.Errorf("canonical dblp query matched %d, want plenty", len(res.Matches))
+	}
+}
+
+func TestXMarkShape(t *testing.T) {
+	d, err := Build(XMark, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(d)
+	tags := d.Tags()
+	for _, tag := range []string{"site", "regions", "item", "person",
+		"open_auction", "closed_auction", "bidder", "increase", "@id",
+		"profile", "description"} {
+		if tags.ID(tag) == doc.NoTag {
+			t.Errorf("xmark missing tag %q", tag)
+		}
+	}
+	// Bidder sequences exist (order-sensitive workload).
+	res, err := join.Run(ix, twig.MustParse(`//open_auction[bidder << current]`), join.TwigStack, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 {
+		t.Error("no auctions with bidders before current")
+	}
+	// Items are moderately deep.
+	itemDepth := false
+	for _, n := range ix.Nodes(tags.ID("text")) {
+		if d.Region(n).Level >= 4 {
+			itemDepth = true
+			break
+		}
+	}
+	if !itemDepth {
+		t.Error("xmark lacks nested description text")
+	}
+}
+
+func TestTreeBankShape(t *testing.T) {
+	d, err := Build(TreeBank, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := d.Tags()
+	for _, tag := range []string{"FILE", "S", "NP", "VP", "PP", "NN", "VB", "SBAR"} {
+		if tags.ID(tag) == doc.NoTag {
+			t.Errorf("treebank missing tag %q", tag)
+		}
+	}
+	// Recursion: some NP nested at level >= 8.
+	ix := index.Build(d)
+	deep := false
+	for _, n := range ix.Nodes(tags.ID("NP")) {
+		if d.Region(n).Level >= 8 {
+			deep = true
+			break
+		}
+	}
+	if !deep {
+		t.Error("treebank lacks deep recursion")
+	}
+	// Recursive twig works: S inside S.
+	res, err := join.Run(ix, twig.MustParse(`//S//S`), join.TwigStack, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 {
+		t.Error("no nested sentences")
+	}
+}
+
+func TestBuildNameEncodesKindAndScale(t *testing.T) {
+	d, err := Build(DBLP, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Name(), "dblp") || !strings.Contains(d.Name(), "2") {
+		t.Errorf("name = %q", d.Name())
+	}
+}

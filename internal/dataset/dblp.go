@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+)
+
+// genDBLP emits a bibliography: wide, shallow, repetitive — scale 1 is
+// ~1200 entries (~10k nodes).  Entry kinds follow DBLP's skew: mostly
+// inproceedings and articles, few books and theses.
+func genDBLP(w *bufio.Writer, rng *rand.Rand, scale int) error {
+	entries := 1200 * scale
+	w.WriteString("<dblp>\n")
+	for i := 0; i < entries; i++ {
+		kind := "inproceedings"
+		switch r := rng.Intn(100); {
+		case r < 40:
+			kind = "article"
+		case r < 90:
+			kind = "inproceedings"
+		case r < 97:
+			kind = "book"
+		default:
+			kind = "phdthesis"
+		}
+		fmt.Fprintf(w, "  <%s key=\"%s/%d\" mdate=\"20%02d-%02d-%02d\">\n",
+			kind, kind[:2], i, 10+rng.Intn(14), 1+rng.Intn(12), 1+rng.Intn(28))
+		nauth := 1 + rng.Intn(4)
+		if kind == "phdthesis" {
+			nauth = 1
+		}
+		for a := 0; a < nauth; a++ {
+			fmt.Fprintf(w, "    <author>%s</author>\n", personName(rng))
+		}
+		fmt.Fprintf(w, "    <title>%s</title>\n", phrase(rng, titleWords, 3+rng.Intn(5)))
+		fmt.Fprintf(w, "    <year>%d</year>\n", 1995+rng.Intn(18))
+		switch kind {
+		case "article":
+			fmt.Fprintf(w, "    <journal>%s journal</journal>\n", pick(rng, venueWords))
+			fmt.Fprintf(w, "    <volume>%d</volume>\n", 1+rng.Intn(40))
+			fmt.Fprintf(w, "    <pages>%d-%d</pages>\n", 1+rng.Intn(400), 401+rng.Intn(100))
+		case "inproceedings":
+			fmt.Fprintf(w, "    <booktitle>%s</booktitle>\n", pick(rng, venueWords))
+			fmt.Fprintf(w, "    <pages>%d-%d</pages>\n", 1+rng.Intn(400), 401+rng.Intn(100))
+			if rng.Intn(3) == 0 {
+				fmt.Fprintf(w, "    <ee>https://doi.example/%d</ee>\n", i)
+			}
+		case "book":
+			fmt.Fprintf(w, "    <publisher>%s press</publisher>\n", pick(rng, cities))
+			fmt.Fprintf(w, "    <isbn>978-%09d</isbn>\n", rng.Intn(1e9))
+		case "phdthesis":
+			fmt.Fprintf(w, "    <school>university of %s</school>\n", pick(rng, cities))
+		}
+		if rng.Intn(4) == 0 {
+			fmt.Fprintf(w, "    <cite>%s/%d</cite>\n", kind[:2], rng.Intn(entries))
+		}
+		fmt.Fprintf(w, "  </%s>\n", kind)
+	}
+	w.WriteString("</dblp>\n")
+	return nil
+}

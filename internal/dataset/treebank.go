@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+)
+
+// genTreeBank emits deeply recursive parse trees in the spirit of the Penn
+// TreeBank XML encoding: sentences expand through a small probabilistic
+// grammar whose nonterminals (S, NP, VP, PP, SBAR, ADJP) nest recursively —
+// the same tag many levels deep, which is where holistic stack joins shine
+// and naive matching degenerates.  Scale 1 is ~400 sentences (~20k nodes).
+func genTreeBank(w *bufio.Writer, rng *rand.Rand, scale int) error {
+	sentences := 400 * scale
+	w.WriteString("<FILE>\n")
+	for i := 0; i < sentences; i++ {
+		w.WriteString("  <EMPTY>\n")
+		genS(w, rng, 0)
+		w.WriteString("  </EMPTY>\n")
+	}
+	w.WriteString("</FILE>\n")
+	return nil
+}
+
+var nouns = []string{"cat", "dog", "report", "market", "price", "company", "plan", "share"}
+var verbs = []string{"sees", "buys", "sells", "reads", "writes", "holds", "moves", "finds"}
+var preps = []string{"in", "on", "with", "under", "over"}
+var adjs = []string{"quick", "lazy", "big", "new", "old", "public"}
+
+// genS emits an S subtree; depth bounds the recursion.
+func genS(w *bufio.Writer, rng *rand.Rand, depth int) {
+	w.WriteString("<S>")
+	genNP(w, rng, depth+1)
+	genVP(w, rng, depth+1)
+	if depth < 3 && rng.Intn(4) == 0 {
+		// Subordinate clause: S recurses through SBAR.
+		w.WriteString("<SBAR>")
+		genS(w, rng, depth+2)
+		w.WriteString("</SBAR>")
+	}
+	w.WriteString("</S>\n")
+}
+
+func genNP(w *bufio.Writer, rng *rand.Rand, depth int) {
+	w.WriteString("<NP>")
+	if depth < 8 && rng.Intn(3) == 0 {
+		fmt.Fprintf(w, "<ADJP><JJ>%s</JJ></ADJP>", pick(rng, adjs))
+	}
+	fmt.Fprintf(w, "<NN>%s</NN>", pick(rng, nouns))
+	if depth < 10 && rng.Intn(3) == 0 {
+		genPP(w, rng, depth+1)
+	}
+	w.WriteString("</NP>")
+}
+
+func genVP(w *bufio.Writer, rng *rand.Rand, depth int) {
+	w.WriteString("<VP>")
+	fmt.Fprintf(w, "<VB>%s</VB>", pick(rng, verbs))
+	if depth < 10 {
+		switch rng.Intn(3) {
+		case 0:
+			genNP(w, rng, depth+1)
+		case 1:
+			genNP(w, rng, depth+1)
+			genPP(w, rng, depth+1)
+		}
+	}
+	w.WriteString("</VP>")
+}
+
+func genPP(w *bufio.Writer, rng *rand.Rand, depth int) {
+	w.WriteString("<PP>")
+	fmt.Fprintf(w, "<IN>%s</IN>", pick(rng, preps))
+	genNP(w, rng, depth+1)
+	w.WriteString("</PP>")
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+)
+
+// genXMark emits an auction site modeled on the XMark benchmark schema:
+// regions with items, people with profiles, open auctions with bidder
+// sequences (document order matters: bids arrive chronologically, the
+// order-sensitive query workload), and closed auctions.  Scale 1 is ~300
+// items / 150 people / 120 auctions (~15k nodes).
+func genXMark(w *bufio.Writer, rng *rand.Rand, scale int) error {
+	items := 300 * scale
+	people := 150 * scale
+	open := 120 * scale
+	closed := 80 * scale
+	regions := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+	w.WriteString("<site>\n  <regions>\n")
+	for _, region := range regions {
+		fmt.Fprintf(w, "    <%s>\n", region)
+		for i := 0; i < items/len(regions); i++ {
+			id := itemID(region, i)
+			fmt.Fprintf(w, "      <item id=\"%s\">\n", id)
+			fmt.Fprintf(w, "        <name>%s</name>\n", phrase(rng, descWords, 2))
+			fmt.Fprintf(w, "        <location>%s</location>\n", pick(rng, cities))
+			fmt.Fprintf(w, "        <quantity>%d</quantity>\n", 1+rng.Intn(5))
+			w.WriteString("        <description><text>")
+			w.WriteString(phrase(rng, descWords, 4+rng.Intn(8)))
+			w.WriteString("</text></description>\n")
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(w, "        <payment>%s</payment>\n", pick(rng, []string{"cash", "check", "credit"}))
+			}
+			if rng.Intn(3) == 0 {
+				w.WriteString("        <shipping>worldwide</shipping>\n")
+			}
+			w.WriteString("      </item>\n")
+		}
+		fmt.Fprintf(w, "    </%s>\n", region)
+	}
+	w.WriteString("  </regions>\n  <people>\n")
+	for i := 0; i < people; i++ {
+		fmt.Fprintf(w, "    <person id=\"person%d\">\n", i)
+		fmt.Fprintf(w, "      <name>%s</name>\n", personName(rng))
+		fmt.Fprintf(w, "      <emailaddress>mailto:p%d@example.net</emailaddress>\n", i)
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(w, "      <phone>+%d</phone>\n", 1000000+rng.Intn(9000000))
+		}
+		if rng.Intn(3) != 0 {
+			w.WriteString("      <profile>\n")
+			fmt.Fprintf(w, "        <age>%d</age>\n", 18+rng.Intn(60))
+			fmt.Fprintf(w, "        <income>%d</income>\n", 20000+rng.Intn(80000))
+			for j := 0; j < rng.Intn(3); j++ {
+				fmt.Fprintf(w, "        <interest category=\"cat%d\"/>\n", rng.Intn(20))
+			}
+			w.WriteString("      </profile>\n")
+		}
+		if rng.Intn(4) == 0 {
+			w.WriteString("      <watches>\n")
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				fmt.Fprintf(w, "        <watch open_auction=\"auction%d\"/>\n", rng.Intn(open))
+			}
+			w.WriteString("      </watches>\n")
+		}
+		w.WriteString("    </person>\n")
+	}
+	w.WriteString("  </people>\n  <open_auctions>\n")
+	for i := 0; i < open; i++ {
+		region := regions[rng.Intn(len(regions))]
+		fmt.Fprintf(w, "    <open_auction id=\"auction%d\">\n", i)
+		fmt.Fprintf(w, "      <initial>%d.%02d</initial>\n", 1+rng.Intn(200), rng.Intn(100))
+		// Bidders are emitted in chronological (document) order: each
+		// increase follows its date — the order-sensitive workload.
+		price := 1 + rng.Intn(200)
+		for b := 0; b < rng.Intn(5); b++ {
+			w.WriteString("      <bidder>\n")
+			fmt.Fprintf(w, "        <date>%02d/%02d/2011</date>\n", 1+rng.Intn(12), 1+rng.Intn(28))
+			fmt.Fprintf(w, "        <personref person=\"person%d\"/>\n", rng.Intn(people))
+			price += 1 + rng.Intn(20)
+			fmt.Fprintf(w, "        <increase>%d.00</increase>\n", price)
+			w.WriteString("      </bidder>\n")
+		}
+		fmt.Fprintf(w, "      <current>%d.00</current>\n", price)
+		fmt.Fprintf(w, "      <itemref item=\"%s\"/>\n", itemID(region, rng.Intn(items/len(regions)+1)))
+		fmt.Fprintf(w, "      <seller person=\"person%d\"/>\n", rng.Intn(people))
+		fmt.Fprintf(w, "      <quantity>%d</quantity>\n", 1+rng.Intn(3))
+		w.WriteString("    </open_auction>\n")
+	}
+	w.WriteString("  </open_auctions>\n  <closed_auctions>\n")
+	for i := 0; i < closed; i++ {
+		region := regions[rng.Intn(len(regions))]
+		w.WriteString("    <closed_auction>\n")
+		fmt.Fprintf(w, "      <seller person=\"person%d\"/>\n", rng.Intn(people))
+		fmt.Fprintf(w, "      <buyer person=\"person%d\"/>\n", rng.Intn(people))
+		fmt.Fprintf(w, "      <itemref item=\"%s\"/>\n", itemID(region, rng.Intn(items/len(regions)+1)))
+		fmt.Fprintf(w, "      <price>%d.00</price>\n", 5+rng.Intn(500))
+		fmt.Fprintf(w, "      <date>%02d/%02d/2011</date>\n", 1+rng.Intn(12), 1+rng.Intn(28))
+		if rng.Intn(2) == 0 {
+			w.WriteString("      <annotation><description><text>")
+			w.WriteString(phrase(rng, descWords, 3+rng.Intn(5)))
+			w.WriteString("</text></description></annotation>\n")
+		}
+		w.WriteString("    </closed_auction>\n")
+	}
+	w.WriteString("  </closed_auctions>\n</site>\n")
+	return nil
+}
+
+func itemID(region string, i int) string {
+	return fmt.Sprintf("item_%s_%d", region, i)
+}

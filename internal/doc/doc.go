@@ -1,0 +1,301 @@
+// Package doc implements the in-memory XML document store used by all LotusX
+// indexes.  A Document is built in a single streaming pass over the parser's
+// events: every element and attribute becomes a node with a containment
+// region label and a Dewey label, attributes are modeled as children tagged
+// "@name" (the convention of the twig-join literature, so query predicates
+// treat them uniformly), and each node's value is the concatenation of its
+// direct text children.
+package doc
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"lotusx/internal/labeling"
+	"lotusx/internal/xmlparse"
+)
+
+// NodeID identifies a node within its Document.  Node IDs are assigned in
+// document order: NodeID(i) is the i-th node in preorder.
+type NodeID int32
+
+// None is the NodeID used where no node applies (e.g. the root's parent).
+const None NodeID = -1
+
+// TagID is an interned tag name.  Attribute tags carry a leading '@'.
+type TagID int32
+
+// NoTag is returned by TagDict.ID for names that do not occur in the
+// document.
+const NoTag TagID = -1
+
+// Kind discriminates node kinds.
+type Kind uint8
+
+const (
+	// Element is an XML element node.
+	Element Kind = iota
+	// Attribute is an attribute node, tagged "@name", holding the attribute
+	// value.
+	Attribute
+)
+
+// TagDict interns tag names.  It is immutable after the owning Document is
+// built and safe for concurrent readers.
+type TagDict struct {
+	byName map[string]TagID
+	names  []string
+}
+
+func newTagDict() *TagDict {
+	return &TagDict{byName: make(map[string]TagID)}
+}
+
+func (d *TagDict) intern(name string) TagID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := TagID(len(d.names))
+	d.names = append(d.names, name)
+	d.byName[name] = id
+	return id
+}
+
+// ID returns the TagID of name, or NoTag if the name never occurs.
+func (d *TagDict) ID(name string) TagID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	return NoTag
+}
+
+// Name returns the name of tag id.
+func (d *TagDict) Name(id TagID) string { return d.names[id] }
+
+// Len returns the number of distinct tags.
+func (d *TagDict) Len() int { return len(d.names) }
+
+// node is the per-node record.  Child links let the server render subtrees
+// without scanning; parent links let ranking walk upward.
+type node struct {
+	tag         TagID
+	kind        Kind
+	region      labeling.Region
+	parent      NodeID
+	firstChild  NodeID
+	nextSibling NodeID
+}
+
+// Document is an immutable labeled XML document.
+type Document struct {
+	name   string
+	tags   *TagDict
+	nodes  []node
+	values []string // direct-text value per node; "" when absent
+	dewey  *labeling.DeweyArena
+}
+
+// Name returns the document's name (typically the source file name).
+func (d *Document) Name() string { return d.name }
+
+// Tags returns the document's tag dictionary.
+func (d *Document) Tags() *TagDict { return d.tags }
+
+// Len returns the number of nodes.
+func (d *Document) Len() int { return len(d.nodes) }
+
+// Root returns the document root element.
+func (d *Document) Root() NodeID { return 0 }
+
+// Tag returns the tag of node n.
+func (d *Document) Tag(n NodeID) TagID { return d.nodes[n].tag }
+
+// TagName returns the tag name of node n.
+func (d *Document) TagName(n NodeID) string { return d.tags.Name(d.nodes[n].tag) }
+
+// Kind returns the kind of node n.
+func (d *Document) Kind(n NodeID) Kind { return d.nodes[n].kind }
+
+// Region returns the containment label of node n.
+func (d *Document) Region(n NodeID) labeling.Region { return d.nodes[n].region }
+
+// Dewey returns the Dewey label of node n.  The result aliases internal
+// storage and must not be modified.
+func (d *Document) Dewey(n NodeID) labeling.Dewey { return d.dewey.At(int32(n)) }
+
+// Parent returns the parent of node n, or None for the root.
+func (d *Document) Parent(n NodeID) NodeID { return d.nodes[n].parent }
+
+// Value returns the node's own text value: for elements, the concatenated
+// direct text children (whitespace-trimmed); for attributes, the attribute
+// value.
+func (d *Document) Value(n NodeID) string { return d.values[n] }
+
+// Children returns the children of node n in document order, appended to
+// dst.
+func (d *Document) Children(n NodeID, dst []NodeID) []NodeID {
+	for c := d.nodes[n].firstChild; c != None; c = d.nodes[c].nextSibling {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// FirstChild returns n's first child, or None.
+func (d *Document) FirstChild(n NodeID) NodeID { return d.nodes[n].firstChild }
+
+// NextSibling returns n's next sibling, or None.
+func (d *Document) NextSibling(n NodeID) NodeID { return d.nodes[n].nextSibling }
+
+// IsAncestor reports whether a is a proper ancestor of b.
+func (d *Document) IsAncestor(a, b NodeID) bool {
+	return d.nodes[a].region.IsAncestor(d.nodes[b].region)
+}
+
+// SubtreeSize returns the number of nodes in n's subtree, n included.
+// Because IDs are preorder, a subtree is a contiguous ID range.
+func (d *Document) SubtreeSize(n NodeID) int {
+	end := d.nodes[n].region.End
+	i := int(n) + 1
+	for i < len(d.nodes) && d.nodes[i].region.Start < end {
+		i++
+	}
+	return i - int(n)
+}
+
+// Path returns the tag-name path from the root to n, e.g.
+// "/dblp/article/author".
+func (d *Document) Path(n NodeID) string {
+	var parts []string
+	for cur := n; cur != None; cur = d.nodes[cur].parent {
+		parts = append(parts, d.TagName(cur))
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// FromReader parses src into a Document named name.
+func FromReader(name string, src io.Reader) (*Document, error) {
+	p := xmlparse.NewParser(src)
+	return build(name, p)
+}
+
+// FromString parses src into a Document, convenient in tests.
+func FromString(name, src string) (*Document, error) {
+	return FromReader(name, strings.NewReader(src))
+}
+
+func build(name string, p *xmlparse.Parser) (*Document, error) {
+	d := &Document{
+		name:  name,
+		tags:  newTagDict(),
+		dewey: labeling.NewDeweyArena(1024, 6),
+	}
+	ra := labeling.NewAssigner()
+	da := labeling.NewDeweyAssigner()
+
+	type openElem struct {
+		id        NodeID
+		lastChild NodeID
+		text      strings.Builder
+	}
+	var stack []*openElem
+
+	appendChild := func(parent *openElem, id NodeID) {
+		if parent == nil {
+			return
+		}
+		if parent.lastChild == None {
+			d.nodes[parent.id].firstChild = id
+		} else {
+			d.nodes[parent.lastChild].nextSibling = id
+		}
+		parent.lastChild = id
+	}
+
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case xmlparse.StartElement:
+			start, level := ra.Enter()
+			dl := da.Enter()
+			id := NodeID(len(d.nodes))
+			var parent *openElem
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+			}
+			pid := None
+			if parent != nil {
+				pid = parent.id
+			}
+			d.nodes = append(d.nodes, node{
+				tag:         d.tags.intern(ev.Name),
+				kind:        Element,
+				region:      labeling.Region{Start: start, Level: level}, // End filled on close
+				parent:      pid,
+				firstChild:  None,
+				nextSibling: None,
+			})
+			d.values = append(d.values, "")
+			d.dewey.Append(dl)
+			appendChild(parent, id)
+			stack = append(stack, &openElem{id: id, lastChild: None})
+
+			// Attribute nodes are synthesized as immediate children, each
+			// with its own (zero-width-subtree) region and Dewey label.
+			self := stack[len(stack)-1]
+			for _, a := range ev.Attrs {
+				ra.Enter()
+				adl := da.Enter()
+				aid := NodeID(len(d.nodes))
+				areg := ra.Leave()
+				da.Leave()
+				d.nodes = append(d.nodes, node{
+					tag:         d.tags.intern("@" + a.Name),
+					kind:        Attribute,
+					region:      areg,
+					parent:      id,
+					firstChild:  None,
+					nextSibling: None,
+				})
+				d.values = append(d.values, a.Value)
+				d.dewey.Append(adl)
+				appendChild(self, aid)
+			}
+
+		case xmlparse.EndElement:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			reg := ra.Leave()
+			da.Leave()
+			d.nodes[top.id].region = reg
+			d.values[top.id] = strings.TrimSpace(top.text.String())
+
+		case xmlparse.Text:
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if top.text.Len() > 0 {
+					top.text.WriteByte(' ')
+				}
+				top.text.WriteString(strings.TrimSpace(ev.Value))
+			}
+
+		case xmlparse.Comment, xmlparse.ProcInst:
+			// Comments and PIs carry no query-relevant content.
+		}
+	}
+	if len(d.nodes) == 0 {
+		return nil, fmt.Errorf("doc: %s: empty document", name)
+	}
+	return d, nil
+}

@@ -1,0 +1,88 @@
+package doc
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// escape writes s with the XML special characters replaced by entities.
+var escaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+)
+
+// WriteXML serializes the subtree rooted at n as indented XML.  Attribute
+// children are rendered as attributes; element values are rendered as a
+// single text child.  The output is a faithful, query-equivalent rendering,
+// not byte-identical to the original (comments, PIs and text layout were not
+// retained).
+func (d *Document) WriteXML(w io.Writer, n NodeID) error {
+	bw := bufio.NewWriter(w)
+	d.writeNode(bw, n, 0)
+	return bw.Flush()
+}
+
+func (d *Document) writeNode(bw *bufio.Writer, n NodeID, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if d.Kind(n) == Attribute {
+		// An attribute node rendered on its own (e.g. as a query answer)
+		// has no element form; show it as name="value".
+		bw.WriteString(indent)
+		bw.WriteString(d.TagName(n)[1:])
+		bw.WriteString(`="`)
+		escaper.WriteString(bw, d.Value(n))
+		bw.WriteString("\"\n")
+		return
+	}
+	bw.WriteString(indent)
+	bw.WriteByte('<')
+	bw.WriteString(d.TagName(n))
+
+	var elemKids []NodeID
+	for c := d.FirstChild(n); c != None; c = d.NextSibling(c) {
+		if d.Kind(c) == Attribute {
+			bw.WriteByte(' ')
+			bw.WriteString(d.TagName(c)[1:]) // strip '@'
+			bw.WriteString(`="`)
+			escaper.WriteString(bw, d.Value(c))
+			bw.WriteByte('"')
+		} else {
+			elemKids = append(elemKids, c)
+		}
+	}
+
+	value := d.Value(n)
+	if len(elemKids) == 0 && value == "" {
+		bw.WriteString("/>\n")
+		return
+	}
+	bw.WriteByte('>')
+	if len(elemKids) == 0 {
+		escaper.WriteString(bw, value)
+		bw.WriteString("</")
+		bw.WriteString(d.TagName(n))
+		bw.WriteString(">\n")
+		return
+	}
+	bw.WriteByte('\n')
+	if value != "" {
+		bw.WriteString(indent)
+		bw.WriteString("  ")
+		escaper.WriteString(bw, value)
+		bw.WriteByte('\n')
+	}
+	for _, c := range elemKids {
+		d.writeNode(bw, c, depth+1)
+	}
+	bw.WriteString(indent)
+	bw.WriteString("</")
+	bw.WriteString(d.TagName(n))
+	bw.WriteString(">\n")
+}
+
+// XMLString renders the subtree rooted at n to a string.
+func (d *Document) XMLString(n NodeID) string {
+	var b strings.Builder
+	d.WriteXML(&b, n)
+	return b.String()
+}

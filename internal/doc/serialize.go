@@ -1,0 +1,185 @@
+package doc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lotusx/internal/labeling"
+)
+
+// Binary layout (all integers little-endian):
+//
+//	magic "LTXD" | version u32 | name | tag dict | node table | values | dewey
+//
+// Strings are u32 length + bytes.  The format is a cache, not an exchange
+// format: Load rejects any version other than the one Save writes.
+const (
+	docMagic   = "LTXD"
+	docVersion = 1
+)
+
+type countingWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (cw *countingWriter) u32(v uint32) {
+	if cw.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, cw.err = cw.w.Write(b[:])
+}
+
+func (cw *countingWriter) i32(v int32) { cw.u32(uint32(v)) }
+
+func (cw *countingWriter) str(s string) {
+	cw.u32(uint32(len(s)))
+	if cw.err != nil {
+		return
+	}
+	_, cw.err = cw.w.WriteString(s)
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (rd *reader) u32() uint32 {
+	if rd.err != nil {
+		return 0
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(rd.r, b[:]); err != nil {
+		rd.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (rd *reader) i32() int32 { return int32(rd.u32()) }
+
+func (rd *reader) str() string {
+	n := rd.u32()
+	if rd.err != nil {
+		return ""
+	}
+	if n > 1<<30 {
+		rd.err = fmt.Errorf("doc: corrupt string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, b); err != nil {
+		rd.err = err
+		return ""
+	}
+	return string(b)
+}
+
+// Save writes the document in its binary cache format.
+func (d *Document) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	if _, err := bw.WriteString(docMagic); err != nil {
+		return err
+	}
+	cw.u32(docVersion)
+	cw.str(d.name)
+
+	cw.u32(uint32(d.tags.Len()))
+	for _, name := range d.tags.names {
+		cw.str(name)
+	}
+
+	cw.u32(uint32(len(d.nodes)))
+	for i := range d.nodes {
+		n := &d.nodes[i]
+		cw.i32(int32(n.tag))
+		cw.u32(uint32(n.kind))
+		cw.i32(n.region.Start)
+		cw.i32(n.region.End)
+		cw.i32(n.region.Level)
+		cw.i32(int32(n.parent))
+		cw.i32(int32(n.firstChild))
+		cw.i32(int32(n.nextSibling))
+	}
+	for _, v := range d.values {
+		cw.str(v)
+	}
+	for i := range d.nodes {
+		dl := d.dewey.At(int32(i))
+		cw.u32(uint32(len(dl)))
+		for _, digit := range dl {
+			cw.i32(digit)
+		}
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	return bw.Flush()
+}
+
+// Load reads a document previously written by Save.
+func Load(r io.Reader) (*Document, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(docMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("doc: reading magic: %w", err)
+	}
+	if string(magic) != docMagic {
+		return nil, fmt.Errorf("doc: bad magic %q", magic)
+	}
+	rd := &reader{r: br}
+	if v := rd.u32(); v != docVersion && rd.err == nil {
+		return nil, fmt.Errorf("doc: unsupported version %d", v)
+	}
+	d := &Document{tags: newTagDict()}
+	d.name = rd.str()
+
+	ntags := rd.u32()
+	for i := uint32(0); i < ntags && rd.err == nil; i++ {
+		d.tags.intern(rd.str())
+	}
+
+	nnodes := rd.u32()
+	if rd.err == nil && nnodes > 1<<28 {
+		return nil, fmt.Errorf("doc: corrupt node count %d", nnodes)
+	}
+	d.nodes = make([]node, nnodes)
+	for i := range d.nodes {
+		n := &d.nodes[i]
+		n.tag = TagID(rd.i32())
+		n.kind = Kind(rd.u32())
+		n.region.Start = rd.i32()
+		n.region.End = rd.i32()
+		n.region.Level = rd.i32()
+		n.parent = NodeID(rd.i32())
+		n.firstChild = NodeID(rd.i32())
+		n.nextSibling = NodeID(rd.i32())
+	}
+	d.values = make([]string, nnodes)
+	for i := range d.values {
+		d.values[i] = rd.str()
+	}
+	d.dewey = labeling.NewDeweyArena(int(nnodes), 6)
+	scratch := make(labeling.Dewey, 0, 16)
+	for i := uint32(0); i < nnodes && rd.err == nil; i++ {
+		ln := rd.u32()
+		if ln > 1<<20 {
+			return nil, fmt.Errorf("doc: corrupt dewey length %d", ln)
+		}
+		scratch = scratch[:0]
+		for j := uint32(0); j < ln; j++ {
+			scratch = append(scratch, rd.i32())
+		}
+		d.dewey.Append(scratch)
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("doc: load: %w", rd.err)
+	}
+	return d, nil
+}

@@ -1,0 +1,218 @@
+// Package index builds the access structures twig evaluation runs on: per-tag
+// node streams in document order (the inputs of structural joins), a value
+// inverted index with token postings (accelerating equality and containment
+// predicates), exact-value lookup, and completion tries over tag names and
+// per-tag values.
+//
+// An Index is immutable after Build and safe for concurrent readers.  It is
+// derived deterministically from its Document, so persistence stores the
+// document and rebuilds the derived structures on load (rebuild is a single
+// O(n) pass; see Save/Load).
+package index
+
+import (
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/trie"
+	"lotusx/internal/xlabel"
+)
+
+// Index holds all access structures over one document.
+type Index struct {
+	document *doc.Document
+
+	// streams[tag] lists the nodes with that tag in document order.
+	streams [][]doc.NodeID
+
+	// postings maps a lowercase token to the nodes whose value contains it,
+	// in document order.
+	postings map[string][]doc.NodeID
+
+	// exact maps a lowercase full value to the nodes carrying exactly that
+	// value, in document order.
+	exact map[string][]doc.NodeID
+
+	// tagTrie completes tag names; entry weight is the tag's occurrence
+	// count and the datum its TagID.
+	tagTrie *trie.Trie
+
+	// valueTries[tag] completes full values of nodes with that tag.
+	valueTries map[doc.TagID]*trie.Trie
+
+	// valued counts nodes with a non-empty value (the N of idf).
+	valued int
+
+	// allElems caches the wildcard stream (all element nodes); built lazily.
+	allElemInit sync.Once
+	allElems    []doc.NodeID
+
+	// Extended Dewey labels (TJFast's position-aware labels); built lazily
+	// on first TJFast evaluation.
+	xlabelInit   sync.Once
+	xlabelTrans  *xlabel.Transducer
+	xlabelLabels *xlabel.Arena
+}
+
+// ExtDewey returns the document's extended Dewey transducer and label
+// arena, building them on first use.
+func (ix *Index) ExtDewey() (*xlabel.Transducer, *xlabel.Arena) {
+	ix.xlabelInit.Do(func() {
+		ix.xlabelTrans = xlabel.BuildTransducer(ix.document)
+		ix.xlabelLabels = xlabel.Encode(ix.document, ix.xlabelTrans)
+	})
+	return ix.xlabelTrans, ix.xlabelLabels
+}
+
+// Build constructs the index for d.
+func Build(d *doc.Document) *Index {
+	ix := &Index{
+		document:   d,
+		streams:    make([][]doc.NodeID, d.Tags().Len()),
+		postings:   make(map[string][]doc.NodeID),
+		exact:      make(map[string][]doc.NodeID),
+		tagTrie:    trie.New(),
+		valueTries: make(map[doc.TagID]*trie.Trie),
+	}
+	for i := 0; i < d.Len(); i++ {
+		n := doc.NodeID(i)
+		tag := d.Tag(n)
+		ix.streams[tag] = append(ix.streams[tag], n)
+
+		v := d.Value(n)
+		if v == "" {
+			continue
+		}
+		ix.valued++
+		lower := strings.ToLower(v)
+		ix.exact[lower] = append(ix.exact[lower], n)
+
+		seen := make(map[string]struct{})
+		for _, tok := range Tokenize(v) {
+			if _, dup := seen[tok]; dup {
+				continue
+			}
+			seen[tok] = struct{}{}
+			ix.postings[tok] = append(ix.postings[tok], n)
+		}
+
+		vt := ix.valueTries[tag]
+		if vt == nil {
+			vt = trie.New()
+			ix.valueTries[tag] = vt
+		}
+		vt.Insert(lower, 1, int32(n))
+	}
+	for id := doc.TagID(0); int(id) < d.Tags().Len(); id++ {
+		ix.tagTrie.Insert(d.Tags().Name(id), int64(len(ix.streams[id])), int32(id))
+	}
+	return ix
+}
+
+// Document returns the indexed document.
+func (ix *Index) Document() *doc.Document { return ix.document }
+
+// TagCount returns the number of nodes with the given tag.
+func (ix *Index) TagCount(tag doc.TagID) int {
+	if tag < 0 || int(tag) >= len(ix.streams) {
+		return 0
+	}
+	return len(ix.streams[tag])
+}
+
+// Nodes returns the document-order node list for tag.  The slice is shared;
+// callers must not modify it.
+func (ix *Index) Nodes(tag doc.TagID) []doc.NodeID {
+	if tag < 0 || int(tag) >= len(ix.streams) {
+		return nil
+	}
+	return ix.streams[tag]
+}
+
+// TokenPostings returns the nodes whose value contains token (lowercased by
+// the caller or not — the lookup lowercases), in document order.
+func (ix *Index) TokenPostings(token string) []doc.NodeID {
+	return ix.postings[strings.ToLower(token)]
+}
+
+// ExactMatches returns the nodes whose whole value equals v
+// case-insensitively, in document order.
+func (ix *Index) ExactMatches(v string) []doc.NodeID {
+	return ix.exact[strings.ToLower(strings.TrimSpace(v))]
+}
+
+// DF returns the document frequency of token: the number of nodes whose
+// value contains it.
+func (ix *Index) DF(token string) int { return len(ix.postings[strings.ToLower(token)]) }
+
+// ValuedNodes returns the number of nodes carrying a non-empty value.
+func (ix *Index) ValuedNodes() int { return ix.valued }
+
+// TagTrie returns the completion trie over tag names.
+func (ix *Index) TagTrie() *trie.Trie { return ix.tagTrie }
+
+// ValueTrie returns the completion trie over the values of nodes tagged tag,
+// or nil when no such node has a value.
+func (ix *Index) ValueTrie(tag doc.TagID) *trie.Trie { return ix.valueTries[tag] }
+
+// ContainsAll returns the nodes whose value contains every token of the
+// query string, in document order, computed by intersecting token postings
+// smallest-first.
+func (ix *Index) ContainsAll(query string) []doc.NodeID {
+	toks := Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	lists := make([][]doc.NodeID, len(toks))
+	for i, tok := range toks {
+		lists[i] = ix.postings[tok]
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	cur := lists[0]
+	for _, next := range lists[1:] {
+		cur = intersect(cur, next)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// intersect merges two sorted node lists.
+func intersect(a, b []doc.NodeID) []doc.NodeID {
+	var out []doc.NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Save persists the index by writing its document; Load rebuilds the
+// derived structures.
+func (ix *Index) Save(w io.Writer) error { return ix.document.Save(w) }
+
+// Load reads a document written by Save (or doc.Save) and rebuilds the
+// index.
+func Load(r io.Reader) (*Index, error) {
+	d, err := doc.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return Build(d), nil
+}

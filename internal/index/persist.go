@@ -1,0 +1,224 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strings"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/trie"
+)
+
+// Full index persistence.  Save/Load (index.go) store only the document and
+// rebuild everything on open; SaveFull/LoadFull additionally persist the
+// token postings — the one derived structure whose reconstruction
+// (tokenizing every value) dominates rebuild time — and protect the whole
+// payload with a CRC32 so a truncated or corrupted file is rejected rather
+// than silently misread.
+//
+// Layout: magic "LTXI" | version u32 | payload len u64 | crc32 u32 | payload
+// where payload = document | valued u32 | postings section.
+const (
+	fullMagic   = "LTXI"
+	fullVersion = 1
+)
+
+// SaveFull writes the index with its postings, checksummed.
+func (ix *Index) SaveFull(w io.Writer) error {
+	// The document section is length-prefixed because doc.Load buffers its
+	// reader and would otherwise consume bytes of the following sections.
+	var docBuf bytes.Buffer
+	if err := ix.document.Save(&docBuf); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	var lenHdr [8]byte
+	binary.LittleEndian.PutUint64(lenHdr[:], uint64(docBuf.Len()))
+	payload.Write(lenHdr[:])
+	payload.Write(docBuf.Bytes())
+
+	pw := bufio.NewWriter(&payload)
+	var scratch [4]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		pw.Write(scratch[:])
+	}
+	str := func(s string) {
+		u32(uint32(len(s)))
+		pw.WriteString(s)
+	}
+
+	u32(uint32(ix.valued))
+	u32(uint32(len(ix.postings)))
+	// Deterministic section order is not required for correctness but makes
+	// byte-identical saves reproducible; map order suffices functionally,
+	// so iterate sorted only for small maps? Sorting large token maps costs
+	// more than it gives — determinism comes from the CRC covering content,
+	// and tests compare semantics, not bytes.
+	for tok, nodes := range ix.postings {
+		str(tok)
+		u32(uint32(len(nodes)))
+		for _, n := range nodes {
+			u32(uint32(n))
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		return err
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fullMagic); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], fullVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadFull reads an index written by SaveFull, verifying the checksum.
+func LoadFull(r io.Reader) (*Index, error) {
+	magic := make([]byte, len(fullMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(magic) != fullMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("index: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != fullVersion {
+		return nil, fmt.Errorf("index: unsupported version %d", v)
+	}
+	plen := binary.LittleEndian.Uint64(hdr[4:12])
+	if plen > 1<<34 {
+		return nil, fmt.Errorf("index: implausible payload length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("index: truncated payload: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[12:16]); got != want {
+		return nil, fmt.Errorf("index: checksum mismatch (corrupt file)")
+	}
+
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("index: payload too short")
+	}
+	docLen := binary.LittleEndian.Uint64(payload[:8])
+	if docLen > uint64(len(payload)-8) {
+		return nil, fmt.Errorf("index: corrupt document length %d", docLen)
+	}
+	d, err := doc.Load(bytes.NewReader(payload[8 : 8+docLen]))
+	if err != nil {
+		return nil, err
+	}
+	br := bytes.NewReader(payload[8+docLen:])
+	var scratch [4]byte
+	u32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:]), nil
+	}
+	str := func() (string, error) {
+		n, err := u32()
+		if err != nil {
+			return "", err
+		}
+		if int(n) > br.Len() {
+			return "", fmt.Errorf("index: corrupt string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	valued, err := u32()
+	if err != nil {
+		return nil, fmt.Errorf("index: reading valued count: %w", err)
+	}
+	ntoks, err := u32()
+	if err != nil {
+		return nil, fmt.Errorf("index: reading postings count: %w", err)
+	}
+	postings := make(map[string][]doc.NodeID, ntoks)
+	for i := uint32(0); i < ntoks; i++ {
+		tok, err := str()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading token: %w", err)
+		}
+		cnt, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(cnt) > d.Len() {
+			return nil, fmt.Errorf("index: posting list longer than document")
+		}
+		nodes := make([]doc.NodeID, cnt)
+		for j := range nodes {
+			v, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(v) >= d.Len() {
+				return nil, fmt.Errorf("index: posting references node %d of %d", v, d.Len())
+			}
+			nodes[j] = doc.NodeID(v)
+		}
+		postings[tok] = nodes
+	}
+
+	return rebuildFromParts(d, postings, int(valued)), nil
+}
+
+// rebuildFromParts reconstructs the cheap derived structures (streams, the
+// exact map, tries) from the document, reusing the persisted postings so no
+// value is re-tokenized.
+func rebuildFromParts(d *doc.Document, postings map[string][]doc.NodeID, valued int) *Index {
+	ix := &Index{
+		document:   d,
+		streams:    make([][]doc.NodeID, d.Tags().Len()),
+		postings:   postings,
+		exact:      make(map[string][]doc.NodeID),
+		tagTrie:    trie.New(),
+		valueTries: make(map[doc.TagID]*trie.Trie),
+		valued:     valued,
+	}
+	for i := 0; i < d.Len(); i++ {
+		n := doc.NodeID(i)
+		tag := d.Tag(n)
+		ix.streams[tag] = append(ix.streams[tag], n)
+		v := d.Value(n)
+		if v == "" {
+			continue
+		}
+		lower := strings.ToLower(v)
+		ix.exact[lower] = append(ix.exact[lower], n)
+		vt := ix.valueTries[tag]
+		if vt == nil {
+			vt = trie.New()
+			ix.valueTries[tag] = vt
+		}
+		vt.Insert(lower, 1, int32(n))
+	}
+	for id := doc.TagID(0); int(id) < d.Tags().Len(); id++ {
+		ix.tagTrie.Insert(d.Tags().Name(id), int64(len(ix.streams[id])), int32(id))
+	}
+	return ix
+}

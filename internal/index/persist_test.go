@@ -1,0 +1,119 @@
+package index
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveFullLoadFullRoundTrip(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	var buf bytes.Buffer
+	if err := ix.SaveFull(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := LoadFull(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything the index answers must be identical.
+	if ix2.ValuedNodes() != ix.ValuedNodes() {
+		t.Error("valued count differs")
+	}
+	d := ix2.Document()
+	if d.Len() != ix.Document().Len() {
+		t.Fatal("document differs")
+	}
+	tags := d.Tags()
+	for _, name := range []string{"article", "author", "title", "@key"} {
+		if ix2.TagCount(tags.ID(name)) != ix.TagCount(ix.Document().Tags().ID(name)) {
+			t.Errorf("tag %q stream differs", name)
+		}
+	}
+	for _, tok := range []string{"jiaheng", "lu", "xml", "holistic"} {
+		if len(ix2.TokenPostings(tok)) != len(ix.TokenPostings(tok)) {
+			t.Errorf("postings for %q differ", tok)
+		}
+	}
+	if len(ix2.ExactMatches("jiaheng lu")) != 2 {
+		t.Error("exact map not rebuilt")
+	}
+	if got := ix2.TagTrie().Complete("a", 5); len(got) == 0 {
+		t.Error("tag trie not rebuilt")
+	}
+	vt := ix2.ValueTrie(tags.ID("author"))
+	if vt == nil || len(vt.Complete("jiaheng", 3)) != 1 {
+		t.Error("value tries not rebuilt")
+	}
+	if got := ix2.ContainsAll("twig holistic"); len(got) != 1 {
+		t.Errorf("ContainsAll over reloaded postings = %v", got)
+	}
+}
+
+func TestLoadFullDetectsCorruption(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	var buf bytes.Buffer
+	if err := ix.SaveFull(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip one payload byte: checksum must catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-3] ^= 0xFF
+	if _, err := LoadFull(bytes.NewReader(corrupt)); err == nil {
+		t.Error("flipped byte not detected")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	// Truncation.
+	if _, err := LoadFull(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncation not detected")
+	}
+	// Bad magic.
+	bad := append([]byte("XXXX"), data[4:]...)
+	if _, err := LoadFull(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic not detected")
+	}
+	// Bad version.
+	badv := append([]byte(nil), data...)
+	badv[4] = 99
+	if _, err := LoadFull(bytes.NewReader(badv)); err == nil {
+		t.Error("bad version not detected")
+	}
+	// Empty input.
+	if _, err := LoadFull(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input not detected")
+	}
+}
+
+func TestSaveFullVsRebuildEquivalence(t *testing.T) {
+	// LoadFull must agree with a from-scratch Build on every access path.
+	ix := mustIndex(t, bibXML)
+	var buf bytes.Buffer
+	if err := ix.SaveFull(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full, err := LoadFull(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := Build(full.Document())
+	for _, tok := range []string{"jiaheng", "lu", "2012", "databases"} {
+		a := full.TokenPostings(tok)
+		b := rebuilt.TokenPostings(tok)
+		if len(a) != len(b) {
+			t.Fatalf("postings(%q): %d vs %d", tok, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("postings(%q) differ at %d", tok, i)
+			}
+		}
+	}
+	if full.DF("jiaheng") != rebuilt.DF("jiaheng") {
+		t.Error("DF differs")
+	}
+}

@@ -1,0 +1,56 @@
+package index
+
+import (
+	"strings"
+	"unicode"
+)
+
+// maxTokenLen drops degenerate tokens (base64 blobs and the like) that would
+// bloat the postings map without ever being typed by a user.
+const maxTokenLen = 64
+
+// Tokenize splits a value into lowercase search tokens: maximal runs of
+// letters and digits.  It is the single tokenizer used for both indexing and
+// querying, so the two sides always agree.
+func Tokenize(s string) []string {
+	spans := TokenizeSpans(s)
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Token
+	}
+	return out
+}
+
+// TokenSpan is a token plus its byte range [Start, End) in the source
+// string — the basis of match highlighting in the UI.
+type TokenSpan struct {
+	Token string
+	Start int
+	End   int
+}
+
+// TokenizeSpans is Tokenize with source positions.
+func TokenizeSpans(s string) []TokenSpan {
+	var out []TokenSpan
+	var b strings.Builder
+	start := -1
+	flush := func(end int) {
+		if b.Len() > 0 && b.Len() <= maxTokenLen {
+			out = append(out, TokenSpan{Token: b.String(), Start: start, End: end})
+		}
+		b.Reset()
+		start = -1
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(s))
+	return out
+}

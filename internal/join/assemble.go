@@ -1,0 +1,77 @@
+package join
+
+import (
+	"sort"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/twig"
+)
+
+// edgeMap records, for one query edge, which document nodes matched the
+// child query node under each match of the parent query node.  Child lists
+// are sorted and deduplicated before assembly.
+type edgeMap map[doc.NodeID][]doc.NodeID
+
+// add records one (parent, child) pair.
+func (em edgeMap) add(p, c doc.NodeID) { em[p] = append(em[p], c) }
+
+// dedup sorts and uniquifies every child list and returns the total pair
+// count.
+func (em edgeMap) dedup() int {
+	total := 0
+	for p, kids := range em {
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		out := kids[:0]
+		var last doc.NodeID = -1
+		for _, k := range kids {
+			if k != last {
+				out = append(out, k)
+				last = k
+			}
+		}
+		em[p] = out
+		total += len(out)
+	}
+	return total
+}
+
+// assemble enumerates full twig matches from per-edge maps.  edges is
+// indexed by the child query node's ID; roots lists candidate bindings of
+// the query root.  Every edge's axis is re-checked during enumeration, so a
+// superset edge map (for example the A-D superset TwigStack produces on P-C
+// edges) still yields exact results.
+func (ev *evaluator) assemble(roots []doc.NodeID, edges []edgeMap) {
+	m := make(Match, ev.q.Len())
+	emit := func() bool { return ev.addMatch(m) }
+	for _, r := range roots {
+		m[ev.q.Root.ID] = r
+		if !ev.assembleBind(ev.q.Root, 0, m, edges, emit) {
+			return
+		}
+	}
+}
+
+// assembleBind binds qn's children from index ci onward (each child's own
+// subtree bound depth-first), then calls cont; the continuation chain emits
+// a match once every query node is bound.  It reports whether enumeration
+// may continue (false once the match cap is hit).
+func (ev *evaluator) assembleBind(qn *twig.Node, ci int, m Match, edges []edgeMap, cont func() bool) bool {
+	if ci == len(qn.Children) {
+		return cont()
+	}
+	qc := qn.Children[ci]
+	p := m[qn.ID]
+	for _, cand := range edges[qc.ID][p] {
+		if !ev.edgeHolds(qc, p, cand) {
+			continue
+		}
+		m[qc.ID] = cand
+		ok := ev.assembleBind(qc, 0, m, edges, func() bool {
+			return ev.assembleBind(qn, ci+1, m, edges, cont)
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

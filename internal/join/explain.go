@@ -1,0 +1,40 @@
+package join
+
+import (
+	"fmt"
+	"strings"
+
+	"lotusx/internal/index"
+	"lotusx/internal/twig"
+)
+
+// Explain describes how the planner sees q: the per-node stream size
+// estimates, the match-count estimate, and the algorithm Choose would pick —
+// what lotusx-query -explain prints before running.
+func Explain(ix *index.Index, q *twig.Query) string {
+	var b strings.Builder
+	if q.Len() == 0 {
+		if err := q.Normalize(); err != nil {
+			return fmt.Sprintf("invalid query: %v", err)
+		}
+	}
+	fmt.Fprintf(&b, "plan for %s\n", q)
+	for _, qn := range q.Nodes() {
+		role := "internal"
+		if qn.IsLeaf() {
+			role = "leaf"
+		}
+		pred := ""
+		switch qn.Pred.Op {
+		case twig.Eq:
+			pred = fmt.Sprintf("  [= %q]", qn.Pred.Value)
+		case twig.Contains:
+			pred = fmt.Sprintf("  [contains %q]", qn.Pred.Value)
+		}
+		fmt.Fprintf(&b, "  node %d %s%s (%s): ~%d stream elements%s\n",
+			qn.ID, qn.Axis, qn.Tag, role, EstimateStream(ix, qn), pred)
+	}
+	fmt.Fprintf(&b, "  estimated matches: <= %d\n", EstimateMatches(ix, q))
+	fmt.Fprintf(&b, "  algorithm (auto): %s\n", Choose(ix, q))
+	return b.String()
+}

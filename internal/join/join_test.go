@@ -1,0 +1,511 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/index"
+	"lotusx/internal/twig"
+)
+
+const bibXML = `<dblp>
+  <article key="a1">
+    <author>Jiaheng Lu</author>
+    <title>Holistic Twig Joins</title>
+    <year>2005</year>
+  </article>
+  <article key="a2">
+    <author>Chunbin Lin</author>
+    <author>Jiaheng Lu</author>
+    <title>LotusX Position-Aware Search</title>
+    <year>2012</year>
+  </article>
+  <book key="b1">
+    <author>Tok Wang Ling</author>
+    <title>XML Databases</title>
+    <chapter><title>Twigs</title><section><title>Stacks</title></section></chapter>
+  </book>
+</dblp>`
+
+func mustIndex(t testing.TB, src string) *index.Index {
+	t.Helper()
+	d, err := doc.FromString("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return index.Build(d)
+}
+
+func run(t testing.TB, ix *index.Index, query string, alg Algorithm) *Result {
+	t.Helper()
+	q := twig.MustParse(query)
+	res, err := Run(ix, q, alg, Options{})
+	if err != nil {
+		t.Fatalf("%s on %q: %v", alg, query, err)
+	}
+	return res
+}
+
+// matchSetString canonicalizes a result for cross-algorithm comparison.
+func matchSetString(r *Result) string {
+	lines := make([]string, len(r.Matches))
+	for i, m := range r.Matches {
+		parts := make([]string, len(m))
+		for j, n := range m {
+			parts[j] = fmt.Sprint(n)
+		}
+		lines[i] = strings.Join(parts, ",")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+func TestSingleNodeQuery(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, alg := range Algorithms {
+		res := run(t, ix, "//author", alg)
+		if len(res.Matches) != 4 {
+			t.Errorf("%s: %d matches, want 4", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestSimplePathQuery(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, alg := range Algorithms {
+		res := run(t, ix, "//article/title", alg)
+		if len(res.Matches) != 2 {
+			t.Errorf("%s: %d matches, want 2", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestDescendantVsChild(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, alg := range Algorithms {
+		// book//title: 3 titles under book (direct, chapter, section).
+		res := run(t, ix, "//book//title", alg)
+		if len(res.Matches) != 3 {
+			t.Errorf("%s //book//title: %d, want 3", alg, len(res.Matches))
+		}
+		res = run(t, ix, "//book/title", alg)
+		if len(res.Matches) != 1 {
+			t.Errorf("%s //book/title: %d, want 1", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestBranchingTwig(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, alg := range Algorithms {
+		// article with both an author and a year: both articles; articles
+		// have 1 and 2 authors -> 1 + 2 = 3 matches (author binding varies).
+		res := run(t, ix, "//article[author][year]", alg)
+		if len(res.Matches) != 3 {
+			t.Errorf("%s: %d matches, want 3", alg, len(res.Matches))
+		}
+		outs := res.OutputNodes(twig.MustParse("//article[author][year]"))
+		if len(outs) != 2 {
+			t.Errorf("%s: %d distinct output nodes, want 2", alg, len(outs))
+		}
+	}
+}
+
+func TestValuePredicates(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	d := ix.Document()
+	for _, alg := range Algorithms {
+		res := run(t, ix, `//article[author = "Jiaheng Lu"]/title`, alg)
+		if len(res.Matches) != 2 {
+			t.Errorf("%s eq: %d matches, want 2", alg, len(res.Matches))
+		}
+		res = run(t, ix, `//article[title contains "lotusx"]`, alg)
+		if len(res.Matches) != 1 {
+			t.Fatalf("%s contains: %d matches, want 1", alg, len(res.Matches))
+		}
+		art := res.Matches[0][0]
+		if !strings.Contains(d.XMLString(art), "a2") {
+			t.Errorf("%s contains matched wrong article", alg)
+		}
+	}
+}
+
+func TestSelfPredicate(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, alg := range Algorithms {
+		res := run(t, ix, `//title[. = "xml databases"]`, alg)
+		if len(res.Matches) != 1 {
+			t.Errorf("%s: %d matches, want 1", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestAttributePredicate(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, alg := range Algorithms {
+		res := run(t, ix, `//article[@key = "a2"]/author`, alg)
+		if len(res.Matches) != 2 {
+			t.Errorf("%s: %d matches, want 2", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestWildcardQuery(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, alg := range Algorithms {
+		// Any element directly containing a title: article x2, book,
+		// chapter, section.
+		res := run(t, ix, `//*[title]`, alg)
+		if len(res.Matches) != 5 {
+			t.Errorf("%s: %d matches, want 5", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestRootedQuery(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, alg := range Algorithms {
+		res := run(t, ix, `/dblp/article`, alg)
+		if len(res.Matches) != 2 {
+			t.Errorf("%s /dblp/article: %d, want 2", alg, len(res.Matches))
+		}
+		// /article is rooted at document root; no article is the root.
+		res = run(t, ix, `/article`, alg)
+		if len(res.Matches) != 0 {
+			t.Errorf("%s /article: %d, want 0", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, alg := range Algorithms {
+		for _, q := range []string{
+			"//nosuchtag",
+			`//article[author = "Nobody"]`,
+			"//year/author", // wrong nesting
+		} {
+			res := run(t, ix, q, alg)
+			if len(res.Matches) != 0 {
+				t.Errorf("%s %q: %d matches, want 0", alg, q, len(res.Matches))
+			}
+		}
+	}
+}
+
+func TestOrderSensitiveQuery(t *testing.T) {
+	src := `<r>
+	  <s><a/><b/></s>
+	  <s><b/><a/></s>
+	  <s><a/></s>
+	</r>`
+	ix := mustIndex(t, src)
+	for _, alg := range Algorithms {
+		res := run(t, ix, `//s[a << b]`, alg)
+		if len(res.Matches) != 1 {
+			t.Errorf("%s ordered: %d matches, want 1", alg, len(res.Matches))
+		}
+		res = run(t, ix, `//s[b << a]`, alg)
+		if len(res.Matches) != 1 {
+			t.Errorf("%s reversed: %d matches, want 1", alg, len(res.Matches))
+		}
+		res = run(t, ix, `//s[a][b]`, alg)
+		if len(res.Matches) != 2 {
+			t.Errorf("%s unordered: %d matches, want 2", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestOrderConstraintRequiresDisjoint(t *testing.T) {
+	// a << b uses XQuery's <<-on-disjoint semantics: an ancestor does not
+	// precede its descendant.
+	src := `<r><s><a><b/></a></s></r>`
+	ix := mustIndex(t, src)
+	for _, alg := range Algorithms {
+		res := run(t, ix, `//s[.//a << .//b]`, alg)
+		if len(res.Matches) != 0 {
+			t.Errorf("%s: nested a/b should not satisfy a << b", alg)
+		}
+	}
+}
+
+func TestMaxMatchesCap(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	q := twig.MustParse("//author")
+	for _, alg := range Algorithms {
+		res, err := Run(ix, q, alg, Options{MaxMatches: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 2 || !res.Capped {
+			t.Errorf("%s: %d matches capped=%v, want 2/true", alg, len(res.Matches), res.Capped)
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	if _, err := Run(ix, twig.MustParse("//a"), Algorithm("bogus"), Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestUnnormalizedQuery(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	q := &twig.Query{Root: &twig.Node{Tag: "a"}}
+	if _, err := Run(ix, q, TwigStack, Options{}); err == nil {
+		t.Fatal("expected error for unnormalized query")
+	}
+}
+
+func TestRecursiveStructure(t *testing.T) {
+	// Recursive same-tag nesting is where stack algorithms earn their keep.
+	src := `<r><a><a><a><b/></a></a><b/></a></r>`
+	ix := mustIndex(t, src)
+	want := -1
+	for _, alg := range Algorithms {
+		res := run(t, ix, `//a//b`, alg)
+		if want == -1 {
+			want = len(res.Matches)
+		}
+		if len(res.Matches) != want {
+			t.Errorf("%s: %d matches, want %d", alg, len(res.Matches), want)
+		}
+	}
+	// a1 contains both b's (2), a2 contains inner b, a3 contains inner b:
+	// 2+1+1 = 4.
+	if want != 4 {
+		t.Errorf("//a//b = %d matches, want 4", want)
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	src := `<r><a><b><c><d>x</d></c></b></a><a><b><c/></b></a></r>`
+	ix := mustIndex(t, src)
+	for _, alg := range Algorithms {
+		res := run(t, ix, `//a/b/c/d`, alg)
+		if len(res.Matches) != 1 {
+			t.Errorf("%s: %d matches, want 1", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestTwigStackFewerIntermediateResults(t *testing.T) {
+	// One branch never matches together with the other: PathStack emits
+	// path solutions for both branches independently; TwigStack's getNext
+	// skips elements without full extensions.
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 50; i++ {
+		b.WriteString("<x><y/></x>") // x with y but no z
+	}
+	for i := 0; i < 50; i++ {
+		b.WriteString("<x><z/></x>") // x with z but no y
+	}
+	b.WriteString("<x><y/><z/></x>") // the only full match
+	b.WriteString("</r>")
+	ix := mustIndex(t, b.String())
+
+	q := twig.MustParse("//x[y][z]")
+	ps, err := Run(ix, q, PathStack, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Run(ix, q, TwigStack, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Matches) != 1 || len(ts.Matches) != 1 {
+		t.Fatalf("matches: pathstack=%d twigstack=%d, want 1", len(ps.Matches), len(ts.Matches))
+	}
+	if ts.Stats.PathSolutions >= ps.Stats.PathSolutions {
+		t.Errorf("TwigStack path solutions (%d) should be < PathStack (%d)",
+			ts.Stats.PathSolutions, ps.Stats.PathSolutions)
+	}
+	if ts.Stats.PathSolutions != 2 {
+		t.Errorf("TwigStack should emit exactly 2 path solutions, got %d", ts.Stats.PathSolutions)
+	}
+}
+
+// --- randomized cross-algorithm equivalence ---
+
+func TestCrossAlgorithmEquivalenceRandom(t *testing.T) {
+	// Random well-formed documents: build via explicit stack to guarantee
+	// well-formedness.
+	rng := rand.New(rand.NewSource(2012))
+	tags := []string{"a", "b", "c", "d"}
+	vals := []string{"x", "y", "x y", "z"}
+
+	queries := []string{
+		"//a",
+		"//a/b",
+		"//a//b",
+		"//a[b][c]",
+		"//a[b]//c",
+		"//a/b[c]",
+		"//a[b/c]",
+		"//a//b//c",
+		"//a[b][c]/d",
+		`//a[b = "x"]`,
+		`//a[.//b contains "y"]`,
+		"//a[b << c]",
+		"//*[b]",
+		"/r//a[b]",
+		"//a[b][c][d]",
+		"//a[b//d]/c",
+	}
+
+	for trial := 0; trial < 30; trial++ {
+		src := genWellFormed(rng, tags, vals, 60+rng.Intn(120))
+		ix := mustIndex(t, src)
+		for _, qs := range queries {
+			q := twig.MustParse(qs)
+			var ref string
+			for _, alg := range Algorithms {
+				res, err := Run(ix, q, alg, Options{})
+				if err != nil {
+					t.Fatalf("trial %d %s %q: %v", trial, alg, qs, err)
+				}
+				s := matchSetString(res)
+				if alg == NestedLoop {
+					ref = s
+					continue
+				}
+				if s != ref {
+					t.Fatalf("trial %d query %q: %s disagrees with oracle\noracle: %s\n%s:    %s\ndoc: %s",
+						trial, qs, alg, ref, alg, s, src)
+				}
+			}
+		}
+	}
+}
+
+// genWellFormed emits a random well-formed document using an explicit open
+// stack.
+func genWellFormed(rng *rand.Rand, tags, vals []string, steps int) string {
+	var b strings.Builder
+	var open []string
+	b.WriteString("<r>")
+	for i := 0; i < steps; i++ {
+		if len(open) > 0 && (rng.Intn(3) == 0 || len(open) > 6) {
+			b.WriteString("</" + open[len(open)-1] + ">")
+			open = open[:len(open)-1]
+			continue
+		}
+		tag := tags[rng.Intn(len(tags))]
+		if rng.Intn(2) == 0 {
+			b.WriteString("<" + tag + ">" + vals[rng.Intn(len(vals))] + "</" + tag + ">")
+		} else {
+			b.WriteString("<" + tag + ">")
+			open = append(open, tag)
+		}
+	}
+	for len(open) > 0 {
+		b.WriteString("</" + open[len(open)-1] + ">")
+		open = open[:len(open)-1]
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+func TestStatsPopulated(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	res := run(t, ix, "//article[author][year]", TwigStack)
+	if res.Stats.ElementsScanned == 0 || res.Stats.PathSolutions == 0 {
+		t.Errorf("TwigStack stats empty: %+v", res.Stats)
+	}
+	res = run(t, ix, "//article[author][year]", Structural)
+	if res.Stats.EdgePairs == 0 {
+		t.Errorf("Structural stats empty: %+v", res.Stats)
+	}
+	if res.Stats.MatchesEnumerated != len(res.Matches) {
+		t.Errorf("MatchesEnumerated = %d, matches = %d", res.Stats.MatchesEnumerated, len(res.Matches))
+	}
+}
+
+func TestOutputNodesProjection(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	q := twig.MustParse("//article/author")
+	res, err := Run(ix, q, TwigStack, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.OutputNodes(q)
+	if len(outs) != 3 {
+		t.Fatalf("output nodes = %d, want 3", len(outs))
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i-1] >= outs[i] {
+			t.Fatal("output nodes not in document order")
+		}
+	}
+}
+
+func TestSingleNodeDocument(t *testing.T) {
+	ix := mustIndex(t, `<only>x</only>`)
+	for _, alg := range Algorithms {
+		res := run(t, ix, "//only", alg)
+		if len(res.Matches) != 1 {
+			t.Errorf("%s //only: %d matches, want 1", alg, len(res.Matches))
+		}
+		res = run(t, ix, "/only", alg)
+		if len(res.Matches) != 1 {
+			t.Errorf("%s /only: %d matches, want 1", alg, len(res.Matches))
+		}
+		res = run(t, ix, "//only/child", alg)
+		if len(res.Matches) != 0 {
+			t.Errorf("%s //only/child: %d matches, want 0", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestQueryDeeperThanDocument(t *testing.T) {
+	ix := mustIndex(t, `<a><b/></a>`)
+	for _, alg := range Algorithms {
+		res := run(t, ix, "//a/b/c/d/e", alg)
+		if len(res.Matches) != 0 {
+			t.Errorf("%s: %d matches, want 0", alg, len(res.Matches))
+		}
+	}
+}
+
+func TestMaxMatchesWithOrderFilter(t *testing.T) {
+	// The cap bounds ENUMERATED matches; order filtering runs after, so a
+	// capped ordered result may hold fewer than MaxMatches answers — the
+	// documented semantics.
+	src := `<r><s><b/><a/></s><s><a/><b/></s><s><a/><b/></s></r>`
+	ix := mustIndex(t, src)
+	q := twig.MustParse(`//s[a << b]`)
+	res, err := Run(ix, q, TwigStack, Options{MaxMatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Capped {
+		t.Fatal("expected capped enumeration")
+	}
+	if len(res.Matches) > 2 {
+		t.Fatalf("matches = %d exceeds cap", len(res.Matches))
+	}
+}
+
+func TestSameTagQueryNodes(t *testing.T) {
+	// Recursive queries where multiple query nodes share one tag exercise
+	// stream independence (each query node gets its own cursor).
+	src := `<r><a><a><a/></a></a></r>`
+	ix := mustIndex(t, src)
+	for _, alg := range Algorithms {
+		res := run(t, ix, "//a//a//a", alg)
+		if len(res.Matches) != 1 {
+			t.Errorf("%s //a//a//a: %d matches, want 1", alg, len(res.Matches))
+		}
+		res = run(t, ix, "//a[a]/a", alg)
+		// a1[a2]/a2, a2[a3]/a3 -> 2 matches.
+		if len(res.Matches) != 2 {
+			t.Errorf("%s //a[a]/a: %d matches, want 2", alg, len(res.Matches))
+		}
+	}
+}

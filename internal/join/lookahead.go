@@ -1,0 +1,82 @@
+package join
+
+import (
+	"sort"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/twig"
+)
+
+// runTwigStackLA is TwigStack with parent-child look-ahead, our rendition of
+// TwigStackList (Lu, Chen, Ling, CIKM 2004).  The original buffers internal
+// streams in lists to look one level ahead before pushing an element whose
+// edge to a child is parent-child; with the streams in memory, the same
+// pruning power comes from a bottom-up pre-filter: an element of query node
+// q survives only if, for every P-C child qc, it has a direct child in qc's
+// (already filtered) node list.  Elements failing the check can appear in no
+// match, so the filter preserves the result set (the randomized oracle tests
+// cover this variant too) while eliminating the useless path solutions that
+// plain TwigStack emits on P-C edges — the effect experiment E4 measures.
+func (ev *evaluator) runTwigStackLA() error {
+	ev.prefilterParentChild()
+	return ev.runTwigStack()
+}
+
+// prefilterParentChild walks the query bottom-up, dropping elements that
+// lack a direct child in some P-C child's node list.
+func (ev *evaluator) prefilterParentChild() {
+	var walk func(qn *twig.Node)
+	walk = func(qn *twig.Node) {
+		for _, qc := range qn.Children {
+			walk(qc)
+		}
+		var pcKids []*twig.Node
+		for _, qc := range qn.Children {
+			if qc.Axis == twig.Child {
+				pcKids = append(pcKids, qc)
+			}
+		}
+		if len(pcKids) == 0 {
+			return
+		}
+		nodes := ev.nodes[qn.ID]
+		kept := make([]doc.NodeID, 0, len(nodes))
+		for _, e := range nodes {
+			ok := true
+			for _, qc := range pcKids {
+				if !ev.hasDirectChildIn(e, ev.nodes[qc.ID]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, e)
+			}
+		}
+		ev.nodes[qn.ID] = kept
+	}
+	walk(ev.q.Root)
+}
+
+// hasDirectChildIn reports whether some node in list (document-ordered) is
+// a direct child of e.  Children of e lie in the contiguous start range
+// (e.Start, e.End) at level e.Level+1; the list is binary-searched to the
+// range start, then scanned.
+func (ev *evaluator) hasDirectChildIn(e doc.NodeID, list []doc.NodeID) bool {
+	d := ev.ix.Document()
+	reg := d.Region(e)
+	lo := sort.Search(len(list), func(i int) bool {
+		return d.Region(list[i]).Start > reg.Start
+	})
+	for _, cand := range list[lo:] {
+		cr := d.Region(cand)
+		if cr.Start >= reg.End {
+			return false
+		}
+		ev.stats.ElementsScanned++
+		if cr.Level == reg.Level+1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package join
+
+import (
+	"strings"
+	"testing"
+
+	"lotusx/internal/twig"
+)
+
+// TwigStackLA is exercised against the oracle by every cross-algorithm test
+// (it is in Algorithms); these tests cover its distinctive pruning.
+
+func TestLookAheadPrunesUselessSolutions(t *testing.T) {
+	// Many a-elements contain b only as a grandchild; //a/b matches only
+	// the one direct pair.  Plain TwigStack pushes every (a,b) A-D pair and
+	// filters at expansion; the look-ahead variant never emits them.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("<a><m><b/></m></a>")
+	}
+	sb.WriteString("<a><b/></a>")
+	sb.WriteString("</r>")
+	ix := mustIndex(t, sb.String())
+	q := twig.MustParse("//a/b")
+
+	plain, err := Run(ix, q, TwigStack, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := Run(ix, q, TwigStackLA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Matches) != 1 || len(la.Matches) != 1 {
+		t.Fatalf("matches: plain=%d la=%d, want 1", len(plain.Matches), len(la.Matches))
+	}
+	// The P-C filter during expansion keeps emitted solutions equal; the
+	// saving is in stack work: plain TwigStack pushes every a with a
+	// descendant b, the look-ahead pushes only the one with a child b.
+	if la.Stats.ElementsPushed >= plain.Stats.ElementsPushed {
+		t.Errorf("look-ahead pushed %d elements, plain pushed %d — no pruning",
+			la.Stats.ElementsPushed, plain.Stats.ElementsPushed)
+	}
+	if la.Stats.ElementsPushed != 2 { // the good a and its b
+		t.Errorf("look-ahead pushed %d, want 2", la.Stats.ElementsPushed)
+	}
+}
+
+func TestLookAheadBottomUpComposition(t *testing.T) {
+	// The filter must compose along P-C chains: in //a/b/c, an a whose b
+	// children all lack c children must be dropped too.
+	src := `<r>
+	  <a><b><x/></b></a>
+	  <a><b><c/></b></a>
+	  <a><m><b><c/></b></m></a>
+	</r>`
+	ix := mustIndex(t, src)
+	q := twig.MustParse("//a/b/c")
+	la, err := Run(ix, q, TwigStackLA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(la.Matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(la.Matches))
+	}
+	if la.Stats.PathSolutions != 1 {
+		t.Errorf("path solutions = %d, want 1", la.Stats.PathSolutions)
+	}
+}
+
+func TestLookAheadMixedAxes(t *testing.T) {
+	// A-D edges are untouched by the pre-filter; only the P-C child gates.
+	src := `<r>
+	  <s><deep><n/></deep></s>
+	  <s><n/><v/></s>
+	</r>`
+	ix := mustIndex(t, src)
+	for _, qs := range []string{"//s[.//n]/v", "//s[.//n][v]", "//s[n]//v"} {
+		q := twig.MustParse(qs)
+		oracle, err := Run(ix, q, NestedLoop, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, err := Run(ix, q, TwigStackLA, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matchSetString(oracle) != matchSetString(la) {
+			t.Fatalf("%s: look-ahead disagrees with oracle", qs)
+		}
+	}
+}
+
+func TestLookAheadWithPredicates(t *testing.T) {
+	// The look-ahead consults the *filtered* child list: an a whose only b
+	// child fails the value predicate must be pruned.
+	src := `<r><a><b>good</b></a><a><b>bad</b></a></r>`
+	ix := mustIndex(t, src)
+	q := twig.MustParse(`//a/b[. = "good"]`)
+	la, err := Run(ix, q, TwigStackLA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(la.Matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(la.Matches))
+	}
+	if la.Stats.PathSolutions != 1 {
+		t.Errorf("predicate-aware look-ahead should emit 1 solution, got %d", la.Stats.PathSolutions)
+	}
+}

@@ -1,0 +1,65 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/twig"
+)
+
+// TestMinimizeRandomEquivalence checks, on random documents, that tree
+// pattern minimization never changes the set of output-node answers —
+// the property Minimize guarantees.
+func TestMinimizeRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	tags := []string{"a", "b", "c"}
+	vals := []string{"x", "y"}
+
+	// Queries with deliberate redundancy.
+	queries := []string{
+		`//a[b][b]`,
+		`//a[b][b = "x"]/c`,
+		`//a[.//b][b]`,
+		`//a[b/c][b]`,
+		`//a[b][*]`,
+		`//a[b contains "x"][b = "x"][c]`,
+		`//a[b[c][c]]/b`,
+	}
+	for trial := 0; trial < 15; trial++ {
+		src := genWellFormed(rng, tags, vals, 80)
+		ix := mustIndex(t, src)
+		for _, qs := range queries {
+			q := twig.MustParse(qs)
+			m := q.Minimize()
+			if m.Len() > q.Len() {
+				t.Fatalf("minimization grew %q", qs)
+			}
+			orig, err := Run(ix, q, TwigStack, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mini, err := Run(ix, m, TwigStack, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := nodeSet(orig.OutputNodes(q))
+			b := nodeSet(mini.OutputNodes(m))
+			if a != b {
+				t.Fatalf("trial %d: %q (%d answers) vs minimized %q (%d answers)\ndoc: %s",
+					trial, qs, len(orig.OutputNodes(q)), m, len(mini.OutputNodes(m)), src)
+			}
+		}
+	}
+}
+
+// nodeSet canonicalizes a document-ordered node list for comparison.
+func nodeSet(ns []doc.NodeID) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = fmt.Sprint(n)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,63 @@
+package join
+
+import (
+	"lotusx/internal/doc"
+	"lotusx/internal/twig"
+)
+
+// runNestedLoop is both the correctness oracle and the naive baseline: a
+// direct recursive matcher that, for every candidate of the query root,
+// binds each query child by scanning the child's entire node list and
+// enumerates the full cross product.
+func (ev *evaluator) runNestedLoop() error {
+	m := make(Match, ev.q.Len())
+	root := ev.q.Root
+	ev.stats.ElementsScanned += len(ev.nodes[root.ID])
+	for _, dn := range ev.nodes[root.ID] {
+		m[root.ID] = dn
+		if !ev.nestedBindChildren(root, dn, 0, func() bool { return ev.addMatch(m) }, m) {
+			break
+		}
+	}
+	return nil
+}
+
+// nestedBindChildren binds qn's children starting at index ci, then calls
+// cont; it reports whether enumeration may continue (cap not hit).
+func (ev *evaluator) nestedBindChildren(qn *twig.Node, dn doc.NodeID, ci int, cont func() bool, m Match) bool {
+	if ci == len(qn.Children) {
+		return cont()
+	}
+	qc := qn.Children[ci]
+	for _, cand := range ev.candidatesUnder(qc, dn) {
+		m[qc.ID] = cand
+		ok := ev.nestedBindChildren(qc, cand, 0, func() bool {
+			return ev.nestedBindChildren(qn, dn, ci+1, cont, m)
+		}, m)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// candidatesUnder returns qc's stream nodes that satisfy the edge from dn by
+// scanning qc's whole node list — deliberately naive, the cost model the
+// structural and holistic joins are measured against (E2).
+func (ev *evaluator) candidatesUnder(qc *twig.Node, dn doc.NodeID) []doc.NodeID {
+	d := ev.ix.Document()
+	reg := d.Region(dn)
+	var out []doc.NodeID
+	for _, cand := range ev.nodes[qc.ID] {
+		ev.stats.ElementsScanned++
+		cr := d.Region(cand)
+		if qc.Axis == twig.Child {
+			if reg.IsParent(cr) {
+				out = append(out, cand)
+			}
+		} else if reg.IsAncestor(cr) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package join
+
+import (
+	"sort"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/twig"
+)
+
+// runStructural evaluates the twig by decomposing it into one binary
+// structural join per query edge (the Stack-Tree-Desc algorithm of
+// Al-Khalifa et al.), then assembling full matches from the edge pair sets.
+// Before assembly, a bottom-up semi-join pass prunes parent candidates with
+// no match in some child edge, which keeps the enumeration from exploring
+// dead branches; the edge pairs themselves are still computed per edge in
+// isolation, so Stats.EdgePairs exposes the classical weakness that E2/E3
+// measure against holistic evaluation.
+func (ev *evaluator) runStructural() error {
+	n := ev.q.Len()
+	edges := make([]edgeMap, n)
+
+	// Bottom-up: survivors[qid] is the set of document nodes of query node
+	// qid that head a full match of qid's sub-twig.
+	survivors := make([]map[doc.NodeID]struct{}, n)
+	var reduce func(qn *twig.Node)
+	reduce = func(qn *twig.Node) {
+		for _, qc := range qn.Children {
+			reduce(qc)
+		}
+		surv := make(map[doc.NodeID]struct{})
+		if len(qn.Children) == 0 {
+			for _, dn := range ev.nodes[qn.ID] {
+				surv[dn] = struct{}{}
+			}
+			survivors[qn.ID] = surv
+			return
+		}
+		// Join qn's stream against each child's surviving nodes.
+		perChild := make([]map[doc.NodeID]struct{}, len(qn.Children))
+		for i, qc := range qn.Children {
+			pairs := ev.structuralJoin(qn, qc, survivors[qc.ID])
+			edges[qc.ID] = pairs
+			parents := make(map[doc.NodeID]struct{}, len(pairs))
+			for p := range pairs {
+				parents[p] = struct{}{}
+			}
+			perChild[i] = parents
+		}
+		// qn survives iff it has a pair in every child edge.
+		for p := range perChild[0] {
+			ok := true
+			for _, pc := range perChild[1:] {
+				if _, in := pc[p]; !in {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				surv[p] = struct{}{}
+			}
+		}
+		survivors[qn.ID] = surv
+	}
+	reduce(ev.q.Root)
+
+	for _, em := range edges {
+		if em != nil {
+			ev.stats.EdgePairs += em.dedup()
+		}
+	}
+
+	roots := make([]doc.NodeID, 0, len(survivors[ev.q.Root.ID]))
+	for r := range survivors[ev.q.Root.ID] {
+		roots = append(roots, r)
+	}
+	sortNodeIDs(roots)
+	ev.assemble(roots, edges)
+	return nil
+}
+
+// structuralJoin runs a stack-based merge of qn's stream against the child
+// stream restricted to surviving nodes, producing all (ancestor, descendant)
+// pairs that satisfy the edge axis.  Both inputs are in document order; the
+// stack holds the current chain of nested ancestors.
+func (ev *evaluator) structuralJoin(qn, qc *twig.Node, childSurvivors map[doc.NodeID]struct{}) edgeMap {
+	d := ev.ix.Document()
+	out := make(edgeMap)
+
+	ancestors := ev.nodes[qn.ID]
+	var stack []doc.NodeID
+	ai := 0
+	for _, c := range ev.nodes[qc.ID] {
+		if _, ok := childSurvivors[c]; !ok {
+			continue
+		}
+		creg := d.Region(c)
+		ev.stats.ElementsScanned++
+		// Push every ancestor-stream node that starts before c.
+		for ai < len(ancestors) && d.Region(ancestors[ai]).Start < creg.Start {
+			// Pop stack entries that end before this new node starts; they
+			// cannot contain it or anything later.
+			areg := d.Region(ancestors[ai])
+			for len(stack) > 0 && d.Region(stack[len(stack)-1]).End < areg.Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, ancestors[ai])
+			ai++
+			ev.stats.ElementsScanned++
+		}
+		// Pop entries that end before c starts.
+		for len(stack) > 0 && d.Region(stack[len(stack)-1]).End < creg.Start {
+			stack = stack[:len(stack)-1]
+		}
+		// Remaining stack entries all contain c.
+		for _, a := range stack {
+			if qc.Axis == twig.Child {
+				if d.Region(a).Level+1 != creg.Level {
+					continue
+				}
+			}
+			if d.Region(a).IsAncestor(creg) {
+				out.add(a, c)
+			}
+		}
+	}
+	return out
+}
+
+func sortNodeIDs(ns []doc.NodeID) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+}

@@ -1,0 +1,131 @@
+package join
+
+import (
+	"lotusx/internal/doc"
+	"lotusx/internal/twig"
+)
+
+// runTJFast implements TJFast (Lu, Ling, Chan, Chen, "From Region Encoding
+// to Extended Dewey", VLDB 2005) — the leaf-streams-only twig join from the
+// LotusX authors' own lineage.  Only the streams of the query's *leaf* nodes
+// are read; each leaf element's root-to-leaf tag path is recovered and
+// aligned against the query path, directly yielding that leaf's path
+// solutions, which the shared merge phase assembles into full matches.
+//
+// The original reads the tag path out of the extended Dewey label via the
+// DTD's finite state transducer so it never touches ancestor nodes on disk;
+// our documents are in memory with parent pointers, so the path walk is the
+// equivalent O(depth) operation (DESIGN.md records the substitution).  The
+// advantage TJFast keeps here is what E2 measures: internal query nodes
+// contribute no stream scans at all, which dominates when internal tags are
+// frequent (//S//NP//NN reads only the NN stream).
+func (ev *evaluator) runTJFast() error {
+	// Candidate sets of internal query nodes, for alignment checks.
+	candidate := make([]map[doc.NodeID]struct{}, ev.q.Len())
+	for _, qn := range ev.q.Nodes() {
+		if qn.IsLeaf() {
+			continue
+		}
+		set := make(map[doc.NodeID]struct{}, len(ev.nodes[qn.ID]))
+		for _, n := range ev.nodes[qn.ID] {
+			set[n] = struct{}{}
+		}
+		candidate[qn.ID] = set
+	}
+
+	var all []pathSolutions
+	for _, path := range rootPaths(ev.q) {
+		leaf := path[len(path)-1]
+		ps := pathSolutions{path: path}
+		for _, e := range ev.nodes[leaf.ID] {
+			ev.stats.ElementsScanned++
+			ev.alignLeaf(path, e, candidate, &ps)
+		}
+		ev.stats.PathSolutions += len(ps.sols)
+		all = append(all, ps)
+	}
+	ev.mergePathSolutions(all)
+	return nil
+}
+
+// alignLeaf enumerates every alignment of the query path onto the root path
+// of leaf element e and appends the resulting path solutions.  The tag path
+// is decoded from e's extended Dewey label (pure arithmetic over the
+// transducer, the TJFast signature move); the parent-pointer walk only
+// recovers the ancestors' identities for the output tuples.
+func (ev *evaluator) alignLeaf(path []*twig.Node, e doc.NodeID, candidate []map[doc.NodeID]struct{}, out *pathSolutions) {
+	d := ev.ix.Document()
+	trans, labels := ev.ix.ExtDewey()
+	tagPath, err := trans.DecodeTags(labels.At(e))
+	if err != nil {
+		// Labels are built from this very document; decoding cannot fail.
+		panic("join: extended Dewey decode failed: " + err.Error())
+	}
+
+	// Root-to-e node chain (identities for the solution tuples).
+	chain := make([]doc.NodeID, len(tagPath))
+	for cur, i := e, len(chain)-1; cur != doc.None; cur, i = d.Parent(cur), i-1 {
+		chain[i] = cur
+	}
+
+	k := len(path) - 1
+	sol := make([]doc.NodeID, len(path))
+	sol[k] = e
+
+	tags := d.Tags()
+	// qualifies reports whether chain[pos] can be bound to query node qi,
+	// checking the tag against the decoded path.
+	qualifies := func(qi, pos int) bool {
+		qn := path[qi]
+		if !qn.IsWildcard() && tagPath[pos] != tags.ID(qn.Tag) {
+			return false
+		}
+		if set := candidate[qn.ID]; set != nil {
+			_, ok := set[chain[pos]]
+			return ok
+		}
+		return true
+	}
+
+	// rec binds query node qi to a chain position strictly below "upper"
+	// (the position bound to qi+1), walking from the leaf to the root.
+	var rec func(qi, upper int)
+	rec = func(qi, upper int) {
+		if qi < 0 {
+			out.sols = append(out.sols, append([]doc.NodeID(nil), sol...))
+			return
+		}
+		qn := path[qi+1] // the child whose Axis constrains qi's position
+		if qn.Axis == twig.Child {
+			pos := upper - 1
+			if pos < 0 || !qualifies(qi, pos) {
+				return
+			}
+			if qi == 0 && path[0].Axis == twig.Child && pos != 0 {
+				return
+			}
+			sol[qi] = chain[pos]
+			rec(qi-1, pos)
+			return
+		}
+		for pos := upper - 1; pos >= 0; pos-- {
+			if !qualifies(qi, pos) {
+				continue
+			}
+			if qi == 0 && path[0].Axis == twig.Child && pos != 0 {
+				continue
+			}
+			sol[qi] = chain[pos]
+			rec(qi-1, pos)
+		}
+	}
+
+	// The leaf itself must sit where the query wants it: a rooted
+	// single-node query (/tag) was already filtered in buildStreams; for
+	// longer paths the leaf can be anywhere, its ancestors constrain it.
+	if k == 0 {
+		out.sols = append(out.sols, append([]doc.NodeID(nil), sol...))
+		return
+	}
+	rec(k-1, len(chain)-1)
+}

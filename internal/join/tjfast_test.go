@@ -1,0 +1,201 @@
+package join
+
+import (
+	"strings"
+	"testing"
+
+	"lotusx/internal/twig"
+)
+
+// TJFast is exercised by every cross-algorithm test in join_test.go (it is
+// part of Algorithms); the tests here cover its distinctive properties.
+
+func TestTJFastReadsOnlyLeafStreams(t *testing.T) {
+	// //S//NP//NN on recursive data: S and NP streams are large, NN is the
+	// only stream TJFast touches.
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 200; i++ {
+		b.WriteString("<S><NP><NP><NN>x</NN></NP></NP></S>")
+	}
+	b.WriteString("</r>")
+	ix := mustIndex(t, b.String())
+	q := twig.MustParse("//S//NP//NN")
+
+	tj, err := Run(ix, q, TJFast, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Run(ix, q, TwigStack, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchSetString(tj) != matchSetString(ts) {
+		t.Fatal("TJFast disagrees with TwigStack")
+	}
+	// TJFast scanned 200 leaf elements; TwigStack walked S (200), NP (400)
+	// and NN (200) streams.
+	if tj.Stats.ElementsScanned != 200 {
+		t.Errorf("TJFast scanned %d elements, want 200 (leaves only)", tj.Stats.ElementsScanned)
+	}
+	if ts.Stats.ElementsScanned <= tj.Stats.ElementsScanned {
+		t.Errorf("TwigStack should scan more: %d vs %d", ts.Stats.ElementsScanned, tj.Stats.ElementsScanned)
+	}
+}
+
+func TestTJFastMultipleAlignments(t *testing.T) {
+	// One NN under three nested NPs: //NP//NN has three alignments.
+	ix := mustIndex(t, `<r><NP><NP><NP><NN>w</NN></NP></NP></NP></r>`)
+	q := twig.MustParse("//NP//NN")
+	res, err := Run(ix, q, TJFast, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 3 {
+		t.Fatalf("matches = %d, want 3", len(res.Matches))
+	}
+	if res.Stats.PathSolutions != 3 {
+		t.Fatalf("path solutions = %d, want 3", res.Stats.PathSolutions)
+	}
+}
+
+func TestTJFastChildChainAlignment(t *testing.T) {
+	// Child axes admit exactly one alignment per leaf.
+	ix := mustIndex(t, `<r><a><b><c>x</c></b></a><a><c>y</c></a></r>`)
+	res, err := Run(ix, twig.MustParse("//a/b/c"), TJFast, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(res.Matches))
+	}
+}
+
+func TestTJFastInternalPredicates(t *testing.T) {
+	// The internal node carries the predicate; TJFast checks it during
+	// alignment via the candidate sets.
+	ix := mustIndex(t, `<r>
+	  <item><name>anvil</name><sub><price>10</price></sub></item>
+	  <item><name>apple</name><sub><price>2</price></sub></item>
+	</r>`)
+	q := twig.MustParse(`//item[name = "anvil"]//price`)
+	res, err := Run(ix, q, TJFast, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(res.Matches))
+	}
+	d := ix.Document()
+	price := res.Matches[0][q.OutputNode().ID]
+	if d.Value(price) != "10" {
+		t.Errorf("price = %q, want 10", d.Value(price))
+	}
+}
+
+func TestChooseHeuristics(t *testing.T) {
+	// Internal-heavy recursive doc: TJFast territory.
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 100; i++ {
+		b.WriteString("<S><NP><NP><X/></NP></NP></S>")
+	}
+	b.WriteString("<S><NP><NN>x</NN></NP></S>")
+	b.WriteString("</r>")
+	ix := mustIndex(t, b.String())
+
+	if got := Choose(ix, twig.MustParse("//S//NP//NN")); got != TJFast {
+		t.Errorf("internal-heavy: Choose = %s, want tjfast", got)
+	}
+	if got := Choose(ix, twig.MustParse("//NN")); got != NestedLoop {
+		t.Errorf("single node: Choose = %s, want nestedloop", got)
+	}
+	if got := Choose(ix, twig.MustParse("//S[NP][X]")); got != TwigStack {
+		t.Errorf("branching: Choose = %s, want twigstack", got)
+	}
+	if got := Choose(ix, twig.MustParse("//NP/NP")); got != PathStack {
+		t.Errorf("pure path: Choose = %s, want pathstack", got)
+	}
+	if got := Choose(ix, &twig.Query{}); got != TwigStack {
+		t.Errorf("unnormalized: Choose = %s, want twigstack fallback", got)
+	}
+}
+
+func TestAutoAlgorithmMatchesOracle(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	for _, qs := range []string{
+		"//article/title",
+		"//article[author][year]",
+		"//book//title",
+		`//article[author = "Jiaheng Lu"]`,
+	} {
+		q := twig.MustParse(qs)
+		auto, err := Run(ix, q, Auto, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := Run(ix, q, NestedLoop, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matchSetString(auto) != matchSetString(oracle) {
+			t.Errorf("auto disagrees with oracle on %q", qs)
+		}
+	}
+}
+
+func TestEstimateStream(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	q := twig.MustParse(`//author`)
+	if got := EstimateStream(ix, q.Root); got != 4 {
+		t.Errorf("plain tag estimate = %d, want 4", got)
+	}
+	q = twig.MustParse(`//author[. contains "jiaheng"]`)
+	est := EstimateStream(ix, q.Root)
+	if est < 1 || est >= 4 {
+		t.Errorf("predicate estimate = %d, want in [1,4)", est)
+	}
+	q = twig.MustParse(`//nosuch`)
+	if got := EstimateStream(ix, q.Root); got != 0 {
+		t.Errorf("unknown tag estimate = %d, want 0", got)
+	}
+	q = twig.MustParse(`//*`)
+	if got := EstimateStream(ix, q.Root); got == 0 {
+		t.Error("wildcard estimate should be positive")
+	}
+}
+
+func TestEstimateMatches(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	// //article/title: min(2 articles... wait 2 articles, 4 titles) = 2.
+	got := EstimateMatches(ix, twig.MustParse("//article/title"))
+	if got != 2 {
+		t.Errorf("estimate = %d, want 2", got)
+	}
+	if got := EstimateMatches(ix, twig.MustParse("//nosuch/title")); got != 0 {
+		t.Errorf("estimate for dead query = %d, want 0", got)
+	}
+	if got := EstimateMatches(ix, &twig.Query{}); got != 0 {
+		t.Errorf("estimate for empty query = %d, want 0", got)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	out := Explain(ix, twig.MustParse(`//article[author = "Jiaheng Lu"]/title`))
+	for _, want := range []string{
+		"plan for //article",
+		"node 0 //article (internal)",
+		`[= "Jiaheng Lu"]`,
+		"estimated matches",
+		"algorithm (auto):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Unnormalized queries normalize in place; broken ones report.
+	if out := Explain(ix, &twig.Query{}); !strings.Contains(out, "invalid query") {
+		t.Errorf("broken query explain = %q", out)
+	}
+}

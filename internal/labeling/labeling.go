@@ -1,0 +1,94 @@
+// Package labeling implements the positional labeling schemes LotusX uses to
+// reason about structural relationships between XML nodes without touching
+// the document tree: containment (region) labels and Dewey order codes.
+//
+// A containment label is the triple (Start, End, Level) assigned during a
+// single document-order traversal: Start and End are pre/post visitation
+// ticks, Level is the depth (the root has level 0).  Node a is an ancestor of
+// node d iff a.Start < d.Start && d.End <= a.End; it is the parent iff it is
+// an ancestor and a.Level+1 == d.Level.  Document order is Start order.
+//
+// A Dewey label is the path of child ordinals from the root, e.g. the third
+// child of the root's first child is 0.2 (ordinals are zero-based).  Dewey
+// labels make lowest-common-ancestor computation trivial and are used by the
+// ranking layer to measure how tightly a match is clustered.
+package labeling
+
+// Region is a containment label.  The zero value is not a valid label of any
+// node; valid labels always have End > Start.
+type Region struct {
+	Start int32 // preorder visitation tick
+	End   int32 // postorder visitation tick, > Start
+	Level int32 // depth; the document root element has level 0
+}
+
+// IsAncestor reports whether a is a proper ancestor of d.
+func (a Region) IsAncestor(d Region) bool {
+	return a.Start < d.Start && d.End <= a.End
+}
+
+// IsParent reports whether a is the parent of d.
+func (a Region) IsParent(d Region) bool {
+	return a.Level+1 == d.Level && a.IsAncestor(d)
+}
+
+// IsAncestorOrSelf reports whether a is d or a proper ancestor of d.
+func (a Region) IsAncestorOrSelf(d Region) bool {
+	return a == d || a.IsAncestor(d)
+}
+
+// Precedes reports whether a comes strictly before b in document order.
+func (a Region) Precedes(b Region) bool { return a.Start < b.Start }
+
+// Before reports whether a's subtree ends before b's begins, i.e. a precedes
+// b and is not an ancestor of b.  This is XQuery's << on disjoint nodes.
+func (a Region) Before(b Region) bool { return a.End < b.Start }
+
+// Disjoint reports whether neither node contains the other.
+func (a Region) Disjoint(b Region) bool {
+	return a.End < b.Start || b.End < a.Start
+}
+
+// Span returns the number of visitation ticks covered by the region.  It is
+// a cheap proxy for subtree size: larger spans mean larger subtrees.
+func (a Region) Span() int32 { return a.End - a.Start }
+
+// Assigner hands out containment labels during a document-order traversal.
+// Call Enter when an element starts and Leave when it ends; Leave completes
+// and returns the label started by the matching Enter.
+type Assigner struct {
+	tick  int32
+	depth int32
+	open  []int32 // start ticks of currently open elements
+}
+
+// NewAssigner returns an Assigner whose first Enter produces Start == 1.
+// Tick 0 is reserved so that the zero Region never collides with a real one.
+func NewAssigner() *Assigner { return &Assigner{tick: 0} }
+
+// Enter opens a new element and returns its Start tick and Level.
+func (s *Assigner) Enter() (start, level int32) {
+	s.tick++
+	start = s.tick
+	level = s.depth
+	s.open = append(s.open, start)
+	s.depth++
+	return start, level
+}
+
+// Leave closes the most recently opened element and returns its completed
+// Region.  Leave panics if no element is open: the caller (the document
+// builder) guarantees well-nested input.
+func (s *Assigner) Leave() Region {
+	if len(s.open) == 0 {
+		panic("labeling: Leave without matching Enter")
+	}
+	s.tick++
+	start := s.open[len(s.open)-1]
+	s.open = s.open[:len(s.open)-1]
+	s.depth--
+	return Region{Start: start, End: s.tick, Level: s.depth}
+}
+
+// Depth returns the number of currently open elements.
+func (s *Assigner) Depth() int { return len(s.open) }

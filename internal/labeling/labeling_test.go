@@ -1,0 +1,263 @@
+package labeling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandomTree grows a random tree with n nodes and returns parallel
+// slices of Region and Dewey labels plus each node's parent index (-1 for
+// the root), produced by a single simulated traversal.
+func buildRandomTree(rng *rand.Rand, n int) (regions []Region, deweys []Dewey, parents []int) {
+	ra := NewAssigner()
+	da := NewDeweyAssigner()
+	regions = make([]Region, n)
+	deweys = make([]Dewey, n)
+	parents = make([]int, n)
+
+	// We generate a random preorder shape: maintain a stack of open nodes;
+	// at each step either open a new child (if any nodes remain) or close
+	// the top (if the stack is non-empty).
+	type open struct {
+		idx   int
+		start int32
+		level int32
+	}
+	var stack []open
+	created := 0
+	starts := make(map[int]struct{ start, level int32 })
+	for created < n || len(stack) > 0 {
+		openNew := created < n && (len(stack) == 0 || rng.Intn(2) == 0)
+		if openNew {
+			start, level := ra.Enter()
+			dl := da.Enter()
+			deweys[created] = append(Dewey(nil), dl...)
+			if len(stack) == 0 {
+				parents[created] = -1
+			} else {
+				parents[created] = stack[len(stack)-1].idx
+			}
+			stack = append(stack, open{created, start, level})
+			starts[created] = struct{ start, level int32 }{start, level}
+			created++
+		} else {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			regions[top.idx] = ra.Leave()
+			da.Leave()
+		}
+	}
+	for i, s := range starts {
+		if regions[i].Start != s.start || regions[i].Level != s.level {
+			panic("assigner returned mismatched start/level")
+		}
+	}
+	return regions, deweys, parents
+}
+
+// trueAncestor computes ancestry from the parent pointers (the oracle).
+func trueAncestor(parents []int, a, d int) bool {
+	for p := parents[d]; p >= 0; p = parents[p] {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRegionAgainstParentPointerOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(60)
+		regions, deweys, parents := buildRandomTree(rng, n)
+		for a := 0; a < n; a++ {
+			for d := 0; d < n; d++ {
+				if a == d {
+					continue
+				}
+				want := trueAncestor(parents, a, d)
+				if got := regions[a].IsAncestor(regions[d]); got != want {
+					t.Fatalf("trial %d: IsAncestor(%d,%d)=%v want %v", trial, a, d, got, want)
+				}
+				if got := deweys[a].IsAncestor(deweys[d]); got != want {
+					t.Fatalf("trial %d: Dewey IsAncestor(%d,%d)=%v want %v", trial, a, d, got, want)
+				}
+				wantParent := parents[d] == a
+				if got := regions[a].IsParent(regions[d]); got != wantParent {
+					t.Fatalf("trial %d: IsParent(%d,%d)=%v want %v", trial, a, d, got, wantParent)
+				}
+			}
+		}
+	}
+}
+
+func TestRegionAndDeweyAgreeOnDocumentOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(60)
+		regions, deweys, _ := buildRandomTree(rng, n)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				regOrder := regions[a].Precedes(regions[b])
+				dwOrder := deweys[a].Compare(deweys[b]) < 0
+				if regOrder != dwOrder {
+					t.Fatalf("order disagreement between labelings at (%d,%d)", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRegionBeforeAndDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	regions, _, parents := buildRandomTree(rng, 50)
+	for a := range regions {
+		for b := range regions {
+			if a == b {
+				continue
+			}
+			related := trueAncestor(parents, a, b) || trueAncestor(parents, b, a)
+			if got := regions[a].Disjoint(regions[b]); got != !related {
+				t.Fatalf("Disjoint(%d,%d)=%v want %v", a, b, got, !related)
+			}
+			wantBefore := !related && regions[a].Start < regions[b].Start
+			if got := regions[a].Before(regions[b]); got != wantBefore {
+				t.Fatalf("Before(%d,%d)=%v want %v", a, b, got, wantBefore)
+			}
+		}
+	}
+}
+
+func TestAncestorTransitivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	regions, _, _ := buildRandomTree(rng, 80)
+	f := func(i, j, k uint8) bool {
+		a := regions[int(i)%len(regions)]
+		b := regions[int(j)%len(regions)]
+		c := regions[int(k)%len(regions)]
+		if a.IsAncestor(b) && b.IsAncestor(c) && !a.IsAncestor(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeweyCompareIsTotalOrderProperty(t *testing.T) {
+	gen := func(rng *rand.Rand) Dewey {
+		d := make(Dewey, rng.Intn(6))
+		for i := range d {
+			d[i] = int32(rng.Intn(4))
+		}
+		return d
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3000; trial++ {
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated: %v %v", a, b)
+		}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestDeweyLCA(t *testing.T) {
+	cases := []struct {
+		a, b, want Dewey
+	}{
+		{Dewey{0, 1, 2}, Dewey{0, 1, 3}, Dewey{0, 1}},
+		{Dewey{0}, Dewey{1}, Dewey{}},
+		{Dewey{0, 1}, Dewey{0, 1, 5}, Dewey{0, 1}},
+		{Dewey{}, Dewey{4, 4}, Dewey{}},
+		{Dewey{2, 3}, Dewey{2, 3}, Dewey{2, 3}},
+	}
+	for _, c := range cases {
+		got := c.a.LCA(c.b)
+		if got.Compare(c.want) != 0 {
+			t.Errorf("LCA(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDeweyArenaRoundTrip(t *testing.T) {
+	arena := NewDeweyArena(4, 3)
+	labels := []Dewey{{}, {0}, {0, 0}, {0, 1}, {1}}
+	for i, l := range labels {
+		if got := arena.Append(l); got != int32(i) {
+			t.Fatalf("Append returned %d, want %d", got, i)
+		}
+	}
+	if arena.Len() != len(labels) {
+		t.Fatalf("Len = %d, want %d", arena.Len(), len(labels))
+	}
+	for i, want := range labels {
+		if got := arena.At(int32(i)); got.Compare(want) != 0 {
+			t.Errorf("At(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAssignerPanicsOnUnderflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Leave without Enter")
+		}
+	}()
+	NewAssigner().Leave()
+}
+
+func TestDeweyAssignerPanicsOnUnderflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Leave without Enter")
+		}
+	}()
+	NewDeweyAssigner().Leave()
+}
+
+func TestAssignerSiblingOrdinals(t *testing.T) {
+	da := NewDeweyAssigner()
+	root := append(Dewey(nil), da.Enter()...) // root
+	if root.Compare(Dewey{0}) != 0 {
+		t.Fatalf("root label = %v, want [0]", root)
+	}
+	var kids []Dewey
+	for i := 0; i < 3; i++ {
+		kids = append(kids, append(Dewey(nil), da.Enter()...))
+		da.Leave()
+	}
+	for i, k := range kids {
+		want := Dewey{0, int32(i)}
+		if k.Compare(want) != 0 {
+			t.Errorf("child %d label = %v, want %v", i, k, want)
+		}
+	}
+	da.Leave()
+	// A second root-level node gets ordinal 1.
+	second := append(Dewey(nil), da.Enter()...)
+	if second.Compare(Dewey{1}) != 0 {
+		t.Errorf("second top-level label = %v, want [1]", second)
+	}
+}
+
+func TestRegionSpan(t *testing.T) {
+	ra := NewAssigner()
+	ra.Enter() // root
+	ra.Enter() // child
+	child := ra.Leave()
+	root := ra.Leave()
+	if child.Span() != 1 {
+		t.Errorf("leaf span = %d, want 1", child.Span())
+	}
+	if root.Span() != 3 {
+		t.Errorf("root span = %d, want 3", root.Span())
+	}
+	if !root.IsParent(child) || !root.IsAncestorOrSelf(child) || !root.IsAncestorOrSelf(root) {
+		t.Error("parent/ancestor-or-self relations wrong for two-node tree")
+	}
+}

@@ -1,0 +1,334 @@
+// Package repl implements the terminal front-end of the demo: an
+// interactive loop over a core.Session with the same interactions as the web
+// GUI — grow the twig node by node, ask for position-aware candidates at any
+// point, run the query, read ranked, highlighted answers.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lotusx/internal/complete"
+	"lotusx/internal/core"
+	"lotusx/internal/twig"
+)
+
+// REPL drives one interactive session.
+type REPL struct {
+	engine  *core.Engine
+	session *core.Session
+	out     *bufio.Writer
+}
+
+// Run reads commands from in and writes responses to out until EOF or the
+// quit command.  It returns the first I/O error, if any.
+func Run(engine *core.Engine, in io.Reader, out io.Writer) error {
+	r := &REPL{engine: engine, session: engine.NewSession(), out: bufio.NewWriter(out)}
+	st := engine.Stats()
+	r.printf("lotusx: %s — %d nodes, %d tags. Type 'help'.\n", st.Document, st.Nodes, st.Tags)
+	r.out.Flush()
+
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		r.dispatch(line)
+		r.out.Flush()
+	}
+	r.out.Flush()
+	return sc.Err()
+}
+
+func (r *REPL) printf(format string, args ...any) {
+	fmt.Fprintf(r.out, format, args...)
+}
+
+func (r *REPL) dispatch(line string) {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	var err error
+	switch cmd {
+	case "help":
+		r.help()
+	case "root":
+		err = r.cmdRoot(args)
+	case "add":
+		err = r.cmdAdd(args)
+	case "sug":
+		err = r.cmdSuggest(args)
+	case "val":
+		err = r.cmdValues(args)
+	case "pred":
+		err = r.cmdPred(line)
+	case "out":
+		err = r.cmdOut(args)
+	case "del":
+		err = r.cmdDel(args)
+	case "show":
+		err = r.cmdShow()
+	case "xquery":
+		err = r.cmdXQuery()
+	case "run":
+		err = r.cmdRun(args)
+	case "query":
+		err = r.cmdQuery(line)
+	default:
+		err = fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+	if err != nil {
+		r.printf("error: %v\n", err)
+	}
+}
+
+func (r *REPL) help() {
+	r.printf(`commands (handles are the #numbers printed by root/add):
+  root <tag>                 start the twig (// axis)
+  add <h> [/|//] <tag>       attach a child under handle h
+  sug <h> [/|//] [prefix]    position-aware tag candidates under h
+  val <h> [prefix]           value candidates for node h
+  pred <h> = <text>          set an equality predicate ('contains' also works)
+  out <h>                    mark h as the output node
+  del <h>                    delete node h and its subtree
+  show                       print the twig so far
+  xquery                     print the equivalent XQuery
+  run [k]                    evaluate (with rewriting) and print answers
+  query <xpath>              one-shot query, bypassing the session
+  quit
+`)
+}
+
+func parseAxis(args []string) (twig.Axis, []string) {
+	if len(args) > 0 {
+		switch args[0] {
+		case "/":
+			return twig.Child, args[1:]
+		case "//":
+			return twig.Descendant, args[1:]
+		}
+	}
+	return twig.Child, args
+}
+
+func handleArg(args []string) (int, []string, error) {
+	if len(args) == 0 {
+		return 0, nil, fmt.Errorf("missing node handle")
+	}
+	h, err := strconv.Atoi(strings.TrimPrefix(args[0], "#"))
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad handle %q", args[0])
+	}
+	return h, args[1:], nil
+}
+
+func (r *REPL) cmdRoot(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: root <tag>")
+	}
+	h, err := r.session.Root(args[0], twig.Descendant)
+	if err != nil {
+		return err
+	}
+	r.printf("#%d = //%s\n", h, args[0])
+	return nil
+}
+
+func (r *REPL) cmdAdd(args []string) error {
+	h, rest, err := handleArg(args)
+	if err != nil {
+		return err
+	}
+	axis, rest := parseAxis(rest)
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: add <h> [/|//] <tag>")
+	}
+	nh, err := r.session.AddNode(h, axis, rest[0])
+	if err != nil {
+		return err
+	}
+	r.printf("#%d = %s%s under #%d\n", nh, axis, rest[0], h)
+	return nil
+}
+
+func (r *REPL) cmdSuggest(args []string) error {
+	var cands []complete.Candidate
+	var err error
+	if len(args) == 0 || args[0] == "." {
+		// Root suggestions.
+		prefix := ""
+		if len(args) > 1 {
+			prefix = args[1]
+		}
+		cands, err = r.session.SuggestTags(complete.NewRoot, twig.Descendant, prefix, 8)
+	} else {
+		h, rest, herr := handleArg(args)
+		if herr != nil {
+			return herr
+		}
+		axis, rest := parseAxis(rest)
+		prefix := ""
+		if len(rest) > 0 {
+			prefix = rest[0]
+		}
+		cands, err = r.session.SuggestTags(h, axis, prefix, 8)
+	}
+	if err != nil {
+		return err
+	}
+	if len(cands) == 0 {
+		r.printf("(no candidates)\n")
+		return nil
+	}
+	for _, c := range cands {
+		marker := ""
+		if c.Fuzzy {
+			marker = "  (did you mean?)"
+		}
+		r.printf("  %-20s %6d×%s\n", c.Text, c.Count, marker)
+	}
+	return nil
+}
+
+func (r *REPL) cmdValues(args []string) error {
+	h, rest, err := handleArg(args)
+	if err != nil {
+		return err
+	}
+	prefix := ""
+	if len(rest) > 0 {
+		prefix = rest[0]
+	}
+	cands, err := r.session.SuggestValues(h, prefix, 8)
+	if err != nil {
+		return err
+	}
+	if len(cands) == 0 {
+		r.printf("(no values)\n")
+		return nil
+	}
+	for _, c := range cands {
+		r.printf("  %-30q %6d×\n", c.Text, c.Count)
+	}
+	return nil
+}
+
+func (r *REPL) cmdPred(line string) error {
+	// pred <h> = <text...>  |  pred <h> contains <text...>
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "pred"))
+	fields := strings.SplitN(rest, " ", 3)
+	if len(fields) < 3 {
+		return fmt.Errorf("usage: pred <h> =|contains <text>")
+	}
+	h, err := strconv.Atoi(strings.TrimPrefix(fields[0], "#"))
+	if err != nil {
+		return fmt.Errorf("bad handle %q", fields[0])
+	}
+	op := twig.Eq
+	if fields[1] == "contains" {
+		op = twig.Contains
+	} else if fields[1] != "=" {
+		return fmt.Errorf("operator must be = or contains")
+	}
+	return r.session.SetPredicate(h, op, strings.TrimSpace(fields[2]))
+}
+
+func (r *REPL) cmdOut(args []string) error {
+	h, _, err := handleArg(args)
+	if err != nil {
+		return err
+	}
+	return r.session.SetOutput(h)
+}
+
+func (r *REPL) cmdDel(args []string) error {
+	h, _, err := handleArg(args)
+	if err != nil {
+		return err
+	}
+	return r.session.RemoveNode(h)
+}
+
+func (r *REPL) cmdShow() error {
+	xp, err := r.session.XPath()
+	if err != nil {
+		return err
+	}
+	r.printf("%s\n", xp)
+	return nil
+}
+
+func (r *REPL) cmdXQuery() error {
+	xq, err := r.session.XQuery()
+	if err != nil {
+		return err
+	}
+	r.printf("%s\n", xq)
+	return nil
+}
+
+func (r *REPL) cmdRun(args []string) error {
+	k := 5
+	if len(args) > 0 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad k %q", args[0])
+		}
+		k = n
+	}
+	res, err := r.session.Run(core.SearchOptions{K: k, Rewrite: true})
+	if err != nil {
+		return err
+	}
+	q, err := r.session.Query()
+	if err != nil {
+		return err
+	}
+	r.printAnswers(q, res)
+	return nil
+}
+
+func (r *REPL) cmdQuery(line string) error {
+	text := strings.TrimSpace(strings.TrimPrefix(line, "query"))
+	if text == "" {
+		return fmt.Errorf("usage: query <xpath>")
+	}
+	q, err := twig.Parse(text)
+	if err != nil {
+		return err
+	}
+	res, err := r.engine.Search(q, core.SearchOptions{K: 5, Rewrite: true})
+	if err != nil {
+		return err
+	}
+	r.printAnswers(q, res)
+	return nil
+}
+
+func (r *REPL) printAnswers(q *twig.Query, res *core.SearchResult) {
+	r.printf("%d answers (%d exact, %d rewrites tried) in %v\n",
+		len(res.Answers), res.Exact, res.RewritesTried, res.Elapsed.Round(10_000))
+	d := r.engine.Document()
+	for i, a := range res.Answers {
+		r.printf("#%d  %s  score=%.3f", i+1, d.Path(a.Node), a.Score)
+		if a.Rewrite != nil {
+			r.printf("  [via %s]", a.Rewrite.Query)
+		}
+		r.printf("\n")
+		answerQuery := q
+		if a.Rewrite != nil {
+			answerQuery = a.Rewrite.Query
+		}
+		for _, h := range r.engine.Highlights(answerQuery, a.Scored.Match) {
+			r.printf("    %s: %s\n", h.Tag, core.Underline(h.Value, h.Spans))
+		}
+		snippet := r.engine.Snippet(a.Node, 200)
+		r.printf("    %s\n", strings.ReplaceAll(strings.TrimSpace(snippet), "\n", "\n    "))
+	}
+}

@@ -1,0 +1,130 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+
+	"lotusx/internal/core"
+)
+
+const bibXML = `<dblp>
+  <article key="a1">
+    <author>Jiaheng Lu</author>
+    <title>Holistic Twig Joins</title>
+    <year>2005</year>
+  </article>
+  <article key="a2">
+    <author>Chunbin Lin</author>
+    <title>LotusX</title>
+    <year>2012</year>
+  </article>
+</dblp>`
+
+func runScript(t *testing.T, script string) string {
+	t.Helper()
+	e, err := core.FromReader("bib", strings.NewReader(bibXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := Run(e, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestReplFullSession(t *testing.T) {
+	out := runScript(t, `
+sug . art
+root article
+sug 0 / a
+add 0 / author
+val 1 jia
+pred 1 = jiaheng lu
+add 0 / title
+out 2
+show
+xquery
+run 5
+quit
+`)
+	for _, want := range []string{
+		"article",        // root suggestion
+		"author",         // child suggestion
+		"jiaheng lu",     // value candidate
+		"//article",      // show
+		"for $v0",        // xquery
+		"(1 exact",       // run: one exact answer, rewrites fill the rest
+		">>Jiaheng Lu<<", // highlight of the Eq predicate
+		"Holistic",       // snippet
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplOneShotQueryAndRewrite(t *testing.T) {
+	out := runScript(t, `
+query //article/autor
+`)
+	if !strings.Contains(out, "[via //article/author]") {
+		t.Errorf("rewrite annotation missing:\n%s", out)
+	}
+}
+
+func TestReplDeleteAndErrors(t *testing.T) {
+	out := runScript(t, `
+root article
+add 0 / year
+del 1
+show
+add 1 / x
+nonsense
+pred 0 <> x
+help
+`)
+	if !strings.Contains(out, "//article\n") {
+		t.Errorf("show after delete wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown node handle") {
+		t.Errorf("stale handle not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("bad command not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "operator must be") {
+		t.Errorf("bad operator not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "commands (handles") {
+		t.Errorf("help missing:\n%s", out)
+	}
+}
+
+func TestReplArgumentErrors(t *testing.T) {
+	out := runScript(t, `
+root
+root article
+root again
+add 0
+add zz / x
+sug 99 / a
+val 0 zzz
+run 0
+query ]bad[
+`)
+	for _, want := range []string{
+		"usage: root",
+		"root already set",
+		"usage: add",
+		"bad handle",
+		"unknown node handle", // suggesting under an unknown handle
+		"(no values)",
+		"bad k",
+		"parse error",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

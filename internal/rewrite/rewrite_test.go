@@ -1,0 +1,300 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"lotusx/internal/dataguide"
+	"lotusx/internal/doc"
+	"lotusx/internal/index"
+	"lotusx/internal/join"
+	"lotusx/internal/twig"
+)
+
+const bibXML = `<dblp>
+  <article>
+    <author>Jiaheng Lu</author>
+    <title>Holistic Twig Joins</title>
+    <year>2005</year>
+  </article>
+  <article>
+    <author>Chunbin Lin</author>
+    <title>LotusX</title>
+    <year>2012</year>
+  </article>
+  <book>
+    <editor>Tok Wang Ling</editor>
+    <title>XML Databases</title>
+  </book>
+</dblp>`
+
+func mustEngine(t *testing.T, src string) (*Engine, *index.Index) {
+	t.Helper()
+	d, err := doc.FromString("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(d)
+	return New(ix, dataguide.Build(d)), ix
+}
+
+func TestEnumerateOrderedByPenalty(t *testing.T) {
+	e, _ := mustEngine(t, bibXML)
+	q := twig.MustParse(`//article[author = "Jiaheng Lu"]/title`)
+	rws := e.Enumerate(q, 2.0, 20)
+	if len(rws) == 0 {
+		t.Fatal("no rewrites")
+	}
+	for i := 1; i < len(rws); i++ {
+		if rws[i-1].Penalty > rws[i].Penalty {
+			t.Fatalf("rewrites not penalty-ordered: %f then %f", rws[i-1].Penalty, rws[i].Penalty)
+		}
+	}
+	for _, rw := range rws {
+		if rw.Penalty > 2.0 {
+			t.Fatalf("penalty %f exceeds budget", rw.Penalty)
+		}
+		if len(rw.Applied) == 0 {
+			t.Fatal("rewrite without provenance")
+		}
+	}
+}
+
+func TestValueRelaxationChain(t *testing.T) {
+	e, ix := mustEngine(t, bibXML)
+	// Exact value "Twig Joins" matches nothing ("Holistic Twig Joins" is
+	// the stored value); contains-relaxation recovers it.
+	q := twig.MustParse(`//article[title = "Twig Joins"]`)
+	res, err := join.Run(ix, q, join.TwigStack, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Fatal("setup: exact query should have no matches")
+	}
+	rws := e.Enumerate(q, 1.0, 50)
+	found := false
+	for _, rw := range rws {
+		res, err := join.Run(ix, rw.Query, join.TwigStack, join.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) > 0 {
+			found = true
+			if rw.Applied[0].Rule != ValueContains {
+				t.Errorf("first recovering rule = %v, want value-contains", rw.Applied[0].Rule)
+			}
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no rewrite recovered answers")
+	}
+}
+
+func TestTagSubstitution(t *testing.T) {
+	e, ix := mustEngine(t, bibXML)
+	// "autor" is a typo for "author"; the DataGuide knows what occurs under
+	// article.
+	q := twig.MustParse(`//article/autor`)
+	rws := e.Enumerate(q, 1.5, 50)
+	var hit *Rewrite
+	for i := range rws {
+		for _, ap := range rws[i].Applied {
+			if ap.Rule == TagSubstitute && strings.Contains(ap.Detail, `"author"`) {
+				hit = &rws[i]
+			}
+		}
+		if hit != nil {
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal("author substitution not proposed")
+	}
+	res, err := join.Run(ix, hit.Query, join.TwigStack, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("substituted query matches = %d, want 2", len(res.Matches))
+	}
+}
+
+func TestSubstitutionPrefersCloserNames(t *testing.T) {
+	e, _ := mustEngine(t, bibXML)
+	q := twig.MustParse(`//article/yer`) // typo for year
+	rws := e.Enumerate(q, 1.2, 30)
+	// The cheapest tag-substitute should be year (distance 1), not title.
+	for _, rw := range rws {
+		if rw.Applied[0].Rule == TagSubstitute {
+			if !strings.Contains(rw.Applied[0].Detail, `"year"`) {
+				t.Fatalf("first substitution = %s, want year", rw.Applied[0].Detail)
+			}
+			return
+		}
+	}
+	t.Fatal("no substitution proposed")
+}
+
+func TestAxisRelaxation(t *testing.T) {
+	e, ix := mustEngine(t, `<r><a><m><b>x</b></m></a></r>`)
+	q := twig.MustParse(`//a/b`) // b is not a direct child
+	res, _ := join.Run(ix, q, join.TwigStack, join.Options{})
+	if len(res.Matches) != 0 {
+		t.Fatal("setup: /b should not match")
+	}
+	rws := e.Enumerate(q, 0.4, 10)
+	if len(rws) == 0 {
+		t.Fatal("no cheap rewrites")
+	}
+	first := rws[0]
+	if first.Applied[0].Rule != AxisRelax {
+		t.Fatalf("cheapest rule = %v, want axis-relax", first.Applied[0].Rule)
+	}
+	res, _ = join.Run(ix, first.Query, join.TwigStack, join.Options{})
+	if len(res.Matches) != 1 {
+		t.Fatalf("relaxed matches = %d, want 1", len(res.Matches))
+	}
+}
+
+func TestLeafDeletion(t *testing.T) {
+	e, ix := mustEngine(t, bibXML)
+	// Books have no year: deleting the year leaf recovers the book.
+	q := twig.MustParse(`//book[title][year]`)
+	res, _ := join.Run(ix, q, join.TwigStack, join.Options{})
+	if len(res.Matches) != 0 {
+		t.Fatal("setup: book with year should not match")
+	}
+	rws := e.Enumerate(q, 2.0, 100)
+	for _, rw := range rws {
+		hasDelete := false
+		for _, ap := range rw.Applied {
+			if ap.Rule == LeafDelete && strings.Contains(ap.Detail, "year") {
+				hasDelete = true
+			}
+		}
+		if !hasDelete {
+			continue
+		}
+		res, err := join.Run(ix, rw.Query, join.TwigStack, join.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 1 {
+			t.Fatalf("after year deletion matches = %d, want 1", len(res.Matches))
+		}
+		return
+	}
+	t.Fatal("year leaf deletion never proposed")
+}
+
+func TestLeafDeletionRemapsOrder(t *testing.T) {
+	e, _ := mustEngine(t, `<r><s><a/><b/><c/></s></r>`)
+	q := twig.MustParse(`//s[a << b][c]`)
+	rws := e.Enumerate(q, 1.6, 200)
+	for _, rw := range rws {
+		if len(rw.Applied) == 1 && rw.Applied[0].Rule == LeafDelete {
+			detail := rw.Applied[0].Detail
+			switch {
+			case strings.Contains(detail, "drop leaf c"):
+				if len(rw.Query.Order) != 1 {
+					t.Fatalf("dropping c should keep the a<<b constraint, got %v", rw.Query.Order)
+				}
+				// a and b keep IDs 1 and 2.
+				if rw.Query.Node(rw.Query.Order[0].Before).Tag != "a" {
+					t.Fatal("order endpoint remapped wrongly")
+				}
+			case strings.Contains(detail, "drop leaf a"), strings.Contains(detail, "drop leaf b"):
+				if len(rw.Query.Order) != 0 {
+					t.Fatalf("dropping an order endpoint should drop the constraint")
+				}
+			}
+		}
+	}
+}
+
+func TestWildcardRelaxation(t *testing.T) {
+	e, _ := mustEngine(t, bibXML)
+	q := twig.MustParse(`//article/title`)
+	rws := e.Enumerate(q, 1.2, 100)
+	for _, rw := range rws {
+		if rw.Applied[0].Rule == TagWildcard {
+			return
+		}
+	}
+	t.Fatal("wildcard relaxation never proposed")
+}
+
+func TestEnumerateRespectsLimitAndDedup(t *testing.T) {
+	e, _ := mustEngine(t, bibXML)
+	q := twig.MustParse(`//article[author][title][year]`)
+	rws := e.Enumerate(q, 3.0, 15)
+	if len(rws) != 15 {
+		t.Fatalf("limit ignored: %d", len(rws))
+	}
+	seen := make(map[string]struct{})
+	for _, rw := range rws {
+		key := rw.Query.String()
+		if _, dup := seen[key]; dup {
+			t.Fatalf("duplicate rewrite %q", key)
+		}
+		seen[key] = struct{}{}
+	}
+	if got := e.Enumerate(q, 3.0, 0); got != nil {
+		t.Fatal("limit 0 should return nil")
+	}
+}
+
+func TestCompositeRewrites(t *testing.T) {
+	e, _ := mustEngine(t, bibXML)
+	q := twig.MustParse(`//article[title = "LotusX"]/yer`)
+	rws := e.Enumerate(q, 2.0, 200)
+	// Expect some rewrite combining substitution and value relaxation.
+	for _, rw := range rws {
+		if len(rw.Applied) >= 2 {
+			return
+		}
+	}
+	t.Fatal("no composite rewrites produced")
+}
+
+func TestCustomPenalties(t *testing.T) {
+	e, _ := mustEngine(t, bibXML)
+	p := DefaultPenalties()
+	p[AxisRelax] = 10.0
+	e.SetPenalties(p)
+	q := twig.MustParse(`//article/title`)
+	rws := e.Enumerate(q, 2.0, 100)
+	for _, rw := range rws {
+		for _, ap := range rw.Applied {
+			if ap.Rule == AxisRelax {
+				t.Fatal("axis relaxations should be priced out")
+			}
+		}
+	}
+}
+
+func TestEnumerateKeepsCheapestDerivation(t *testing.T) {
+	// //a/b/c: relaxing both axes in either order derives //a//b//c twice;
+	// the emitted rewrite must carry the (single) cheapest penalty, and no
+	// query text may appear twice.
+	e, _ := mustEngine(t, `<r><a><b><c/></b></a></r>`)
+	q := twig.MustParse(`//a/b/c`)
+	rws := e.Enumerate(q, 3.0, 300)
+	seen := make(map[string]float64)
+	for _, rw := range rws {
+		key := rw.Query.String()
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("duplicate %q at penalties %.2f and %.2f", key, prev, rw.Penalty)
+		}
+		seen[key] = rw.Penalty
+	}
+	both, ok := seen["//a//b//c"]
+	if !ok {
+		t.Fatal("double axis relaxation never emitted")
+	}
+	if both != 0.6 {
+		t.Fatalf("//a//b//c penalty = %.2f, want 0.6 (two axis steps)", both)
+	}
+}

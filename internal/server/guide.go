@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+
+	"lotusx/internal/core"
+	"lotusx/internal/dataguide"
+)
+
+// guideNode is the JSON shape of one DataGuide node — the schema browser
+// the GUI shows so users can click a path instead of typing it.
+type guideNode struct {
+	Tag      string      `json:"tag"`
+	Path     string      `json:"path"`
+	Count    int         `json:"count"`
+	Values   []string    `json:"values,omitempty"` // top sampled values
+	Children []guideNode `json:"children,omitempty"`
+}
+
+// handleGuide serves the document's structural summary.
+//
+//	GET /api/guide            the whole guide tree
+//	GET /api/guide?values=3   include up to 3 top values per path
+func (s *Server) handleGuide(w http.ResponseWriter, r *http.Request) {
+	engine, err := s.engineFor(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	nvals := 0
+	if v := r.URL.Query().Get("values"); v != "" {
+		switch v {
+		case "1":
+			nvals = 1
+		case "2":
+			nvals = 2
+		case "3":
+			nvals = 3
+		case "5":
+			nvals = 5
+		default:
+			nvals = 3
+		}
+	}
+	g := engine.Guide()
+	writeJSON(w, http.StatusOK, s.guideJSON(engine, g.Root(), nvals))
+}
+
+func (s *Server) guideJSON(engine *core.Engine, gn *dataguide.Node, nvals int) guideNode {
+	tags := engine.Document().Tags()
+	out := guideNode{
+		Tag:   tags.Name(gn.Tag),
+		Path:  gn.Path(tags),
+		Count: gn.Count,
+	}
+	if nvals > 0 {
+		for i, vc := range gn.Values() {
+			if i >= nvals {
+				break
+			}
+			out.Values = append(out.Values, vc.Value)
+		}
+	}
+	// Children in deterministic (tag name) order.
+	kids := make([]*dataguide.Node, 0, len(gn.Children))
+	for _, c := range gn.Children {
+		kids = append(kids, c)
+	}
+	sort.Slice(kids, func(i, j int) bool {
+		return tags.Name(kids[i].Tag) < tags.Name(kids[j].Tag)
+	})
+	for _, c := range kids {
+		out.Children = append(out.Children, s.guideJSON(engine, c, nvals))
+	}
+	return out
+}

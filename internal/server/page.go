@@ -1,0 +1,126 @@
+package server
+
+import "net/http"
+
+// handleIndex serves the embedded single-page demo client: a query box with
+// live position-aware completion and a result pane — the minimal stand-in
+// for the paper's graphical twig builder.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(indexHTML))
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>LotusX — position-aware XML search</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 56rem; }
+  input, button, select { font: inherit; padding: .4rem; }
+  #query { width: 70%; }
+  #suggest { color: #555; margin: .5rem 0; }
+  .answer { border: 1px solid #ddd; border-radius: 6px; padding: .6rem; margin: .6rem 0; }
+  .answer pre { margin: .4rem 0 0; overflow-x: auto; background: #f7f7f7; padding: .4rem; }
+  .rewrite { color: #a50; font-size: .85rem; }
+  .score { color: #06c; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>LotusX</h1>
+<p>
+  <select id="dataset" onchange="loadStats()"></select>
+  <span id="stats"></span>
+</p>
+<div>
+  <input id="query" placeholder='e.g. //article[author = "..."]/title' autocomplete="off">
+  <label><input type="checkbox" id="rewrite" checked> rewrite</label>
+  <button onclick="runQuery()">Search</button>
+</div>
+<div id="suggest"></div>
+<div id="results"></div>
+<script>
+function ds() {
+  const v = document.getElementById('dataset').value;
+  return v ? '&dataset=' + encodeURIComponent(v) : '';
+}
+async function loadDatasets() {
+  const r = await (await fetch('/api/datasets')).json();
+  const sel = document.getElementById('dataset');
+  for (const name of r.datasets || []) {
+    const opt = document.createElement('option');
+    opt.value = name;
+    opt.textContent = name;
+    sel.appendChild(opt);
+  }
+  loadStats();
+}
+async function loadStats() {
+  const s = await (await fetch('/api/stats?x=1' + ds())).json();
+  document.getElementById('stats').textContent =
+    s.Nodes + ' nodes, ' + s.Tags + ' tags, ' + s.GuidePaths + ' paths';
+  document.getElementById('results').innerHTML = '';
+}
+loadDatasets();
+
+// Live completion: when the query ends in a path step being typed, split it
+// into (path so far, prefix) and ask the server for candidates.
+const qbox = document.getElementById('query');
+qbox.addEventListener('input', async () => {
+  const text = qbox.value;
+  const m = text.match(/^(.*[\/]{1,2})([A-Za-z_@][\w.-]*)?$/);
+  if (!m) { document.getElementById('suggest').textContent = ''; return; }
+  let path = m[1].replace(/[\/]+$/, '');
+  const axis = m[1].endsWith('//') ? 'descendant' : 'child';
+  const prefix = m[2] || '';
+  const url = '/api/complete?kind=tag&axis=' + axis +
+    '&path=' + encodeURIComponent(path) + '&prefix=' + encodeURIComponent(prefix) + '&k=8' + ds();
+  try {
+    const res = await (await fetch(url)).json();
+    const names = (res.candidates || []).map(c => c.Text + ' (' + c.Count + ')');
+    document.getElementById('suggest').textContent =
+      names.length ? 'candidates: ' + names.join(', ') : '';
+  } catch (e) { /* mid-edit queries can be unparseable; stay quiet */ }
+});
+
+async function runQuery() {
+  const body = { query: qbox.value, k: 10, rewrite: document.getElementById('rewrite').checked };
+  const res = await (await fetch('/api/query?x=1' + ds(), {
+    method: 'POST', headers: {'Content-Type': 'application/json'},
+    body: JSON.stringify(body)})).json();
+  const out = document.getElementById('results');
+  out.innerHTML = '';
+  if (res.error) { out.textContent = res.error; return; }
+  const head = document.createElement('p');
+  head.textContent = (res.answers ? res.answers.length : 0) + ' answers (' +
+    res.exact + ' exact, ' + res.rewritesTried + ' rewrites tried, ' +
+    res.elapsedMs.toFixed(2) + ' ms)';
+  out.appendChild(head);
+  for (const a of res.answers || []) {
+    const div = document.createElement('div');
+    div.className = 'answer';
+    const score = document.createElement('span');
+    score.className = 'score';
+    score.textContent = a.path + '  score=' + a.score.toFixed(3);
+    div.appendChild(score);
+    if (a.rewrite) {
+      const rw = document.createElement('div');
+      rw.className = 'rewrite';
+      rw.textContent = 'via rewrite: ' + a.rewrite + ' (penalty ' + a.penalty.toFixed(1) + ')';
+      div.appendChild(rw);
+    }
+    const pre = document.createElement('pre');
+    pre.textContent = a.snippet;
+    div.appendChild(pre);
+    out.appendChild(div);
+  }
+}
+qbox.addEventListener('keydown', e => { if (e.key === 'Enter') runQuery(); });
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,302 @@
+// Package server exposes the LotusX engine over HTTP — the stand-in for the
+// demo paper's web GUI.  The JSON API mirrors the GUI's interactions
+// one-to-one: statistics, position-aware completion while a twig grows,
+// query evaluation with ranking and rewriting, and answer snippets.  A
+// minimal embedded HTML page at / exercises the API interactively.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"lotusx/internal/complete"
+	"lotusx/internal/core"
+	"lotusx/internal/doc"
+	"lotusx/internal/join"
+	"lotusx/internal/twig"
+)
+
+// Server handles the LotusX HTTP API.  It serves one or more datasets from
+// a core.Catalog; requests select one with ?dataset= (or the "dataset" JSON
+// field), defaulting to the first registered.
+type Server struct {
+	catalog *core.Catalog
+	mux     *http.ServeMux
+}
+
+// New returns a Server over a single engine (a one-dataset catalog).
+func New(engine *core.Engine) *Server {
+	c := core.NewCatalog()
+	c.Add(engine.Stats().Document, engine)
+	return NewCatalog(c)
+}
+
+// NewCatalog returns a Server over several named datasets.
+func NewCatalog(catalog *core.Catalog) *Server {
+	s := &Server{catalog: catalog, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /api/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /api/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/node/{id}", s.handleNode)
+	s.mux.HandleFunc("GET /api/guide", s.handleGuide)
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	return s
+}
+
+// engineFor resolves the request's dataset.
+func (s *Server) engineFor(r *http.Request) (*core.Engine, error) {
+	return s.catalog.Get(r.URL.Query().Get("dataset"))
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.catalog.Names()})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	engine, err := s.engineFor(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, engine.Stats())
+}
+
+// completeResponse is the payload of /api/complete.
+type completeResponse struct {
+	Candidates []complete.Candidate `json:"candidates"`
+}
+
+// handleComplete serves position-aware completion.
+//
+//	GET /api/complete?kind=tag&path=//article&axis=child&prefix=au&k=8
+//	GET /api/complete?kind=value&path=//article/author&prefix=ji&k=8
+//
+// path is the partial twig's root-to-focus chain in the XPath subset; kind
+// "tag" suggests tags for a new node under the path's last node via axis,
+// kind "value" suggests values for the last node itself.  An empty path with
+// kind=tag suggests root tags.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	engine, err := s.engineFor(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	qv := r.URL.Query()
+	kind := qv.Get("kind")
+	prefix := qv.Get("prefix")
+	k := 10
+	if kv := qv.Get("k"); kv != "" {
+		n, err := strconv.Atoi(kv)
+		if err != nil || n < 1 || n > 1000 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", kv))
+			return
+		}
+		k = n
+	}
+	axis := twig.Child
+	if a := qv.Get("axis"); a == "descendant" || a == "//" {
+		axis = twig.Descendant
+	}
+
+	path := strings.TrimSpace(qv.Get("path"))
+	var q *twig.Query
+	var focus int
+	if path == "" {
+		focus = complete.NewRoot
+		q = twig.NewQuery(twig.Wildcard)
+		if err := q.Normalize(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	} else {
+		parsed, err := twig.Parse(path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad path: %w", err))
+			return
+		}
+		q = parsed
+		focus = q.OutputNode().ID
+	}
+
+	var cands []complete.Candidate
+	switch kind {
+	case "tag", "":
+		cands = engine.Completer().SuggestTags(q, focus, axis, prefix, k)
+	case "value":
+		if focus == complete.NewRoot {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("value completion needs a path"))
+			return
+		}
+		cands = engine.Completer().SuggestValues(q, focus, prefix, k)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q", kind))
+		return
+	}
+	writeJSON(w, http.StatusOK, completeResponse{Candidates: cands})
+}
+
+// handleExplain reports where a candidate tag occurs at a position — the
+// hover card next to a suggestion.
+//
+//	GET /api/explain?path=//article&axis=child&tag=author&max=3
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	engine, err := s.engineFor(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	qv := r.URL.Query()
+	tag := qv.Get("tag")
+	if tag == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("tag is required"))
+		return
+	}
+	axis := twig.Child
+	if a := qv.Get("axis"); a == "descendant" || a == "//" {
+		axis = twig.Descendant
+	}
+	max := 5
+	if m := qv.Get("max"); m != "" {
+		n, err := strconv.Atoi(m)
+		if err != nil || n < 0 || n > 100 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad max %q", m))
+			return
+		}
+		max = n
+	}
+	path := strings.TrimSpace(qv.Get("path"))
+	var q *twig.Query
+	focus := complete.NewRoot
+	if path != "" {
+		parsed, err := twig.Parse(path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad path: %w", err))
+			return
+		}
+		q = parsed
+		focus = q.OutputNode().ID
+	}
+	occs := engine.Completer().ExplainTag(q, focus, axis, tag, max)
+	writeJSON(w, http.StatusOK, map[string]any{"tag": tag, "occurrences": occs})
+}
+
+// queryRequest is the body of POST /api/query.
+type queryRequest struct {
+	Query   string `json:"query"`
+	K       int    `json:"k"`
+	Offset  int    `json:"offset"`
+	Rewrite bool   `json:"rewrite"`
+	// Algorithm optionally overrides the default TwigStack.
+	Algorithm string `json:"algorithm"`
+}
+
+// queryAnswer is one answer in the response.
+type queryAnswer struct {
+	Node       int32            `json:"node"`
+	Path       string           `json:"path"`
+	Score      float64          `json:"score"`
+	Snippet    string           `json:"snippet"`
+	Rewrite    string           `json:"rewrite,omitempty"`
+	Penalty    float64          `json:"penalty,omitempty"`
+	Highlights []core.Highlight `json:"highlights,omitempty"`
+}
+
+// queryResponse is the payload of /api/query.
+type queryResponse struct {
+	Answers   []queryAnswer `json:"answers"`
+	Exact     int           `json:"exact"`
+	Rewrites  int           `json:"rewritesTried"`
+	ElapsedMS float64       `json:"elapsedMs"`
+	XQuery    string        `json:"xquery"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	engine, err := s.engineFor(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	q, err := twig.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.SearchOptions{K: req.K, Offset: req.Offset, Rewrite: req.Rewrite}
+	if req.Algorithm != "" {
+		opts.Algorithm = join.Algorithm(req.Algorithm)
+	}
+	res, err := engine.Search(q, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := queryResponse{
+		Exact:     res.Exact,
+		Rewrites:  res.RewritesTried,
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+		XQuery:    q.ToXQuery(),
+	}
+	d := engine.Document()
+	for _, a := range res.Answers {
+		qa := queryAnswer{
+			Node:    int32(a.Node),
+			Path:    d.Path(a.Node),
+			Score:   a.Score,
+			Snippet: engine.Snippet(a.Node, 400),
+		}
+		answerQuery := q
+		if a.Rewrite != nil {
+			qa.Rewrite = a.Rewrite.Query.String()
+			qa.Penalty = a.Rewrite.Penalty
+			answerQuery = a.Rewrite.Query
+		}
+		qa.Highlights = engine.Highlights(answerQuery, a.Scored.Match)
+		resp.Answers = append(resp.Answers, qa)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	engine, err := s.engineFor(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= engine.Document().Len() {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no node %q", r.PathValue("id")))
+		return
+	}
+	d := engine.Document()
+	n := doc.NodeID(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":    id,
+		"tag":   d.TagName(n),
+		"path":  d.Path(n),
+		"value": d.Value(n),
+		"xml":   engine.Snippet(n, 2000),
+	})
+}

@@ -1,0 +1,32 @@
+package trie_test
+
+import (
+	"fmt"
+
+	"lotusx/internal/trie"
+)
+
+func ExampleTrie_Complete() {
+	t := trie.New()
+	t.Insert("author", 50, -1)
+	t.Insert("auction", 30, -1)
+	t.Insert("austria", 7, -1)
+	for _, e := range t.Complete("au", 2) {
+		fmt.Println(e.Word, e.Weight)
+	}
+	// Output:
+	// author 50
+	// auction 30
+}
+
+func ExampleTrie_FuzzyComplete() {
+	t := trie.New()
+	t.Insert("author", 50, -1)
+	t.Insert("title", 20, -1)
+	// One edit of slack rescues the typo.
+	for _, e := range t.FuzzyComplete("athor", 1, 3) {
+		fmt.Println(e.Word)
+	}
+	// Output:
+	// author
+}

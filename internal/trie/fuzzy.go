@@ -1,0 +1,102 @@
+package trie
+
+import "sort"
+
+// FuzzyComplete returns words whose prefix is within edit distance maxDist
+// of the query prefix, heaviest first, at most k.  It powers LotusX's
+// tolerance to typos while the user grows a query node: "athor" still
+// suggests "author".  Exact-prefix matches sort before fuzzy ones of equal
+// weight (distance is a secondary key).
+//
+// The search runs the classic trie × dynamic-programming-row algorithm: each
+// trie edge extends a Levenshtein row against the query; branches whose row
+// minimum exceeds maxDist are pruned.
+func (t *Trie) FuzzyComplete(prefix string, maxDist, k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	if maxDist <= 0 {
+		return t.Complete(prefix, k)
+	}
+	q := []rune(prefix)
+	row := make([]int, len(q)+1)
+	for i := range row {
+		row[i] = i
+	}
+	type hit struct {
+		Entry
+		dist int
+	}
+	var hits []hit
+
+	// The prefix edit distance of a word w is min over w's prefixes p of
+	// levenshtein(q, p); at each trie node it equals the minimum of
+	// row[len(q)] along the root path so far ("best").  Because row minima
+	// are nondecreasing as the path extends, once minOf(row) >= best the
+	// distance of every word below is settled at best and the subtree can be
+	// emitted wholesale; otherwise we keep descending to find improvements.
+	var walk func(n *node, soFar string, prev []int, best int)
+	walk = func(n *node, soFar string, prev []int, best int) {
+		if d := prev[len(q)]; d < best {
+			best = d
+		}
+		if best == 0 || minOf(prev) >= best {
+			if best <= maxDist {
+				for _, e := range completeFrom(n, soFar, k) {
+					hits = append(hits, hit{e, best})
+				}
+			}
+			return
+		}
+		if n.terminal && best <= maxDist {
+			hits = append(hits, hit{Entry{Word: soFar, Weight: n.weight, Datum: n.datum}, best})
+		}
+		cur := make([]int, len(q)+1)
+		for r, c := range n.children {
+			cur[0] = prev[0] + 1
+			for i := 1; i <= len(q); i++ {
+				cost := 1
+				if q[i-1] == r {
+					cost = 0
+				}
+				cur[i] = min(prev[i]+1, min(cur[i-1]+1, prev[i-1]+cost))
+			}
+			walk(c, soFar+string(r), cur, best)
+		}
+	}
+	walk(t.root, "", row, len(q)+1)
+
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		if hits[i].Weight != hits[j].Weight {
+			return hits[i].Weight > hits[j].Weight
+		}
+		return hits[i].Word < hits[j].Word
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	out := make([]Entry, len(hits))
+	for i, h := range hits {
+		out[i] = h.Entry
+	}
+	return out
+}
+
+// completeFrom lists up to k heaviest terminals under n, with soFar as the
+// accumulated prefix.
+func completeFrom(n *node, soFar string, k int) []Entry {
+	return completeNode(n, soFar, k)
+}
+
+func minOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,204 @@
+// Package trie implements a weighted rune trie with top-k prefix completion
+// and bounded-edit-distance (fuzzy) completion.  LotusX keeps one trie over
+// tag names and one over value tokens; the auto-completion engine intersects
+// trie candidates with the position-feasible set from the DataGuide.
+package trie
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Entry is a completion result.
+type Entry struct {
+	Word   string
+	Weight int64 // caller-defined weight, typically an occurrence count
+	Datum  int32 // caller-defined payload, e.g. a TagID; -1 if unused
+}
+
+type node struct {
+	children map[rune]*node
+	// entry payload; present iff terminal.
+	terminal bool
+	weight   int64
+	datum    int32
+	// maxWeight is the largest terminal weight in this subtree; it lets
+	// top-k completion explore best-first and stop early.
+	maxWeight int64
+}
+
+func newNode() *node { return &node{children: make(map[rune]*node), datum: -1} }
+
+// Trie is a weighted prefix tree.  It is not safe for concurrent mutation;
+// after the last Insert it is safe for concurrent readers.
+type Trie struct {
+	root *node
+	size int
+}
+
+// New returns an empty Trie.
+func New() *Trie { return &Trie{root: newNode()} }
+
+// Len returns the number of distinct words stored.
+func (t *Trie) Len() int { return t.size }
+
+// Insert adds word with the given weight and payload.  Inserting an existing
+// word adds the weight to the stored weight (and keeps the existing payload),
+// so repeated insertions accumulate occurrence counts.
+func (t *Trie) Insert(word string, weight int64, datum int32) {
+	cur := t.root
+	var path []*node
+	path = append(path, cur)
+	for _, r := range word {
+		next, ok := cur.children[r]
+		if !ok {
+			next = newNode()
+			cur.children[r] = next
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	if cur.terminal {
+		cur.weight += weight
+	} else {
+		cur.terminal = true
+		cur.weight = weight
+		cur.datum = datum
+		t.size++
+	}
+	for _, n := range path {
+		if cur.weight > n.maxWeight {
+			n.maxWeight = cur.weight
+		}
+	}
+}
+
+// Contains reports whether word was inserted.
+func (t *Trie) Contains(word string) bool {
+	n := t.descend(word)
+	return n != nil && n.terminal
+}
+
+// Weight returns the accumulated weight of word, or 0 if absent.
+func (t *Trie) Weight(word string) int64 {
+	n := t.descend(word)
+	if n == nil || !n.terminal {
+		return 0
+	}
+	return n.weight
+}
+
+func (t *Trie) descend(prefix string) *node {
+	cur := t.root
+	for _, r := range prefix {
+		next, ok := cur.children[r]
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// frontierItem is one unit of best-first exploration: either a subtree to
+// expand (emit == false, bound == subtree max weight) or a concrete terminal
+// to output (emit == true, bound == its exact weight).
+type frontierItem struct {
+	n      *node
+	prefix string
+	bound  int64
+	emit   bool
+}
+
+type frontier []frontierItem
+
+func (f frontier) Len() int { return len(f) }
+func (f frontier) Less(i, j int) bool {
+	if f[i].bound != f[j].bound {
+		return f[i].bound > f[j].bound
+	}
+	return f[i].prefix < f[j].prefix // deterministic tie-break
+}
+func (f frontier) Swap(i, j int) { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x any)   { *f = append(*f, x.(frontierItem)) }
+func (f *frontier) Pop() any {
+	old := *f
+	n := len(old)
+	it := old[n-1]
+	*f = old[:n-1]
+	return it
+}
+
+// Complete returns up to k words starting with prefix, heaviest first.
+// Best-first exploration over subtree weight bounds makes the cost
+// proportional to the answer size, not the subtree size.  Ties are broken
+// lexicographically for determinism.
+func (t *Trie) Complete(prefix string, k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	start := t.descend(prefix)
+	if start == nil {
+		return nil
+	}
+	return completeNode(start, prefix, k)
+}
+
+// completeNode runs best-first top-k completion from start, whose
+// accumulated word so far is prefix.
+func completeNode(start *node, prefix string, k int) []Entry {
+	var out []Entry
+	f := &frontier{{n: start, prefix: prefix, bound: start.maxWeight}}
+	heap.Init(f)
+	for f.Len() > 0 && len(out) < k {
+		it := heap.Pop(f).(frontierItem)
+		if it.emit {
+			out = append(out, Entry{Word: it.prefix, Weight: it.bound, Datum: it.n.datum})
+			continue
+		}
+		if it.n.terminal {
+			heap.Push(f, frontierItem{n: it.n, prefix: it.prefix, bound: it.n.weight, emit: true})
+		}
+		for r, c := range it.n.children {
+			heap.Push(f, frontierItem{n: c, prefix: it.prefix + string(r), bound: c.maxWeight})
+		}
+	}
+	stabilize(out)
+	return out
+}
+
+// stabilize sorts equal-weight runs lexicographically so completion output
+// is deterministic across map iteration orders.
+func stabilize(out []Entry) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Word < out[j].Word
+	})
+}
+
+// Walk calls fn for every stored word in lexicographic order; fn returning
+// false stops the walk.
+func (t *Trie) Walk(fn func(Entry) bool) {
+	t.walk(t.root, "", fn)
+}
+
+func (t *Trie) walk(n *node, prefix string, fn func(Entry) bool) bool {
+	if n.terminal {
+		if !fn(Entry{Word: prefix, Weight: n.weight, Datum: n.datum}) {
+			return false
+		}
+	}
+	runes := make([]rune, 0, len(n.children))
+	for r := range n.children {
+		runes = append(runes, r)
+	}
+	sort.Slice(runes, func(i, j int) bool { return runes[i] < runes[j] })
+	for _, r := range runes {
+		if !t.walk(n.children[r], prefix+string(r), fn) {
+			return false
+		}
+	}
+	return true
+}

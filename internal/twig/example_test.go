@@ -1,0 +1,46 @@
+package twig_test
+
+import (
+	"fmt"
+
+	"lotusx/internal/twig"
+)
+
+func ExampleParse() {
+	q, err := twig.Parse(`//article[author = "Jiaheng Lu"][year]/title`)
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range q.Nodes() {
+		mark := ""
+		if n.Output {
+			mark = "  <- output"
+		}
+		fmt.Printf("%d: %s%s%s\n", n.ID, n.Axis, n.Tag, mark)
+	}
+	// Output:
+	// 0: //article
+	// 1: /author
+	// 2: /year
+	// 3: /title  <- output
+}
+
+func ExampleQuery_Minimize() {
+	// A user asked for [author] and later refined to [author = "lu"]; the
+	// weaker branch is implied by the stronger one.
+	q := twig.MustParse(`//article[author][author = "lu"]/title`)
+	fmt.Println("before:", q)
+	fmt.Println("after: ", q.Minimize())
+	// Output:
+	// before: //article[author][author = "lu"]/title
+	// after:  //article[author = "lu"]/title
+}
+
+func ExampleQuery_String_order() {
+	q := twig.MustParse(`//S[NP << VP]`)
+	fmt.Println(q)
+	fmt.Println("constraints:", len(q.Order))
+	// Output:
+	// //S[NP << VP]
+	// constraints: 1
+}

@@ -1,0 +1,171 @@
+package twig
+
+import "strings"
+
+// Minimize returns an equivalent query with redundant branches removed — the
+// classical tree-pattern minimization (Amer-Yahia, Cho, Lakshmanan,
+// Srivastava, "Minimization of Tree Pattern Queries", SIGMOD 2001), adapted
+// to this dialect.  A branch is redundant when a sibling branch subsumes it:
+// every document node satisfying the sibling also satisfies the branch, so
+// deleting it cannot change which nodes the query's output node matches.
+//
+// GUI-built twigs accumulate such redundancy naturally — a user asks for
+// [author] and later for [author = "lu"] — and evaluating the smaller
+// pattern is strictly cheaper (the A2 ablation bench quantifies it).
+//
+// Minimization preserves the set of output-node answers, not the multiset
+// of full match tuples; branches containing the output node or an
+// order-constraint endpoint are never removed.  The receiver must be
+// normalized; the result is a normalized copy (the receiver is untouched).
+func (q *Query) Minimize() *Query {
+	out := q.Clone()
+	protected := out.protectedNodes()
+	minimizeNode(out.Root, protected)
+	if err := out.Normalize(); err != nil {
+		// Deleting branches keeps the tree well-formed; Clone re-resolved
+		// order constraints, whose endpoints are protected.
+		panic("twig: Minimize broke the query: " + err.Error())
+	}
+	return out
+}
+
+// protectedNodes marks nodes that must survive: the output node, order
+// endpoints, and all their ancestors.
+func (q *Query) protectedNodes() map[*Node]bool {
+	protected := make(map[*Node]bool)
+	mark := func(n *Node) {
+		for cur := n; cur != nil; cur = cur.parent {
+			protected[cur] = true
+		}
+	}
+	mark(q.OutputNode())
+	for _, oc := range q.Order {
+		mark(q.nodes[oc.Before])
+		mark(q.nodes[oc.After])
+	}
+	return protected
+}
+
+// minimizeNode removes redundant children of n, bottom-up.
+func minimizeNode(n *Node, protected map[*Node]bool) {
+	for _, c := range n.Children {
+		minimizeNode(c, protected)
+	}
+	// A child is dropped when a sibling witness subsumes it.  Witnesses are
+	// siblings not yet judged (j > i: if that witness is itself dropped
+	// later, transitivity of subsumption guarantees its own witness also
+	// covers this child) or siblings already kept (j < i).  Mutually
+	// subsuming twins therefore drop the earlier one and keep the later.
+	kept := n.Children[:0]
+	inKept := func(x *Node) bool {
+		for _, k := range kept {
+			if k == x {
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range n.Children {
+		redundant := false
+		if !containsProtected(c, protected) {
+			for j, other := range n.Children {
+				if j == i || (j < i && !inKept(other)) {
+					continue
+				}
+				if subsumes(other, c) {
+					redundant = true
+					break
+				}
+			}
+		}
+		if !redundant {
+			kept = append(kept, c)
+		}
+	}
+	n.Children = kept
+}
+
+func containsProtected(n *Node, protected map[*Node]bool) bool {
+	if protected[n] {
+		return true
+	}
+	for _, c := range n.Children {
+		if containsProtected(c, protected) {
+			return true
+		}
+	}
+	return false
+}
+
+// subsumes reports whether every document node matching pattern a (hanging
+// off the shared parent) also matches pattern b, so b is implied by a.
+func subsumes(a, b *Node) bool {
+	// Tag: b must accept a's matches.  The wildcard accepts any element —
+	// but not attribute nodes, so an @-tagged branch has no wildcard
+	// witness.
+	if !b.IsWildcard() && b.Tag != a.Tag {
+		return false
+	}
+	if b.IsWildcard() && strings.HasPrefix(a.Tag, "@") {
+		return false
+	}
+	// Axis: a child is also a descendant; a descendant is not necessarily a
+	// child.
+	if b.Axis == Child && a.Axis != Child {
+		return false
+	}
+	// Predicate: b's predicate must be implied by a's.
+	if !predImplies(a.Pred, b.Pred) {
+		return false
+	}
+	// Children: every branch of b needs a witness among a's branches.
+	for _, bc := range b.Children {
+		witnessed := false
+		for _, ac := range a.Children {
+			if subsumes(ac, bc) {
+				witnessed = true
+				break
+			}
+		}
+		if !witnessed {
+			return false
+		}
+	}
+	return true
+}
+
+// predImplies reports whether satisfying pa guarantees satisfying pb.
+func predImplies(pa, pb Pred) bool {
+	switch pb.Op {
+	case NoPred:
+		return true
+	case Eq:
+		return pa.Op == Eq && equalFold(pa.Value, pb.Value)
+	case Contains:
+		if pa.Op == Contains && equalFold(pa.Value, pb.Value) {
+			return true
+		}
+		// Whole-value equality implies containing the same value's tokens.
+		return pa.Op == Eq && equalFold(pa.Value, pb.Value)
+	}
+	return false
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+package twig
+
+import "testing"
+
+func TestMinimizeDuplicateBranch(t *testing.T) {
+	q := MustParse(`//article[author][author]/title`)
+	m := q.Minimize()
+	if m.Len() != 3 {
+		t.Fatalf("minimized to %d nodes (%s), want 3", m.Len(), m)
+	}
+	// Original untouched.
+	if q.Len() != 4 {
+		t.Fatal("Minimize mutated the receiver")
+	}
+}
+
+func TestMinimizeSubsumedByPredicate(t *testing.T) {
+	// [author] is implied by [author = "lu"].
+	q := MustParse(`//article[author][author = "lu"]/title`)
+	m := q.Minimize()
+	if m.Len() != 3 {
+		t.Fatalf("minimized = %s (%d nodes), want 3", m, m.Len())
+	}
+	// The surviving branch keeps the predicate.
+	var found bool
+	for _, n := range m.Nodes() {
+		if n.Tag == "author" && n.Pred.Op == Eq {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("predicate branch was dropped instead: %s", m)
+	}
+}
+
+func TestMinimizeEqImpliesContains(t *testing.T) {
+	q := MustParse(`//a[b contains "x"][b = "x"]`)
+	m := q.Minimize()
+	if m.Len() != 2 {
+		t.Fatalf("minimized = %s, want single b branch", m)
+	}
+	if m.Root.Children[0].Pred.Op != Eq {
+		t.Fatal("the equality branch must survive (it is the stronger one)")
+	}
+}
+
+func TestMinimizeAxisSubsumption(t *testing.T) {
+	// //a[.//b][b]: the child-b branch implies the descendant-b branch.
+	q := MustParse(`//a[.//b][b]`)
+	m := q.Minimize()
+	if m.Len() != 2 {
+		t.Fatalf("minimized = %s, want 2 nodes", m)
+	}
+	if m.Root.Children[0].Axis != Child {
+		t.Fatal("the child-axis branch must survive")
+	}
+	// The reverse does not hold: //a[b][c//b]? unrelated tags; and
+	// //a[b] alone must not lose its branch.
+	q = MustParse(`//a[b]`)
+	if m := q.Minimize(); m.Len() != 2 {
+		t.Fatal("irreducible query changed")
+	}
+}
+
+func TestMinimizeNestedSubsumption(t *testing.T) {
+	// [b[c]] subsumes [b]: dropping the plain one.
+	q := MustParse(`//a[b/c][b]`)
+	m := q.Minimize()
+	if m.Len() != 3 {
+		t.Fatalf("minimized = %s, want a[b/c]", m)
+	}
+	// But [b[c]] does NOT subsume [b[d]].
+	q = MustParse(`//a[b/c][b/d]`)
+	if m := q.Minimize(); m.Len() != 5 {
+		t.Fatalf("wrongly minimized %s to %s", q, m)
+	}
+}
+
+func TestMinimizeWildcardWitness(t *testing.T) {
+	// [b] subsumes [*]: any b child witnesses the wildcard branch.
+	q := MustParse(`//a[b][*]`)
+	m := q.Minimize()
+	if m.Len() != 2 || m.Root.Children[0].Tag != "b" {
+		t.Fatalf("minimized = %s, want a[b]", m)
+	}
+	// The wildcard does not witness an attribute branch.
+	q = MustParse(`//a[@k][*]`)
+	if m := q.Minimize(); m.Len() != 3 {
+		t.Fatalf("attribute branch wrongly dropped: %s", m)
+	}
+}
+
+func TestMinimizeProtectsOutputNode(t *testing.T) {
+	// The [b] predicate branch is subsumed by the output path /b and
+	// drops; the output branch itself must never drop, even though the two
+	// subsume each other.
+	q := MustParse(`//a[b]/b`)
+	m := q.Minimize()
+	if m.Len() != 2 {
+		t.Fatalf("minimized = %s, want //a/b", m)
+	}
+	if !m.OutputNode().Output || m.OutputNode().Tag != "b" {
+		t.Fatal("output node lost")
+	}
+}
+
+func TestMinimizeProtectsOrderEndpoints(t *testing.T) {
+	q := MustParse(`//s[a << b][a]`)
+	m := q.Minimize()
+	// The plain [a] branch is subsumed by the order-endpoint a branch; the
+	// endpoints stay.
+	if len(m.Order) != 1 {
+		t.Fatalf("order constraints lost: %s", m)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("minimized = %s, want s[a<<b]", m)
+	}
+}
+
+func TestMinimizeTwinsKeepOne(t *testing.T) {
+	q := MustParse(`//a[b][b][b]`)
+	m := q.Minimize()
+	if m.Len() != 2 {
+		t.Fatalf("triplets should minimize to one: %s", m)
+	}
+}
+
+func TestMinimizeDeepRedundancy(t *testing.T) {
+	// Redundancy inside a branch: a[b[c][c]] -> a[b[c]].
+	q := MustParse(`//a[b[c][c]]`)
+	m := q.Minimize()
+	if m.Len() != 3 {
+		t.Fatalf("nested twins survived: %s", m)
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	for _, qs := range []string{
+		`//article[author][author = "lu"][year]/title`,
+		`//a[b][c]`,
+		`//a`,
+	} {
+		m1 := MustParse(qs).Minimize()
+		m2 := m1.Minimize()
+		if m1.String() != m2.String() {
+			t.Errorf("not idempotent on %q: %s vs %s", qs, m1, m2)
+		}
+	}
+}

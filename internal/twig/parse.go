@@ -1,0 +1,336 @@
+package twig
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse builds a normalized Query from the XPath subset LotusX understands:
+//
+//	query    = axis step { axis step }
+//	axis     = "/" | "//"
+//	step     = (name | "@" name | "*") { "[" pred "]" }
+//	pred     = "." cmp                      value predicate on the step itself
+//	         | relpath [ cmp ]              existential / value branch
+//	         | relpath "<<" relpath         order constraint (adds branches)
+//	cmp      = ("=" | "contains") string
+//	relpath  = [".//" | "./"] step { axis step }   leading axis defaults to /
+//	string   = '"' chars '"'  |  "'" chars "'"
+//
+// Examples:
+//
+//	//article[author = "Jiaheng Lu"]/title
+//	/dblp/book[.//author contains "ling"][year]
+//	//S[NP << VP]
+//
+// The last step of the main path is the output node.
+func Parse(input string) (*Query, error) {
+	p := &parser{src: input}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Normalize(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for tests, examples and literals known to be valid.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic("twig: MustParse(" + input + "): " + err.Error())
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+// ParseError reports where in the query text parsing failed.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("twig: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) eof() bool {
+	p.skipSpace()
+	return p.pos >= len(p.src)
+}
+
+func (p *parser) peekByte() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// accept consumes lit if the input starts with it.
+func (p *parser) accept(lit string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], lit) {
+		p.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+// acceptAxis consumes "//" or "/" and returns the axis.
+func (p *parser) acceptAxis() (Axis, bool) {
+	if p.accept("//") {
+		return Descendant, true
+	}
+	if p.accept("/") {
+		return Child, true
+	}
+	return Child, false
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(c >= '0' && c <= '9') || c >= 0x80
+}
+
+// parseName consumes a tag name, "@name" or "*".
+func (p *parser) parseName() (string, error) {
+	p.skipSpace()
+	if p.accept("*") {
+		return Wildcard, nil
+	}
+	start := p.pos
+	if p.peekByte() == '@' {
+		p.pos++
+	}
+	nameStart := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		// Names must not start with '-', '.' or a digit.
+		if p.pos == nameStart {
+			c := rune(p.src[p.pos])
+			if c == '-' || c == '.' || unicode.IsDigit(c) {
+				break
+			}
+		}
+		p.pos++
+	}
+	if p.pos == nameStart {
+		p.pos = start
+		return "", p.errf("expected a name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseString() (string, error) {
+	p.skipSpace()
+	q := p.peekByte()
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected a quoted string")
+	}
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		p.pos++
+		switch c {
+		case q:
+			return b.String(), nil
+		case '\\':
+			if p.pos < len(p.src) {
+				b.WriteByte(p.src[p.pos])
+				p.pos++
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+// parseCmp parses "= string" or "contains string"; ok is false when the
+// input holds neither.
+func (p *parser) parseCmp() (Pred, bool, error) {
+	if p.accept("=") {
+		v, err := p.parseString()
+		if err != nil {
+			return Pred{}, false, err
+		}
+		return Pred{Op: Eq, Value: v}, true, nil
+	}
+	save := p.pos
+	if p.accept("contains") {
+		// Require a string next so a tag literally named "contains" still
+		// parses as a name elsewhere.
+		p.skipSpace()
+		if p.peekByte() == '"' || p.peekByte() == '\'' {
+			v, err := p.parseString()
+			if err != nil {
+				return Pred{}, false, err
+			}
+			return Pred{Op: Contains, Value: v}, true, nil
+		}
+		p.pos = save
+	}
+	return Pred{}, false, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	axis, ok := p.acceptAxis()
+	if !ok {
+		return nil, p.errf("query must start with / or //")
+	}
+	root, err := p.parseStep(q, axis)
+	if err != nil {
+		return nil, err
+	}
+	q.Root = root
+	cur := root
+	for {
+		if p.eof() {
+			break
+		}
+		axis, ok := p.acceptAxis()
+		if !ok {
+			return nil, p.errf("expected /, // or end of query")
+		}
+		next, err := p.parseStep(q, axis)
+		if err != nil {
+			return nil, err
+		}
+		cur.Children = append(cur.Children, next)
+		cur = next
+	}
+	cur.Output = true
+	return q, nil
+}
+
+// parseStep parses a name plus its predicates and returns the node.
+func (p *parser) parseStep(q *Query, axis Axis) (*Node, error) {
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Tag: name, Axis: axis}
+	for p.accept("[") {
+		if err := p.parsePred(q, n); err != nil {
+			return nil, err
+		}
+		if !p.accept("]") {
+			return nil, p.errf("expected ]")
+		}
+	}
+	return n, nil
+}
+
+// parsePred parses one predicate body and attaches its effect to n.
+func (p *parser) parsePred(q *Query, n *Node) error {
+	p.skipSpace()
+	// Self predicate: [. = "v"] / [. contains "v"].
+	if p.peekByte() == '.' && !strings.HasPrefix(p.src[p.pos:], ".//") && !strings.HasPrefix(p.src[p.pos:], "./") {
+		p.pos++
+		pred, ok, err := p.parseCmp()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return p.errf(`expected = or contains after "."`)
+		}
+		if n.Pred.Op != NoPred {
+			return p.errf("node %q already has a value predicate", n.Tag)
+		}
+		n.Pred = pred
+		return nil
+	}
+	first, err := p.parseRelPath(q, n)
+	if err != nil {
+		return err
+	}
+	// Optional comparison on the branch tail.
+	pred, ok, err := p.parseCmp()
+	if err != nil {
+		return err
+	}
+	if ok {
+		if first.tail.Pred.Op != NoPred {
+			return p.errf("branch tail already has a predicate")
+		}
+		first.tail.Pred = pred
+	}
+	// Order constraint; either side may carry a comparison, e.g.
+	// [a = "v" << b].
+	if p.accept("<<") {
+		second, err := p.parseRelPath(q, n)
+		if err != nil {
+			return err
+		}
+		pred2, ok2, err := p.parseCmp()
+		if err != nil {
+			return err
+		}
+		if ok2 {
+			if second.tail.Pred.Op != NoPred {
+				return p.errf("branch tail already has a predicate")
+			}
+			second.tail.Pred = pred2
+		}
+		// Node IDs do not exist until Normalize runs; record the endpoints
+		// and let Normalize translate them into OrderConstraints.
+		q.pending = append(q.pending, [2]*Node{first.tail, second.tail})
+	}
+	return nil
+}
+
+type relPath struct {
+	head *Node // first node of the branch (already attached to its parent)
+	tail *Node // last node of the branch
+}
+
+// parseRelPath parses a branch path and attaches it under parent.
+func (p *parser) parseRelPath(q *Query, parent *Node) (relPath, error) {
+	axis := Child
+	if p.accept(".//") {
+		axis = Descendant
+	} else if p.accept("./") {
+		axis = Child
+	} else if a, ok := p.acceptAxis(); ok {
+		// Tolerate a leading / or // inside predicates too.
+		axis = a
+	}
+	head, err := p.parseStep(q, axis)
+	if err != nil {
+		return relPath{}, err
+	}
+	parent.Children = append(parent.Children, head)
+	cur := head
+	for {
+		a, ok := p.acceptAxis()
+		if !ok {
+			break
+		}
+		next, err := p.parseStep(q, a)
+		if err != nil {
+			return relPath{}, err
+		}
+		cur.Children = append(cur.Children, next)
+		cur = next
+	}
+	return relPath{head: head, tail: cur}, nil
+}

@@ -1,0 +1,121 @@
+package twig
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomTwig is a quick-generatable random query.
+type randomTwig struct {
+	q *Query
+}
+
+// Generate implements quick.Generator: a random twig with mixed axes,
+// wildcards, predicates and an output node somewhere on the main path.
+func (randomTwig) Generate(rng *rand.Rand, size int) reflect.Value {
+	tags := []string{"a", "b", "c", "item", "@key", "*"}
+	axes := []Axis{Child, Descendant}
+	q := &Query{Root: &Node{Tag: tags[rng.Intn(len(tags)-1)], Axis: axes[rng.Intn(2)]}}
+
+	budget := 1 + rng.Intn(size%8+2)
+	var grow func(n *Node, depth int)
+	grow = func(n *Node, depth int) {
+		for budget > 0 && depth < 4 && rng.Intn(2) == 0 {
+			budget--
+			c := n.AddChild(tags[rng.Intn(len(tags))], axes[rng.Intn(2)])
+			if rng.Intn(3) == 0 {
+				ops := []PredOp{Eq, Contains}
+				c.Pred = Pred{Op: ops[rng.Intn(2)], Value: "v" + string(rune('a'+rng.Intn(3)))}
+			}
+			grow(c, depth+1)
+		}
+	}
+	grow(q.Root, 0)
+	if err := q.Normalize(); err != nil {
+		panic("generator built an invalid twig: " + err.Error())
+	}
+	return reflect.ValueOf(randomTwig{q})
+}
+
+// TestQuickStringParseRoundTrip: rendering then re-parsing any generated
+// twig yields a structurally identical query.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(rt randomTwig) bool {
+		text := rt.q.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Logf("re-parse of %q failed: %v", text, err)
+			return false
+		}
+		if !equalQueries(rt.q, q2) {
+			t.Logf("round trip changed %q", text)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneIsDeepAndEqual: clones are structurally equal and fully
+// independent.
+func TestQuickCloneIsDeepAndEqual(t *testing.T) {
+	f := func(rt randomTwig) bool {
+		c := rt.q.Clone()
+		if !equalQueries(rt.q, c) {
+			return false
+		}
+		// Mutating the clone leaves the original alone.
+		c.Root.Tag = "mutated"
+		return rt.q.Root.Tag != "mutated"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinimizeSoundness: minimization never grows the query, is
+// idempotent, and keeps the output node.
+func TestQuickMinimizeSoundness(t *testing.T) {
+	f := func(rt randomTwig) bool {
+		m := rt.q.Minimize()
+		if m.Len() > rt.q.Len() {
+			return false
+		}
+		if m.OutputNode().Tag != rt.q.OutputNode().Tag {
+			return false
+		}
+		m2 := m.Minimize()
+		return m.String() == m2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNormalizeAssignsPreorderIDs: IDs are a preorder numbering —
+// every child's ID exceeds its parent's, and IDs are dense.
+func TestQuickNormalizeAssignsPreorderIDs(t *testing.T) {
+	f := func(rt randomTwig) bool {
+		seen := make(map[int]bool)
+		for i, n := range rt.q.Nodes() {
+			if n.ID != i {
+				return false
+			}
+			if seen[n.ID] {
+				return false
+			}
+			seen[n.ID] = true
+			if p := n.Parent(); p != nil && p.ID >= n.ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

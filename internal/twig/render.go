@@ -1,0 +1,271 @@
+package twig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the query in the XPath subset accepted by Parse.  The main
+// path runs from the root to the output node; all other branches become
+// predicates.  Order constraints whose endpoints terminate straight-line
+// chains under a common node render as [a << b]; other constraints (only
+// constructible programmatically) are appended as a non-parseable
+// {order #i<<#j} annotation.
+func (q *Query) String() string {
+	if len(q.nodes) == 0 {
+		// Render an unnormalized query best-effort.
+		tmp := *q
+		if err := tmp.Normalize(); err != nil {
+			return fmt.Sprintf("<invalid twig: %v>", err)
+		}
+		return tmp.String()
+	}
+	var b strings.Builder
+
+	// Chains consumed by << rendering must not render again as predicates.
+	consumed := make(map[*Node]bool)
+	orderAt := make(map[*Node][]OrderConstraint) // LCA node -> constraints
+	var leftover []OrderConstraint
+	for _, oc := range q.Order {
+		a, z := q.nodes[oc.Before], q.nodes[oc.After]
+		lca := q.lca(a, z)
+		ca, okA := q.chainTop(lca, a)
+		cz, okZ := q.chainTop(lca, z)
+		if okA && okZ && ca != cz {
+			orderAt[lca] = append(orderAt[lca], oc)
+			consumed[ca] = true
+			consumed[cz] = true
+		} else {
+			leftover = append(leftover, oc)
+		}
+	}
+
+	// Main path: root .. output.
+	out := q.OutputNode()
+	var path []*Node
+	for n := out; n != nil; n = n.parent {
+		path = append(path, n)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	onPath := make(map[*Node]bool, len(path))
+	for _, n := range path {
+		onPath[n] = true
+	}
+
+	var renderChain func(b *strings.Builder, n *Node, top bool)
+	renderChain = func(b *strings.Builder, n *Node, top bool) {
+		if !top {
+			b.WriteString(n.Axis.String())
+		}
+		b.WriteString(n.Tag)
+		if n.Pred.Op != NoPred {
+			b.WriteString(" ")
+			b.WriteString(opWord(n.Pred.Op))
+			b.WriteString(" ")
+			b.WriteString(quote(n.Pred.Value))
+		}
+		for _, c := range n.Children {
+			renderChain(b, c, false)
+		}
+	}
+
+	var renderPreds func(b *strings.Builder, n *Node)
+	renderPreds = func(b *strings.Builder, n *Node) {
+		if n.Pred.Op != NoPred {
+			fmt.Fprintf(b, "[. %s %s]", opWord(n.Pred.Op), quote(n.Pred.Value))
+		}
+		for _, oc := range orderAt[n] {
+			a := q.chainTopMust(n, q.nodes[oc.Before])
+			z := q.chainTopMust(n, q.nodes[oc.After])
+			b.WriteString("[")
+			renderPredPath(b, a)
+			b.WriteString(" << ")
+			renderPredPath(b, z)
+			b.WriteString("]")
+		}
+		for _, c := range n.Children {
+			if onPath[c] || consumed[c] {
+				continue
+			}
+			b.WriteString("[")
+			renderPredPath(b, c)
+			b.WriteString("]")
+		}
+	}
+
+	for i, n := range path {
+		if i == 0 {
+			b.WriteString(n.Axis.String())
+		} else {
+			b.WriteString(n.Axis.String())
+		}
+		b.WriteString(n.Tag)
+		renderPreds(&b, n)
+	}
+	for _, oc := range leftover {
+		fmt.Fprintf(&b, "{order #%d<<#%d}", oc.Before, oc.After)
+	}
+	return b.String()
+}
+
+// renderPredPath renders a branch rooted at n as a predicate path.  The
+// first step's Child axis is implicit (XPath style); Descendant renders as
+// a leading ".//".
+func renderPredPath(b *strings.Builder, n *Node) {
+	cur := n
+	first := true
+	for {
+		if first {
+			if cur.Axis == Descendant {
+				b.WriteString(".//")
+			}
+			first = false
+		} else {
+			b.WriteString(cur.Axis.String())
+		}
+		b.WriteString(cur.Tag)
+		// Non-chain shape inside predicates renders nested predicates.
+		switch len(cur.Children) {
+		case 0:
+			if cur.Pred.Op != NoPred {
+				b.WriteString(" ")
+				b.WriteString(opWord(cur.Pred.Op))
+				b.WriteString(" ")
+				b.WriteString(quote(cur.Pred.Value))
+			}
+			return
+		case 1:
+			if cur.Pred.Op != NoPred {
+				fmt.Fprintf(b, "[. %s %s]", opWord(cur.Pred.Op), quote(cur.Pred.Value))
+			}
+			cur = cur.Children[0]
+		default:
+			if cur.Pred.Op != NoPred {
+				fmt.Fprintf(b, "[. %s %s]", opWord(cur.Pred.Op), quote(cur.Pred.Value))
+			}
+			for _, c := range cur.Children {
+				b.WriteString("[")
+				renderPredPath(b, c)
+				b.WriteString("]")
+			}
+			return
+		}
+	}
+}
+
+func opWord(op PredOp) string {
+	if op == Eq {
+		return "="
+	}
+	return "contains"
+}
+
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// lca returns the lowest common ancestor of a and b in the query tree.
+func (q *Query) lca(a, b *Node) *Node {
+	depth := func(n *Node) int {
+		d := 0
+		for p := n.parent; p != nil; p = p.parent {
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a = a.parent
+		da--
+	}
+	for db > da {
+		b = b.parent
+		db--
+	}
+	for a != b {
+		a = a.parent
+		b = b.parent
+	}
+	return a
+}
+
+// chainTop checks that the path from lca down to end is a straight-line
+// chain (each intermediate node has exactly one child and no other role) and
+// returns the chain's top node (the child of lca on that path).
+func (q *Query) chainTop(lca, end *Node) (*Node, bool) {
+	if end == lca {
+		return nil, false
+	}
+	// Walk up from end to lca, checking single-child shape.
+	cur := end
+	for cur.parent != lca {
+		cur = cur.parent
+		if cur == nil {
+			return nil, false
+		}
+		if len(cur.Children) != 1 || cur.Pred.Op != NoPred || cur.Output {
+			return nil, false
+		}
+	}
+	if end != cur && len(end.Children) != 0 {
+		return nil, false
+	}
+	if end.Output {
+		return nil, false
+	}
+	return cur, true
+}
+
+func (q *Query) chainTopMust(lca, end *Node) *Node {
+	top, ok := q.chainTop(lca, end)
+	if !ok {
+		panic("twig: order chain vanished between analysis and rendering")
+	}
+	return top
+}
+
+// ToXQuery renders the twig as an equivalent XQuery FLWOR expression — the
+// query LotusX would show users so they never have to write it themselves.
+func (q *Query) ToXQuery() string {
+	if len(q.nodes) == 0 {
+		tmp := *q
+		if err := tmp.Normalize(); err != nil {
+			return fmt.Sprintf("(: invalid twig: %v :)", err)
+		}
+		return tmp.ToXQuery()
+	}
+	var b strings.Builder
+	b.WriteString("for $v0 in doc()")
+	b.WriteString(q.Root.Axis.String())
+	b.WriteString(q.Root.Tag)
+	b.WriteString("\n")
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "for $v%d in $v%d%s%s\n", c.ID, n.ID, c.Axis.String(), c.Tag)
+			walk(c)
+		}
+	}
+	walk(q.Root)
+	var conds []string
+	for _, n := range q.nodes {
+		switch n.Pred.Op {
+		case Eq:
+			conds = append(conds, fmt.Sprintf("lower-case(string($v%d)) = %s", n.ID, quote(strings.ToLower(n.Pred.Value))))
+		case Contains:
+			conds = append(conds, fmt.Sprintf("contains(lower-case(string($v%d)), %s)", n.ID, quote(strings.ToLower(n.Pred.Value))))
+		}
+	}
+	for _, oc := range q.Order {
+		conds = append(conds, fmt.Sprintf("$v%d << $v%d", oc.Before, oc.After))
+	}
+	if len(conds) > 0 {
+		b.WriteString("where ")
+		b.WriteString(strings.Join(conds, "\n  and "))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "return $v%d", q.OutputNode().ID)
+	return b.String()
+}

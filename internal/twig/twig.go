@@ -1,0 +1,236 @@
+// Package twig defines LotusX's query model: the twig pattern.  A twig is a
+// small labeled tree; every node names a tag (or the wildcard *), every edge
+// is a child (/) or descendant (//) axis, nodes may carry a value predicate,
+// exactly one node is the output node, and order-sensitive queries add
+// document-order constraints between node pairs.  The GUI builds twigs
+// node by node; programmatic users either use the Builder API or parse the
+// XPath subset in parse.go.
+package twig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis is the edge type between a query node and its parent.
+type Axis uint8
+
+const (
+	// Child is the / axis: the matched node must be a child of the parent's
+	// match.
+	Child Axis = iota
+	// Descendant is the // axis: the matched node must be a proper
+	// descendant of the parent's match.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "/"
+	}
+	return "//"
+}
+
+// PredOp is a value-predicate operator.
+type PredOp uint8
+
+const (
+	// NoPred means the node has no value predicate.
+	NoPred PredOp = iota
+	// Eq requires the node's whole value to equal the operand
+	// (case-insensitively).
+	Eq
+	// Contains requires the node's value to contain every token of the
+	// operand (tokens are letter/digit runs, lowercased — see
+	// index.Tokenize).  An operand with no indexable tokens matches
+	// nothing.
+	Contains
+)
+
+// Pred is a value predicate attached to a query node.
+type Pred struct {
+	Op    PredOp
+	Value string
+}
+
+// Wildcard is the tag that matches any element.
+const Wildcard = "*"
+
+// Node is one node of a twig pattern.
+type Node struct {
+	// Tag is the element or attribute name this node matches, or Wildcard.
+	// Attribute nodes use the "@name" convention.
+	Tag string
+	// Axis relates this node to its parent; for the root it relates the
+	// node to the (virtual) document root: Child means the node must be the
+	// document's root element, Descendant means it may occur anywhere.
+	Axis Axis
+	// Pred is this node's value predicate, if any.
+	Pred Pred
+	// Output marks the node whose matches the query returns.
+	Output bool
+	// Children in left-to-right order.
+	Children []*Node
+
+	// ID is the node's preorder index, assigned by Query.Normalize.
+	ID int
+	// parent is set by Normalize.
+	parent *Node
+}
+
+// AddChild appends a child with the given tag and axis and returns it.
+func (n *Node) AddChild(tag string, axis Axis) *Node {
+	c := &Node{Tag: tag, Axis: axis}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Parent returns the node's parent (nil for the root).  Valid after
+// Normalize.
+func (n *Node) Parent() *Node { return n.parent }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// IsWildcard reports whether the node matches any tag.
+func (n *Node) IsWildcard() bool { return n.Tag == Wildcard }
+
+// OrderConstraint requires the match of node Before to precede the match of
+// node After in document order (with disjoint subtrees, XQuery's <<).
+// Node references are by ID.
+type OrderConstraint struct {
+	Before int
+	After  int
+}
+
+// Query is a complete twig pattern.
+type Query struct {
+	Root  *Node
+	Order []OrderConstraint
+
+	nodes   []*Node    // preorder; built by Normalize
+	pending [][2]*Node // order endpoints awaiting IDs; drained by Normalize
+}
+
+// NewQuery returns a query with a fresh root node.  The root's axis defaults
+// to Descendant (occur anywhere), matching how users start a search.
+func NewQuery(rootTag string) *Query {
+	return &Query{Root: &Node{Tag: rootTag, Axis: Descendant}}
+}
+
+// Normalize assigns preorder IDs, wires parent pointers, chooses a default
+// output node (the root) when none is marked, and validates the pattern.
+// It must be called (directly or via Parse) before evaluation.
+func (q *Query) Normalize() error {
+	q.nodes = q.nodes[:0]
+	var outputs int
+	var walk func(n *Node, parent *Node) error
+	walk = func(n *Node, parent *Node) error {
+		if n.Tag == "" {
+			return fmt.Errorf("twig: node with empty tag")
+		}
+		if strings.ContainsAny(n.Tag, "/[]=<>\" '") {
+			return fmt.Errorf("twig: invalid tag %q", n.Tag)
+		}
+		if n.Pred.Op != NoPred && strings.TrimSpace(n.Pred.Value) == "" {
+			return fmt.Errorf("twig: empty predicate value on %q", n.Tag)
+		}
+		n.ID = len(q.nodes)
+		n.parent = parent
+		q.nodes = append(q.nodes, n)
+		if n.Output {
+			outputs++
+		}
+		for _, c := range n.Children {
+			if err := walk(c, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if q.Root == nil {
+		return fmt.Errorf("twig: query has no root")
+	}
+	if err := walk(q.Root, nil); err != nil {
+		return err
+	}
+	if outputs > 1 {
+		return fmt.Errorf("twig: %d output nodes, want at most 1", outputs)
+	}
+	if outputs == 0 {
+		q.Root.Output = true
+	}
+	for _, pr := range q.pending {
+		q.Order = append(q.Order, OrderConstraint{Before: pr[0].ID, After: pr[1].ID})
+	}
+	q.pending = nil
+	for _, oc := range q.Order {
+		if oc.Before < 0 || oc.Before >= len(q.nodes) ||
+			oc.After < 0 || oc.After >= len(q.nodes) {
+			return fmt.Errorf("twig: order constraint references unknown node")
+		}
+		if oc.Before == oc.After {
+			return fmt.Errorf("twig: order constraint on a single node")
+		}
+	}
+	return nil
+}
+
+// Nodes returns the query's nodes in preorder.  Valid after Normalize.
+func (q *Query) Nodes() []*Node { return q.nodes }
+
+// Node returns the query node with the given ID.  Valid after Normalize.
+func (q *Query) Node(id int) *Node { return q.nodes[id] }
+
+// OutputNode returns the output node.  Valid after Normalize.
+func (q *Query) OutputNode() *Node {
+	for _, n := range q.nodes {
+		if n.Output {
+			return n
+		}
+	}
+	return q.Root
+}
+
+// Len returns the number of query nodes.  Valid after Normalize.
+func (q *Query) Len() int { return len(q.nodes) }
+
+// Leaves returns the leaf nodes in preorder.  Valid after Normalize.
+func (q *Query) Leaves() []*Node {
+	var out []*Node
+	for _, n := range q.nodes {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the query, normalized.
+func (q *Query) Clone() *Query {
+	var copyNode func(n *Node) *Node
+	copyNode = func(n *Node) *Node {
+		c := &Node{Tag: n.Tag, Axis: n.Axis, Pred: n.Pred, Output: n.Output}
+		for _, ch := range n.Children {
+			c.Children = append(c.Children, copyNode(ch))
+		}
+		return c
+	}
+	nq := &Query{Root: copyNode(q.Root)}
+	nq.Order = append(nq.Order, q.Order...)
+	if err := nq.Normalize(); err != nil {
+		// The source was normalized; a copy cannot fail.
+		panic("twig: Clone failed to normalize: " + err.Error())
+	}
+	return nq
+}
+
+// HasPredicates reports whether any node carries a value predicate.
+func (q *Query) HasPredicates() bool {
+	for _, n := range q.nodes {
+		if n.Pred.Op != NoPred {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,394 @@
+package twig
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimplePath(t *testing.T) {
+	q := MustParse("//article/title")
+	if q.Root.Tag != "article" || q.Root.Axis != Descendant {
+		t.Fatalf("root = %+v", q.Root)
+	}
+	if len(q.Root.Children) != 1 {
+		t.Fatalf("children = %d", len(q.Root.Children))
+	}
+	title := q.Root.Children[0]
+	if title.Tag != "title" || title.Axis != Child || !title.Output {
+		t.Fatalf("title = %+v", title)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.OutputNode() != title {
+		t.Fatal("output node should be title")
+	}
+}
+
+func TestParseRootedPath(t *testing.T) {
+	q := MustParse("/dblp//author")
+	if q.Root.Axis != Child {
+		t.Fatal("rooted query should have Child axis on root")
+	}
+	if q.Root.Children[0].Axis != Descendant {
+		t.Fatal("author should be descendant")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	q := MustParse(`//article[author = "Jiaheng Lu"][year]/title`)
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	var author, year *Node
+	for _, n := range q.Nodes() {
+		switch n.Tag {
+		case "author":
+			author = n
+		case "year":
+			year = n
+		}
+	}
+	if author == nil || author.Pred.Op != Eq || author.Pred.Value != "Jiaheng Lu" {
+		t.Fatalf("author = %+v", author)
+	}
+	if year == nil || year.Pred.Op != NoPred {
+		t.Fatalf("year = %+v", year)
+	}
+	if q.OutputNode().Tag != "title" {
+		t.Fatal("output should be title")
+	}
+	if !q.HasPredicates() {
+		t.Fatal("HasPredicates should be true")
+	}
+}
+
+func TestParseSelfPredicate(t *testing.T) {
+	q := MustParse(`//title[. contains "xml"]`)
+	if q.Root.Pred.Op != Contains || q.Root.Pred.Value != "xml" {
+		t.Fatalf("root pred = %+v", q.Root.Pred)
+	}
+}
+
+func TestParseNestedBranch(t *testing.T) {
+	q := MustParse(`//book[.//author/name = "Ling"]/title`)
+	var name *Node
+	for _, n := range q.Nodes() {
+		if n.Tag == "name" {
+			name = n
+		}
+	}
+	if name == nil || name.Pred.Value != "Ling" {
+		t.Fatalf("name = %+v", name)
+	}
+	author := name.Parent()
+	if author.Tag != "author" || author.Axis != Descendant {
+		t.Fatalf("author = %+v", author)
+	}
+	if author.Parent().Tag != "book" {
+		t.Fatal("author parent should be book")
+	}
+}
+
+func TestParseAttribute(t *testing.T) {
+	q := MustParse(`//article[@key = "a1"]`)
+	key := q.Root.Children[0]
+	if key.Tag != "@key" || key.Pred.Value != "a1" {
+		t.Fatalf("key = %+v", key)
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	q := MustParse(`//*[title]`)
+	if !q.Root.IsWildcard() {
+		t.Fatal("root should be wildcard")
+	}
+}
+
+func TestParseOrderConstraint(t *testing.T) {
+	q := MustParse(`//S[NP << VP]`)
+	if len(q.Order) != 1 {
+		t.Fatalf("order constraints = %d", len(q.Order))
+	}
+	oc := q.Order[0]
+	if q.Node(oc.Before).Tag != "NP" || q.Node(oc.After).Tag != "VP" {
+		t.Fatalf("order endpoints = %q %q", q.Node(oc.Before).Tag, q.Node(oc.After).Tag)
+	}
+	// Both branches exist structurally too.
+	if len(q.Root.Children) != 2 {
+		t.Fatalf("root children = %d", len(q.Root.Children))
+	}
+}
+
+func TestParseOrderWithPaths(t *testing.T) {
+	q := MustParse(`//entry[a/b << .//c]`)
+	oc := q.Order[0]
+	if q.Node(oc.Before).Tag != "b" || q.Node(oc.After).Tag != "c" {
+		t.Fatalf("endpoints %q %q", q.Node(oc.Before).Tag, q.Node(oc.After).Tag)
+	}
+	if q.Node(oc.After).Axis != Descendant {
+		t.Fatal("c should be descendant axis")
+	}
+}
+
+func TestParseSingleQuotes(t *testing.T) {
+	q := MustParse(`//a[b = 'x y']`)
+	if q.Root.Children[0].Pred.Value != "x y" {
+		t.Fatal("single-quoted value mishandled")
+	}
+}
+
+func TestParseEscapedQuote(t *testing.T) {
+	q := MustParse(`//a[b = "say \"hi\""]`)
+	if q.Root.Children[0].Pred.Value != `say "hi"` {
+		t.Fatalf("value = %q", q.Root.Children[0].Pred.Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no leading axis
+		"article",               // no leading axis
+		"//",                    // missing name
+		"//a[",                  // unterminated predicate
+		"//a[b",                 // missing ]
+		`//a[b = ]`,             // missing string
+		`//a[b = "x`,            // unterminated string
+		`//a[. ]`,               // self pred without cmp
+		"//a/",                  // trailing axis
+		`//a[. = "x"][. = "y"]`, // duplicate self predicate
+		`//a[b = ""]`,           // empty predicate value
+		"//a[123]",              // name cannot start with digit
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorType(t *testing.T) {
+	_, err := Parse("//a[")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Pos <= 0 || !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("unhelpful error: %v", pe)
+	}
+}
+
+func TestNormalizeValidation(t *testing.T) {
+	q := NewQuery("a")
+	q.Root.AddChild("", Child)
+	if err := q.Normalize(); err == nil {
+		t.Error("empty tag should fail")
+	}
+
+	q = NewQuery("a")
+	q.Root.Output = true
+	q.Root.AddChild("b", Child).Output = true
+	if err := q.Normalize(); err == nil {
+		t.Error("two output nodes should fail")
+	}
+
+	q = NewQuery("a")
+	q.Order = []OrderConstraint{{Before: 0, After: 5}}
+	if err := q.Normalize(); err == nil {
+		t.Error("out-of-range order constraint should fail")
+	}
+
+	q = NewQuery("a")
+	q.Order = []OrderConstraint{{Before: 0, After: 0}}
+	if err := q.Normalize(); err == nil {
+		t.Error("self order constraint should fail")
+	}
+
+	q = &Query{}
+	if err := q.Normalize(); err == nil {
+		t.Error("nil root should fail")
+	}
+}
+
+func TestDefaultOutputIsRoot(t *testing.T) {
+	q := NewQuery("a")
+	q.Root.AddChild("b", Child)
+	if err := q.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if q.OutputNode() != q.Root {
+		t.Fatal("default output should be root")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		`//article/title`,
+		`/dblp//author`,
+		`//article[author = "Jiaheng Lu"][year]/title`,
+		`//book[.//author/name contains "ling"]`,
+		`//title[. = "xml"]`,
+		`//S[NP << VP]`,
+		`//a[@key = "k1"]/b/c`,
+		`//*[b]`,
+	}
+	for _, src := range cases {
+		q := MustParse(src)
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q) failed: %v", rendered, src, err)
+			continue
+		}
+		if !equalQueries(q, q2) {
+			t.Errorf("round trip changed query: %q -> %q", src, rendered)
+		}
+	}
+}
+
+// equalQueries compares structure, tags, axes, predicates, output marks and
+// order constraints.
+func equalQueries(a, b *Query) bool {
+	if a.Len() != b.Len() || len(a.Order) != len(b.Order) {
+		return false
+	}
+	for i := range a.Nodes() {
+		x, y := a.Node(i), b.Node(i)
+		if x.Tag != y.Tag || x.Axis != y.Axis || x.Pred != y.Pred ||
+			x.Output != y.Output || len(x.Children) != len(y.Children) {
+			return false
+		}
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClone(t *testing.T) {
+	q := MustParse(`//article[author = "x"]/title`)
+	c := q.Clone()
+	if !equalQueries(q, c) {
+		t.Fatal("clone differs")
+	}
+	c.Root.Children[0].Pred.Value = "changed"
+	if q.Root.Children[0].Pred.Value != "x" {
+		t.Fatal("clone shares nodes with original")
+	}
+}
+
+func TestCloneKeepsOrder(t *testing.T) {
+	q := MustParse(`//S[NP << VP]`)
+	c := q.Clone()
+	if len(c.Order) != 1 || c.Order[0] != q.Order[0] {
+		t.Fatal("clone lost order constraints")
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	q := MustParse(`//a[b][c/d]/e`)
+	var tags []string
+	for _, l := range q.Leaves() {
+		tags = append(tags, l.Tag)
+	}
+	if strings.Join(tags, " ") != "b d e" {
+		t.Fatalf("leaves = %v", tags)
+	}
+}
+
+func TestToXQuery(t *testing.T) {
+	q := MustParse(`//article[author = "Lu"]/title`)
+	xq := q.ToXQuery()
+	for _, want := range []string{"for $v0 in doc()//article", "where", `= "lu"`, "return $v"} {
+		if !strings.Contains(xq, want) {
+			t.Errorf("XQuery %q missing %q", xq, want)
+		}
+	}
+	q2 := MustParse(`//S[NP << VP]`)
+	if !strings.Contains(q2.ToXQuery(), "<<") {
+		t.Error("order constraint missing from XQuery")
+	}
+}
+
+func TestStringOnUnnormalized(t *testing.T) {
+	q := NewQuery("a")
+	q.Root.AddChild("b", Descendant)
+	s := q.String()
+	if s != "//a[.//b]" && s != "//a" { // root is default output after temp normalize
+		// The unnormalized render normalizes a copy; output = root, so b is
+		// a predicate branch.
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if Child.String() != "/" || Descendant.String() != "//" {
+		t.Fatal("axis rendering wrong")
+	}
+}
+
+func TestStringOrderChainRendering(t *testing.T) {
+	// Straight-line chains render back as [a << b].
+	q := MustParse(`//s[a/b << c]`)
+	s := q.String()
+	if !strings.Contains(s, "<<") {
+		t.Fatalf("chain order not rendered: %q", s)
+	}
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s, err)
+	}
+	if !equalQueries(q, q2) {
+		t.Fatalf("order chain round trip changed query: %q", s)
+	}
+}
+
+func TestStringOrderNonChainFallback(t *testing.T) {
+	// An endpoint with its own children is not a chain: String falls back
+	// to the non-parseable {order} annotation rather than duplicating
+	// branches.
+	q := MustParse(`//s[a][b]`)
+	q.Order = append(q.Order, OrderConstraint{Before: 1, After: 2})
+	if err := q.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Give endpoint a a child so the chain test fails on output/extra kids.
+	q.Node(1).AddChild("x", Child)
+	if err := q.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	if !strings.Contains(s, "{order #") {
+		t.Fatalf("expected fallback annotation in %q", s)
+	}
+}
+
+func TestStringOrderEndpointIsOutput(t *testing.T) {
+	// The output node cannot be folded into a << chain (it would lose its
+	// role); expect the fallback annotation.
+	q := MustParse(`//s[a][b]`)
+	q.Node(2).Output = true
+	q.Root.Output = false
+	q.Order = []OrderConstraint{{Before: 1, After: 2}}
+	if err := q.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	if !strings.Contains(s, "{order") {
+		t.Fatalf("expected fallback for output endpoint: %q", s)
+	}
+}
+
+func TestStringOrderWithPredicatedEndpoint(t *testing.T) {
+	q := MustParse(`//s[a = "v" << b]`)
+	s := q.String()
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s, err)
+	}
+	if !equalQueries(q, q2) {
+		t.Fatalf("predicated order endpoint round trip changed: %q", s)
+	}
+}

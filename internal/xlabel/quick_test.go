@@ -1,0 +1,93 @@
+package xlabel
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lotusx/internal/doc"
+)
+
+// randomTree is a quick-generatable random document for labeling tests.
+type randomTree struct {
+	src string
+}
+
+// Generate implements quick.Generator.
+func (randomTree) Generate(rng *rand.Rand, size int) reflect.Value {
+	tags := []string{"a", "b", "c", "d", "e", "f"}
+	var b strings.Builder
+	var open []string
+	b.WriteString("<root>")
+	steps := 5 + rng.Intn(size%60+20)
+	for i := 0; i < steps; i++ {
+		if len(open) > 0 && (rng.Intn(3) == 0 || len(open) > 9) {
+			b.WriteString("</" + open[len(open)-1] + ">")
+			open = open[:len(open)-1]
+			continue
+		}
+		tag := tags[rng.Intn(len(tags))]
+		b.WriteString("<" + tag + ">")
+		open = append(open, tag)
+	}
+	for len(open) > 0 {
+		b.WriteString("</" + open[len(open)-1] + ">")
+		open = open[:len(open)-1]
+	}
+	b.WriteString("</root>")
+	return reflect.ValueOf(randomTree{b.String()})
+}
+
+// TestQuickExtendedDeweyProperties checks, over arbitrary trees, the three
+// defining properties of extended Dewey: (1) the transducer decodes every
+// node's exact tag path, (2) labels sort in document order, (3) label
+// prefixing coincides with ancestry.
+func TestQuickExtendedDeweyProperties(t *testing.T) {
+	f := func(rt randomTree) bool {
+		d, err := doc.FromString("gen", rt.src)
+		if err != nil {
+			return false
+		}
+		tr := BuildTransducer(d)
+		arena := Encode(d, tr)
+
+		for i := 0; i < d.Len(); i++ {
+			n := doc.NodeID(i)
+			tags, err := tr.DecodeTags(arena.At(n))
+			if err != nil {
+				return false
+			}
+			// Compare against the parent-pointer oracle.
+			j := len(tags) - 1
+			for cur := n; cur != doc.None; cur = d.Parent(cur) {
+				if j < 0 || tags[j] != d.Tag(cur) {
+					return false
+				}
+				j--
+			}
+			if j != -1 {
+				return false
+			}
+			// Document order.
+			if i > 0 && arena.At(doc.NodeID(i-1)).Compare(arena.At(n)) >= 0 {
+				return false
+			}
+			// Prefix = ancestry, against a sample of other nodes.
+			for k := 0; k < d.Len(); k += 1 + d.Len()/16 {
+				m := doc.NodeID(k)
+				if m == n {
+					continue
+				}
+				if arena.At(n).IsAncestor(arena.At(m)) != d.IsAncestor(n, m) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

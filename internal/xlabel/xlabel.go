@@ -1,0 +1,188 @@
+// Package xlabel implements the extended Dewey labeling scheme of TJFast
+// (Lu, Ling, Chan, Chen, VLDB 2005) — the "position-aware" labels behind
+// LotusX: a single number sequence per node from which the *entire
+// root-to-node tag path* can be decoded, without touching any ancestor.
+//
+// The scheme needs, for every element tag t, the alphabet CT(t) of tags that
+// can occur as children of t.  The original derives CT from the DTD; absent
+// one, this package derives it from the document itself (DESIGN.md records
+// the substitution — the derived alphabet is exactly the DTD restriction the
+// data exercises).
+//
+// Encoding: a node whose parent is tagged t, with n = |CT(t)|, gets the
+// smallest component x greater than its previous sibling's component (or -1)
+// such that x mod n equals the index of the node's tag in CT(t).  Components
+// therefore increase strictly along siblings, so labels compare in document
+// order lexicographically, and a label's proper prefixes are exactly its
+// ancestors' labels — the Dewey properties — while (x mod n) walks a finite
+// state transducer that spells out the tag path.
+package xlabel
+
+import (
+	"fmt"
+	"sort"
+
+	"lotusx/internal/doc"
+)
+
+// Label is an extended Dewey code.  The root element's label is empty; its
+// tag is the transducer's start state.
+type Label []int64
+
+// Compare orders labels in document order (ancestors before descendants).
+func (a Label) Compare(b Label) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// IsAncestor reports whether a is a proper prefix of d.
+func (a Label) IsAncestor(d Label) bool {
+	if len(a) >= len(d) {
+		return false
+	}
+	for i := range a {
+		if a[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transducer is the finite state machine that decodes tag paths from
+// labels: state = current tag, transition = component mod alphabet size.
+type Transducer struct {
+	root      doc.TagID
+	alphabets [][]doc.TagID       // per parent tag: sorted child tags
+	position  []map[doc.TagID]int // per parent tag: child tag -> alphabet index
+}
+
+// BuildTransducer derives the child-tag alphabets from d.
+func BuildTransducer(d *doc.Document) *Transducer {
+	ntags := d.Tags().Len()
+	sets := make([]map[doc.TagID]struct{}, ntags)
+	for i := 0; i < d.Len(); i++ {
+		n := doc.NodeID(i)
+		p := d.Parent(n)
+		if p == doc.None {
+			continue
+		}
+		pt := d.Tag(p)
+		if sets[pt] == nil {
+			sets[pt] = make(map[doc.TagID]struct{})
+		}
+		sets[pt][d.Tag(n)] = struct{}{}
+	}
+	tr := &Transducer{
+		root:      d.Tag(d.Root()),
+		alphabets: make([][]doc.TagID, ntags),
+		position:  make([]map[doc.TagID]int, ntags),
+	}
+	for t := range sets {
+		if sets[t] == nil {
+			continue
+		}
+		alpha := make([]doc.TagID, 0, len(sets[t]))
+		for ct := range sets[t] {
+			alpha = append(alpha, ct)
+		}
+		sort.Slice(alpha, func(i, j int) bool { return alpha[i] < alpha[j] })
+		tr.alphabets[t] = alpha
+		pos := make(map[doc.TagID]int, len(alpha))
+		for i, ct := range alpha {
+			pos[ct] = i
+		}
+		tr.position[t] = pos
+	}
+	return tr
+}
+
+// Root returns the transducer's start state (the document root's tag).
+func (tr *Transducer) Root() doc.TagID { return tr.root }
+
+// Alphabet returns the child-tag alphabet of tag, in index order.
+func (tr *Transducer) Alphabet(tag doc.TagID) []doc.TagID { return tr.alphabets[tag] }
+
+// DecodeTags returns the tag path spelled by label, starting with the root
+// tag; len(result) == len(label) + 1.  An error means the label was not
+// produced for this document class.
+func (tr *Transducer) DecodeTags(label Label) ([]doc.TagID, error) {
+	out := make([]doc.TagID, 0, len(label)+1)
+	cur := tr.root
+	out = append(out, cur)
+	for depth, x := range label {
+		alpha := tr.alphabets[cur]
+		if len(alpha) == 0 {
+			return nil, fmt.Errorf("xlabel: tag %d has no children at depth %d", cur, depth)
+		}
+		if x < 0 {
+			return nil, fmt.Errorf("xlabel: negative component at depth %d", depth)
+		}
+		cur = alpha[int(x%int64(len(alpha)))]
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// Arena stores the labels of every node of one document, flat.
+type Arena struct {
+	offs   []int32
+	digits []int64
+}
+
+// At returns node i's label; the result aliases the arena.
+func (a *Arena) At(i doc.NodeID) Label { return Label(a.digits[a.offs[i]:a.offs[i+1]]) }
+
+// Len returns the number of labeled nodes.
+func (a *Arena) Len() int { return len(a.offs) - 1 }
+
+// Encode assigns extended Dewey labels to every node of d under tr, in one
+// document-order pass.
+func Encode(d *doc.Document, tr *Transducer) *Arena {
+	a := &Arena{offs: make([]int32, 1, d.Len()+1)}
+	// Node IDs are preorder, so a parent's label is already in the arena
+	// when its children arrive; lastComp remembers, per open parent, the
+	// component handed to its most recent child.
+	lastComp := make(map[doc.NodeID]int64)
+	for i := 0; i < d.Len(); i++ {
+		n := doc.NodeID(i)
+		p := d.Parent(n)
+		if p == doc.None {
+			a.offs = append(a.offs, int32(len(a.digits))) // empty root label
+			continue
+		}
+		parentLabel := a.At(p)
+		alpha := tr.alphabets[d.Tag(p)]
+		idx := int64(tr.position[d.Tag(p)][d.Tag(n)])
+		n64 := int64(len(alpha))
+
+		prev, ok := lastComp[p]
+		if !ok {
+			prev = -1
+		}
+		// Smallest x > prev with x ≡ idx (mod n).
+		x := (prev/n64)*n64 + idx
+		for x <= prev {
+			x += n64
+		}
+		lastComp[p] = x
+
+		a.digits = append(a.digits, parentLabel...)
+		a.digits = append(a.digits, x)
+		a.offs = append(a.offs, int32(len(a.digits)))
+	}
+	return a
+}

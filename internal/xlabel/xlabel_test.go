@@ -1,0 +1,194 @@
+package xlabel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lotusx/internal/doc"
+)
+
+const bibXML = `<dblp>
+  <article key="a1">
+    <author>Jiaheng Lu</author>
+    <title>Holistic Twig Joins</title>
+  </article>
+  <article key="a2">
+    <author>Chunbin Lin</author>
+    <author>Jiaheng Lu</author>
+    <title>LotusX</title>
+  </article>
+</dblp>`
+
+func mustEncode(t *testing.T, src string) (*doc.Document, *Transducer, *Arena) {
+	t.Helper()
+	d, err := doc.FromString("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := BuildTransducer(d)
+	return d, tr, Encode(d, tr)
+}
+
+// tagPath walks parent pointers — the oracle DecodeTags must match.
+func tagPath(d *doc.Document, n doc.NodeID) []doc.TagID {
+	var rev []doc.TagID
+	for cur := n; cur != doc.None; cur = d.Parent(cur) {
+		rev = append(rev, d.Tag(cur))
+	}
+	out := make([]doc.TagID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+func TestDecodeRecoversEveryTagPath(t *testing.T) {
+	d, tr, arena := mustEncode(t, bibXML)
+	for i := 0; i < d.Len(); i++ {
+		n := doc.NodeID(i)
+		got, err := tr.DecodeTags(arena.At(n))
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		want := tagPath(d, n)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: decoded %d tags, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("node %d: tag path differs at %d: %s vs %s",
+					i, j, d.Tags().Name(got[j]), d.Tags().Name(want[j]))
+			}
+		}
+	}
+}
+
+func TestLabelsOrderAsDocumentOrder(t *testing.T) {
+	d, _, arena := mustEncode(t, bibXML)
+	for i := 1; i < d.Len(); i++ {
+		if arena.At(doc.NodeID(i-1)).Compare(arena.At(doc.NodeID(i))) >= 0 {
+			t.Fatalf("labels of nodes %d,%d not in document order", i-1, i)
+		}
+	}
+}
+
+func TestPrefixIsAncestor(t *testing.T) {
+	d, _, arena := mustEncode(t, bibXML)
+	for i := 0; i < d.Len(); i++ {
+		for j := 0; j < d.Len(); j++ {
+			if i == j {
+				continue
+			}
+			a, b := doc.NodeID(i), doc.NodeID(j)
+			want := d.IsAncestor(a, b)
+			if got := arena.At(a).IsAncestor(arena.At(b)); got != want {
+				t.Fatalf("IsAncestor(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestTransducerAlphabets(t *testing.T) {
+	d, tr, _ := mustEncode(t, bibXML)
+	tags := d.Tags()
+	if tr.Root() != tags.ID("dblp") {
+		t.Fatalf("root state = %v", tr.Root())
+	}
+	article := tr.Alphabet(tags.ID("article"))
+	if len(article) != 3 { // @key, author, title
+		t.Fatalf("article alphabet = %v", article)
+	}
+	if got := tr.Alphabet(tags.ID("author")); len(got) != 0 {
+		t.Fatalf("leaf tag alphabet = %v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	d, tr, _ := mustEncode(t, bibXML)
+	tags := d.Tags()
+	_ = tags
+	if _, err := tr.DecodeTags(Label{0, 0, 0, 0, 0}); err == nil {
+		t.Error("over-deep label should fail to decode")
+	}
+	if _, err := tr.DecodeTags(Label{-1}); err == nil {
+		t.Error("negative component should fail")
+	}
+	if got, err := tr.DecodeTags(nil); err != nil || len(got) != 1 {
+		t.Errorf("empty label should decode to just the root: %v %v", got, err)
+	}
+}
+
+func TestLabelCompare(t *testing.T) {
+	cases := []struct {
+		a, b Label
+		want int
+	}{
+		{Label{}, Label{0}, -1},
+		{Label{0}, Label{}, 1},
+		{Label{1, 2}, Label{1, 2}, 0},
+		{Label{1, 2}, Label{1, 3}, -1},
+		{Label{2}, Label{1, 9}, 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRandomDocumentsDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tags := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 20; trial++ {
+		var b strings.Builder
+		var open []string
+		b.WriteString("<r>")
+		for i := 0; i < 120; i++ {
+			if len(open) > 0 && (rng.Intn(3) == 0 || len(open) > 7) {
+				b.WriteString("</" + open[len(open)-1] + ">")
+				open = open[:len(open)-1]
+				continue
+			}
+			tag := tags[rng.Intn(len(tags))]
+			b.WriteString("<" + tag + ">")
+			open = append(open, tag)
+		}
+		for len(open) > 0 {
+			b.WriteString("</" + open[len(open)-1] + ">")
+			open = open[:len(open)-1]
+		}
+		b.WriteString("</r>")
+
+		d, tr, arena := mustEncode(t, b.String())
+		for i := 0; i < d.Len(); i++ {
+			n := doc.NodeID(i)
+			got, err := tr.DecodeTags(arena.At(n))
+			if err != nil {
+				t.Fatalf("trial %d node %d: %v", trial, i, err)
+			}
+			want := tagPath(d, n)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("trial %d node %d: decode mismatch", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSiblingComponentsStrictlyIncrease(t *testing.T) {
+	d, _, arena := mustEncode(t, bibXML)
+	for i := 0; i < d.Len(); i++ {
+		n := doc.NodeID(i)
+		var prev int64 = -1
+		for c := d.FirstChild(n); c != doc.None; c = d.NextSibling(c) {
+			l := arena.At(c)
+			x := l[len(l)-1]
+			if x <= prev {
+				t.Fatalf("sibling components not increasing under node %d", i)
+			}
+			prev = x
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package xmlparse implements a from-scratch streaming XML pull parser.  It
+// is the ingestion substrate of the LotusX reproduction: the document store
+// consumes its event stream to assign positional labels in a single pass.
+//
+// The parser covers the XML subset relevant to data-centric documents:
+// elements, attributes (single- or double-quoted), character data, CDATA
+// sections, comments, processing instructions, an optional XML declaration
+// and DOCTYPE (both skipped), and the five predefined entities plus decimal
+// and hexadecimal character references.  It enforces well-formedness — tag
+// balance, attribute uniqueness, name syntax — and reports errors with line
+// and column positions.  DTD-defined entities and external references are
+// out of scope (the paper's datasets do not need them).
+package xmlparse
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// EventKind discriminates the events produced by the parser.
+type EventKind uint8
+
+const (
+	// StartElement is the opening of an element; Name and Attrs are set.
+	StartElement EventKind = iota
+	// EndElement is the closing of an element; Name is set.
+	EndElement
+	// Text is character data (entity references resolved, CDATA included);
+	// Value is set.  Whitespace-only text between elements is suppressed.
+	Text
+	// Comment is a <!-- --> comment; Value holds the comment body.
+	Comment
+	// ProcInst is a processing instruction; Name is the target and Value the
+	// instruction body.
+	ProcInst
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case StartElement:
+		return "StartElement"
+	case EndElement:
+		return "EndElement"
+	case Text:
+		return "Text"
+	case Comment:
+		return "Comment"
+	case ProcInst:
+		return "ProcInst"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Attr is a single attribute of a start element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Event is one parse event.  Attrs aliases an internal buffer that is reused
+// by the next call to Next; callers that retain attributes must copy them.
+type Event struct {
+	Kind  EventKind
+	Name  string
+	Value string
+	Attrs []Attr
+	Line  int // 1-based line of the event's first character
+	Col   int // 1-based column (in runes) of the event's first character
+}
+
+// SyntaxError describes a well-formedness violation with its position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmlparse: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parser is a pull parser over a byte source.  Create one with NewParser and
+// call Next until it returns io.EOF.
+type Parser struct {
+	src  io.Reader
+	buf  []byte
+	r, w int  // read/write cursors into buf
+	eof  bool // src exhausted
+
+	line, col int // position of the next unread byte
+
+	stack []string // open element names
+	attrs []Attr   // reusable attribute buffer
+	text  strings.Builder
+
+	started bool // a root element has been seen
+	rooted  bool // the root element has been closed
+
+	pending            *Event // synthesized EndElement for a self-closing tag
+	rootedAfterPending bool   // the pending end closes the root element
+	bomChecked         bool   // a leading UTF-8 BOM has been looked for
+
+	// KeepWhitespace retains whitespace-only text events instead of
+	// suppressing them.  Set before the first call to Next.
+	KeepWhitespace bool
+}
+
+// NewParser returns a Parser reading from src.
+func NewParser(src io.Reader) *Parser {
+	return &Parser{
+		src:  src,
+		buf:  make([]byte, 0, 64<<10),
+		line: 1,
+		col:  1,
+	}
+}
+
+// NewParserString returns a Parser over a string, convenient in tests.
+func NewParserString(s string) *Parser { return NewParser(strings.NewReader(s)) }
+
+// Depth returns the number of currently open elements.
+func (p *Parser) Depth() int { return len(p.stack) }
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &SyntaxError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// fill ensures at least n unread bytes are buffered, unless the source ends
+// first.  It reports whether n bytes are available.
+func (p *Parser) fill(n int) bool {
+	for p.w-p.r < n && !p.eof {
+		if p.r > 0 && p.r == p.w {
+			p.r, p.w = 0, 0
+			p.buf = p.buf[:0]
+		}
+		if cap(p.buf)-p.w < 4096 {
+			nb := make([]byte, p.w-p.r, max(2*cap(p.buf), 8192))
+			copy(nb, p.buf[p.r:p.w])
+			p.w -= p.r
+			p.r = 0
+			p.buf = nb[:p.w]
+		}
+		chunk := p.buf[p.w:cap(p.buf)]
+		m, err := p.src.Read(chunk)
+		p.buf = p.buf[:p.w+m]
+		p.w += m
+		if err == io.EOF {
+			p.eof = true
+		} else if err != nil {
+			p.eof = true // surface read errors as truncation
+		}
+	}
+	return p.w-p.r >= n
+}
+
+// peek returns the next unread byte without consuming it, or 0, false at EOF.
+func (p *Parser) peek() (byte, bool) {
+	if !p.fill(1) {
+		return 0, false
+	}
+	return p.buf[p.r], true
+}
+
+// peekAt returns the byte at offset i from the cursor.
+func (p *Parser) peekAt(i int) (byte, bool) {
+	if !p.fill(i + 1) {
+		return 0, false
+	}
+	return p.buf[p.r+i], true
+}
+
+// next consumes and returns one byte, tracking line/column.
+func (p *Parser) next() (byte, bool) {
+	if !p.fill(1) {
+		return 0, false
+	}
+	c := p.buf[p.r]
+	p.r++
+	if c == '\n' {
+		p.line++
+		p.col = 1
+	} else if c&0xC0 != 0x80 { // don't count UTF-8 continuation bytes
+		p.col++
+	}
+	return c, true
+}
+
+// skipSpace consumes XML whitespace.
+func (p *Parser) skipSpace() {
+	for {
+		c, ok := p.peek()
+		if !ok || !isSpace(c) {
+			return
+		}
+		p.next()
+	}
+}
+
+// expect consumes the literal s or returns an error.
+func (p *Parser) expect(s string) error {
+	for i := 0; i < len(s); i++ {
+		c, ok := p.next()
+		if !ok {
+			return p.errf("unexpected end of input, expected %q", s)
+		}
+		if c != s[i] {
+			return p.errf("expected %q", s)
+		}
+	}
+	return nil
+}
+
+// hasPrefix reports whether the unread input starts with s.
+func (p *Parser) hasPrefix(s string) bool {
+	if !p.fill(len(s)) {
+		return false
+	}
+	return string(p.buf[p.r:p.r+len(s)]) == s
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// isNameStart reports whether c may begin an XML name.  Multi-byte UTF-8
+// lead bytes are accepted wholesale; full Unicode name classes are overkill
+// for the target datasets.
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+// readName consumes an XML name.
+func (p *Parser) readName() (string, error) {
+	c, ok := p.peek()
+	if !ok || !isNameStart(c) {
+		return "", p.errf("expected a name")
+	}
+	var b strings.Builder
+	for {
+		c, ok := p.peek()
+		if !ok || !isNameChar(c) {
+			break
+		}
+		p.next()
+		b.WriteByte(c)
+	}
+	return b.String(), nil
+}
+
+// resolveCharRef decodes the body of a &#...; reference.
+func resolveCharRef(body string) (rune, bool) {
+	var n uint32
+	if strings.HasPrefix(body, "x") || strings.HasPrefix(body, "X") {
+		hex := body[1:]
+		if hex == "" {
+			return 0, false
+		}
+		for i := 0; i < len(hex); i++ {
+			c := hex[i]
+			var d uint32
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint32(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint32(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint32(c-'A') + 10
+			default:
+				return 0, false
+			}
+			n = n*16 + d
+			if n > utf8.MaxRune {
+				return 0, false
+			}
+		}
+	} else {
+		if body == "" {
+			return 0, false
+		}
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + uint32(c-'0')
+			if n > utf8.MaxRune {
+				return 0, false
+			}
+		}
+	}
+	r := rune(n)
+	if !isValidXMLChar(r) {
+		return 0, false
+	}
+	return r, true
+}
+
+// isValidXMLChar reports whether r is a legal XML 1.0 character (§2.2):
+// tab, LF, CR, and everything from space up, minus surrogates (which
+// utf8.ValidRune rejects) and the two non-characters U+FFFE/U+FFFF.
+func isValidXMLChar(r rune) bool {
+	if !utf8.ValidRune(r) {
+		return false
+	}
+	switch {
+	case r == '\t' || r == '\n' || r == '\r':
+		return true
+	case r < 0x20:
+		return false
+	case r == 0xFFFE || r == 0xFFFF:
+		return false
+	}
+	return true
+}
+
+// readReference consumes an entity or character reference after the '&' has
+// already been consumed and appends its expansion to b.
+func (p *Parser) readReference(b *strings.Builder) error {
+	var body strings.Builder
+	for i := 0; ; i++ {
+		c, ok := p.next()
+		if !ok {
+			return p.errf("unterminated entity reference")
+		}
+		if c == ';' {
+			break
+		}
+		if i > 10 {
+			return p.errf("entity reference too long")
+		}
+		body.WriteByte(c)
+	}
+	s := body.String()
+	switch s {
+	case "lt":
+		b.WriteByte('<')
+	case "gt":
+		b.WriteByte('>')
+	case "amp":
+		b.WriteByte('&')
+	case "apos":
+		b.WriteByte('\'')
+	case "quot":
+		b.WriteByte('"')
+	default:
+		if len(s) > 1 && s[0] == '#' {
+			r, ok := resolveCharRef(s[1:])
+			if !ok {
+				return p.errf("invalid character reference &%s;", s)
+			}
+			b.WriteRune(r)
+			return nil
+		}
+		return p.errf("unknown entity &%s;", s)
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package xmlparse
+
+import (
+	"io"
+	"strings"
+)
+
+// Next returns the next parse event, or io.EOF after the root element has
+// been closed and only trailing misc content remains.  Any other error is a
+// *SyntaxError.
+func (p *Parser) Next() (Event, error) {
+	for {
+		ev, ok, err := p.step()
+		if err != nil {
+			return Event{}, err
+		}
+		if ok {
+			return ev, nil
+		}
+	}
+}
+
+// step tries to produce one event; ok is false when the scanned construct is
+// skipped (declaration, doctype, suppressed whitespace).
+func (p *Parser) step() (Event, bool, error) {
+	if !p.bomChecked {
+		p.bomChecked = true
+		// A UTF-8 byte order mark before the document is legal; skip it.
+		if p.hasPrefix("\xEF\xBB\xBF") {
+			p.next()
+			p.next()
+			p.next()
+			p.col = 1
+		}
+	}
+	if p.pending != nil {
+		ev := *p.pending
+		p.pending = nil
+		if p.rootedAfterPending {
+			p.rooted = true
+			p.rootedAfterPending = false
+		}
+		return ev, true, nil
+	}
+	startLine, startCol := p.line, p.col
+	c, ok := p.peek()
+	if !ok {
+		if len(p.stack) > 0 {
+			return Event{}, false, p.errf("unexpected end of input: %d unclosed element(s), innermost <%s>", len(p.stack), p.stack[len(p.stack)-1])
+		}
+		if !p.rooted {
+			return Event{}, false, p.errf("document has no root element")
+		}
+		return Event{}, false, io.EOF
+	}
+
+	if c != '<' {
+		return p.scanText(startLine, startCol)
+	}
+
+	// Dispatch on what follows '<'.
+	c1, _ := p.peekAt(1)
+	switch {
+	case c1 == '?':
+		return p.scanProcInst(startLine, startCol)
+	case c1 == '!':
+		if p.hasPrefix("<!--") {
+			return p.scanComment(startLine, startCol)
+		}
+		if p.hasPrefix("<![CDATA[") {
+			return p.scanText(startLine, startCol)
+		}
+		if p.hasPrefix("<!DOCTYPE") {
+			return Event{}, false, p.skipDoctype()
+		}
+		return Event{}, false, p.errf("unsupported markup declaration")
+	case c1 == '/':
+		return p.scanEndTag(startLine, startCol)
+	default:
+		return p.scanStartTag(startLine, startCol)
+	}
+}
+
+func (p *Parser) scanText(line, col int) (Event, bool, error) {
+	if len(p.stack) == 0 {
+		// Character data outside the root: only whitespace is legal.
+		for {
+			c, ok := p.peek()
+			if !ok || c == '<' {
+				return Event{}, false, nil
+			}
+			if !isSpace(c) {
+				return Event{}, false, p.errf("character data outside root element")
+			}
+			p.next()
+		}
+	}
+	p.text.Reset()
+	allSpace := true
+	for {
+		c, ok := p.peek()
+		if !ok {
+			break
+		}
+		if c == '<' {
+			if p.hasPrefix("<![CDATA[") {
+				if err := p.scanCDATA(&allSpace); err != nil {
+					return Event{}, false, err
+				}
+				continue
+			}
+			break
+		}
+		if c == ']' && p.hasPrefix("]]>") {
+			// "]]>" must not appear bare in character data (XML 1.0 §2.4).
+			return Event{}, false, p.errf(`"]]>" not allowed in character data`)
+		}
+		if c < 0x20 && c != '\t' && c != '\n' && c != '\r' {
+			return Event{}, false, p.errf("control character 0x%02X not allowed in character data", c)
+		}
+		p.next()
+		switch c {
+		case '&':
+			if err := p.readReference(&p.text); err != nil {
+				return Event{}, false, err
+			}
+			allSpace = false
+		default:
+			if !isSpace(c) {
+				allSpace = false
+			}
+			p.text.WriteByte(c)
+		}
+	}
+	if allSpace && !p.KeepWhitespace {
+		return Event{}, false, nil
+	}
+	return Event{Kind: Text, Value: p.text.String(), Line: line, Col: col}, true, nil
+}
+
+// scanCDATA consumes a <![CDATA[ ... ]]> section, appending its raw content
+// to the current text buffer.
+func (p *Parser) scanCDATA(allSpace *bool) error {
+	if err := p.expect("<![CDATA["); err != nil {
+		return err
+	}
+	for {
+		if p.hasPrefix("]]>") {
+			p.expect("]]>")
+			return nil
+		}
+		c, ok := p.next()
+		if !ok {
+			return p.errf("unterminated CDATA section")
+		}
+		if !isSpace(c) {
+			*allSpace = false
+		}
+		p.text.WriteByte(c)
+	}
+}
+
+func (p *Parser) scanComment(line, col int) (Event, bool, error) {
+	if err := p.expect("<!--"); err != nil {
+		return Event{}, false, err
+	}
+	var b strings.Builder
+	for {
+		if p.hasPrefix("-->") {
+			p.expect("-->")
+			return Event{Kind: Comment, Value: b.String(), Line: line, Col: col}, true, nil
+		}
+		if p.hasPrefix("--") {
+			return Event{}, false, p.errf("'--' not allowed inside comment")
+		}
+		c, ok := p.next()
+		if !ok {
+			return Event{}, false, p.errf("unterminated comment")
+		}
+		b.WriteByte(c)
+	}
+}
+
+func (p *Parser) scanProcInst(line, col int) (Event, bool, error) {
+	if err := p.expect("<?"); err != nil {
+		return Event{}, false, err
+	}
+	name, err := p.readName()
+	if err != nil {
+		return Event{}, false, err
+	}
+	p.skipSpace()
+	var b strings.Builder
+	for {
+		if p.hasPrefix("?>") {
+			p.expect("?>")
+			break
+		}
+		c, ok := p.next()
+		if !ok {
+			return Event{}, false, p.errf("unterminated processing instruction")
+		}
+		b.WriteByte(c)
+	}
+	if strings.EqualFold(name, "xml") {
+		// The XML declaration is structural, not content; skip it.
+		return Event{}, false, nil
+	}
+	return Event{Kind: ProcInst, Name: name, Value: b.String(), Line: line, Col: col}, true, nil
+}
+
+// skipDoctype consumes a DOCTYPE declaration including a bracketed internal
+// subset, honouring nested brackets and quoted strings.
+func (p *Parser) skipDoctype() error {
+	if err := p.expect("<!DOCTYPE"); err != nil {
+		return err
+	}
+	depth := 0
+	for {
+		c, ok := p.next()
+		if !ok {
+			return p.errf("unterminated DOCTYPE")
+		}
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '"', '\'':
+			quote := c
+			for {
+				q, ok := p.next()
+				if !ok {
+					return p.errf("unterminated literal in DOCTYPE")
+				}
+				if q == quote {
+					break
+				}
+			}
+		case '>':
+			if depth <= 0 {
+				return nil
+			}
+		}
+	}
+}
+
+func (p *Parser) scanStartTag(line, col int) (Event, bool, error) {
+	if err := p.expect("<"); err != nil {
+		return Event{}, false, err
+	}
+	name, err := p.readName()
+	if err != nil {
+		return Event{}, false, err
+	}
+	if p.rooted {
+		return Event{}, false, p.errf("element <%s> after document root closed", name)
+	}
+	p.attrs = p.attrs[:0]
+	selfClose := false
+	for {
+		p.skipSpace()
+		c, ok := p.peek()
+		if !ok {
+			return Event{}, false, p.errf("unterminated start tag <%s>", name)
+		}
+		if c == '>' {
+			p.next()
+			break
+		}
+		if c == '/' {
+			p.next()
+			if err := p.expect(">"); err != nil {
+				return Event{}, false, err
+			}
+			selfClose = true
+			break
+		}
+		attr, err := p.scanAttr()
+		if err != nil {
+			return Event{}, false, err
+		}
+		for _, a := range p.attrs {
+			if a.Name == attr.Name {
+				return Event{}, false, p.errf("duplicate attribute %q on <%s>", attr.Name, name)
+			}
+		}
+		p.attrs = append(p.attrs, attr)
+	}
+	p.started = true
+	ev := Event{Kind: StartElement, Name: name, Attrs: p.attrs, Line: line, Col: col}
+	if selfClose {
+		// Queue the matching end event by pushing then immediately noting a
+		// pending pop: we synthesize the end on the next step via a
+		// one-element pending queue.
+		p.pending = &Event{Kind: EndElement, Name: name, Line: p.line, Col: p.col}
+		if len(p.stack) == 0 {
+			p.rootedAfterPending = true
+		}
+	} else {
+		p.stack = append(p.stack, name)
+	}
+	return ev, true, nil
+}
+
+func (p *Parser) scanAttr() (Attr, error) {
+	name, err := p.readName()
+	if err != nil {
+		return Attr{}, err
+	}
+	p.skipSpace()
+	if err := p.expect("="); err != nil {
+		return Attr{}, p.errf("attribute %q missing '='", name)
+	}
+	p.skipSpace()
+	q, ok := p.next()
+	if !ok || (q != '"' && q != '\'') {
+		return Attr{}, p.errf("attribute %q value must be quoted", name)
+	}
+	var b strings.Builder
+	for {
+		c, ok := p.next()
+		if !ok {
+			return Attr{}, p.errf("unterminated value for attribute %q", name)
+		}
+		if c == q {
+			break
+		}
+		switch c {
+		case '<':
+			return Attr{}, p.errf("'<' not allowed in attribute value")
+		case '&':
+			if err := p.readReference(&b); err != nil {
+				return Attr{}, err
+			}
+		case '\t', '\n', '\r':
+			// Attribute-value normalization (XML 1.0 §3.3.3): literal
+			// whitespace characters become spaces.
+			b.WriteByte(' ')
+		default:
+			if c < 0x20 {
+				return Attr{}, p.errf("control character 0x%02X not allowed in attribute value", c)
+			}
+			b.WriteByte(c)
+		}
+	}
+	return Attr{Name: name, Value: b.String()}, nil
+}
+
+func (p *Parser) scanEndTag(line, col int) (Event, bool, error) {
+	if err := p.expect("</"); err != nil {
+		return Event{}, false, err
+	}
+	name, err := p.readName()
+	if err != nil {
+		return Event{}, false, err
+	}
+	p.skipSpace()
+	if err := p.expect(">"); err != nil {
+		return Event{}, false, err
+	}
+	if len(p.stack) == 0 {
+		return Event{}, false, p.errf("closing tag </%s> with no open element", name)
+	}
+	open := p.stack[len(p.stack)-1]
+	if open != name {
+		return Event{}, false, p.errf("closing tag </%s> does not match open <%s>", name, open)
+	}
+	p.stack = p.stack[:len(p.stack)-1]
+	if len(p.stack) == 0 {
+		p.rooted = true
+	}
+	return Event{Kind: EndElement, Name: name, Line: line, Col: col}, true, nil
+}

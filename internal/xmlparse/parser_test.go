@@ -1,0 +1,393 @@
+package xmlparse
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// collect drains the parser into a slice of events.
+func collect(t *testing.T, src string) []Event {
+	t.Helper()
+	p := NewParserString(src)
+	var evs []Event
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			return evs
+		}
+		if err != nil {
+			t.Fatalf("unexpected parse error: %v", err)
+		}
+		// Copy attrs: the buffer is reused.
+		ev.Attrs = append([]Attr(nil), ev.Attrs...)
+		evs = append(evs, ev)
+	}
+}
+
+func parseErr(src string) error {
+	p := NewParserString(src)
+	for {
+		_, err := p.Next()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+func TestSimpleDocument(t *testing.T) {
+	evs := collect(t, `<a><b x="1">hi</b><c/></a>`)
+	want := []struct {
+		kind  EventKind
+		name  string
+		value string
+	}{
+		{StartElement, "a", ""},
+		{StartElement, "b", ""},
+		{Text, "", "hi"},
+		{EndElement, "b", ""},
+		{StartElement, "c", ""},
+		{EndElement, "c", ""},
+		{EndElement, "a", ""},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].Name != w.name || evs[i].Value != w.value {
+			t.Errorf("event %d = %v %q %q, want %v %q %q",
+				i, evs[i].Kind, evs[i].Name, evs[i].Value, w.kind, w.name, w.value)
+		}
+	}
+	if len(evs[1].Attrs) != 1 || evs[1].Attrs[0] != (Attr{"x", "1"}) {
+		t.Errorf("attrs = %+v, want [{x 1}]", evs[1].Attrs)
+	}
+}
+
+func TestXMLDeclarationAndDoctypeSkipped(t *testing.T) {
+	evs := collect(t, `<?xml version="1.0" encoding="UTF-8"?>
+<!DOCTYPE dblp SYSTEM "dblp.dtd" [ <!ENTITY x "y"> ]>
+<dblp></dblp>`)
+	if len(evs) != 2 || evs[0].Kind != StartElement || evs[0].Name != "dblp" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestEntities(t *testing.T) {
+	evs := collect(t, `<a>&lt;&gt;&amp;&apos;&quot; &#65;&#x42;&#x1F600;</a>`)
+	if len(evs) != 3 {
+		t.Fatalf("events = %+v", evs)
+	}
+	want := `<>&'" AB😀`
+	if evs[1].Value != want {
+		t.Errorf("text = %q, want %q", evs[1].Value, want)
+	}
+}
+
+func TestEntitiesInAttributes(t *testing.T) {
+	evs := collect(t, `<a title="Tom &amp; Jerry&#33;"/>`)
+	if got := evs[0].Attrs[0].Value; got != "Tom & Jerry!" {
+		t.Errorf("attr = %q", got)
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	evs := collect(t, `<a>pre<![CDATA[<raw> & stuff]]>post</a>`)
+	if len(evs) != 3 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[1].Value != "pre<raw> & stuffpost" {
+		t.Errorf("text = %q", evs[1].Value)
+	}
+}
+
+func TestWhitespaceOnlyCDATAKept(t *testing.T) {
+	// CDATA is explicit content even when blank? We follow the simpler rule:
+	// whitespace-only text (CDATA included) is suppressed unless
+	// KeepWhitespace is set.
+	evs := collect(t, "<a><![CDATA[  ]]></a>")
+	if len(evs) != 2 {
+		t.Fatalf("whitespace-only CDATA should be suppressed, got %+v", evs)
+	}
+}
+
+func TestCommentsAndProcInst(t *testing.T) {
+	evs := collect(t, `<a><!-- a comment --><?target data here?></a>`)
+	if len(evs) != 4 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[1].Kind != Comment || evs[1].Value != " a comment " {
+		t.Errorf("comment = %+v", evs[1])
+	}
+	if evs[2].Kind != ProcInst || evs[2].Name != "target" || evs[2].Value != "data here" {
+		t.Errorf("pi = %+v", evs[2])
+	}
+}
+
+func TestWhitespaceSuppression(t *testing.T) {
+	evs := collect(t, "<a>\n  <b>x</b>\n</a>")
+	if len(evs) != 5 {
+		t.Fatalf("expected pretty-print whitespace suppressed, got %+v", evs)
+	}
+	p := NewParserString("<a>\n  <b>x</b>\n</a>")
+	p.KeepWhitespace = true
+	n := 0
+	for {
+		_, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 7 {
+		t.Fatalf("KeepWhitespace should retain 2 whitespace runs, got %d events", n)
+	}
+}
+
+func TestSelfClosingRoot(t *testing.T) {
+	evs := collect(t, `<a/>`)
+	if len(evs) != 2 || evs[0].Kind != StartElement || evs[1].Kind != EndElement {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestAttributeQuoting(t *testing.T) {
+	evs := collect(t, `<a x='single' y="double"/>`)
+	attrs := evs[0].Attrs
+	if len(attrs) != 2 || attrs[0].Value != "single" || attrs[1].Value != "double" {
+		t.Fatalf("attrs = %+v", attrs)
+	}
+}
+
+func TestPositionsReported(t *testing.T) {
+	evs := collect(t, "<a>\n  <b>x</b>\n</a>")
+	// <b> starts on line 2 col 3.
+	if evs[1].Line != 2 || evs[1].Col != 3 {
+		t.Errorf("<b> position = %d:%d, want 2:3", evs[1].Line, evs[1].Col)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error message
+	}{
+		{"mismatched tags", `<a><b></a>`, "does not match"},
+		{"unclosed element", `<a><b>`, "unclosed"},
+		{"stray end tag", `</a>`, "no open element"},
+		{"duplicate attr", `<a x="1" x="2"/>`, "duplicate attribute"},
+		{"unquoted attr", `<a x=1/>`, "must be quoted"},
+		{"missing equals", `<a x/>`, "missing '='"},
+		{"lt in attr", `<a x="<"/>`, "'<' not allowed"},
+		{"unknown entity", `<a>&nope;</a>`, "unknown entity"},
+		{"bad char ref", `<a>&#xZZ;</a>`, "invalid character reference"},
+		{"char ref zero", `<a>&#0;</a>`, "invalid character reference"},
+		{"double dash comment", `<a><!-- -- --></a>`, "--"},
+		{"unterminated comment", `<a><!-- x`, "unterminated comment"},
+		{"unterminated cdata", `<a><![CDATA[x`, "unterminated CDATA"},
+		{"text outside root", `x<a/>`, "outside root"},
+		{"second root", `<a/><b/>`, "after document root"},
+		{"empty input", ``, "no root element"},
+		{"unterminated start", `<a`, "unterminated start tag"},
+		{"entity overflow", `<a>&#x110000;</a>`, "invalid character reference"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := parseErr(c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+			if _, ok := err.(*SyntaxError); !ok {
+				t.Fatalf("error is %T, want *SyntaxError", err)
+			}
+		})
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	err := parseErr("<a>\n  <b></c>\n</a>")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestDeeplyNested(t *testing.T) {
+	depth := 2000
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<d>")
+	}
+	b.WriteString("x")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</d>")
+	}
+	evs := collect(t, b.String())
+	if len(evs) != 2*depth+1 {
+		t.Fatalf("got %d events, want %d", len(evs), 2*depth+1)
+	}
+}
+
+func TestSmallReadChunks(t *testing.T) {
+	// Exercise buffer refill logic with a reader that returns 1 byte at a
+	// time.
+	src := `<root attr="value with &amp; entity"><child>some text content</child><!-- c --></root>`
+	p := NewParser(iotest1{strings.NewReader(src)})
+	var kinds []EventKind
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []EventKind{StartElement, StartElement, Text, EndElement, Comment, EndElement}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+// iotest1 yields one byte per Read call.
+type iotest1 struct{ r io.Reader }
+
+func (o iotest1) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestLargeDocumentStreams(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<items>")
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		b.WriteString(`<item id="`)
+		for j := 0; j < 4; j++ {
+			b.WriteByte(byte('a' + rng.Intn(26)))
+		}
+		b.WriteString(`">value</item>`)
+	}
+	b.WriteString("</items>")
+	evs := collect(t, b.String())
+	if len(evs) != 2+3*n {
+		t.Fatalf("got %d events, want %d", len(evs), 2+3*n)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		StartElement: "StartElement", EndElement: "EndElement",
+		Text: "Text", Comment: "Comment", ProcInst: "ProcInst",
+		EventKind(99): "EventKind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	p := NewParserString(`<a><b></b></a>`)
+	depths := []int{1, 2, 1, 0}
+	for i := 0; ; i++ {
+		_, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Depth() != depths[i] {
+			t.Errorf("after event %d depth = %d, want %d", i, p.Depth(), depths[i])
+		}
+	}
+}
+
+func TestUTF8BOMAccepted(t *testing.T) {
+	evs := collect(t, "\xEF\xBB\xBF<a>x</a>")
+	if len(evs) != 3 || evs[0].Name != "a" {
+		t.Fatalf("events = %+v", evs)
+	}
+	// BOM must not shift reported columns.
+	if evs[0].Col != 1 {
+		t.Errorf("root col = %d, want 1", evs[0].Col)
+	}
+}
+
+func TestCDATACloseSequenceRejectedInText(t *testing.T) {
+	err := parseErr("<a>x ]]> y</a>")
+	if err == nil || !strings.Contains(err.Error(), `"]]>"`) {
+		t.Fatalf("err = %v", err)
+	}
+	// Inside a CDATA section the same bytes are fine (they terminate it).
+	evs := collect(t, "<a><![CDATA[x ]] y]]></a>")
+	if evs[1].Value != "x ]] y" {
+		t.Fatalf("cdata = %q", evs[1].Value)
+	}
+	// Lone brackets in text are fine.
+	evs = collect(t, "<a>x ]] y</a>")
+	if evs[1].Value != "x ]] y" {
+		t.Fatalf("text = %q", evs[1].Value)
+	}
+}
+
+func TestAttributeWhitespaceNormalization(t *testing.T) {
+	evs := collect(t, "<a k=\"one\ttwo\nthree\"/>")
+	if got := evs[0].Attrs[0].Value; got != "one two three" {
+		t.Fatalf("attr = %q, want %q", got, "one two three")
+	}
+}
+
+func TestControlCharactersRejected(t *testing.T) {
+	if err := parseErr("<a>bad\x01char</a>"); err == nil ||
+		!strings.Contains(err.Error(), "control character") {
+		t.Fatalf("err = %v", err)
+	}
+	// Tab, LF and CR are legal whitespace in text.
+	evs := collect(t, "<a>ok\tline\nend\r</a>")
+	if evs[1].Value != "ok\tline\nend\r" {
+		t.Fatalf("text = %q", evs[1].Value)
+	}
+	// Character references to control characters are invalid too.
+	for _, src := range []string{"<a>&#1;</a>", "<a>&#x0B;</a>", "<a>&#xFFFE;</a>"} {
+		if err := parseErr(src); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+	// References to tab/LF/CR stay legal.
+	evs = collect(t, "<a>&#9;x</a>")
+	if evs[1].Value != "\tx" {
+		t.Fatalf("tab ref = %q", evs[1].Value)
+	}
+}
+
+func TestControlCharacterInAttributeRejected(t *testing.T) {
+	if err := parseErr("<a k=\"x\x02y\"/>"); err == nil ||
+		!strings.Contains(err.Error(), "control character") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package lotusx is the public API of the LotusX reproduction: a
+// position-aware XML search engine with twig-pattern queries,
+// auto-completion, ranking and query rewriting, after "LotusX: A
+// Position-Aware XML Graphical Search System with Auto-Completion"
+// (Lin, Lu, Ling, Cautis; ICDE 2012).
+//
+// Typical use:
+//
+//	engine, err := lotusx.FromFile("dblp.xml")
+//	res, err := engine.SearchString(`//article[author = "Jiaheng Lu"]/title`,
+//	    lotusx.SearchOptions{K: 10, Rewrite: true})
+//	for _, a := range res.Answers {
+//	    fmt.Println(engine.Snippet(a.Node, 200))
+//	}
+//
+// Interactive construction — the GUI workflow — goes through a Session:
+//
+//	s := engine.NewSession()
+//	root, _ := s.Root("article", lotusx.Descendant)
+//	cands, _ := s.SuggestTags(root, lotusx.Child, "au", 8) // position-aware
+//	author, _ := s.AddNode(root, lotusx.Child, cands[0].Text)
+//	vals, _ := s.SuggestValues(author, "ji", 8)
+//	s.SetPredicate(author, lotusx.Eq, vals[0].Text)
+//	res, _ := s.Run(lotusx.SearchOptions{})
+//
+// The package is a thin facade over the internal implementation; every type
+// here is an alias, so values flow freely between the facade and internal
+// helpers used in examples and benchmarks.
+package lotusx
+
+import (
+	"io"
+
+	"lotusx/internal/complete"
+	"lotusx/internal/core"
+	"lotusx/internal/doc"
+	"lotusx/internal/join"
+	"lotusx/internal/rank"
+	"lotusx/internal/rewrite"
+	"lotusx/internal/twig"
+)
+
+// Engine is a fully built LotusX instance over one XML document.
+type Engine = core.Engine
+
+// Session models interactive, GUI-style query construction.
+type Session = core.Session
+
+// SearchOptions tunes Engine.Search.
+type SearchOptions = core.SearchOptions
+
+// SearchResult is the outcome of a search.
+type SearchResult = core.SearchResult
+
+// Answer is one ranked query answer.
+type Answer = core.Answer
+
+// Stats summarizes an engine.
+type Stats = core.Stats
+
+// Query is a twig pattern.
+type Query = twig.Query
+
+// QueryNode is one node of a twig pattern.
+type QueryNode = twig.Node
+
+// Axis is a twig edge type.
+type Axis = twig.Axis
+
+// Axes.
+const (
+	Child      = twig.Child
+	Descendant = twig.Descendant
+)
+
+// PredOp is a value-predicate operator.
+type PredOp = twig.PredOp
+
+// Predicate operators.
+const (
+	NoPred   = twig.NoPred
+	Eq       = twig.Eq
+	Contains = twig.Contains
+)
+
+// Wildcard matches any element tag.
+const Wildcard = twig.Wildcard
+
+// Algorithm selects a twig evaluation strategy.
+type Algorithm = join.Algorithm
+
+// The implemented twig join algorithms.
+const (
+	NestedLoop = join.NestedLoop
+	Structural = join.Structural
+	PathStack  = join.PathStack
+	TwigStack  = join.TwigStack
+)
+
+// Candidate is one auto-completion suggestion.
+type Candidate = complete.Candidate
+
+// NewRoot is the completion anchor for a query's root node.
+const NewRoot = complete.NewRoot
+
+// Scored is a ranked match with its score breakdown.
+type Scored = rank.Scored
+
+// Highlight explains which terms of an answer satisfied a value predicate.
+type Highlight = core.Highlight
+
+// Span is a byte range inside a highlighted value.
+type Span = core.Span
+
+// Underline renders a value with its highlight spans marked, for terminals.
+func Underline(value string, spans []Span) string { return core.Underline(value, spans) }
+
+// Rewrite is a relaxed query variant with its penalty and provenance.
+type Rewrite = rewrite.Rewrite
+
+// NodeID identifies a document node.
+type NodeID = doc.NodeID
+
+// Document is a parsed, labeled XML document.
+type Document = doc.Document
+
+// FromFile parses the XML file at path and builds an engine.
+func FromFile(path string) (*Engine, error) { return core.FromFile(path) }
+
+// FromReader parses XML from r and builds an engine.
+func FromReader(name string, r io.Reader) (*Engine, error) { return core.FromReader(name, r) }
+
+// FromDocument builds an engine over an already-parsed document.
+func FromDocument(d *Document) *Engine { return core.FromDocument(d) }
+
+// Open loads an engine previously persisted with Engine.Save.
+func Open(r io.Reader) (*Engine, error) { return core.Open(r) }
+
+// Parse parses a query in the XPath subset (see the twig package docs for
+// the grammar).
+func Parse(query string) (*Query, error) { return twig.Parse(query) }
+
+// MustParse is Parse for queries known to be valid; it panics on error.
+func MustParse(query string) *Query { return twig.MustParse(query) }
+
+// ParseDocument parses an XML document without building an engine.
+func ParseDocument(name string, r io.Reader) (*Document, error) {
+	return doc.FromReader(name, r)
+}

@@ -1,0 +1,87 @@
+package lotusx_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lotusx"
+)
+
+const bibXML = `<dblp>
+  <article key="a1">
+    <author>Jiaheng Lu</author>
+    <title>Holistic Twig Joins</title>
+    <year>2005</year>
+  </article>
+  <article key="a2">
+    <author>Chunbin Lin</author>
+    <title>LotusX</title>
+    <year>2012</year>
+  </article>
+</dblp>`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	engine, err := lotusx.FromReader("bib", strings.NewReader(bibXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := engine.SearchString(`//article[year = "2012"]/title`, lotusx.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("answers = %d", len(res.Answers))
+	}
+	if snippet := engine.Snippet(res.Answers[0].Node, 0); !strings.Contains(snippet, "LotusX") {
+		t.Errorf("snippet = %q", snippet)
+	}
+
+	// Session workflow through the facade.
+	s := engine.NewSession()
+	root, err := s.Root("article", lotusx.Descendant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := s.SuggestTags(root, lotusx.Child, "au", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Text != "author" {
+		t.Fatalf("cands = %+v", cands)
+	}
+	if _, err := s.AddNode(root, lotusx.Child, cands[0].Text); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := s.Run(lotusx.SearchOptions{Algorithm: lotusx.TwigStack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Answers) != 2 {
+		t.Fatalf("session answers = %d", len(sr.Answers))
+	}
+
+	// Persistence through the facade.
+	var buf bytes.Buffer
+	if err := engine.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lotusx.Open(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeQueryHelpers(t *testing.T) {
+	q, err := lotusx.Parse("//a[b]")
+	if err != nil || q.Len() != 2 {
+		t.Fatalf("Parse: %v %v", q, err)
+	}
+	if lotusx.MustParse("//a").Root.Tag != "a" {
+		t.Fatal("MustParse broken")
+	}
+	d, err := lotusx.ParseDocument("x", strings.NewReader("<a><b/></a>"))
+	if err != nil || d.Len() != 2 {
+		t.Fatalf("ParseDocument: %v %v", d, err)
+	}
+}
