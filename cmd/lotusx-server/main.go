@@ -3,13 +3,16 @@
 //
 //	lotusx-server -in dblp.xml -addr :8080
 //	lotusx-server -dataset xmark -scale 2      # serve a synthetic dataset
+//	lotusx-server -dataset dblp -query-timeout 2s -max-inflight 64
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
+	"time"
 
 	"lotusx/internal/core"
 	"lotusx/internal/dataset"
@@ -23,7 +26,20 @@ func main() {
 	scale := flag.Int("scale", 1, "synthetic dataset scale")
 	seed := flag.Int64("seed", 42, "synthetic dataset seed")
 	addr := flag.String("addr", ":8080", "listen address")
+	queryTimeout := flag.Duration("query-timeout", 0,
+		"per-request deadline; expired requests answer 504 (0 disables)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"max concurrent API requests; excess load is shed with 429 (0 disables)")
+	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	flag.Parse()
+
+	cfg := server.Config{
+		QueryTimeout: *queryTimeout,
+		MaxInflight:  *maxInflight,
+	}
+	if !*quiet {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 
 	if *kind == "all" {
 		// The demo setup: every synthetic dataset in one catalog, selected
@@ -37,8 +53,8 @@ func main() {
 			catalog.Add(string(k), core.FromDocument(d))
 			fmt.Printf("loaded %s (%d nodes)\n", k, d.Len())
 		}
-		fmt.Printf("serving %d datasets on %s\n", catalog.Len(), *addr)
-		if err := http.ListenAndServe(*addr, server.NewCatalog(catalog)); err != nil {
+		fmt.Printf("serving %d datasets on %s%s\n", catalog.Len(), *addr, servingNote(cfg))
+		if err := http.ListenAndServe(*addr, server.NewCatalogConfig(catalog, cfg)); err != nil {
 			fatal(err)
 		}
 		return
@@ -49,10 +65,22 @@ func main() {
 		fatal(err)
 	}
 	st := engine.Stats()
-	fmt.Printf("serving %s (%d nodes, %d tags) on %s\n", st.Document, st.Nodes, st.Tags, *addr)
-	if err := http.ListenAndServe(*addr, server.New(engine)); err != nil {
+	fmt.Printf("serving %s (%d nodes, %d tags) on %s%s\n", st.Document, st.Nodes, st.Tags, *addr, servingNote(cfg))
+	if err := http.ListenAndServe(*addr, server.NewConfig(engine, cfg)); err != nil {
 		fatal(err)
 	}
+}
+
+// servingNote summarizes the serving limits for the startup banner.
+func servingNote(cfg server.Config) string {
+	s := ""
+	if cfg.QueryTimeout > 0 {
+		s += fmt.Sprintf(" (query timeout %v)", cfg.QueryTimeout.Round(time.Millisecond))
+	}
+	if cfg.MaxInflight > 0 {
+		s += fmt.Sprintf(" (max in-flight %d)", cfg.MaxInflight)
+	}
+	return s
 }
 
 func buildEngine(in, indexFile, kind string, scale int, seed int64) (*core.Engine, error) {

@@ -13,6 +13,7 @@
 package complete
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -21,6 +22,46 @@ import (
 	"lotusx/internal/index"
 	"lotusx/internal/twig"
 )
+
+// checkEvery is how many scanned candidates pass between context polls in
+// the context-aware entry points.
+const checkEvery = 512
+
+// canceller polls a context sparsely during candidate scans.  A nil
+// canceller (the context-free entry points) never cancels.
+type canceller struct {
+	ctx context.Context
+	n   int
+	err error
+}
+
+// ok reports whether the scan may continue; once false, err is sticky.
+func (c *canceller) ok() bool {
+	if c == nil {
+		return true
+	}
+	if c.err != nil {
+		return false
+	}
+	c.n++
+	if c.n < checkEvery {
+		return true
+	}
+	c.n = 0
+	if err := c.ctx.Err(); err != nil {
+		c.err = err
+		return false
+	}
+	return true
+}
+
+// fail returns the context error observed during a scan, if any.
+func (c *canceller) fail() error {
+	if c == nil {
+		return nil
+	}
+	return c.err
+}
 
 // Kind distinguishes candidate types.
 type Kind uint8
@@ -79,15 +120,33 @@ func pathSteps(q *twig.Query, anchorID int) []dataguide.Step {
 // root itself.  When no feasible tag matches the prefix exactly, candidates
 // within edit distance 1 are returned with Fuzzy set.
 func (e *Engine) SuggestTags(q *twig.Query, anchorID int, axis twig.Axis, prefix string, k int) []Candidate {
+	out, _ := e.suggestTags(nil, q, anchorID, axis, prefix, k)
+	return out
+}
+
+// SuggestTagsContext is SuggestTags with cooperative cancellation: the scan
+// over feasible tags polls ctx and stops with its error once the request is
+// cancelled or past its deadline.
+func (e *Engine) SuggestTagsContext(ctx context.Context, q *twig.Query, anchorID int, axis twig.Axis, prefix string, k int) ([]Candidate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.suggestTags(&canceller{ctx: ctx}, q, anchorID, axis, prefix, k)
+}
+
+func (e *Engine) suggestTags(c *canceller, q *twig.Query, anchorID int, axis twig.Axis, prefix string, k int) ([]Candidate, error) {
 	feasible := e.feasibleTags(q, anchorID, axis)
 	if len(feasible) == 0 {
-		return nil
+		return nil, nil
 	}
-	out := filterTagCandidates(e.ix.Document().Tags(), feasible, prefix, k)
-	if len(out) == 0 && prefix != "" {
-		out = e.fuzzyTagCandidates(feasible, prefix, k)
+	out := filterTagCandidates(c, e.ix.Document().Tags(), feasible, prefix, k)
+	if len(out) == 0 && prefix != "" && c.fail() == nil {
+		out = e.fuzzyTagCandidates(c, feasible, prefix, k)
 	}
-	return out
+	if err := c.fail(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // feasibleTags computes the position-feasible tag set with occurrence
@@ -114,10 +173,13 @@ func (e *Engine) feasibleTags(q *twig.Query, anchorID int, axis twig.Axis) map[d
 	return e.guide.CandidateTags(contexts, axis)
 }
 
-func filterTagCandidates(dict *doc.TagDict, feasible map[doc.TagID]int, prefix string, k int) []Candidate {
+func filterTagCandidates(c *canceller, dict *doc.TagDict, feasible map[doc.TagID]int, prefix string, k int) []Candidate {
 	lower := strings.ToLower(prefix)
 	var out []Candidate
 	for tag, count := range feasible {
+		if !c.ok() {
+			break
+		}
 		name := dict.Name(tag)
 		if lower != "" && !strings.HasPrefix(strings.ToLower(name), lower) {
 			continue
@@ -133,11 +195,14 @@ func filterTagCandidates(dict *doc.TagDict, feasible map[doc.TagID]int, prefix s
 
 // fuzzyTagCandidates matches the prefix against feasible tag names with one
 // edit of slack.
-func (e *Engine) fuzzyTagCandidates(feasible map[doc.TagID]int, prefix string, k int) []Candidate {
+func (e *Engine) fuzzyTagCandidates(c *canceller, feasible map[doc.TagID]int, prefix string, k int) []Candidate {
 	dict := e.ix.Document().Tags()
 	lower := strings.ToLower(prefix)
 	var out []Candidate
 	for tag, count := range feasible {
+		if !c.ok() {
+			break
+		}
 		name := dict.Name(tag)
 		ln := strings.ToLower(name)
 		if len(ln) > len(lower) {
@@ -160,13 +225,30 @@ func (e *Engine) fuzzyTagCandidates(feasible map[doc.TagID]int, prefix string, k
 // tag's global value trie, degrading gracefully from path-level to
 // tag-level completion.
 func (e *Engine) SuggestValues(q *twig.Query, nodeID int, prefix string, k int) []Candidate {
+	out, _ := e.suggestValues(nil, q, nodeID, prefix, k)
+	return out
+}
+
+// SuggestValuesContext is SuggestValues with cooperative cancellation,
+// polling ctx during the candidate-value scan.
+func (e *Engine) SuggestValuesContext(ctx context.Context, q *twig.Query, nodeID int, prefix string, k int) ([]Candidate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.suggestValues(&canceller{ctx: ctx}, q, nodeID, prefix, k)
+}
+
+func (e *Engine) suggestValues(c *canceller, q *twig.Query, nodeID int, prefix string, k int) ([]Candidate, error) {
 	contexts := e.guide.FindContext(pathSteps(q, nodeID))
 	if len(contexts) == 0 {
-		return nil
+		return nil, nil
 	}
 	lower := strings.ToLower(prefix)
 	var out []Candidate
 	for _, vc := range e.guide.CandidateValues(contexts) {
+		if !c.ok() {
+			return nil, c.fail()
+		}
 		if lower != "" && !strings.HasPrefix(vc.Value, lower) {
 			continue
 		}
@@ -186,7 +268,7 @@ func (e *Engine) SuggestValues(q *twig.Query, nodeID int, prefix string, k int) 
 	if len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }
 
 // mergeTagLevelValues adds tag-level trie completions not already present.
@@ -225,9 +307,23 @@ type Occurrence struct {
 // 608× at /dblp/inproceedings/author, ...").  Paths come back most frequent
 // first, capped at max (0 means all).
 func (e *Engine) ExplainTag(q *twig.Query, anchorID int, axis twig.Axis, tag string, max int) []Occurrence {
+	occs, _ := e.explainTag(nil, q, anchorID, axis, tag, max)
+	return occs
+}
+
+// ExplainTagContext is ExplainTag with cooperative cancellation, polling
+// ctx during the DataGuide subtree walks.
+func (e *Engine) ExplainTagContext(ctx context.Context, q *twig.Query, anchorID int, axis twig.Axis, tag string, max int) ([]Occurrence, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.explainTag(&canceller{ctx: ctx}, q, anchorID, axis, tag, max)
+}
+
+func (e *Engine) explainTag(c *canceller, q *twig.Query, anchorID int, axis twig.Axis, tag string, max int) ([]Occurrence, error) {
 	tagID := e.ix.Document().Tags().ID(tag)
 	if tagID == doc.NoTag {
-		return nil
+		return nil, nil
 	}
 	var occs []Occurrence
 	tags := e.ix.Document().Tags()
@@ -245,9 +341,12 @@ func (e *Engine) ExplainTag(q *twig.Query, anchorID int, axis twig.Axis, tag str
 	walkSubtree := func(ctx *dataguide.Node) {
 		var walk func(n *dataguide.Node)
 		walk = func(n *dataguide.Node) {
-			for _, c := range n.Children {
-				add(c)
-				walk(c)
+			if !c.ok() {
+				return
+			}
+			for _, ch := range n.Children {
+				add(ch)
+				walk(ch)
 			}
 		}
 		walk(ctx)
@@ -261,16 +360,19 @@ func (e *Engine) ExplainTag(q *twig.Query, anchorID int, axis twig.Axis, tag str
 			walkSubtree(e.guide.Root())
 		}
 	} else {
-		for _, ctx := range e.guide.FindContext(pathSteps(q, anchorID)) {
+		for _, gctx := range e.guide.FindContext(pathSteps(q, anchorID)) {
 			switch axis {
 			case twig.Child:
-				if c := ctx.Children[tagID]; c != nil {
-					add(c)
+				if child := gctx.Children[tagID]; child != nil {
+					add(child)
 				}
 			case twig.Descendant:
-				walkSubtree(ctx)
+				walkSubtree(gctx)
 			}
 		}
+	}
+	if err := c.fail(); err != nil {
+		return nil, err
 	}
 	sort.Slice(occs, func(i, j int) bool {
 		if occs[i].Count != occs[j].Count {
@@ -281,7 +383,7 @@ func (e *Engine) ExplainTag(q *twig.Query, anchorID int, axis twig.Axis, tag str
 	if max > 0 && len(occs) > max {
 		occs = occs[:max]
 	}
-	return occs
+	return occs, nil
 }
 
 // SuggestTagsNaive is the position-blind baseline: global tag-trie prefix

@@ -1,0 +1,37 @@
+package complete
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"lotusx/internal/twig"
+)
+
+func TestContextEntryPoints(t *testing.T) {
+	e := mustEngine(t, shopXML)
+	q := twig.MustParse("//item")
+	focus := q.OutputNode().ID
+
+	bg := context.Background()
+	cands, err := e.SuggestTagsContext(bg, q, focus, twig.Child, "n", 10)
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("SuggestTagsContext = %v, %v", cands, err)
+	}
+	want := e.SuggestTags(q, focus, twig.Child, "n", 10)
+	if len(cands) != len(want) || cands[0].Text != want[0].Text {
+		t.Fatalf("context variant diverges: %v vs %v", cands, want)
+	}
+
+	dead, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := e.SuggestTagsContext(dead, q, focus, twig.Child, "a", 10); !errors.Is(err, context.Canceled) {
+		t.Errorf("SuggestTagsContext on dead ctx: err = %v", err)
+	}
+	if _, err := e.SuggestValuesContext(dead, q, focus, "", 10); !errors.Is(err, context.Canceled) {
+		t.Errorf("SuggestValuesContext on dead ctx: err = %v", err)
+	}
+	if _, err := e.ExplainTagContext(dead, q, focus, twig.Child, "name", 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExplainTagContext on dead ctx: err = %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"lotusx/internal/join"
+	"lotusx/internal/twig"
+)
+
+const ctxBibXML = `<dblp>
+  <article><author>a</author><title>t1</title></article>
+  <article><author>b</author><title>t2</title></article>
+  <article><author>c</author><title>t3</title></article>
+</dblp>`
+
+func ctxEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := FromReader("bib", strings.NewReader(ctxBibXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSearchContextCancelled(t *testing.T) {
+	e := ctxEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.SearchStringContext(ctx, "//article/title", SearchOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Rewriting must not mask the cancellation either.
+	_, err = e.SearchStringContext(ctx, "//article/titel", SearchOptions{Rewrite: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("rewrite err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchContextBackgroundMatchesSearch(t *testing.T) {
+	e := ctxEngine(t)
+	q := twig.MustParse("//article/title")
+	res, err := e.SearchContext(context.Background(), q, SearchOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 3 || res.Total != 3 {
+		t.Fatalf("answers = %d total = %d, want 3/3", len(res.Answers), res.Total)
+	}
+	if res.Algorithm != join.TwigStack {
+		t.Fatalf("Algorithm = %q, want default twigstack", res.Algorithm)
+	}
+}
+
+func TestSearchTotalAndPaging(t *testing.T) {
+	e := ctxEngine(t)
+	// Page 1: k=2 cuts materialization at 2 — more answers may exist.
+	res, err := e.SearchString("//article/title", SearchOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 || res.Total != 2 {
+		t.Fatalf("page1: answers = %d total = %d, want 2/2", len(res.Answers), res.Total)
+	}
+	// Page 2: offset=2 materializes up to 4 but only 3 exist; Total < want
+	// signals the last page.
+	res, err = e.SearchString("//article/title", SearchOptions{K: 2, Offset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 || res.Total != 3 {
+		t.Fatalf("page2: answers = %d total = %d, want 1/3", len(res.Answers), res.Total)
+	}
+}

@@ -6,6 +6,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -197,10 +198,16 @@ type SearchResult struct {
 	Answers []Answer
 	// Exact counts the leading answers that came from the original query.
 	Exact int
+	// Total counts the distinct answers materialized before the page was
+	// cut.  Search stops materializing at Offset+K, so Total == Offset+K
+	// means further answers may exist beyond this page.
+	Total int
 	// Stats are the join statistics of the original query's evaluation.
 	Stats join.Stats
 	// RewritesTried counts relaxed queries evaluated.
 	RewritesTried int
+	// Algorithm is the join algorithm that actually ran ("auto" resolved).
+	Algorithm join.Algorithm
 	// Elapsed is the total wall-clock evaluation time.
 	Elapsed time.Duration
 }
@@ -208,9 +215,20 @@ type SearchResult struct {
 // Search evaluates q: exact matching, ranking, and — if enabled and the
 // result is thin — rewriting in penalty order until K answers accumulate.
 func (e *Engine) Search(q *twig.Query, opts SearchOptions) (*SearchResult, error) {
+	return e.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext is Search under a context: the twig join polls ctx
+// cooperatively mid-evaluation (see join.Options.Ctx) and the rewrite loop
+// checks it between relaxations, so a cancelled or timed-out request stops
+// burning CPU and returns the context's error.
+func (e *Engine) SearchContext(ctx context.Context, q *twig.Query, opts SearchOptions) (*SearchResult, error) {
 	opts.defaults()
 	if opts.Offset < 0 {
 		opts.Offset = 0
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	if q.Len() == 0 {
@@ -225,11 +243,11 @@ func (e *Engine) Search(q *twig.Query, opts SearchOptions) (*SearchResult, error
 	// Paging: materialize the first Offset+K answers, then cut the page.
 	want := opts.K + opts.Offset
 
-	res, err := join.Run(e.ix, q, opts.Algorithm, join.Options{MaxMatches: opts.MaxMatches})
+	res, err := join.Run(e.ix, q, opts.Algorithm, join.Options{MaxMatches: opts.MaxMatches, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
-	out := &SearchResult{Stats: res.Stats}
+	out := &SearchResult{Stats: res.Stats, Algorithm: res.Algorithm}
 	seen := make(map[doc.NodeID]struct{})
 	outID := q.OutputNode().ID
 	for _, s := range e.ranker.Rank(q, res.Matches, 0) {
@@ -246,8 +264,11 @@ func (e *Engine) Search(q *twig.Query, opts SearchOptions) (*SearchResult, error
 	out.Exact = len(out.Answers)
 
 	if opts.Rewrite && len(out.Answers) < want {
-		e.searchRewrites(q, opts, out, seen, want)
+		if err := e.searchRewrites(ctx, q, opts, out, seen, want); err != nil {
+			return nil, err
+		}
 	}
+	out.Total = len(out.Answers)
 	if opts.Offset > 0 {
 		if opts.Offset >= len(out.Answers) {
 			out.Answers = nil
@@ -264,14 +285,20 @@ func (e *Engine) Search(q *twig.Query, opts SearchOptions) (*SearchResult, error
 }
 
 // searchRewrites evaluates relaxations in penalty order, appending answers
-// until want is reached.
-func (e *Engine) searchRewrites(q *twig.Query, opts SearchOptions, out *SearchResult, seen map[doc.NodeID]struct{}, want int) {
+// until want is reached.  It stops with the context's error once ctx dies.
+func (e *Engine) searchRewrites(ctx context.Context, q *twig.Query, opts SearchOptions, out *SearchResult, seen map[doc.NodeID]struct{}, want int) error {
 	for _, rw := range e.rewriter.Enumerate(q, opts.MaxPenalty, opts.MaxRewrites) {
 		if len(out.Answers) >= want {
-			return
+			return nil
 		}
-		res, err := join.Run(e.ix, rw.Query, opts.Algorithm, join.Options{MaxMatches: opts.MaxMatches})
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := join.Run(e.ix, rw.Query, opts.Algorithm, join.Options{MaxMatches: opts.MaxMatches, Ctx: ctx})
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			continue // a rewrite that cannot run is simply skipped
 		}
 		out.RewritesTried++
@@ -287,19 +314,26 @@ func (e *Engine) searchRewrites(q *twig.Query, opts SearchOptions, out *SearchRe
 				Node: node, Score: s.Score, Scored: s, Rewrite: &rwCopy,
 			})
 			if len(out.Answers) >= want {
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // SearchString parses the XPath-subset query and searches.
 func (e *Engine) SearchString(query string, opts SearchOptions) (*SearchResult, error) {
+	return e.SearchStringContext(context.Background(), query, opts)
+}
+
+// SearchStringContext parses the XPath-subset query and searches under a
+// context (see SearchContext).
+func (e *Engine) SearchStringContext(ctx context.Context, query string, opts SearchOptions) (*SearchResult, error) {
 	q, err := twig.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.Search(q, opts)
+	return e.SearchContext(ctx, q, opts)
 }
 
 // Snippet renders the answer node's subtree as XML, truncated to max bytes

@@ -1,0 +1,323 @@
+// Package httpmw is the serving middleware stack of the LotusX HTTP API:
+// request-ID injection, structured request logging (log/slog), panic
+// recovery with JSON 500s, per-request deadlines, a semaphore concurrency
+// limiter that sheds load with 429 + Retry-After, and per-endpoint metrics
+// instrumentation.  The package also owns the v1 error envelope —
+// {"error": {"code": ..., "message": ...}} — shared by middleware and
+// handlers so every failure path answers in one shape.
+package httpmw
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"lotusx/internal/metrics"
+)
+
+// Middleware wraps an http.Handler with one serving concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies mws to h with the first middleware outermost, so
+// Chain(h, a, b, c) serves as a(b(c(h))).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// ---------------------------------------------------------------- envelope
+
+// The v1 error codes.  Every error response carries exactly one of these.
+const (
+	CodeBadQuery   = "bad_query"  // malformed input: body, query, parameters
+	CodeNotFound   = "not_found"  // unknown dataset, node, or route
+	CodeTimeout    = "timeout"    // the per-request deadline expired mid-work
+	CodeOverloaded = "overloaded" // the concurrency limiter shed the request
+	CodeInternal   = "internal"   // a bug: panic or unexpected failure
+)
+
+// ErrorBody is the uniform v1 error envelope.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable code and the human message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// WriteError writes the v1 JSON error envelope.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
+}
+
+// CodeForStatus maps an HTTP status to its v1 error code.
+func CodeForStatus(status int) string {
+	switch {
+	case status == http.StatusNotFound:
+		return CodeNotFound
+	case status == http.StatusGatewayTimeout:
+		return CodeTimeout
+	case status == http.StatusTooManyRequests:
+		return CodeOverloaded
+	case status >= 400 && status < 500:
+		return CodeBadQuery
+	default:
+		return CodeInternal
+	}
+}
+
+// ------------------------------------------------------------ statusWriter
+
+// StatusWriter wraps a ResponseWriter, recording the status and byte count
+// for logging, metrics and the recovery middleware.
+type StatusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+// NewStatusWriter wraps w; if w is already a StatusWriter it is returned
+// as-is so one request is tracked exactly once.
+func NewStatusWriter(w http.ResponseWriter) *StatusWriter {
+	if sw, ok := w.(*StatusWriter); ok {
+		return sw
+	}
+	return &StatusWriter{ResponseWriter: w}
+}
+
+// WriteHeader records the status and forwards.
+func (sw *StatusWriter) WriteHeader(status int) {
+	if !sw.wrote {
+		sw.status = status
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+// Write forwards, defaulting the status to 200 on first write.
+func (sw *StatusWriter) Write(p []byte) (int, error) {
+	if !sw.wrote {
+		sw.status = http.StatusOK
+		sw.wrote = true
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Status returns the response status, 200 if only Write was called, 0 if
+// nothing was written yet.
+func (sw *StatusWriter) Status() int {
+	if !sw.wrote {
+		return 0
+	}
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
+}
+
+// Wrote reports whether any part of the response went out.
+func (sw *StatusWriter) Wrote() bool { return sw.wrote }
+
+// -------------------------------------------------------------- requestID
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+var requestCounter atomic.Uint64
+
+// RequestID assigns every request a unique ID, stores it in the context and
+// echoes it in the X-Request-Id response header.  An inbound X-Request-Id
+// (from a proxy or a retrying client) is preserved.
+func RequestID() Middleware {
+	// The epoch prefix distinguishes IDs across process restarts.
+	epoch := time.Now().UnixMilli()
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get("X-Request-Id")
+			if id == "" {
+				id = strconv.FormatInt(epoch, 36) + "-" + strconv.FormatUint(requestCounter.Add(1), 36)
+			}
+			w.Header().Set("X-Request-Id", id)
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+		})
+	}
+}
+
+// RequestIDFrom returns the request ID injected by RequestID, "" if absent.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ---------------------------------------------------------------- logging
+
+// discardLogger silences middleware that was handed a nil *slog.Logger.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// Logging emits one structured log line per request: method, path, status,
+// duration, bytes and request ID.  It wraps the ResponseWriter in a
+// StatusWriter, which downstream middleware (Recover, Instrument) reuses.
+func Logging(l *slog.Logger) Middleware {
+	if l == nil {
+		l = discardLogger()
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := NewStatusWriter(w)
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			l.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.Status()),
+				slog.Float64("durationMs", float64(time.Since(start).Microseconds())/1000),
+				slog.Int64("bytes", sw.bytes),
+				slog.String("requestId", RequestIDFrom(r.Context())),
+			)
+		})
+	}
+}
+
+// ---------------------------------------------------------------- recover
+
+// Recover turns a handler panic into a JSON 500 envelope (when the response
+// has not started) and logs the stack, instead of killing the connection —
+// one bad request must not take the serving process with it.
+func Recover(l *slog.Logger) Middleware {
+	if l == nil {
+		l = discardLogger()
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if rec == http.ErrAbortHandler {
+					panic(rec) // deliberate connection abort: let net/http handle it
+				}
+				l.LogAttrs(r.Context(), slog.LevelError, "panic",
+					slog.String("path", r.URL.Path),
+					slog.String("requestId", RequestIDFrom(r.Context())),
+					slog.String("panic", fmt.Sprint(rec)),
+					slog.String("stack", string(debug.Stack())),
+				)
+				if sw, ok := w.(*StatusWriter); !ok || !sw.Wrote() {
+					WriteError(w, http.StatusInternalServerError, CodeInternal, "internal server error")
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// --------------------------------------------------------------- deadline
+
+// Deadline bounds every request with a context deadline.  Handlers that
+// plumb r.Context() into evaluation (SearchContext, the context-aware
+// completion entry points) stop mid-join once it expires.  A non-positive d
+// disables the middleware.
+func Deadline(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// ------------------------------------------------------------------ limit
+
+// LimitOptions tunes Limit.
+type LimitOptions struct {
+	// RetryAfter is advertised in the Retry-After header of shed responses;
+	// 0 means 1s.
+	RetryAfter time.Duration
+	// OnShed, when non-nil, observes every shed request (metrics hook).
+	OnShed func(*http.Request)
+	// Exempt, when non-nil, bypasses the limiter for matching requests —
+	// e.g. the metrics endpoint must answer while the system sheds load.
+	Exempt func(*http.Request) bool
+}
+
+// Limit caps in-flight requests at max with a semaphore.  Requests beyond
+// the cap are shed immediately with 429 + Retry-After and the overloaded
+// envelope — bounded degradation instead of collapse.  max <= 0 disables
+// the middleware.
+func Limit(max int, opts LimitOptions) Middleware {
+	retryAfter := opts.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return func(next http.Handler) http.Handler {
+		if max <= 0 {
+			return next
+		}
+		sem := make(chan struct{}, max)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if opts.Exempt != nil && opts.Exempt(r) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				next.ServeHTTP(w, r)
+			default:
+				if opts.OnShed != nil {
+					opts.OnShed(r)
+				}
+				secs := int(retryAfter.Round(time.Second) / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				WriteError(w, http.StatusTooManyRequests, CodeOverloaded,
+					"server is at capacity, retry later")
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------------- instrument
+
+// Instrument records every response's status and latency into ep.  Mount it
+// per endpoint so the registry splits metrics by route.
+func Instrument(ep *metrics.Endpoint) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := NewStatusWriter(w)
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			status := sw.Status()
+			if status == 0 {
+				status = http.StatusOK
+			}
+			ep.Record(status, time.Since(start))
+		})
+	}
+}

@@ -1,0 +1,164 @@
+package httpmw
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lotusx/internal/metrics"
+)
+
+func decodeErr(t *testing.T, rr *httptest.ResponseRecorder) ErrorBody {
+	t.Helper()
+	var body ErrorBody
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("not an error envelope: %q: %v", rr.Body.String(), err)
+	}
+	return body
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), mk("a"), mk("b"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	var seen string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}), RequestID())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if seen == "" || rr.Header().Get("X-Request-Id") != seen {
+		t.Fatalf("id = %q, header = %q", seen, rr.Header().Get("X-Request-Id"))
+	}
+	// Inbound IDs are preserved.
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("X-Request-Id", "upstream-7")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if seen != "upstream-7" {
+		t.Fatalf("inbound id not preserved: %q", seen)
+	}
+}
+
+func TestRecoverPanicToJSON500(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), Logging(nil), Recover(nil))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if body := decodeErr(t, rr); body.Error.Code != CodeInternal {
+		t.Fatalf("code = %q", body.Error.Code)
+	}
+}
+
+func TestDeadlineExpiresContext(t *testing.T) {
+	var err error
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		err = r.Context().Err()
+	}), Deadline(5*time.Millisecond))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("ctx err = %v", err)
+	}
+}
+
+func TestLimitSheds(t *testing.T) {
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	var shed int
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(enter)
+		<-release
+	}), Limit(1, LimitOptions{OnShed: func(*http.Request) { shed++ }}))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	}()
+	<-enter // the first request holds the only slot
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Error("Retry-After missing")
+	}
+	if body := decodeErr(t, rr); body.Error.Code != CodeOverloaded {
+		t.Fatalf("code = %q", body.Error.Code)
+	}
+	if shed != 1 {
+		t.Fatalf("shed = %d", shed)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestLimitExempt(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/slow" {
+			close(started)
+			<-block
+		}
+	}), Limit(1, LimitOptions{Exempt: func(r *http.Request) bool { return r.URL.Path == "/metrics" }}))
+
+	go h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/slow", nil))
+	<-started
+	defer close(block)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("exempt path shed: %d", rr.Code)
+	}
+}
+
+func TestInstrumentRecords(t *testing.T) {
+	reg := metrics.New()
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusGatewayTimeout)
+	}), Instrument(reg.Endpoint("q")))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	s := reg.Snapshot().Endpoints["q"]
+	if s.Requests != 1 || s.Timeouts != 1 || s.Errors != 1 || s.Latency.Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestCodeForStatus(t *testing.T) {
+	cases := map[int]string{
+		400: CodeBadQuery, 404: CodeNotFound, 429: CodeOverloaded,
+		504: CodeTimeout, 500: CodeInternal, 422: CodeBadQuery,
+	}
+	for status, want := range cases {
+		if got := CodeForStatus(status); got != want {
+			t.Errorf("CodeForStatus(%d) = %q, want %q", status, got, want)
+		}
+	}
+}

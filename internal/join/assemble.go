@@ -56,6 +56,9 @@ func (ev *evaluator) assemble(roots []doc.NodeID, edges []edgeMap) {
 // a match once every query node is bound.  It reports whether enumeration
 // may continue (false once the match cap is hit).
 func (ev *evaluator) assembleBind(qn *twig.Node, ci int, m Match, edges []edgeMap, cont func() bool) bool {
+	if ev.err != nil {
+		return false
+	}
 	if ci == len(qn.Children) {
 		return cont()
 	}

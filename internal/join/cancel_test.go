@@ -1,0 +1,106 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lotusx/internal/twig"
+)
+
+// deepNest renders <a> nested depth times — the pathological input whose
+// //a//a//... cross product makes every algorithm run long enough to observe
+// cooperative cancellation.
+func deepNest(depth int) string {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<a>")
+	}
+	b.WriteString("x")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</a>")
+	}
+	return b.String()
+}
+
+func TestRunDeadContextFailsFast(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	q := twig.MustParse("//article/author")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range Algorithms {
+		if _, err := Run(ix, q, alg, Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", alg, err)
+		}
+	}
+}
+
+// tripCtx is a context whose Err flips to context.Canceled after a fixed
+// number of polls — deterministic mid-evaluation cancellation.
+type tripCtx struct {
+	context.Context
+	left int
+}
+
+func (c *tripCtx) Err() error {
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func TestRunCancelsMidJoin(t *testing.T) {
+	ix := mustIndex(t, deepNest(120))
+	q := twig.MustParse("//a//a//a")
+	for _, alg := range Algorithms {
+		// The first poll happens in Run's fail-fast check; tripping on the
+		// third lands the cancellation inside the algorithm's own loops.
+		ctx := &tripCtx{Context: context.Background(), left: 3}
+		_, err := Run(ix, q, alg, Options{Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", alg, err)
+		}
+	}
+}
+
+func TestRunDeadlineStopsLongJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long join")
+	}
+	// 300 nested <a> and a 4-node descendant chain: ~300^4/24 path
+	// solutions — minutes of work if cancellation failed.
+	ix := mustIndex(t, deepNest(300))
+	q := twig.MustParse("//a//a//a//a")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ix, q, TwigStack, Options{Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want well under 2s", elapsed)
+	}
+}
+
+func TestRunReportsAlgorithm(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	q := twig.MustParse("//article/author")
+	res, err := Run(ix, q, Auto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm == "" || res.Algorithm == Auto {
+		t.Fatalf("Algorithm = %q, want a concrete algorithm", res.Algorithm)
+	}
+	res, err = Run(ix, q, TJFast, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != TJFast {
+		t.Fatalf("Algorithm = %q, want tjfast", res.Algorithm)
+	}
+}

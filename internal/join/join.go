@@ -23,6 +23,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -78,6 +79,11 @@ type Options struct {
 	// MaxMatches caps the number of enumerated matches; 0 means unlimited.
 	// The cap bounds worst-case cross products on highly repetitive data.
 	MaxMatches int
+	// Ctx, when non-nil, is polled cooperatively inside every algorithm's
+	// scan and enumeration loops; once it is cancelled or past its deadline,
+	// Run stops mid-join and returns the context's error.  A nil Ctx never
+	// cancels.
+	Ctx context.Context
 }
 
 // Result is the outcome of one evaluation.
@@ -88,6 +94,8 @@ type Result struct {
 	Capped bool
 	// Stats reports evaluation effort.
 	Stats Stats
+	// Algorithm is the algorithm that actually ran (Auto resolved).
+	Algorithm Algorithm
 }
 
 // OutputNodes projects the matches onto the query's output node,
@@ -116,7 +124,14 @@ func Run(ix *index.Index, q *twig.Query, alg Algorithm, opts Options) (*Result, 
 	if alg == Auto {
 		alg = Choose(ix, q)
 	}
-	ev := &evaluator{ix: ix, q: q, opts: opts}
+	ev := &evaluator{ix: ix, q: q, opts: opts, ctx: opts.Ctx}
+	if ev.ctx != nil {
+		// Fail fast on a context that is already dead — a request whose
+		// deadline expired in middleware never starts the join at all.
+		if err := ev.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	ev.buildStreams()
 
 	var err error
@@ -139,9 +154,12 @@ func Run(ix *index.Index, q *twig.Query, alg Algorithm, opts Options) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	if ev.err != nil {
+		return nil, ev.err
+	}
 	ev.filterOrder()
 	ev.sortMatches()
-	return &Result{Matches: ev.matches, Capped: ev.capped, Stats: ev.stats}, nil
+	return &Result{Matches: ev.matches, Capped: ev.capped, Stats: ev.stats, Algorithm: alg}, nil
 }
 
 // evaluator carries the state shared by all algorithms.
@@ -149,10 +167,39 @@ type evaluator struct {
 	ix      *index.Index
 	q       *twig.Query
 	opts    Options
+	ctx     context.Context // nil means never cancelled
+	ticks   int             // work units since the last context poll
+	err     error           // sticky context error once cancelled
 	nodes   [][]doc.NodeID // per query node ID: its filtered stream contents
 	matches []Match
 	capped  bool
 	stats   Stats
+}
+
+// cancelEvery is how many work units pass between context polls; polling
+// sparsely keeps the check off the per-element fast path.
+const cancelEvery = 1024
+
+// tick counts one unit of evaluation work and polls the context every
+// cancelEvery units.  It reports whether evaluation may continue; once it
+// returns false, ev.err carries the context's error and stays set.
+func (ev *evaluator) tick() bool {
+	if ev.err != nil {
+		return false
+	}
+	if ev.ctx == nil {
+		return true
+	}
+	ev.ticks++
+	if ev.ticks < cancelEvery {
+		return true
+	}
+	ev.ticks = 0
+	if err := ev.ctx.Err(); err != nil {
+		ev.err = err
+		return false
+	}
+	return true
 }
 
 // buildStreams materializes one document-order node list per query node with
@@ -239,9 +286,12 @@ func (ev *evaluator) edgeHolds(qc *twig.Node, p, c doc.NodeID) bool {
 	return d.Region(p).IsAncestor(d.Region(c))
 }
 
-// addMatch appends a copy of m, honouring the cap.  It reports whether
-// enumeration may continue.
+// addMatch appends a copy of m, honouring the cap and the context.  It
+// reports whether enumeration may continue.
 func (ev *evaluator) addMatch(m Match) bool {
+	if !ev.tick() {
+		return false
+	}
 	if ev.opts.MaxMatches > 0 && len(ev.matches) >= ev.opts.MaxMatches {
 		ev.capped = true
 		return false

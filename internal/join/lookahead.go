@@ -42,6 +42,9 @@ func (ev *evaluator) prefilterParentChild() {
 		nodes := ev.nodes[qn.ID]
 		kept := make([]doc.NodeID, 0, len(nodes))
 		for _, e := range nodes {
+			if !ev.tick() {
+				return
+			}
 			ok := true
 			for _, qc := range pcKids {
 				if !ev.hasDirectChildIn(e, ev.nodes[qc.ID]) {

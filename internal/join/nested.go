@@ -14,6 +14,9 @@ func (ev *evaluator) runNestedLoop() error {
 	root := ev.q.Root
 	ev.stats.ElementsScanned += len(ev.nodes[root.ID])
 	for _, dn := range ev.nodes[root.ID] {
+		if ev.err != nil {
+			break
+		}
 		m[root.ID] = dn
 		if !ev.nestedBindChildren(root, dn, 0, func() bool { return ev.addMatch(m) }, m) {
 			break
@@ -49,6 +52,9 @@ func (ev *evaluator) candidatesUnder(qc *twig.Node, dn doc.NodeID) []doc.NodeID 
 	reg := d.Region(dn)
 	var out []doc.NodeID
 	for _, cand := range ev.nodes[qc.ID] {
+		if !ev.tick() {
+			break
+		}
 		ev.stats.ElementsScanned++
 		cr := d.Region(cand)
 		if qc.Axis == twig.Child {

@@ -42,6 +42,9 @@ func (ev *evaluator) expandPath(path []*twig.Node, stacks [][]stackEntry, leafId
 	sol := make([]doc.NodeID, len(path))
 	var rec func(i, idx int)
 	rec = func(i, idx int) {
+		if !ev.tick() {
+			return
+		}
 		sol[i] = stacks[i][idx].node
 		if i == 0 {
 			emit(sol)
@@ -73,6 +76,9 @@ type pathSolutions struct {
 func (ev *evaluator) runPathStack() error {
 	var all []pathSolutions
 	for _, path := range rootPaths(ev.q) {
+		if ev.err != nil {
+			return ev.err
+		}
 		ps := pathSolutions{path: path}
 		ev.pathStackOne(path, &ps)
 		ev.stats.PathSolutions += len(ps.sols)
@@ -93,6 +99,9 @@ func (ev *evaluator) pathStackOne(path []*twig.Node, out *pathSolutions) {
 	leaf := k - 1
 
 	for !streams[leaf].EOF() {
+		if !ev.tick() {
+			return
+		}
 		// qmin: the non-exhausted stream whose head starts first.
 		qmin := -1
 		for i := range streams {
@@ -152,6 +161,9 @@ func (ev *evaluator) mergePathSolutions(all []pathSolutions) {
 	for _, ps := range all {
 		rootsSeen := make(map[doc.NodeID]struct{})
 		for _, sol := range ps.sols {
+			if !ev.tick() {
+				return
+			}
 			rootsSeen[sol[0]] = struct{}{}
 			for i := 1; i < len(ps.path); i++ {
 				qc := ps.path[i]

@@ -24,6 +24,9 @@ func (ev *evaluator) runStructural() error {
 	survivors := make([]map[doc.NodeID]struct{}, n)
 	var reduce func(qn *twig.Node)
 	reduce = func(qn *twig.Node) {
+		if ev.err != nil {
+			return
+		}
 		for _, qc := range qn.Children {
 			reduce(qc)
 		}
@@ -62,6 +65,9 @@ func (ev *evaluator) runStructural() error {
 		survivors[qn.ID] = surv
 	}
 	reduce(ev.q.Root)
+	if ev.err != nil {
+		return ev.err
+	}
 
 	for _, em := range edges {
 		if em != nil {
@@ -90,6 +96,9 @@ func (ev *evaluator) structuralJoin(qn, qc *twig.Node, childSurvivors map[doc.No
 	var stack []doc.NodeID
 	ai := 0
 	for _, c := range ev.nodes[qc.ID] {
+		if !ev.tick() {
+			break
+		}
 		if _, ok := childSurvivors[c]; !ok {
 			continue
 		}

@@ -38,6 +38,9 @@ func (ev *evaluator) runTJFast() error {
 		leaf := path[len(path)-1]
 		ps := pathSolutions{path: path}
 		for _, e := range ev.nodes[leaf.ID] {
+			if !ev.tick() {
+				return ev.err
+			}
 			ev.stats.ElementsScanned++
 			ev.alignLeaf(path, e, candidate, &ps)
 		}
@@ -91,6 +94,9 @@ func (ev *evaluator) alignLeaf(path []*twig.Node, e doc.NodeID, candidate []map[
 	// (the position bound to qi+1), walking from the leaf to the root.
 	var rec func(qi, upper int)
 	rec = func(qi, upper int) {
+		if !ev.tick() {
+			return
+		}
 		if qi < 0 {
 			out.sols = append(out.sols, append([]doc.NodeID(nil), sol...))
 			return

@@ -44,6 +44,9 @@ func (ev *evaluator) runTwigStack() error {
 	}
 
 	for !ts.allLeavesDone() {
+		if !ev.tick() {
+			return ev.err
+		}
 		qact := ts.getNext(ev.q.Root)
 		s := ts.streams[qact.ID]
 		if s.EOF() {
@@ -150,6 +153,9 @@ func (ts *twigState) getNext(qn *twig.Node) *twig.Node {
 	own := ts.streams[qn.ID]
 	maxStart := ts.headStart(qmax.ID)
 	for !own.EOF() && own.Region().End < maxStart {
+		if !ts.ev.tick() {
+			break
+		}
 		own.Advance()
 		ts.ev.stats.ElementsScanned++
 	}

@@ -1,0 +1,219 @@
+// Package metrics provides the serving layer's observability primitives:
+// lock-free atomic counters and bounded latency histograms, aggregated per
+// HTTP endpoint and per join algorithm, with quantile estimates (p50, p95,
+// p99) computed from the histogram buckets.  Everything is safe for
+// concurrent use on the request path; a Snapshot materializes a consistent
+// JSON-able view for GET /api/v1/metrics.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// bucketCount and the bounds below define the latency histogram: exponential
+// buckets doubling from 100µs, so the range 100µs .. ~1.7min is covered in
+// 21 buckets plus an overflow bucket.  Memory per histogram is fixed
+// (bounded), whatever the traffic.
+const bucketCount = 22
+
+// bucketBound returns the inclusive upper bound of bucket i.
+func bucketBound(i int) time.Duration {
+	return 100 * time.Microsecond << uint(i)
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation.
+type Histogram struct {
+	buckets [bucketCount]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < bucketCount-1 && d > bucketBound(i) {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 < q < 1) as the upper bound of the
+// bucket containing that rank, in milliseconds.  It returns 0 with no
+// samples.  Bucket-bound estimation overshoots by at most one bucket width —
+// plenty for dashboards and alerts.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < bucketCount; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return float64(bucketBound(i)) / float64(time.Millisecond)
+		}
+	}
+	return float64(bucketBound(bucketCount-1)) / float64(time.Millisecond)
+}
+
+// MeanMS returns the mean latency in milliseconds, 0 with no samples.
+func (h *Histogram) MeanMS() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n) / float64(time.Millisecond)
+}
+
+// Endpoint aggregates one HTTP endpoint: request/outcome counters plus a
+// latency histogram.
+type Endpoint struct {
+	Requests atomic.Int64 // all requests routed to the endpoint
+	Errors   atomic.Int64 // responses with status >= 400 (including the two below)
+	Timeouts atomic.Int64 // responses that hit the per-request deadline (504)
+	Shed     atomic.Int64 // responses rejected by the load limiter (429)
+	Latency  Histogram
+}
+
+// Record tallies one finished request given its response status.
+func (e *Endpoint) Record(status int, d time.Duration) {
+	e.Requests.Add(1)
+	e.Latency.Observe(d)
+	if status >= 400 {
+		e.Errors.Add(1)
+	}
+	switch status {
+	case 504:
+		e.Timeouts.Add(1)
+	case 429:
+		e.Shed.Add(1)
+	}
+}
+
+// Registry is the process-wide metrics root.
+type Registry struct {
+	mu        sync.RWMutex
+	endpoints map[string]*Endpoint
+	algos     map[string]*Histogram
+	start     time.Time
+}
+
+// New returns an empty Registry.
+func New() *Registry {
+	return &Registry{
+		endpoints: make(map[string]*Endpoint),
+		algos:     make(map[string]*Histogram),
+		start:     time.Now(),
+	}
+}
+
+// Endpoint returns (creating on first use) the metrics of the named
+// endpoint.
+func (r *Registry) Endpoint(name string) *Endpoint {
+	r.mu.RLock()
+	e := r.endpoints[name]
+	r.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.endpoints[name]; e == nil {
+		e = &Endpoint{}
+		r.endpoints[name] = e
+	}
+	return e
+}
+
+// Algorithm returns (creating on first use) the latency histogram of the
+// named join algorithm.
+func (r *Registry) Algorithm(name string) *Histogram {
+	r.mu.RLock()
+	h := r.algos[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.algos[name]; h == nil {
+		h = &Histogram{}
+		r.algos[name] = h
+	}
+	return h
+}
+
+// LatencySnapshot is the JSON shape of one histogram.
+type LatencySnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"meanMs"`
+	P50MS  float64 `json:"p50Ms"`
+	P95MS  float64 `json:"p95Ms"`
+	P99MS  float64 `json:"p99Ms"`
+}
+
+func snapshotHistogram(h *Histogram) LatencySnapshot {
+	return LatencySnapshot{
+		Count:  h.Count(),
+		MeanMS: h.MeanMS(),
+		P50MS:  h.Quantile(0.50),
+		P95MS:  h.Quantile(0.95),
+		P99MS:  h.Quantile(0.99),
+	}
+}
+
+// EndpointSnapshot is the JSON shape of one endpoint's metrics.
+type EndpointSnapshot struct {
+	Requests int64           `json:"requests"`
+	Errors   int64           `json:"errors"`
+	Timeouts int64           `json:"timeouts"`
+	Shed     int64           `json:"shed"`
+	Latency  LatencySnapshot `json:"latency"`
+}
+
+// Snapshot is the JSON payload of GET /api/v1/metrics.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptimeSeconds"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Algorithms    map[string]LatencySnapshot  `json:"algorithms"`
+}
+
+// Snapshot materializes a point-in-time view of every endpoint and
+// algorithm.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(r.endpoints)),
+		Algorithms:    make(map[string]LatencySnapshot, len(r.algos)),
+	}
+	for name, e := range r.endpoints {
+		s.Endpoints[name] = EndpointSnapshot{
+			Requests: e.Requests.Load(),
+			Errors:   e.Errors.Load(),
+			Timeouts: e.Timeouts.Load(),
+			Shed:     e.Shed.Load(),
+			Latency:  snapshotHistogram(&e.Latency),
+		}
+	}
+	for name, h := range r.algos {
+		s.Algorithms[name] = snapshotHistogram(h)
+	}
+	return s
+}

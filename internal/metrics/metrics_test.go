@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast samples (~1ms) and 10 slow ones (~1s).
+	for i := 0; i < 90; i++ {
+		h.Observe(800 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(900 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 > 5 {
+		t.Errorf("p50 = %vms, want ~1ms bucket", p50)
+	}
+	if p99 < 500 {
+		t.Errorf("p99 = %vms, want the ~1s bucket", p99)
+	}
+	if m := h.MeanMS(); m < 80 || m > 120 {
+		t.Errorf("mean = %vms, want ~90ms", m)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.MeanMS() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(24 * time.Hour) // far past the last bound: overflow bucket
+	h.Observe(-time.Second)   // negative: clamped to 0
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(0.99) <= 0 {
+		t.Fatal("overflow sample lost")
+	}
+}
+
+func TestEndpointRecord(t *testing.T) {
+	var e Endpoint
+	e.Record(200, time.Millisecond)
+	e.Record(400, time.Millisecond)
+	e.Record(429, time.Millisecond)
+	e.Record(504, time.Millisecond)
+	if e.Requests.Load() != 4 || e.Errors.Load() != 3 || e.Shed.Load() != 1 || e.Timeouts.Load() != 1 {
+		t.Fatalf("counters = %d/%d/%d/%d", e.Requests.Load(), e.Errors.Load(), e.Shed.Load(), e.Timeouts.Load())
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := New()
+	r.Endpoint("query").Record(200, 2*time.Millisecond)
+	r.Endpoint("query").Record(504, 55*time.Millisecond)
+	r.Algorithm("twigstack").Observe(time.Millisecond)
+	s := r.Snapshot()
+	if s.Endpoints["query"].Requests != 2 || s.Endpoints["query"].Timeouts != 1 {
+		t.Fatalf("snapshot = %+v", s.Endpoints["query"])
+	}
+	if s.Algorithms["twigstack"].Count != 1 {
+		t.Fatalf("algorithms = %+v", s.Algorithms)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Endpoint("query").Record(200, time.Millisecond)
+				r.Algorithm("auto").Observe(time.Microsecond)
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Endpoints["query"].Requests; got != 4000 {
+		t.Fatalf("requests = %d, want 4000", got)
+	}
+}

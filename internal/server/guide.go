@@ -20,12 +20,12 @@ type guideNode struct {
 
 // handleGuide serves the document's structural summary.
 //
-//	GET /api/guide            the whole guide tree
-//	GET /api/guide?values=3   include up to 3 top values per path
+//	GET /api/v1/guide            the whole guide tree
+//	GET /api/v1/guide?values=3   include up to 3 top values per path
 func (s *Server) handleGuide(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFor(r)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		notFound(w, err)
 		return
 	}
 	nvals := 0

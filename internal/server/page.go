@@ -49,7 +49,7 @@ function ds() {
   return v ? '&dataset=' + encodeURIComponent(v) : '';
 }
 async function loadDatasets() {
-  const r = await (await fetch('/api/datasets')).json();
+  const r = await (await fetch('/api/v1/datasets')).json();
   const sel = document.getElementById('dataset');
   for (const name of r.datasets || []) {
     const opt = document.createElement('option');
@@ -60,7 +60,7 @@ async function loadDatasets() {
   loadStats();
 }
 async function loadStats() {
-  const s = await (await fetch('/api/stats?x=1' + ds())).json();
+  const s = await (await fetch('/api/v1/stats?x=1' + ds())).json();
   document.getElementById('stats').textContent =
     s.Nodes + ' nodes, ' + s.Tags + ' tags, ' + s.GuidePaths + ' paths';
   document.getElementById('results').innerHTML = '';
@@ -77,7 +77,7 @@ qbox.addEventListener('input', async () => {
   let path = m[1].replace(/[\/]+$/, '');
   const axis = m[1].endsWith('//') ? 'descendant' : 'child';
   const prefix = m[2] || '';
-  const url = '/api/complete?kind=tag&axis=' + axis +
+  const url = '/api/v1/complete?kind=tag&axis=' + axis +
     '&path=' + encodeURIComponent(path) + '&prefix=' + encodeURIComponent(prefix) + '&k=8' + ds();
   try {
     const res = await (await fetch(url)).json();
@@ -89,12 +89,12 @@ qbox.addEventListener('input', async () => {
 
 async function runQuery() {
   const body = { query: qbox.value, k: 10, rewrite: document.getElementById('rewrite').checked };
-  const res = await (await fetch('/api/query?x=1' + ds(), {
+  const res = await (await fetch('/api/v1/query?x=1' + ds(), {
     method: 'POST', headers: {'Content-Type': 'application/json'},
     body: JSON.stringify(body)})).json();
   const out = document.getElementById('results');
   out.innerHTML = '';
-  if (res.error) { out.textContent = res.error; return; }
+  if (res.error) { out.textContent = res.error.message || res.error; return; }
   const head = document.createElement('p');
   head.textContent = (res.answers ? res.answers.length : 0) + ' answers (' +
     res.exact + ' exact, ' + res.rewritesTried + ' rewrites tried, ' +

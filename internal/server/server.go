@@ -1,23 +1,58 @@
-// Package server exposes the LotusX engine over HTTP — the stand-in for the
-// demo paper's web GUI.  The JSON API mirrors the GUI's interactions
-// one-to-one: statistics, position-aware completion while a twig grows,
-// query evaluation with ranking and rewriting, and answer snippets.  A
-// minimal embedded HTML page at / exercises the API interactively.
+// Package server exposes the LotusX engine over HTTP — the production
+// serving layer that grew out of the demo paper's web GUI.  The versioned
+// JSON API under /api/v1 mirrors the GUI's interactions one-to-one:
+// statistics, position-aware completion while a twig grows, query evaluation
+// with ranking and rewriting, and answer snippets.  Every request runs under
+// a configurable deadline with cooperative mid-join cancellation, behind a
+// middleware stack (request IDs, structured logging, panic recovery, load
+// shedding) with per-endpoint metrics at /api/v1/metrics.  The legacy
+// un-versioned /api/... paths remain as deprecated aliases.  See README.md
+// in this directory for the full v1 surface.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"lotusx/internal/complete"
 	"lotusx/internal/core"
 	"lotusx/internal/doc"
+	"lotusx/internal/httpmw"
 	"lotusx/internal/join"
+	"lotusx/internal/metrics"
 	"lotusx/internal/twig"
 )
+
+// Request-validation bounds, enforced server-side so one request cannot ask
+// for unbounded work.
+const (
+	maxK        = 1000
+	maxOffset   = 1_000_000
+	maxBodySize = 1 << 20 // 1 MiB query bodies
+)
+
+// Config tunes the serving layer.  The zero value serves with no deadline,
+// no concurrency cap, and silent logs — the permissive demo setup.
+type Config struct {
+	// QueryTimeout bounds every API request; expired requests answer 504
+	// with the timeout envelope.  0 disables the deadline.
+	QueryTimeout time.Duration
+	// MaxInflight caps concurrent API requests; excess load is shed with
+	// 429 + Retry-After.  0 disables the limiter.
+	MaxInflight int
+	// Logger receives structured request and panic logs; nil discards them.
+	Logger *slog.Logger
+	// Metrics is the registry backing /api/v1/metrics; nil allocates a
+	// fresh one.
+	Metrics *metrics.Registry
+}
 
 // Server handles the LotusX HTTP API.  It serves one or more datasets from
 // a core.Catalog; requests select one with ?dataset= (or the "dataset" JSON
@@ -25,28 +60,106 @@ import (
 type Server struct {
 	catalog *core.Catalog
 	mux     *http.ServeMux
+	handler http.Handler
+	reg     *metrics.Registry
 }
 
-// New returns a Server over a single engine (a one-dataset catalog).
-func New(engine *core.Engine) *Server {
+// New returns a Server over a single engine (a one-dataset catalog) with
+// the zero Config.
+func New(engine *core.Engine) *Server { return NewConfig(engine, Config{}) }
+
+// NewConfig returns a Server over a single engine with the given Config.
+func NewConfig(engine *core.Engine, cfg Config) *Server {
 	c := core.NewCatalog()
 	c.Add(engine.Stats().Document, engine)
-	return NewCatalog(c)
+	return NewCatalogConfig(c, cfg)
 }
 
-// NewCatalog returns a Server over several named datasets.
-func NewCatalog(catalog *core.Catalog) *Server {
-	s := &Server{catalog: catalog, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
-	s.mux.HandleFunc("GET /api/complete", s.handleComplete)
-	s.mux.HandleFunc("GET /api/explain", s.handleExplain)
-	s.mux.HandleFunc("POST /api/query", s.handleQuery)
-	s.mux.HandleFunc("GET /api/node/{id}", s.handleNode)
-	s.mux.HandleFunc("GET /api/guide", s.handleGuide)
-	s.mux.HandleFunc("GET /", s.handleIndex)
+// NewCatalog returns a Server over several named datasets with the zero
+// Config.
+func NewCatalog(catalog *core.Catalog) *Server { return NewCatalogConfig(catalog, Config{}) }
+
+// NewCatalogConfig returns a Server over several named datasets, wiring the
+// middleware stack and per-endpoint metrics from cfg.
+func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	s := &Server{catalog: catalog, mux: http.NewServeMux(), reg: reg}
+
+	// The v1 surface.  Each route is instrumented under its endpoint name;
+	// the legacy un-versioned alias answers identically (same handler, same
+	// metrics) plus Deprecation headers.
+	routes := []struct {
+		method, path, name string
+		h                  http.HandlerFunc
+		legacy             bool // also mount under /api/ with Deprecation
+	}{
+		{"GET", "/api/v1/stats", "stats", s.handleStats, true},
+		{"GET", "/api/v1/datasets", "datasets", s.handleDatasets, true},
+		{"GET", "/api/v1/complete", "complete", s.handleComplete, true},
+		{"GET", "/api/v1/explain", "explain", s.handleExplain, true},
+		{"POST", "/api/v1/query", "query", s.handleQuery, true},
+		{"GET", "/api/v1/node/{id}", "node", s.handleNode, true},
+		{"GET", "/api/v1/guide", "guide", s.handleGuide, true},
+		{"GET", "/api/v1/metrics", "metrics", s.handleMetrics, false},
+	}
+	for _, rt := range routes {
+		h := httpmw.Chain(rt.h, httpmw.Instrument(reg.Endpoint(rt.name)))
+		s.mux.Handle(rt.method+" "+rt.path, h)
+		if rt.legacy {
+			s.mux.Handle(rt.method+" "+strings.Replace(rt.path, "/api/v1/", "/api/", 1),
+				deprecated(rt.path, h))
+		}
+	}
+	s.mux.Handle("GET /", httpmw.Chain(http.HandlerFunc(s.handleIndex),
+		httpmw.Instrument(reg.Endpoint("page"))))
+
+	s.handler = httpmw.Chain(s.mux,
+		httpmw.RequestID(),
+		httpmw.Logging(cfg.Logger),
+		httpmw.Recover(cfg.Logger),
+		httpmw.Limit(cfg.MaxInflight, httpmw.LimitOptions{
+			RetryAfter: time.Second,
+			OnShed: func(r *http.Request) {
+				// Shed requests never reach per-endpoint instrumentation;
+				// record them here so the endpoint's counters stay honest.
+				reg.Endpoint(endpointName(r.URL.Path)).Record(http.StatusTooManyRequests, 0)
+			},
+			// Observability must survive overload: metrics always answers.
+			Exempt: func(r *http.Request) bool { return r.URL.Path == "/api/v1/metrics" },
+		}),
+		httpmw.Deadline(cfg.QueryTimeout),
+	)
 	return s
 }
+
+// deprecated wraps a legacy alias: RFC 8594-style headers pointing at the
+// v1 successor, then the normal handler.
+func deprecated(successor string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// endpointName maps a request path to its metrics endpoint name.
+func endpointName(path string) string {
+	p := strings.TrimPrefix(path, "/api/v1/")
+	p = strings.TrimPrefix(p, "/api/")
+	if p == "" || p == "/" {
+		return "page"
+	}
+	if i := strings.IndexByte(p, '/'); i > 0 {
+		p = p[:i]
+	}
+	return p
+}
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // engineFor resolves the request's dataset.
 func (s *Server) engineFor(r *http.Request) (*core.Engine, error) {
@@ -57,8 +170,12 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.catalog.Names()})
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// ServeHTTP implements http.Handler, serving through the middleware stack.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -66,28 +183,53 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// Error envelope helpers — every failure path answers with the uniform
+// {"error": {"code", "message"}} body (see internal/httpmw).
+
+func badQuery(w http.ResponseWriter, err error) {
+	httpmw.WriteError(w, http.StatusBadRequest, httpmw.CodeBadQuery, err.Error())
+}
+
+func notFound(w http.ResponseWriter, err error) {
+	httpmw.WriteError(w, http.StatusNotFound, httpmw.CodeNotFound, err.Error())
+}
+
+func internalError(w http.ResponseWriter, err error) {
+	httpmw.WriteError(w, http.StatusInternalServerError, httpmw.CodeInternal, err.Error())
+}
+
+// writeCtxError answers a request whose context died mid-evaluation: 504
+// with the timeout envelope.  (A client disconnect surfaces as
+// context.Canceled; the response goes nowhere, but the status keeps logs
+// and metrics honest.)
+func writeCtxError(w http.ResponseWriter, err error) {
+	httpmw.WriteError(w, http.StatusGatewayTimeout, httpmw.CodeTimeout,
+		"query deadline exceeded: "+err.Error())
+}
+
+// isCtxError reports whether err is a context cancellation or deadline.
+func isCtxError(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFor(r)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		notFound(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, engine.Stats())
 }
 
-// completeResponse is the payload of /api/complete.
+// completeResponse is the payload of /api/v1/complete.
 type completeResponse struct {
 	Candidates []complete.Candidate `json:"candidates"`
 }
 
 // handleComplete serves position-aware completion.
 //
-//	GET /api/complete?kind=tag&path=//article&axis=child&prefix=au&k=8
-//	GET /api/complete?kind=value&path=//article/author&prefix=ji&k=8
+//	GET /api/v1/complete?kind=tag&path=//article&axis=child&prefix=au&k=8
+//	GET /api/v1/complete?kind=value&path=//article/author&prefix=ji&k=8
 //
 // path is the partial twig's root-to-focus chain in the XPath subset; kind
 // "tag" suggests tags for a new node under the path's last node via axis,
@@ -96,7 +238,7 @@ type completeResponse struct {
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFor(r)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		notFound(w, err)
 		return
 	}
 	qv := r.URL.Query()
@@ -105,8 +247,8 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	k := 10
 	if kv := qv.Get("k"); kv != "" {
 		n, err := strconv.Atoi(kv)
-		if err != nil || n < 1 || n > 1000 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", kv))
+		if err != nil || n < 1 || n > maxK {
+			badQuery(w, fmt.Errorf("bad k %q: want 1..%d", kv, maxK))
 			return
 		}
 		k = n
@@ -123,13 +265,13 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		focus = complete.NewRoot
 		q = twig.NewQuery(twig.Wildcard)
 		if err := q.Normalize(); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			internalError(w, err)
 			return
 		}
 	} else {
 		parsed, err := twig.Parse(path)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad path: %w", err))
+			badQuery(w, fmt.Errorf("bad path: %w", err))
 			return
 		}
 		q = parsed
@@ -139,15 +281,23 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var cands []complete.Candidate
 	switch kind {
 	case "tag", "":
-		cands = engine.Completer().SuggestTags(q, focus, axis, prefix, k)
+		cands, err = engine.Completer().SuggestTagsContext(r.Context(), q, focus, axis, prefix, k)
 	case "value":
 		if focus == complete.NewRoot {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("value completion needs a path"))
+			badQuery(w, fmt.Errorf("value completion needs a path"))
 			return
 		}
-		cands = engine.Completer().SuggestValues(q, focus, prefix, k)
+		cands, err = engine.Completer().SuggestValuesContext(r.Context(), q, focus, prefix, k)
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q", kind))
+		badQuery(w, fmt.Errorf("unknown kind %q", kind))
+		return
+	}
+	if err != nil {
+		if isCtxError(err) {
+			writeCtxError(w, err)
+		} else {
+			internalError(w, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, completeResponse{Candidates: cands})
@@ -156,17 +306,17 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 // handleExplain reports where a candidate tag occurs at a position — the
 // hover card next to a suggestion.
 //
-//	GET /api/explain?path=//article&axis=child&tag=author&max=3
+//	GET /api/v1/explain?path=//article&axis=child&tag=author&max=3
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFor(r)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		notFound(w, err)
 		return
 	}
 	qv := r.URL.Query()
 	tag := qv.Get("tag")
 	if tag == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("tag is required"))
+		badQuery(w, fmt.Errorf("tag is required"))
 		return
 	}
 	axis := twig.Child
@@ -177,7 +327,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if m := qv.Get("max"); m != "" {
 		n, err := strconv.Atoi(m)
 		if err != nil || n < 0 || n > 100 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad max %q", m))
+			badQuery(w, fmt.Errorf("bad max %q: want 0..100", m))
 			return
 		}
 		max = n
@@ -188,23 +338,32 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if path != "" {
 		parsed, err := twig.Parse(path)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad path: %w", err))
+			badQuery(w, fmt.Errorf("bad path: %w", err))
 			return
 		}
 		q = parsed
 		focus = q.OutputNode().ID
 	}
-	occs := engine.Completer().ExplainTag(q, focus, axis, tag, max)
+	occs, err := engine.Completer().ExplainTagContext(r.Context(), q, focus, axis, tag, max)
+	if err != nil {
+		if isCtxError(err) {
+			writeCtxError(w, err)
+		} else {
+			internalError(w, err)
+		}
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"tag": tag, "occurrences": occs})
 }
 
-// queryRequest is the body of POST /api/query.
+// queryRequest is the body of POST /api/v1/query.
 type queryRequest struct {
 	Query   string `json:"query"`
 	K       int    `json:"k"`
 	Offset  int    `json:"offset"`
 	Rewrite bool   `json:"rewrite"`
-	// Algorithm optionally overrides the default TwigStack.
+	// Algorithm optionally overrides the default TwigStack; it must name an
+	// implemented algorithm (or "auto").
 	Algorithm string `json:"algorithm"`
 }
 
@@ -219,43 +378,91 @@ type queryAnswer struct {
 	Highlights []core.Highlight `json:"highlights,omitempty"`
 }
 
-// queryResponse is the payload of /api/query.
+// queryResponse is the payload of /api/v1/query.  The paging contract:
+// Total counts the answers materialized server-side (at most offset+k —
+// equal means further pages may exist), Offset echoes the request, and
+// NextOffset, when present, is the offset of the next page.
 type queryResponse struct {
-	Answers   []queryAnswer `json:"answers"`
-	Exact     int           `json:"exact"`
-	Rewrites  int           `json:"rewritesTried"`
-	ElapsedMS float64       `json:"elapsedMs"`
-	XQuery    string        `json:"xquery"`
+	Answers    []queryAnswer `json:"answers"`
+	Exact      int           `json:"exact"`
+	Total      int           `json:"total"`
+	Offset     int           `json:"offset"`
+	NextOffset int           `json:"nextOffset,omitempty"`
+	Rewrites   int           `json:"rewritesTried"`
+	Algorithm  string        `json:"algorithm"`
+	ElapsedMS  float64       `json:"elapsedMs"`
+	XQuery     string        `json:"xquery"`
+}
+
+// validAlgorithm reports whether name selects an implemented algorithm.
+func validAlgorithm(name string) bool {
+	if name == "" || join.Algorithm(name) == join.Auto {
+		return true
+	}
+	for _, alg := range join.Algorithms {
+		if join.Algorithm(name) == alg {
+			return true
+		}
+	}
+	return false
+}
+
+func algorithmNames() string {
+	names := make([]string, 0, len(join.Algorithms)+1)
+	for _, alg := range join.Algorithms {
+		names = append(names, string(alg))
+	}
+	return strings.Join(append(names, string(join.Auto)), ", ")
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFor(r)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		notFound(w, err)
 		return
 	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodySize)).Decode(&req); err != nil {
+		badQuery(w, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if req.K < 0 || req.K > maxK {
+		badQuery(w, fmt.Errorf("bad k %d: want 0..%d", req.K, maxK))
+		return
+	}
+	if req.Offset < 0 || req.Offset > maxOffset {
+		badQuery(w, fmt.Errorf("bad offset %d: want 0..%d", req.Offset, maxOffset))
+		return
+	}
+	if !validAlgorithm(req.Algorithm) {
+		badQuery(w, fmt.Errorf("unknown algorithm %q: want one of %s", req.Algorithm, algorithmNames()))
 		return
 	}
 	q, err := twig.Parse(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badQuery(w, err)
 		return
 	}
 	opts := core.SearchOptions{K: req.K, Offset: req.Offset, Rewrite: req.Rewrite}
 	if req.Algorithm != "" {
 		opts.Algorithm = join.Algorithm(req.Algorithm)
 	}
-	res, err := engine.Search(q, opts)
+	res, err := engine.SearchContext(r.Context(), q, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		if isCtxError(err) {
+			writeCtxError(w, err)
+		} else {
+			badQuery(w, err)
+		}
 		return
 	}
+	s.reg.Algorithm(string(res.Algorithm)).Observe(res.Elapsed)
 	resp := queryResponse{
 		Exact:     res.Exact,
+		Total:     res.Total,
+		Offset:    req.Offset,
 		Rewrites:  res.RewritesTried,
+		Algorithm: string(res.Algorithm),
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 		XQuery:    q.ToXQuery(),
 	}
@@ -276,18 +483,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		qa.Highlights = engine.Highlights(answerQuery, a.Scored.Match)
 		resp.Answers = append(resp.Answers, qa)
 	}
+	// Materialization stopped at the offset+k cut, so further answers may
+	// exist: point the client at the next page.  A Total short of the cut
+	// means the result set is exhausted and this is the last page.
+	effK := req.K
+	if effK == 0 {
+		effK = 10 // SearchOptions' default page size
+	}
+	if res.Total == req.Offset+effK {
+		resp.NextOffset = res.Total
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFor(r)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		notFound(w, err)
 		return
 	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil || id < 0 || id >= engine.Document().Len() {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no node %q", r.PathValue("id")))
+		notFound(w, fmt.Errorf("no node %q", r.PathValue("id")))
 		return
 	}
 	d := engine.Document()

@@ -23,6 +23,14 @@ const bibXML = `<dblp>
   </article>
 </dblp>`
 
+// errEnvelope mirrors the uniform v1 error body.
+type errEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	e, err := core.FromReader("bib", strings.NewReader(bibXML))
@@ -118,7 +126,7 @@ func TestCompleteValueEndpoint(t *testing.T) {
 
 func TestCompleteErrors(t *testing.T) {
 	ts := testServer(t)
-	var e map[string]string
+	var e errEnvelope
 	if code := getJSON(t, ts.URL+"/api/complete?kind=value", &e); code != 400 {
 		t.Errorf("value without path: status %d", code)
 	}
@@ -213,7 +221,7 @@ func TestNodeEndpoint(t *testing.T) {
 	if resp.Tag != "dblp" || resp.Path != "/dblp" {
 		t.Fatalf("resp = %+v", resp)
 	}
-	var e map[string]string
+	var e errEnvelope
 	if code := getJSON(t, ts.URL+"/api/node/99999", &e); code != 404 {
 		t.Errorf("overflow id: status %d", code)
 	}
@@ -318,9 +326,12 @@ func TestMultiDatasetCatalog(t *testing.T) {
 		t.Fatalf("default stats = %v", stats)
 	}
 	// Unknown dataset is a 404 on every endpoint.
-	var e map[string]string
+	var e errEnvelope
 	if code := getJSON(t, ts.URL+"/api/stats?dataset=nope", &e); code != 404 {
 		t.Errorf("unknown dataset: status %d", code)
+	}
+	if e.Error.Code != "not_found" {
+		t.Errorf("unknown dataset code = %q", e.Error.Code)
 	}
 	if code := getJSON(t, ts.URL+"/api/guide?dataset=nope", &e); code != 404 {
 		t.Errorf("unknown dataset guide: status %d", code)
