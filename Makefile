@@ -1,0 +1,31 @@
+# The tier-1 verification recipe (ROADMAP.md): build, vet, the full test
+# suite, and the race detector over the concurrency-heavy packages.  `make
+# check` is the one command every change must keep green.
+
+GO ?= go
+
+RACE_PKGS := ./internal/server/... ./internal/core/... ./internal/corpus/...
+
+.PHONY: check build vet test race bench clean
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# The experiment suite (E1..E12, A1..A3); SCALE sweeps dataset size.
+SCALE ?= 1
+bench:
+	$(GO) run ./cmd/lotusx-bench -scale $(SCALE)
+
+clean:
+	$(GO) clean ./...

@@ -44,6 +44,7 @@ func main() {
 		"E9":  runner.E9Rewrite,
 		"E10": runner.E10Session,
 		"E11": runner.E11Scalability,
+		"E12": runner.E12CorpusFanout,
 		"A1":  runner.A1Pushdown,
 		"A2":  runner.A2Minimization,
 		"A3":  runner.A3PenaltyModel,

@@ -4,15 +4,20 @@
 //	lotusx-query -in dblp.xml '//article[author = "jiaheng lu"]/title'
 //	lotusx-query -index dblp.ltx -k 5 -rewrite '//article/autor'
 //	lotusx-query -in dblp.xml -alg pathstack -explain '//book[title]'
+//	lotusx-query -in dblp.xml -shards 4 '//article/title'   # sharded fan-out
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"lotusx/internal/core"
+	"lotusx/internal/corpus"
+	"lotusx/internal/doc"
 	"lotusx/internal/join"
 	"lotusx/internal/twig"
 )
@@ -26,6 +31,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print score breakdowns and join statistics")
 	plan := flag.Bool("plan", false, "print the planner's view (estimates, auto choice) before running")
 	xquery := flag.Bool("xquery", false, "print the equivalent XQuery and exit")
+	shards := flag.Int("shards", 1, "split the input into N shards and fan the query out")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -43,63 +49,110 @@ func main() {
 		return
 	}
 
-	var engine *core.Engine
-	var err error
-	switch {
-	case *in != "":
-		engine, err = core.FromFile(*in)
-	case *indexFile != "":
-		var f *os.File
-		f, err = os.Open(*indexFile)
-		if err == nil {
-			defer f.Close()
-			engine, err = core.Open(f)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "lotusx-query: one of -in or -index is required")
-		os.Exit(2)
-	}
+	backend, err := buildBackend(*in, *indexFile, *shards)
 	if err != nil {
 		fatal(err)
 	}
 
+	q, err := twig.Parse(queryText)
+	if err != nil {
+		fatal(err)
+	}
 	if *plan {
-		q, perr := twig.Parse(queryText)
-		if perr != nil {
-			fatal(perr)
+		// The planner's view is per document; for a corpus, show the first
+		// shard (every shard sees the same query shape).
+		engines := backend.Engines()
+		if len(engines) > 1 {
+			fmt.Printf("plan (shard %s of %d):\n", engines[0].Name, len(engines))
 		}
-		fmt.Print(join.Explain(engine.Index(), q))
+		fmt.Print(join.Explain(engines[0].Engine.Index(), q))
 	}
 
-	res, err := engine.SearchString(queryText, core.SearchOptions{
-		K:         *k,
-		Algorithm: join.Algorithm(*alg),
-		Rewrite:   *doRewrite,
+	res, err := backend.SearchHits(context.Background(), q, core.SearchOptions{
+		K:          *k,
+		Algorithm:  join.Algorithm(*alg),
+		Rewrite:    *doRewrite,
+		SnippetMax: 400,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	d := engine.Document()
-	fmt.Printf("%d answers (%d exact, %d rewrites tried) in %v\n",
-		len(res.Answers), res.Exact, res.RewritesTried, res.Elapsed)
-	for i, a := range res.Answers {
-		fmt.Printf("\n#%d  %s  score=%.3f", i+1, d.Path(a.Node), a.Score)
-		if a.Rewrite != nil {
-			fmt.Printf("  [via %s, penalty %.1f]", a.Rewrite.Query, a.Rewrite.Penalty)
+	fmt.Printf("%d answers (%d exact, %d rewrites tried) in %v",
+		len(res.Hits), res.Exact, res.RewritesTried, res.Elapsed)
+	if res.Shards > 1 {
+		fmt.Printf(" across %d shards", res.Shards)
+	}
+	fmt.Println()
+	for i, h := range res.Hits {
+		fmt.Printf("\n#%d  %s  score=%.3f", i+1, h.Path, h.Score)
+		if h.Shard != "" {
+			fmt.Printf("  [shard %s]", h.Shard)
+		}
+		if h.Rewrite != "" {
+			fmt.Printf("  [via %s, penalty %.1f]", h.Rewrite, h.Penalty)
 		}
 		fmt.Println()
 		if *explain {
 			fmt.Printf("    content=%.3f tightness=%.3f idf=%.3f\n",
-				a.Scored.Content, a.Scored.Tightness, a.Scored.IDF)
+				h.Scored.Content, h.Scored.Tightness, h.Scored.IDF)
 		}
-		fmt.Print(indent(engine.Snippet(a.Node, 400), "    "))
+		fmt.Print(indent(h.Snippet, "    "))
 	}
 	if *explain {
 		fmt.Printf("\njoin stats: scanned=%d pathSolutions=%d edgePairs=%d matches=%d\n",
 			res.Stats.ElementsScanned, res.Stats.PathSolutions,
 			res.Stats.EdgePairs, res.Stats.MatchesEnumerated)
 	}
+}
+
+// buildBackend loads the input as a single engine, or — with -shards N — as
+// a corpus split at record boundaries with parallel fan-out.
+func buildBackend(in, indexFile string, shards int) (core.Backend, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("bad -shards %d: want >= 1", shards)
+	}
+	switch {
+	case in != "":
+		if shards > 1 {
+			f, err := os.Open(in)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			d, err := doc.FromReader(datasetName(in), f)
+			if err != nil {
+				return nil, err
+			}
+			return corpus.FromDocument(datasetName(in), d, shards, corpus.Config{})
+		}
+		return core.FromFile(in)
+	case indexFile != "":
+		f, err := os.Open(indexFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		engine, err := core.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		if shards > 1 {
+			return corpus.FromDocument(datasetName(indexFile), engine.Document(), shards, corpus.Config{})
+		}
+		return engine, nil
+	default:
+		return nil, fmt.Errorf("one of -in or -index is required")
+	}
+}
+
+// datasetName derives a corpus name from the input filename.
+func datasetName(path string) string {
+	base := filepath.Base(path)
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return base
 }
 
 func indent(s, prefix string) string {

@@ -4,6 +4,7 @@
 //
 //	lotusx-repl -in dblp.xml
 //	lotusx-repl -dataset xmark
+//	lotusx-repl -dataset xmark -shards 4   # sharded corpus with fan-out
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"os"
 
 	"lotusx/internal/core"
+	"lotusx/internal/corpus"
 	"lotusx/internal/dataset"
 	"lotusx/internal/repl"
 )
@@ -22,15 +24,31 @@ func main() {
 	kind := flag.String("dataset", "", "synthetic dataset: dblp, xmark or treebank")
 	scale := flag.Int("scale", 1, "synthetic dataset scale")
 	seed := flag.Int64("seed", 42, "synthetic dataset seed")
+	shards := flag.Int("shards", 1, "split the input into N shards and fan queries out")
 	flag.Parse()
 
-	engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed)
+	backend, err := buildBackend(*in, *indexFile, *kind, *scale, *seed, *shards)
 	if err != nil {
 		fatal(err)
 	}
-	if err := repl.Run(engine, os.Stdin, os.Stdout); err != nil {
+	if err := repl.RunBackend(backend, os.Stdin, os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+func buildBackend(in, indexFile, kind string, scale int, seed int64, shards int) (core.Backend, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("bad -shards %d: want >= 1", shards)
+	}
+	engine, err := buildEngine(in, indexFile, kind, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	if shards == 1 {
+		return engine, nil
+	}
+	d := engine.Document()
+	return corpus.FromDocument(d.Name(), d, shards, corpus.Config{})
 }
 
 func buildEngine(in, indexFile, kind string, scale int, seed int64) (*core.Engine, error) {

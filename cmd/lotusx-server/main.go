@@ -4,6 +4,8 @@
 //	lotusx-server -in dblp.xml -addr :8080
 //	lotusx-server -dataset xmark -scale 2      # serve a synthetic dataset
 //	lotusx-server -dataset dblp -query-timeout 2s -max-inflight 64
+//	lotusx-server -in dblp.xml -shards 4       # sharded corpus with fan-out
+//	lotusx-server -admin -corpus-dir ./data    # live ingestion, persisted
 package main
 
 import (
@@ -12,10 +14,14 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"lotusx/internal/core"
+	"lotusx/internal/corpus"
 	"lotusx/internal/dataset"
+	"lotusx/internal/doc"
+	"lotusx/internal/metrics"
 	"lotusx/internal/server"
 )
 
@@ -31,44 +37,141 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0,
 		"max concurrent API requests; excess load is shed with 429 (0 disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
+	admin := flag.Bool("admin", false,
+		"enable the dataset admin API (POST/DELETE /api/v1/datasets/...)")
+	corpusDir := flag.String("corpus-dir", "",
+		"directory persisting corpus-backed datasets; existing corpora reload at startup")
+	shards := flag.Int("shards", 1,
+		"split each served dataset into N shards queried with parallel fan-out")
 	flag.Parse()
 
+	if *shards < 1 {
+		fatal(fmt.Errorf("bad -shards %d: want >= 1", *shards))
+	}
+	reg := metrics.New()
 	cfg := server.Config{
 		QueryTimeout: *queryTimeout,
 		MaxInflight:  *maxInflight,
+		Metrics:      reg,
+		EnableAdmin:  *admin,
+		CorpusDir:    *corpusDir,
 	}
 	if !*quiet {
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
-	if *kind == "all" {
-		// The demo setup: every synthetic dataset in one catalog, selected
-		// per request with ?dataset=.
-		catalog := core.NewCatalog()
-		for _, k := range dataset.Kinds {
-			d, err := dataset.Build(k, *scale, *seed)
-			if err != nil {
-				fatal(err)
-			}
-			catalog.Add(string(k), core.FromDocument(d))
-			fmt.Printf("loaded %s (%d nodes)\n", k, d.Len())
+	// The plain path: one engine-backed dataset, no catalog features needed.
+	if *kind != "all" && !*admin && *corpusDir == "" && *shards == 1 {
+		engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Printf("serving %d datasets on %s%s\n", catalog.Len(), *addr, servingNote(cfg))
-		if err := http.ListenAndServe(*addr, server.NewCatalogConfig(catalog, cfg)); err != nil {
+		st := engine.Stats()
+		fmt.Printf("serving %s (%d nodes, %d tags) on %s%s\n", st.Document, st.Nodes, st.Tags, *addr, servingNote(cfg))
+		if err := http.ListenAndServe(*addr, server.NewConfig(engine, cfg)); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed)
+	// Catalog mode: multiple datasets, corpus-backed sharding, live admin.
+	catalog := core.NewCatalog()
+	if *corpusDir != "" {
+		if err := reloadCorpora(catalog, *corpusDir, reg); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *kind == "all":
+		// The demo setup: every synthetic dataset in one catalog, selected
+		// per request with ?dataset=.
+		for _, k := range dataset.Kinds {
+			d, err := dataset.Build(k, *scale, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if err := addDataset(catalog, string(k), d, *shards, *corpusDir, reg); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loaded %s (%d nodes, %d shards)\n", k, d.Len(), *shards)
+		}
+	case *in != "" || *indexFile != "" || *kind != "":
+		engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		d := engine.Document()
+		if *shards > 1 {
+			if err := addDataset(catalog, d.Name(), d, *shards, *corpusDir, reg); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loaded %s (%d nodes, %d shards)\n", d.Name(), d.Len(), *shards)
+		} else {
+			catalog.Add(d.Name(), engine)
+			fmt.Printf("loaded %s (%d nodes)\n", d.Name(), d.Len())
+		}
+	default:
+		if catalog.Len() == 0 && !*admin {
+			fatal(fmt.Errorf("one of -in, -index or -dataset is required (or -admin to ingest over HTTP)"))
+		}
+	}
+
+	note := servingNote(cfg)
+	if *admin {
+		note += " (admin API on)"
+	}
+	fmt.Printf("serving %d datasets on %s%s\n", catalog.Len(), *addr, note)
+	if err := http.ListenAndServe(*addr, server.NewCatalogConfig(catalog, cfg)); err != nil {
+		fatal(err)
+	}
+}
+
+// addDataset registers d, split into parts shards when parts > 1, with
+// persistence under corpusDir when set.
+func addDataset(catalog *core.Catalog, name string, d *doc.Document, parts int, corpusDir string, reg *metrics.Registry) error {
+	if parts == 1 {
+		catalog.Add(name, core.FromDocument(d))
+		return nil
+	}
+	ccfg := corpus.Config{Metrics: reg.Corpus(name)}
+	if corpusDir != "" {
+		ccfg.Dir = filepath.Join(corpusDir, name)
+	}
+	c, err := corpus.FromDocument(name, d, parts, ccfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	st := engine.Stats()
-	fmt.Printf("serving %s (%d nodes, %d tags) on %s%s\n", st.Document, st.Nodes, st.Tags, *addr, servingNote(cfg))
-	if err := http.ListenAndServe(*addr, server.NewConfig(engine, cfg)); err != nil {
-		fatal(err)
+	catalog.AddBackend(name, c)
+	return nil
+}
+
+// reloadCorpora reopens every persisted corpus under dir (one subdirectory
+// with a manifest each) so admin-created datasets survive restarts.
+func reloadCorpora(catalog *core.Catalog, dir string, reg *metrics.Registry) error {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil // created on first ingest
 	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(sub, "MANIFEST.json")); err != nil {
+			continue
+		}
+		c, err := corpus.Open(sub, corpus.Config{Metrics: reg.Corpus(e.Name())})
+		if err != nil {
+			return fmt.Errorf("reopening corpus %s: %w", sub, err)
+		}
+		catalog.AddBackend(e.Name(), c)
+		fmt.Printf("reloaded %s (%d shards)\n", e.Name(), c.Snapshot().Len())
+	}
+	return nil
 }
 
 // servingNote summarizes the serving limits for the startup banner.

@@ -125,6 +125,7 @@ func (r *Runner) RunAll() error {
 		r.E9Rewrite,
 		r.E10Session,
 		r.E11Scalability,
+		r.E12CorpusFanout,
 		r.A1Pushdown,
 		r.A2Minimization,
 		r.A3PenaltyModel,

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lotusx/internal/core"
+	"lotusx/internal/corpus"
+	"lotusx/internal/dataset"
+)
+
+// E12's query subset: the XMark workload queries (Q5–Q7), whose output
+// nodes live at or below record level so sharded evaluation returns the
+// same answer set as a single engine.
+var corpusQueries = []Query{
+	{ID: "Q5", Kind: dataset.XMark, Text: `//item[description//text contains "vintage"]/name`},
+	{ID: "Q6", Kind: dataset.XMark, Text: `//person[profile/age]/name`},
+	{ID: "Q7", Kind: dataset.XMark, Text: `//open_auction[bidder/increase][seller]`},
+}
+
+// E12CorpusFanout serves one generated XMark document as a sharded corpus
+// and sweeps the shard count: per-query latency should shrink as the
+// parallel fan-out spreads the twig joins across shards, up to the point
+// where merge overhead and worker contention eat the gains.
+func (r *Runner) E12CorpusFanout() error {
+	r.header("E12", "corpus fan-out: query latency vs shard count")
+
+	d, err := dataset.Build(dataset.XMark, r.cfg.Scale, r.cfg.Seed)
+	if err != nil {
+		return err
+	}
+
+	const reps = 5
+	tw := r.table()
+	fmt.Fprintln(tw, "shards\tbuild ms\tQ5 ms\tQ6 ms\tQ7 ms\ttotal ms\tspeedup")
+	var base time.Duration
+	for _, parts := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		c, err := corpus.FromDocument(fmt.Sprintf("xmark-p%d", parts), d, parts, corpus.Config{})
+		if err != nil {
+			return err
+		}
+		buildTime := time.Since(start)
+		if got := c.Snapshot().Len(); got != parts {
+			return fmt.Errorf("E12: asked for %d shards, got %d", parts, got)
+		}
+
+		var perQuery []time.Duration
+		var total time.Duration
+		for _, q := range corpusQueries {
+			parsed := mustParse(q.Text)
+			// One warm-up round absorbs first-touch costs, then the
+			// measured repetitions average out scheduler noise.
+			if _, err := c.SearchHits(context.Background(), parsed, core.SearchOptions{K: 100}); err != nil {
+				return err
+			}
+			start = time.Now()
+			for i := 0; i < reps; i++ {
+				if _, err := c.SearchHits(context.Background(), parsed, core.SearchOptions{K: 100}); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(start) / reps
+			perQuery = append(perQuery, elapsed)
+			total += elapsed
+		}
+		if parts == 1 {
+			base = total
+		}
+		speedup := float64(base) / float64(total)
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%.2fx\n",
+			parts, ms(buildTime), ms(perQuery[0]), ms(perQuery[1]), ms(perQuery[2]), ms(total), speedup)
+	}
+	return tw.Flush()
+}

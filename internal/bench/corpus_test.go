@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE12Table(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded sweep is slow in -short mode")
+	}
+	r := runner(t)
+	buf := output(r)
+	// E12 itself fails when a requested shard count is not honored, so
+	// running it checks the split as well as the table.
+	if err := r.E12CorpusFanout(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"shards", "speedup", "Q5 ms", "1.00x"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("E12 output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

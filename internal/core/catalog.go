@@ -6,54 +6,111 @@ import (
 	"sync"
 )
 
-// Catalog holds several named engines — the demo served DBLP, XMark and
-// TreeBank side by side with a dataset selector.  Lookups are cheap and
-// concurrent; Add is synchronized so datasets can be loaded in the
-// background while the server is already answering on the others.
+// Catalog holds several named datasets — the demo served DBLP, XMark and
+// TreeBank side by side with a dataset selector.  Each entry is a Backend: a
+// single Engine or a sharded corpus.  Lookups are cheap and concurrent;
+// mutations are synchronized so datasets can be loaded, replaced or dropped
+// in the background while the server is already answering on the others.
 type Catalog struct {
-	mu      sync.RWMutex
-	engines map[string]*Engine
+	mu       sync.RWMutex
+	backends map[string]Backend
 	// defaultName is the dataset used when a request names none.
 	defaultName string
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{engines: make(map[string]*Engine)}
+	return &Catalog{backends: make(map[string]Backend)}
 }
 
-// Add registers an engine under name; the first engine added becomes the
-// default.  Re-adding a name replaces the engine.
-func (c *Catalog) Add(name string, e *Engine) {
+// Add registers an engine under name; see AddBackend.
+func (c *Catalog) Add(name string, e *Engine) { c.AddBackend(name, e) }
+
+// AddBackend registers a backend under name.  The first dataset added
+// becomes the default; re-adding a name replaces the backend in place, and a
+// replaced default stays the default (it is never silently orphaned).  If
+// the default was previously lost (e.g. the catalog was emptied by Remove),
+// the added dataset becomes the new default.
+func (c *Catalog) AddBackend(name string, b Backend) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.engines) == 0 {
+	if _, ok := c.backends[c.defaultName]; !ok {
+		// No live default — either an empty catalog or a stale name.
 		c.defaultName = name
 	}
-	c.engines[name] = e
+	c.backends[name] = b
 }
 
-// Get returns the engine registered under name; an empty name returns the
-// default engine.
+// Remove drops the dataset registered under name.  Removing the default
+// reassigns the default to the first remaining dataset in sorted-name order
+// (requests naming no dataset keep working); removing the last dataset
+// leaves an empty catalog whose next Add becomes the default.  Removing an
+// unknown name is an error.
+func (c *Catalog) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.backends[name]; !ok {
+		return fmt.Errorf("core: no dataset %q in catalog", name)
+	}
+	delete(c.backends, name)
+	if c.defaultName == name {
+		c.defaultName = ""
+		rest := make([]string, 0, len(c.backends))
+		for n := range c.backends {
+			rest = append(rest, n)
+		}
+		sort.Strings(rest)
+		if len(rest) > 0 {
+			c.defaultName = rest[0]
+		}
+	}
+	return nil
+}
+
+// Get returns the single engine registered under name; an empty name
+// returns the default dataset.  A corpus-backed dataset is an error here —
+// use GetBackend for the shard-agnostic surface.
 func (c *Catalog) Get(name string) (*Engine, error) {
+	b, err := c.GetBackend(name)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := b.(*Engine)
+	if !ok {
+		return nil, fmt.Errorf("core: dataset %q is not a single engine (kind %q)", name, b.Info().Kind)
+	}
+	return e, nil
+}
+
+// GetBackend returns the backend registered under name; an empty name
+// returns the default dataset.
+func (c *Catalog) GetBackend(name string) (Backend, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if name == "" {
 		name = c.defaultName
 	}
-	e, ok := c.engines[name]
+	b, ok := c.backends[name]
 	if !ok {
 		return nil, fmt.Errorf("core: no dataset %q in catalog", name)
 	}
-	return e, nil
+	return b, nil
+}
+
+// DefaultName returns the name of the default dataset, "" when the catalog
+// is empty.
+func (c *Catalog) DefaultName() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.defaultName
 }
 
 // Names lists the registered datasets, sorted, with the default first.
 func (c *Catalog) Names() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	names := make([]string, 0, len(c.engines))
-	for n := range c.engines {
+	names := make([]string, 0, len(c.backends))
+	for n := range c.backends {
 		if n != c.defaultName {
 			names = append(names, n)
 		}
@@ -69,5 +126,5 @@ func (c *Catalog) Names() []string {
 func (c *Catalog) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.engines)
+	return len(c.backends)
 }

@@ -60,6 +60,146 @@ func TestCatalogReplace(t *testing.T) {
 	}
 }
 
+func TestCatalogRemove(t *testing.T) {
+	// Each case builds a catalog by Add order, removes some names, and
+	// checks the surviving default and membership.
+	cases := []struct {
+		name        string
+		add         []string
+		remove      []string
+		wantErr     bool     // from the last remove
+		wantDefault string   // surviving default ("" for empty catalog)
+		wantNames   []string // Names() after removals
+	}{
+		{
+			name: "remove non-default keeps default",
+			add:  []string{"a", "b", "c"}, remove: []string{"b"},
+			wantDefault: "a", wantNames: []string{"a", "c"},
+		},
+		{
+			name: "remove default reassigns to first sorted",
+			add:  []string{"m", "z", "b"}, remove: []string{"m"},
+			wantDefault: "b", wantNames: []string{"b", "z"},
+		},
+		{
+			name: "remove last empties catalog",
+			add:  []string{"only"}, remove: []string{"only"},
+			wantDefault: "", wantNames: nil,
+		},
+		{
+			name: "remove unknown errors",
+			add:  []string{"a"}, remove: []string{"missing"},
+			wantErr: true, wantDefault: "a", wantNames: []string{"a"},
+		},
+		{
+			name: "remove twice errors",
+			add:  []string{"a", "b"}, remove: []string{"b", "b"},
+			wantErr: true, wantDefault: "a", wantNames: []string{"a"},
+		},
+		{
+			name: "drain then default follows",
+			add:  []string{"a", "b", "c"}, remove: []string{"a", "b"},
+			wantDefault: "c", wantNames: []string{"c"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCatalog()
+			for _, n := range tc.add {
+				e, err := FromReader(n, strings.NewReader("<a><b>x</b></a>"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.Add(n, e)
+			}
+			var lastErr error
+			for _, n := range tc.remove {
+				lastErr = c.Remove(n)
+			}
+			if (lastErr != nil) != tc.wantErr {
+				t.Fatalf("remove err = %v, wantErr = %v", lastErr, tc.wantErr)
+			}
+			if got := c.DefaultName(); got != tc.wantDefault {
+				t.Errorf("default = %q, want %q", got, tc.wantDefault)
+			}
+			names := c.Names()
+			if len(names) != len(tc.wantNames) {
+				t.Fatalf("names = %v, want %v", names, tc.wantNames)
+			}
+			for i := range names {
+				if names[i] != tc.wantNames[i] {
+					t.Fatalf("names = %v, want %v", names, tc.wantNames)
+				}
+			}
+			// The default must resolve via Get("") whenever one exists.
+			if tc.wantDefault != "" {
+				if _, err := c.Get(""); err != nil {
+					t.Errorf("Get(\"\") after removals: %v", err)
+				}
+			} else if _, err := c.Get(""); err == nil {
+				t.Error("Get(\"\") on emptied catalog should miss")
+			}
+		})
+	}
+}
+
+func TestCatalogAddDefaultHandling(t *testing.T) {
+	// Re-adding the default name must replace its backend in place and keep
+	// it the default; adding after the catalog drained must install a fresh
+	// default rather than leaving it orphaned.
+	cases := []struct {
+		name string
+		ops  func(c *Catalog, mk func(string) *Engine)
+
+		wantDefault string
+	}{
+		{
+			name: "replace default keeps default",
+			ops: func(c *Catalog, mk func(string) *Engine) {
+				c.Add("d", mk("v1"))
+				c.Add("x", mk("x"))
+				c.Add("d", mk("v2")) // replace the default in place
+			},
+			wantDefault: "d",
+		},
+		{
+			name: "add after drain installs new default",
+			ops: func(c *Catalog, mk func(string) *Engine) {
+				c.Add("d", mk("v1"))
+				if err := c.Remove("d"); err != nil {
+					panic(err)
+				}
+				c.Add("fresh", mk("f"))
+			},
+			wantDefault: "fresh",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func(name string) *Engine {
+				e, err := FromReader(name, strings.NewReader("<a><b>x</b></a>"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			c := NewCatalog()
+			tc.ops(c, mk)
+			if got := c.DefaultName(); got != tc.wantDefault {
+				t.Fatalf("default = %q, want %q", got, tc.wantDefault)
+			}
+			def, err := c.Get("")
+			if err != nil {
+				t.Fatalf("Get(\"\"): %v", err)
+			}
+			want, err := c.Get(tc.wantDefault)
+			if err != nil || def != want {
+				t.Errorf("default engine mismatch: %v", err)
+			}
+		})
+	}
+}
+
 func TestCatalogConcurrentAccess(t *testing.T) {
 	c := NewCatalog()
 	c.Add("base", mustEngine(t))

@@ -160,6 +160,18 @@ type SearchOptions struct {
 	// Minimize removes redundant query branches before evaluation (tree
 	// pattern minimization; preserves the answer set).
 	Minimize bool
+	// SnippetMax caps the rendered snippet of each Hit returned by
+	// Backend.SearchHits, in bytes; 0 means 400.  Search/SearchContext
+	// ignore it (they return raw nodes).
+	SnippetMax int
+}
+
+// snippetMax resolves the SnippetMax default.
+func (o *SearchOptions) snippetMax() int {
+	if o.SnippetMax == 0 {
+		return 400
+	}
+	return o.SnippetMax
 }
 
 func (o *SearchOptions) defaults() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lotusx/internal/complete"
@@ -11,9 +12,9 @@ import (
 // twig node by node, asking for position-aware candidates at every step.
 // Nodes are addressed by stable handles (the twig's preorder IDs change as
 // the tree grows, handles do not).  A Session is not safe for concurrent
-// use; the Engine behind it is.
+// use; the Backend behind it is.
 type Session struct {
-	engine  *Engine
+	backend Backend
 	query   *twig.Query
 	handles map[int]*twig.Node
 	nextH   int
@@ -22,9 +23,13 @@ type Session struct {
 	orders [][2]*twig.Node
 }
 
-// NewSession starts an empty query-building session.
-func (e *Engine) NewSession() *Session {
-	return &Session{engine: e, handles: make(map[int]*twig.Node)}
+// NewSession starts an empty query-building session over one engine.
+func (e *Engine) NewSession() *Session { return NewSession(e) }
+
+// NewSession starts an empty query-building session over any backend —
+// against a sharded corpus, candidates and answers merge across shards.
+func NewSession(b Backend) *Session {
+	return &Session{backend: b, handles: make(map[int]*twig.Node)}
 }
 
 // Root creates the query root with the given tag and axis (twig.Descendant
@@ -181,11 +186,7 @@ func (s *Session) AddOrder(before, after int) error {
 func (s *Session) SuggestTags(anchor int, axis twig.Axis, prefix string, k int) ([]complete.Candidate, error) {
 	if anchor == complete.NewRoot || s.query == nil {
 		// Root suggestions need no query context.
-		q := twig.NewQuery(twig.Wildcard)
-		if err := q.Normalize(); err != nil {
-			return nil, err
-		}
-		return s.engine.completer.SuggestTags(q, complete.NewRoot, axis, prefix, k), nil
+		return s.backend.CompleteTags(context.Background(), nil, complete.NewRoot, axis, prefix, k)
 	}
 	an, err := s.node(anchor)
 	if err != nil {
@@ -194,7 +195,7 @@ func (s *Session) SuggestTags(anchor int, axis twig.Axis, prefix string, k int) 
 	if err := s.normalize(); err != nil {
 		return nil, err
 	}
-	return s.engine.completer.SuggestTags(s.query, an.ID, axis, prefix, k), nil
+	return s.backend.CompleteTags(context.Background(), s.query, an.ID, axis, prefix, k)
 }
 
 // SuggestValues returns position-aware value candidates for the node with
@@ -207,7 +208,7 @@ func (s *Session) SuggestValues(handle int, prefix string, k int) ([]complete.Ca
 	if err := s.normalize(); err != nil {
 		return nil, err
 	}
-	return s.engine.completer.SuggestValues(s.query, n.ID, prefix, k), nil
+	return s.backend.CompleteValues(context.Background(), s.query, n.ID, prefix, k)
 }
 
 // Query returns the current twig, normalized, or an error when the session
@@ -240,13 +241,29 @@ func (s *Session) XQuery() (string, error) {
 	return q.ToXQuery(), nil
 }
 
-// Run evaluates the current twig.
+// Run evaluates the current twig over a single-engine session.  Sessions
+// over other backends (a sharded corpus) must use RunHits, whose answers
+// carry shard attribution.
 func (s *Session) Run(opts SearchOptions) (*SearchResult, error) {
+	e, ok := s.backend.(*Engine)
+	if !ok {
+		return nil, fmt.Errorf("core: Run needs a single-engine session (backend kind %q); use RunHits", s.backend.Info().Kind)
+	}
 	q, err := s.Query()
 	if err != nil {
 		return nil, err
 	}
-	return s.engine.Search(q, opts)
+	return e.Search(q, opts)
+}
+
+// RunHits evaluates the current twig over any backend, returning rendered
+// hits (corpus sessions merge globally ranked answers across shards).
+func (s *Session) RunHits(opts SearchOptions) (*HitResult, error) {
+	q, err := s.Query()
+	if err != nil {
+		return nil, err
+	}
+	return s.backend.SearchHits(context.Background(), q, opts)
 }
 
 func (s *Session) register(n *twig.Node) int {

@@ -1,0 +1,136 @@
+package corpus
+
+import (
+	"context"
+	"sort"
+
+	"lotusx/internal/complete"
+	"lotusx/internal/twig"
+)
+
+// Completion across shards: every shard proposes candidates from its own
+// DataGuide and tries, then the corpus merges them by summed weight — the
+// count a user sees for "author" is its occurrence count over the whole
+// corpus, exactly as if the shards were one document.  Fuzzy (edit-distance
+// fallback) candidates only survive a merge that produced no exact-prefix
+// candidates, matching the single-engine fallback rule.
+
+// CompleteTags implements core.Backend.
+func (c *Corpus) CompleteTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, prefix string, k int) ([]complete.Candidate, error) {
+	return c.mergeCandidates(ctx, k, func(e shardEngine, sq *twig.Query) ([]complete.Candidate, error) {
+		return e.CompleteTags(ctx, sq, anchor, axis, prefix, k)
+	}, q)
+}
+
+// CompleteValues implements core.Backend.
+func (c *Corpus) CompleteValues(ctx context.Context, q *twig.Query, focus int, prefix string, k int) ([]complete.Candidate, error) {
+	return c.mergeCandidates(ctx, k, func(e shardEngine, sq *twig.Query) ([]complete.Candidate, error) {
+		return e.CompleteValues(ctx, sq, focus, prefix, k)
+	}, q)
+}
+
+// shardEngine is the slice of core.Engine completion needs (it keeps the
+// merge helpers testable against fakes if ever needed).
+type shardEngine interface {
+	CompleteTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, prefix string, k int) ([]complete.Candidate, error)
+	CompleteValues(ctx context.Context, q *twig.Query, focus int, prefix string, k int) ([]complete.Candidate, error)
+	ExplainTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, tag string, max int) ([]complete.Occurrence, error)
+}
+
+// mergeCandidates runs ask on every shard of the pinned snapshot
+// (sequentially — completion is sub-millisecond per shard) and merges by
+// (Text, Kind) with summed counts.
+func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(shardEngine, *twig.Query) ([]complete.Candidate, error), q *twig.Query) ([]complete.Candidate, error) {
+	snap := c.Snapshot()
+	type key struct {
+		text string
+		kind complete.Kind
+	}
+	acc := make(map[key]*complete.Candidate)
+	for _, sh := range snap.shards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sq := q
+		if sq != nil {
+			sq = sq.Clone() // per-shard clone: Normalize mutates the tree
+		}
+		cands, err := ask(sh.engine, sq)
+		if err != nil {
+			return nil, err
+		}
+		for _, cand := range cands {
+			kk := key{cand.Text, cand.Kind}
+			if got := acc[kk]; got != nil {
+				got.Count += cand.Count
+				// Exact-prefix evidence from any shard outranks fuzzy.
+				got.Fuzzy = got.Fuzzy && cand.Fuzzy
+			} else {
+				cc := cand
+				acc[kk] = &cc
+			}
+		}
+	}
+
+	exactSeen := false
+	for _, cand := range acc {
+		if !cand.Fuzzy {
+			exactSeen = true
+			break
+		}
+	}
+	out := make([]complete.Candidate, 0, len(acc))
+	for _, cand := range acc {
+		if cand.Fuzzy && exactSeen {
+			continue // fuzzy fallback only when no shard had an exact match
+		}
+		out = append(out, *cand)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Text < out[j].Text
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// ExplainTags implements core.Backend: per-shard occurrences merge by label
+// path with summed counts, most frequent path first.
+func (c *Corpus) ExplainTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, tag string, max int) ([]complete.Occurrence, error) {
+	snap := c.Snapshot()
+	acc := make(map[string]int)
+	for _, sh := range snap.shards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sq := q
+		if sq != nil {
+			sq = sq.Clone()
+		}
+		occs, err := sh.engine.ExplainTags(ctx, sq, anchor, axis, tag, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range occs {
+			acc[o.Path] += o.Count
+		}
+	}
+	out := make([]complete.Occurrence, 0, len(acc))
+	for p, n := range acc {
+		out = append(out, complete.Occurrence{Path: p, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Path < out[j].Path
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out, nil
+}

@@ -1,0 +1,391 @@
+// Package corpus manages a dataset as a set of shards — each shard an
+// independent document + index + engine — behind one queryable façade.
+// Query evaluation fans out across shards on a bounded worker pool and
+// merges per-shard ranked matches into a single globally ranked page;
+// completion merges candidates by summed weight.
+//
+// The shard set is mutable while serving: Add/Remove/Reindex build new
+// shards off the hot path and publish them with an atomic copy-on-write
+// snapshot swap.  Readers pin a snapshot (one atomic pointer load) for the
+// life of a request, so the query path takes no locks and every request
+// sees a consistent shard set; writers serialize on a mutation mutex.  With
+// a directory configured, every publish persists a versioned manifest plus
+// per-shard full-index files, so a corpus reopens without reparsing XML.
+//
+// corpus.Corpus implements core.Backend, so the HTTP server, the REPL and
+// the CLI serve a sharded corpus exactly as they serve one engine.
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lotusx/internal/core"
+	"lotusx/internal/doc"
+	"lotusx/internal/metrics"
+)
+
+// shard is one immutable storage unit: a parsed document with its engine.
+type shard struct {
+	name   string
+	engine *core.Engine
+	// file is the persisted full-index file (base name), "" while unsaved.
+	file string
+}
+
+// Snapshot is an immutable shard set.  Every query pins one Snapshot and
+// evaluates entirely against it; mutations publish new Snapshots and never
+// touch old ones.
+type Snapshot struct {
+	seq    uint64
+	shards []*shard // sorted by name
+}
+
+// Seq returns the snapshot's publish sequence number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Len returns the number of shards.
+func (s *Snapshot) Len() int { return len(s.shards) }
+
+// Names lists the shard names in order.
+func (s *Snapshot) Names() []string {
+	out := make([]string, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.name
+	}
+	return out
+}
+
+// Config tunes a Corpus.
+type Config struct {
+	// Workers bounds the fan-out worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Dir, when non-empty, persists the corpus there (manifest + per-shard
+	// full-index files) on every publish.
+	Dir string
+	// Metrics, when non-nil, receives shard-count, swap, fan-out and merge
+	// observations.
+	Metrics *metrics.CorpusMetrics
+}
+
+// Corpus is a mutable, concurrently queryable shard set.
+type Corpus struct {
+	name    string
+	dir     string
+	workers int
+	met     *metrics.CorpusMetrics
+
+	// mu serializes mutations (Add/Remove/Reindex and their persistence);
+	// the query path never takes it.
+	mu   sync.Mutex
+	snap atomic.Pointer[Snapshot]
+}
+
+// New returns an empty corpus.
+func New(name string, cfg Config) *Corpus {
+	c := &Corpus{
+		name:    name,
+		dir:     cfg.Dir,
+		workers: cfg.Workers,
+		met:     cfg.Metrics,
+	}
+	if c.workers <= 0 {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+	c.snap.Store(&Snapshot{})
+	return c
+}
+
+// Open loads a persisted corpus from cfg.Dir (or dir when cfg.Dir is "")
+// without reparsing any XML: the manifest names per-shard full-index files
+// that rebuild in one pass each.
+func Open(dir string, cfg Config) (*Corpus, error) {
+	if cfg.Dir == "" {
+		cfg.Dir = dir
+	}
+	m, err := loadManifest(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	name := m.Name
+	if name == "" {
+		name = filepath.Base(cfg.Dir)
+	}
+	c := New(name, cfg)
+	shards := make([]*shard, 0, len(m.Shards))
+	for _, ms := range m.Shards {
+		e, err := openShardFile(cfg.Dir, ms.File)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, &shard{name: ms.Name, engine: e, file: ms.File})
+	}
+	sortShards(shards)
+	c.snap.Store(&Snapshot{seq: m.Seq, shards: shards})
+	if c.met != nil {
+		c.met.SetShards(len(shards))
+	}
+	return c, nil
+}
+
+// FromDocument builds a corpus by splitting d into parts shards (see
+// SplitDocument) named after the corpus.
+func FromDocument(name string, d *doc.Document, parts int, cfg Config) (*Corpus, error) {
+	c := New(name, cfg)
+	if err := c.AddSplit(name, d, parts); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Name returns the corpus name.
+func (c *Corpus) Name() string { return c.name }
+
+// Snapshot pins the current shard set: one atomic load, no locks.  The
+// returned snapshot stays valid (and immutable) however many swaps follow.
+func (c *Corpus) Snapshot() *Snapshot { return c.snap.Load() }
+
+// Seq returns the current snapshot's sequence number.
+func (c *Corpus) Seq() uint64 { return c.Snapshot().seq }
+
+// sortShards orders shards by name for deterministic iteration and merges.
+func sortShards(shards []*shard) {
+	sort.Slice(shards, func(i, j int) bool { return shards[i].name < shards[j].name })
+}
+
+// validShardName rejects names that would break manifest or route parsing.
+func validShardName(name string) error {
+	if name == "" || strings.ContainsAny(name, " \t\n") {
+		return fmt.Errorf("corpus: invalid shard name %q", name)
+	}
+	return nil
+}
+
+// Add builds a shard from d off the hot path and publishes a snapshot with
+// it.  An existing shard of the same name is replaced atomically.
+func (c *Corpus) Add(name string, d *doc.Document) error {
+	if err := validShardName(name); err != nil {
+		return err
+	}
+	// Index construction is the expensive part — do it before taking the
+	// mutation lock so concurrent readers and other writers never wait on
+	// parsing or index builds.
+	engine := core.FromDocument(d)
+	return c.publish(func(shards []*shard) ([]*shard, error) {
+		return replaceShard(shards, &shard{name: name, engine: engine}), nil
+	})
+}
+
+// AddReader parses XML from r and adds it as one shard named name.
+func (c *Corpus) AddReader(name string, r io.Reader) error {
+	d, err := doc.FromReader(name, r)
+	if err != nil {
+		return err
+	}
+	return c.Add(name, d)
+}
+
+// AddSplit splits d at top-level record boundaries into parts shards named
+// "name/000", "name/001", ... and publishes them in one swap.  Existing
+// shards under the same name prefix are replaced.
+func (c *Corpus) AddSplit(name string, d *doc.Document, parts int) error {
+	if err := validShardName(name); err != nil {
+		return err
+	}
+	docs, err := SplitDocument(d, parts)
+	if err != nil {
+		return err
+	}
+	if len(docs) == 1 {
+		return c.Add(name, docs[0])
+	}
+	fresh := make([]*shard, len(docs))
+	for i, sd := range docs {
+		fresh[i] = &shard{name: fmt.Sprintf("%s/%03d", name, i), engine: core.FromDocument(sd)}
+	}
+	return c.publish(func(shards []*shard) ([]*shard, error) {
+		next := removeByName(shards, name) // drop same-name shard and group
+		return append(next, fresh...), nil
+	})
+}
+
+// AddSplitReader parses XML from r and splits it into parts shards; see
+// AddSplit.
+func (c *Corpus) AddSplitReader(name string, r io.Reader, parts int) error {
+	d, err := doc.FromReader(name, r)
+	if err != nil {
+		return err
+	}
+	return c.AddSplit(name, d, parts)
+}
+
+// Remove drops the shard named name — or, when name is a split-group
+// prefix, every "name/NNN" shard — in one swap.
+func (c *Corpus) Remove(name string) error {
+	return c.publish(func(shards []*shard) ([]*shard, error) {
+		next := removeByName(shards, name)
+		if len(next) == len(shards) {
+			return nil, fmt.Errorf("corpus: no shard %q in %s", name, c.name)
+		}
+		return next, nil
+	})
+}
+
+// Reindex rebuilds the named shard (or split group; "" means every shard)
+// from its in-memory document — fresh index, guide, tries — and publishes
+// the rebuilt engines in one swap.  Persisted corpora rewrite the shard
+// files, which is how a version-skewed corpus heals after an upgrade.
+func (c *Corpus) Reindex(name string) error {
+	return c.publish(func(shards []*shard) ([]*shard, error) {
+		next := make([]*shard, len(shards))
+		hit := false
+		for i, sh := range shards {
+			if name == "" || sh.name == name || strings.HasPrefix(sh.name, name+"/") {
+				hit = true
+				next[i] = &shard{name: sh.name, engine: core.FromDocument(sh.engine.Document())}
+			} else {
+				next[i] = sh
+			}
+		}
+		if !hit && name != "" {
+			return nil, fmt.Errorf("corpus: no shard %q in %s", name, c.name)
+		}
+		return next, nil
+	})
+}
+
+// replaceShard swaps in sh, replacing a same-named shard or appending.
+func replaceShard(shards []*shard, sh *shard) []*shard {
+	out := make([]*shard, 0, len(shards)+1)
+	for _, old := range shards {
+		if old.name != sh.name {
+			out = append(out, old)
+		}
+	}
+	return append(out, sh)
+}
+
+// removeByName filters out the shard named name and any "name/NNN" group
+// members.
+func removeByName(shards []*shard, name string) []*shard {
+	out := make([]*shard, 0, len(shards))
+	for _, sh := range shards {
+		if sh.name == name || strings.HasPrefix(sh.name, name+"/") {
+			continue
+		}
+		out = append(out, sh)
+	}
+	return out
+}
+
+// publish applies mutate to the current shard list and swaps the result in
+// as a new snapshot: copy-on-write, one writer at a time, persisted before
+// the swap so a reopened corpus never regresses past what queries saw.
+func (c *Corpus) publish(mutate func([]*shard) ([]*shard, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	cur := c.snap.Load()
+	next, err := mutate(append([]*shard(nil), cur.shards...))
+	if err != nil {
+		return err
+	}
+	sortShards(next)
+	ns := &Snapshot{seq: cur.seq + 1, shards: next}
+
+	if c.dir != "" {
+		if err := c.persist(ns); err != nil {
+			return fmt.Errorf("corpus: persisting snapshot %d: %w", ns.seq, err)
+		}
+	}
+	c.snap.Store(ns)
+	if c.met != nil {
+		c.met.SetShards(len(ns.shards))
+		c.met.Swapped()
+	}
+	if c.dir != "" {
+		live := map[string]bool{}
+		for _, sh := range ns.shards {
+			live[sh.file] = true
+		}
+		cleanShardFiles(c.dir, live)
+	}
+	return nil
+}
+
+// persist writes the snapshot's unsaved shards and the manifest.  Shard
+// files are copy-on-write: already-saved shards keep their files, new or
+// rebuilt ones get fresh names, and the manifest rename publishes the set
+// atomically.
+func (c *Corpus) persist(ns *Snapshot) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	m := &manifest{Version: manifestVersion, Name: c.name, Seq: ns.seq}
+	for i, sh := range ns.shards {
+		if sh.file == "" {
+			file, err := writeShardFile(c.dir, ns.seq, i, sh.engine)
+			if err != nil {
+				return err
+			}
+			sh.file = file
+		}
+		m.Shards = append(m.Shards, manifestShard{
+			Name:  sh.name,
+			File:  sh.file,
+			Nodes: sh.engine.Document().Len(),
+		})
+	}
+	return saveManifest(c.dir, m)
+}
+
+// Shard returns the engine of the named shard in the current snapshot.
+func (c *Corpus) Shard(name string) (*core.Engine, error) {
+	for _, sh := range c.Snapshot().shards {
+		if sh.name == name {
+			return sh.engine, nil
+		}
+	}
+	return nil, fmt.Errorf("corpus: no shard %q in %s", name, c.name)
+}
+
+// ---------------------------------------------------------- core.Backend
+
+// Compile-time check: a corpus serves wherever an engine does.
+var _ core.Backend = (*Corpus)(nil)
+
+// Info implements core.Backend, aggregating over the pinned snapshot.
+func (c *Corpus) Info() core.BackendInfo {
+	snap := c.Snapshot()
+	info := core.BackendInfo{Name: c.name, Kind: "corpus", Shards: len(snap.shards)}
+	tags := map[string]struct{}{}
+	for _, sh := range snap.shards {
+		st := sh.engine.Stats()
+		info.Nodes += st.Nodes
+		info.GuidePaths += st.GuidePaths
+		info.Valued += st.Valued
+		d := sh.engine.Document()
+		for id := 0; id < d.Tags().Len(); id++ {
+			tags[d.Tags().Name(doc.TagID(id))] = struct{}{}
+		}
+	}
+	info.Tags = len(tags)
+	return info
+}
+
+// Engines implements core.Backend: the pinned snapshot's shard engines.
+func (c *Corpus) Engines() []core.NamedEngine {
+	snap := c.Snapshot()
+	out := make([]core.NamedEngine, len(snap.shards))
+	for i, sh := range snap.shards {
+		out[i] = core.NamedEngine{Name: sh.name, Engine: sh.engine}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package corpus
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lotusx/internal/core"
+	"lotusx/internal/index"
+)
+
+// On-disk layout of a corpus directory:
+//
+//	<dir>/MANIFEST.json          the versioned shard table (below)
+//	<dir>/shard-<seq>-<i>.ltx    one full index file per shard (index.SaveFull)
+//
+// The manifest is the single source of truth: shard files are immutable once
+// written (copy-on-write — a republish writes new files rather than
+// rewriting live ones), and the manifest is swapped atomically by writing
+// MANIFEST.json.tmp and renaming over MANIFEST.json.  A crash between shard
+// writes and the rename leaves orphan shard files and the previous intact
+// manifest; orphans are garbage-collected on the next successful publish.
+const (
+	manifestName    = "MANIFEST.json"
+	manifestVersion = 1
+	shardFilePrefix = "shard-"
+	shardFileSuffix = ".ltx"
+)
+
+// manifest is the persisted shard table.
+type manifest struct {
+	// Version is the manifest format version.
+	Version int `json:"version"`
+	// Name is the corpus name.
+	Name string `json:"name"`
+	// Seq is the snapshot sequence number, monotonically increasing across
+	// publishes.
+	Seq uint64 `json:"seq"`
+	// Shards lists the live shards, sorted by name.
+	Shards []manifestShard `json:"shards"`
+}
+
+// manifestShard is one shard entry.
+type manifestShard struct {
+	Name  string `json:"name"`
+	File  string `json:"file"`
+	Nodes int    `json:"nodes"`
+}
+
+// loadManifest reads and validates <dir>/MANIFEST.json.
+func loadManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("corpus: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("corpus: manifest version %d in %s, want %d", m.Version, dir, manifestVersion)
+	}
+	return &m, nil
+}
+
+// saveManifest atomically replaces <dir>/MANIFEST.json.
+func saveManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestName))
+}
+
+// openShardFile loads one persisted shard, translating the index package's
+// typed failures into actionable corpus errors: corruption names the file
+// so the operator can drop or re-ingest it, version skew tells them the
+// shard only needs a reindex with the current binary.
+func openShardFile(dir, file string) (*core.Engine, error) {
+	f, err := os.Open(filepath.Join(dir, file))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	e, err := core.Open(f)
+	switch {
+	case err == nil:
+		return e, nil
+	case errors.Is(err, index.ErrBadVersion):
+		return nil, fmt.Errorf("corpus: shard file %s was written by an incompatible version — re-ingest or reindex the corpus: %w", file, err)
+	case errors.Is(err, index.ErrCorrupt):
+		return nil, fmt.Errorf("corpus: shard file %s is corrupt — remove it from the manifest or re-ingest: %w", file, err)
+	default:
+		return nil, fmt.Errorf("corpus: opening shard file %s: %w", file, err)
+	}
+}
+
+// writeShardFile persists one shard under a fresh copy-on-write file name
+// and returns the file's base name.
+func writeShardFile(dir string, seq uint64, i int, e *core.Engine) (string, error) {
+	name := fmt.Sprintf("%s%06d-%03d%s", shardFilePrefix, seq, i, shardFileSuffix)
+	f, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return "", err
+	}
+	if err := e.SaveFull(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	if err := os.Rename(f.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	return name, nil
+}
+
+// cleanShardFiles removes shard-*.ltx files not referenced by live — the
+// previous snapshots' files and crash leftovers.  In-memory readers pinning
+// an older snapshot never touch the files again, so removal is safe.
+// Cleanup failures are ignored: orphans cost disk, not correctness.
+func cleanShardFiles(dir string, live map[string]bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, shardFilePrefix) {
+			continue
+		}
+		if !strings.HasSuffix(name, shardFileSuffix) && !strings.Contains(name, shardFileSuffix+".tmp") {
+			continue
+		}
+		if live[name] {
+			continue
+		}
+		os.Remove(filepath.Join(dir, name))
+	}
+}

@@ -1,0 +1,235 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lotusx/internal/core"
+	"lotusx/internal/join"
+	"lotusx/internal/twig"
+)
+
+// Parallel twig fan-out and global merge.
+//
+// SearchHits pins one snapshot, clones the query per shard (twig evaluation
+// mutates stack state keyed by node IDs; Clone yields an identical
+// normalized tree, so per-shard answers speak the same ID space), and runs
+// the per-shard searches on a bounded worker pool.  The first shard error
+// cancels the shared context so sibling evaluations stop mid-join (the
+// twig algorithms poll the context cooperatively).  Per-shard results then
+// merge into one globally ranked page: every exact answer outranks every
+// rewrite answer (matching single-engine semantics), exacts order by score,
+// rewrites by penalty then score, with shard/node as deterministic
+// tie-breaks.
+
+// shardResult is one worker's output, index-addressed so the merge is
+// deterministic whatever the completion order.
+type shardResult struct {
+	res *core.SearchResult
+	q   *twig.Query // the clone the shard evaluated (rewrites reference it)
+}
+
+// SearchHits implements core.Backend over the pinned snapshot.
+func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.SearchOptions) (*core.HitResult, error) {
+	start := time.Now()
+	snap := c.Snapshot()
+	if len(snap.shards) == 0 {
+		return nil, fmt.Errorf("corpus: %s has no shards", c.name)
+	}
+	if err := q.Normalize(); err != nil {
+		return nil, err
+	}
+	if opts.K == 0 {
+		opts.K = 10
+	}
+	if opts.Offset < 0 {
+		opts.Offset = 0
+	}
+	// Every shard materializes the full global page prefix: the merged
+	// page's contents can come from any single shard in the worst case.
+	want := opts.K + opts.Offset
+
+	results, err := c.fanout(ctx, snap, q, opts, want)
+	if err != nil {
+		return nil, err
+	}
+	fanoutDone := time.Now()
+
+	out := c.merge(snap, q, results, opts, want)
+	out.Shards = len(snap.shards)
+	out.Elapsed = time.Since(start)
+
+	if c.met != nil {
+		c.met.Searches.Add(1)
+		c.met.Fanout.Observe(fanoutDone.Sub(start))
+		c.met.Merge.Observe(time.Since(fanoutDone))
+	}
+	return out, nil
+}
+
+// fanout evaluates q on every shard of snap with a pool of at most
+// c.workers goroutines.  The first error cancels the rest and is returned.
+func (c *Corpus) fanout(ctx context.Context, snap *Snapshot, q *twig.Query, opts core.SearchOptions, want int) ([]shardResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	shardOpts := opts
+	shardOpts.K = want
+	shardOpts.Offset = 0 // paging happens after the global merge
+
+	n := len(snap.shards)
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]shardResult, n)
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel() // stop sibling shard evaluations mid-join
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain after cancellation
+				}
+				// Each worker evaluates its own clone: Normalize assigns the
+				// same preorder IDs to the same tree, so clones are
+				// interchangeable with q for ID-based bookkeeping.
+				sq := q.Clone()
+				res, err := snap.shards[i].engine.SearchContext(ctx, sq, shardOpts)
+				if err != nil {
+					fail(fmt.Errorf("corpus: shard %s: %w", snap.shards[i].name, err))
+					continue
+				}
+				results[i] = shardResult{res: res, q: sq}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The caller's context may have died before any worker touched a shard
+	// (every job then drains without recording an error).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// mergedAnswer pairs a per-shard answer with its origin for global ranking.
+type mergedAnswer struct {
+	shard int // index into snap.shards
+	ans   core.Answer
+}
+
+// merge fuses per-shard results into one globally ranked, paged HitResult,
+// rendering only the surviving page under the still-pinned snapshot.
+func (c *Corpus) merge(snap *Snapshot, q *twig.Query, results []shardResult, opts core.SearchOptions, want int) *core.HitResult {
+	out := &core.HitResult{}
+	var exacts, rewrites []mergedAnswer
+	algo := ""
+	for i, sr := range results {
+		if sr.res == nil {
+			continue
+		}
+		out.RewritesTried += sr.res.RewritesTried
+		out.Stats.Add(sr.res.Stats)
+		switch algo {
+		case "":
+			algo = string(sr.res.Algorithm)
+		case string(sr.res.Algorithm):
+		default:
+			algo = "mixed"
+		}
+		for j, a := range sr.res.Answers {
+			ma := mergedAnswer{shard: i, ans: a}
+			if j < sr.res.Exact {
+				exacts = append(exacts, ma)
+			} else {
+				rewrites = append(rewrites, ma)
+			}
+		}
+	}
+	out.Algorithm = join.Algorithm(algo)
+
+	// Exact answers: score descending; shard then node break ties so pages
+	// are stable across identical snapshots.
+	sort.SliceStable(exacts, func(i, j int) bool {
+		a, b := exacts[i], exacts[j]
+		if a.ans.Score != b.ans.Score {
+			return a.ans.Score > b.ans.Score
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.ans.Node < b.ans.Node
+	})
+	// Rewrite answers rank below all exacts: penalty ascending, then score.
+	sort.SliceStable(rewrites, func(i, j int) bool {
+		a, b := rewrites[i], rewrites[j]
+		ap, bp := a.ans.Rewrite.Penalty, b.ans.Rewrite.Penalty
+		if ap != bp {
+			return ap < bp
+		}
+		if a.ans.Score != b.ans.Score {
+			return a.ans.Score > b.ans.Score
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.ans.Node < b.ans.Node
+	})
+
+	merged := append(exacts, rewrites...)
+	// Match single-engine paging: Total stops counting at want, so
+	// Total == Offset+K keeps meaning "further pages may exist".
+	if len(merged) > want {
+		merged = merged[:want]
+	}
+	out.Total = len(merged)
+	exactCount := len(exacts)
+	if exactCount > want {
+		exactCount = want
+	}
+	out.Exact = exactCount - opts.Offset
+	if out.Exact < 0 {
+		out.Exact = 0
+	}
+	if opts.Offset >= len(merged) {
+		merged = nil
+	} else {
+		merged = merged[opts.Offset:]
+	}
+
+	snippetMax := opts.SnippetMax
+	if snippetMax == 0 {
+		snippetMax = 400
+	}
+	for _, ma := range merged {
+		sh := snap.shards[ma.shard]
+		// Render against the clone the shard evaluated — its rewrite
+		// pointers belong to that clone's ID space.
+		out.Hits = append(out.Hits, sh.engine.RenderHit(sh.name, results[ma.shard].q, ma.ans, snippetMax))
+	}
+	return out
+}

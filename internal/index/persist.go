@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -11,6 +12,19 @@ import (
 
 	"lotusx/internal/doc"
 	"lotusx/internal/trie"
+)
+
+// Typed load failures.  Callers (the corpus manifest loader, the server's
+// index opener) branch on these with errors.Is: a corrupt file is dropped or
+// rebuilt from source, while a version-skewed file is structurally sound and
+// only needs re-saving with the current writer.
+var (
+	// ErrCorrupt marks a file SaveFull never wrote: bad magic, truncation,
+	// checksum mismatch, or an internally inconsistent payload.
+	ErrCorrupt = errors.New("index: corrupt full-index file")
+	// ErrBadVersion marks a well-formed file written by an incompatible
+	// SaveFull version.
+	ErrBadVersion = errors.New("index: unsupported full-index version")
 )
 
 // Full index persistence.  Save/Load (index.go) store only the document and
@@ -94,33 +108,33 @@ func LoadFull(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("index: reading magic: %w", err)
 	}
 	if string(magic) != fullMagic {
-		return nil, fmt.Errorf("index: bad magic %q", magic)
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
 	}
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("index: reading header: %w", err)
+		return nil, fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != fullVersion {
-		return nil, fmt.Errorf("index: unsupported version %d", v)
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, v, fullVersion)
 	}
 	plen := binary.LittleEndian.Uint64(hdr[4:12])
 	if plen > 1<<34 {
-		return nil, fmt.Errorf("index: implausible payload length %d", plen)
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, plen)
 	}
 	payload := make([]byte, plen)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("index: truncated payload: %w", err)
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorrupt, err)
 	}
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[12:16]); got != want {
-		return nil, fmt.Errorf("index: checksum mismatch (corrupt file)")
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
 
 	if len(payload) < 8 {
-		return nil, fmt.Errorf("index: payload too short")
+		return nil, fmt.Errorf("%w: payload too short", ErrCorrupt)
 	}
 	docLen := binary.LittleEndian.Uint64(payload[:8])
 	if docLen > uint64(len(payload)-8) {
-		return nil, fmt.Errorf("index: corrupt document length %d", docLen)
+		return nil, fmt.Errorf("%w: document length %d", ErrCorrupt, docLen)
 	}
 	d, err := doc.Load(bytes.NewReader(payload[8 : 8+docLen]))
 	if err != nil {
@@ -140,7 +154,7 @@ func LoadFull(r io.Reader) (*Index, error) {
 			return "", err
 		}
 		if int(n) > br.Len() {
-			return "", fmt.Errorf("index: corrupt string length %d", n)
+			return "", fmt.Errorf("%w: string length %d", ErrCorrupt, n)
 		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(br, b); err != nil {
@@ -151,24 +165,24 @@ func LoadFull(r io.Reader) (*Index, error) {
 
 	valued, err := u32()
 	if err != nil {
-		return nil, fmt.Errorf("index: reading valued count: %w", err)
+		return nil, fmt.Errorf("%w: reading valued count: %v", ErrCorrupt, err)
 	}
 	ntoks, err := u32()
 	if err != nil {
-		return nil, fmt.Errorf("index: reading postings count: %w", err)
+		return nil, fmt.Errorf("%w: reading postings count: %v", ErrCorrupt, err)
 	}
 	postings := make(map[string][]doc.NodeID, ntoks)
 	for i := uint32(0); i < ntoks; i++ {
 		tok, err := str()
 		if err != nil {
-			return nil, fmt.Errorf("index: reading token: %w", err)
+			return nil, fmt.Errorf("%w: reading token: %v", ErrCorrupt, err)
 		}
 		cnt, err := u32()
 		if err != nil {
 			return nil, err
 		}
 		if int(cnt) > d.Len() {
-			return nil, fmt.Errorf("index: posting list longer than document")
+			return nil, fmt.Errorf("%w: posting list longer than document", ErrCorrupt)
 		}
 		nodes := make([]doc.NodeID, cnt)
 		for j := range nodes {
@@ -177,7 +191,7 @@ func LoadFull(r io.Reader) (*Index, error) {
 				return nil, err
 			}
 			if int(v) >= d.Len() {
-				return nil, fmt.Errorf("index: posting references node %d of %d", v, d.Len())
+				return nil, fmt.Errorf("%w: posting references node %d of %d", ErrCorrupt, v, d.Len())
 			}
 			nodes[j] = doc.NodeID(v)
 		}

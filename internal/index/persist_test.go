@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -86,6 +87,56 @@ func TestLoadFullDetectsCorruption(t *testing.T) {
 	// Empty input.
 	if _, err := LoadFull(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input not detected")
+	}
+}
+
+func TestLoadFullTypedErrors(t *testing.T) {
+	// Corruption and version skew must be distinguishable with errors.Is —
+	// the corpus manifest loader drops corrupt shards but only re-saves
+	// version-skewed ones.
+	ix := mustIndex(t, bibXML)
+	var buf bytes.Buffer
+	if err := ix.SaveFull(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		mangle  func([]byte) []byte
+		want    error
+		notWant error
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-3] ^= 0xFF
+			return c
+		}, ErrCorrupt, ErrBadVersion},
+		{"bad magic", func(b []byte) []byte {
+			return append([]byte("XXXX"), b[4:]...)
+		}, ErrCorrupt, ErrBadVersion},
+		{"truncated", func(b []byte) []byte {
+			return b[:len(b)/2]
+		}, ErrCorrupt, ErrBadVersion},
+		{"future version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 99
+			return c
+		}, ErrBadVersion, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadFull(bytes.NewReader(tc.mangle(data)))
+			if err == nil {
+				t.Fatal("mangled file loaded without error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+			if errors.Is(err, tc.notWant) {
+				t.Errorf("err = %v unexpectedly matches %v", err, tc.notWant)
+			}
+		})
 	}
 }
 

@@ -74,6 +74,16 @@ type Stats struct {
 	MatchesEnumerated int
 }
 
+// Add accumulates o into s — summing per-shard statistics when a query fans
+// out across a corpus.
+func (s *Stats) Add(o Stats) {
+	s.ElementsScanned += o.ElementsScanned
+	s.ElementsPushed += o.ElementsPushed
+	s.PathSolutions += o.PathSolutions
+	s.EdgePairs += o.EdgePairs
+	s.MatchesEnumerated += o.MatchesEnumerated
+}
+
 // Options tunes evaluation.
 type Options struct {
 	// MaxMatches caps the number of enumerated matches; 0 means unlimited.

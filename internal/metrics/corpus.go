@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"sync/atomic"
+)
+
+// CorpusMetrics aggregates one sharded corpus: a shard-count gauge,
+// snapshot-swap and search counters, and latency histograms for the two
+// phases the sharded query path adds over a single engine — the parallel
+// per-shard fan-out and the global result merge.  All fields are safe for
+// concurrent use on the query path.
+type CorpusMetrics struct {
+	shards   atomic.Int64
+	Swaps    atomic.Int64 // snapshot publishes (Add/Remove/Reindex)
+	Searches atomic.Int64 // fan-out searches served
+	Fanout   Histogram    // wall-clock of the parallel per-shard phase
+	Merge    Histogram    // wall-clock of the global merge + render phase
+}
+
+// SetShards records the shard count of the current snapshot.
+func (c *CorpusMetrics) SetShards(n int) { c.shards.Store(int64(n)) }
+
+// Shards returns the last recorded shard count.
+func (c *CorpusMetrics) Shards() int { return int(c.shards.Load()) }
+
+// Swapped tallies one snapshot publish.
+func (c *CorpusMetrics) Swapped() { c.Swaps.Add(1) }
+
+// Corpus returns (creating on first use) the metrics of the named corpus.
+func (r *Registry) Corpus(name string) *CorpusMetrics {
+	r.mu.RLock()
+	c := r.corpora[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.corpora[name]; c == nil {
+		c = &CorpusMetrics{}
+		r.corpora[name] = c
+	}
+	return c
+}
+
+// CorpusSnapshot is the JSON shape of one corpus's metrics.
+type CorpusSnapshot struct {
+	Shards   int64           `json:"shards"`
+	Swaps    int64           `json:"swaps"`
+	Searches int64           `json:"searches"`
+	Fanout   LatencySnapshot `json:"fanout"`
+	Merge    LatencySnapshot `json:"merge"`
+}

@@ -110,6 +110,7 @@ type Registry struct {
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
 	algos     map[string]*Histogram
+	corpora   map[string]*CorpusMetrics
 	start     time.Time
 }
 
@@ -118,6 +119,7 @@ func New() *Registry {
 	return &Registry{
 		endpoints: make(map[string]*Endpoint),
 		algos:     make(map[string]*Histogram),
+		corpora:   make(map[string]*CorpusMetrics),
 		start:     time.Now(),
 	}
 }
@@ -191,6 +193,8 @@ type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptimeSeconds"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Algorithms    map[string]LatencySnapshot  `json:"algorithms"`
+	// Corpora appears only when sharded corpora are registered.
+	Corpora map[string]CorpusSnapshot `json:"corpora,omitempty"`
 }
 
 // Snapshot materializes a point-in-time view of every endpoint and
@@ -214,6 +218,18 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.algos {
 		s.Algorithms[name] = snapshotHistogram(h)
+	}
+	if len(r.corpora) > 0 {
+		s.Corpora = make(map[string]CorpusSnapshot, len(r.corpora))
+		for name, c := range r.corpora {
+			s.Corpora[name] = CorpusSnapshot{
+				Shards:   c.shards.Load(),
+				Swaps:    c.Swaps.Load(),
+				Searches: c.Searches.Load(),
+				Fanout:   snapshotHistogram(&c.Fanout),
+				Merge:    snapshotHistogram(&c.Merge),
+			}
+		}
 	}
 	return s
 }

@@ -6,6 +6,7 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -18,7 +19,7 @@ import (
 
 // REPL drives one interactive session.
 type REPL struct {
-	engine  *core.Engine
+	backend core.Backend
 	session *core.Session
 	out     *bufio.Writer
 }
@@ -26,9 +27,19 @@ type REPL struct {
 // Run reads commands from in and writes responses to out until EOF or the
 // quit command.  It returns the first I/O error, if any.
 func Run(engine *core.Engine, in io.Reader, out io.Writer) error {
-	r := &REPL{engine: engine, session: engine.NewSession(), out: bufio.NewWriter(out)}
-	st := engine.Stats()
-	r.printf("lotusx: %s — %d nodes, %d tags. Type 'help'.\n", st.Document, st.Nodes, st.Tags)
+	return RunBackend(engine, in, out)
+}
+
+// RunBackend is Run over any backend — a single engine or a sharded corpus;
+// candidates and answers merge across shards transparently.
+func RunBackend(b core.Backend, in io.Reader, out io.Writer) error {
+	r := &REPL{backend: b, session: core.NewSession(b), out: bufio.NewWriter(out)}
+	info := b.Info()
+	if info.Shards > 1 {
+		r.printf("lotusx: %s — %d shards, %d nodes, %d tags. Type 'help'.\n", info.Name, info.Shards, info.Nodes, info.Tags)
+	} else {
+		r.printf("lotusx: %s — %d nodes, %d tags. Type 'help'.\n", info.Name, info.Nodes, info.Tags)
+	}
 	r.out.Flush()
 
 	sc := bufio.NewScanner(in)
@@ -282,15 +293,11 @@ func (r *REPL) cmdRun(args []string) error {
 		}
 		k = n
 	}
-	res, err := r.session.Run(core.SearchOptions{K: k, Rewrite: true})
+	res, err := r.session.RunHits(core.SearchOptions{K: k, Rewrite: true, SnippetMax: 200})
 	if err != nil {
 		return err
 	}
-	q, err := r.session.Query()
-	if err != nil {
-		return err
-	}
-	r.printAnswers(q, res)
+	r.printHits(res)
 	return nil
 }
 
@@ -303,32 +310,29 @@ func (r *REPL) cmdQuery(line string) error {
 	if err != nil {
 		return err
 	}
-	res, err := r.engine.Search(q, core.SearchOptions{K: 5, Rewrite: true})
+	res, err := r.backend.SearchHits(context.Background(), q, core.SearchOptions{K: 5, Rewrite: true, SnippetMax: 200})
 	if err != nil {
 		return err
 	}
-	r.printAnswers(q, res)
+	r.printHits(res)
 	return nil
 }
 
-func (r *REPL) printAnswers(q *twig.Query, res *core.SearchResult) {
+func (r *REPL) printHits(res *core.HitResult) {
 	r.printf("%d answers (%d exact, %d rewrites tried) in %v\n",
-		len(res.Answers), res.Exact, res.RewritesTried, res.Elapsed.Round(10_000))
-	d := r.engine.Document()
-	for i, a := range res.Answers {
-		r.printf("#%d  %s  score=%.3f", i+1, d.Path(a.Node), a.Score)
-		if a.Rewrite != nil {
-			r.printf("  [via %s]", a.Rewrite.Query)
+		len(res.Hits), res.Exact, res.RewritesTried, res.Elapsed.Round(10_000))
+	for i, h := range res.Hits {
+		r.printf("#%d  %s  score=%.3f", i+1, h.Path, h.Score)
+		if res.Shards > 1 && h.Shard != "" {
+			r.printf("  [shard %s]", h.Shard)
+		}
+		if h.Rewrite != "" {
+			r.printf("  [via %s]", h.Rewrite)
 		}
 		r.printf("\n")
-		answerQuery := q
-		if a.Rewrite != nil {
-			answerQuery = a.Rewrite.Query
+		for _, hl := range h.Highlights {
+			r.printf("    %s: %s\n", hl.Tag, core.Underline(hl.Value, hl.Spans))
 		}
-		for _, h := range r.engine.Highlights(answerQuery, a.Scored.Match) {
-			r.printf("    %s: %s\n", h.Tag, core.Underline(h.Value, h.Spans))
-		}
-		snippet := r.engine.Snippet(a.Node, 200)
-		r.printf("    %s\n", strings.ReplaceAll(strings.TrimSpace(snippet), "\n", "\n    "))
+		r.printf("    %s\n", strings.ReplaceAll(strings.TrimSpace(h.Snippet), "\n", "\n    "))
 	}
 }

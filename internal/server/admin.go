@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+
+	"lotusx/internal/corpus"
+	"lotusx/internal/httpmw"
+)
+
+// The admin surface (mounted only with Config.EnableAdmin) manages served
+// datasets without a restart.  Admin-created datasets are corpus-backed, so
+// shards can be added, dropped and reindexed while queries keep flowing —
+// every mutation publishes an atomic snapshot, in-flight requests finish on
+// the snapshot they pinned.
+//
+//	POST   /api/v1/datasets/{name}?shards=N      ingest body XML as a new dataset
+//	DELETE /api/v1/datasets/{name}               drop a dataset
+//	POST   /api/v1/datasets/{name}/shards/{shard}?shards=N   ingest body XML as shard(s)
+//	DELETE /api/v1/datasets/{name}/shards/{shard}            drop one shard (or split group)
+//	POST   /api/v1/datasets/{name}/reindex?shard=S           rebuild all (or one) shard
+//
+// Ingest bodies are raw XML documents.  ?shards=N > 1 splits the document at
+// record boundaries into N shards (see corpus.SplitDocument).
+
+// maxIngestSize bounds admin ingest bodies — far above query bodies, since
+// whole datasets arrive here.
+const maxIngestSize = 256 << 20 // 256 MiB
+
+// corpusFor resolves an admin route's dataset to its corpus.
+func (s *Server) corpusFor(name string) (*corpus.Corpus, error) {
+	b, err := s.catalog.GetBackend(name)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := b.(*corpus.Corpus)
+	if !ok {
+		return nil, fmt.Errorf("dataset %q is a single document, not a corpus; shard management needs a corpus-backed dataset", name)
+	}
+	return c, nil
+}
+
+// shardCount parses the optional ?shards=N split factor.
+func shardCount(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("shards")
+	if v == "" {
+		return 1, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 || n > 1024 {
+		return 0, fmt.Errorf("bad shards %q: want 1..1024", v)
+	}
+	return n, nil
+}
+
+// datasetStatus is the success payload of the mutating dataset routes.
+type datasetStatus struct {
+	Dataset string   `json:"dataset"`
+	Shards  int      `json:"shards"`
+	Seq     uint64   `json:"seq"`
+	Names   []string `json:"shardNames,omitempty"`
+}
+
+func statusOf(name string, c *corpus.Corpus) datasetStatus {
+	snap := c.Snapshot()
+	return datasetStatus{Dataset: name, Shards: snap.Len(), Seq: snap.Seq(), Names: snap.Names()}
+}
+
+// handleDatasetCreate ingests the XML body as a new (or replacement)
+// corpus-backed dataset, optionally split into ?shards=N shards.
+func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	parts, err := shardCount(r)
+	if err != nil {
+		badQuery(w, err)
+		return
+	}
+	cfg := corpus.Config{Metrics: s.reg.Corpus(name)}
+	if s.corpusDir != "" {
+		cfg.Dir = filepath.Join(s.corpusDir, name)
+	}
+	c := corpus.New(name, cfg)
+	body := http.MaxBytesReader(w, r.Body, maxIngestSize)
+	if err := c.AddSplitReader(name, body, parts); err != nil {
+		badQuery(w, fmt.Errorf("ingesting %q: %w", name, err))
+		return
+	}
+	s.catalog.AddBackend(name, c)
+	writeJSON(w, http.StatusCreated, statusOf(name, c))
+}
+
+// handleDatasetDelete drops a dataset (engine- or corpus-backed) from the
+// catalog.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.catalog.Remove(name); err != nil {
+		notFound(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name, "removed": true, "default": s.catalog.DefaultName(),
+	})
+}
+
+// handleShardAdd ingests the XML body as one shard (or, with ?shards=N, a
+// split group) of an existing corpus-backed dataset.
+func (s *Server) handleShardAdd(w http.ResponseWriter, r *http.Request) {
+	name, shard := r.PathValue("name"), r.PathValue("shard")
+	c, err := s.corpusFor(name)
+	if err != nil {
+		notFound(w, err)
+		return
+	}
+	parts, err := shardCount(r)
+	if err != nil {
+		badQuery(w, err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxIngestSize)
+	if err := c.AddSplitReader(shard, body, parts); err != nil {
+		badQuery(w, fmt.Errorf("ingesting shard %q: %w", shard, err))
+		return
+	}
+	writeJSON(w, http.StatusCreated, statusOf(name, c))
+}
+
+// handleShardDelete drops one shard (or a whole split group) from a
+// corpus-backed dataset.
+func (s *Server) handleShardDelete(w http.ResponseWriter, r *http.Request) {
+	name, shard := r.PathValue("name"), r.PathValue("shard")
+	c, err := s.corpusFor(name)
+	if err != nil {
+		notFound(w, err)
+		return
+	}
+	if err := c.Remove(shard); err != nil {
+		notFound(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(name, c))
+}
+
+// handleReindex rebuilds every shard of a corpus-backed dataset — or just
+// ?shard=S — publishing the rebuilt engines in one snapshot swap.
+func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	c, err := s.corpusFor(name)
+	if err != nil {
+		notFound(w, err)
+		return
+	}
+	if err := c.Reindex(r.URL.Query().Get("shard")); err != nil {
+		httpmw.WriteError(w, http.StatusNotFound, httpmw.CodeNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(name, c))
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lotusx/internal/core"
+	"lotusx/internal/corpus"
+	"lotusx/internal/metrics"
+)
+
+const tinyXML = `<dblp>
+  <article><author>Ada</author><title>Alpha</title></article>
+  <article><author>Bo</author><title>Beta</title></article>
+  <article><author>Cy</author><title>Gamma</title></article>
+</dblp>`
+
+// adminServer builds a server with the admin surface on and one plain
+// engine dataset pre-registered.
+func adminServer(t *testing.T, cfg Config) (*httptest.Server, *metrics.Registry) {
+	t.Helper()
+	cfg.EnableAdmin = true
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	e, err := core.FromReader("bib", strings.NewReader(bibXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewCatalog()
+	c.Add("bib", e)
+	ts := httptest.NewServer(NewCatalogConfig(c, cfg))
+	t.Cleanup(ts.Close)
+	return ts, cfg.Metrics
+}
+
+func do(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s %s: %v", method, url, err)
+		}
+	}
+	return res.StatusCode
+}
+
+func TestAdminDatasetLifecycle(t *testing.T) {
+	ts, _ := adminServer(t, Config{})
+
+	// Create a corpus dataset split into 2 shards.
+	var created struct {
+		Dataset    string   `json:"dataset"`
+		Shards     int      `json:"shards"`
+		ShardNames []string `json:"shardNames"`
+	}
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if created.Dataset != "lib" || created.Shards != 2 {
+		t.Fatalf("create response: %+v", created)
+	}
+
+	// It serves queries, fanned out and merged, with shard attribution.
+	var qr struct {
+		Answers []struct {
+			Shard string `json:"shard"`
+			Path  string `json:"path"`
+		} `json:"answers"`
+		Shards int `json:"shards"`
+	}
+	if code := postJSON(t, ts.URL+"/api/v1/query?dataset=lib", `{"query":"//article/title","k":10}`, &qr); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	if len(qr.Answers) != 3 || qr.Shards != 2 {
+		t.Fatalf("query: %d answers over %d shards, want 3 over 2", len(qr.Answers), qr.Shards)
+	}
+	for _, a := range qr.Answers {
+		if a.Shard == "" {
+			t.Fatalf("corpus answer without shard attribution: %+v", a)
+		}
+	}
+
+	// Stats answers the aggregated corpus shape.
+	var info struct {
+		Kind   string `json:"kind"`
+		Shards int    `json:"shards"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/stats?dataset=lib", &info); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if info.Kind != "corpus" || info.Shards != 2 {
+		t.Fatalf("stats: %+v", info)
+	}
+
+	// Add a third shard, then drop it.
+	var st struct {
+		Shards int `json:"shards"`
+	}
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib/shards/extra", "<dblp><article><title>Delta</title></article></dblp>", &st); code != http.StatusCreated {
+		t.Fatalf("shard add: status %d", code)
+	}
+	if st.Shards != 3 {
+		t.Fatalf("after shard add: %d shards", st.Shards)
+	}
+	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/lib/shards/extra", "", &st); code != http.StatusOK {
+		t.Fatalf("shard delete: status %d", code)
+	}
+	if st.Shards != 2 {
+		t.Fatalf("after shard delete: %d shards", st.Shards)
+	}
+	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/lib/shards/extra", "", nil); code != http.StatusNotFound {
+		t.Fatalf("double shard delete: status %d", code)
+	}
+
+	// Reindex republishes.
+	var ri struct {
+		Seq uint64 `json:"seq"`
+	}
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib/reindex", "", &ri); code != http.StatusOK {
+		t.Fatalf("reindex: status %d", code)
+	}
+	if ri.Seq == 0 {
+		t.Fatal("reindex did not bump the snapshot seq")
+	}
+
+	// Dataset listing includes it; deleting removes it.
+	var ds struct {
+		Datasets []string `json:"datasets"`
+	}
+	getJSON(t, ts.URL+"/api/v1/datasets", &ds)
+	if len(ds.Datasets) != 2 {
+		t.Fatalf("datasets: %v", ds.Datasets)
+	}
+	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/lib", "", nil); code != http.StatusOK {
+		t.Fatalf("dataset delete: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/stats?dataset=lib", &errEnvelope{}); code != http.StatusNotFound {
+		t.Fatalf("stats after delete: status %d", code)
+	}
+}
+
+func TestAdminDisabledByDefault(t *testing.T) {
+	ts := testServer(t)
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib", tinyXML, nil); code == http.StatusCreated {
+		t.Fatal("admin route reachable without EnableAdmin")
+	}
+}
+
+func TestAdminShardOpsNeedCorpus(t *testing.T) {
+	ts, _ := adminServer(t, Config{})
+	var env errEnvelope
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/bib/shards/x", tinyXML, &env); code != http.StatusNotFound {
+		t.Fatalf("shard add on engine dataset: status %d", code)
+	}
+	if !strings.Contains(env.Error.Message, "not a corpus") {
+		t.Fatalf("error message: %q", env.Error.Message)
+	}
+}
+
+func TestAdminBadInputs(t *testing.T) {
+	ts, _ := adminServer(t, Config{})
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=0", tinyXML, nil); code != http.StatusBadRequest {
+		t.Fatalf("shards=0: status %d", code)
+	}
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib", "<not-xml", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad xml: status %d", code)
+	}
+	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/missing", "", nil); code != http.StatusNotFound {
+		t.Fatalf("delete missing: status %d", code)
+	}
+}
+
+// TestCorpusNodeAndGuideNeedShard: per-document views address a corpus
+// shard with ?shard=.
+func TestCorpusNodeAndGuideNeedShard(t *testing.T) {
+	ts, _ := adminServer(t, Config{})
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	var env errEnvelope
+	if code := getJSON(t, ts.URL+"/api/v1/guide?dataset=lib", &env); code != http.StatusNotFound {
+		t.Fatalf("guide without shard: status %d", code)
+	}
+	if !strings.Contains(env.Error.Message, "shard") {
+		t.Fatalf("error message: %q", env.Error.Message)
+	}
+	var created struct {
+		ShardNames []string `json:"shardNames"`
+	}
+	// Re-create to learn shard names (idempotent replace).
+	do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, &created)
+	var guide struct {
+		Tag string `json:"tag"`
+	}
+	url := fmt.Sprintf("%s/api/v1/guide?dataset=lib&shard=%s", ts.URL, created.ShardNames[0])
+	if code := getJSON(t, url, &guide); code != http.StatusOK || guide.Tag != "dblp" {
+		t.Fatalf("guide with shard: %+v", guide)
+	}
+}
+
+// TestMetricsExposeCorpora is the satellite check: corpus gauges and the
+// fan-out/merge histograms appear in GET /api/v1/metrics after corpus
+// traffic.
+func TestMetricsExposeCorpora(t *testing.T) {
+	reg := metrics.New()
+	ts, _ := adminServer(t, Config{Metrics: reg})
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	if code := postJSON(t, ts.URL+"/api/v1/query?dataset=lib", `{"query":"//article/title","k":10}`, &struct{}{}); code != http.StatusOK {
+		t.Fatal("query failed")
+	}
+
+	var snap struct {
+		Corpora map[string]struct {
+			Shards   int64 `json:"shards"`
+			Swaps    int64 `json:"swaps"`
+			Searches int64 `json:"searches"`
+			Fanout   struct {
+				Count int64 `json:"count"`
+			} `json:"fanout"`
+			Merge struct {
+				Count int64 `json:"count"`
+			} `json:"merge"`
+		} `json:"corpora"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/metrics", &snap); code != http.StatusOK {
+		t.Fatal("metrics failed")
+	}
+	cs, ok := snap.Corpora["lib"]
+	if !ok {
+		t.Fatalf("metrics missing corpus lib: %+v", snap.Corpora)
+	}
+	if cs.Shards != 2 || cs.Swaps < 1 || cs.Searches != 1 || cs.Fanout.Count != 1 || cs.Merge.Count != 1 {
+		t.Fatalf("corpus metrics: %+v", cs)
+	}
+}
+
+// TestAdminPersistedCorpus: with CorpusDir set, admin-created corpora
+// reopen from disk.
+func TestAdminPersistedCorpus(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := adminServer(t, Config{CorpusDir: dir})
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	re, err := corpus.Open(dir+"/lib", corpus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Snapshot().Len() != 2 {
+		t.Fatalf("reopened corpus has %d shards", re.Snapshot().Len())
+	}
+}

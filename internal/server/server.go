@@ -52,16 +52,26 @@ type Config struct {
 	// Metrics is the registry backing /api/v1/metrics; nil allocates a
 	// fresh one.
 	Metrics *metrics.Registry
+	// EnableAdmin mounts the mutating dataset-management routes (POST/DELETE
+	// under /api/v1/datasets/...); off by default — the admin surface changes
+	// and deletes served data, so it must be an explicit opt-in.
+	EnableAdmin bool
+	// CorpusDir, when non-empty with EnableAdmin, persists admin-created
+	// corpora under <CorpusDir>/<dataset>/ (manifest + shard files).
+	CorpusDir string
 }
 
 // Server handles the LotusX HTTP API.  It serves one or more datasets from
-// a core.Catalog; requests select one with ?dataset= (or the "dataset" JSON
-// field), defaulting to the first registered.
+// a core.Catalog; requests select one with ?dataset=, defaulting to the
+// first registered.  A dataset may be a single engine or a sharded corpus —
+// query, completion and explain answer identically for both (?shard= addresses
+// one shard where a single document is needed, e.g. /node and /guide).
 type Server struct {
-	catalog *core.Catalog
-	mux     *http.ServeMux
-	handler http.Handler
-	reg     *metrics.Registry
+	catalog   *core.Catalog
+	mux       *http.ServeMux
+	handler   http.Handler
+	reg       *metrics.Registry
+	corpusDir string
 }
 
 // New returns a Server over a single engine (a one-dataset catalog) with
@@ -86,7 +96,7 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 	if reg == nil {
 		reg = metrics.New()
 	}
-	s := &Server{catalog: catalog, mux: http.NewServeMux(), reg: reg}
+	s := &Server{catalog: catalog, mux: http.NewServeMux(), reg: reg, corpusDir: cfg.CorpusDir}
 
 	// The v1 surface.  Each route is instrumented under its endpoint name;
 	// the legacy un-versioned alias answers identically (same handler, same
@@ -104,6 +114,19 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 		{"GET", "/api/v1/node/{id}", "node", s.handleNode, true},
 		{"GET", "/api/v1/guide", "guide", s.handleGuide, true},
 		{"GET", "/api/v1/metrics", "metrics", s.handleMetrics, false},
+	}
+	if cfg.EnableAdmin {
+		routes = append(routes, []struct {
+			method, path, name string
+			h                  http.HandlerFunc
+			legacy             bool
+		}{
+			{"POST", "/api/v1/datasets/{name}", "admin", s.handleDatasetCreate, false},
+			{"DELETE", "/api/v1/datasets/{name}", "admin", s.handleDatasetDelete, false},
+			{"POST", "/api/v1/datasets/{name}/shards/{shard}", "admin", s.handleShardAdd, false},
+			{"DELETE", "/api/v1/datasets/{name}/shards/{shard}", "admin", s.handleShardDelete, false},
+			{"POST", "/api/v1/datasets/{name}/reindex", "admin", s.handleReindex, false},
+		}...)
 	}
 	for _, rt := range routes {
 		h := httpmw.Chain(rt.h, httpmw.Instrument(reg.Endpoint(rt.name)))
@@ -161,9 +184,34 @@ func endpointName(path string) string {
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
-// engineFor resolves the request's dataset.
+// backendFor resolves the request's dataset to its Backend — single engine
+// or sharded corpus, the caller need not care.
+func (s *Server) backendFor(r *http.Request) (core.Backend, error) {
+	return s.catalog.GetBackend(r.URL.Query().Get("dataset"))
+}
+
+// engineFor resolves the request to one backing document engine: the
+// dataset itself when single-engine, or the shard named by ?shard= when the
+// dataset is a corpus (node and guide views are per-document).
 func (s *Server) engineFor(r *http.Request) (*core.Engine, error) {
-	return s.catalog.Get(r.URL.Query().Get("dataset"))
+	b, err := s.backendFor(r)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := b.(*core.Engine); ok {
+		return e, nil
+	}
+	engines := b.Engines()
+	shard := r.URL.Query().Get("shard")
+	if shard == "" {
+		return nil, fmt.Errorf("dataset %q is sharded (%d shards): select one with ?shard=", b.Info().Name, len(engines))
+	}
+	for _, ne := range engines {
+		if ne.Name == shard {
+			return ne.Engine, nil
+		}
+	}
+	return nil, fmt.Errorf("no shard %q in dataset %q", shard, b.Info().Name)
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -213,12 +261,18 @@ func isCtxError(err error) bool {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	engine, err := s.engineFor(r)
+	b, err := s.backendFor(r)
 	if err != nil {
 		notFound(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, engine.Stats())
+	// Single-engine datasets keep the original Stats payload shape; corpora
+	// answer with the aggregated BackendInfo (kind, shards, summed sizes).
+	if e, ok := b.(*core.Engine); ok {
+		writeJSON(w, http.StatusOK, e.Stats())
+		return
+	}
+	writeJSON(w, http.StatusOK, b.Info())
 }
 
 // completeResponse is the payload of /api/v1/complete.
@@ -236,7 +290,7 @@ type completeResponse struct {
 // kind "value" suggests values for the last node itself.  An empty path with
 // kind=tag suggests root tags.
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
-	engine, err := s.engineFor(r)
+	b, err := s.backendFor(r)
 	if err != nil {
 		notFound(w, err)
 		return
@@ -260,15 +314,8 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 
 	path := strings.TrimSpace(qv.Get("path"))
 	var q *twig.Query
-	var focus int
-	if path == "" {
-		focus = complete.NewRoot
-		q = twig.NewQuery(twig.Wildcard)
-		if err := q.Normalize(); err != nil {
-			internalError(w, err)
-			return
-		}
-	} else {
+	focus := complete.NewRoot
+	if path != "" {
 		parsed, err := twig.Parse(path)
 		if err != nil {
 			badQuery(w, fmt.Errorf("bad path: %w", err))
@@ -281,13 +328,13 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var cands []complete.Candidate
 	switch kind {
 	case "tag", "":
-		cands, err = engine.Completer().SuggestTagsContext(r.Context(), q, focus, axis, prefix, k)
+		cands, err = b.CompleteTags(r.Context(), q, focus, axis, prefix, k)
 	case "value":
 		if focus == complete.NewRoot {
 			badQuery(w, fmt.Errorf("value completion needs a path"))
 			return
 		}
-		cands, err = engine.Completer().SuggestValuesContext(r.Context(), q, focus, prefix, k)
+		cands, err = b.CompleteValues(r.Context(), q, focus, prefix, k)
 	default:
 		badQuery(w, fmt.Errorf("unknown kind %q", kind))
 		return
@@ -308,7 +355,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 //
 //	GET /api/v1/explain?path=//article&axis=child&tag=author&max=3
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	engine, err := s.engineFor(r)
+	b, err := s.backendFor(r)
 	if err != nil {
 		notFound(w, err)
 		return
@@ -344,7 +391,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		q = parsed
 		focus = q.OutputNode().ID
 	}
-	occs, err := engine.Completer().ExplainTagContext(r.Context(), q, focus, axis, tag, max)
+	occs, err := b.ExplainTags(r.Context(), q, focus, axis, tag, max)
 	if err != nil {
 		if isCtxError(err) {
 			writeCtxError(w, err)
@@ -369,10 +416,13 @@ type queryRequest struct {
 
 // queryAnswer is one answer in the response.
 type queryAnswer struct {
-	Node       int32            `json:"node"`
-	Path       string           `json:"path"`
-	Score      float64          `json:"score"`
-	Snippet    string           `json:"snippet"`
+	Node    int32   `json:"node"`
+	Path    string  `json:"path"`
+	Score   float64 `json:"score"`
+	Snippet string  `json:"snippet"`
+	// Shard names the answering shard for corpus datasets (it scopes Node:
+	// pass it back as ?shard= to /api/v1/node); absent for single engines.
+	Shard      string           `json:"shard,omitempty"`
 	Rewrite    string           `json:"rewrite,omitempty"`
 	Penalty    float64          `json:"penalty,omitempty"`
 	Highlights []core.Highlight `json:"highlights,omitempty"`
@@ -390,8 +440,11 @@ type queryResponse struct {
 	NextOffset int           `json:"nextOffset,omitempty"`
 	Rewrites   int           `json:"rewritesTried"`
 	Algorithm  string        `json:"algorithm"`
-	ElapsedMS  float64       `json:"elapsedMs"`
-	XQuery     string        `json:"xquery"`
+	// Shards counts the shards fanned out to; present for corpus datasets
+	// only.
+	Shards    int     `json:"shards,omitempty"`
+	ElapsedMS float64 `json:"elapsedMs"`
+	XQuery    string  `json:"xquery"`
 }
 
 // validAlgorithm reports whether name selects an implemented algorithm.
@@ -416,7 +469,7 @@ func algorithmNames() string {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	engine, err := s.engineFor(r)
+	b, err := s.backendFor(r)
 	if err != nil {
 		notFound(w, err)
 		return
@@ -443,11 +496,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badQuery(w, err)
 		return
 	}
-	opts := core.SearchOptions{K: req.K, Offset: req.Offset, Rewrite: req.Rewrite}
+	opts := core.SearchOptions{K: req.K, Offset: req.Offset, Rewrite: req.Rewrite, SnippetMax: 400}
 	if req.Algorithm != "" {
 		opts.Algorithm = join.Algorithm(req.Algorithm)
 	}
-	res, err := engine.SearchContext(r.Context(), q, opts)
+	res, err := b.SearchHits(r.Context(), q, opts)
 	if err != nil {
 		if isCtxError(err) {
 			writeCtxError(w, err)
@@ -466,22 +519,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 		XQuery:    q.ToXQuery(),
 	}
-	d := engine.Document()
-	for _, a := range res.Answers {
-		qa := queryAnswer{
-			Node:    int32(a.Node),
-			Path:    d.Path(a.Node),
-			Score:   a.Score,
-			Snippet: engine.Snippet(a.Node, 400),
-		}
-		answerQuery := q
-		if a.Rewrite != nil {
-			qa.Rewrite = a.Rewrite.Query.String()
-			qa.Penalty = a.Rewrite.Penalty
-			answerQuery = a.Rewrite.Query
-		}
-		qa.Highlights = engine.Highlights(answerQuery, a.Scored.Match)
-		resp.Answers = append(resp.Answers, qa)
+	if res.Shards > 1 {
+		resp.Shards = res.Shards
+	}
+	for _, h := range res.Hits {
+		resp.Answers = append(resp.Answers, queryAnswer{
+			Node:       int32(h.Node),
+			Path:       h.Path,
+			Score:      h.Score,
+			Snippet:    h.Snippet,
+			Shard:      h.Shard,
+			Rewrite:    h.Rewrite,
+			Penalty:    h.Penalty,
+			Highlights: h.Highlights,
+		})
 	}
 	// Materialization stopped at the offset+k cut, so further answers may
 	// exist: point the client at the next page.  A Total short of the cut
