@@ -9,23 +9,26 @@ import (
 )
 
 // Completion across shards: every shard proposes candidates from its own
-// DataGuide and tries, then the corpus merges them by summed weight — the
-// count a user sees for "author" is its occurrence count over the whole
-// corpus, exactly as if the shards were one document.  Fuzzy (edit-distance
-// fallback) candidates only survive a merge that produced no exact-prefix
-// candidates, matching the single-engine fallback rule.
+// DataGuide and tries, then the corpus merges them by summed weight.  A
+// merged count sums the shards where the candidate surfaced; to keep the
+// merged top k faithful to the whole-document ranking, each shard is asked
+// for k×shards candidates (see mergeAskK) — a candidate would have to fall
+// outside that widened cut on some shard for its merged count to run low.
+// Fuzzy (edit-distance fallback) candidates only survive a merge that
+// produced no exact-prefix candidates, matching the single-engine fallback
+// rule.
 
 // CompleteTags implements core.Backend.
 func (c *Corpus) CompleteTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, prefix string, k int) ([]complete.Candidate, error) {
-	return c.mergeCandidates(ctx, k, func(e shardEngine, sq *twig.Query) ([]complete.Candidate, error) {
-		return e.CompleteTags(ctx, sq, anchor, axis, prefix, k)
+	return c.mergeCandidates(ctx, k, func(e shardEngine, sq *twig.Query, askK int) ([]complete.Candidate, error) {
+		return e.CompleteTags(ctx, sq, anchor, axis, prefix, askK)
 	}, q)
 }
 
 // CompleteValues implements core.Backend.
 func (c *Corpus) CompleteValues(ctx context.Context, q *twig.Query, focus int, prefix string, k int) ([]complete.Candidate, error) {
-	return c.mergeCandidates(ctx, k, func(e shardEngine, sq *twig.Query) ([]complete.Candidate, error) {
-		return e.CompleteValues(ctx, sq, focus, prefix, k)
+	return c.mergeCandidates(ctx, k, func(e shardEngine, sq *twig.Query, askK int) ([]complete.Candidate, error) {
+		return e.CompleteValues(ctx, sq, focus, prefix, askK)
 	}, q)
 }
 
@@ -37,11 +40,31 @@ type shardEngine interface {
 	ExplainTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, tag string, max int) ([]complete.Occurrence, error)
 }
 
+// mergeAskKCap bounds the widened per-shard ask so a large k over a wide
+// corpus cannot request an absurd candidate list from every shard.
+const mergeAskKCap = 1 << 16
+
+// mergeAskK widens the caller's k for the per-shard asks: a shard's top k
+// is not the corpus's top k (a globally frequent candidate may be locally
+// rare), so each shard is asked for k×shards candidates before the merge
+// cuts back to k.
+func mergeAskK(k, shards int) int {
+	if k <= 0 || shards <= 1 {
+		return k
+	}
+	askK := k * shards
+	if askK/shards != k || askK > mergeAskKCap { // overflow or cap
+		return mergeAskKCap
+	}
+	return askK
+}
+
 // mergeCandidates runs ask on every shard of the pinned snapshot
 // (sequentially — completion is sub-millisecond per shard) and merges by
 // (Text, Kind) with summed counts.
-func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(shardEngine, *twig.Query) ([]complete.Candidate, error), q *twig.Query) ([]complete.Candidate, error) {
+func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(shardEngine, *twig.Query, int) ([]complete.Candidate, error), q *twig.Query) ([]complete.Candidate, error) {
 	snap := c.Snapshot()
+	askK := mergeAskK(k, len(snap.shards))
 	type key struct {
 		text string
 		kind complete.Kind
@@ -55,7 +78,7 @@ func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(shardEngin
 		if sq != nil {
 			sq = sq.Clone() // per-shard clone: Normalize mutates the tree
 		}
-		cands, err := ask(sh.engine, sq)
+		cands, err := ask(sh.engine, sq, askK)
 		if err != nil {
 			return nil, err
 		}

@@ -148,6 +148,9 @@ func FromDocument(name string, d *doc.Document, parts int, cfg Config) (*Corpus,
 // Name returns the corpus name.
 func (c *Corpus) Name() string { return c.name }
 
+// Dir returns the persistence directory, "" for an in-memory corpus.
+func (c *Corpus) Dir() string { return c.dir }
+
 // Snapshot pins the current shard set: one atomic load, no locks.  The
 // returned snapshot stays valid (and immutable) however many swaps follow.
 func (c *Corpus) Snapshot() *Snapshot { return c.snap.Load() }
@@ -169,7 +172,9 @@ func validShardName(name string) error {
 }
 
 // Add builds a shard from d off the hot path and publishes a snapshot with
-// it.  An existing shard of the same name is replaced atomically.
+// it.  An existing shard of the same name — or a "name/NNN" split group left
+// by an earlier AddSplit — is replaced atomically, so re-ingesting under a
+// name never duplicates its records.
 func (c *Corpus) Add(name string, d *doc.Document) error {
 	if err := validShardName(name); err != nil {
 		return err
@@ -199,21 +204,32 @@ func (c *Corpus) AddSplit(name string, d *doc.Document, parts int) error {
 	if err := validShardName(name); err != nil {
 		return err
 	}
-	docs, err := SplitDocument(d, parts)
+	fresh, err := buildShards(name, d, parts)
 	if err != nil {
 		return err
-	}
-	if len(docs) == 1 {
-		return c.Add(name, docs[0])
-	}
-	fresh := make([]*shard, len(docs))
-	for i, sd := range docs {
-		fresh[i] = &shard{name: fmt.Sprintf("%s/%03d", name, i), engine: core.FromDocument(sd)}
 	}
 	return c.publish(func(shards []*shard) ([]*shard, error) {
 		next := removeByName(shards, name) // drop same-name shard and group
 		return append(next, fresh...), nil
 	})
+}
+
+// buildShards splits d and indexes each part (the expensive work, done
+// before the caller takes the mutation lock): one shard named name for an
+// unsplit document, or a "name/NNN" group.
+func buildShards(name string, d *doc.Document, parts int) ([]*shard, error) {
+	docs, err := SplitDocument(d, parts)
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 1 {
+		return []*shard{{name: name, engine: core.FromDocument(docs[0])}}, nil
+	}
+	out := make([]*shard, len(docs))
+	for i, sd := range docs {
+		out[i] = &shard{name: fmt.Sprintf("%s/%03d", name, i), engine: core.FromDocument(sd)}
+	}
+	return out, nil
 }
 
 // AddSplitReader parses XML from r and splits it into parts shards; see
@@ -224,6 +240,34 @@ func (c *Corpus) AddSplitReader(name string, r io.Reader, parts int) error {
 		return err
 	}
 	return c.AddSplit(name, d, parts)
+}
+
+// SetSplit replaces the entire shard set with the split of d in one swap —
+// the "re-ingest the whole dataset" operation.  Whatever shards existed
+// before, under any name, are gone after the publish; a persisted corpus
+// keeps its directory and its monotonically increasing sequence, so
+// re-ingesting over a live corpus never races its on-disk files.
+func (c *Corpus) SetSplit(name string, d *doc.Document, parts int) error {
+	if err := validShardName(name); err != nil {
+		return err
+	}
+	fresh, err := buildShards(name, d, parts)
+	if err != nil {
+		return err
+	}
+	return c.publish(func([]*shard) ([]*shard, error) {
+		return fresh, nil
+	})
+}
+
+// SetSplitReader parses XML from r and replaces the whole shard set with
+// its split; see SetSplit.
+func (c *Corpus) SetSplitReader(name string, r io.Reader, parts int) error {
+	d, err := doc.FromReader(name, r)
+	if err != nil {
+		return err
+	}
+	return c.SetSplit(name, d, parts)
 }
 
 // Remove drops the shard named name — or, when name is a split-group
@@ -261,15 +305,12 @@ func (c *Corpus) Reindex(name string) error {
 	})
 }
 
-// replaceShard swaps in sh, replacing a same-named shard or appending.
+// replaceShard swaps in sh, replacing a same-named shard — or a split group
+// under sh's name, so Add("s") after AddSplit("s", ..., N) cannot leave the
+// old "s/NNN" shards answering alongside the new whole document — or
+// appending.
 func replaceShard(shards []*shard, sh *shard) []*shard {
-	out := make([]*shard, 0, len(shards)+1)
-	for _, old := range shards {
-		if old.name != sh.name {
-			out = append(out, old)
-		}
-	}
-	return append(out, sh)
+	return append(removeByName(shards, sh.name), sh)
 }
 
 // removeByName filters out the shard named name and any "name/NNN" group

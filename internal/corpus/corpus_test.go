@@ -314,6 +314,129 @@ func TestCorpusAddRemoveReindex(t *testing.T) {
 	}
 }
 
+// TestReingestReplacesSplitGroup: re-ingesting a shard name with a
+// different split factor must replace the old shards in both directions —
+// group → single and single → group — never leaving both generations
+// answering (which would return every record twice).
+func TestReingestReplacesSplitGroup(t *testing.T) {
+	q, _ := twig.Parse("//article/title")
+	countHits := func(t *testing.T, c *Corpus) int {
+		t.Helper()
+		res, err := c.SearchHits(context.Background(), q.Clone(), core.SearchOptions{K: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.Hits)
+	}
+
+	// Group → single: the unsplit re-ingest path must drop the old group.
+	c := New("lib", Config{})
+	if err := c.AddSplit("s", mustDoc(t, "bib", bibXML), 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().Len(); got != 4 {
+		t.Fatalf("after split ingest: %d shards, want 4", got)
+	}
+	if err := c.AddSplit("s", mustDoc(t, "bib", bibXML), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().Names(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("after unsplit re-ingest: shards %v, want [s]", got)
+	}
+	if got := countHits(t, c); got != 3 {
+		t.Fatalf("after unsplit re-ingest: %d hits, want 3 (old group shards still answering?)", got)
+	}
+
+	// Add over a group must replace it too.
+	c2 := New("lib", Config{})
+	if err := c2.AddSplit("s", mustDoc(t, "bib", bibXML), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Add("s", mustDoc(t, "bib", bibXML)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Snapshot().Names(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("Add over split group: shards %v, want [s]", got)
+	}
+
+	// And single → group keeps working (the original multi-part path).
+	if err := c2.AddSplit("s", mustDoc(t, "bib", bibXML), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Snapshot().Len(); got != 2 {
+		t.Fatalf("after re-split: %d shards, want 2", got)
+	}
+	if got := countHits(t, c2); got != 3 {
+		t.Fatalf("after re-split: %d hits, want 3", got)
+	}
+}
+
+// TestSetSplitReplacesEverything: SetSplit swaps in a whole new shard set,
+// dropping shards under every previous name, with the sequence continuing.
+func TestSetSplitReplacesEverything(t *testing.T) {
+	c := New("lib", Config{})
+	if err := c.Add("a", mustDoc(t, "a", bibXML)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("b", mustDoc(t, "b", "<dblp><article><title>Extra</title></article></dblp>")); err != nil {
+		t.Fatal(err)
+	}
+	seq := c.Seq()
+	if err := c.SetSplit("c", mustDoc(t, "c", bibXML), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().Names(); len(got) != 2 || got[0] != "c/000" || got[1] != "c/001" {
+		t.Fatalf("after SetSplit: shards %v, want [c/000 c/001]", got)
+	}
+	if c.Seq() != seq+1 {
+		t.Fatalf("SetSplit seq %d, want %d", c.Seq(), seq+1)
+	}
+	if err := c.SetSplit("", nil, 1); err == nil {
+		t.Fatal("SetSplit with an empty name should error")
+	}
+}
+
+// TestCompletionMergeGlobalTopK: the merged top k must reflect corpus-wide
+// counts even when the global winner is not some shard's local top k — the
+// per-shard ask is widened to k×shards before the merge cuts back.
+func TestCompletionMergeGlobalTopK(t *testing.T) {
+	c := New("lib", Config{})
+	// Shard 1 top-1 is x (3 > 2); shard 2 top-1 is y (2 > 1). Globally
+	// y=4 beats x=3, so a merge of per-shard top-1 lists would wrongly
+	// answer x.
+	if err := c.Add("s1", mustDoc(t, "s1", "<r><x/><x/><x/><y/><y/></r>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("s2", mustDoc(t, "s2", "<r><y/><y/><z/></r>")); err != nil {
+		t.Fatal(err)
+	}
+	q, err := twig.Parse("//r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CompleteTags(context.Background(), q, q.Root.ID, twig.Child, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Text != "y" || got[0].Count != 4 {
+		t.Fatalf("global top-1 = %+v, want y with count 4", got)
+	}
+}
+
+func TestMergeAskK(t *testing.T) {
+	for _, tc := range []struct{ k, shards, want int }{
+		{10, 1, 10},
+		{10, 4, 40},
+		{0, 4, 0},
+		{mergeAskKCap, 1024, mergeAskKCap},
+		{1 << 62, 4, mergeAskKCap}, // multiplication overflow
+	} {
+		if got := mergeAskK(tc.k, tc.shards); got != tc.want {
+			t.Errorf("mergeAskK(%d, %d) = %d, want %d", tc.k, tc.shards, got, tc.want)
+		}
+	}
+}
+
 func TestCorpusCompletionMergesWeights(t *testing.T) {
 	d := mustDoc(t, "bib", bibXML)
 	single := core.FromDocument(d)

@@ -3,7 +3,9 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"os"
 	"path/filepath"
+	"regexp"
 	"strconv"
 
 	"lotusx/internal/corpus"
@@ -23,7 +25,10 @@ import (
 //	POST   /api/v1/datasets/{name}/reindex?shard=S           rebuild all (or one) shard
 //
 // Ingest bodies are raw XML documents.  ?shards=N > 1 splits the document at
-// record boundaries into N shards (see corpus.SplitDocument).
+// record boundaries into N shards (see corpus.SplitDocument).  Dataset and
+// shard names are strict path segments (see nameRE): dataset names become
+// directories under CorpusDir, so anything traversal-shaped is rejected
+// before it reaches the filesystem.
 
 // maxIngestSize bounds admin ingest bodies — far above query bodies, since
 // whole datasets arrive here.
@@ -40,6 +45,24 @@ func (s *Server) corpusFor(name string) (*corpus.Corpus, error) {
 		return nil, fmt.Errorf("dataset %q is a single document, not a corpus; shard management needs a corpus-backed dataset", name)
 	}
 	return c, nil
+}
+
+// nameRE is the shape of a dataset or shard path segment.  It is
+// deliberately strict — one alphanumeric-led filesystem- and URL-safe
+// token.  Dataset names become directories under CorpusDir, and Go's
+// ServeMux unescapes wildcard segments, so a request for
+// /api/v1/datasets/..%2Fetc would otherwise reach us as name "../etc";
+// the leading-alphanumeric rule rejects "." and ".." (and hidden files),
+// and the charset rejects separators outright.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// validSegment rejects dataset and shard names that could escape the
+// corpus directory or break route addressing.
+func validSegment(kind, name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("bad %s name %q: want 1-128 chars of [A-Za-z0-9._-], starting with a letter or digit", kind, name)
+	}
+	return nil
 }
 
 // shardCount parses the optional ?shards=N split factor.
@@ -69,21 +92,39 @@ func statusOf(name string, c *corpus.Corpus) datasetStatus {
 }
 
 // handleDatasetCreate ingests the XML body as a new (or replacement)
-// corpus-backed dataset, optionally split into ?shards=N shards.
+// corpus-backed dataset, optionally split into ?shards=N shards.  Creates
+// are serialized: re-POSTing a live corpus-backed name replaces its whole
+// shard set through the existing corpus object (one snapshot swap, the
+// sequence keeps climbing), so two creates can never interleave writes to
+// the same persistence directory.
 func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if err := validSegment("dataset", name); err != nil {
+		badQuery(w, err)
+		return
+	}
 	parts, err := shardCount(r)
 	if err != nil {
 		badQuery(w, err)
 		return
 	}
-	cfg := corpus.Config{Metrics: s.reg.Corpus(name)}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	dir := ""
 	if s.corpusDir != "" {
-		cfg.Dir = filepath.Join(s.corpusDir, name)
+		dir = filepath.Join(s.corpusDir, name)
 	}
-	c := corpus.New(name, cfg)
+	var c *corpus.Corpus
+	if b, err := s.catalog.GetBackend(name); err == nil {
+		if existing, ok := b.(*corpus.Corpus); ok && existing.Dir() == dir {
+			c = existing
+		}
+	}
+	if c == nil {
+		c = corpus.New(name, corpus.Config{Dir: dir, Metrics: s.reg.Corpus(name)})
+	}
 	body := http.MaxBytesReader(w, r.Body, maxIngestSize)
-	if err := c.AddSplitReader(name, body, parts); err != nil {
+	if err := c.SetSplitReader(name, body, parts); err != nil {
 		badQuery(w, fmt.Errorf("ingesting %q: %w", name, err))
 		return
 	}
@@ -92,12 +133,30 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDatasetDelete drops a dataset (engine- or corpus-backed) from the
-// catalog.
+// catalog.  A corpus persisted under CorpusDir also loses its on-disk
+// directory — otherwise the next restart's corpus reload would resurrect
+// the dataset.
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	b, err := s.catalog.GetBackend(name)
+	if err != nil || name == "" {
+		notFound(w, fmt.Errorf("no dataset %q in catalog", name))
+		return
+	}
 	if err := s.catalog.Remove(name); err != nil {
 		notFound(w, err)
 		return
+	}
+	if c, ok := b.(*corpus.Corpus); ok {
+		// Only purge directories directly under our own corpus root; the
+		// corpus's recorded dir — not a fresh join of the request's name —
+		// is what gets deleted, so a hostile name cannot aim this at
+		// anything we did not create.
+		if dir := c.Dir(); dir != "" && s.corpusDir != "" && filepath.Dir(dir) == filepath.Clean(s.corpusDir) {
+			os.RemoveAll(dir)
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": name, "removed": true, "default": s.catalog.DefaultName(),
@@ -108,6 +167,13 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 // split group) of an existing corpus-backed dataset.
 func (s *Server) handleShardAdd(w http.ResponseWriter, r *http.Request) {
 	name, shard := r.PathValue("name"), r.PathValue("shard")
+	// Shard names never touch the filesystem (shard files are named by
+	// sequence), but the same strict shape keeps them addressable in the
+	// delete/reindex routes and unambiguous in the "name/NNN" group scheme.
+	if err := validSegment("shard", shard); err != nil {
+		badQuery(w, err)
+		return
+	}
 	c, err := s.corpusFor(name)
 	if err != nil {
 		notFound(w, err)

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"lotusx/internal/core"
@@ -246,6 +249,147 @@ func TestMetricsExposeCorpora(t *testing.T) {
 	}
 	if cs.Shards != 2 || cs.Swaps < 1 || cs.Searches != 1 || cs.Fanout.Count != 1 || cs.Merge.Count != 1 {
 		t.Fatalf("corpus metrics: %+v", cs)
+	}
+}
+
+// TestAdminRejectsTraversalNames: ServeMux unescapes wildcard segments, so
+// a %2F-smuggled name like "../evil" reaches the handler — it must be
+// rejected before it is joined into CorpusDir and used for file writes.
+func TestAdminRejectsTraversalNames(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "corpora")
+	ts, _ := adminServer(t, Config{CorpusDir: dir})
+	for _, bad := range []string{
+		"..%2Fevil",      // one level up: DIR/../evil
+		"..%2F..%2Fevil", // two levels up
+		"%2E%2E%2Fevil",  // fully escaped ../
+		"%2E%2E",         // escaped bare ".." (literal ".." never survives ServeMux path cleaning)
+		".hidden",        // leading dot
+		"a%20b",           // whitespace
+		"a%5Cb",           // backslash
+		"with%2Fslash",    // embedded separator
+		strings.Repeat("x", 129), // over-long
+	} {
+		var env errEnvelope
+		if code := do(t, "POST", ts.URL+"/api/v1/datasets/"+bad, tinyXML, &env); code != http.StatusBadRequest {
+			t.Errorf("create %q: status %d, want 400 (%+v)", bad, code, env)
+		} else if !strings.Contains(env.Error.Message, "dataset name") {
+			t.Errorf("create %q rejected for the wrong reason: %q", bad, env.Error.Message)
+		}
+	}
+	// Nothing may have been written outside (or inside) the corpus root.
+	if _, err := os.Stat(filepath.Join(root, "evil")); !os.IsNotExist(err) {
+		t.Fatal("traversal name escaped the corpus root")
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatal("rejected creates still wrote under the corpus root")
+	}
+
+	// The shard route applies the same validation.
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/bib/shards/..%2Fx", tinyXML, nil); code != http.StatusBadRequest {
+		t.Error("shard add with traversal name not rejected")
+	}
+}
+
+// TestAdminRecreateReplacesDataset: re-POSTing a live corpus-backed name
+// must flow through the existing corpus object — the sequence keeps
+// climbing (no second corpus racing the same directory) and the old shards
+// are gone, so answers never double up.
+func TestAdminRecreateReplacesDataset(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := adminServer(t, Config{CorpusDir: dir})
+	var first, second struct {
+		Shards int    `json:"shards"`
+		Seq    uint64 `json:"seq"`
+	}
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, &first); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib", tinyXML, &second); code != http.StatusCreated {
+		t.Fatalf("re-create: status %d", code)
+	}
+	if second.Shards != 1 {
+		t.Fatalf("re-create left %d shards, want 1", second.Shards)
+	}
+	if second.Seq != first.Seq+1 {
+		t.Fatalf("re-create seq %d after %d — a fresh corpus raced the directory", second.Seq, first.Seq)
+	}
+	var qr struct {
+		Answers []struct{} `json:"answers"`
+	}
+	if code := postJSON(t, ts.URL+"/api/v1/query?dataset=lib", `{"query":"//article/title","k":100}`, &qr); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	if len(qr.Answers) != 3 {
+		t.Fatalf("after re-create: %d answers, want 3 (old shards still answering?)", len(qr.Answers))
+	}
+	// The persisted directory reflects only the latest generation.
+	re, err := corpus.Open(filepath.Join(dir, "lib"), corpus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Snapshot().Len() != 1 || re.Seq() != second.Seq {
+		t.Fatalf("reopened: %d shards seq %d, want 1 shard seq %d", re.Snapshot().Len(), re.Seq(), second.Seq)
+	}
+}
+
+// TestAdminConcurrentCreates: parallel creates of the same persisted
+// dataset must not corrupt its directory (run under -race in CI).
+func TestAdminConcurrentCreates(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := adminServer(t, Config{CorpusDir: dir})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest("POST", ts.URL+"/api/v1/datasets/lib?shards=2", strings.NewReader(tinyXML))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res.Body.Close()
+			if res.StatusCode != http.StatusCreated {
+				t.Errorf("concurrent create: status %d", res.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	re, err := corpus.Open(filepath.Join(dir, "lib"), corpus.Config{})
+	if err != nil {
+		t.Fatalf("corpus did not survive concurrent creates: %v", err)
+	}
+	if re.Snapshot().Len() != 2 {
+		t.Fatalf("reopened corpus has %d shards, want 2", re.Snapshot().Len())
+	}
+}
+
+// TestAdminDeletePurgesPersistedDir: DELETE must remove the corpus's
+// on-disk directory, or the next restart's reload resurrects the dataset.
+func TestAdminDeletePurgesPersistedDir(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := adminServer(t, Config{CorpusDir: dir})
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	sub := filepath.Join(dir, "lib")
+	if _, err := os.Stat(sub); err != nil {
+		t.Fatalf("corpus dir not persisted: %v", err)
+	}
+	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/lib", "", nil); code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	if _, err := os.Stat(sub); !os.IsNotExist(err) {
+		t.Fatalf("corpus dir survived the delete (err=%v) — it would reload on restart", err)
+	}
+	// An engine-backed dataset deletes cleanly too (nothing on disk).
+	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/bib", "", nil); code != http.StatusOK {
+		t.Fatal("engine dataset delete failed")
 	}
 }
 

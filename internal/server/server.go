@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"lotusx/internal/complete"
@@ -72,6 +73,10 @@ type Server struct {
 	handler   http.Handler
 	reg       *metrics.Registry
 	corpusDir string
+	// adminMu serializes the admin routes that create or delete whole
+	// datasets: concurrent creates of the same name must not race each
+	// other (or a delete) over the dataset's persistence directory.
+	adminMu sync.Mutex
 }
 
 // New returns a Server over a single engine (a one-dataset catalog) with
