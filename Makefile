@@ -4,9 +4,10 @@
 
 GO ?= go
 
-RACE_PKGS := ./internal/server/... ./internal/core/... ./internal/corpus/...
+RACE_PKGS := ./internal/server/... ./internal/core/... ./internal/corpus/... \
+	./internal/obs/... ./internal/metrics/...
 
-.PHONY: check build vet test race bench clean
+.PHONY: check build vet test race bench profile clean
 
 check: build vet test race
 
@@ -22,10 +23,31 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# The experiment suite (E1..E12, A1..A3); SCALE sweeps dataset size.
+# The experiment suite (E1..E13, A1..A3); SCALE sweeps dataset size.
 SCALE ?= 1
 bench:
 	$(GO) run ./cmd/lotusx-bench -scale $(SCALE)
 
+# CPU-profile a live server: serve XMark sharded with the debug listener on,
+# drive the E12 workload query at it, and capture /debug/pprof/profile into
+# profile.pb.gz.  Inspect with `go tool pprof profile.pb.gz`.
+PROFILE_SECONDS ?= 5
+profile:
+	@mkdir -p bin && $(GO) build -o bin/lotusx-server ./cmd/lotusx-server
+	@bin/lotusx-server -dataset xmark -scale $(SCALE) -shards 4 -quiet \
+		-addr 127.0.0.1:18080 -debug-addr 127.0.0.1:16060 & \
+	SRV=$$!; trap 'kill $$SRV 2>/dev/null' EXIT INT TERM; sleep 1; \
+	( while kill -0 $$SRV 2>/dev/null; do \
+		curl -s -o /dev/null -X POST -H 'Content-Type: application/json' \
+			-d '{"query":"//item[description//text contains \"vintage\"]/name","k":100}' \
+			http://127.0.0.1:18080/api/v1/query; \
+	done ) & LOAD=$$!; \
+	echo "profiling $(PROFILE_SECONDS)s of query load..."; \
+	curl -s -o profile.pb.gz \
+		"http://127.0.0.1:16060/debug/pprof/profile?seconds=$(PROFILE_SECONDS)"; \
+	kill $$LOAD $$SRV 2>/dev/null; trap - EXIT INT TERM; \
+	echo "wrote profile.pb.gz — inspect with: go tool pprof profile.pb.gz"
+
 clean:
 	$(GO) clean ./...
+	rm -rf bin profile.pb.gz

@@ -45,6 +45,7 @@ func main() {
 		"E10": runner.E10Session,
 		"E11": runner.E11Scalability,
 		"E12": runner.E12CorpusFanout,
+		"E13": runner.E13TracingOverhead,
 		"A1":  runner.A1Pushdown,
 		"A2":  runner.A2Minimization,
 		"A3":  runner.A3PenaltyModel,

@@ -22,6 +22,7 @@ import (
 	"lotusx/internal/dataset"
 	"lotusx/internal/doc"
 	"lotusx/internal/metrics"
+	"lotusx/internal/obs"
 	"lotusx/internal/server"
 )
 
@@ -43,6 +44,10 @@ func main() {
 		"directory persisting corpus-backed datasets; existing corpora reload at startup")
 	shards := flag.Int("shards", 1,
 		"split each served dataset into N shards queried with parallel fan-out")
+	slowQuery := flag.Duration("slow-query", 250*time.Millisecond,
+		"log queries slower than this with a per-stage breakdown (0 disables)")
+	debugAddr := flag.String("debug-addr", "",
+		"separate listener for pprof, /healthz, /readyz and /buildinfo (off when empty)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -55,6 +60,7 @@ func main() {
 		Metrics:      reg,
 		EnableAdmin:  *admin,
 		CorpusDir:    *corpusDir,
+		SlowQuery:    *slowQuery,
 	}
 	if !*quiet {
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -67,8 +73,10 @@ func main() {
 			fatal(err)
 		}
 		st := engine.Stats()
+		srv := server.NewConfig(engine, cfg)
+		startDebug(*debugAddr, srv)
 		fmt.Printf("serving %s (%d nodes, %d tags) on %s%s\n", st.Document, st.Nodes, st.Tags, *addr, servingNote(cfg))
-		if err := http.ListenAndServe(*addr, server.NewConfig(engine, cfg)); err != nil {
+		if err := http.ListenAndServe(*addr, srv); err != nil {
 			fatal(err)
 		}
 		return
@@ -121,10 +129,26 @@ func main() {
 	if *admin {
 		note += " (admin API on)"
 	}
+	srv := server.NewCatalogConfig(catalog, cfg)
+	startDebug(*debugAddr, srv)
 	fmt.Printf("serving %d datasets on %s%s\n", catalog.Len(), *addr, note)
-	if err := http.ListenAndServe(*addr, server.NewCatalogConfig(catalog, cfg)); err != nil {
+	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}
+}
+
+// startDebug serves the operational endpoints — pprof, /healthz, /readyz,
+// /buildinfo — on their own listener, keeping them off the public API port.
+func startDebug(addr string, srv *server.Server) {
+	if addr == "" {
+		return
+	}
+	fmt.Printf("debug endpoints (pprof, healthz, readyz, buildinfo) on %s\n", addr)
+	go func() {
+		if err := http.ListenAndServe(addr, obs.DebugMux(obs.DebugOptions{Ready: srv.Ready})); err != nil {
+			fmt.Fprintln(os.Stderr, "lotusx-server: debug listener:", err)
+		}
+	}()
 }
 
 // addDataset registers d, split into parts shards when parts > 1, with

@@ -126,6 +126,7 @@ func (r *Runner) RunAll() error {
 		r.E10Session,
 		r.E11Scalability,
 		r.E12CorpusFanout,
+		r.E13TracingOverhead,
 		r.A1Pushdown,
 		r.A2Minimization,
 		r.A3PenaltyModel,

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lotusx/internal/core"
+	"lotusx/internal/corpus"
+	"lotusx/internal/dataset"
+	"lotusx/internal/obs"
+	"lotusx/internal/twig"
+)
+
+// E13TracingOverhead measures what carrying a span tree through the query
+// pipeline costs: the XMark workload queries run against a sharded corpus
+// twice — once untraced (the production default, where every span operation
+// is a nil check) and once under a full obs.Trace — and the table reports
+// the median latency of each path.  The claim: tracing is cheap enough to
+// switch on per request (?debug=trace) without distorting what it measures,
+// with a median delta under 2%.
+func (r *Runner) E13TracingOverhead() error {
+	r.header("E13", "tracing overhead: traced vs untraced query latency")
+
+	d, err := dataset.Build(dataset.XMark, r.cfg.Scale, r.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	c, err := corpus.FromDocument("xmark-obs", d, 4, corpus.Config{})
+	if err != nil {
+		return err
+	}
+
+	// Each sample times a batch of consecutive evaluations so the per-call
+	// overhead (a few µs of span bookkeeping against sub-millisecond queries)
+	// is not drowned by timer granularity, and the two variants interleave so
+	// scheduler noise lands on both sides equally.
+	const samples, batch = 31, 16
+	tw := r.table()
+	fmt.Fprintln(tw, "query\tuntraced ms (best)\ttraced ms (best)\tdelta\tspans")
+	for _, q := range corpusQueries {
+		parsed := mustParse(q.Text)
+		// Warm both paths once so neither pays first-touch costs.
+		for _, traced := range []bool{false, true} {
+			if _, _, err := runBatch(c, parsed, traced, 1); err != nil {
+				return err
+			}
+		}
+		var plain, traced []time.Duration
+		spans := 0
+		for i := 0; i < samples; i++ {
+			el, _, err := runBatch(c, parsed, false, batch)
+			if err != nil {
+				return err
+			}
+			plain = append(plain, el)
+			el, n, err := runBatch(c, parsed, true, batch)
+			if err != nil {
+				return err
+			}
+			traced = append(traced, el)
+			spans = n
+		}
+		mu, mt := best(plain), best(traced)
+		delta := 100 * (float64(mt) - float64(mu)) / float64(mu)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%+.1f%%\t%d\n", q.ID, ms(mu), ms(mt), delta, spans)
+	}
+	return tw.Flush()
+}
+
+// runBatch evaluates q against c batch times, each under a fresh trace when
+// traced, returning the mean per-call time and the span count of one trace.
+func runBatch(c *corpus.Corpus, q *twig.Query, traced bool, batch int) (time.Duration, int, error) {
+	spans := 0
+	start := time.Now()
+	for i := 0; i < batch; i++ {
+		ctx := context.Background()
+		var tr *obs.Trace
+		if traced {
+			tr = obs.New("query")
+			ctx = obs.ContextWith(ctx, tr.Root())
+		}
+		if _, err := c.SearchHits(ctx, q, core.SearchOptions{K: 100}); err != nil {
+			return 0, 0, err
+		}
+		tr.Finish()
+		if traced && i == 0 {
+			tr.Each(func(*obs.Span) { spans++ })
+		}
+	}
+	return time.Since(start) / time.Duration(batch), spans, nil
+}
+
+// best returns the fastest sample — the noise floor of a path.  Comparing
+// floors isolates the tracing cost from scheduler jitter, which dominates
+// the tails of a parallel fan-out on a busy machine.
+func best(samples []time.Duration) time.Duration {
+	b := samples[0]
+	for _, s := range samples[1:] {
+		if s < b {
+			b = s
+		}
+	}
+	return b
+}

@@ -20,6 +20,7 @@ import (
 	"lotusx/internal/dataguide"
 	"lotusx/internal/doc"
 	"lotusx/internal/index"
+	"lotusx/internal/obs"
 	"lotusx/internal/twig"
 )
 
@@ -131,7 +132,12 @@ func (e *Engine) SuggestTagsContext(ctx context.Context, q *twig.Query, anchorID
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return e.suggestTags(&canceller{ctx: ctx}, q, anchorID, axis, prefix, k)
+	sp := obs.StartLeaf(ctx, "complete:tags")
+	out, err := e.suggestTags(&canceller{ctx: ctx}, q, anchorID, axis, prefix, k)
+	sp.SetInt("candidates", len(out))
+	sp.SetErr(err)
+	sp.End()
+	return out, err
 }
 
 func (e *Engine) suggestTags(c *canceller, q *twig.Query, anchorID int, axis twig.Axis, prefix string, k int) ([]Candidate, error) {
@@ -235,7 +241,12 @@ func (e *Engine) SuggestValuesContext(ctx context.Context, q *twig.Query, nodeID
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return e.suggestValues(&canceller{ctx: ctx}, q, nodeID, prefix, k)
+	sp := obs.StartLeaf(ctx, "complete:values")
+	out, err := e.suggestValues(&canceller{ctx: ctx}, q, nodeID, prefix, k)
+	sp.SetInt("candidates", len(out))
+	sp.SetErr(err)
+	sp.End()
+	return out, err
 }
 
 func (e *Engine) suggestValues(c *canceller, q *twig.Query, nodeID int, prefix string, k int) ([]Candidate, error) {
@@ -317,7 +328,12 @@ func (e *Engine) ExplainTagContext(ctx context.Context, q *twig.Query, anchorID 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return e.explainTag(&canceller{ctx: ctx}, q, anchorID, axis, tag, max)
+	sp := obs.StartLeaf(ctx, "complete:explain")
+	out, err := e.explainTag(&canceller{ctx: ctx}, q, anchorID, axis, tag, max)
+	sp.SetInt("paths", len(out))
+	sp.SetErr(err)
+	sp.End()
+	return out, err
 }
 
 func (e *Engine) explainTag(c *canceller, q *twig.Query, anchorID int, axis twig.Axis, tag string, max int) ([]Occurrence, error) {

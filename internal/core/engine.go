@@ -17,6 +17,7 @@ import (
 	"lotusx/internal/doc"
 	"lotusx/internal/index"
 	"lotusx/internal/join"
+	"lotusx/internal/obs"
 	"lotusx/internal/rank"
 	"lotusx/internal/rewrite"
 	"lotusx/internal/twig"
@@ -262,7 +263,7 @@ func (e *Engine) SearchContext(ctx context.Context, q *twig.Query, opts SearchOp
 	out := &SearchResult{Stats: res.Stats, Algorithm: res.Algorithm}
 	seen := make(map[doc.NodeID]struct{})
 	outID := q.OutputNode().ID
-	for _, s := range e.ranker.Rank(q, res.Matches, 0) {
+	for _, s := range e.ranker.RankContext(ctx, q, res.Matches, 0) {
 		node := s.Match[outID]
 		if _, dup := seen[node]; dup {
 			continue
@@ -276,7 +277,14 @@ func (e *Engine) SearchContext(ctx context.Context, q *twig.Query, opts SearchOp
 	out.Exact = len(out.Answers)
 
 	if opts.Rewrite && len(out.Answers) < want {
-		if err := e.searchRewrites(ctx, q, opts, out, seen, want); err != nil {
+		// The whole relaxation phase — enumeration plus every rewrite's
+		// join and ranking — nests under one "rewrite" span.
+		rsp, rctx := obs.Start(ctx, "rewrite")
+		err := e.searchRewrites(rctx, q, opts, out, seen, want)
+		rsp.SetInt("tried", out.RewritesTried)
+		rsp.SetErr(err)
+		rsp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -299,7 +307,7 @@ func (e *Engine) SearchContext(ctx context.Context, q *twig.Query, opts SearchOp
 // searchRewrites evaluates relaxations in penalty order, appending answers
 // until want is reached.  It stops with the context's error once ctx dies.
 func (e *Engine) searchRewrites(ctx context.Context, q *twig.Query, opts SearchOptions, out *SearchResult, seen map[doc.NodeID]struct{}, want int) error {
-	for _, rw := range e.rewriter.Enumerate(q, opts.MaxPenalty, opts.MaxRewrites) {
+	for _, rw := range e.rewriter.EnumerateContext(ctx, q, opts.MaxPenalty, opts.MaxRewrites) {
 		if len(out.Answers) >= want {
 			return nil
 		}

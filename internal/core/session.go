@@ -259,11 +259,18 @@ func (s *Session) Run(opts SearchOptions) (*SearchResult, error) {
 // RunHits evaluates the current twig over any backend, returning rendered
 // hits (corpus sessions merge globally ranked answers across shards).
 func (s *Session) RunHits(opts SearchOptions) (*HitResult, error) {
+	return s.RunHitsContext(context.Background(), opts)
+}
+
+// RunHitsContext is RunHits under a caller-supplied context, so interactive
+// frontends can cancel a running query or carry a trace (see internal/obs)
+// through the evaluation.
+func (s *Session) RunHitsContext(ctx context.Context, opts SearchOptions) (*HitResult, error) {
 	q, err := s.Query()
 	if err != nil {
 		return nil, err
 	}
-	return s.backend.SearchHits(context.Background(), q, opts)
+	return s.backend.SearchHits(ctx, q, opts)
 }
 
 func (s *Session) register(n *twig.Node) int {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"lotusx/internal/complete"
+	"lotusx/internal/obs"
 	"lotusx/internal/twig"
 )
 
@@ -64,6 +65,9 @@ func mergeAskK(k, shards int) int {
 // (Text, Kind) with summed counts.
 func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(shardEngine, *twig.Query, int) ([]complete.Candidate, error), q *twig.Query) ([]complete.Candidate, error) {
 	snap := c.Snapshot()
+	sp, ctx := obs.Start(ctx, "complete:merge")
+	sp.SetInt("shards", len(snap.shards))
+	defer sp.End()
 	askK := mergeAskK(k, len(snap.shards))
 	type key struct {
 		text string

@@ -86,6 +86,12 @@ type Corpus struct {
 	// the query path never takes it.
 	mu   sync.Mutex
 	snap atomic.Pointer[Snapshot]
+	// mutating counts publishes in flight — nonzero while a snapshot swap
+	// (ingest, remove, reindex rebuild, persistence) is underway.  Readiness
+	// probes read it: queries still serve the old snapshot during a mutation,
+	// but a load balancer should stop steering fresh traffic at an instance
+	// that is mid-reindex.
+	mutating atomic.Int32
 }
 
 // New returns an empty corpus.
@@ -330,6 +336,8 @@ func removeByName(shards []*shard, name string) []*shard {
 // as a new snapshot: copy-on-write, one writer at a time, persisted before
 // the swap so a reopened corpus never regresses past what queries saw.
 func (c *Corpus) publish(mutate func([]*shard) ([]*shard, error)) error {
+	c.mutating.Add(1)
+	defer c.mutating.Add(-1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -385,6 +393,20 @@ func (c *Corpus) persist(ns *Snapshot) error {
 		})
 	}
 	return saveManifest(c.dir, m)
+}
+
+// Ready reports whether the corpus should receive fresh traffic: nil when a
+// snapshot is loaded and no mutation is in flight, an error naming the
+// condition otherwise.  GET /readyz on the debug listener aggregates this
+// over every serving backend.
+func (c *Corpus) Ready() error {
+	if n := c.mutating.Load(); n > 0 {
+		return fmt.Errorf("corpus %s: %d mutation(s) in flight", c.name, n)
+	}
+	if c.Snapshot().Len() == 0 {
+		return fmt.Errorf("corpus %s: no shards loaded", c.name)
+	}
+	return nil
 }
 
 // Shard returns the engine of the named shard in the current snapshot.

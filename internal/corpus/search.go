@@ -9,6 +9,7 @@ import (
 
 	"lotusx/internal/core"
 	"lotusx/internal/join"
+	"lotusx/internal/obs"
 	"lotusx/internal/twig"
 )
 
@@ -52,13 +53,20 @@ func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.Search
 	// page's contents can come from any single shard in the worst case.
 	want := opts.K + opts.Offset
 
-	results, err := c.fanout(ctx, snap, q, opts, want)
+	fanSpan, fanCtx := obs.Start(ctx, "fanout")
+	fanSpan.SetInt("shards", len(snap.shards))
+	results, err := c.fanout(fanCtx, fanSpan, snap, q, opts, want)
+	fanSpan.SetErr(err)
+	fanSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	fanoutDone := time.Now()
 
+	mergeSpan := obs.StartLeaf(ctx, "merge")
 	out := c.merge(snap, q, results, opts, want)
+	mergeSpan.SetInt("hits", len(out.Hits))
+	mergeSpan.End()
 	out.Shards = len(snap.shards)
 	out.Elapsed = time.Since(start)
 
@@ -70,9 +78,17 @@ func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.Search
 	return out, nil
 }
 
+// testSearchHook, when non-nil, runs at the start of every per-shard
+// evaluation; a non-nil return fails the shard as if its engine had.  Tests
+// use it to inject deterministic shard failures into a live fan-out.
+var testSearchHook func(ctx context.Context, shard string) error
+
 // fanout evaluates q on every shard of snap with a pool of at most
 // c.workers goroutines.  The first error cancels the rest and is returned.
-func (c *Corpus) fanout(ctx context.Context, snap *Snapshot, q *twig.Query, opts core.SearchOptions, want int) ([]shardResult, error) {
+// fanSpan (nil when untraced) receives one child span per shard evaluated
+// and, on failure, a cancelCause attribute naming the shard error that
+// cancelled the siblings.
+func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, q *twig.Query, opts core.SearchOptions, want int) ([]shardResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -96,6 +112,9 @@ func (c *Corpus) fanout(ctx context.Context, snap *Snapshot, q *twig.Query, opts
 	fail := func(err error) {
 		errOnce.Do(func() {
 			firstErr = err
+			// Record why the siblings are about to stop before cancelling, so
+			// a traced request shows the cause alongside the cut-short spans.
+			fanSpan.Set("cancelCause", err.Error())
 			cancel() // stop sibling shard evaluations mid-join
 		})
 	}
@@ -107,15 +126,38 @@ func (c *Corpus) fanout(ctx context.Context, snap *Snapshot, q *twig.Query, opts
 				if ctx.Err() != nil {
 					continue // drain after cancellation
 				}
+				name := snap.shards[i].name
+				// One span and one always-on latency observation per shard:
+				// the span feeds the per-request trace, the histogram feeds
+				// GET /metrics whether or not anyone asked for a trace.
+				ssp := fanSpan.Child("shard")
+				ssp.Set("shard", name)
+				sctx := obs.ContextWith(ctx, ssp)
+				shardStart := time.Now()
+				if hook := testSearchHook; hook != nil {
+					if err := hook(sctx, name); err != nil {
+						ssp.SetErr(err)
+						ssp.End()
+						fail(fmt.Errorf("corpus: shard %s: %w", name, err))
+						continue
+					}
+				}
 				// Each worker evaluates its own clone: Normalize assigns the
 				// same preorder IDs to the same tree, so clones are
 				// interchangeable with q for ID-based bookkeeping.
 				sq := q.Clone()
-				res, err := snap.shards[i].engine.SearchContext(ctx, sq, shardOpts)
+				res, err := snap.shards[i].engine.SearchContext(sctx, sq, shardOpts)
+				if c.met != nil {
+					c.met.Shard(name).Observe(time.Since(shardStart))
+				}
 				if err != nil {
-					fail(fmt.Errorf("corpus: shard %s: %w", snap.shards[i].name, err))
+					ssp.SetErr(err)
+					ssp.End()
+					fail(fmt.Errorf("corpus: shard %s: %w", name, err))
 					continue
 				}
+				ssp.SetInt("hits", len(res.Answers))
+				ssp.End()
 				results[i] = shardResult{res: res, q: sq}
 			}
 		}()
@@ -131,6 +173,7 @@ func (c *Corpus) fanout(ctx context.Context, snap *Snapshot, q *twig.Query, opts
 	// The caller's context may have died before any worker touched a shard
 	// (every job then drains without recording an error).
 	if err := ctx.Err(); err != nil {
+		fanSpan.Set("cancelCause", err.Error())
 		return nil, err
 	}
 	return results, nil

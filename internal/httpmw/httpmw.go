@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -166,6 +167,32 @@ func RequestIDFrom(ctx context.Context) string {
 	return id
 }
 
+// ------------------------------------------------------------- annotations
+
+const annotationsKey ctxKey = 1
+
+// annotations collects handler-supplied attributes for the request log line.
+// A mutex guards the slice: a handler may annotate from goroutines it spawns.
+type annotations struct {
+	mu    sync.Mutex
+	attrs []slog.Attr
+}
+
+// Annotate attaches key=value to the current request's log line.  Handlers
+// use it to enrich the access log with work-dependent facts middleware
+// cannot know — the resolved join algorithm, the result count — joinable
+// with traces and metrics via the request ID.  Outside a Logging-wrapped
+// request it is a no-op.
+func Annotate(ctx context.Context, key string, value any) {
+	a, _ := ctx.Value(annotationsKey).(*annotations)
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.attrs = append(a.attrs, slog.Any(key, value))
+	a.mu.Unlock()
+}
+
 // ---------------------------------------------------------------- logging
 
 // discardLogger silences middleware that was handed a nil *slog.Logger.
@@ -184,15 +211,21 @@ func Logging(l *slog.Logger) Middleware {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			sw := NewStatusWriter(w)
 			start := time.Now()
+			ann := &annotations{}
+			r = r.WithContext(context.WithValue(r.Context(), annotationsKey, ann))
 			next.ServeHTTP(sw, r)
-			l.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			attrs := []slog.Attr{
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.Int("status", sw.Status()),
 				slog.Float64("durationMs", float64(time.Since(start).Microseconds())/1000),
 				slog.Int64("bytes", sw.bytes),
 				slog.String("requestId", RequestIDFrom(r.Context())),
-			)
+			}
+			ann.mu.Lock()
+			attrs = append(attrs, ann.attrs...)
+			ann.mu.Unlock()
+			l.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 		})
 	}
 }

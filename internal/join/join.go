@@ -29,6 +29,7 @@ import (
 
 	"lotusx/internal/doc"
 	"lotusx/internal/index"
+	"lotusx/internal/obs"
 	"lotusx/internal/twig"
 )
 
@@ -135,12 +136,25 @@ func Run(ix *index.Index, q *twig.Query, alg Algorithm, opts Options) (*Result, 
 		alg = Choose(ix, q)
 	}
 	ev := &evaluator{ix: ix, q: q, opts: opts, ctx: opts.Ctx}
+	var sp *obs.Span
 	if ev.ctx != nil {
 		// Fail fast on a context that is already dead — a request whose
 		// deadline expired in middleware never starts the join at all.
 		if err := ev.ctx.Err(); err != nil {
 			return nil, err
 		}
+		// One span per evaluation, named after the resolved algorithm; a
+		// traced request sees every join (the original query's and each
+		// rewrite's) as its own timed node with its effort statistics.
+		sp = obs.StartLeaf(ev.ctx, "join:"+string(alg))
+		defer func() {
+			sp.SetInt("scanned", ev.stats.ElementsScanned)
+			sp.SetInt("matches", ev.stats.MatchesEnumerated)
+			if ev.capped {
+				sp.Set("capped", "true")
+			}
+			sp.End()
+		}()
 	}
 	ev.buildStreams()
 
@@ -162,9 +176,11 @@ func Run(ix *index.Index, q *twig.Query, alg Algorithm, opts Options) (*Result, 
 		return nil, fmt.Errorf("join: unknown algorithm %q", alg)
 	}
 	if err != nil {
+		sp.SetErr(err)
 		return nil, err
 	}
 	if ev.err != nil {
+		sp.SetErr(ev.err)
 		return nil, ev.err
 	}
 	ev.filterOrder()

@@ -1,20 +1,27 @@
 package metrics
 
 import (
+	"sync"
 	"sync/atomic"
 )
 
 // CorpusMetrics aggregates one sharded corpus: a shard-count gauge,
-// snapshot-swap and search counters, and latency histograms for the two
-// phases the sharded query path adds over a single engine — the parallel
-// per-shard fan-out and the global result merge.  All fields are safe for
-// concurrent use on the query path.
+// snapshot-swap and search counters, latency histograms for the two phases
+// the sharded query path adds over a single engine — the parallel per-shard
+// fan-out and the global result merge — and one latency histogram per shard,
+// so a straggling shard shows up in aggregates without a trace.  All fields
+// are safe for concurrent use on the query path.
 type CorpusMetrics struct {
 	shards   atomic.Int64
 	Swaps    atomic.Int64 // snapshot publishes (Add/Remove/Reindex)
 	Searches atomic.Int64 // fan-out searches served
 	Fanout   Histogram    // wall-clock of the parallel per-shard phase
 	Merge    Histogram    // wall-clock of the global merge + render phase
+
+	// mu guards perShard; the per-shard histograms themselves are lock-free
+	// once handed out.
+	mu       sync.RWMutex
+	perShard map[string]*Histogram
 }
 
 // SetShards records the shard count of the current snapshot.
@@ -25,6 +32,39 @@ func (c *CorpusMetrics) Shards() int { return int(c.shards.Load()) }
 
 // Swapped tallies one snapshot publish.
 func (c *CorpusMetrics) Swapped() { c.Swaps.Add(1) }
+
+// Shard returns (creating on first use) the named shard's per-query latency
+// histogram — one observation per shard per fan-out, so cross-shard skew
+// (the straggler problem) is visible in always-on aggregates.
+func (c *CorpusMetrics) Shard(name string) *Histogram {
+	c.mu.RLock()
+	h := c.perShard[name]
+	c.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.perShard == nil {
+		c.perShard = make(map[string]*Histogram)
+	}
+	if h = c.perShard[name]; h == nil {
+		h = &Histogram{}
+		c.perShard[name] = h
+	}
+	return h
+}
+
+// shardHistograms returns the live per-shard histograms keyed by shard name.
+func (c *CorpusMetrics) shardHistograms() map[string]*Histogram {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]*Histogram, len(c.perShard))
+	for name, h := range c.perShard {
+		out[name] = h
+	}
+	return out
+}
 
 // Corpus returns (creating on first use) the metrics of the named corpus.
 func (r *Registry) Corpus(name string) *CorpusMetrics {
@@ -50,4 +90,26 @@ type CorpusSnapshot struct {
 	Searches int64           `json:"searches"`
 	Fanout   LatencySnapshot `json:"fanout"`
 	Merge    LatencySnapshot `json:"merge"`
+	// ShardLatency reports per-shard query latency, keyed by shard name;
+	// absent until the first fan-out.
+	ShardLatency map[string]LatencySnapshot `json:"shardLatency,omitempty"`
+}
+
+// snapshot materializes the corpus's JSON view.
+func (c *CorpusMetrics) snapshot() CorpusSnapshot {
+	s := CorpusSnapshot{
+		Shards:   c.shards.Load(),
+		Swaps:    c.Swaps.Load(),
+		Searches: c.Searches.Load(),
+		Fanout:   snapshotHistogram(&c.Fanout),
+		Merge:    snapshotHistogram(&c.Merge),
+	}
+	per := c.shardHistograms()
+	if len(per) > 0 {
+		s.ShardLatency = make(map[string]LatencySnapshot, len(per))
+		for name, h := range per {
+			s.ShardLatency[name] = snapshotHistogram(h)
+		}
+	}
+	return s
 }

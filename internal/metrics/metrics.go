@@ -1,9 +1,32 @@
 // Package metrics provides the serving layer's observability primitives:
 // lock-free atomic counters and bounded latency histograms, aggregated per
-// HTTP endpoint and per join algorithm, with quantile estimates (p50, p95,
-// p99) computed from the histogram buckets.  Everything is safe for
-// concurrent use on the request path; a Snapshot materializes a consistent
-// JSON-able view for GET /api/v1/metrics.
+// HTTP endpoint, per join algorithm, per pipeline stage and per corpus
+// shard, with quantile estimates (p50, p95, p99) computed from the
+// histogram buckets.  Everything is safe for concurrent use on the request
+// path; a Snapshot materializes a JSON-able view for GET /api/v1/metrics
+// and WritePrometheus renders the text exposition for GET /metrics.
+//
+// # Snapshot consistency semantics
+//
+// Observations are individual atomic adds with no global lock, so a
+// snapshot taken while requests are in flight is not a single
+// point-in-time cut:
+//
+//   - Within one histogram, the bucket vector is read element by element in
+//     one pass and the sample count is derived from those same reads, so
+//     count always equals the cumulative bucket total (the Prometheus +Inf
+//     invariant holds by construction).  The sum is read separately and may
+//     lag or lead the buckets by the handful of observations that landed
+//     mid-read; the skew is bounded by in-flight requests and never
+//     accumulates.
+//   - Across fields of one endpoint (requests vs errors vs latency) and
+//     across endpoints, counters are read independently; each is monotone,
+//     so a snapshot can be "torn" by at most the requests that completed
+//     while it was being taken.
+//
+// These are the standard semantics of lock-free metrics (Prometheus client
+// libraries behave the same way); the alternative — a lock shared by every
+// request — is the wrong trade for a hot serving path.
 package metrics
 
 import (
@@ -18,16 +41,31 @@ import (
 // (bounded), whatever the traffic.
 const bucketCount = 22
 
-// bucketBound returns the inclusive upper bound of bucket i.
+// bucketBound returns the inclusive upper bound of bucket i.  The last
+// bucket (i == bucketCount-1) is the overflow bucket; its bound is only
+// nominal.
 func bucketBound(i int) time.Duration {
 	return 100 * time.Microsecond << uint(i)
+}
+
+// Export is a coherent read of one histogram: Count is derived from the
+// bucket loads themselves, so Count == ΣBuckets always holds within one
+// Export (see the package comment for the exact semantics).
+type Export struct {
+	// Buckets holds per-bucket sample counts; bucket i covers
+	// (bucketBound(i-1), bucketBound(i)], the last bucket is overflow.
+	Buckets [bucketCount]int64
+	// Count is the total number of samples (== sum of Buckets).
+	Count int64
+	// Sum is the summed latency in nanoseconds; it may skew from Count by
+	// in-flight observations.
+	Sum int64
 }
 
 // Histogram is a fixed-bucket latency histogram safe for concurrent
 // observation.
 type Histogram struct {
 	buckets [bucketCount]atomic.Int64
-	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
 }
 
@@ -41,29 +79,47 @@ func (h *Histogram) Observe(d time.Duration) {
 		i++
 	}
 	h.buckets[i].Add(1)
-	h.count.Add(1)
 	h.sum.Add(int64(d))
 }
 
+// Export reads the histogram in one pass.  All derived views (Count,
+// Quantile, MeanMS, snapshots, the Prometheus exposition) go through it so
+// they agree with each other within a single read.
+func (h *Histogram) Export() Export {
+	var e Export
+	for i := 0; i < bucketCount; i++ {
+		n := h.buckets[i].Load()
+		e.Buckets[i] = n
+		e.Count += n
+	}
+	e.Sum = h.sum.Load()
+	return e
+}
+
 // Count returns the number of samples observed.
-func (h *Histogram) Count() int64 { return h.count.Load() }
+func (h *Histogram) Count() int64 { return h.Export().Count }
 
 // Quantile estimates the q-quantile (0 < q < 1) as the upper bound of the
 // bucket containing that rank, in milliseconds.  It returns 0 with no
 // samples.  Bucket-bound estimation overshoots by at most one bucket width —
 // plenty for dashboards and alerts.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
+	return h.Export().Quantile(q)
+}
+
+// Quantile estimates the q-quantile over an already-exported read; see
+// Histogram.Quantile.
+func (e Export) Quantile(q float64) float64 {
+	if e.Count == 0 {
 		return 0
 	}
-	rank := int64(q*float64(total) + 0.5)
+	rank := int64(q*float64(e.Count) + 0.5)
 	if rank < 1 {
 		rank = 1
 	}
 	var seen int64
 	for i := 0; i < bucketCount; i++ {
-		seen += h.buckets[i].Load()
+		seen += e.Buckets[i]
 		if seen >= rank {
 			return float64(bucketBound(i)) / float64(time.Millisecond)
 		}
@@ -73,11 +129,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // MeanMS returns the mean latency in milliseconds, 0 with no samples.
 func (h *Histogram) MeanMS() float64 {
-	n := h.count.Load()
-	if n == 0 {
+	e := h.Export()
+	if e.Count == 0 {
 		return 0
 	}
-	return float64(h.sum.Load()) / float64(n) / float64(time.Millisecond)
+	return float64(e.Sum) / float64(e.Count) / float64(time.Millisecond)
 }
 
 // Endpoint aggregates one HTTP endpoint: request/outcome counters plus a
@@ -110,6 +166,7 @@ type Registry struct {
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
 	algos     map[string]*Histogram
+	stages    map[string]*Histogram
 	corpora   map[string]*CorpusMetrics
 	start     time.Time
 }
@@ -119,6 +176,7 @@ func New() *Registry {
 	return &Registry{
 		endpoints: make(map[string]*Endpoint),
 		algos:     make(map[string]*Histogram),
+		stages:    make(map[string]*Histogram),
 		corpora:   make(map[string]*CorpusMetrics),
 		start:     time.Now(),
 	}
@@ -145,17 +203,32 @@ func (r *Registry) Endpoint(name string) *Endpoint {
 // Algorithm returns (creating on first use) the latency histogram of the
 // named join algorithm.
 func (r *Registry) Algorithm(name string) *Histogram {
+	return lazyHistogram(r, r.algos, name)
+}
+
+// Stage returns (creating on first use) the latency histogram of the named
+// pipeline stage — "parse", "join:twigstack", "rank", "fanout", "merge",
+// "complete:tags", ... — fed by folding finished request traces, so the
+// per-stage aggregates are always on whether or not a client asked to see
+// its trace.
+func (r *Registry) Stage(name string) *Histogram {
+	return lazyHistogram(r, r.stages, name)
+}
+
+// lazyHistogram is the shared double-checked create for a registry
+// histogram map (the maps are only written under r.mu).
+func lazyHistogram(r *Registry, m map[string]*Histogram, name string) *Histogram {
 	r.mu.RLock()
-	h := r.algos[name]
+	h := m[name]
 	r.mu.RUnlock()
 	if h != nil {
 		return h
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if h = r.algos[name]; h == nil {
+	if h = m[name]; h == nil {
 		h = &Histogram{}
-		r.algos[name] = h
+		m[name] = h
 	}
 	return h
 }
@@ -170,12 +243,17 @@ type LatencySnapshot struct {
 }
 
 func snapshotHistogram(h *Histogram) LatencySnapshot {
+	e := h.Export()
+	mean := 0.0
+	if e.Count > 0 {
+		mean = float64(e.Sum) / float64(e.Count) / float64(time.Millisecond)
+	}
 	return LatencySnapshot{
-		Count:  h.Count(),
-		MeanMS: h.MeanMS(),
-		P50MS:  h.Quantile(0.50),
-		P95MS:  h.Quantile(0.95),
-		P99MS:  h.Quantile(0.99),
+		Count:  e.Count,
+		MeanMS: mean,
+		P50MS:  e.Quantile(0.50),
+		P95MS:  e.Quantile(0.95),
+		P99MS:  e.Quantile(0.99),
 	}
 }
 
@@ -188,17 +266,21 @@ type EndpointSnapshot struct {
 	Latency  LatencySnapshot `json:"latency"`
 }
 
-// Snapshot is the JSON payload of GET /api/v1/metrics.
+// Snapshot is the JSON payload of GET /api/v1/metrics.  See the package
+// comment for its consistency semantics under concurrent load.
 type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptimeSeconds"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Algorithms    map[string]LatencySnapshot  `json:"algorithms"`
+	// Stages appears once query traces have been folded in: per-pipeline-stage
+	// latency aggregates (parse, join:<algo>, rank, fanout, merge, ...).
+	Stages map[string]LatencySnapshot `json:"stages,omitempty"`
 	// Corpora appears only when sharded corpora are registered.
 	Corpora map[string]CorpusSnapshot `json:"corpora,omitempty"`
 }
 
-// Snapshot materializes a point-in-time view of every endpoint and
-// algorithm.
+// Snapshot materializes a view of every endpoint, algorithm, stage and
+// corpus.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -219,16 +301,16 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.algos {
 		s.Algorithms[name] = snapshotHistogram(h)
 	}
+	if len(r.stages) > 0 {
+		s.Stages = make(map[string]LatencySnapshot, len(r.stages))
+		for name, h := range r.stages {
+			s.Stages[name] = snapshotHistogram(h)
+		}
+	}
 	if len(r.corpora) > 0 {
 		s.Corpora = make(map[string]CorpusSnapshot, len(r.corpora))
 		for name, c := range r.corpora {
-			s.Corpora[name] = CorpusSnapshot{
-				Shards:   c.shards.Load(),
-				Swaps:    c.Swaps.Load(),
-				Searches: c.Searches.Load(),
-				Fanout:   snapshotHistogram(&c.Fanout),
-				Merge:    snapshotHistogram(&c.Merge),
-			}
+			s.Corpora[name] = c.snapshot()
 		}
 	}
 	return s

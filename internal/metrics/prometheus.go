@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Prometheus text-format exposition (version 0.0.4), hand-rolled so the
+// serving layer scrapes without a client-library dependency.  Latencies are
+// exported in seconds (the Prometheus base unit); histogram buckets reuse
+// the fixed exponential bounds of Histogram, cumulated per the exposition
+// contract, with the overflow bucket folded into +Inf.  Because Export
+// derives the sample count from the bucket reads themselves, the
+// `_count == _bucket{le="+Inf"}` invariant holds exactly even under
+// concurrent load.
+
+// WritePrometheus renders every registered metric family to w.  Families
+// and label values are emitted in sorted order so the output is
+// deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	// Copy the maps under the read lock, then render lock-free: the values
+	// are themselves concurrent-safe and live forever once registered.
+	r.mu.RLock()
+	uptime := time.Since(r.start).Seconds()
+	endpoints := make(map[string]*Endpoint, len(r.endpoints))
+	for k, v := range r.endpoints {
+		endpoints[k] = v
+	}
+	algos := make(map[string]*Histogram, len(r.algos))
+	for k, v := range r.algos {
+		algos[k] = v
+	}
+	stages := make(map[string]*Histogram, len(r.stages))
+	for k, v := range r.stages {
+		stages[k] = v
+	}
+	corpora := make(map[string]*CorpusMetrics, len(r.corpora))
+	for k, v := range r.corpora {
+		corpora[k] = v
+	}
+	r.mu.RUnlock()
+
+	fmt.Fprintf(w, "# HELP lotusx_uptime_seconds Time since the metrics registry was created.\n")
+	fmt.Fprintf(w, "# TYPE lotusx_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "lotusx_uptime_seconds %s\n", fmtFloat(uptime))
+
+	epNames := sortedKeys(endpoints)
+	counterFamily(w, "lotusx_endpoint_requests_total", "Requests routed to the endpoint.",
+		epNames, func(n string) int64 { return endpoints[n].Requests.Load() }, "endpoint")
+	counterFamily(w, "lotusx_endpoint_errors_total", "Responses with status >= 400.",
+		epNames, func(n string) int64 { return endpoints[n].Errors.Load() }, "endpoint")
+	counterFamily(w, "lotusx_endpoint_timeouts_total", "Responses that hit the per-request deadline (504).",
+		epNames, func(n string) int64 { return endpoints[n].Timeouts.Load() }, "endpoint")
+	counterFamily(w, "lotusx_endpoint_shed_total", "Requests rejected by the load limiter (429).",
+		epNames, func(n string) int64 { return endpoints[n].Shed.Load() }, "endpoint")
+	histogramFamily(w, "lotusx_endpoint_latency_seconds", "Request latency by endpoint.",
+		epNames, func(n string) Export { return endpoints[n].Latency.Export() }, "endpoint")
+
+	histogramFamily(w, "lotusx_algorithm_latency_seconds", "Query latency by resolved join algorithm.",
+		sortedKeys(algos), func(n string) Export { return algos[n].Export() }, "algorithm")
+
+	histogramFamily(w, "lotusx_stage_latency_seconds", "Pipeline stage latency folded from query traces.",
+		sortedKeys(stages), func(n string) Export { return stages[n].Export() }, "stage")
+
+	if len(corpora) > 0 {
+		cNames := sortedKeys(corpora)
+		gaugeFamily(w, "lotusx_corpus_shards", "Shard count of the current corpus snapshot.",
+			cNames, func(n string) int64 { return int64(corpora[n].Shards()) }, "corpus")
+		counterFamily(w, "lotusx_corpus_swaps_total", "Snapshot publishes (ingest, remove, reindex).",
+			cNames, func(n string) int64 { return corpora[n].Swaps.Load() }, "corpus")
+		counterFamily(w, "lotusx_corpus_searches_total", "Fan-out searches served.",
+			cNames, func(n string) int64 { return corpora[n].Searches.Load() }, "corpus")
+		histogramFamily(w, "lotusx_corpus_fanout_latency_seconds", "Wall-clock of the parallel per-shard fan-out phase.",
+			cNames, func(n string) Export { return corpora[n].Fanout.Export() }, "corpus")
+		histogramFamily(w, "lotusx_corpus_merge_latency_seconds", "Wall-clock of the global merge and render phase.",
+			cNames, func(n string) Export { return corpora[n].Merge.Export() }, "corpus")
+
+		// Per-shard latency: two labels, flattened to "corpus\x00shard" keys
+		// so the shared family renderer applies.
+		type shardKey struct{ corpus, shard string }
+		var keys []shardKey
+		hists := make(map[shardKey]*Histogram)
+		for _, cn := range cNames {
+			for sn, h := range corpora[cn].shardHistograms() {
+				k := shardKey{cn, sn}
+				keys = append(keys, k)
+				hists[k] = h
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].corpus != keys[j].corpus {
+				return keys[i].corpus < keys[j].corpus
+			}
+			return keys[i].shard < keys[j].shard
+		})
+		if len(keys) > 0 {
+			fmt.Fprintf(w, "# HELP lotusx_corpus_shard_latency_seconds Per-shard query latency within the fan-out.\n")
+			fmt.Fprintf(w, "# TYPE lotusx_corpus_shard_latency_seconds histogram\n")
+			for _, k := range keys {
+				writeHistogram(w, "lotusx_corpus_shard_latency_seconds",
+					fmt.Sprintf(`corpus=%q,shard=%q`, k.corpus, k.shard),
+					hists[k].Export())
+			}
+		}
+	}
+}
+
+// counterFamily writes one counter metric family with a single label.
+func counterFamily(w io.Writer, name, help string, keys []string, val func(string) int64, label string) {
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, val(k))
+	}
+}
+
+// gaugeFamily writes one gauge metric family with a single label.
+func gaugeFamily(w io.Writer, name, help string, keys []string, val func(string) int64, label string) {
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, val(k))
+	}
+}
+
+// histogramFamily writes one histogram metric family with a single label.
+func histogramFamily(w io.Writer, name, help string, keys []string, export func(string) Export, label string) {
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, k := range keys {
+		writeHistogram(w, name, fmt.Sprintf("%s=%q", label, k), export(k))
+	}
+}
+
+// writeHistogram emits the _bucket/_sum/_count triple of one labeled series.
+func writeHistogram(w io.Writer, name, labels string, e Export) {
+	var cum int64
+	// The finite buckets; the final (overflow) bucket folds into +Inf.
+	for i := 0; i < bucketCount-1; i++ {
+		cum += e.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", name, labels, fmtFloat(bucketBound(i).Seconds()), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, e.Count)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, fmtFloat(time.Duration(e.Sum).Seconds()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, e.Count)
+}
+
+// fmtFloat renders a float compactly; %g keeps round values short and
+// Go's escaping of label values via %q matches the exposition format's
+// (backslash, quote and newline escapes are identical).
+func fmtFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

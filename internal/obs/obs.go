@@ -1,0 +1,359 @@
+// Package obs is the query-observability layer: a lightweight span tree
+// (Trace/Span) that attributes a request's latency to the pipeline stages
+// that produced it — twig parse, the join algorithm that ran, completion
+// scans, rewriting, ranking, and (for sharded corpora) one span per shard
+// of the parallel fan-out plus the global merge.
+//
+// The design goal is zero cost when tracing is off: a nil *Span (and a nil
+// *Trace) is a valid receiver for every method, and Start on a context that
+// carries no active span returns (nil, ctx) without allocating.  Callers
+// therefore instrument unconditionally:
+//
+//	sp, ctx := obs.Start(ctx, "rank")
+//	defer sp.End()
+//	sp.SetInt("matches", n)
+//
+// and pay only a context value lookup plus nil checks until a caller —
+// the HTTP server on ?debug=trace, the slow-query logger, the REPL's
+// :trace toggle — roots a Trace in the context.
+//
+// Spans are safe for concurrent child creation and attribute writes, which
+// the corpus fan-out relies on: every shard goroutine opens its own child
+// under the shared fan-out span.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.  Values are strings so a
+// finished trace is trivially renderable and needs no reflection.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed stage of a trace.  The zero value is not used; spans
+// are created by Trace.New's root and Span.Child.  All methods are safe on
+// a nil receiver (the "tracing off" fast path) and safe for concurrent use.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time // zero while the span is open
+	attrs    []Attr
+	children []*Span
+}
+
+// Trace is the span tree of one request.  A nil *Trace is valid and inert.
+type Trace struct {
+	root *Span
+}
+
+// New starts a trace whose root span is named name.
+func New(name string) *Trace {
+	return &Trace{root: &Span{name: name, start: time.Now()}}
+}
+
+// Root returns the trace's root span, nil for a nil trace.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span (child spans end themselves).  It is safe to
+// call more than once; the first call wins.
+func (t *Trace) Finish() {
+	if t != nil {
+		t.root.End()
+	}
+}
+
+// Child opens a sub-span of s.  It returns nil when s is nil, so an
+// untraced call chain stays allocation-free.  Safe for concurrent use —
+// the corpus fan-out opens one child per shard goroutine.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span.  The first End wins; later calls are no-ops, so a
+// deferred End after an explicit one is harmless.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Ended reports whether the span has been closed.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.end.IsZero()
+}
+
+// Set attaches (or overwrites) a string attribute.
+func (s *Span) Set(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int) { s.Set(key, strconv.Itoa(v)) }
+
+// SetErr records err under the "error" key; a nil err is a no-op.
+func (s *Span) SetErr(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Set("error", err.Error())
+}
+
+// Name returns the span's name, "" for nil.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Attr returns the value of the named attribute, "" when absent.
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Duration returns the span's wall-clock time: end-start once ended, the
+// time elapsed so far while still open, 0 for nil.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Each visits s and every descendant, parent before children.  Children
+// are visited in creation order.
+func (s *Span) Each(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.Each(fn)
+	}
+}
+
+// Each visits every span of the trace, parent before children.
+func (t *Trace) Each(fn func(*Span)) { t.Root().Each(fn) }
+
+// ------------------------------------------------------------------ context
+
+type ctxKey struct{}
+
+// ContextWith returns ctx with sp as the active span; Start hangs children
+// off the active span.  A nil sp returns ctx unchanged, so untraced code
+// paths allocate nothing.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the active span, nil when the context is untraced.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Start opens a child of the context's active span and returns it plus a
+// context with the child active, so deeper stages nest under it.  On an
+// untraced context it returns (nil, ctx): the off path is one context
+// lookup and a nil check.
+func Start(ctx context.Context, name string) (*Span, context.Context) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	sp := parent.Child(name)
+	return sp, context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// StartLeaf opens a child of the context's active span without deriving a
+// new context — for pipeline stages that never nest further spans (a join, a
+// ranking pass, a merge).  It skips Start's context allocation, which
+// matters on the traced path: leaf stages dominate a trace's span count.
+func StartLeaf(ctx context.Context, name string) *Span {
+	return FromContext(ctx).Child(name)
+}
+
+// ---------------------------------------------------------------- rendering
+
+// Node is the JSON shape of one rendered span: the v1 response envelope's
+// "trace" field and the slow-query log both carry this tree.
+type Node struct {
+	Name string `json:"name"`
+	// StartMS is the span's start offset from the trace root, milliseconds.
+	StartMS float64 `json:"startMs"`
+	// DurationMS is the span's wall-clock time in milliseconds.  Spans still
+	// open when rendered report the time elapsed so far.
+	DurationMS float64           `json:"durationMs"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*Node           `json:"children,omitempty"`
+}
+
+// Render materializes the trace as a Node tree, nil for a nil trace.
+func (t *Trace) Render() *Node {
+	if t == nil {
+		return nil
+	}
+	return t.root.render(t.root.start)
+}
+
+func (s *Span) render(origin time.Time) *Node {
+	s.mu.Lock()
+	n := &Node{
+		Name:       s.name,
+		StartMS:    durMS(s.start.Sub(origin)),
+		DurationMS: durMS(s.lockedDuration()),
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			n.Attrs[a.Key] = a.Value
+		}
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		n.Children = append(n.Children, c.render(origin))
+	}
+	return n
+}
+
+// lockedDuration is Duration with s.mu already held.
+func (s *Span) lockedDuration() time.Duration {
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// Tree renders the trace as an indented multi-line text tree — the REPL's
+// :trace output.
+func (t *Trace) Tree() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	t.root.tree(&b, 0)
+	return b.String()
+}
+
+func (s *Span) tree(b *strings.Builder, depth int) {
+	s.mu.Lock()
+	fmt.Fprintf(b, "%s%s %.3fms", strings.Repeat("  ", depth), s.name, durMS(s.lockedDuration()))
+	if len(s.attrs) > 0 {
+		attrs := make([]string, len(s.attrs))
+		for i, a := range s.attrs {
+			attrs[i] = a.Key + "=" + a.Value
+		}
+		sort.Strings(attrs)
+		fmt.Fprintf(b, "  [%s]", strings.Join(attrs, " "))
+	}
+	b.WriteByte('\n')
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.tree(b, depth+1)
+	}
+}
+
+// Compact renders the trace on one line —
+// "query 12.3ms (parse 0.1ms; fanout 9.8ms (shard 9.1ms); merge 1.2ms)" —
+// the shape the slow-query log embeds.
+func (t *Trace) Compact() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	t.root.compact(&b)
+	return b.String()
+}
+
+func (s *Span) compact(b *strings.Builder) {
+	s.mu.Lock()
+	fmt.Fprintf(b, "%s %.3fms", s.name, durMS(s.lockedDuration()))
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if len(kids) == 0 {
+		return
+	}
+	b.WriteString(" (")
+	for i, c := range kids {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		c.compact(b)
+	}
+	b.WriteString(")")
+}

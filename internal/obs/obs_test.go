@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Everything must be callable on nil receivers — the tracing-off path.
+	var tr *Trace
+	var sp *Span
+	tr.Finish()
+	tr.Each(func(*Span) { t.Fatal("nil trace visited a span") })
+	if tr.Root() != nil || tr.Render() != nil || tr.Tree() != "" || tr.Compact() != "" {
+		t.Fatal("nil trace rendered something")
+	}
+	if c := sp.Child("x"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	sp.End()
+	sp.Set("k", "v")
+	sp.SetInt("n", 1)
+	sp.SetErr(errors.New("boom"))
+	if sp.Name() != "" || sp.Attr("k") != "" || sp.Duration() != 0 || sp.Ended() {
+		t.Fatal("nil span reported state")
+	}
+}
+
+func TestStartWithoutTraceIsInert(t *testing.T) {
+	ctx := context.Background()
+	sp, ctx2 := Start(ctx, "stage")
+	if sp != nil {
+		t.Fatal("Start on an untraced context returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start on an untraced context rewrapped the context")
+	}
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := New("query")
+	ctx := ContextWith(context.Background(), tr.Root())
+
+	parse, ctx2 := Start(ctx, "parse")
+	parse.End()
+	join, ctx3 := Start(ctx2, "join")
+	inner, _ := Start(ctx3, "rank")
+	inner.SetInt("matches", 42)
+	inner.End()
+	join.End()
+	tr.Finish()
+
+	// parse is a child of the root; rank nests under join which nests under
+	// parse (Start used parse's context), mirroring the call chain.
+	n := tr.Render()
+	if n.Name != "query" || len(n.Children) != 1 || n.Children[0].Name != "parse" {
+		t.Fatalf("unexpected tree root: %+v", n)
+	}
+	j := n.Children[0].Children[0]
+	if j.Name != "join" || len(j.Children) != 1 || j.Children[0].Name != "rank" {
+		t.Fatalf("unexpected nesting: %+v", j)
+	}
+	if j.Children[0].Attrs["matches"] != "42" {
+		t.Fatalf("attr lost: %+v", j.Children[0].Attrs)
+	}
+}
+
+func TestEachOrderAndDurations(t *testing.T) {
+	tr := New("root")
+	a := tr.Root().Child("a")
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	b := tr.Root().Child("b")
+	b.End()
+	tr.Finish()
+
+	var names []string
+	tr.Each(func(s *Span) { names = append(names, s.Name()) })
+	if got := strings.Join(names, ","); got != "root,a,b" {
+		t.Fatalf("Each order: %s", got)
+	}
+	if a.Duration() <= 0 || tr.Root().Duration() < a.Duration() {
+		t.Fatalf("durations inconsistent: root %v, a %v", tr.Root().Duration(), a.Duration())
+	}
+	if !a.Ended() || !tr.Root().Ended() {
+		t.Fatal("spans not marked ended")
+	}
+}
+
+func TestSetOverwrites(t *testing.T) {
+	tr := New("x")
+	tr.Root().Set("k", "1")
+	tr.Root().Set("k", "2")
+	if got := tr.Root().Attr("k"); got != "2" {
+		t.Fatalf("Set did not overwrite: %q", got)
+	}
+}
+
+// TestConcurrentChildren hammers one parent span from many goroutines —
+// the corpus fan-out shape; run under -race.
+func TestConcurrentChildren(t *testing.T) {
+	tr := New("fanout")
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.Root().Child("shard")
+			sp.Set("shard", fmt.Sprintf("s%03d", i))
+			sp.SetInt("hits", i)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	tr.Finish()
+
+	count := 0
+	tr.Each(func(s *Span) {
+		if s.Name() == "shard" {
+			count++
+			if !s.Ended() {
+				t.Errorf("shard span %s not ended", s.Attr("shard"))
+			}
+		}
+	})
+	if count != workers {
+		t.Fatalf("got %d shard spans, want %d", count, workers)
+	}
+}
+
+func TestRenderJSONShape(t *testing.T) {
+	tr := New("query")
+	sp := tr.Root().Child("parse")
+	sp.End()
+	tr.Finish()
+	raw, err := json.Marshal(tr.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name       string `json:"name"`
+		DurationMS any    `json:"durationMs"`
+		Children   []struct {
+			Name    string  `json:"name"`
+			StartMS float64 `json:"startMs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Name != "query" || len(decoded.Children) != 1 || decoded.Children[0].Name != "parse" {
+		t.Fatalf("bad JSON: %s", raw)
+	}
+}
+
+func TestTreeAndCompact(t *testing.T) {
+	tr := New("query")
+	f := tr.Root().Child("fanout")
+	s := f.Child("shard")
+	s.Set("shard", "x/000")
+	s.End()
+	f.End()
+	tr.Root().Child("merge").End()
+	tr.Finish()
+
+	tree := tr.Tree()
+	for _, want := range []string{"query ", "  fanout ", "    shard ", "[shard=x/000]", "  merge "} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("Tree missing %q:\n%s", want, tree)
+		}
+	}
+	compact := tr.Compact()
+	if !strings.Contains(compact, "fanout") || !strings.Contains(compact, "(shard") {
+		t.Fatalf("Compact missing nesting: %s", compact)
+	}
+	if strings.Contains(compact, "\n") {
+		t.Fatalf("Compact is not one line: %q", compact)
+	}
+}

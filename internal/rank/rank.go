@@ -17,12 +17,14 @@
 package rank
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
 
 	"lotusx/internal/index"
 	"lotusx/internal/join"
+	"lotusx/internal/obs"
 	"lotusx/internal/twig"
 )
 
@@ -43,6 +45,19 @@ type Ranker struct {
 
 // New returns a Ranker over ix.
 func New(ix *index.Index) *Ranker { return &Ranker{ix: ix} }
+
+// RankContext is Rank under a context: when the context carries a trace, the
+// scoring pass is recorded as a "rank" span with its input and output sizes.
+// Ranking itself is not cancellable — it is pure CPU over already-enumerated
+// matches and bounded by them.
+func (r *Ranker) RankContext(ctx context.Context, q *twig.Query, matches []join.Match, k int) []Scored {
+	sp := obs.StartLeaf(ctx, "rank")
+	out := r.Rank(q, matches, k)
+	sp.SetInt("matches", len(matches))
+	sp.SetInt("ranked", len(out))
+	sp.End()
+	return out
+}
 
 // Rank scores all matches and returns the top k (all when k <= 0), best
 // first.

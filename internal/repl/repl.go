@@ -14,6 +14,7 @@ import (
 
 	"lotusx/internal/complete"
 	"lotusx/internal/core"
+	"lotusx/internal/obs"
 	"lotusx/internal/twig"
 )
 
@@ -22,6 +23,9 @@ type REPL struct {
 	backend core.Backend
 	session *core.Session
 	out     *bufio.Writer
+	// trace, when toggled on with :trace, prints the per-stage span tree of
+	// every run/query evaluation — the terminal twin of ?debug=trace.
+	trace bool
 }
 
 // Run reads commands from in and writes responses to out until EOF or the
@@ -91,6 +95,13 @@ func (r *REPL) dispatch(line string) {
 		err = r.cmdRun(args)
 	case "query":
 		err = r.cmdQuery(line)
+	case ":trace":
+		r.trace = !r.trace
+		if r.trace {
+			r.printf("tracing on: run/query print the per-stage span tree\n")
+		} else {
+			r.printf("tracing off\n")
+		}
 	default:
 		err = fmt.Errorf("unknown command %q (try 'help')", cmd)
 	}
@@ -112,6 +123,7 @@ func (r *REPL) help() {
   xquery                     print the equivalent XQuery
   run [k]                    evaluate (with rewriting) and print answers
   query <xpath>              one-shot query, bypassing the session
+  :trace                     toggle per-query span traces (timing breakdown)
   quit
 `)
 }
@@ -293,12 +305,32 @@ func (r *REPL) cmdRun(args []string) error {
 		}
 		k = n
 	}
-	res, err := r.session.RunHits(core.SearchOptions{K: k, Rewrite: true, SnippetMax: 200})
+	tr, ctx := r.startTrace()
+	res, err := r.session.RunHitsContext(ctx, core.SearchOptions{K: k, Rewrite: true, SnippetMax: 200})
 	if err != nil {
 		return err
 	}
 	r.printHits(res)
+	r.printTrace(tr)
 	return nil
+}
+
+// startTrace begins a span tree for one evaluation when :trace is on.
+func (r *REPL) startTrace() (*obs.Trace, context.Context) {
+	if !r.trace {
+		return nil, context.Background()
+	}
+	tr := obs.New("query")
+	return tr, obs.ContextWith(context.Background(), tr.Root())
+}
+
+// printTrace finishes and prints the span tree, if one was recorded.
+func (r *REPL) printTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	r.printf("%s", tr.Tree())
 }
 
 func (r *REPL) cmdQuery(line string) error {
@@ -306,15 +338,20 @@ func (r *REPL) cmdQuery(line string) error {
 	if text == "" {
 		return fmt.Errorf("usage: query <xpath>")
 	}
+	tr, ctx := r.startTrace()
+	sp := obs.StartLeaf(ctx, "parse")
 	q, err := twig.Parse(text)
+	sp.SetErr(err)
+	sp.End()
 	if err != nil {
 		return err
 	}
-	res, err := r.backend.SearchHits(context.Background(), q, core.SearchOptions{K: 5, Rewrite: true, SnippetMax: 200})
+	res, err := r.backend.SearchHits(ctx, q, core.SearchOptions{K: 5, Rewrite: true, SnippetMax: 200})
 	if err != nil {
 		return err
 	}
 	r.printHits(res)
+	r.printTrace(tr)
 	return nil
 }
 

@@ -19,12 +19,14 @@ package rewrite
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 	"strings"
 
 	"lotusx/internal/dataguide"
 	"lotusx/internal/doc"
 	"lotusx/internal/index"
+	"lotusx/internal/obs"
 	"lotusx/internal/twig"
 )
 
@@ -88,6 +90,17 @@ func New(ix *index.Index, guide *dataguide.Guide) *Engine {
 
 // SetPenalties overrides the penalty model (ablation benches use this).
 func (e *Engine) SetPenalties(p Penalties) { e.penalties = p }
+
+// EnumerateContext is Enumerate under a context: when the context carries a
+// trace, the best-first relaxation search is recorded as a
+// "rewrite:enumerate" span with the number of candidates it produced.
+func (e *Engine) EnumerateContext(ctx context.Context, q *twig.Query, maxPenalty float64, limit int) []Rewrite {
+	sp := obs.StartLeaf(ctx, "rewrite:enumerate")
+	out := e.Enumerate(q, maxPenalty, limit)
+	sp.SetInt("candidates", len(out))
+	sp.End()
+	return out
+}
 
 // Enumerate returns up to limit rewrites of q with penalty at most
 // maxPenalty, cheapest first, excluding q itself.  The search is best-first

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"io"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"lotusx/internal/httpmw"
 	"lotusx/internal/join"
 	"lotusx/internal/metrics"
+	"lotusx/internal/obs"
 	"lotusx/internal/twig"
 )
 
@@ -60,6 +62,12 @@ type Config struct {
 	// CorpusDir, when non-empty with EnableAdmin, persists admin-created
 	// corpora under <CorpusDir>/<dataset>/ (manifest + shard files).
 	CorpusDir string
+	// SlowQuery is the slow-query log threshold: query and completion
+	// requests taking at least this long are logged at WARN with their full
+	// per-stage trace breakdown and a sanitized query.  0 disables the log
+	// (and with it the always-on tracing of every request; ?debug=trace
+	// still traces individual requests on demand).
+	SlowQuery time.Duration
 }
 
 // Server handles the LotusX HTTP API.  It serves one or more datasets from
@@ -73,6 +81,8 @@ type Server struct {
 	handler   http.Handler
 	reg       *metrics.Registry
 	corpusDir string
+	slowQuery time.Duration
+	logger    *slog.Logger
 	// adminMu serializes the admin routes that create or delete whole
 	// datasets: concurrent creates of the same name must not race each
 	// other (or a delete) over the dataset's persistence directory.
@@ -101,7 +111,18 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 	if reg == nil {
 		reg = metrics.New()
 	}
-	s := &Server{catalog: catalog, mux: http.NewServeMux(), reg: reg, corpusDir: cfg.CorpusDir}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		catalog:   catalog,
+		mux:       http.NewServeMux(),
+		reg:       reg,
+		corpusDir: cfg.CorpusDir,
+		slowQuery: cfg.SlowQuery,
+		logger:    logger,
+	}
 
 	// The v1 surface.  Each route is instrumented under its endpoint name;
 	// the legacy un-versioned alias answers identically (same handler, same
@@ -119,6 +140,8 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 		{"GET", "/api/v1/node/{id}", "node", s.handleNode, true},
 		{"GET", "/api/v1/guide", "guide", s.handleGuide, true},
 		{"GET", "/api/v1/metrics", "metrics", s.handleMetrics, false},
+		// The conventional Prometheus scrape path, outside the API prefix.
+		{"GET", "/metrics", "prometheus", s.handlePrometheus, false},
 	}
 	if cfg.EnableAdmin {
 		routes = append(routes, []struct {
@@ -156,7 +179,7 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 				reg.Endpoint(endpointName(r.URL.Path)).Record(http.StatusTooManyRequests, 0)
 			},
 			// Observability must survive overload: metrics always answers.
-			Exempt: func(r *http.Request) bool { return r.URL.Path == "/api/v1/metrics" },
+			Exempt: func(r *http.Request) bool { return metricsPath(r.URL.Path) },
 		}),
 		httpmw.Deadline(cfg.QueryTimeout),
 	)
@@ -283,6 +306,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // completeResponse is the payload of /api/v1/complete.
 type completeResponse struct {
 	Candidates []complete.Candidate `json:"candidates"`
+	// Trace is present only when requested (?debug=trace / X-Lotusx-Trace).
+	Trace *obs.Node `json:"trace,omitempty"`
 }
 
 // handleComplete serves position-aware completion.
@@ -317,12 +342,14 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		axis = twig.Descendant
 	}
 
+	tr, r := s.startTrace(r, "complete")
 	path := strings.TrimSpace(qv.Get("path"))
 	var q *twig.Query
 	focus := complete.NewRoot
 	if path != "" {
-		parsed, err := twig.Parse(path)
+		parsed, err := parseTraced(r, path)
 		if err != nil {
+			s.finishTrace(r, tr, nil)
 			badQuery(w, fmt.Errorf("bad path: %w", err))
 			return
 		}
@@ -336,14 +363,18 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		cands, err = b.CompleteTags(r.Context(), q, focus, axis, prefix, k)
 	case "value":
 		if focus == complete.NewRoot {
+			s.finishTrace(r, tr, q)
 			badQuery(w, fmt.Errorf("value completion needs a path"))
 			return
 		}
 		cands, err = b.CompleteValues(r.Context(), q, focus, prefix, k)
 	default:
+		s.finishTrace(r, tr, q)
 		badQuery(w, fmt.Errorf("unknown kind %q", kind))
 		return
 	}
+	httpmw.Annotate(r.Context(), "candidates", len(cands))
+	trace := s.finishTrace(r, tr, q)
 	if err != nil {
 		if isCtxError(err) {
 			writeCtxError(w, err)
@@ -352,7 +383,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, completeResponse{Candidates: cands})
+	writeJSON(w, http.StatusOK, completeResponse{Candidates: cands, Trace: trace})
 }
 
 // handleExplain reports where a candidate tag occurs at a position — the
@@ -450,6 +481,9 @@ type queryResponse struct {
 	Shards    int     `json:"shards,omitempty"`
 	ElapsedMS float64 `json:"elapsedMs"`
 	XQuery    string  `json:"xquery"`
+	// Trace is the per-stage span tree of this request; present only when
+	// requested with ?debug=trace or X-Lotusx-Trace: 1.
+	Trace *obs.Node `json:"trace,omitempty"`
 }
 
 // validAlgorithm reports whether name selects an implemented algorithm.
@@ -496,8 +530,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badQuery(w, fmt.Errorf("unknown algorithm %q: want one of %s", req.Algorithm, algorithmNames()))
 		return
 	}
-	q, err := twig.Parse(req.Query)
+	tr, r := s.startTrace(r, "query")
+	q, err := parseTraced(r, req.Query)
 	if err != nil {
+		s.finishTrace(r, tr, nil)
 		badQuery(w, err)
 		return
 	}
@@ -507,6 +543,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := b.SearchHits(r.Context(), q, opts)
 	if err != nil {
+		s.finishTrace(r, tr, q)
 		if isCtxError(err) {
 			writeCtxError(w, err)
 		} else {
@@ -515,6 +552,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Algorithm(string(res.Algorithm)).Observe(res.Elapsed)
+	annotateSearch(r, res)
+	trace := s.finishTrace(r, tr, q)
 	resp := queryResponse{
 		Exact:     res.Exact,
 		Total:     res.Total,
@@ -523,6 +562,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Algorithm: string(res.Algorithm),
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 		XQuery:    q.ToXQuery(),
+		Trace:     trace,
 	}
 	if res.Shards > 1 {
 		resp.Shards = res.Shards

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"lotusx/internal/core"
+	"lotusx/internal/httpmw"
+	"lotusx/internal/metrics"
+	"lotusx/internal/obs"
+	"lotusx/internal/twig"
+)
+
+// Per-request tracing: the query and completion handlers run under an
+// obs.Trace whenever the client asked to see it (?debug=trace or
+// X-Lotusx-Trace: 1) or slow-query logging is armed.  Finished traces are
+// folded into the always-on per-stage histograms either way; the span tree
+// itself is only serialized into the response for clients that asked.
+
+// traceRequested reports whether the client opted into receiving the trace.
+func traceRequested(r *http.Request) bool {
+	return r.URL.Query().Get("debug") == "trace" || r.Header.Get("X-Lotusx-Trace") == "1"
+}
+
+// startTrace begins a trace named name for r when tracing is on for this
+// request, returning the (possibly nil) trace and the context to evaluate
+// under.  A nil trace costs nothing downstream: every span operation on the
+// untraced path is a nil-check.
+func (s *Server) startTrace(r *http.Request, name string) (*obs.Trace, *http.Request) {
+	if !traceRequested(r) && s.slowQuery <= 0 {
+		return nil, r
+	}
+	tr := obs.New(name)
+	return tr, r.WithContext(obs.ContextWith(r.Context(), tr.Root()))
+}
+
+// finishTrace closes the trace, folds its spans into the per-stage
+// histograms, and emits the slow-query log when the request exceeded the
+// threshold.  It returns the rendered span tree when the client asked for
+// it, nil otherwise.
+func (s *Server) finishTrace(r *http.Request, tr *obs.Trace, q *twig.Query) *obs.Node {
+	if tr == nil {
+		return nil
+	}
+	tr.Finish()
+	foldTrace(s.reg, tr)
+	if d := tr.Root().Duration(); s.slowQuery > 0 && d >= s.slowQuery {
+		s.logSlowQuery(r, tr, q, d)
+	}
+	if traceRequested(r) {
+		return tr.Render()
+	}
+	return nil
+}
+
+// foldTrace feeds every finished span's duration into the registry's
+// per-stage histograms, so stage aggregates are always on whether or not a
+// client asked to see a trace.  The root span (the whole request, already
+// covered by endpoint latency) and per-shard spans (covered by the corpus's
+// per-shard histograms, which would explode stage cardinality here) are
+// skipped.
+func foldTrace(reg *metrics.Registry, tr *obs.Trace) {
+	root := tr.Root()
+	tr.Each(func(sp *obs.Span) {
+		if sp == root || sp.Name() == "shard" {
+			return
+		}
+		reg.Stage(sp.Name()).Observe(sp.Duration())
+	})
+}
+
+// logSlowQuery emits one structured warning for a query that exceeded the
+// slow-query threshold: the sanitized query, the full per-stage breakdown in
+// compact form, and the request ID to join with the access log.
+func (s *Server) logSlowQuery(r *http.Request, tr *obs.Trace, q *twig.Query, d time.Duration) {
+	s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+		slog.String("query", sanitizeQuery(q)),
+		slog.Float64("durationMs", float64(d.Microseconds())/1000),
+		slog.Float64("thresholdMs", float64(s.slowQuery.Microseconds())/1000),
+		slog.String("dataset", r.URL.Query().Get("dataset")),
+		slog.String("requestId", httpmw.RequestIDFrom(r.Context())),
+		slog.String("trace", tr.Compact()),
+	)
+}
+
+// sanitizeQuery renders q with predicate operands redacted — slow-query logs
+// keep the query's shape (tags, axes, operators) without persisting what
+// users searched for.
+func sanitizeQuery(q *twig.Query) string {
+	if q == nil {
+		return ""
+	}
+	c := q.Clone()
+	for _, n := range c.Nodes() {
+		if n.Pred.Op != twig.NoPred && n.Pred.Value != "" {
+			n.Pred.Value = "…"
+		}
+	}
+	return c.String()
+}
+
+// readyReporter is the readiness slice of a backend.  Sharded corpora
+// implement it (not ready mid-mutation or empty); plain engines — immutable
+// once built — are always ready.
+type readyReporter interface{ Ready() error }
+
+// Ready aggregates readiness over every serving dataset: nil when each
+// backend that reports readiness is ready.  GET /readyz on the debug
+// listener serves this.
+func (s *Server) Ready() error {
+	for _, name := range s.catalog.Names() {
+		b, err := s.catalog.GetBackend(name)
+		if err != nil {
+			return err
+		}
+		if rr, ok := b.(readyReporter); ok {
+			if err := rr.Ready(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// handlePrometheus serves the hand-rolled Prometheus text exposition —
+// GET /metrics, the conventional scrape path, next to the JSON snapshot at
+// /api/v1/metrics.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// metricsPath reports whether path is one of the metrics endpoints, which
+// stay exempt from load shedding: observability must survive overload.
+func metricsPath(path string) bool {
+	return path == "/api/v1/metrics" || path == "/metrics"
+}
+
+// annotateSearch enriches the access log with the facts the handler learned
+// doing the work: the resolved algorithm and the result count.
+func annotateSearch(r *http.Request, res *core.HitResult) {
+	httpmw.Annotate(r.Context(), "algorithm", string(res.Algorithm))
+	httpmw.Annotate(r.Context(), "results", len(res.Hits))
+	if res.Shards > 1 {
+		httpmw.Annotate(r.Context(), "shards", res.Shards)
+	}
+	if res.RewritesTried > 0 {
+		httpmw.Annotate(r.Context(), "rewritesTried", res.RewritesTried)
+	}
+}
+
+// parseTraced parses the query under a "parse" span.
+func parseTraced(r *http.Request, query string) (*twig.Query, error) {
+	sp := obs.StartLeaf(r.Context(), "parse")
+	q, err := twig.Parse(query)
+	sp.SetErr(err)
+	sp.End()
+	return q, err
+}

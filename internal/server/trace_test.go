@@ -1,0 +1,362 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lotusx/internal/core"
+	"lotusx/internal/corpus"
+	"lotusx/internal/doc"
+	"lotusx/internal/metrics"
+	"lotusx/internal/obs"
+
+	"log/slog"
+)
+
+// shardedServer builds a server over bibXML split into two shards — the
+// setup whose traces exercise the full pipeline: parse, fan-out, per-shard
+// joins, merge.
+func shardedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	d, err := doc.FromReader("bib", strings.NewReader(bibXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	c, err := corpus.FromDocument("bib", d, 2, corpus.Config{Metrics: cfg.Metrics.Corpus("bib")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := core.NewCatalog()
+	catalog.AddBackend("bib", c)
+	srv := NewCatalogConfig(catalog, cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// traceNode mirrors obs.Node for decoding the trace out of the v1 envelope.
+type traceNode struct {
+	Name       string            `json:"name"`
+	DurationMS float64           `json:"durationMs"`
+	Attrs      map[string]string `json:"attrs"`
+	Children   []traceNode       `json:"children"`
+}
+
+func countSpans(n *traceNode, counts map[string]int) {
+	name := n.Name
+	if strings.HasPrefix(name, "join:") {
+		name = "join"
+	}
+	counts[name]++
+	for i := range n.Children {
+		countSpans(&n.Children[i], counts)
+	}
+}
+
+// TestQueryDebugTrace opts a request into tracing and checks the span tree
+// in the response: the parse, fan-out, one span per shard, and the merge are
+// all there with sane durations — and that an untraced request pays nothing
+// and carries no tree.
+func TestQueryDebugTrace(t *testing.T) {
+	_, ts := shardedServer(t, Config{})
+
+	var resp struct {
+		Answers []any      `json:"answers"`
+		Trace   *traceNode `json:"trace"`
+	}
+	if code := postJSON(t, ts.URL+"/api/v1/query?debug=trace", `{"query": "//article/author"}`, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	if resp.Trace == nil {
+		t.Fatal("?debug=trace returned no trace")
+	}
+	if resp.Trace.Name != "query" {
+		t.Fatalf("root span = %q, want query", resp.Trace.Name)
+	}
+	counts := map[string]int{}
+	countSpans(resp.Trace, counts)
+	if counts["parse"] != 1 || counts["fanout"] != 1 || counts["merge"] != 1 {
+		t.Fatalf("span counts = %v, want one parse/fanout/merge", counts)
+	}
+	if counts["shard"] != 2 {
+		t.Fatalf("span counts = %v, want one span per shard", counts)
+	}
+	if counts["join"] < 2 || counts["rank"] < 2 {
+		t.Fatalf("span counts = %v, want per-shard join and rank", counts)
+	}
+	if resp.Trace.DurationMS <= 0 {
+		t.Fatalf("root duration = %v", resp.Trace.DurationMS)
+	}
+
+	// The header spelling works too.
+	req, _ := http.NewRequest("POST", ts.URL+"/api/v1/query", strings.NewReader(`{"query": "//article/author"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Lotusx-Trace", "1")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var hdr struct {
+		Trace *traceNode `json:"trace"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Trace == nil {
+		t.Fatal("X-Lotusx-Trace: 1 returned no trace")
+	}
+
+	// Without opting in there is no trace key at all.
+	var raw map[string]json.RawMessage
+	if code := postJSON(t, ts.URL+"/api/v1/query", `{"query": "//article/author"}`, &raw); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if _, ok := raw["trace"]; ok {
+		t.Fatal("untraced request leaked a trace")
+	}
+}
+
+// TestCompleteDebugTrace checks the completion endpoint's trace: parse plus
+// the per-shard completion scans and the candidate merge.
+func TestCompleteDebugTrace(t *testing.T) {
+	_, ts := shardedServer(t, Config{})
+	var resp struct {
+		Candidates []any      `json:"candidates"`
+		Trace      *traceNode `json:"trace"`
+	}
+	url := ts.URL + "/api/v1/complete?kind=tag&path=%2F%2Farticle&prefix=a&debug=trace"
+	if code := getJSON(t, url, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Trace == nil {
+		t.Fatal("no trace on completion")
+	}
+	counts := map[string]int{}
+	countSpans(resp.Trace, counts)
+	if counts["parse"] != 1 || counts["complete:merge"] != 1 {
+		t.Fatalf("span counts = %v, want parse and complete:merge", counts)
+	}
+	if counts["complete:tags"] < 2 {
+		t.Fatalf("span counts = %v, want a completion scan per shard", counts)
+	}
+}
+
+// TestPrometheusExposition scrapes GET /metrics over HTTP after traffic and
+// checks the text exposition: content type, the endpoint counters, the
+// always-on stage histograms (folded from traces), and the per-shard corpus
+// latency series.
+func TestPrometheusExposition(t *testing.T) {
+	// SlowQuery arms always-on tracing (and stage folding) without ever
+	// firing the log.
+	_, ts := shardedServer(t, Config{SlowQuery: time.Hour})
+
+	var out struct{ Answers []any }
+	if code := postJSON(t, ts.URL+"/api/v1/query", `{"query": "//article/author"}`, &out); code != 200 {
+		t.Fatalf("query status %d", code)
+	}
+
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want the Prometheus text format", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		`lotusx_endpoint_requests_total{endpoint="query"} 1`,
+		`# TYPE lotusx_stage_latency_seconds histogram`,
+		`lotusx_stage_latency_seconds_count{stage="parse"} 1`,
+		`lotusx_stage_latency_seconds_count{stage="fanout"} 1`,
+		`lotusx_stage_latency_seconds_count{stage="merge"} 1`,
+		`lotusx_corpus_shard_latency_seconds_count{corpus="bib",shard="bib/000"} 1`,
+		`lotusx_corpus_shard_latency_seconds_count{corpus="bib",shard="bib/001"} 1`,
+		`lotusx_corpus_shards{corpus="bib"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+}
+
+// TestReadyzFlips wires the server's aggregate readiness into the debug mux
+// the way cmd/lotusx-server does and watches /readyz flip: not ready while a
+// catalog backend has no data, ready once it does.
+func TestReadyzFlips(t *testing.T) {
+	catalog := core.NewCatalog()
+	empty := corpus.New("late", corpus.Config{})
+	catalog.AddBackend("late", empty)
+	srv := NewCatalogConfig(catalog, Config{})
+
+	if err := srv.Ready(); err == nil || !strings.Contains(err.Error(), "no shards") {
+		t.Fatalf("Ready() = %v, want no-shards error", err)
+	}
+
+	dbg := httptest.NewServer(obs.DebugMux(obs.DebugOptions{Ready: srv.Ready}))
+	t.Cleanup(dbg.Close)
+
+	get := func(path string) int {
+		res, err := http.Get(dbg.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		return res.StatusCode
+	}
+	if code := get("/healthz"); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code := get("/readyz"); code != 503 {
+		t.Fatalf("readyz before data = %d, want 503", code)
+	}
+
+	d, err := doc.FromReader("bib", strings.NewReader(bibXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Add("s1", d); err != nil {
+		t.Fatal(err)
+	}
+	if code := get("/readyz"); code != 200 {
+		t.Fatalf("readyz after ingest = %d, want 200", code)
+	}
+	if err := srv.Ready(); err != nil {
+		t.Fatalf("Ready() after ingest = %v", err)
+	}
+}
+
+// syncWriter is a goroutine-safe log sink: the server logs from handler
+// goroutines while the test polls the contents.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// waitForLog polls the sink until the wanted substring shows up — the log
+// line lands after the response is written, so the client can observe the
+// response first.
+func waitForLog(t *testing.T, w *syncWriter, want string) string {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := w.String(); strings.Contains(s, want) {
+			return s
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("log never contained %q; log:\n%s", want, w.String())
+	return ""
+}
+
+// TestSlowQueryLogSanitized arms a threshold every query exceeds and checks
+// the WARN line: present, query shape preserved, predicate operand redacted,
+// with a per-stage breakdown and the request ID for joining.
+func TestSlowQueryLogSanitized(t *testing.T) {
+	sink := &syncWriter{}
+	_, ts := shardedServer(t, Config{
+		SlowQuery: time.Nanosecond,
+		Logger:    slog.New(slog.NewTextHandler(sink, nil)),
+	})
+
+	var out struct{ Answers []any }
+	body := `{"query": "//article[author contains \"Jiaheng\"]/title"}`
+	if code := postJSON(t, ts.URL+"/api/v1/query", body, &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	logs := waitForLog(t, sink, "slow query")
+	line := ""
+	for _, l := range strings.Split(logs, "\n") {
+		if strings.Contains(l, "slow query") {
+			line = l
+			break
+		}
+	}
+	if strings.Contains(line, "Jiaheng") {
+		t.Fatalf("slow-query log leaked the predicate operand: %s", line)
+	}
+	for _, want := range []string{"author", "…", "durationMs=", "requestId=", "trace="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow-query line missing %q: %s", want, line)
+		}
+	}
+	// The breakdown names the pipeline stages.
+	for _, stage := range []string{"fanout", "merge"} {
+		if !strings.Contains(line, stage) {
+			t.Errorf("slow-query breakdown missing %q: %s", stage, line)
+		}
+	}
+}
+
+// TestRequestLogAnnotations checks that facts only the handler knows — the
+// resolved algorithm, the result count — reach the access log line, joinable
+// with the rest of the request's telemetry via the request ID.
+func TestRequestLogAnnotations(t *testing.T) {
+	sink := &syncWriter{}
+	_, ts := shardedServer(t, Config{
+		Logger: slog.New(slog.NewTextHandler(sink, nil)),
+	})
+
+	var out struct{ Answers []any }
+	if code := postJSON(t, ts.URL+"/api/v1/query", `{"query": "//article/author"}`, &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	logs := waitForLog(t, sink, "algorithm=")
+	line := ""
+	for _, l := range strings.Split(logs, "\n") {
+		if strings.Contains(l, "path=/api/v1/query") {
+			line = l
+			break
+		}
+	}
+	for _, want := range []string{"msg=request", "algorithm=twigstack", "results=2", "shards=2", "requestId="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log missing %q: %s", want, line)
+		}
+	}
+
+	// Completion annotates its candidate count the same way.
+	var cr struct{ Candidates []any }
+	if code := getJSON(t, ts.URL+"/api/v1/complete?kind=tag&path=%2F%2Farticle&prefix=a", &cr); code != 200 {
+		t.Fatalf("complete status %d", code)
+	}
+	logs = waitForLog(t, sink, "candidates=")
+	if !strings.Contains(logs, "path=/api/v1/complete") {
+		t.Errorf("no access log line for completion:\n%s", logs)
+	}
+}
