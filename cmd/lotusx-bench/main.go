@@ -46,6 +46,7 @@ func main() {
 		"E11": runner.E11Scalability,
 		"E12": runner.E12CorpusFanout,
 		"E13": runner.E13TracingOverhead,
+		"E14": runner.E14FaultTolerance,
 		"A1":  runner.A1Pushdown,
 		"A2":  runner.A2Minimization,
 		"A3":  runner.A3PenaltyModel,

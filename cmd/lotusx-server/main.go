@@ -48,10 +48,28 @@ func main() {
 		"log queries slower than this with a per-stage breakdown (0 disables)")
 	debugAddr := flag.String("debug-addr", "",
 		"separate listener for pprof, /healthz, /readyz and /buildinfo (off when empty)")
+	shardPolicy := flag.String("shard-policy", string(corpus.PolicyDegrade),
+		"what a shard failure does to a fan-out: \"degrade\" answers from the survivors with partial:true, \"failfast\" fails the request")
+	shardTimeout := flag.Duration("shard-timeout", 0,
+		"per-shard evaluation time budget; 0 derives it from the request deadline, negative disables it")
+	breakerFailures := flag.Int("breaker-failures", 0,
+		"consecutive failures quarantining a shard behind its circuit breaker; 0 means the default (5), negative disables breakers")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0,
+		"how long a quarantined shard sits out before a half-open probe; 0 means the default (30s)")
 	flag.Parse()
 
 	if *shards < 1 {
 		fatal(fmt.Errorf("bad -shards %d: want >= 1", *shards))
+	}
+	policy, err := corpus.ParsePolicy(*shardPolicy)
+	if err != nil {
+		fatal(err)
+	}
+	tuning := corpus.Tuning{
+		Policy:           policy,
+		ShardTimeout:     *shardTimeout,
+		BreakerThreshold: *breakerFailures,
+		BreakerCooldown:  *breakerCooldown,
 	}
 	reg := metrics.New()
 	cfg := server.Config{
@@ -60,6 +78,7 @@ func main() {
 		Metrics:      reg,
 		EnableAdmin:  *admin,
 		CorpusDir:    *corpusDir,
+		Corpus:       tuning,
 		SlowQuery:    *slowQuery,
 	}
 	if !*quiet {
@@ -85,7 +104,7 @@ func main() {
 	// Catalog mode: multiple datasets, corpus-backed sharding, live admin.
 	catalog := core.NewCatalog()
 	if *corpusDir != "" {
-		if err := reloadCorpora(catalog, *corpusDir, reg); err != nil {
+		if err := reloadCorpora(catalog, *corpusDir, reg, tuning); err != nil {
 			fatal(err)
 		}
 	}
@@ -99,7 +118,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := addDataset(catalog, string(k), d, *shards, *corpusDir, reg); err != nil {
+			if err := addDataset(catalog, string(k), d, *shards, *corpusDir, reg, tuning); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("loaded %s (%d nodes, %d shards)\n", k, d.Len(), *shards)
@@ -111,7 +130,7 @@ func main() {
 		}
 		d := engine.Document()
 		if *shards > 1 {
-			if err := addDataset(catalog, d.Name(), d, *shards, *corpusDir, reg); err != nil {
+			if err := addDataset(catalog, d.Name(), d, *shards, *corpusDir, reg, tuning); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("loaded %s (%d nodes, %d shards)\n", d.Name(), d.Len(), *shards)
@@ -145,7 +164,8 @@ func startDebug(addr string, srv *server.Server) {
 	}
 	fmt.Printf("debug endpoints (pprof, healthz, readyz, buildinfo) on %s\n", addr)
 	go func() {
-		if err := http.ListenAndServe(addr, obs.DebugMux(obs.DebugOptions{Ready: srv.Ready})); err != nil {
+		mux := obs.DebugMux(obs.DebugOptions{Ready: srv.Ready, Degraded: srv.Degraded})
+		if err := http.ListenAndServe(addr, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "lotusx-server: debug listener:", err)
 		}
 	}()
@@ -153,12 +173,12 @@ func startDebug(addr string, srv *server.Server) {
 
 // addDataset registers d, split into parts shards when parts > 1, with
 // persistence under corpusDir when set.
-func addDataset(catalog *core.Catalog, name string, d *doc.Document, parts int, corpusDir string, reg *metrics.Registry) error {
+func addDataset(catalog *core.Catalog, name string, d *doc.Document, parts int, corpusDir string, reg *metrics.Registry, tuning corpus.Tuning) error {
 	if parts == 1 {
 		catalog.Add(name, core.FromDocument(d))
 		return nil
 	}
-	ccfg := corpus.Config{Metrics: reg.Corpus(name)}
+	ccfg := corpus.Config{Metrics: reg.Corpus(name), Tuning: tuning}
 	if corpusDir != "" {
 		ccfg.Dir = filepath.Join(corpusDir, name)
 	}
@@ -172,7 +192,7 @@ func addDataset(catalog *core.Catalog, name string, d *doc.Document, parts int, 
 
 // reloadCorpora reopens every persisted corpus under dir (one subdirectory
 // with a manifest each) so admin-created datasets survive restarts.
-func reloadCorpora(catalog *core.Catalog, dir string, reg *metrics.Registry) error {
+func reloadCorpora(catalog *core.Catalog, dir string, reg *metrics.Registry, tuning corpus.Tuning) error {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return nil // created on first ingest
@@ -188,7 +208,7 @@ func reloadCorpora(catalog *core.Catalog, dir string, reg *metrics.Registry) err
 		if _, err := os.Stat(filepath.Join(sub, "MANIFEST.json")); err != nil {
 			continue
 		}
-		c, err := corpus.Open(sub, corpus.Config{Metrics: reg.Corpus(e.Name())})
+		c, err := corpus.Open(sub, corpus.Config{Metrics: reg.Corpus(e.Name()), Tuning: tuning})
 		if err != nil {
 			return fmt.Errorf("reopening corpus %s: %w", sub, err)
 		}

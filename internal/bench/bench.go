@@ -127,6 +127,7 @@ func (r *Runner) RunAll() error {
 		r.E11Scalability,
 		r.E12CorpusFanout,
 		r.E13TracingOverhead,
+		r.E14FaultTolerance,
 		r.A1Pushdown,
 		r.A2Minimization,
 		r.A3PenaltyModel,

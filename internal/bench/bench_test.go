@@ -231,6 +231,48 @@ func TestMetrics(t *testing.T) {
 	}
 }
 
+func TestE14DegradeHoldsAvailability(t *testing.T) {
+	r := runner(t)
+	buf := output(r)
+	if err := r.E14FaultTolerance(); err != nil {
+		t.Fatal(err)
+	}
+	// Under injected failures, degrade answers nearly every request (whole
+	// or partial — only an all-shards-failed fluke errors) while failfast
+	// fails whole requests; with no injection both are perfect.
+	rows := 0
+	avail := map[string]map[string]float64{"degrade": {}, "failfast": {}}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 7 || fields[0] == "fail%" {
+			continue
+		}
+		rows++
+		rate, policy, partial, failed := fields[0], fields[1], fields[3], fields[4]
+		avail[policy][rate] = parseFloat(t, strings.TrimSuffix(fields[5], "%"))
+		switch {
+		case rate == "0" && failed != "0":
+			t.Errorf("%s with no injection failed %s requests", policy, failed)
+		case rate != "0" && policy == "degrade" && partial == "0":
+			t.Errorf("degrade at %s%% injected failure answered no partials — injection not biting", rate)
+		case rate != "0" && policy == "failfast" && failed == "0":
+			t.Errorf("failfast at %s%% injected failure lost no requests — injection not biting", rate)
+		}
+	}
+	if rows != 6 {
+		t.Fatalf("E14 printed %d data rows, want 6:\n%s", rows, buf.String())
+	}
+	for _, rate := range []string{"10", "25"} {
+		if avail["degrade"][rate] <= avail["failfast"][rate] {
+			t.Errorf("at %s%% injected failure: degrade availability %.1f%% should beat failfast %.1f%%",
+				rate, avail["degrade"][rate], avail["failfast"][rate])
+		}
+		if avail["degrade"][rate] < 95 {
+			t.Errorf("degrade availability %.1f%% at %s%% injected failure — degraded answers are not absorbing shard loss", avail["degrade"][rate], rate)
+		}
+	}
+}
+
 func TestRunAllCompletes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite")
@@ -245,7 +287,7 @@ func TestRunAllCompletes(t *testing.T) {
 	}
 	out := buf.String()
 	for _, banner := range []string{"E1", "E2", "E3", "E4", "E5", "E6",
-		"E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"} {
+		"E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "A1", "A2", "A3"} {
 		if !strings.Contains(out, "=== "+banner+" ") {
 			t.Errorf("RunAll output missing %s", banner)
 		}

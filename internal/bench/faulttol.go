@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"lotusx/internal/core"
+	"lotusx/internal/corpus"
+	"lotusx/internal/dataset"
+	"lotusx/internal/faults"
+)
+
+var errBenchFault = errors.New("bench: injected shard failure")
+
+// faultPlan drives the E14 injection: each per-shard evaluation fails with
+// probability rate%, decided by a hash of (shard, call index) so the plan is
+// deterministic yet decorrelated across shards (a plain every-nth counter
+// would fail all shards of the same fan-out together, since every fan-out
+// touches every shard once).  An injected failure is sticky across the
+// corpus's one transparent retry — otherwise the retry would absorb nearly
+// every fault and all policies would measure alike.
+type faultPlan struct {
+	mu   sync.Mutex
+	rate uint32
+	// cnt counts decided evaluations per shard; pending marks a shard whose
+	// injected failure must also claim the retry attempt.
+	cnt     map[string]int
+	pending map[string]bool
+}
+
+func newFaultPlan(rate int) *faultPlan {
+	return &faultPlan{rate: uint32(rate), cnt: map[string]int{}, pending: map[string]bool{}}
+}
+
+func (p *faultPlan) hook(_ context.Context, key string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pending[key] {
+		p.pending[key] = false
+		return errBenchFault
+	}
+	p.cnt[key]++
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s#%d", key, p.cnt[key])
+	if h.Sum32()%100 < p.rate {
+		p.pending[key] = true
+		return errBenchFault
+	}
+	return nil
+}
+
+// p99 returns the 99th-percentile latency of the sample.
+func p99(lat []time.Duration) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (99*len(sorted) + 99) / 100
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// E14FaultTolerance measures what the shard-failure policy buys: the E12
+// workload over a 4-shard XMark corpus with 0/10/25% of per-shard
+// evaluations fault-injected, under degrade vs failfast.  Degrade should
+// hold availability at 100% (whole or partial answers) where failfast fails
+// whole requests; circuit breakers are disabled so the injected rate stays
+// constant instead of quarantining the noisy shard away.
+func (r *Runner) E14FaultTolerance() error {
+	r.header("E14", "fault tolerance: availability and p99 under injected shard failures")
+
+	d, err := dataset.Build(dataset.XMark, r.cfg.Scale, r.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	const (
+		parts    = 4
+		requests = 150
+	)
+
+	tw := r.table()
+	fmt.Fprintln(tw, "fail%\tpolicy\twhole\tpartial\tfailed\tavailability\tp99 ms")
+	for _, rate := range []int{0, 10, 25} {
+		for _, policy := range []corpus.ShardPolicy{corpus.PolicyDegrade, corpus.PolicyFailFast} {
+			reg := faults.New()
+			c, err := corpus.FromDocument(fmt.Sprintf("xmark-%s-f%d", policy, rate), d, parts, corpus.Config{
+				Faults: reg,
+				Tuning: corpus.Tuning{Policy: policy, BreakerThreshold: -1},
+			})
+			if err != nil {
+				return err
+			}
+			if rate > 0 {
+				reg.Enable(faults.Injection{
+					Site: corpus.FaultShardSearch,
+					Hook: newFaultPlan(rate).hook,
+				})
+			}
+
+			var whole, partial, failed int
+			lat := make([]time.Duration, 0, requests)
+			for i := 0; i < requests; i++ {
+				q := mustParse(corpusQueries[i%len(corpusQueries)].Text)
+				start := time.Now()
+				res, err := c.SearchHits(context.Background(), q, core.SearchOptions{K: 100})
+				lat = append(lat, time.Since(start))
+				switch {
+				case err != nil:
+					failed++
+				case res.Partial:
+					partial++
+				default:
+					whole++
+				}
+			}
+			avail := float64(whole+partial) / requests * 100
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%.1f%%\t%s\n",
+				rate, policy, whole, partial, failed, avail, ms(p99(lat)))
+		}
+	}
+	return tw.Flush()
+}

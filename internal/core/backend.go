@@ -114,6 +114,13 @@ type HitResult struct {
 	Algorithm join.Algorithm
 	// Shards counts the shards fanned out to (1 for a single engine).
 	Shards int
+	// Partial reports that some shards failed and the result covers only the
+	// survivors (corpus backends under the degrade policy; always false for
+	// a single engine, which either answers fully or errors).
+	Partial bool
+	// FailedShards names the shards that failed, sorted; nil when Partial is
+	// false.
+	FailedShards []string
 	// Elapsed is the total wall-clock time including fan-out and merge.
 	Elapsed time.Duration
 }

@@ -19,6 +19,7 @@ package corpus
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,9 +27,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lotusx/internal/core"
 	"lotusx/internal/doc"
+	"lotusx/internal/faults"
 	"lotusx/internal/metrics"
 )
 
@@ -63,6 +66,55 @@ func (s *Snapshot) Names() []string {
 	return out
 }
 
+// ShardPolicy selects what a fan-out does when a shard fails.
+type ShardPolicy string
+
+const (
+	// PolicyDegrade (the default) marks a failing shard failed and answers
+	// from the survivors, flagging the result partial.
+	PolicyDegrade ShardPolicy = "degrade"
+	// PolicyFailFast cancels sibling evaluations on the first shard error
+	// and fails the whole request — the pre-fault-tolerance behavior.
+	PolicyFailFast ShardPolicy = "failfast"
+)
+
+// ParsePolicy validates a -shard-policy flag value ("" means degrade).
+func ParsePolicy(s string) (ShardPolicy, error) {
+	switch ShardPolicy(s) {
+	case "", PolicyDegrade:
+		return PolicyDegrade, nil
+	case PolicyFailFast:
+		return PolicyFailFast, nil
+	}
+	return "", fmt.Errorf("corpus: unknown shard policy %q (want %q or %q)", s, PolicyDegrade, PolicyFailFast)
+}
+
+// Fault-tolerance defaults; see Tuning.
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 30 * time.Second
+	// retryBackoff seeds the jittered pause before the single transparent
+	// per-shard retry.
+	retryBackoff = 2 * time.Millisecond
+)
+
+// Tuning holds the fault-tolerance knobs of a corpus; the zero value means
+// degrade policy, derived shard budgets, and a 5-failure/30s breaker.
+type Tuning struct {
+	// Policy is the shard-failure policy; "" means PolicyDegrade.
+	Policy ShardPolicy
+	// ShardTimeout caps each per-shard evaluation attempt.  0 derives a
+	// budget from the request deadline (when one is set); negative disables
+	// per-shard budgets entirely.
+	ShardTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that quarantines a
+	// shard; 0 means the default (5), negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped shard stays quarantined before
+	// a half-open probe; 0 means the default (30s).
+	BreakerCooldown time.Duration
+}
+
 // Config tunes a Corpus.
 type Config struct {
 	// Workers bounds the fan-out worker pool; 0 means GOMAXPROCS.
@@ -73,6 +125,16 @@ type Config struct {
 	// Metrics, when non-nil, receives shard-count, swap, fan-out and merge
 	// observations.
 	Metrics *metrics.CorpusMetrics
+	// Tuning holds the fault-tolerance knobs (shard policy, time budgets,
+	// circuit breaker); the zero value is production defaults.
+	Tuning Tuning
+	// Faults, when non-nil, arms deterministic fault-injection sites on the
+	// shard-evaluation and shard-open paths (tests and benches only;
+	// production leaves it nil, paying one pointer check per site).
+	Faults *faults.Registry
+	// Logger receives quarantine and degradation warnings; nil means
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // Corpus is a mutable, concurrently queryable shard set.
@@ -81,6 +143,13 @@ type Corpus struct {
 	dir     string
 	workers int
 	met     *metrics.CorpusMetrics
+	tuning  Tuning
+	health  *health // nil when breakers are disabled
+	faults  *faults.Registry
+	log     *slog.Logger
+	// loadQuarantined names manifest shards Open quarantined at startup
+	// (written once before the corpus is shared; read-only after).
+	loadQuarantined []string
 
 	// mu serializes mutations (Add/Remove/Reindex and their persistence);
 	// the query path never takes it.
@@ -101,9 +170,24 @@ func New(name string, cfg Config) *Corpus {
 		dir:     cfg.Dir,
 		workers: cfg.Workers,
 		met:     cfg.Metrics,
+		tuning:  cfg.Tuning,
+		faults:  cfg.Faults,
+		log:     cfg.Logger,
+	}
+	if c.tuning.Policy == "" {
+		c.tuning.Policy = PolicyDegrade
 	}
 	if c.workers <= 0 {
 		c.workers = runtime.GOMAXPROCS(0)
+	}
+	if c.log == nil {
+		c.log = slog.Default()
+	}
+	c.health = newHealth(c.tuning, c.met)
+	if c.met != nil {
+		// The metrics registry renders breaker states without importing
+		// corpus; hand it a closure over this corpus's health map.
+		c.met.SetHealthProvider(c.ShardHealth)
 	}
 	c.snap.Store(&Snapshot{})
 	return c
@@ -112,6 +196,13 @@ func New(name string, cfg Config) *Corpus {
 // Open loads a persisted corpus from cfg.Dir (or dir when cfg.Dir is "")
 // without reparsing any XML: the manifest names per-shard full-index files
 // that rebuild in one pass each.
+//
+// Shard files that fail to load with damage confined to the file itself —
+// corruption (a torn write), version skew, or the file missing — are
+// quarantined (renamed to *.quarantined and logged) and the corpus serves
+// the survivors, so one bad file degrades a dataset instead of taking it
+// offline.  Environmental failures (permissions, I/O errors) still fail the
+// whole Open, as does a manifest whose every shard is unloadable.
 func Open(dir string, cfg Config) (*Corpus, error) {
 	if cfg.Dir == "" {
 		cfg.Dir = dir
@@ -126,13 +217,33 @@ func Open(dir string, cfg Config) (*Corpus, error) {
 	}
 	c := New(name, cfg)
 	shards := make([]*shard, 0, len(m.Shards))
+	type badShard struct {
+		ms  manifestShard
+		err error
+	}
+	var bad []badShard
 	for _, ms := range m.Shards {
-		e, err := openShardFile(cfg.Dir, ms.File)
+		e, err := openShardFile(cfg.Dir, ms.File, c.faults)
 		if err != nil {
-			return nil, err
+			if !quarantineable(err) {
+				return nil, err
+			}
+			bad = append(bad, badShard{ms: ms, err: err})
+			continue
 		}
 		shards = append(shards, &shard{name: ms.Name, engine: e, file: ms.File})
 	}
+	if len(shards) == 0 && len(m.Shards) > 0 {
+		// Nothing survived: refuse the corpus (and leave the files where they
+		// are — an all-corrupt directory is an operator problem, not a
+		// degradation) with the first cause in the chain.
+		return nil, fmt.Errorf("corpus: every shard of %s failed to load: %w", cfg.Dir, bad[0].err)
+	}
+	for _, b := range bad {
+		quarantineShardFile(cfg.Dir, b.ms.File, b.err, c.log)
+		c.loadQuarantined = append(c.loadQuarantined, b.ms.Name)
+	}
+	sort.Strings(c.loadQuarantined)
 	sortShards(shards)
 	c.snap.Store(&Snapshot{seq: m.Seq, shards: shards})
 	if c.met != nil {

@@ -1,0 +1,233 @@
+package corpus
+
+import (
+	"context"
+	"errors"
+	"io"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lotusx/internal/core"
+	"lotusx/internal/dataset"
+	"lotusx/internal/faults"
+	"lotusx/internal/index"
+	"lotusx/internal/twig"
+)
+
+// persistedXMark writes a 4-shard XMark corpus to a temp dir and returns the
+// dir and the manifest.
+func persistedXMark(t *testing.T) (string, *manifest) {
+	t.Helper()
+	dir := t.TempDir()
+	d, err := dataset.Build(dataset.XMark, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromDocument("xmark", d, 4, Config{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) != 4 {
+		t.Fatalf("persisted %d shards, want 4", len(m.Shards))
+	}
+	return dir, m
+}
+
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quietConfig silences quarantine warnings in test output.
+func quietConfig() Config {
+	return Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}
+}
+
+// TestStaleManifestTempSwept: a crash between writing MANIFEST.json.tmp* and
+// the rename leaves the temp behind; the next successful publish sweeps it.
+func TestStaleManifestTempSwept(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	c := New("lib", Config{Dir: dir})
+	if err := c.Add("bib", mustDoc(t, "bib", bibXML)); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, manifestName+".tmp1234567")
+	if err := os.WriteFile(stale, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("bib2", mustDoc(t, "bib2", bibXML)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("stale manifest temp survived the publish: %v", err)
+	}
+	// The real manifest is intact and the corpus reopens.
+	re, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Snapshot().Len() != 2 {
+		t.Fatalf("reopened %d shards, want 2", re.Snapshot().Len())
+	}
+}
+
+// TestOpenQuarantinesCorruptShard: one torn shard file of four is renamed
+// *.quarantined and the corpus serves the other three.
+func TestOpenQuarantinesCorruptShard(t *testing.T) {
+	t.Parallel()
+	dir, m := persistedXMark(t)
+	victim := m.Shards[1]
+	corruptFile(t, filepath.Join(dir, victim.File))
+
+	c, err := Open(dir, quietConfig())
+	if err != nil {
+		t.Fatalf("Open must serve around one corrupt shard: %v", err)
+	}
+	if got := c.Snapshot().Len(); got != 3 {
+		t.Fatalf("serving %d shards, want 3", got)
+	}
+	for _, name := range c.Snapshot().Names() {
+		if name == victim.Name {
+			t.Fatalf("quarantined shard %s still in the snapshot", name)
+		}
+	}
+	// The damaged file moved out of the manifest namespace, evidence intact.
+	if _, err := os.Stat(filepath.Join(dir, victim.File)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("corrupt file still under its live name: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, victim.File+quarantineSuffix)); err != nil {
+		t.Fatalf("no quarantined copy: %v", err)
+	}
+	// The degradation is visible to readiness probes...
+	if msg := c.Degraded(); msg == "" || !strings.Contains(msg, victim.Name) {
+		t.Fatalf("Degraded() = %q, want the quarantined shard named", msg)
+	}
+	// ...but queries over the survivors are whole, not partial: the shard is
+	// out of the fan-out entirely.
+	q, err := twig.Parse("//name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SearchHits(context.Background(), q, core.SearchOptions{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatal("startup quarantine must not flag fan-outs partial")
+	}
+	if res.Shards != 3 {
+		t.Fatalf("fan-out width %d, want 3", res.Shards)
+	}
+}
+
+// TestOpenServesAroundMissingShardFile: a missing file (crash before the
+// shard write, manual deletion) degrades the corpus the same way, with
+// nothing to rename.
+func TestOpenServesAroundMissingShardFile(t *testing.T) {
+	t.Parallel()
+	dir, m := persistedXMark(t)
+	victim := m.Shards[2]
+	if err := os.Remove(filepath.Join(dir, victim.File)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, quietConfig())
+	if err != nil {
+		t.Fatalf("Open must serve around a missing shard file: %v", err)
+	}
+	if got := c.Snapshot().Len(); got != 3 {
+		t.Fatalf("serving %d shards, want 3", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, victim.File+quarantineSuffix)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("a missing file has nothing to quarantine-rename")
+	}
+	if msg := c.Degraded(); !strings.Contains(msg, victim.Name) {
+		t.Fatalf("Degraded() = %q, want the missing shard named", msg)
+	}
+}
+
+// TestOpenQuarantinesShortRead: a truncated stream (the torn-write shape,
+// injected without touching the file) quarantines exactly like on-disk
+// corruption.
+func TestOpenQuarantinesShortRead(t *testing.T) {
+	t.Parallel()
+	dir, m := persistedXMark(t)
+	victim := m.Shards[0]
+	reg := faults.New()
+	reg.Enable(faults.Injection{Site: FaultShardOpen, Keys: []string{victim.File}, ShortRead: 64})
+
+	cfg := quietConfig()
+	cfg.Faults = reg
+	c, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open must serve around a short read: %v", err)
+	}
+	if got := c.Snapshot().Len(); got != 3 {
+		t.Fatalf("serving %d shards, want 3", got)
+	}
+	if n := reg.Fired(FaultShardOpen); n != 1 {
+		t.Fatalf("short-read injection fired %d times, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, victim.File+quarantineSuffix)); err != nil {
+		t.Fatalf("short-read shard not quarantined: %v", err)
+	}
+}
+
+// TestOpenAllShardsCorruptFails: when nothing survives, Open refuses the
+// corpus with the cause in the chain and leaves the files untouched — an
+// all-corrupt directory is an operator problem, not a degradation.
+func TestOpenAllShardsCorruptFails(t *testing.T) {
+	t.Parallel()
+	dir, m := persistedXMark(t)
+	for _, ms := range m.Shards {
+		corruptFile(t, filepath.Join(dir, ms.File))
+	}
+	_, err := Open(dir, quietConfig())
+	if err == nil {
+		t.Fatal("Open of an all-corrupt corpus must fail")
+	}
+	if !errors.Is(err, index.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "all") && !strings.Contains(err.Error(), "every") {
+		t.Fatalf("error %q does not say every shard failed", err)
+	}
+	for _, ms := range m.Shards {
+		if _, statErr := os.Stat(filepath.Join(dir, ms.File)); statErr != nil {
+			t.Fatalf("refused Open must not rename files: %v", statErr)
+		}
+	}
+}
+
+// TestReopenAfterQuarantineIsStable: the quarantine rename means a second
+// Open sees a manifest entry whose file is now missing — it must degrade the
+// same way, not fail.
+func TestReopenAfterQuarantineIsStable(t *testing.T) {
+	t.Parallel()
+	dir, m := persistedXMark(t)
+	corruptFile(t, filepath.Join(dir, m.Shards[3].File))
+	if _, err := Open(dir, quietConfig()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, quietConfig())
+	if err != nil {
+		t.Fatalf("second Open after a quarantine must still serve: %v", err)
+	}
+	if got := c.Snapshot().Len(); got != 3 {
+		t.Fatalf("second Open serves %d shards, want 3", got)
+	}
+}

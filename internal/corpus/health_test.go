@@ -1,0 +1,215 @@
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a health's injectable clock deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestHealth(threshold int, cooldown time.Duration) (*health, *fakeClock) {
+	h := newHealth(Tuning{BreakerThreshold: threshold, BreakerCooldown: cooldown}, nil)
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	h.now = clk.Now
+	return h, clk
+}
+
+func TestBreakerTripCooldownProbe(t *testing.T) {
+	t.Parallel()
+	h, clk := newTestHealth(2, time.Minute)
+	boom := errors.New("boom")
+
+	if !h.allow("s") {
+		t.Fatal("fresh breaker must allow")
+	}
+	h.failure("s", boom)
+	if !h.allow("s") {
+		t.Fatal("one failure below threshold must still allow")
+	}
+	h.failure("s", boom) // second consecutive failure: trip
+	if h.allow("s") {
+		t.Fatal("tripped breaker must refuse")
+	}
+	st := h.snapshot([]string{"s"})["s"]
+	if st.State != "open" || st.Trips != 1 || st.ConsecutiveFailures != 2 {
+		t.Fatalf("after trip: %+v", st)
+	}
+	if st.RetryInMS <= 0 {
+		t.Fatalf("open breaker must report a retry window, got %+v", st)
+	}
+
+	// Cooldown expiry admits exactly one half-open probe.
+	clk.Advance(time.Minute + time.Second)
+	if !h.allow("s") {
+		t.Fatal("expired cooldown must admit a probe")
+	}
+	if h.allow("s") {
+		t.Fatal("only one probe may fly at a time")
+	}
+	if got := h.snapshot([]string{"s"})["s"].State; got != "half-open" {
+		t.Fatalf("state = %q, want half-open", got)
+	}
+
+	// A failing probe reopens immediately (second trip), restarting cooldown.
+	h.failure("s", boom)
+	if h.allow("s") {
+		t.Fatal("failed probe must reopen the breaker")
+	}
+	if st := h.snapshot([]string{"s"})["s"]; st.State != "open" || st.Trips != 2 {
+		t.Fatalf("after failed probe: %+v", st)
+	}
+
+	// A succeeding probe closes the breaker for good.
+	clk.Advance(time.Minute + time.Second)
+	if !h.allow("s") {
+		t.Fatal("second probe refused")
+	}
+	h.success("s")
+	st = h.snapshot([]string{"s"})["s"]
+	if st.State != "closed" || st.ConsecutiveFailures != 0 || st.LastError != "" {
+		t.Fatalf("after healing: %+v", st)
+	}
+	if st.Trips != 2 {
+		t.Fatalf("trips is a lifetime counter, want 2, got %+v", st)
+	}
+	if !h.allow("s") {
+		t.Fatal("healed breaker must allow")
+	}
+}
+
+func TestBreakerReleaseReturnsProbeSlot(t *testing.T) {
+	t.Parallel()
+	h, clk := newTestHealth(1, time.Minute)
+	h.failure("s", errors.New("boom")) // threshold 1: open
+	clk.Advance(2 * time.Minute)
+	if !h.allow("s") {
+		t.Fatal("probe refused")
+	}
+	if h.allow("s") {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// The probe evaluation was abandoned without a verdict (e.g. the caller
+	// cancelled); the slot must come back without a state change.
+	h.release("s")
+	if got := h.snapshot([]string{"s"})["s"].State; got != "half-open" {
+		t.Fatalf("release changed state to %q", got)
+	}
+	if !h.allow("s") {
+		t.Fatal("released slot must admit a fresh probe")
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	t.Parallel()
+	h, _ := newTestHealth(1, time.Hour)
+	h.failure("s", errors.New("boom"))
+	if h.allow("s") {
+		t.Fatal("want open")
+	}
+	h.reset("s")
+	st := h.snapshot([]string{"s"})["s"]
+	if st.State != "closed" || st.ConsecutiveFailures != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+	if st.Trips != 1 {
+		t.Fatalf("reset must keep the lifetime trip counter, got %+v", st)
+	}
+	if !h.allow("s") {
+		t.Fatal("reset breaker must allow")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	t.Parallel()
+	h := newHealth(Tuning{BreakerThreshold: -1}, nil)
+	if h != nil {
+		t.Fatal("negative threshold must disable breakers")
+	}
+	// Every operation is nil-safe and a no-op.
+	if !h.allow("s") {
+		t.Fatal("nil health must always allow")
+	}
+	h.failure("s", errors.New("boom"))
+	h.success("s")
+	h.release("s")
+	h.reset("s")
+	if !h.allow("s") {
+		t.Fatal("nil health still allows after failures")
+	}
+	if got := h.quarantined([]string{"s"}); got != nil {
+		t.Fatalf("nil health quarantined %v", got)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	t.Parallel()
+	h := newHealth(Tuning{}, nil)
+	if h == nil {
+		t.Fatal("zero tuning must enable breakers with defaults")
+	}
+	if h.threshold != defaultBreakerThreshold || h.cooldown != defaultBreakerCooldown {
+		t.Fatalf("defaults: threshold=%d cooldown=%v", h.threshold, h.cooldown)
+	}
+}
+
+// TestBreakerHammer races trips, probes, resets and snapshots over a handful
+// of shards; run under -race.  The invariant checked at the end is weak
+// (states are well-formed) — the point is the data-race check.
+func TestBreakerHammer(t *testing.T) {
+	t.Parallel()
+	h := newHealth(Tuning{BreakerThreshold: 2, BreakerCooldown: time.Microsecond}, nil)
+	names := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			boom := fmt.Errorf("boom %d", g)
+			for i := 0; i < 500; i++ {
+				name := names[(g+i)%len(names)]
+				if h.allow(name) {
+					switch i % 3 {
+					case 0:
+						h.failure(name, boom)
+					case 1:
+						h.success(name)
+					default:
+						h.release(name)
+					}
+				}
+				if i%50 == 0 {
+					h.reset(name)
+				}
+				h.snapshot(names)
+				h.quarantined(names)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for name, st := range h.snapshot(names) {
+		switch st.State {
+		case "closed", "open", "half-open":
+		default:
+			t.Fatalf("shard %s landed in invalid state %q", name, st.State)
+		}
+	}
+}

@@ -4,13 +4,28 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"lotusx/internal/core"
+	"lotusx/internal/faults"
 	"lotusx/internal/index"
 )
+
+// FaultShardOpen names the injection site on the persisted-shard open path;
+// the key is the shard file's base name.  A ShortRead injection truncates
+// the stream mid-payload — the torn-write crash the quarantine policy exists
+// for.
+const FaultShardOpen = "corpus/shard-open"
+
+// quarantineSuffix is appended to a shard file that failed to load; the
+// suffix takes the file out of the manifest's namespace and shields it from
+// the shard-file GC, preserving the evidence for offline inspection.
+const quarantineSuffix = ".quarantined"
 
 // On-disk layout of a corpus directory:
 //
@@ -66,30 +81,70 @@ func loadManifest(dir string) (*manifest, error) {
 	return &m, nil
 }
 
-// saveManifest atomically replaces <dir>/MANIFEST.json.
+// saveManifest atomically and durably replaces <dir>/MANIFEST.json: the
+// temp file is fsynced before the rename (so the rename can never publish a
+// torn manifest) and the directory is fsynced after (so the rename itself
+// survives a crash).
 func saveManifest(dir string, m *manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.CreateTemp(dir, manifestName+".tmp*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, manifestName))
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // openShardFile loads one persisted shard, translating the index package's
 // typed failures into actionable corpus errors: corruption names the file
 // so the operator can drop or re-ingest it, version skew tells them the
 // shard only needs a reindex with the current binary.
-func openShardFile(dir, file string) (*core.Engine, error) {
+func openShardFile(dir, file string, reg *faults.Registry) (*core.Engine, error) {
 	f, err := os.Open(filepath.Join(dir, file))
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	e, err := core.Open(f)
+	// A firing ShortRead injection truncates the stream exactly as a torn
+	// write would; an unarmed (or nil) registry returns f untouched.
+	var rd io.Reader = f
+	rd = reg.Reader(FaultShardOpen, file, rd)
+	e, err := core.Open(rd)
 	switch {
 	case err == nil:
 		return e, nil
@@ -115,6 +170,13 @@ func writeShardFile(dir string, seq uint64, i int, e *core.Engine) (string, erro
 		os.Remove(f.Name())
 		return "", err
 	}
+	// Durability: the bytes must be on stable storage before the rename
+	// makes the file reachable, else a crash can publish a torn shard.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(f.Name())
 		return "", err
@@ -123,13 +185,19 @@ func writeShardFile(dir string, seq uint64, i int, e *core.Engine) (string, erro
 		os.Remove(f.Name())
 		return "", err
 	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
 	return name, nil
 }
 
 // cleanShardFiles removes shard-*.ltx files not referenced by live — the
-// previous snapshots' files and crash leftovers.  In-memory readers pinning
-// an older snapshot never touch the files again, so removal is safe.
-// Cleanup failures are ignored: orphans cost disk, not correctness.
+// previous snapshots' files and crash leftovers — plus stale MANIFEST.json
+// temps (a crash between writing the temp and the rename leaves one behind,
+// and nothing else ever touches it again).  Quarantined files (*.quarantined)
+// are preserved for inspection.  In-memory readers pinning an older snapshot
+// never touch the files again, so removal is safe.  Cleanup failures are
+// ignored: orphans cost disk, not correctness.
 func cleanShardFiles(dir string, live map[string]bool) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -137,6 +205,10 @@ func cleanShardFiles(dir string, live map[string]bool) {
 	}
 	for _, ent := range entries {
 		name := ent.Name()
+		if strings.HasPrefix(name, manifestName+".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
 		if !strings.HasPrefix(name, shardFilePrefix) {
 			continue
 		}
@@ -148,4 +220,27 @@ func cleanShardFiles(dir string, live map[string]bool) {
 		}
 		os.Remove(filepath.Join(dir, name))
 	}
+}
+
+// quarantineable reports whether a shard-open failure is one the startup
+// load policy should quarantine and serve around (data damage or version
+// skew confined to that file) rather than refuse the whole corpus (anything
+// environmental, like permissions).
+func quarantineable(err error) bool {
+	return errors.Is(err, index.ErrCorrupt) ||
+		errors.Is(err, index.ErrBadVersion) ||
+		errors.Is(err, fs.ErrNotExist)
+}
+
+// quarantineShardFile renames a failed shard file to <file>.quarantined
+// (missing files have nothing to rename) and logs the quarantine.
+func quarantineShardFile(dir, file string, cause error, log *slog.Logger) {
+	renamed := false
+	if !errors.Is(cause, fs.ErrNotExist) {
+		if err := os.Rename(filepath.Join(dir, file), filepath.Join(dir, file+quarantineSuffix)); err == nil {
+			renamed = true
+		}
+	}
+	log.Warn("corpus: quarantined shard file",
+		"dir", dir, "file", file, "renamed", renamed, "cause", cause)
 }

@@ -34,6 +34,7 @@ func mkGenDoc(t testing.TB, gen int) *doc.Document {
 // query must see a multiple of 3 hits whatever interleaving it races with;
 // a request observing a half-applied mutation would break that.
 func TestConcurrentIngestAndQuery(t *testing.T) {
+	t.Parallel()
 	c := New("race", Config{Workers: 2})
 	if err := c.Add("base", mkGenDoc(t, 0)); err != nil {
 		t.Fatal(err)
@@ -118,6 +119,7 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 // under concurrent readers: every publish rewrites manifest + shard files
 // while searches keep running against pinned snapshots.
 func TestConcurrentPersistedSwaps(t *testing.T) {
+	t.Parallel()
 	dir := t.TempDir()
 	c := New("race", Config{Dir: dir, Workers: 2})
 	if err := c.Add("base", mkGenDoc(t, 0)); err != nil {

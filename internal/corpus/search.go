@@ -2,8 +2,11 @@ package corpus
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,13 +21,38 @@ import (
 // SearchHits pins one snapshot, clones the query per shard (twig evaluation
 // mutates stack state keyed by node IDs; Clone yields an identical
 // normalized tree, so per-shard answers speak the same ID space), and runs
-// the per-shard searches on a bounded worker pool.  The first shard error
-// cancels the shared context so sibling evaluations stop mid-join (the
-// twig algorithms poll the context cooperatively).  Per-shard results then
-// merge into one globally ranked page: every exact answer outranks every
-// rewrite answer (matching single-engine semantics), exacts order by score,
-// rewrites by penalty then score, with shard/node as deterministic
-// tie-breaks.
+// the per-shard searches on a bounded worker pool.  What a shard failure
+// does depends on the corpus's shard policy:
+//
+//   - PolicyDegrade (default): the shard is marked failed — after one
+//     transparent retry with a jittered backoff — and the merge proceeds
+//     over the survivors; the result carries Partial plus the failed shard
+//     names.  Only when every shard fails does the request error.
+//   - PolicyFailFast: the first shard error cancels the shared context so
+//     sibling evaluations stop mid-join (the twig algorithms poll the
+//     context cooperatively) and the request fails with that error.
+//
+// Each evaluation attempt runs under a per-shard time budget (Tuning
+// .ShardTimeout, or 4/5 of the remaining request deadline when unset), and
+// each shard is gated by its circuit breaker (health.go): a quarantined
+// shard is skipped — counted failed — without burning a worker on it.
+//
+// Per-shard results then merge into one globally ranked page: every exact
+// answer outranks every rewrite answer (matching single-engine semantics),
+// exacts order by score, rewrites by penalty then score, with shard/node as
+// deterministic tie-breaks.  The paging contract (Total/Exact/nextOffset)
+// is computed over surviving shards only, so it holds verbatim for partial
+// answers.
+
+// FaultShardSearch names the injection site at the head of every per-shard
+// evaluation attempt; the key is the shard name.  A firing injection fails
+// (or delays) the attempt as if the shard's engine had.
+const FaultShardSearch = "corpus/shard-search"
+
+// ErrShardQuarantined marks a shard skipped because its circuit breaker is
+// open (see health.go); under the degrade policy it counts the shard among
+// the failed without spending a worker on it.
+var ErrShardQuarantined = errors.New("shard quarantined by circuit breaker")
 
 // shardResult is one worker's output, index-addressed so the merge is
 // deterministic whatever the completion order.
@@ -55,7 +83,11 @@ func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.Search
 
 	fanSpan, fanCtx := obs.Start(ctx, "fanout")
 	fanSpan.SetInt("shards", len(snap.shards))
-	results, err := c.fanout(fanCtx, fanSpan, snap, q, opts, want)
+	results, failed, err := c.fanout(fanCtx, fanSpan, snap, q, opts, want)
+	if err == nil && len(failed) > 0 {
+		fanSpan.Set("partial", "true")
+		fanSpan.Set("failedShards", strings.Join(failed, ","))
+	}
 	fanSpan.SetErr(err)
 	fanSpan.End()
 	if err != nil {
@@ -68,29 +100,31 @@ func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.Search
 	mergeSpan.SetInt("hits", len(out.Hits))
 	mergeSpan.End()
 	out.Shards = len(snap.shards)
+	out.Partial = len(failed) > 0
+	out.FailedShards = failed
 	out.Elapsed = time.Since(start)
 
 	if c.met != nil {
 		c.met.Searches.Add(1)
+		if out.Partial {
+			c.met.Partial.Add(1)
+		}
 		c.met.Fanout.Observe(fanoutDone.Sub(start))
 		c.met.Merge.Observe(time.Since(fanoutDone))
 	}
 	return out, nil
 }
 
-// testSearchHook, when non-nil, runs at the start of every per-shard
-// evaluation; a non-nil return fails the shard as if its engine had.  Tests
-// use it to inject deterministic shard failures into a live fan-out.
-var testSearchHook func(ctx context.Context, shard string) error
-
 // fanout evaluates q on every shard of snap with a pool of at most
-// c.workers goroutines.  The first error cancels the rest and is returned.
-// fanSpan (nil when untraced) receives one child span per shard evaluated
-// and, on failure, a cancelCause attribute naming the shard error that
-// cancelled the siblings.
-func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, q *twig.Query, opts core.SearchOptions, want int) ([]shardResult, error) {
-	ctx, cancel := context.WithCancel(ctx)
+// c.workers goroutines and returns the per-shard results plus the names of
+// shards that failed (degrade policy; always empty under failfast, which
+// errors instead).  fanSpan (nil when untraced) receives one child span per
+// shard and, on a failfast cancellation, a cancelCause attribute naming the
+// shard error that cancelled the siblings.
+func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, q *twig.Query, opts core.SearchOptions, want int) ([]shardResult, []string, error) {
+	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	failfast := c.tuning.Policy == PolicyFailFast
 
 	shardOpts := opts
 	shardOpts.K = want
@@ -103,13 +137,14 @@ func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, 
 	}
 
 	results := make([]shardResult, n)
+	errs := make([]error, n) // per-index: race-free without a lock
 	jobs := make(chan int)
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
 	)
-	fail := func(err error) {
+	fail := func(err error) { // failfast only
 		errOnce.Do(func() {
 			firstErr = err
 			// Record why the siblings are about to stop before cancelling, so
@@ -123,39 +158,54 @@ func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, 
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if ctx.Err() != nil {
+				if fctx.Err() != nil {
 					continue // drain after cancellation
 				}
-				name := snap.shards[i].name
+				sh := snap.shards[i]
+				name := sh.name
 				// One span and one always-on latency observation per shard:
 				// the span feeds the per-request trace, the histogram feeds
 				// GET /metrics whether or not anyone asked for a trace.
 				ssp := fanSpan.Child("shard")
 				ssp.Set("shard", name)
-				sctx := obs.ContextWith(ctx, ssp)
-				shardStart := time.Now()
-				if hook := testSearchHook; hook != nil {
-					if err := hook(sctx, name); err != nil {
-						ssp.SetErr(err)
-						ssp.End()
-						fail(fmt.Errorf("corpus: shard %s: %w", name, err))
-						continue
+				if !c.health.allow(name) {
+					err := fmt.Errorf("corpus: shard %s: %w", name, ErrShardQuarantined)
+					ssp.Set("skipped", "breaker-open")
+					ssp.SetErr(err)
+					ssp.End()
+					errs[i] = err
+					if failfast {
+						fail(err)
 					}
+					continue
 				}
-				// Each worker evaluates its own clone: Normalize assigns the
-				// same preorder IDs to the same tree, so clones are
-				// interchangeable with q for ID-based bookkeeping.
-				sq := q.Clone()
-				res, err := snap.shards[i].engine.SearchContext(sctx, sq, shardOpts)
+				shardStart := time.Now()
+				res, sq, attempts, err := c.evalShard(fctx, ssp, sh, q, shardOpts)
 				if c.met != nil {
 					c.met.Shard(name).Observe(time.Since(shardStart))
+				}
+				if attempts > 1 {
+					ssp.SetInt("attempts", attempts)
 				}
 				if err != nil {
 					ssp.SetErr(err)
 					ssp.End()
-					fail(fmt.Errorf("corpus: shard %s: %w", name, err))
+					errs[i] = fmt.Errorf("corpus: shard %s: %w", name, err)
+					// A context casualty with the fan-out context already dead
+					// is no verdict on the shard (a failfast sibling or the
+					// caller cancelled it mid-join) — release any probe instead
+					// of advancing the breaker.
+					if isCtxErr(err) && fctx.Err() != nil {
+						c.health.release(name)
+					} else {
+						c.health.failure(name, err)
+					}
+					if failfast {
+						fail(errs[i])
+					}
 					continue
 				}
+				c.health.success(name)
 				ssp.SetInt("hits", len(res.Answers))
 				ssp.End()
 				results[i] = shardResult{res: res, q: sq}
@@ -167,16 +217,117 @@ func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, 
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if failfast && firstErr != nil {
+		return nil, nil, firstErr
 	}
-	// The caller's context may have died before any worker touched a shard
-	// (every job then drains without recording an error).
-	if err := ctx.Err(); err != nil {
+	// The caller's context may have died before (or while) workers touched
+	// the shards; a degraded answer must never paper over that.
+	if err := fctx.Err(); err != nil {
 		fanSpan.Set("cancelCause", err.Error())
-		return nil, err
+		return nil, nil, err
 	}
-	return results, nil
+	var failed []string
+	var firstFail error
+	for i := range errs {
+		if errs[i] != nil {
+			failed = append(failed, snap.shards[i].name)
+			if firstFail == nil {
+				firstFail = errs[i]
+			}
+		}
+	}
+	if c.met != nil && len(failed) > 0 {
+		c.met.ShardFailures.Add(int64(len(failed)))
+	}
+	if len(failed) == n {
+		// Nothing survived: a degraded answer needs at least one shard, so
+		// this is an error, not an empty page.
+		return nil, nil, fmt.Errorf("corpus: all %d shard(s) of %s failed: %w", n, c.name, firstFail)
+	}
+	return results, failed, nil
+}
+
+// evalShard runs one shard's evaluation: up to two attempts (one transparent
+// retry after a jittered backoff, so a transient failure never surfaces),
+// each under the per-shard time budget, each preceded by the
+// FaultShardSearch injection site.  Returns the result, the query clone it
+// answered (rewrite pointers belong to that clone's ID space), and the
+// attempt count.
+func (c *Corpus) evalShard(fctx context.Context, ssp *obs.Span, sh *shard, q *twig.Query, shardOpts core.SearchOptions) (*core.SearchResult, *twig.Query, int, error) {
+	budget := c.shardBudget(fctx)
+	var lastErr error
+	attempt := 1
+	for ; attempt <= 2; attempt++ {
+		actx := fctx
+		acancel := func() {}
+		if budget > 0 {
+			actx, acancel = context.WithTimeout(fctx, budget)
+		}
+		sctx := obs.ContextWith(actx, ssp)
+		// Each attempt evaluates its own clone: Normalize assigns the same
+		// preorder IDs to the same tree, so clones are interchangeable with
+		// q for ID-based bookkeeping.
+		sq := q.Clone()
+		err := c.faults.Fire(sctx, FaultShardSearch, sh.name)
+		var res *core.SearchResult
+		if err == nil {
+			res, err = sh.engine.SearchContext(sctx, sq, shardOpts)
+		}
+		acancel()
+		if err == nil {
+			return res, sq, attempt, nil
+		}
+		lastErr = err
+		if fctx.Err() != nil {
+			break // the fan-out itself is dying; retrying can't help
+		}
+		if attempt == 1 && !sleepJittered(fctx, retryBackoff) {
+			break
+		}
+	}
+	if attempt > 2 {
+		attempt = 2
+	}
+	return nil, nil, attempt, lastErr
+}
+
+// shardBudget resolves the per-attempt time budget: the configured
+// ShardTimeout when positive, none when negative, and 4/5 of the remaining
+// request deadline when unset (leaving headroom for the merge) — no budget
+// when the request has no deadline either.
+func (c *Corpus) shardBudget(ctx context.Context) time.Duration {
+	if t := c.tuning.ShardTimeout; t != 0 {
+		if t < 0 {
+			return 0
+		}
+		return t
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			return rem * 4 / 5
+		}
+	}
+	return 0
+}
+
+// sleepJittered pauses for base/2 plus up to base of jitter (so concurrent
+// retries against one struggling shard don't land in lockstep), returning
+// false if ctx died first.
+func sleepJittered(ctx context.Context, base time.Duration) bool {
+	d := base/2 + time.Duration(rand.Int63n(int64(base)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // mergedAnswer pairs a per-shard answer with its origin for global ranking.
@@ -187,6 +338,9 @@ type mergedAnswer struct {
 
 // merge fuses per-shard results into one globally ranked, paged HitResult,
 // rendering only the surviving page under the still-pinned snapshot.
+// Failed shards have nil entries in results and simply contribute nothing —
+// the ranking and paging arithmetic is identical for whole and partial
+// answers.
 func (c *Corpus) merge(snap *Snapshot, q *twig.Query, results []shardResult, opts core.SearchOptions, want int) *core.HitResult {
 	out := &core.HitResult{}
 	var exacts, rewrites []mergedAnswer

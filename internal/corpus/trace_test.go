@@ -4,23 +4,32 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"lotusx/internal/core"
+	"lotusx/internal/faults"
 	"lotusx/internal/obs"
 	"lotusx/internal/twig"
 )
 
 // TestFanoutCancellationClosesSpans injects a failure into one shard of a
-// live fan-out while a sibling shard is provably mid-evaluation, then checks
-// the trace contract: the failing shard's error cancels the sibling, every
-// span created by the fan-out is closed (no leaked "running" spans in the
-// finished trace), and the fanout span records the cancellation cause.
+// live failfast fan-out while a sibling shard is provably mid-evaluation,
+// then checks the trace contract: the failing shard's error cancels the
+// sibling, every span created by the fan-out is closed (no leaked "running"
+// spans in the finished trace), and the fanout span records the cancellation
+// cause.
 func TestFanoutCancellationClosesSpans(t *testing.T) {
+	t.Parallel()
 	d := mustDoc(t, "bib", bibXML)
+	reg := faults.New()
 	// Workers: 2 so both shards evaluate concurrently — the barrier below
 	// would deadlock a single-worker pool.
-	c, err := FromDocument("bib", d, 2, Config{Workers: 2})
+	c, err := FromDocument("bib", d, 2, Config{
+		Workers: 2,
+		Faults:  reg,
+		Tuning:  Tuning{Policy: PolicyFailFast},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,13 +38,14 @@ func TestFanoutCancellationClosesSpans(t *testing.T) {
 	}
 
 	injected := errors.New("injected shard failure")
+	var startOnce sync.Once
 	started := make(chan struct{})
-	testSearchHook = func(ctx context.Context, shard string) error {
+	reg.Enable(faults.Injection{Site: FaultShardSearch, Hook: func(ctx context.Context, shard string) error {
 		switch shard {
 		case "bib/000":
 			// Prove this shard was mid-evaluation when the sibling failed:
 			// release the sibling, then block until cancellation reaches us.
-			close(started)
+			startOnce.Do(func() { close(started) })
 			<-ctx.Done()
 			return ctx.Err()
 		case "bib/001":
@@ -43,8 +53,7 @@ func TestFanoutCancellationClosesSpans(t *testing.T) {
 			return injected
 		}
 		return nil
-	}
-	t.Cleanup(func() { testSearchHook = nil })
+	}})
 
 	q, err := twig.Parse("//article[author contains \"Lu\"]/title")
 	if err != nil {
@@ -95,6 +104,7 @@ func TestFanoutCancellationClosesSpans(t *testing.T) {
 // one fanout span with one child per shard, a merge span, and per-shard
 // join/rank spans nested beneath the shard spans.
 func TestSearchHitsTraceShape(t *testing.T) {
+	t.Parallel()
 	d := mustDoc(t, "bib", bibXML)
 	c, err := FromDocument("bib", d, 2, Config{})
 	if err != nil {
@@ -153,6 +163,7 @@ func TestSearchHitsTraceShape(t *testing.T) {
 // loaded, not ready while a publish (ingest/reindex) is in flight, not ready
 // when empty.
 func TestCorpusReady(t *testing.T) {
+	t.Parallel()
 	empty := New("e", Config{})
 	if err := empty.Ready(); err == nil || !strings.Contains(err.Error(), "no shards") {
 		t.Fatalf("empty corpus Ready() = %v, want no-shards error", err)

@@ -1,0 +1,186 @@
+// Package faults provides deterministic, registry-based fault injection for
+// tests and benches.  Production code declares named injection sites (a
+// string constant plus a per-call key, e.g. the shard being evaluated) and
+// consults a Registry at each one; a nil or unarmed registry costs one
+// pointer check, so the sites stay in the production build.
+//
+// Injection is deterministic by construction: firing is driven by per-site
+// call counters (EveryN, Times), never by a random source, so a test or
+// bench replays the exact same failure sequence on every run.  This replaces
+// ad-hoc package-global test hooks — registries are plain values, so two
+// parallel tests injecting faults into two corpora never observe each other.
+package faults
+
+import (
+	"context"
+	"io"
+	"sync"
+	"time"
+)
+
+// Injection describes what an armed site does when it fires.
+type Injection struct {
+	// Site names the injection point (a package-level constant at the site).
+	Site string
+	// Keys restricts firing to calls whose key is listed; empty matches all
+	// keys (for the shard-search site the key is the shard name).
+	Keys []string
+	// Err is returned from the site when the injection fires.
+	Err error
+	// Latency delays the site before it returns (and before Err, if set).
+	// The sleep is context-aware: a dying caller gets its context error.
+	Latency time.Duration
+	// ShortRead, for reader sites, truncates the wrapped stream after this
+	// many bytes — the torn-file / partial-write failure mode.
+	ShortRead int64
+	// EveryN fires the injection on every Nth eligible call (counted per
+	// site across keys); 0 or 1 fires on every call.
+	EveryN int
+	// Times stops the injection after it has fired this many times; 0 means
+	// unlimited.
+	Times int
+	// Hook, when non-nil, runs instead of the Latency+Err behavior and its
+	// return value is the site's result.  Tests use it to synchronize with a
+	// live call (e.g. block a shard until a sibling fails).
+	Hook func(ctx context.Context, key string) error
+}
+
+// site is one armed injection point with its firing counters.
+type site struct {
+	mu    sync.Mutex
+	inj   Injection
+	calls int64 // key-eligible calls seen
+	fired int64 // calls the injection actually fired on
+}
+
+// take decides, under the site lock, whether this call fires and returns a
+// copy of the injection to apply.
+func (s *site) take(key string) (Injection, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.inj.Keys) > 0 {
+		ok := false
+		for _, k := range s.inj.Keys {
+			if k == key {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Injection{}, false
+		}
+	}
+	s.calls++
+	if n := s.inj.EveryN; n > 1 && s.calls%int64(n) != 0 {
+		return Injection{}, false
+	}
+	if s.inj.Times > 0 && s.fired >= int64(s.inj.Times) {
+		return Injection{}, false
+	}
+	s.fired++
+	return s.inj, true
+}
+
+// Registry is a set of armed injection points.  The zero value is not
+// usable; call New.  A nil *Registry is valid at every call site and never
+// fires — production code passes nil (or leaves the config field empty) and
+// pays one comparison per site.
+type Registry struct {
+	mu    sync.RWMutex
+	sites map[string]*site
+}
+
+// New returns an empty registry with no armed sites.
+func New() *Registry {
+	return &Registry{sites: make(map[string]*site)}
+}
+
+// Enable arms (or re-arms, resetting counters) the injection's Site.
+func (r *Registry) Enable(inj Injection) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sites[inj.Site] = &site{inj: inj}
+}
+
+// Disable disarms the named site.
+func (r *Registry) Disable(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sites, name)
+}
+
+// Reset disarms every site.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sites = make(map[string]*site)
+}
+
+// Fired reports how many times the named site's injection has fired.
+func (r *Registry) Fired(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	s := r.sites[name]
+	r.mu.RUnlock()
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// lookup returns the armed site, nil when unarmed (or r is nil).
+func (r *Registry) lookup(name string) *site {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.sites[name]
+}
+
+// Fire consults the named site: it returns nil immediately when the site is
+// unarmed or this call does not fire, otherwise it applies the injection —
+// Hook verbatim when set, else a context-aware Latency sleep followed by
+// returning Err.
+func (r *Registry) Fire(ctx context.Context, name, key string) error {
+	s := r.lookup(name)
+	if s == nil {
+		return nil
+	}
+	inj, ok := s.take(key)
+	if !ok {
+		return nil
+	}
+	if inj.Hook != nil {
+		return inj.Hook(ctx, key)
+	}
+	if inj.Latency > 0 {
+		t := time.NewTimer(inj.Latency)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return inj.Err
+}
+
+// Reader wraps rd with the named site's injection: a firing ShortRead
+// truncates the stream after that many bytes (an io.EOF mid-payload, the
+// shape of a torn write).  Unarmed or non-firing calls return rd unchanged.
+func (r *Registry) Reader(name, key string, rd io.Reader) io.Reader {
+	s := r.lookup(name)
+	if s == nil {
+		return rd
+	}
+	inj, ok := s.take(key)
+	if !ok || inj.ShortRead <= 0 {
+		return rd
+	}
+	return io.LimitReader(rd, inj.ShortRead)
+}

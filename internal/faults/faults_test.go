@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func TestNilRegistryNeverFires(t *testing.T) {
+	t.Parallel()
+	var r *Registry
+	if err := r.Fire(context.Background(), "site", "key"); err != nil {
+		t.Fatalf("nil registry fired: %v", err)
+	}
+	rd := strings.NewReader("payload")
+	if got := r.Reader("site", "key", rd); got != io.Reader(rd) {
+		t.Fatal("nil registry wrapped the reader")
+	}
+	if n := r.Fired("site"); n != 0 {
+		t.Fatalf("Fired = %d", n)
+	}
+}
+
+func TestEnableDisableFire(t *testing.T) {
+	t.Parallel()
+	r := New()
+	if err := r.Fire(context.Background(), "s", "k"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	r.Enable(Injection{Site: "s", Err: errBoom})
+	if err := r.Fire(context.Background(), "s", "k"); !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+	if n := r.Fired("s"); n != 1 {
+		t.Fatalf("Fired = %d, want 1", n)
+	}
+	r.Disable("s")
+	if err := r.Fire(context.Background(), "s", "k"); err != nil {
+		t.Fatalf("disabled site fired: %v", err)
+	}
+}
+
+func TestKeyFilter(t *testing.T) {
+	t.Parallel()
+	r := New()
+	r.Enable(Injection{Site: "s", Keys: []string{"b"}, Err: errBoom})
+	if err := r.Fire(context.Background(), "s", "a"); err != nil {
+		t.Fatalf("key a fired: %v", err)
+	}
+	if err := r.Fire(context.Background(), "s", "b"); !errors.Is(err, errBoom) {
+		t.Fatalf("key b: err = %v", err)
+	}
+}
+
+func TestEveryNIsDeterministic(t *testing.T) {
+	t.Parallel()
+	r := New()
+	r.Enable(Injection{Site: "s", EveryN: 3, Err: errBoom})
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, r.Fire(context.Background(), "s", "k") != nil)
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("call %d fired=%v, want %v (pattern %v)", i+1, pattern[i], want[i], pattern)
+		}
+	}
+	if n := r.Fired("s"); n != 3 {
+		t.Fatalf("Fired = %d, want 3", n)
+	}
+}
+
+func TestTimesBoundsFiring(t *testing.T) {
+	t.Parallel()
+	r := New()
+	r.Enable(Injection{Site: "s", Times: 2, Err: errBoom})
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if r.Fire(context.Background(), "s", "k") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	t.Parallel()
+	r := New()
+	r.Enable(Injection{Site: "s", Latency: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := r.Fire(ctx, "s", "k")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("latency sleep ignored the dying context")
+	}
+}
+
+func TestHookOverrides(t *testing.T) {
+	t.Parallel()
+	r := New()
+	var gotKey string
+	r.Enable(Injection{Site: "s", Err: errBoom, Hook: func(ctx context.Context, key string) error {
+		gotKey = key
+		return nil
+	}})
+	if err := r.Fire(context.Background(), "s", "shard-7"); err != nil {
+		t.Fatalf("hook result not returned: %v", err)
+	}
+	if gotKey != "shard-7" {
+		t.Fatalf("hook key = %q", gotKey)
+	}
+}
+
+func TestShortReadTruncates(t *testing.T) {
+	t.Parallel()
+	r := New()
+	r.Enable(Injection{Site: "open", ShortRead: 4})
+	data, err := io.ReadAll(r.Reader("open", "f", strings.NewReader("0123456789")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0123" {
+		t.Fatalf("read %q, want truncation after 4 bytes", data)
+	}
+	// Unarmed site: identity.
+	data, _ = io.ReadAll(r.Reader("other", "f", strings.NewReader("0123456789")))
+	if string(data) != "0123456789" {
+		t.Fatalf("unarmed reader truncated: %q", data)
+	}
+}
+
+// TestConcurrentFire hammers one site from many goroutines; run under -race.
+// Times must bound total firings exactly even when calls race.
+func TestConcurrentFire(t *testing.T) {
+	t.Parallel()
+	r := New()
+	r.Enable(Injection{Site: "s", Times: 50, Err: errBoom})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if r.Fire(context.Background(), "s", "k") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 50 {
+		t.Fatalf("fired %d, want exactly 50", fired)
+	}
+	if n := r.Fired("s"); n != 50 {
+		t.Fatalf("Fired = %d, want 50", n)
+	}
+}

@@ -18,10 +18,67 @@ type CorpusMetrics struct {
 	Fanout   Histogram    // wall-clock of the parallel per-shard phase
 	Merge    Histogram    // wall-clock of the global merge + render phase
 
+	// Fault-tolerance counters (see internal/corpus: degrade policy and the
+	// per-shard circuit breakers).
+	Partial       atomic.Int64 // searches answered with partial results
+	ShardFailures atomic.Int64 // per-shard evaluation failures (incl. quarantine skips)
+	BreakerTrips  atomic.Int64 // closed→open (and failed-probe) breaker transitions
+
 	// mu guards perShard; the per-shard histograms themselves are lock-free
 	// once handed out.
 	mu       sync.RWMutex
 	perShard map[string]*Histogram
+
+	// healthMu guards healthFn, the corpus-installed provider of per-shard
+	// breaker states (the metrics package cannot import corpus).
+	healthMu sync.RWMutex
+	healthFn func() map[string]ShardHealth
+}
+
+// ShardHealth is the JSON view of one shard's circuit breaker.
+type ShardHealth struct {
+	// State is "closed" (serving), "open" (quarantined) or "half-open"
+	// (cooldown expired, one probe in flight).
+	State string `json:"state"`
+	// ConsecutiveFailures counts failures since the last success.
+	ConsecutiveFailures int `json:"consecutiveFailures,omitempty"`
+	// Trips counts closed→open transitions (including failed probes).
+	Trips int64 `json:"trips,omitempty"`
+	// RetryInMS, for an open breaker, is the cooldown remaining before a
+	// half-open probe is allowed.
+	RetryInMS float64 `json:"retryInMs,omitempty"`
+	// LastError is the failure that tripped or last advanced the breaker.
+	LastError string `json:"lastError,omitempty"`
+}
+
+// SetHealthProvider installs the callback that materializes per-shard
+// breaker states for snapshots and the Prometheus exposition.
+func (c *CorpusMetrics) SetHealthProvider(fn func() map[string]ShardHealth) {
+	c.healthMu.Lock()
+	c.healthFn = fn
+	c.healthMu.Unlock()
+}
+
+// health materializes the per-shard breaker view, nil without a provider.
+func (c *CorpusMetrics) health() map[string]ShardHealth {
+	c.healthMu.RLock()
+	fn := c.healthFn
+	c.healthMu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// Quarantined counts shards whose breaker is not closed right now.
+func (c *CorpusMetrics) Quarantined() int64 {
+	var n int64
+	for _, h := range c.health() {
+		if h.State != "closed" {
+			n++
+		}
+	}
+	return n
 }
 
 // SetShards records the shard count of the current snapshot.
@@ -90,6 +147,17 @@ type CorpusSnapshot struct {
 	Searches int64           `json:"searches"`
 	Fanout   LatencySnapshot `json:"fanout"`
 	Merge    LatencySnapshot `json:"merge"`
+	// PartialSearches counts fan-outs answered from a strict subset of
+	// shards under the degrade policy.
+	PartialSearches int64 `json:"partialSearches,omitempty"`
+	// ShardFailures counts per-shard evaluation failures, including
+	// breaker-quarantine skips.
+	ShardFailures int64 `json:"shardFailures,omitempty"`
+	// BreakerTrips counts circuit-breaker closed→open transitions.
+	BreakerTrips int64 `json:"breakerTrips,omitempty"`
+	// Health reports each shard's circuit-breaker state, keyed by shard
+	// name; absent when the corpus has not installed a health provider.
+	Health map[string]ShardHealth `json:"health,omitempty"`
 	// ShardLatency reports per-shard query latency, keyed by shard name;
 	// absent until the first fan-out.
 	ShardLatency map[string]LatencySnapshot `json:"shardLatency,omitempty"`
@@ -98,11 +166,15 @@ type CorpusSnapshot struct {
 // snapshot materializes the corpus's JSON view.
 func (c *CorpusMetrics) snapshot() CorpusSnapshot {
 	s := CorpusSnapshot{
-		Shards:   c.shards.Load(),
-		Swaps:    c.Swaps.Load(),
-		Searches: c.Searches.Load(),
-		Fanout:   snapshotHistogram(&c.Fanout),
-		Merge:    snapshotHistogram(&c.Merge),
+		Shards:          c.shards.Load(),
+		Swaps:           c.Swaps.Load(),
+		Searches:        c.Searches.Load(),
+		Fanout:          snapshotHistogram(&c.Fanout),
+		Merge:           snapshotHistogram(&c.Merge),
+		PartialSearches: c.Partial.Load(),
+		ShardFailures:   c.ShardFailures.Load(),
+		BreakerTrips:    c.BreakerTrips.Load(),
+		Health:          c.health(),
 	}
 	per := c.shardHistograms()
 	if len(per) > 0 {

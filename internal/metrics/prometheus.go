@@ -72,6 +72,14 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			cNames, func(n string) int64 { return corpora[n].Swaps.Load() }, "corpus")
 		counterFamily(w, "lotusx_corpus_searches_total", "Fan-out searches served.",
 			cNames, func(n string) int64 { return corpora[n].Searches.Load() }, "corpus")
+		counterFamily(w, "lotusx_corpus_partial_searches_total", "Searches answered from a strict subset of shards (degrade policy).",
+			cNames, func(n string) int64 { return corpora[n].Partial.Load() }, "corpus")
+		counterFamily(w, "lotusx_corpus_shard_failures_total", "Per-shard evaluation failures, including breaker-quarantine skips.",
+			cNames, func(n string) int64 { return corpora[n].ShardFailures.Load() }, "corpus")
+		counterFamily(w, "lotusx_corpus_breaker_trips_total", "Circuit-breaker closed-to-open transitions.",
+			cNames, func(n string) int64 { return corpora[n].BreakerTrips.Load() }, "corpus")
+		gaugeFamily(w, "lotusx_corpus_quarantined_shards", "Shards whose circuit breaker is currently not closed.",
+			cNames, func(n string) int64 { return corpora[n].Quarantined() }, "corpus")
 		histogramFamily(w, "lotusx_corpus_fanout_latency_seconds", "Wall-clock of the parallel per-shard fan-out phase.",
 			cNames, func(n string) Export { return corpora[n].Fanout.Export() }, "corpus")
 		histogramFamily(w, "lotusx_corpus_merge_latency_seconds", "Wall-clock of the global merge and render phase.",

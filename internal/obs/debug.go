@@ -13,6 +13,11 @@ type DebugOptions struct {
 	// ready.  A non-nil error answers /readyz with 503 and the error text —
 	// e.g. a corpus mid-reindex or a catalog with an empty snapshot.
 	Ready func() error
+	// Degraded, when non-nil and returning non-empty, marks a ready instance
+	// as impaired (e.g. quarantined shards): /readyz still answers 200 — the
+	// instance should keep taking traffic — but the body reads
+	// "ready (degraded): <reason>" so orchestration and humans can see it.
+	Degraded func() string
 }
 
 // DebugMux builds the operational mux served on the -debug-addr listener:
@@ -43,6 +48,12 @@ func DebugMux(opts DebugOptions) *http.ServeMux {
 			if err := opts.Ready(); err != nil {
 				w.WriteHeader(http.StatusServiceUnavailable)
 				w.Write([]byte("not ready: " + err.Error() + "\n"))
+				return
+			}
+		}
+		if opts.Degraded != nil {
+			if msg := opts.Degraded(); msg != "" {
+				w.Write([]byte("ready (degraded): " + msg + "\n"))
 				return
 			}
 		}

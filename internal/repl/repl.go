@@ -358,6 +358,10 @@ func (r *REPL) cmdQuery(line string) error {
 func (r *REPL) printHits(res *core.HitResult) {
 	r.printf("%d answers (%d exact, %d rewrites tried) in %v\n",
 		len(res.Hits), res.Exact, res.RewritesTried, res.Elapsed.Round(10_000))
+	if res.Partial {
+		r.printf("PARTIAL: %d of %d shard(s) failed (%s) — answers cover the surviving shards\n",
+			len(res.FailedShards), res.Shards, strings.Join(res.FailedShards, ", "))
+	}
 	for i, h := range res.Hits {
 		r.printf("#%d  %s  score=%.3f", i+1, h.Path, h.Score)
 		if res.Shards > 1 && h.Shard != "" {

@@ -10,6 +10,7 @@ import (
 
 	"lotusx/internal/corpus"
 	"lotusx/internal/httpmw"
+	"lotusx/internal/metrics"
 )
 
 // The admin surface (mounted only with Config.EnableAdmin) manages served
@@ -121,7 +122,12 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if c == nil {
-		c = corpus.New(name, corpus.Config{Dir: dir, Metrics: s.reg.Corpus(name)})
+		c = corpus.New(name, corpus.Config{
+			Dir:     dir,
+			Metrics: s.reg.Corpus(name),
+			Tuning:  s.corpusTuning,
+			Logger:  s.logger,
+		})
 	}
 	body := http.MaxBytesReader(w, r.Body, maxIngestSize)
 	if err := c.SetSplitReader(name, body, parts); err != nil {
@@ -206,6 +212,57 @@ func (s *Server) handleShardDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, statusOf(name, c))
+}
+
+// shardHealthStatus is the payload of the shard-health admin routes.
+type shardHealthStatus struct {
+	Dataset string              `json:"dataset"`
+	Shard   string              `json:"shard"`
+	Health  metrics.ShardHealth `json:"health"`
+	// Reset reports that this response follows a breaker reset (POST).
+	Reset bool `json:"reset,omitempty"`
+}
+
+// handleShardHealth reports one shard's circuit-breaker state.
+//
+//	GET /api/v1/datasets/{name}/shards/{shard}/health
+func (s *Server) handleShardHealth(w http.ResponseWriter, r *http.Request) {
+	name, shard := r.PathValue("name"), r.PathValue("shard")
+	c, err := s.corpusFor(name)
+	if err != nil {
+		notFound(w, err)
+		return
+	}
+	h, err := c.ShardHealthOf(shard)
+	if err != nil {
+		notFound(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, shardHealthStatus{Dataset: name, Shard: shard, Health: h})
+}
+
+// handleShardHealthReset force-closes one shard's circuit breaker — the
+// operator's "I fixed it, let traffic back in" lever; the next fan-out
+// evaluates the shard immediately instead of waiting out the cooldown.
+//
+//	POST /api/v1/datasets/{name}/shards/{shard}/health
+func (s *Server) handleShardHealthReset(w http.ResponseWriter, r *http.Request) {
+	name, shard := r.PathValue("name"), r.PathValue("shard")
+	c, err := s.corpusFor(name)
+	if err != nil {
+		notFound(w, err)
+		return
+	}
+	if err := c.ResetShardHealth(shard); err != nil {
+		notFound(w, err)
+		return
+	}
+	h, err := c.ShardHealthOf(shard)
+	if err != nil {
+		notFound(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, shardHealthStatus{Dataset: name, Shard: shard, Health: h, Reset: true})
 }
 
 // handleReindex rebuilds every shard of a corpus-backed dataset — or just

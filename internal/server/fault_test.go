@@ -1,0 +1,320 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lotusx/internal/core"
+	"lotusx/internal/corpus"
+	"lotusx/internal/doc"
+	"lotusx/internal/faults"
+	"lotusx/internal/metrics"
+	"lotusx/internal/obs"
+)
+
+var errShardDown = errors.New("injected shard failure")
+
+// faultBibXML has four records so a 4-way split is one record per shard:
+// bib/000=a1, bib/001=a2, bib/002=a3, bib/003=c1.
+const faultBibXML = `<dblp>
+  <article key="a1">
+    <author>Jiaheng Lu</author>
+    <title>Holistic Twig Joins</title>
+    <year>2005</year>
+  </article>
+  <article key="a2">
+    <author>Chunbin Lin</author>
+    <title>LotusX Demo</title>
+    <year>2012</year>
+  </article>
+  <article key="a3">
+    <author>Wei Wang</author>
+    <title>Structural Joins</title>
+    <year>2002</year>
+  </article>
+  <inproceedings key="c1">
+    <author>Jiaheng Lu</author>
+    <title>TJFast</title>
+    <year>2005</year>
+  </inproceedings>
+</dblp>`
+
+// faultServer serves a 4-shard bib corpus (one record per shard) with an
+// armed fault registry, admin routes on.
+func faultServer(t *testing.T, tuning corpus.Tuning) (*httptest.Server, *Server, *faults.Registry, *metrics.Registry) {
+	t.Helper()
+	reg := faults.New()
+	mreg := metrics.New()
+	d, err := doc.FromReader("bib", strings.NewReader(faultBibXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.FromDocument("bib", d, 4, corpus.Config{
+		Faults:  reg,
+		Metrics: mreg.Corpus("bib"),
+		Tuning:  tuning,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := core.NewCatalog()
+	catalog.AddBackend("bib", c)
+	srv := NewCatalogConfig(catalog, Config{Metrics: mreg, EnableAdmin: true})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv, reg, mreg
+}
+
+// TestQueryDegradedAnswersPartial is the acceptance scenario: one of four
+// shards fault-injected, the API answers 200 with partial:true, the failed
+// shard named, and correctly ranked answers from the survivors.
+func TestQueryDegradedAnswersPartial(t *testing.T) {
+	ts, _, reg, _ := faultServer(t, corpus.Tuning{BreakerThreshold: -1})
+	reg.Enable(faults.Injection{Site: corpus.FaultShardSearch, Keys: []string{"bib/002"}, Err: errShardDown})
+
+	var resp struct {
+		Answers []struct {
+			Path    string  `json:"path"`
+			Score   float64 `json:"score"`
+			Shard   string  `json:"shard"`
+			Snippet string  `json:"snippet"`
+		} `json:"answers"`
+		Total        int      `json:"total"`
+		Shards       int      `json:"shards"`
+		Partial      bool     `json:"partial"`
+		FailedShards []string `json:"failedShards"`
+	}
+	code := postJSON(t, ts.URL+"/api/v1/query?dataset=bib", `{"query":"//article/title","k":10}`, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("degraded query: status %d, want 200", code)
+	}
+	if !resp.Partial {
+		t.Fatal("partial flag missing from the envelope")
+	}
+	if len(resp.FailedShards) != 1 || resp.FailedShards[0] != "bib/002" {
+		t.Fatalf("failedShards = %v, want [bib/002]", resp.FailedShards)
+	}
+	if resp.Shards != 4 {
+		t.Fatalf("shards = %d, want the full fan-out width 4", resp.Shards)
+	}
+	// bib/002 holds a3 ("Structural Joins"); the two other article titles
+	// survive, ranked and attributed.
+	if len(resp.Answers) != 2 || resp.Total != 2 {
+		t.Fatalf("answers = %d (total %d), want the 2 surviving titles", len(resp.Answers), resp.Total)
+	}
+	for i, a := range resp.Answers {
+		if a.Shard == "bib/002" {
+			t.Fatalf("answer %d came from the failed shard", i)
+		}
+		if strings.Contains(a.Snippet, "Structural Joins") {
+			t.Fatalf("answer %d leaked the failed shard's record: %q", i, a.Snippet)
+		}
+		if i > 0 && resp.Answers[i-1].Score < a.Score {
+			t.Fatalf("answers not ranked: score[%d]=%v < score[%d]=%v",
+				i-1, resp.Answers[i-1].Score, i, a.Score)
+		}
+	}
+}
+
+// TestQueryFailFastSurfacesShardError: the same single-shard failure under
+// failfast fails the whole request with the shard named in the envelope.
+func TestQueryFailFastSurfacesShardError(t *testing.T) {
+	ts, _, reg, _ := faultServer(t, corpus.Tuning{Policy: corpus.PolicyFailFast, BreakerThreshold: -1})
+	reg.Enable(faults.Injection{Site: corpus.FaultShardSearch, Keys: []string{"bib/002"}, Err: errShardDown})
+
+	var resp struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	code := postJSON(t, ts.URL+"/api/v1/query?dataset=bib", `{"query":"//article/title","k":10}`, &resp)
+	if code == http.StatusOK {
+		t.Fatal("failfast answered 200 for a failed fan-out")
+	}
+	if resp.Error.Code == "" {
+		t.Fatal("no error envelope")
+	}
+	if !strings.Contains(resp.Error.Message, "bib/002") {
+		t.Fatalf("error %q does not name the failed shard", resp.Error.Message)
+	}
+}
+
+// TestShardHealthAdminRoutes: the breaker is observable and resettable over
+// the admin API (split-group shard names ride in one escaped path segment).
+func TestShardHealthAdminRoutes(t *testing.T) {
+	ts, _, reg, _ := faultServer(t, corpus.Tuning{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	reg.Enable(faults.Injection{Site: corpus.FaultShardSearch, Keys: []string{"bib/001"}, Err: errShardDown})
+
+	var q struct {
+		Partial bool `json:"partial"`
+	}
+	if code := postJSON(t, ts.URL+"/api/v1/query?dataset=bib", `{"query":"//article/title","k":10}`, &q); code != http.StatusOK {
+		t.Fatalf("tripping query: status %d", code)
+	}
+	if !q.Partial {
+		t.Fatal("tripping query not partial")
+	}
+
+	healthURL := ts.URL + "/api/v1/datasets/bib/shards/bib%2F001/health"
+	var hs struct {
+		Dataset string `json:"dataset"`
+		Shard   string `json:"shard"`
+		Health  struct {
+			State     string `json:"state"`
+			Trips     int64  `json:"trips"`
+			LastError string `json:"lastError"`
+		} `json:"health"`
+		Reset bool `json:"reset"`
+	}
+	if code := getJSON(t, healthURL, &hs); code != http.StatusOK {
+		t.Fatalf("GET shard health: status %d", code)
+	}
+	if hs.Shard != "bib/001" || hs.Health.State != "open" || hs.Health.Trips != 1 {
+		t.Fatalf("GET shard health: %+v", hs)
+	}
+	if !strings.Contains(hs.Health.LastError, "injected") {
+		t.Fatalf("lastError %q does not carry the cause", hs.Health.LastError)
+	}
+
+	// Unknown shards 404 with the envelope.
+	var e struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/datasets/bib/shards/nope/health", &e); code != http.StatusNotFound {
+		t.Fatalf("GET unknown shard health: status %d", code)
+	}
+
+	// POST resets the breaker; with the fault disarmed the shard serves again.
+	reg.Reset()
+	hs = struct {
+		Dataset string `json:"dataset"`
+		Shard   string `json:"shard"`
+		Health  struct {
+			State     string `json:"state"`
+			Trips     int64  `json:"trips"`
+			LastError string `json:"lastError"`
+		} `json:"health"`
+		Reset bool `json:"reset"`
+	}{}
+	if code := postJSON(t, healthURL, "", &hs); code != http.StatusOK {
+		t.Fatalf("POST shard health reset: status %d", code)
+	}
+	if !hs.Reset || hs.Health.State != "closed" {
+		t.Fatalf("after reset: %+v", hs)
+	}
+	// Fresh struct: partial is omitempty, so a stale true would survive a
+	// re-decode.
+	var q2 struct {
+		Partial      bool     `json:"partial"`
+		FailedShards []string `json:"failedShards"`
+	}
+	if code := postJSON(t, ts.URL+"/api/v1/query?dataset=bib", `{"query":"//article/title","k":10}`, &q2); code != http.StatusOK {
+		t.Fatalf("post-reset query: status %d", code)
+	}
+	if q2.Partial {
+		t.Fatalf("reset shard still degraded: failed %v", q2.FailedShards)
+	}
+}
+
+// TestMetricsExposeShardHealth: breaker states and fault-tolerance counters
+// surface in /api/v1/metrics.
+func TestMetricsExposeShardHealth(t *testing.T) {
+	ts, _, reg, _ := faultServer(t, corpus.Tuning{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	reg.Enable(faults.Injection{Site: corpus.FaultShardSearch, Keys: []string{"bib/003"}, Err: errShardDown})
+	var q struct{}
+	postJSON(t, ts.URL+"/api/v1/query?dataset=bib", `{"query":"//article/title","k":10}`, &q)
+
+	var snap struct {
+		Corpora map[string]struct {
+			PartialSearches int64                          `json:"partialSearches"`
+			ShardFailures   int64                          `json:"shardFailures"`
+			BreakerTrips    int64                          `json:"breakerTrips"`
+			Health          map[string]metrics.ShardHealth `json:"health"`
+		} `json:"corpora"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	cs, ok := snap.Corpora["bib"]
+	if !ok {
+		t.Fatalf("no corpus metrics for bib: %+v", snap.Corpora)
+	}
+	if cs.PartialSearches < 1 || cs.ShardFailures < 1 || cs.BreakerTrips != 1 {
+		t.Fatalf("fault counters: %+v", cs)
+	}
+	if got := cs.Health["bib/003"].State; got != "open" {
+		t.Fatalf("health[bib/003] = %q, want open", got)
+	}
+	if got := cs.Health["bib/000"].State; got != "closed" {
+		t.Fatalf("health[bib/000] = %q, want closed", got)
+	}
+
+	// The Prometheus exposition carries the same counters.
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, res.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, family := range []string{
+		"lotusx_corpus_partial_searches_total",
+		"lotusx_corpus_shard_failures_total",
+		"lotusx_corpus_breaker_trips_total",
+		"lotusx_corpus_quarantined_shards",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("prometheus exposition missing %s", family)
+		}
+	}
+}
+
+// TestReadyzDegraded: a quarantined shard keeps the instance ready (200) but
+// the body says degraded, so orchestration keeps routing and operators see it.
+func TestReadyzDegraded(t *testing.T) {
+	ts, srv, reg, _ := faultServer(t, corpus.Tuning{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	debug := httptest.NewServer(obs.DebugMux(obs.DebugOptions{Ready: srv.Ready, Degraded: srv.Degraded}))
+	t.Cleanup(debug.Close)
+
+	body := getText(t, debug.URL+"/readyz", http.StatusOK)
+	if strings.TrimSpace(body) != "ready" {
+		t.Fatalf("healthy readyz body %q", body)
+	}
+
+	reg.Enable(faults.Injection{Site: corpus.FaultShardSearch, Keys: []string{"bib/000"}, Err: errShardDown})
+	var q struct{}
+	postJSON(t, ts.URL+"/api/v1/query?dataset=bib", `{"query":"//article/title","k":10}`, &q)
+
+	body = getText(t, debug.URL+"/readyz", http.StatusOK)
+	if !strings.HasPrefix(body, "ready (degraded):") || !strings.Contains(body, "bib/000") {
+		t.Fatalf("degraded readyz body %q", body)
+	}
+}
+
+func getText(t *testing.T, url string, wantCode int) string {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, res.Body); err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d (body %q)", url, res.StatusCode, wantCode, sb.String())
+	}
+	return sb.String()
+}

@@ -25,6 +25,7 @@ import (
 
 	"lotusx/internal/complete"
 	"lotusx/internal/core"
+	"lotusx/internal/corpus"
 	"lotusx/internal/doc"
 	"lotusx/internal/httpmw"
 	"lotusx/internal/join"
@@ -62,6 +63,10 @@ type Config struct {
 	// CorpusDir, when non-empty with EnableAdmin, persists admin-created
 	// corpora under <CorpusDir>/<dataset>/ (manifest + shard files).
 	CorpusDir string
+	// Corpus carries the fault-tolerance knobs (shard policy, time budgets,
+	// circuit breaker) applied to admin-created corpora; the zero value is
+	// the corpus package's production defaults.
+	Corpus corpus.Tuning
 	// SlowQuery is the slow-query log threshold: query and completion
 	// requests taking at least this long are logged at WARN with their full
 	// per-stage trace breakdown and a sanitized query.  0 disables the log
@@ -76,13 +81,14 @@ type Config struct {
 // query, completion and explain answer identically for both (?shard= addresses
 // one shard where a single document is needed, e.g. /node and /guide).
 type Server struct {
-	catalog   *core.Catalog
-	mux       *http.ServeMux
-	handler   http.Handler
-	reg       *metrics.Registry
-	corpusDir string
-	slowQuery time.Duration
-	logger    *slog.Logger
+	catalog      *core.Catalog
+	mux          *http.ServeMux
+	handler      http.Handler
+	reg          *metrics.Registry
+	corpusDir    string
+	corpusTuning corpus.Tuning
+	slowQuery    time.Duration
+	logger       *slog.Logger
 	// adminMu serializes the admin routes that create or delete whole
 	// datasets: concurrent creates of the same name must not race each
 	// other (or a delete) over the dataset's persistence directory.
@@ -116,12 +122,13 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		catalog:   catalog,
-		mux:       http.NewServeMux(),
-		reg:       reg,
-		corpusDir: cfg.CorpusDir,
-		slowQuery: cfg.SlowQuery,
-		logger:    logger,
+		catalog:      catalog,
+		mux:          http.NewServeMux(),
+		reg:          reg,
+		corpusDir:    cfg.CorpusDir,
+		corpusTuning: cfg.Corpus,
+		slowQuery:    cfg.SlowQuery,
+		logger:       logger,
 	}
 
 	// The v1 surface.  Each route is instrumented under its endpoint name;
@@ -153,6 +160,8 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 			{"DELETE", "/api/v1/datasets/{name}", "admin", s.handleDatasetDelete, false},
 			{"POST", "/api/v1/datasets/{name}/shards/{shard}", "admin", s.handleShardAdd, false},
 			{"DELETE", "/api/v1/datasets/{name}/shards/{shard}", "admin", s.handleShardDelete, false},
+			{"GET", "/api/v1/datasets/{name}/shards/{shard}/health", "admin", s.handleShardHealth, false},
+			{"POST", "/api/v1/datasets/{name}/shards/{shard}/health", "admin", s.handleShardHealthReset, false},
 			{"POST", "/api/v1/datasets/{name}/reindex", "admin", s.handleReindex, false},
 		}...)
 	}
@@ -478,8 +487,15 @@ type queryResponse struct {
 	Algorithm  string        `json:"algorithm"`
 	// Shards counts the shards fanned out to; present for corpus datasets
 	// only.
-	Shards    int     `json:"shards,omitempty"`
-	ElapsedMS float64 `json:"elapsedMs"`
+	Shards int `json:"shards,omitempty"`
+	// Partial reports a degraded answer: some shards failed and the page
+	// covers only the survivors (the corpus's -shard-policy=degrade).  The
+	// paging contract above still holds, computed over surviving shards.
+	Partial bool `json:"partial,omitempty"`
+	// FailedShards names the shards that failed, sorted; present only when
+	// Partial.
+	FailedShards []string `json:"failedShards,omitempty"`
+	ElapsedMS    float64  `json:"elapsedMs"`
 	XQuery    string  `json:"xquery"`
 	// Trace is the per-stage span tree of this request; present only when
 	// requested with ?debug=trace or X-Lotusx-Trace: 1.
@@ -567,6 +583,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.Shards > 1 {
 		resp.Shards = res.Shards
 	}
+	resp.Partial = res.Partial
+	resp.FailedShards = res.FailedShards
 	for _, h := range res.Hits {
 		resp.Answers = append(resp.Answers, queryAnswer{
 			Node:       int32(h.Node),

@@ -3,6 +3,7 @@ package server
 import (
 	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"lotusx/internal/core"
@@ -123,6 +124,29 @@ func (s *Server) Ready() error {
 	return nil
 }
 
+// degradedReporter is the degradation slice of a backend: serving, but
+// impaired (quarantined shards).  Sharded corpora implement it.
+type degradedReporter interface{ Degraded() string }
+
+// Degraded aggregates degradation over every serving dataset: "" when every
+// backend is whole, else the joined reasons.  GET /readyz renders a ready
+// but degraded instance as "ready (degraded): ...".
+func (s *Server) Degraded() string {
+	var parts []string
+	for _, name := range s.catalog.Names() {
+		b, err := s.catalog.GetBackend(name)
+		if err != nil {
+			continue
+		}
+		if dr, ok := b.(degradedReporter); ok {
+			if msg := dr.Degraded(); msg != "" {
+				parts = append(parts, msg)
+			}
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
 // handlePrometheus serves the hand-rolled Prometheus text exposition —
 // GET /metrics, the conventional scrape path, next to the JSON snapshot at
 // /api/v1/metrics.
@@ -144,6 +168,10 @@ func annotateSearch(r *http.Request, res *core.HitResult) {
 	httpmw.Annotate(r.Context(), "results", len(res.Hits))
 	if res.Shards > 1 {
 		httpmw.Annotate(r.Context(), "shards", res.Shards)
+	}
+	if res.Partial {
+		httpmw.Annotate(r.Context(), "partial", true)
+		httpmw.Annotate(r.Context(), "failedShards", strings.Join(res.FailedShards, ","))
 	}
 	if res.RewritesTried > 0 {
 		httpmw.Annotate(r.Context(), "rewritesTried", res.RewritesTried)
