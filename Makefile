@@ -5,7 +5,8 @@
 GO ?= go
 
 RACE_PKGS := ./internal/server/... ./internal/core/... ./internal/corpus/... \
-	./internal/obs/... ./internal/metrics/...
+	./internal/obs/... ./internal/metrics/... ./internal/cache/... \
+	./internal/join/...
 
 .PHONY: check build vet test race bench profile clean
 

@@ -19,9 +19,11 @@ func main() {
 	scale := flag.Int("scale", 1, "dataset scale factor")
 	seed := flag.Int64("seed", 42, "workload seed")
 	exps := flag.String("exp", "", "comma-separated experiments to run (default all), e.g. E2,E5")
+	jsonDir := flag.String("json-dir", ".",
+		"directory receiving machine-readable BENCH_<ID>.json files (empty disables)")
 	flag.Parse()
 
-	runner, err := bench.NewRunner(bench.Config{Scale: *scale, Seed: *seed, Out: os.Stdout})
+	runner, err := bench.NewRunner(bench.Config{Scale: *scale, Seed: *seed, Out: os.Stdout, JSONDir: *jsonDir})
 	if err != nil {
 		fatal(err)
 	}
@@ -47,6 +49,7 @@ func main() {
 		"E12": runner.E12CorpusFanout,
 		"E13": runner.E13TracingOverhead,
 		"E14": runner.E14FaultTolerance,
+		"E15": runner.E15CacheWarmPath,
 		"A1":  runner.A1Pushdown,
 		"A2":  runner.A2Minimization,
 		"A3":  runner.A3PenaltyModel,

@@ -56,6 +56,12 @@ func main() {
 		"consecutive failures quarantining a shard behind its circuit breaker; 0 means the default (5), negative disables breakers")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0,
 		"how long a quarantined shard sits out before a half-open probe; 0 means the default (30s)")
+	cacheResults := flag.Bool("cache-results", true,
+		"cache full query answers keyed by snapshot generation; pages of one answer share an entry")
+	cacheCompletions := flag.Bool("cache-completions", true,
+		"cache completion candidates with a prefix-extension fast path")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20,
+		"total memory bound shared by the hot-path caches; <= 0 disables both")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -73,13 +79,19 @@ func main() {
 	}
 	reg := metrics.New()
 	cfg := server.Config{
-		QueryTimeout: *queryTimeout,
-		MaxInflight:  *maxInflight,
-		Metrics:      reg,
-		EnableAdmin:  *admin,
-		CorpusDir:    *corpusDir,
-		Corpus:       tuning,
-		SlowQuery:    *slowQuery,
+		QueryTimeout:           *queryTimeout,
+		MaxInflight:            *maxInflight,
+		Metrics:                reg,
+		EnableAdmin:            *admin,
+		CorpusDir:              *corpusDir,
+		Corpus:                 tuning,
+		SlowQuery:              *slowQuery,
+		DisableResultCache:     !*cacheResults,
+		DisableCompletionCache: !*cacheCompletions,
+		CacheBytes:             *cacheBytes,
+	}
+	if *cacheBytes <= 0 {
+		cfg.CacheBytes = -1 // 0 would mean "use the default bound"
 	}
 	if !*quiet {
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))

@@ -5,9 +5,14 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -27,6 +32,9 @@ type Config struct {
 	Seed int64
 	// Out receives the printed tables.
 	Out io.Writer
+	// JSONDir, when set, additionally writes every experiment's tables as
+	// machine-readable BENCH_<ID>.json files into that directory.
+	JSONDir string
 }
 
 // Runner holds the built engines and runs experiments.
@@ -35,6 +43,12 @@ type Runner struct {
 	engines map[dataset.Kind]*core.Engine
 	// build timings captured while constructing engines (E1).
 	buildStats map[dataset.Kind]buildStat
+	// curID/curClaim track the experiment the next table belongs to (set by
+	// header); recorded accumulates each experiment's parsed tables for the
+	// JSONDir files.
+	curID    string
+	curClaim string
+	recorded map[string][]jsonTable
 }
 
 type buildStat struct {
@@ -128,6 +142,7 @@ func (r *Runner) RunAll() error {
 		r.E12CorpusFanout,
 		r.E13TracingOverhead,
 		r.E14FaultTolerance,
+		r.E15CacheWarmPath,
 		r.A1Pushdown,
 		r.A2Minimization,
 		r.A3PenaltyModel,
@@ -140,14 +155,104 @@ func (r *Runner) RunAll() error {
 	return nil
 }
 
-// header prints an experiment banner.
+// header prints an experiment banner and marks id as the experiment the
+// following tables belong to.
 func (r *Runner) header(id, claim string) {
+	r.curID, r.curClaim = id, claim
+	if r.cfg.JSONDir != "" {
+		delete(r.recorded, id) // a re-run replaces the experiment's tables
+	}
 	fmt.Fprintf(r.cfg.Out, "\n=== %s — %s ===\n", id, claim)
 }
 
-// table returns a tabwriter over the configured output; callers must Flush.
-func (r *Runner) table() *tabwriter.Writer {
-	return tabwriter.NewWriter(r.cfg.Out, 2, 4, 2, ' ', 0)
+// table returns a writer for one result table; callers must Flush.  The
+// table renders through a tabwriter, and — when Config.JSONDir is set — its
+// raw tab-separated rows are also recorded into BENCH_<ID>.json.
+func (r *Runner) table() *benchTable {
+	return &benchTable{r: r, tw: tabwriter.NewWriter(r.cfg.Out, 2, 4, 2, ' ', 0)}
+}
+
+// benchTable tees one experiment table: formatted text through the
+// tabwriter, raw rows into the machine-readable record.
+type benchTable struct {
+	r   *Runner
+	tw  *tabwriter.Writer
+	raw bytes.Buffer
+}
+
+func (t *benchTable) Write(p []byte) (int, error) {
+	t.raw.Write(p)
+	return t.tw.Write(p)
+}
+
+// Flush flushes the rendered table and records its rows for the JSON file.
+func (t *benchTable) Flush() error {
+	if err := t.tw.Flush(); err != nil {
+		return err
+	}
+	return t.r.record(t.raw.String())
+}
+
+// jsonTable is one parsed table of an experiment: the first input row is
+// taken as the column header.
+type jsonTable struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonExperiment is the BENCH_<ID>.json document.
+type jsonExperiment struct {
+	ID     string      `json:"id"`
+	Claim  string      `json:"claim"`
+	Scale  int         `json:"scale"`
+	Seed   int64       `json:"seed"`
+	Tables []jsonTable `json:"tables"`
+}
+
+// record parses one flushed table and rewrites the current experiment's
+// JSON file with everything recorded for it so far.
+func (r *Runner) record(raw string) error {
+	if r.cfg.JSONDir == "" || r.curID == "" {
+		return nil
+	}
+	var tab jsonTable
+	for _, line := range strings.Split(raw, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		cells := strings.Split(line, "\t")
+		for i := range cells {
+			cells[i] = strings.TrimSpace(cells[i])
+		}
+		if len(cells) > 0 && cells[len(cells)-1] == "" {
+			cells = cells[:len(cells)-1] // rows conventionally end with \t\n
+		}
+		if tab.Columns == nil {
+			tab.Columns = cells
+			continue
+		}
+		tab.Rows = append(tab.Rows, cells)
+	}
+	if r.recorded == nil {
+		r.recorded = make(map[string][]jsonTable)
+	}
+	r.recorded[r.curID] = append(r.recorded[r.curID], tab)
+	doc := jsonExperiment{
+		ID:     r.curID,
+		Claim:  r.curClaim,
+		Scale:  r.cfg.Scale,
+		Seed:   r.cfg.Seed,
+		Tables: r.recorded[r.curID],
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(r.cfg.JSONDir, 0o755); err != nil {
+		return err
+	}
+	name := filepath.Join(r.cfg.JSONDir, "BENCH_"+r.curID+".json")
+	return os.WriteFile(name, append(data, '\n'), 0o644)
 }
 
 // countingBuffer buffers generated XML and re-serves it as a reader.

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lotusx/internal/cache"
+	"lotusx/internal/core"
+	"lotusx/internal/corpus"
+	"lotusx/internal/dataset"
+	lxmetrics "lotusx/internal/metrics"
+	"lotusx/internal/twig"
+)
+
+// E15CacheWarmPath measures the hot-path caching layer (internal/cache): a
+// replayed interactive session — the XMark workload queries plus the
+// keystroke-by-keystroke completion chains a user types — runs once against
+// cold caches and then repeatedly against warm ones, on both a single
+// engine and a 4-shard corpus.  The claim: a warm pass answers from the
+// snapshot-keyed caches at memory speed, without slowing the cold pass down.
+func (r *Runner) E15CacheWarmPath() error {
+	r.header("E15", "hot-path caching: cold vs warm latency on a replayed interactive session")
+	eng := r.Engine(dataset.XMark)
+	crp, err := corpus.FromDocument("xmark-e15", eng.Document(), 4, corpus.Config{})
+	if err != nil {
+		return err
+	}
+
+	const warmPasses = 20
+	tw := r.table()
+	fmt.Fprintf(tw, "backend\tsteps\tcold ms/pass\twarm ms/pass\twarm µs/step\tspeedup\twarm QPS\t\n")
+	for _, be := range []struct {
+		name string
+		b    core.Backend
+	}{{"engine", eng}, {"corpus-4", crp}} {
+		set := cache.NewSet(cache.Config{
+			Results:     true,
+			Completions: true,
+			MaxBytes:    32 << 20,
+			Metrics:     lxmetrics.New(),
+		})
+		wrapped := set.Wrap(be.b)
+
+		steps, err := replaySession(wrapped, 0) // count + sanity, uncached timing discarded
+		if err != nil {
+			return err
+		}
+		cold := time.Now()
+		if _, err := replaySession(wrapped, 1); err != nil {
+			return err
+		}
+		coldDur := time.Since(cold)
+		// The cold pass above filled the caches; every later pass is warm.
+		warm := time.Now()
+		for i := 0; i < warmPasses; i++ {
+			if _, err := replaySession(wrapped, 1); err != nil {
+				return err
+			}
+		}
+		warmDur := time.Since(warm) / warmPasses
+
+		speedup := float64(coldDur) / float64(warmDur)
+		qps := float64(steps) / warmDur.Seconds()
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.1f\t%.1fx\t%.0f\t\n",
+			be.name, steps, ms(coldDur), ms(warmDur),
+			float64(warmDur.Microseconds())/float64(steps), speedup, qps)
+	}
+	return tw.Flush()
+}
+
+// replaySession drives one pass of the interactive session against b and
+// returns the number of steps.  pass 0 runs with a cache bypass so the
+// first timed pass is genuinely cold.
+func replaySession(b core.Backend, pass int) (int, error) {
+	ctx := context.Background()
+	if pass == 0 {
+		ctx = cache.WithBypass(ctx)
+	}
+	steps := 0
+	for _, q := range Workload() {
+		if q.Kind != dataset.XMark {
+			continue
+		}
+		query := mustParse(q.Text)
+		// The user pages through the first two result pages.
+		for _, opts := range []core.SearchOptions{
+			{K: 10, SnippetMax: 120},
+			{K: 10, Offset: 10, SnippetMax: 120},
+		} {
+			res, err := b.SearchHits(ctx, query, opts)
+			if err != nil {
+				return 0, err
+			}
+			if res.Total == 0 {
+				return 0, fmt.Errorf("E15: %s returned no results", q.ID)
+			}
+			steps++
+		}
+	}
+	// Keystroke chains: the user types a tag name under //item and a value
+	// prefix under //item/name, one completion request per keystroke.
+	anchorQ := mustParse(`//item`)
+	for _, prefix := range []string{"", "n", "na", "nam", "name"} {
+		if _, err := b.CompleteTags(ctx, anchorQ, anchorQ.OutputNode().ID, twig.Child, prefix, 10); err != nil {
+			return 0, err
+		}
+		steps++
+	}
+	valueQ := mustParse(`//item/name`)
+	for _, prefix := range []string{"", "a", "an"} {
+		if _, err := b.CompleteValues(ctx, valueQ, valueQ.OutputNode().ID, prefix, 10); err != nil {
+			return 0, err
+		}
+		steps++
+	}
+	return steps, nil
+}

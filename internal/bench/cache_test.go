@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestE15TableAndJSON runs the caching experiment and checks both outputs:
+// the printed table (warm must beat cold by at least the 5x acceptance
+// bar on every backend) and the machine-readable BENCH_E15.json.
+func TestE15TableAndJSON(t *testing.T) {
+	r := runner(t)
+	buf := output(r)
+	dir := t.TempDir()
+	r.cfg.JSONDir = dir
+	defer func() { r.cfg.JSONDir = "" }()
+
+	if err := r.E15CacheWarmPath(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine", "corpus-4", "speedup"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("E15 output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_E15.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ID     string `json:"id"`
+		Claim  string `json:"claim"`
+		Tables []struct {
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_E15.json does not parse: %v", err)
+	}
+	if doc.ID != "E15" || len(doc.Tables) != 1 || len(doc.Tables[0].Rows) != 2 {
+		t.Fatalf("unexpected JSON shape: %+v", doc)
+	}
+	speedupCol := -1
+	for i, c := range doc.Tables[0].Columns {
+		if c == "speedup" {
+			speedupCol = i
+		}
+	}
+	if speedupCol < 0 {
+		t.Fatalf("no speedup column in %v", doc.Tables[0].Columns)
+	}
+	for _, row := range doc.Tables[0].Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[speedupCol], "x"), 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q: %v", row[speedupCol], err)
+		}
+		if v < 5 {
+			t.Errorf("%s: warm speedup %.1fx below the 5x acceptance bar", row[0], v)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package cache implements the serving layer's hot-path caches: a generic,
+// sharded, bounded LRU with per-key singleflight and generation-keyed
+// invalidation.
+//
+// The LRU is byte-bounded (every entry carries a caller-estimated cost) and
+// split into fixed shards so concurrent lookups on a hot serving path do not
+// serialize on one mutex.  Singleflight collapses concurrent identical
+// misses into one computation: the first caller computes, the rest wait on
+// its result — an interactive session hammering the same keystroke fires one
+// join, not N.
+//
+// Invalidation is by construction, not by scan: callers embed a snapshot
+// generation in every key (see backend.go), so a corpus mutation — which
+// bumps its copy-on-write snapshot sequence — simply makes all old keys
+// unreachable.  Stale entries age out of the LRU; no locks, no sweeps, and a
+// request that raced a mutation can never observe a newer generation's key
+// pointing at older data.
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"lotusx/internal/metrics"
+)
+
+// shardCount is the fixed number of LRU shards; keys hash onto shards, so
+// the per-shard byte budget is maxBytes/shardCount.
+const shardCount = 16
+
+// entryOverhead is the bookkeeping cost charged per entry on top of the
+// caller-estimated value cost and the key bytes: the entry struct, list
+// links and map slot.
+const entryOverhead = 96
+
+// Cache is a sharded, byte-bounded LRU from string keys to values of type V
+// with per-key singleflight.  Values handed out are shared across callers —
+// treat them as immutable.
+type Cache[V any] struct {
+	name     string
+	perShard int64
+	met      *metrics.CacheMetrics
+	shards   [shardCount]lruShard[V]
+}
+
+// New returns a Cache bounded to roughly maxBytes of summed entry cost
+// (spread over shardCount shards).  met, when non-nil, receives hit, miss,
+// eviction and singleflight counters and is wired to report the cache's
+// live size.
+func New[V any](name string, maxBytes int64, met *metrics.CacheMetrics) *Cache[V] {
+	per := maxBytes / shardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache[V]{name: name, perShard: per, met: met}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry[V])
+		c.shards[i].flights = make(map[string]*flight[V])
+	}
+	if met != nil {
+		met.SetSizeProvider(func() (int64, int64) { return c.Len(), c.Bytes() })
+	}
+	return c
+}
+
+// Name returns the cache's name.
+func (c *Cache[V]) Name() string { return c.name }
+
+// Len returns the number of live entries across all shards.
+func (c *Cache[V]) Len() int64 {
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += int64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the summed entry cost across all shards.
+func (c *Cache[V]) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Get peeks at a key, updating its recency.  A found value counts as a hit;
+// an absent key counts nothing (the caller decides what a miss means — see
+// the prefix-extension path in backend.go, which peeks several keys per
+// request).
+func (c *Cache[V]) Get(key string) (V, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	e := sh.lookup(key)
+	if e == nil {
+		sh.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	v := e.val
+	sh.mu.Unlock()
+	if c.met != nil {
+		c.met.Hits.Add(1)
+	}
+	return v, true
+}
+
+// Put stores a value under key at the given cost estimate, evicting
+// least-recently-used entries as needed.  An entry costing more than one
+// shard's budget is not stored at all.
+func (c *Cache[V]) Put(key string, v V, cost int64) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	evicted := sh.store(key, v, cost+int64(len(key))+entryOverhead, c.perShard)
+	sh.mu.Unlock()
+	if evicted > 0 && c.met != nil {
+		c.met.Evictions.Add(evicted)
+	}
+}
+
+// Do looks key up and, on a miss, runs compute — collapsing concurrent
+// identical misses into one computation.  compute returns the value, its
+// byte-cost estimate, whether the value may be stored (a degraded result or
+// one computed against an already-superseded generation says false), and an
+// error.  Do returns the value and whether THIS caller ran compute (false
+// for cache hits and singleflight waiters).
+//
+// A waiter whose own context dies returns that context's error without
+// waiting further.  A waiter handed a context error from the computing
+// caller — whose deadline is not this caller's deadline — recomputes alone
+// rather than failing a healthy request with someone else's timeout.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, int64, bool, error)) (V, bool, error) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if e := sh.lookup(key); e != nil {
+		v := e.val
+		sh.mu.Unlock()
+		if c.met != nil {
+			c.met.Hits.Add(1)
+		}
+		return v, false, nil
+	}
+	if f := sh.flights[key]; f != nil {
+		sh.mu.Unlock()
+		if c.met != nil {
+			c.met.SingleflightWaits.Add(1)
+		}
+		return c.await(ctx, key, f, compute)
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	sh.flights[key] = f
+	sh.mu.Unlock()
+	if c.met != nil {
+		c.met.Misses.Add(1)
+	}
+	return c.lead(key, sh, f, compute)
+}
+
+// lead runs compute as the flight's owner and publishes the outcome to any
+// waiters.  The flight is always resolved — even if compute panics — so
+// waiters can never hang.
+func (c *Cache[V]) lead(key string, sh *lruShard[V], f *flight[V], compute func() (V, int64, bool, error)) (V, bool, error) {
+	finished := false
+	defer func() {
+		if !finished { // compute panicked; release the waiters, then re-panic
+			sh.mu.Lock()
+			delete(sh.flights, key)
+			sh.mu.Unlock()
+			f.err = errors.New("cache: computation panicked")
+			close(f.done)
+		}
+	}()
+	v, cost, cacheable, err := compute()
+	finished = true
+
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	var evicted int64
+	if err == nil && cacheable {
+		evicted = sh.store(key, v, cost+int64(len(key))+entryOverhead, c.perShard)
+	}
+	sh.mu.Unlock()
+	if evicted > 0 && c.met != nil {
+		c.met.Evictions.Add(evicted)
+	}
+
+	f.val, f.err = v, err
+	close(f.done)
+	return v, true, err
+}
+
+// await blocks on an in-flight computation for the same key.
+func (c *Cache[V]) await(ctx context.Context, key string, f *flight[V], compute func() (V, int64, bool, error)) (V, bool, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-f.done:
+		if f.err == nil {
+			return f.val, false, nil
+		}
+		if isCtxErr(f.err) && (ctx == nil || ctx.Err() == nil) {
+			// The computing caller died of its own deadline; this caller is
+			// still alive, so compute for it alone (and keep the result).
+			v, cost, cacheable, err := compute()
+			if err == nil && cacheable {
+				c.Put(key, v, cost)
+			}
+			return v, true, err
+		}
+		var zero V
+		return zero, false, f.err
+	case <-done:
+		var zero V
+		return zero, false, ctx.Err()
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// shard maps a key to its LRU shard by FNV-1a.
+func (c *Cache[V]) shard(key string) *lruShard[V] {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h%shardCount]
+}
+
+// lruShard is one lock's worth of the cache: an intrusive doubly-linked LRU
+// list over a key map, plus the shard's singleflight table.
+type lruShard[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+	head    *entry[V] // most recently used
+	tail    *entry[V] // least recently used
+	bytes   int64
+	flights map[string]*flight[V]
+}
+
+type entry[V any] struct {
+	key        string
+	val        V
+	cost       int64
+	prev, next *entry[V]
+}
+
+// flight is one in-progress computation; done closes once val/err are set.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// lookup returns the live entry for key, promoting it to most recent.
+// Callers hold sh.mu.
+func (sh *lruShard[V]) lookup(key string) *entry[V] {
+	e := sh.entries[key]
+	if e != nil {
+		sh.moveToFront(e)
+	}
+	return e
+}
+
+// store inserts or replaces key at the given total cost and evicts from the
+// LRU tail until the shard is within budget, returning how many entries were
+// evicted.  An entry that alone exceeds the budget is not stored (and any
+// previous entry under its key is dropped — the caller's value is newer).
+// Callers hold sh.mu.
+func (sh *lruShard[V]) store(key string, v V, cost, budget int64) int64 {
+	var evicted int64
+	if old := sh.entries[key]; old != nil {
+		sh.unlink(old)
+		delete(sh.entries, key)
+		sh.bytes -= old.cost
+	}
+	if cost > budget {
+		return evicted
+	}
+	e := &entry[V]{key: key, val: v, cost: cost}
+	sh.entries[key] = e
+	sh.bytes += cost
+	sh.pushFront(e)
+	for sh.bytes > budget && sh.tail != nil && sh.tail != e {
+		t := sh.tail
+		sh.unlink(t)
+		delete(sh.entries, t.key)
+		sh.bytes -= t.cost
+		evicted++
+	}
+	return evicted
+}
+
+func (sh *lruShard[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *lruShard[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *lruShard[V]) moveToFront(e *entry[V]) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// bypassKey marks a context whose requests must not read or write the
+// caches (trace-debug requests: a trace of a cache hit would be empty).
+type bypassKey struct{}
+
+// WithBypass returns a context under which wrapped backends skip the caches
+// entirely.
+func WithBypass(ctx context.Context) context.Context {
+	return context.WithValue(ctx, bypassKey{}, true)
+}
+
+// Bypassed reports whether ctx opted out of caching.
+func Bypassed(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	v, _ := ctx.Value(bypassKey{}).(bool)
+	return v
+}

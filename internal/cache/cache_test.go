@@ -1,0 +1,342 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lotusx/internal/metrics"
+)
+
+// compute wraps a plain value into the Do callback shape.
+func compute(v string, cost int64) func() (string, int64, bool, error) {
+	return func() (string, int64, bool, error) { return v, cost, true, nil }
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New[string]("t", 1<<20, nil)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get on empty cache returned ok")
+	}
+	c.Put("k", "v1", 10)
+	if v, ok := c.Get("k"); !ok || v != "v1" {
+		t.Fatalf("Get = %q, %v; want v1, true", v, ok)
+	}
+	c.Put("k", "v2", 10)
+	if v, ok := c.Get("k"); !ok || v != "v2" {
+		t.Fatalf("after overwrite Get = %q, %v; want v2, true", v, ok)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d; want 1", n)
+	}
+}
+
+func TestDoHitMissComputed(t *testing.T) {
+	met := metrics.New().Cache("t")
+	c := New[string]("t", 1<<20, met)
+	v, computed, err := c.Do(context.Background(), "k", compute("val", 10))
+	if err != nil || !computed || v != "val" {
+		t.Fatalf("first Do = %q, %v, %v; want val, true, nil", v, computed, err)
+	}
+	v, computed, err = c.Do(context.Background(), "k", compute("other", 10))
+	if err != nil || computed || v != "val" {
+		t.Fatalf("second Do = %q, %v, %v; want cached val, false, nil", v, computed, err)
+	}
+	if h, m := met.Hits.Load(), met.Misses.Load(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d; want 1, 1", h, m)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[string]("t", 1<<20, nil)
+	boom := errors.New("boom")
+	_, _, err := c.Do(context.Background(), "k", func() (string, int64, bool, error) {
+		return "", 0, true, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("errored computation was cached")
+	}
+}
+
+func TestDoUncacheableNotStored(t *testing.T) {
+	c := New[string]("t", 1<<20, nil)
+	v, computed, err := c.Do(context.Background(), "k", func() (string, int64, bool, error) {
+		return "partial", 10, false, nil
+	})
+	if err != nil || !computed || v != "partial" {
+		t.Fatalf("Do = %q, %v, %v", v, computed, err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("uncacheable result was stored")
+	}
+}
+
+// TestLRUEviction fills one shard past its budget and checks the oldest
+// entries go first.  All keys are forced onto one shard by brute-force
+// search for same-shard keys.
+func TestLRUEviction(t *testing.T) {
+	met := metrics.New().Cache("t")
+	// 16 shards, 4KiB total -> 256 bytes per shard.
+	c := New[string]("t", 4096, met)
+	target := c.shard("seed")
+	var keys []string
+	for i := 0; len(keys) < 4; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shard(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	// Each entry costs ~10 + len(key) + entryOverhead ≈ 111; three fit in
+	// 256 only as two, so inserting 4 must evict the oldest.
+	for _, k := range keys {
+		c.Put(k, "v", 10)
+	}
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived past the shard budget")
+	}
+	if _, ok := c.Get(keys[len(keys)-1]); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	if met.Evictions.Load() == 0 {
+		t.Fatal("no evictions counted")
+	}
+	if b, per := c.Bytes(), c.perShard; b > per {
+		t.Fatalf("shard bytes %d exceed budget %d", b, per)
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := New[string]("t", 4096, nil)
+	target := c.shard("seed")
+	var keys []string
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("rec-%d", i)
+		if c.shard(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], "a", 10)
+	c.Put(keys[1], "b", 10)
+	// Touch keys[0] so keys[1] is now least recent.
+	c.Get(keys[0])
+	c.Put(keys[2], "c", 10) // should evict keys[1]
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently-touched entry was evicted instead")
+	}
+}
+
+func TestOversizedEntryNotStored(t *testing.T) {
+	c := New[string]("t", 4096, nil) // 256 per shard
+	c.Put("big", "v", 10_000)
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("entry costing more than a shard budget was stored")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("Len=%d Bytes=%d after rejected store; want 0, 0", c.Len(), c.Bytes())
+	}
+}
+
+// TestSingleflight fires N concurrent Do calls for one key and requires
+// exactly one computation: the compute blocks until all callers have had a
+// chance to pile up.
+func TestSingleflight(t *testing.T) {
+	met := metrics.New().Cache("t")
+	c := New[string]("t", 1<<20, met)
+	const n = 16
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{}, n)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			v, _, err := c.Do(context.Background(), "k", func() (string, int64, bool, error) {
+				calls.Add(1)
+				<-release
+				return "shared", 10, true, nil
+			})
+			if err != nil || v != "shared" {
+				t.Errorf("Do = %q, %v", v, err)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	// Give the goroutines time to reach Do before releasing the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times; want 1", got)
+	}
+	if w := met.SingleflightWaits.Load(); w != n-1 {
+		t.Fatalf("singleflight waits = %d; want %d", w, n-1)
+	}
+}
+
+// TestWaiterContextCancel: a waiter whose own context dies must return
+// promptly with that error, not hang on the leader.
+func TestWaiterContextCancel(t *testing.T) {
+	c := New[string]("t", 1<<20, nil)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "k", func() (string, int64, bool, error) {
+			close(leaderIn)
+			<-release
+			return "v", 10, true, nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", compute("v", 10))
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v; want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not return after its context was cancelled")
+	}
+	close(release)
+}
+
+// TestWaiterRecomputesAfterLeaderCtxError: the leader fails with ITS
+// context's error; a healthy waiter must compute solo and store the result.
+func TestWaiterRecomputesAfterLeaderCtxError(t *testing.T) {
+	c := New[string]("t", 1<<20, nil)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	leaderOut := make(chan struct{})
+	go func() {
+		c.Do(leaderCtx, "k", func() (string, int64, bool, error) {
+			close(leaderIn)
+			<-leaderCtx.Done()
+			return "", 0, false, leaderCtx.Err()
+		})
+		close(leaderOut)
+	}()
+	<-leaderIn
+
+	waiterDone := make(chan struct{})
+	var v string
+	var computed bool
+	var err error
+	go func() {
+		v, computed, err = c.Do(context.Background(), "k", compute("solo", 10))
+		close(waiterDone)
+	}()
+	// Let the waiter join the flight, then kill the leader.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+	<-leaderOut
+	select {
+	case <-waiterDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter hung after leader context error")
+	}
+	if err != nil || !computed || v != "solo" {
+		t.Fatalf("waiter Do = %q, %v, %v; want solo, true, nil", v, computed, err)
+	}
+	if got, ok := c.Get("k"); !ok || got != "solo" {
+		t.Fatalf("solo recompute not stored: %q, %v", got, ok)
+	}
+}
+
+// TestLeadPanicReleasesWaiters: a panicking compute must not strand
+// waiters or leave the flight table dirty.
+func TestLeadPanicReleasesWaiters(t *testing.T) {
+	c := New[string]("t", 1<<20, nil)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.Do(context.Background(), "k", func() (string, int64, bool, error) {
+			close(leaderIn)
+			<-release
+			panic("kaboom")
+		})
+	}()
+	<-leaderIn
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", compute("v", 10))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("waiter of a panicked flight got a nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter hung after leader panicked")
+	}
+	// The flight table must be clean: a fresh Do computes normally.
+	v, computed, err := c.Do(context.Background(), "k", compute("fresh", 10))
+	if err != nil || !computed || v != "fresh" {
+		t.Fatalf("post-panic Do = %q, %v, %v", v, computed, err)
+	}
+}
+
+func TestBypassContext(t *testing.T) {
+	if Bypassed(context.Background()) {
+		t.Fatal("plain context reports bypassed")
+	}
+	if !Bypassed(WithBypass(context.Background())) {
+		t.Fatal("WithBypass context not reported bypassed")
+	}
+	if Bypassed(nil) {
+		t.Fatal("nil context reports bypassed")
+	}
+}
+
+// TestConcurrentMixed hammers the cache from many goroutines to give the
+// race detector something to chew on.
+func TestConcurrentMixed(t *testing.T) {
+	c := New[int]("t", 1<<14, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%37)
+				switch i % 3 {
+				case 0:
+					c.Put(k, i, int64(i%50))
+				case 1:
+					c.Get(k)
+				default:
+					c.Do(context.Background(), k, func() (int, int64, bool, error) {
+						return i, int64(i % 50), true, nil
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -115,6 +115,31 @@ func pathSteps(q *twig.Query, anchorID int) []dataguide.Step {
 	return steps
 }
 
+// AnchorChain renders the root-to-anchor (axis, tag) chain of the partial
+// twig as a canonical string — the exact inputs pathSteps derives the
+// position's contexts from, and the only part of q that positional
+// completion reads (value completion additionally reads the anchor's own
+// tag/wildcard flag, which is the chain's last step).  Two queries with the
+// same chain therefore complete identically, which is what makes the string
+// usable as a cache-key component (internal/cache).  anchorID == NewRoot
+// (or a nil q) renders the empty chain.
+func AnchorChain(q *twig.Query, anchorID int) string {
+	if q == nil || anchorID == NewRoot {
+		return "^"
+	}
+	var b strings.Builder
+	b.WriteByte('^')
+	for _, s := range pathSteps(q, anchorID) {
+		if s.Axis == twig.Descendant {
+			b.WriteString("//")
+		} else {
+			b.WriteByte('/')
+		}
+		b.WriteString(s.Tag)
+	}
+	return b.String()
+}
+
 // SuggestTags proposes tags for a new node attached under the twig node
 // anchorID via axis, matching prefix, at most k, ranked by how often the tag
 // occurs at that position.  anchorID == NewRoot proposes tags for the query

@@ -46,6 +46,14 @@ type Backend interface {
 	// consistent snapshot.  A single Engine returns itself under its
 	// document name.
 	Engines() []NamedEngine
+
+	// Generation identifies the data snapshot answers are served from.  It
+	// changes (monotonically) whenever the backend's data changes — corpus
+	// backends return their copy-on-write snapshot sequence, bumped on every
+	// publish — so callers (the hot-path caches, internal/cache) can key
+	// results by generation and let mutations invalidate by construction.  A
+	// single immutable Engine always returns 0.
+	Generation() uint64
 }
 
 // NamedEngine is one backing engine of a Backend.
@@ -147,6 +155,9 @@ func (e *Engine) Engines() []NamedEngine {
 	return []NamedEngine{{Name: e.ix.Document().Name(), Engine: e}}
 }
 
+// Generation implements Backend: a single engine's document never changes.
+func (e *Engine) Generation() uint64 { return 0 }
+
 // SearchHits implements Backend over one document: SearchContext plus hit
 // rendering.
 func (e *Engine) SearchHits(ctx context.Context, q *twig.Query, opts SearchOptions) (*HitResult, error) {
@@ -164,7 +175,7 @@ func (e *Engine) SearchHits(ctx context.Context, q *twig.Query, opts SearchOptio
 		Elapsed:       res.Elapsed,
 	}
 	for _, a := range res.Answers {
-		out.Hits = append(out.Hits, e.RenderHit("", q, a, opts.snippetMax()))
+		out.Hits = append(out.Hits, e.RenderHit("", q, a, opts.Canonical().SnippetMax))
 	}
 	return out, nil
 }

@@ -167,20 +167,21 @@ type SearchOptions struct {
 	SnippetMax int
 }
 
-// snippetMax resolves the SnippetMax default.
-func (o *SearchOptions) snippetMax() int {
-	if o.SnippetMax == 0 {
-		return 400
-	}
-	return o.SnippetMax
-}
-
-func (o *SearchOptions) defaults() {
+// Canonical resolves every default and clamps nonsense values, returning
+// the fully-normalized options.  It is THE canonicalization: Engine and
+// corpus search paths both apply it once on entry, and the cache key
+// builder (internal/cache) derives keys from its output — so two requests
+// that mean the same thing always canonicalize, evaluate and cache
+// identically.
+func (o SearchOptions) Canonical() SearchOptions {
 	if o.Algorithm == "" {
 		o.Algorithm = join.TwigStack
 	}
 	if o.K == 0 {
 		o.K = 10
+	}
+	if o.Offset < 0 {
+		o.Offset = 0
 	}
 	if o.MaxPenalty == 0 {
 		o.MaxPenalty = 2.5
@@ -191,6 +192,10 @@ func (o *SearchOptions) defaults() {
 	if o.MaxMatches == 0 {
 		o.MaxMatches = 10000
 	}
+	if o.SnippetMax == 0 {
+		o.SnippetMax = 400
+	}
+	return o
 }
 
 // Answer is one ranked query answer.
@@ -236,10 +241,7 @@ func (e *Engine) Search(q *twig.Query, opts SearchOptions) (*SearchResult, error
 // checks it between relaxations, so a cancelled or timed-out request stops
 // burning CPU and returns the context's error.
 func (e *Engine) SearchContext(ctx context.Context, q *twig.Query, opts SearchOptions) (*SearchResult, error) {
-	opts.defaults()
-	if opts.Offset < 0 {
-		opts.Offset = 0
-	}
+	opts = opts.Canonical()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -275,6 +275,11 @@ func (c *Corpus) Snapshot() *Snapshot { return c.snap.Load() }
 // Seq returns the current snapshot's sequence number.
 func (c *Corpus) Seq() uint64 { return c.Snapshot().seq }
 
+// Generation implements core.Backend: every publish (Add, Remove, Reindex,
+// AddSplit) bumps the snapshot sequence, so generation-keyed cache entries
+// from before a mutation become unreachable the instant it lands.
+func (c *Corpus) Generation() uint64 { return c.Seq() }
+
 // sortShards orders shards by name for deterministic iteration and merges.
 func sortShards(shards []*shard) {
 	sort.Slice(shards, func(i, j int) bool { return shards[i].name < shards[j].name })

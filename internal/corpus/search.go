@@ -71,12 +71,9 @@ func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.Search
 	if err := q.Normalize(); err != nil {
 		return nil, err
 	}
-	if opts.K == 0 {
-		opts.K = 10
-	}
-	if opts.Offset < 0 {
-		opts.Offset = 0
-	}
+	// One canonicalization, shared with the single-engine path and the cache
+	// key builder: see core.SearchOptions.Canonical.
+	opts = opts.Canonical()
 	// Every shard materializes the full global page prefix: the merged
 	// page's contents can come from any single shard in the worst case.
 	want := opts.K + opts.Offset
@@ -418,10 +415,7 @@ func (c *Corpus) merge(snap *Snapshot, q *twig.Query, results []shardResult, opt
 		merged = merged[opts.Offset:]
 	}
 
-	snippetMax := opts.SnippetMax
-	if snippetMax == 0 {
-		snippetMax = 400
-	}
+	snippetMax := opts.SnippetMax // already resolved by Canonical in SearchHits
 	for _, ma := range merged {
 		sh := snap.shards[ma.shard]
 		// Render against the clone the shard evaluated — its rewrite

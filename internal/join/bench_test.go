@@ -1,0 +1,60 @@
+package join
+
+import (
+	"testing"
+
+	"lotusx/internal/dataset"
+	"lotusx/internal/index"
+	"lotusx/internal/twig"
+)
+
+// Join microbenchmarks: allocs/op on the evaluation hot path is the number
+// the PR-level allocation pass is judged by (run with -benchmem).  The
+// query shapes mirror the E2 workload: a plain path, a parent-child-heavy
+// branch, and an order-constrained branch, all over XMark.
+var benchQueries = []struct {
+	name string
+	text string
+}{
+	{"path", `//item/name`},
+	{"branch_pc", `//person[profile/age]/name`},
+	{"branch_deep", `//open_auction[bidder/increase][seller]`},
+}
+
+var benchIndex *index.Index
+
+func benchIx(b *testing.B) *index.Index {
+	if benchIndex == nil {
+		d, err := dataset.Build(dataset.XMark, 1, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchIndex = index.Build(d)
+	}
+	return benchIndex
+}
+
+func benchRun(b *testing.B, alg Algorithm) {
+	ix := benchIx(b)
+	for _, q := range benchQueries {
+		query := twig.MustParse(q.text)
+		b.Run(q.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(ix, query, alg, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Matches) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTwigStack(b *testing.B)   { benchRun(b, TwigStack) }
+func BenchmarkTwigStackLA(b *testing.B) { benchRun(b, TwigStackLA) }
+func BenchmarkTJFast(b *testing.B)      { benchRun(b, TJFast) }
+func BenchmarkPathStack(b *testing.B)   { benchRun(b, PathStack) }
+func BenchmarkStructural(b *testing.B)  { benchRun(b, Structural) }

@@ -135,7 +135,8 @@ func Run(ix *index.Index, q *twig.Query, alg Algorithm, opts Options) (*Result, 
 	if alg == Auto {
 		alg = Choose(ix, q)
 	}
-	ev := &evaluator{ix: ix, q: q, opts: opts, ctx: opts.Ctx}
+	ev := &evaluator{ix: ix, q: q, opts: opts, ctx: opts.Ctx, scr: getScratch()}
+	defer ev.scr.release()
 	var sp *obs.Span
 	if ev.ctx != nil {
 		// Fail fast on a context that is already dead — a request whose
@@ -196,10 +197,14 @@ type evaluator struct {
 	ctx     context.Context // nil means never cancelled
 	ticks   int             // work units since the last context poll
 	err     error           // sticky context error once cancelled
-	nodes   [][]doc.NodeID // per query node ID: its filtered stream contents
+	nodes   [][]doc.NodeID  // per query node ID: its filtered stream contents
 	matches []Match
 	capped  bool
 	stats   Stats
+	scr     *scratch // pooled working buffers, released when Run returns
+	// matchArena backs the Match copies in matches.  It escapes into Result,
+	// so unlike scr it is never pooled.
+	matchArena []doc.NodeID
 }
 
 // cancelEvery is how many work units pass between context polls; polling
@@ -240,12 +245,18 @@ func (ev *evaluator) buildStreams() {
 		} else {
 			base = ev.ix.Nodes(d.Tags().ID(qn.Tag))
 		}
-		keep := ev.nodeFilter(qn)
+		keep, hint := ev.nodeFilter(qn)
 		if keep == nil {
 			ev.nodes[qn.ID] = base
 			continue
 		}
-		var filtered []doc.NodeID
+		// The filtered stream is no larger than the base stream or the
+		// smallest predicate posting list; size it once instead of growing.
+		capHint := len(base)
+		if hint >= 0 && hint < capHint {
+			capHint = hint
+		}
+		filtered := make([]doc.NodeID, 0, capHint)
 		for _, n := range base {
 			if keep(n) {
 				filtered = append(filtered, n)
@@ -261,27 +272,35 @@ func (ev *evaluator) stream(qid int) *index.Stream {
 }
 
 // nodeFilter returns the per-node predicate for qn, or nil when none
-// applies.
-func (ev *evaluator) nodeFilter(qn *twig.Node) func(doc.NodeID) bool {
+// applies, plus a cardinality hint — the size of the smallest predicate
+// posting list, or -1 when no predicate bounds the survivor count.
+func (ev *evaluator) nodeFilter(qn *twig.Node) (func(doc.NodeID) bool, int) {
 	d := ev.ix.Document()
+	hint := -1
 	var preds []func(doc.NodeID) bool
 	if qn.Parent() == nil && qn.Axis == twig.Child {
 		// A rooted query (/tag): the match must be the document root.
 		preds = append(preds, func(n doc.NodeID) bool { return d.Parent(n) == doc.None })
+		hint = 1
+	}
+	addSet := func(nodes []doc.NodeID) {
+		if hint < 0 || len(nodes) < hint {
+			hint = len(nodes)
+		}
+		set := toSet(nodes)
+		preds = append(preds, func(n doc.NodeID) bool { _, ok := set[n]; return ok })
 	}
 	switch qn.Pred.Op {
 	case twig.Eq:
-		set := toSet(ev.ix.ExactMatches(qn.Pred.Value))
-		preds = append(preds, func(n doc.NodeID) bool { _, ok := set[n]; return ok })
+		addSet(ev.ix.ExactMatches(qn.Pred.Value))
 	case twig.Contains:
-		set := toSet(ev.ix.ContainsAll(qn.Pred.Value))
-		preds = append(preds, func(n doc.NodeID) bool { _, ok := set[n]; return ok })
+		addSet(ev.ix.ContainsAll(qn.Pred.Value))
 	}
 	switch len(preds) {
 	case 0:
-		return nil
+		return nil, hint
 	case 1:
-		return preds[0]
+		return preds[0], hint
 	default:
 		return func(n doc.NodeID) bool {
 			for _, p := range preds {
@@ -290,7 +309,7 @@ func (ev *evaluator) nodeFilter(qn *twig.Node) func(doc.NodeID) bool {
 				}
 			}
 			return true
-		}
+		}, hint
 	}
 }
 
@@ -322,7 +341,13 @@ func (ev *evaluator) addMatch(m Match) bool {
 		ev.capped = true
 		return false
 	}
-	ev.matches = append(ev.matches, append(Match(nil), m...))
+	// Copy m into the match arena: one growing backing array instead of one
+	// allocation per match.  Earlier matches keep pointing into whatever
+	// array they were appended to, so growth never invalidates them; the
+	// cap keeps later appends from aliasing this copy.
+	n := len(ev.matchArena)
+	ev.matchArena = append(ev.matchArena, m...)
+	ev.matches = append(ev.matches, Match(ev.matchArena[n:len(ev.matchArena):len(ev.matchArena)]))
 	ev.stats.MatchesEnumerated++
 	if ev.opts.MaxMatches > 0 && len(ev.matches) >= ev.opts.MaxMatches {
 		// Stopping at the cap: further matches may exist but were not

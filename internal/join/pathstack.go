@@ -39,7 +39,7 @@ func rootPaths(q *twig.Query) [][]*twig.Node {
 // emitted root-first.
 func (ev *evaluator) expandPath(path []*twig.Node, stacks [][]stackEntry, leafIdx int, emit func(sol []doc.NodeID)) {
 	d := ev.ix.Document()
-	sol := make([]doc.NodeID, len(path))
+	sol := ev.scr.borrowSol(len(path))
 	var rec func(i, idx int)
 	rec = func(i, idx int) {
 		if !ev.tick() {
@@ -95,7 +95,7 @@ func (ev *evaluator) pathStackOne(path []*twig.Node, out *pathSolutions) {
 	for i, qn := range path {
 		streams[i] = ev.stream(qn.ID)
 	}
-	stacks := make([][]stackEntry, k)
+	stacks := ev.scr.borrowStacks(k)
 	leaf := k - 1
 
 	for !streams[leaf].EOF() {
@@ -130,7 +130,7 @@ func (ev *evaluator) pathStackOne(path []*twig.Node, out *pathSolutions) {
 			ev.stats.ElementsPushed++
 			if qmin == leaf {
 				ev.expandPath(path, stacks, len(stacks[leaf])-1, func(sol []doc.NodeID) {
-					out.sols = append(out.sols, append([]doc.NodeID(nil), sol...))
+					out.sols = append(out.sols, ev.copySol(sol))
 				})
 				stacks[leaf] = stacks[leaf][:len(stacks[leaf])-1]
 			}

@@ -1,0 +1,105 @@
+package join
+
+import (
+	"sync"
+
+	"lotusx/internal/doc"
+)
+
+// scratch holds the working buffers of one evaluation that do NOT escape
+// Run: the in-progress path solution, the solution arena (path solutions
+// are consumed by mergePathSolutions before Run returns), algorithm stacks
+// and the structural-join ancestor stack.  Pooling them removes the
+// per-element and per-solution allocations from the join hot loops — the
+// allocs/op lines of the Benchmark* suite are the scoreboard.
+//
+// Full matches are NOT here: they escape into Result, so the evaluator
+// copies them into its own non-pooled matchArena (see addMatch).
+type scratch struct {
+	// solArena backs every emitted path-solution copy; copySol appends into
+	// it and hands out capped sub-slices, so a run with S solutions costs
+	// O(log S) slice growths instead of S allocations.
+	solArena []doc.NodeID
+	// solBuf is the single in-progress solution expandPath and alignLeaf
+	// mutate in place (neither is reentrant; emitters copy via copySol).
+	solBuf []doc.NodeID
+	// chainBuf is alignLeaf's root-to-leaf document node chain.
+	chainBuf []doc.NodeID
+	// nodeStack is structuralJoin's running ancestor stack.
+	nodeStack []doc.NodeID
+	// stackSet provides the per-query-node (TwigStack) or per-path-node
+	// (PathStack) element stacks; inner capacity survives across borrows.
+	stackSet [][]stackEntry
+	// pathView is expandLeaf's root-path window over stackSet's stacks.
+	pathView [][]stackEntry
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// maxPooledArena bounds the solution-arena capacity kept alive in the pool;
+// a pathological query should not pin its peak footprint forever.
+const maxPooledArena = 1 << 20 // NodeIDs (~4 MiB)
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+// release resets every buffer (keeping capacity) and returns s to the pool.
+// Callers must not retain anything pointing into s past this call.
+func (s *scratch) release() {
+	if cap(s.solArena) > maxPooledArena {
+		s.solArena = nil
+	}
+	s.solArena = s.solArena[:0]
+	s.solBuf = s.solBuf[:0]
+	s.chainBuf = s.chainBuf[:0]
+	s.nodeStack = s.nodeStack[:0]
+	for i := range s.stackSet {
+		s.stackSet[i] = s.stackSet[i][:0]
+	}
+	for i := range s.pathView {
+		s.pathView[i] = nil
+	}
+	scratchPool.Put(s)
+}
+
+// borrowStacks returns n empty stacks whose backing arrays are reused
+// across borrows.  The previous borrow must be dead: both users finish with
+// their stacks (and every solution expanded from them) before borrowing
+// again.
+func (s *scratch) borrowStacks(n int) [][]stackEntry {
+	for len(s.stackSet) < n {
+		s.stackSet = append(s.stackSet, nil)
+	}
+	set := s.stackSet[:n]
+	for i := range set {
+		set[i] = set[i][:0]
+	}
+	return set
+}
+
+// borrowPathView returns an n-wide reusable window for expandLeaf.
+func (s *scratch) borrowPathView(n int) [][]stackEntry {
+	for len(s.pathView) < n {
+		s.pathView = append(s.pathView, nil)
+	}
+	return s.pathView[:n]
+}
+
+// borrowSol returns the length-n in-progress solution buffer.
+func (s *scratch) borrowSol(n int) []doc.NodeID {
+	if cap(s.solBuf) < n {
+		s.solBuf = make([]doc.NodeID, n)
+	}
+	s.solBuf = s.solBuf[:n]
+	return s.solBuf
+}
+
+// copySol appends a copy of sol to the solution arena and returns it capped,
+// so later copies cannot alias it.  The copy only lives until the evaluator
+// releases its scratch — path solutions are merged before Run returns.
+func (ev *evaluator) copySol(sol []doc.NodeID) []doc.NodeID {
+	a := ev.scr.solArena
+	n := len(a)
+	a = append(a, sol...)
+	ev.scr.solArena = a
+	return a[n:len(a):len(a)]
+}

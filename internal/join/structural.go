@@ -93,7 +93,7 @@ func (ev *evaluator) structuralJoin(qn, qc *twig.Node, childSurvivors map[doc.No
 	out := make(edgeMap)
 
 	ancestors := ev.nodes[qn.ID]
-	var stack []doc.NodeID
+	stack := ev.scr.nodeStack[:0]
 	ai := 0
 	for _, c := range ev.nodes[qc.ID] {
 		if !ev.tick() {
@@ -132,6 +132,7 @@ func (ev *evaluator) structuralJoin(qn, qc *twig.Node, childSurvivors map[doc.No
 			}
 		}
 	}
+	ev.scr.nodeStack = stack // hand the grown capacity back for the next edge
 	return out
 }
 

@@ -66,13 +66,16 @@ func (ev *evaluator) alignLeaf(path []*twig.Node, e doc.NodeID, candidate []map[
 	}
 
 	// Root-to-e node chain (identities for the solution tuples).
-	chain := make([]doc.NodeID, len(tagPath))
+	if cap(ev.scr.chainBuf) < len(tagPath) {
+		ev.scr.chainBuf = make([]doc.NodeID, len(tagPath))
+	}
+	chain := ev.scr.chainBuf[:len(tagPath)]
 	for cur, i := e, len(chain)-1; cur != doc.None; cur, i = d.Parent(cur), i-1 {
 		chain[i] = cur
 	}
 
 	k := len(path) - 1
-	sol := make([]doc.NodeID, len(path))
+	sol := ev.scr.borrowSol(len(path))
 	sol[k] = e
 
 	tags := d.Tags()
@@ -98,7 +101,7 @@ func (ev *evaluator) alignLeaf(path []*twig.Node, e doc.NodeID, candidate []map[
 			return
 		}
 		if qi < 0 {
-			out.sols = append(out.sols, append([]doc.NodeID(nil), sol...))
+			out.sols = append(out.sols, ev.copySol(sol))
 			return
 		}
 		qn := path[qi+1] // the child whose Axis constrains qi's position
@@ -130,7 +133,7 @@ func (ev *evaluator) alignLeaf(path []*twig.Node, e doc.NodeID, candidate []map[
 	// single-node query (/tag) was already filtered in buildStreams; for
 	// longer paths the leaf can be anywhere, its ancestors constrain it.
 	if k == 0 {
-		out.sols = append(out.sols, append([]doc.NodeID(nil), sol...))
+		out.sols = append(out.sols, ev.copySol(sol))
 		return
 	}
 	rec(k-1, len(chain)-1)

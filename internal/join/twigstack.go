@@ -13,10 +13,12 @@ type twigState struct {
 	ev      *evaluator
 	streams []*index.Stream // per query node ID
 	stacks  [][]stackEntry  // per query node ID
-	// pathOf[leafID] is the root-to-leaf query path ending at that leaf.
-	pathOf map[int][]*twig.Node
+	// pathOf[leafID] is the root-to-leaf query path ending at that leaf;
+	// indexed by query node ID (nil for non-leaves) to keep the per-push
+	// lookup off a map.
+	pathOf [][]*twig.Node
 	// sols[leafID] collects the leaf's emitted path solutions.
-	sols map[int][][]doc.NodeID
+	sols [][][]doc.NodeID
 }
 
 // runTwigStack evaluates the twig holistically (Bruno, Koudas, Srivastava,
@@ -31,9 +33,9 @@ func (ev *evaluator) runTwigStack() error {
 	ts := &twigState{
 		ev:      ev,
 		streams: make([]*index.Stream, ev.q.Len()),
-		stacks:  make([][]stackEntry, ev.q.Len()),
-		pathOf:  make(map[int][]*twig.Node),
-		sols:    make(map[int][][]doc.NodeID),
+		stacks:  ev.scr.borrowStacks(ev.q.Len()),
+		pathOf:  make([][]*twig.Node, ev.q.Len()),
+		sols:    make([][][]doc.NodeID, ev.q.Len()),
 	}
 	for _, qn := range ev.q.Nodes() {
 		ts.streams[qn.ID] = ev.stream(qn.ID)
@@ -85,12 +87,12 @@ func (ev *evaluator) runTwigStack() error {
 // leaf's stack.  The leaf's chain spans the stacks of the query nodes on
 // its root path, which is exactly the layout expandPath expects.
 func (ts *twigState) expandLeaf(leaf *twig.Node, path []*twig.Node) {
-	stacks := make([][]stackEntry, len(path))
+	stacks := ts.ev.scr.borrowPathView(len(path))
 	for i, qn := range path {
 		stacks[i] = ts.stacks[qn.ID]
 	}
 	ts.ev.expandPath(path, stacks, len(stacks[len(path)-1])-1, func(sol []doc.NodeID) {
-		ts.sols[leaf.ID] = append(ts.sols[leaf.ID], append([]doc.NodeID(nil), sol...))
+		ts.sols[leaf.ID] = append(ts.sols[leaf.ID], ts.ev.copySol(sol))
 		ts.ev.stats.PathSolutions++
 	})
 }

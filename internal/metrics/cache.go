@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CacheMetrics aggregates one hot-path cache (internal/cache): hit, miss,
+// eviction and singleflight-wait counters plus a size provider the cache
+// installs so snapshots report live entry and byte counts.  All counters are
+// safe for concurrent use on the query path.
+type CacheMetrics struct {
+	Hits              atomic.Int64 // lookups answered from a stored entry
+	Misses            atomic.Int64 // lookups that ran the computation
+	Evictions         atomic.Int64 // entries dropped to stay within the byte budget
+	SingleflightWaits atomic.Int64 // lookups that waited on an identical in-flight computation
+
+	// sizeMu guards sizeFn, the cache-installed provider of live entry and
+	// byte counts (the metrics package cannot import cache).
+	sizeMu sync.RWMutex
+	sizeFn func() (entries, bytes int64)
+}
+
+// SetSizeProvider installs the callback that reports the cache's live entry
+// and byte counts for snapshots and the Prometheus exposition.
+func (c *CacheMetrics) SetSizeProvider(fn func() (entries, bytes int64)) {
+	c.sizeMu.Lock()
+	c.sizeFn = fn
+	c.sizeMu.Unlock()
+}
+
+// size reads the live entry and byte counts, zero without a provider.
+func (c *CacheMetrics) size() (int64, int64) {
+	c.sizeMu.RLock()
+	fn := c.sizeFn
+	c.sizeMu.RUnlock()
+	if fn == nil {
+		return 0, 0
+	}
+	return fn()
+}
+
+// Entries returns the cache's live entry count.
+func (c *CacheMetrics) Entries() int64 { e, _ := c.size(); return e }
+
+// Bytes returns the cache's live byte cost.
+func (c *CacheMetrics) Bytes() int64 { _, b := c.size(); return b }
+
+// Cache returns (creating on first use) the metrics of the named cache.
+func (r *Registry) Cache(name string) *CacheMetrics {
+	r.mu.RLock()
+	c := r.caches[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.caches[name]; c == nil {
+		c = &CacheMetrics{}
+		r.caches[name] = c
+	}
+	return c
+}
+
+// CacheSnapshot is the JSON shape of one cache's metrics.
+type CacheSnapshot struct {
+	Hits              int64 `json:"hits"`
+	Misses            int64 `json:"misses"`
+	Evictions         int64 `json:"evictions,omitempty"`
+	SingleflightWaits int64 `json:"singleflightWaits,omitempty"`
+	Entries           int64 `json:"entries"`
+	Bytes             int64 `json:"bytes"`
+}
+
+// snapshot materializes the cache's JSON view.
+func (c *CacheMetrics) snapshot() CacheSnapshot {
+	entries, bytes := c.size()
+	return CacheSnapshot{
+		Hits:              c.Hits.Load(),
+		Misses:            c.Misses.Load(),
+		Evictions:         c.Evictions.Load(),
+		SingleflightWaits: c.SingleflightWaits.Load(),
+		Entries:           entries,
+		Bytes:             bytes,
+	}
+}

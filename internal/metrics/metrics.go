@@ -168,6 +168,7 @@ type Registry struct {
 	algos     map[string]*Histogram
 	stages    map[string]*Histogram
 	corpora   map[string]*CorpusMetrics
+	caches    map[string]*CacheMetrics
 	start     time.Time
 }
 
@@ -178,6 +179,7 @@ func New() *Registry {
 		algos:     make(map[string]*Histogram),
 		stages:    make(map[string]*Histogram),
 		corpora:   make(map[string]*CorpusMetrics),
+		caches:    make(map[string]*CacheMetrics),
 		start:     time.Now(),
 	}
 }
@@ -277,6 +279,10 @@ type Snapshot struct {
 	Stages map[string]LatencySnapshot `json:"stages,omitempty"`
 	// Corpora appears only when sharded corpora are registered.
 	Corpora map[string]CorpusSnapshot `json:"corpora,omitempty"`
+	// Caches appears only when hot-path caches are registered (see
+	// internal/cache): per-cache hit/miss/eviction/singleflight counters
+	// plus live entry and byte counts.
+	Caches map[string]CacheSnapshot `json:"caches,omitempty"`
 }
 
 // Snapshot materializes a view of every endpoint, algorithm, stage and
@@ -311,6 +317,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Corpora = make(map[string]CorpusSnapshot, len(r.corpora))
 		for name, c := range r.corpora {
 			s.Corpora[name] = c.snapshot()
+		}
+	}
+	if len(r.caches) > 0 {
+		s.Caches = make(map[string]CacheSnapshot, len(r.caches))
+		for name, c := range r.caches {
+			s.Caches[name] = c.snapshot()
 		}
 	}
 	return s

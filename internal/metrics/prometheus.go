@@ -40,6 +40,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for k, v := range r.corpora {
 		corpora[k] = v
 	}
+	caches := make(map[string]*CacheMetrics, len(r.caches))
+	for k, v := range r.caches {
+		caches[k] = v
+	}
 	r.mu.RUnlock()
 
 	fmt.Fprintf(w, "# HELP lotusx_uptime_seconds Time since the metrics registry was created.\n")
@@ -112,6 +116,22 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 					hists[k].Export())
 			}
 		}
+	}
+
+	if len(caches) > 0 {
+		names := sortedKeys(caches)
+		counterFamily(w, "lotusx_cache_hits_total", "Cache lookups answered from a stored entry.",
+			names, func(n string) int64 { return caches[n].Hits.Load() }, "cache")
+		counterFamily(w, "lotusx_cache_misses_total", "Cache lookups that ran the computation.",
+			names, func(n string) int64 { return caches[n].Misses.Load() }, "cache")
+		counterFamily(w, "lotusx_cache_evictions_total", "Cache entries dropped to stay within the byte budget.",
+			names, func(n string) int64 { return caches[n].Evictions.Load() }, "cache")
+		counterFamily(w, "lotusx_cache_singleflight_waits_total", "Cache lookups that waited on an identical in-flight computation.",
+			names, func(n string) int64 { return caches[n].SingleflightWaits.Load() }, "cache")
+		gaugeFamily(w, "lotusx_cache_entries", "Live entries stored in the cache.",
+			names, func(n string) int64 { return caches[n].Entries() }, "cache")
+		gaugeFamily(w, "lotusx_cache_bytes", "Byte cost of the entries stored in the cache.",
+			names, func(n string) int64 { return caches[n].Bytes() }, "cache")
 	}
 }
 

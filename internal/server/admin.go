@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"strconv"
 
+	"lotusx/internal/core"
 	"lotusx/internal/corpus"
 	"lotusx/internal/httpmw"
 	"lotusx/internal/metrics"
@@ -116,9 +117,12 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 		dir = filepath.Join(s.corpusDir, name)
 	}
 	var c *corpus.Corpus
+	var replaced core.Backend
 	if b, err := s.catalog.GetBackend(name); err == nil {
 		if existing, ok := b.(*corpus.Corpus); ok && existing.Dir() == dir {
 			c = existing
+		} else {
+			replaced = b
 		}
 	}
 	if c == nil {
@@ -135,6 +139,14 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.catalog.AddBackend(name, c)
+	if replaced != nil {
+		// The name now resolves to a brand-new backend whose generation
+		// counter restarts from zero; drop the old wrapper so its cached
+		// entries can never be keyed identically to the new dataset's.
+		// (Re-ingest through the SAME corpus needs no drop: the snapshot
+		// swap bumps the generation, which is part of every cache key.)
+		s.dropCached(replaced)
+	}
 	writeJSON(w, http.StatusCreated, statusOf(name, c))
 }
 
@@ -155,6 +167,7 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 		notFound(w, err)
 		return
 	}
+	s.dropCached(b)
 	if c, ok := b.(*corpus.Corpus); ok {
 		// Only purge directories directly under our own corpus root; the
 		// corpus's recorded dir — not a fresh join of the request's name —

@@ -260,14 +260,14 @@ func TestAdminRejectsTraversalNames(t *testing.T) {
 	dir := filepath.Join(root, "corpora")
 	ts, _ := adminServer(t, Config{CorpusDir: dir})
 	for _, bad := range []string{
-		"..%2Fevil",      // one level up: DIR/../evil
-		"..%2F..%2Fevil", // two levels up
-		"%2E%2E%2Fevil",  // fully escaped ../
-		"%2E%2E",         // escaped bare ".." (literal ".." never survives ServeMux path cleaning)
-		".hidden",        // leading dot
-		"a%20b",           // whitespace
-		"a%5Cb",           // backslash
-		"with%2Fslash",    // embedded separator
+		"..%2Fevil",              // one level up: DIR/../evil
+		"..%2F..%2Fevil",         // two levels up
+		"%2E%2E%2Fevil",          // fully escaped ../
+		"%2E%2E",                 // escaped bare ".." (literal ".." never survives ServeMux path cleaning)
+		".hidden",                // leading dot
+		"a%20b",                  // whitespace
+		"a%5Cb",                  // backslash
+		"with%2Fslash",           // embedded separator
 		strings.Repeat("x", 129), // over-long
 	} {
 		var env errEnvelope

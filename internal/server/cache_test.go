@@ -1,0 +1,239 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"lotusx/internal/metrics"
+)
+
+const tinyXML2 = `<dblp>
+  <article><author>Dee</author><title>Delta</title></article>
+  <article><author>Ed</author><title>Epsilon</title></article>
+</dblp>`
+
+type queryAnswers struct {
+	Answers []struct {
+		Path    string `json:"path"`
+		Snippet string `json:"snippet"`
+	} `json:"answers"`
+	Total int `json:"total"`
+}
+
+func cacheCounters(t *testing.T, reg *metrics.Registry, name string) (hits, misses int64) {
+	t.Helper()
+	snap := reg.Snapshot()
+	cs, ok := snap.Caches[name]
+	if !ok {
+		t.Fatalf("metrics snapshot has no %q cache: %+v", name, snap.Caches)
+	}
+	return cs.Hits, cs.Misses
+}
+
+// TestCacheWarmHitAndReingestInvalidation drives the result cache through
+// the HTTP surface: a repeated query is a hit, and re-ingesting the dataset
+// (same corpus, snapshot swap bumps the generation) must serve the new
+// content, never the cached old answer.
+func TestCacheWarmHitAndReingestInvalidation(t *testing.T) {
+	ts, reg := adminServer(t, Config{})
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+
+	query := func() queryAnswers {
+		var qr queryAnswers
+		if code := postJSON(t, ts.URL+"/api/v1/query?dataset=lib", `{"query":"//article/title","k":10}`, &qr); code != http.StatusOK {
+			t.Fatalf("query: status %d", code)
+		}
+		return qr
+	}
+
+	first := query()
+	if first.Total != 3 {
+		t.Fatalf("cold query: total %d, want 3", first.Total)
+	}
+	h0, _ := cacheCounters(t, reg, "results")
+	second := query()
+	h1, _ := cacheCounters(t, reg, "results")
+	if h1 <= h0 {
+		t.Fatalf("warm repeat did not hit the cache: hits %d -> %d", h0, h1)
+	}
+	if fmt.Sprint(second.Answers) != fmt.Sprint(first.Answers) {
+		t.Fatalf("cached answer differs:\n%v\n%v", second.Answers, first.Answers)
+	}
+
+	// Replace the dataset content through the same corpus (generation bump).
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML2, nil); code != http.StatusCreated {
+		t.Fatalf("re-ingest: status %d", code)
+	}
+	after := query()
+	if after.Total != 2 {
+		t.Fatalf("post-reingest query served stale data: total %d, want 2", after.Total)
+	}
+}
+
+// TestCacheDropOnDeleteAndRecreate deletes a cached dataset and recreates
+// the name with different content; the old wrapper's entries (keyed to the
+// old backend, whose generation counter the new one restarts) must be gone.
+func TestCacheDropOnDeleteAndRecreate(t *testing.T) {
+	ts, _ := adminServer(t, Config{})
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib", tinyXML, nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	var qr queryAnswers
+	postJSON(t, ts.URL+"/api/v1/query?dataset=lib", `{"query":"//article/title","k":10}`, &qr)
+	postJSON(t, ts.URL+"/api/v1/query?dataset=lib", `{"query":"//article/title","k":10}`, &qr) // warm
+	if qr.Total != 3 {
+		t.Fatalf("warm query: total %d, want 3", qr.Total)
+	}
+	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/lib", "", nil); code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib", tinyXML2, nil); code != http.StatusCreated {
+		t.Fatal("recreate failed")
+	}
+	var after queryAnswers
+	if code := postJSON(t, ts.URL+"/api/v1/query?dataset=lib", `{"query":"//article/title","k":10}`, &after); code != http.StatusOK {
+		t.Fatal("query after recreate failed")
+	}
+	if after.Total != 2 {
+		t.Fatalf("recreated dataset served stale cached data: total %d, want 2", after.Total)
+	}
+}
+
+// TestDebugTraceBypassesCache asserts an explicitly traced request neither
+// reads nor fills the caches — its trace must measure the real pipeline.
+func TestDebugTraceBypassesCache(t *testing.T) {
+	ts, reg := adminServer(t, Config{})
+	traced := ts.URL + "/api/v1/query?dataset=bib&debug=trace"
+	plain := ts.URL + "/api/v1/query?dataset=bib"
+	body := `{"query":"//article/title","k":5}`
+
+	var tr struct {
+		Trace *struct{} `json:"trace"`
+	}
+	if code := postJSON(t, traced, body, &tr); code != http.StatusOK {
+		t.Fatal("traced query failed")
+	}
+	if tr.Trace == nil {
+		t.Fatal("traced query returned no trace")
+	}
+	h0, m0 := cacheCounters(t, reg, "results")
+	if h0 != 0 || m0 != 0 {
+		t.Fatalf("traced request touched the cache: hits=%d misses=%d", h0, m0)
+	}
+
+	// A plain request after the traced one is a miss (nothing was filled).
+	postJSON(t, plain, body, &queryAnswers{})
+	_, m1 := cacheCounters(t, reg, "results")
+	if m1 != 1 {
+		t.Fatalf("first plain request after trace: misses=%d, want 1", m1)
+	}
+	// And tracing again still bypasses the now-warm entry.
+	postJSON(t, traced, body, &tr)
+	h2, _ := cacheCounters(t, reg, "results")
+	if h2 != 0 {
+		t.Fatalf("traced request read the cache: hits=%d", h2)
+	}
+}
+
+// TestCacheDisabledByConfig turns both caches off; queries still work and
+// no cache metrics families appear.
+func TestCacheDisabledByConfig(t *testing.T) {
+	ts, reg := adminServer(t, Config{DisableResultCache: true, DisableCompletionCache: true})
+	var qr queryAnswers
+	for i := 0; i < 2; i++ {
+		if code := postJSON(t, ts.URL+"/api/v1/query?dataset=bib", `{"query":"//article/title","k":5}`, &qr); code != http.StatusOK {
+			t.Fatal("query failed")
+		}
+	}
+	if len(reg.Snapshot().Caches) != 0 {
+		t.Fatalf("disabled caches still registered: %+v", reg.Snapshot().Caches)
+	}
+}
+
+// TestPrometheusExposesCacheFamilies checks the lotusx_cache_* families
+// appear on /metrics once the caches have traffic.
+func TestPrometheusExposesCacheFamilies(t *testing.T) {
+	ts, _ := adminServer(t, Config{})
+	body := `{"query":"//article/title","k":5}`
+	postJSON(t, ts.URL+"/api/v1/query?dataset=bib", body, &queryAnswers{})
+	postJSON(t, ts.URL+"/api/v1/query?dataset=bib", body, &queryAnswers{})
+
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, family := range []string{
+		`lotusx_cache_hits_total{cache="results"}`,
+		`lotusx_cache_misses_total{cache="results"}`,
+		"lotusx_cache_entries",
+		"lotusx_cache_bytes",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("prometheus output missing %q", family)
+		}
+	}
+}
+
+// TestCacheConcurrentQueriesAndMutations hammers one dataset with parallel
+// queries while re-ingesting it, under -race: every response must be fully
+// consistent with SOME published snapshot (3 or 2 titles, never a mix, and
+// the total always matches the answers served for page 0).
+func TestCacheConcurrentQueriesAndMutations(t *testing.T) {
+	ts, _ := adminServer(t, Config{})
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		bodies := []string{tinyXML, tinyXML2}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", bodies[i%2], nil)
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 50; i++ {
+				var qr queryAnswers
+				code := postJSON(t, ts.URL+"/api/v1/query?dataset=lib", `{"query":"//article/title","k":10}`, &qr)
+				if code != http.StatusOK {
+					t.Errorf("query status %d", code)
+					return
+				}
+				if qr.Total != 2 && qr.Total != 3 {
+					t.Errorf("inconsistent total %d", qr.Total)
+					return
+				}
+				if len(qr.Answers) != qr.Total {
+					t.Errorf("answers %d vs total %d: torn result", len(qr.Answers), qr.Total)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}

@@ -15,14 +15,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
-	"io"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"lotusx/internal/cache"
 	"lotusx/internal/complete"
 	"lotusx/internal/core"
 	"lotusx/internal/corpus"
@@ -73,6 +74,18 @@ type Config struct {
 	// (and with it the always-on tracing of every request; ?debug=trace
 	// still traces individual requests on demand).
 	SlowQuery time.Duration
+	// DisableResultCache turns off the snapshot-keyed search-result cache.
+	// The zero value serves query answers through the cache (bounded by
+	// CacheBytes, invalidated by snapshot generation — see internal/cache
+	// and docs/PERFORMANCE.md).
+	DisableResultCache bool
+	// DisableCompletionCache turns off the completion cache (with its
+	// prefix-extension fast path); on by default like the result cache.
+	DisableCompletionCache bool
+	// CacheBytes bounds the hot-path caches together (results 3/4,
+	// completions 1/4).  0 means 64 MiB; negative disables both caches
+	// regardless of the Disable* flags.
+	CacheBytes int64
 }
 
 // Server handles the LotusX HTTP API.  It serves one or more datasets from
@@ -93,6 +106,14 @@ type Server struct {
 	// datasets: concurrent creates of the same name must not race each
 	// other (or a delete) over the dataset's persistence directory.
 	adminMu sync.Mutex
+
+	// caches is the hot-path cache pair (results + completions); the catalog
+	// always holds RAW backends (type asserts in engineFor/handleStats and
+	// the admin routes must keep seeing concrete types), and the serving
+	// handlers fetch a memoized cache-wrapped view per backend instead.
+	caches   *cache.Set
+	cachedMu sync.Mutex
+	cached   map[core.Backend]core.Backend
 }
 
 // New returns a Server over a single engine (a one-dataset catalog) with
@@ -121,6 +142,10 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 64 << 20
+	}
 	s := &Server{
 		catalog:      catalog,
 		mux:          http.NewServeMux(),
@@ -129,6 +154,13 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 		corpusTuning: cfg.Corpus,
 		slowQuery:    cfg.SlowQuery,
 		logger:       logger,
+		caches: cache.NewSet(cache.Config{
+			Results:     !cfg.DisableResultCache,
+			Completions: !cfg.DisableCompletionCache,
+			MaxBytes:    cacheBytes,
+			Metrics:     reg,
+		}),
+		cached: make(map[core.Backend]core.Backend),
 	}
 
 	// The v1 surface.  Each route is instrumented under its endpoint name;
@@ -225,6 +257,35 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 // or sharded corpus, the caller need not care.
 func (s *Server) backendFor(r *http.Request) (core.Backend, error) {
 	return s.catalog.GetBackend(r.URL.Query().Get("dataset"))
+}
+
+// cachedBackendFor is backendFor through the hot-path caches: the memoized
+// cache-wrapped view of the request's dataset.  Only the serving handlers
+// (query, complete) use it; everything that needs the concrete backend type
+// stays on backendFor.
+func (s *Server) cachedBackendFor(r *http.Request) (core.Backend, error) {
+	b, err := s.backendFor(r)
+	if err != nil {
+		return nil, err
+	}
+	s.cachedMu.Lock()
+	defer s.cachedMu.Unlock()
+	w, ok := s.cached[b]
+	if !ok {
+		w = s.caches.Wrap(b)
+		s.cached[b] = w
+	}
+	return w, nil
+}
+
+// dropCached forgets the wrapped view of a backend that left the catalog,
+// so a later dataset under the same name gets a fresh key space (wrapper
+// identity is part of every cache key — a recreated corpus restarts its
+// generation counter and must not collide with the old one's entries).
+func (s *Server) dropCached(b core.Backend) {
+	s.cachedMu.Lock()
+	delete(s.cached, b)
+	s.cachedMu.Unlock()
 }
 
 // engineFor resolves the request to one backing document engine: the
@@ -329,7 +390,7 @@ type completeResponse struct {
 // kind "value" suggests values for the last node itself.  An empty path with
 // kind=tag suggests root tags.
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
-	b, err := s.backendFor(r)
+	b, err := s.cachedBackendFor(r)
 	if err != nil {
 		notFound(w, err)
 		return
@@ -496,7 +557,7 @@ type queryResponse struct {
 	// Partial.
 	FailedShards []string `json:"failedShards,omitempty"`
 	ElapsedMS    float64  `json:"elapsedMs"`
-	XQuery    string  `json:"xquery"`
+	XQuery       string   `json:"xquery"`
 	// Trace is the per-stage span tree of this request; present only when
 	// requested with ?debug=trace or X-Lotusx-Trace: 1.
 	Trace *obs.Node `json:"trace,omitempty"`
@@ -524,7 +585,7 @@ func algorithmNames() string {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	b, err := s.backendFor(r)
+	b, err := s.cachedBackendFor(r)
 	if err != nil {
 		notFound(w, err)
 		return

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"lotusx/internal/cache"
 	"lotusx/internal/core"
 	"lotusx/internal/httpmw"
 	"lotusx/internal/metrics"
@@ -29,11 +30,20 @@ func traceRequested(r *http.Request) bool {
 // under.  A nil trace costs nothing downstream: every span operation on the
 // untraced path is a nil-check.
 func (s *Server) startTrace(r *http.Request, name string) (*obs.Trace, *http.Request) {
-	if !traceRequested(r) && s.slowQuery <= 0 {
+	traced := traceRequested(r)
+	if !traced && s.slowQuery <= 0 {
 		return nil, r
 	}
+	ctx := r.Context()
+	if traced {
+		// A debug trace is a measurement of the real evaluation pipeline;
+		// serving it from the hot-path cache would trace nothing.  Bypass
+		// the caches for explicitly traced requests only — slow-query
+		// tracing covers normal traffic and must see cache behavior.
+		ctx = cache.WithBypass(ctx)
+	}
 	tr := obs.New(name)
-	return tr, r.WithContext(obs.ContextWith(r.Context(), tr.Root()))
+	return tr, r.WithContext(obs.ContextWith(ctx, tr.Root()))
 }
 
 // finishTrace closes the trace, folds its spans into the per-stage
