@@ -6,11 +6,18 @@ GO ?= go
 
 RACE_PKGS := ./internal/server/... ./internal/core/... ./internal/corpus/... \
 	./internal/obs/... ./internal/metrics/... ./internal/cache/... \
-	./internal/join/...
+	./internal/join/... ./internal/ingest/...
 
-.PHONY: check build vet test race bench profile clean
+.PHONY: check build vet test race api-check bench profile clean
 
-check: build vet test race
+check: build vet test race api-check
+
+# The API contract gate: the served route table and response envelopes must
+# match internal/server/testdata/api_contract.golden.  After an intentional
+# API change, regenerate with:
+#   go test ./internal/server/ -run TestAPIContract -update
+api-check:
+	$(GO) test ./internal/server/ -run TestAPIContract
 
 build:
 	$(GO) build ./...

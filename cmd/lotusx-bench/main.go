@@ -50,6 +50,7 @@ func main() {
 		"E13": runner.E13TracingOverhead,
 		"E14": runner.E14FaultTolerance,
 		"E15": runner.E15CacheWarmPath,
+		"E16": runner.E16AsyncIngest,
 		"A1":  runner.A1Pushdown,
 		"A2":  runner.A2Minimization,
 		"A3":  runner.A3PenaltyModel,

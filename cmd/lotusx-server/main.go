@@ -62,6 +62,16 @@ func main() {
 		"cache completion candidates with a prefix-extension fast path")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20,
 		"total memory bound shared by the hot-path caches; <= 0 disables both")
+	ingestWorkers := flag.Int("ingest-workers", 0,
+		"background ingestion workers for the async admin API; 0 means the default (2)")
+	ingestQueue := flag.Int("ingest-queue", 0,
+		"queued-job capacity of the async ingestion pipeline; 0 means the default (32)")
+	compactThreshold := flag.Int("compact-threshold", 0,
+		"delta shards per dataset before a background compaction is scheduled; 0 means the default (4), negative disables auto-compaction")
+	maxIngestBytes := flag.Int64("max-ingest-bytes", 0,
+		"largest accepted ingest body; 0 means the default (256 MiB)")
+	legacyRoutes := flag.String("legacy-routes", "on",
+		"serve unversioned /api/... aliases: on (with Sunset headers) or off (410 Gone)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -77,6 +87,11 @@ func main() {
 		BreakerThreshold: *breakerFailures,
 		BreakerCooldown:  *breakerCooldown,
 	}
+	switch *legacyRoutes {
+	case "on", "off":
+	default:
+		fatal(fmt.Errorf("bad -legacy-routes %q: want on or off", *legacyRoutes))
+	}
 	reg := metrics.New()
 	cfg := server.Config{
 		QueryTimeout:           *queryTimeout,
@@ -89,6 +104,11 @@ func main() {
 		DisableResultCache:     !*cacheResults,
 		DisableCompletionCache: !*cacheCompletions,
 		CacheBytes:             *cacheBytes,
+		IngestWorkers:          *ingestWorkers,
+		IngestQueue:            *ingestQueue,
+		CompactThreshold:       *compactThreshold,
+		MaxIngestBytes:         *maxIngestBytes,
+		DisableLegacyRoutes:    *legacyRoutes == "off",
 	}
 	if *cacheBytes <= 0 {
 		cfg.CacheBytes = -1 // 0 would mean "use the default bound"

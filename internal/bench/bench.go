@@ -143,6 +143,7 @@ func (r *Runner) RunAll() error {
 		r.E13TracingOverhead,
 		r.E14FaultTolerance,
 		r.E15CacheWarmPath,
+		r.E16AsyncIngest,
 		r.A1Pushdown,
 		r.A2Minimization,
 		r.A3PenaltyModel,

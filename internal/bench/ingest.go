@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lotusx/internal/core"
+	"lotusx/internal/corpus"
+	"lotusx/internal/dataset"
+	"lotusx/internal/doc"
+	"lotusx/internal/server"
+)
+
+// E16 measures what the async ingestion pipeline buys:
+//
+//  1. Write-path availability — time-to-response for a multi-MB ingest:
+//     the async POST answers 202 as soon as the body is spooled, where the
+//     sync path blocks for the whole split + index build.
+//  2. Read-path availability — query throughput and tail latency while
+//     delta ingests and a compaction churn the corpus in the background.
+//  3. Delta cost and the compaction payoff — query latency with a delta
+//     backlog vs after folding it into compacted base shards.
+
+// deltaDocXML renders a small XMark-shaped delta payload whose records
+// match the E12 workload queries.
+func deltaDocXML(i int) string {
+	return fmt.Sprintf(`<site>
+  <regions><namerica>
+    <item id="delta%d"><name>Delta Item %d</name>
+      <description><text>vintage delta stock %d</text></description>
+    </item>
+  </namerica></regions>
+  <people>
+    <person id="deltap%d"><name>Delta Person %d</name>
+      <profile income="%d"><age>%d</age></profile>
+    </person>
+  </people>
+</site>`, i, i, i, i, i, 30000+i, 20+i%50)
+}
+
+// quantile returns the q-quantile (0 < q <= 1) of the sample.
+func quantile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// E16AsyncIngest: jobs API turnaround, availability under ingest, and the
+// delta-vs-compacted read cost.
+func (r *Runner) E16AsyncIngest() error {
+	r.header("E16", "async ingestion: 202 turnaround, availability during ingest, delta vs compacted latency")
+
+	d, err := dataset.Build(dataset.XMark, r.cfg.Scale, r.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	// The turnaround table ingests a multi-MB document: the interesting gap
+	// is 202-after-spool vs 201-after-full-index-build, and a tiny doc hides
+	// it behind HTTP overhead.
+	ingestScale := r.cfg.Scale * 8
+	if ingestScale < 16 {
+		ingestScale = 16
+	}
+	if ingestScale > 64 {
+		ingestScale = 64
+	}
+	big, err := dataset.Build(dataset.XMark, ingestScale, r.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	var xml strings.Builder
+	if err := big.WriteXML(&xml, big.Root()); err != nil {
+		return err
+	}
+	body := xml.String()
+
+	// --- Table 1: write-path turnaround, sync vs async, over HTTP. ---
+	srv := server.NewCatalogConfig(core.NewCatalog(), server.Config{EnableAdmin: true})
+	ts := httptest.NewServer(srv)
+
+	post := func(url string) (time.Duration, int, error) {
+		start := time.Now()
+		res, err := http.Post(url, "application/xml", strings.NewReader(body))
+		if err != nil {
+			return 0, 0, err
+		}
+		res.Body.Close()
+		return time.Since(start), res.StatusCode, nil
+	}
+	syncDur, syncCode, err := post(ts.URL + "/api/v1/datasets/esync?sync=1")
+	if err != nil {
+		return err
+	}
+	asyncDur, asyncCode, err := post(ts.URL + "/api/v1/datasets/easync?shards=4")
+	if err != nil {
+		return err
+	}
+	if syncCode != http.StatusCreated || asyncCode != http.StatusAccepted {
+		return fmt.Errorf("E16: sync=%d async=%d, want 201/202", syncCode, asyncCode)
+	}
+	tw := r.table()
+	fmt.Fprintln(tw, "ingest path\tdoc MB\tstatus\tresponse ms\tspeedup")
+	mb := float64(len(body)) / (1 << 20)
+	fmt.Fprintf(tw, "sync (?sync=1)\t%.1f\t%d\t%s\t1.0x\n", mb, syncCode, ms(syncDur))
+	fmt.Fprintf(tw, "async (202+job)\t%.1f\t%d\t%s\t%.1fx\n", mb, asyncCode, ms(asyncDur),
+		float64(syncDur)/float64(asyncDur))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// Drain the async job before the read-path phases: Close waits for the
+	// workers, so the background index build cannot pollute their timings.
+	ts.Close()
+	srv.Close()
+
+	// --- Shared read workload for tables 2 and 3. ---
+	c, err := corpus.FromDocument("xmark-e16", d, 4, corpus.Config{})
+	if err != nil {
+		return err
+	}
+	workload := func(c *corpus.Corpus) (time.Duration, error) {
+		start := time.Now()
+		for _, q := range corpusQueries {
+			if _, err := c.SearchHits(context.Background(), mustParse(q.Text), core.SearchOptions{K: 100}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	runQueries := func() (time.Duration, error) { return workload(c) }
+
+	// --- Table 2: read availability while ingest + compaction churn. ---
+	// Both phases measure the same fixed round count; the churn phase runs
+	// them while a background loop keeps adding delta shards and compacting,
+	// so the comparison is idle-vs-churn at equal sample size.
+	const availRounds = 40
+	sample := func() ([]time.Duration, error) {
+		lat := make([]time.Duration, 0, availRounds)
+		for i := 0; i < availRounds; i++ {
+			el, err := runQueries()
+			if err != nil {
+				return nil, err
+			}
+			lat = append(lat, el)
+		}
+		return lat, nil
+	}
+	// One warm-up round first so cold-cache parse/build noise doesn't
+	// inflate the idle tail.
+	if _, err := runQueries(); err != nil {
+		return err
+	}
+	runtime.GC()
+	idle, err := sample()
+	if err != nil {
+		return err
+	}
+	stop := make(chan struct{})
+	var churnErr error
+	var ingests, compactions int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("delta%d", i)
+			dd, err := doc.FromReader(name, strings.NewReader(deltaDocXML(i)))
+			if err != nil {
+				churnErr = err
+				return
+			}
+			if err := c.AddDeltaSplit(name, dd, 1); err != nil {
+				churnErr = err
+				return
+			}
+			ingests++
+			if (i+1)%8 == 0 {
+				if _, err := c.CompactDeltas(context.Background(), 0); err != nil {
+					churnErr = err
+					return
+				}
+				compactions++
+			}
+			// Paced, not a tight loop: a steady trickle is the realistic
+			// churn shape and keeps the shard count from exploding.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	churn, err := sample()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	if churnErr != nil {
+		return churnErr
+	}
+	tw = r.table()
+	fmt.Fprintln(tw, "phase\trounds\tmean ms\tp50 ms\tp99 ms\tmax ms")
+	for _, row := range []struct {
+		name string
+		lat  []time.Duration
+	}{{"idle", idle}, {fmt.Sprintf("during %d ingests + %d compactions", ingests, compactions), churn}} {
+		var sum time.Duration
+		for _, l := range row.lat {
+			sum += l
+		}
+		mean := time.Duration(0)
+		if len(row.lat) > 0 {
+			mean = sum / time.Duration(len(row.lat))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n", row.name, len(row.lat),
+			ms(mean), ms(quantile(row.lat, 0.50)), ms(quantile(row.lat, 0.99)),
+			ms(quantile(row.lat, 1.0)))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// --- Table 3: delta backlog cost vs compacted shape. ---
+	// A fresh corpus (table 2's churn left extra shards behind): measure the
+	// base shape, add a delta backlog, then compact it away.  Medians over a
+	// healthy rep count keep scheduler noise out of the ratios.
+	const (
+		reps        = 30
+		churnDeltas = 48
+	)
+	c2, err := corpus.FromDocument("xmark-e16b", d, 4, corpus.Config{})
+	if err != nil {
+		return err
+	}
+	phase := func() (time.Duration, error) {
+		// Warm-up round, then the median of the reps.
+		runtime.GC()
+		if _, err := workload(c2); err != nil {
+			return 0, err
+		}
+		lat := make([]time.Duration, 0, reps)
+		for i := 0; i < reps; i++ {
+			el, err := workload(c2)
+			if err != nil {
+				return 0, err
+			}
+			lat = append(lat, el)
+		}
+		return quantile(lat, 0.50), nil
+	}
+	base, err := phase()
+	if err != nil {
+		return err
+	}
+	baseShards := c2.Snapshot().Len()
+	for i := 0; i < churnDeltas; i++ {
+		dd, err := doc.FromReader(fmt.Sprintf("redelta%d", i), strings.NewReader(deltaDocXML(i)))
+		if err != nil {
+			return err
+		}
+		if err := c2.AddDeltaSplit(fmt.Sprintf("redelta%d", i), dd, 1); err != nil {
+			return err
+		}
+	}
+	withDeltas, err := phase()
+	if err != nil {
+		return err
+	}
+	deltaShards := c2.Snapshot().Len()
+	res, err := c2.CompactDeltas(context.Background(), 0)
+	if err != nil {
+		return err
+	}
+	compacted, err := phase()
+	if err != nil {
+		return err
+	}
+	tw = r.table()
+	fmt.Fprintln(tw, "shape\tshards\tworkload ms\tvs base")
+	fmt.Fprintf(tw, "base\t%d\t%s\t1.00x\n", baseShards, ms(base))
+	fmt.Fprintf(tw, "+%d deltas\t%d\t%s\t%.2fx\n", churnDeltas, deltaShards, ms(withDeltas),
+		float64(withDeltas)/float64(base))
+	fmt.Fprintf(tw, "compacted (%d→%d shards, %s ms off-path)\t%d\t%s\t%.2fx\n",
+		res.Merged, len(res.Into), ms(res.Elapsed), c2.Snapshot().Len(), ms(compacted),
+		float64(compacted)/float64(base))
+	return tw.Flush()
+}

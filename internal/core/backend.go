@@ -70,6 +70,9 @@ type BackendInfo struct {
 	Kind string `json:"kind"`
 	// Shards counts backing shards (1 for a single engine).
 	Shards int `json:"shards"`
+	// DeltaShards counts async-ingested delta shards awaiting compaction
+	// (corpus backends only; see internal/corpus and internal/ingest).
+	DeltaShards int `json:"deltaShards,omitempty"`
 	// Nodes, Tags, GuidePaths and Valued aggregate over all shards.
 	Nodes      int `json:"nodes"`
 	Tags       int `json:"tags"`

@@ -41,6 +41,10 @@ type shard struct {
 	engine *core.Engine
 	// file is the persisted full-index file (base name), "" while unsaved.
 	file string
+	// delta marks a shard produced by async ingest that the background
+	// compactor may merge into a base shard (see compact.go).  Base shards
+	// are never rewritten by compaction.
+	delta bool
 }
 
 // Snapshot is an immutable shard set.  Every query pins one Snapshot and
@@ -62,6 +66,28 @@ func (s *Snapshot) Names() []string {
 	out := make([]string, len(s.shards))
 	for i, sh := range s.shards {
 		out[i] = sh.name
+	}
+	return out
+}
+
+// DeltaCount counts the delta shards awaiting compaction.
+func (s *Snapshot) DeltaCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		if sh.delta {
+			n++
+		}
+	}
+	return n
+}
+
+// DeltaNames lists the delta shard names in order.
+func (s *Snapshot) DeltaNames() []string {
+	var out []string
+	for _, sh := range s.shards {
+		if sh.delta {
+			out = append(out, sh.name)
+		}
 	}
 	return out
 }
@@ -231,7 +257,7 @@ func Open(dir string, cfg Config) (*Corpus, error) {
 			bad = append(bad, badShard{ms: ms, err: err})
 			continue
 		}
-		shards = append(shards, &shard{name: ms.Name, engine: e, file: ms.File})
+		shards = append(shards, &shard{name: ms.Name, engine: e, file: ms.File, delta: ms.Delta})
 	}
 	if len(shards) == 0 && len(m.Shards) > 0 {
 		// Nothing survived: refuse the corpus (and leave the files where they
@@ -245,9 +271,11 @@ func Open(dir string, cfg Config) (*Corpus, error) {
 	}
 	sort.Strings(c.loadQuarantined)
 	sortShards(shards)
-	c.snap.Store(&Snapshot{seq: m.Seq, shards: shards})
+	snap := &Snapshot{seq: m.Seq, shards: shards}
+	c.snap.Store(snap)
 	if c.met != nil {
 		c.met.SetShards(len(shards))
+		c.met.SetDeltaShards(snap.DeltaCount())
 	}
 	return c, nil
 }
@@ -274,6 +302,10 @@ func (c *Corpus) Snapshot() *Snapshot { return c.snap.Load() }
 
 // Seq returns the current snapshot's sequence number.
 func (c *Corpus) Seq() uint64 { return c.Snapshot().seq }
+
+// DeltaShards counts the current snapshot's delta shards — the compaction
+// backlog the ingest pipeline watches.
+func (c *Corpus) DeltaShards() int { return c.Snapshot().DeltaCount() }
 
 // Generation implements core.Backend: every publish (Add, Remove, Reindex,
 // AddSplit) bumps the snapshot sequence, so generation-keyed cache entries
@@ -323,10 +355,22 @@ func (c *Corpus) AddReader(name string, r io.Reader) error {
 // "name/000", "name/001", ... and publishes them in one swap.  Existing
 // shards under the same name prefix are replaced.
 func (c *Corpus) AddSplit(name string, d *doc.Document, parts int) error {
+	return c.addSplit(name, d, parts, false)
+}
+
+// AddDeltaSplit is AddSplit with the resulting shards marked as deltas:
+// small async-ingested shards the background compactor (CompactDeltas) may
+// later fold into a compacted base shard off the read path.  Queries see
+// delta shards exactly like base shards — they only differ in lifecycle.
+func (c *Corpus) AddDeltaSplit(name string, d *doc.Document, parts int) error {
+	return c.addSplit(name, d, parts, true)
+}
+
+func (c *Corpus) addSplit(name string, d *doc.Document, parts int, delta bool) error {
 	if err := validShardName(name); err != nil {
 		return err
 	}
-	fresh, err := buildShards(name, d, parts)
+	fresh, err := buildShards(name, d, parts, delta)
 	if err != nil {
 		return err
 	}
@@ -339,17 +383,17 @@ func (c *Corpus) AddSplit(name string, d *doc.Document, parts int) error {
 // buildShards splits d and indexes each part (the expensive work, done
 // before the caller takes the mutation lock): one shard named name for an
 // unsplit document, or a "name/NNN" group.
-func buildShards(name string, d *doc.Document, parts int) ([]*shard, error) {
+func buildShards(name string, d *doc.Document, parts int, delta bool) ([]*shard, error) {
 	docs, err := SplitDocument(d, parts)
 	if err != nil {
 		return nil, err
 	}
 	if len(docs) == 1 {
-		return []*shard{{name: name, engine: core.FromDocument(docs[0])}}, nil
+		return []*shard{{name: name, engine: core.FromDocument(docs[0]), delta: delta}}, nil
 	}
 	out := make([]*shard, len(docs))
 	for i, sd := range docs {
-		out[i] = &shard{name: fmt.Sprintf("%s/%03d", name, i), engine: core.FromDocument(sd)}
+		out[i] = &shard{name: fmt.Sprintf("%s/%03d", name, i), engine: core.FromDocument(sd), delta: delta}
 	}
 	return out, nil
 }
@@ -364,6 +408,16 @@ func (c *Corpus) AddSplitReader(name string, r io.Reader, parts int) error {
 	return c.AddSplit(name, d, parts)
 }
 
+// AddDeltaSplitReader parses XML from r and adds it as delta shard(s); see
+// AddDeltaSplit.
+func (c *Corpus) AddDeltaSplitReader(name string, r io.Reader, parts int) error {
+	d, err := doc.FromReader(name, r)
+	if err != nil {
+		return err
+	}
+	return c.AddDeltaSplit(name, d, parts)
+}
+
 // SetSplit replaces the entire shard set with the split of d in one swap —
 // the "re-ingest the whole dataset" operation.  Whatever shards existed
 // before, under any name, are gone after the publish; a persisted corpus
@@ -373,7 +427,7 @@ func (c *Corpus) SetSplit(name string, d *doc.Document, parts int) error {
 	if err := validShardName(name); err != nil {
 		return err
 	}
-	fresh, err := buildShards(name, d, parts)
+	fresh, err := buildShards(name, d, parts, false)
 	if err != nil {
 		return err
 	}
@@ -415,7 +469,7 @@ func (c *Corpus) Reindex(name string) error {
 		for i, sh := range shards {
 			if name == "" || sh.name == name || strings.HasPrefix(sh.name, name+"/") {
 				hit = true
-				next[i] = &shard{name: sh.name, engine: core.FromDocument(sh.engine.Document())}
+				next[i] = &shard{name: sh.name, engine: core.FromDocument(sh.engine.Document()), delta: sh.delta}
 			} else {
 				next[i] = sh
 			}
@@ -473,6 +527,7 @@ func (c *Corpus) publish(mutate func([]*shard) ([]*shard, error)) error {
 	c.snap.Store(ns)
 	if c.met != nil {
 		c.met.SetShards(len(ns.shards))
+		c.met.SetDeltaShards(ns.DeltaCount())
 		c.met.Swapped()
 	}
 	if c.dir != "" {
@@ -506,6 +561,7 @@ func (c *Corpus) persist(ns *Snapshot) error {
 			Name:  sh.name,
 			File:  sh.file,
 			Nodes: sh.engine.Document().Len(),
+			Delta: sh.delta,
 		})
 	}
 	return saveManifest(c.dir, m)
@@ -543,7 +599,12 @@ var _ core.Backend = (*Corpus)(nil)
 // Info implements core.Backend, aggregating over the pinned snapshot.
 func (c *Corpus) Info() core.BackendInfo {
 	snap := c.Snapshot()
-	info := core.BackendInfo{Name: c.name, Kind: "corpus", Shards: len(snap.shards)}
+	info := core.BackendInfo{
+		Name:        c.name,
+		Kind:        "corpus",
+		Shards:      len(snap.shards),
+		DeltaShards: snap.DeltaCount(),
+	}
 	tags := map[string]struct{}{}
 	for _, sh := range snap.shards {
 		st := sh.engine.Stats()

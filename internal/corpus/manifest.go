@@ -63,6 +63,9 @@ type manifestShard struct {
 	Name  string `json:"name"`
 	File  string `json:"file"`
 	Nodes int    `json:"nodes"`
+	// Delta marks an async-ingested delta shard awaiting compaction; absent
+	// (false) for base shards, so pre-delta manifests load unchanged.
+	Delta bool `json:"delta,omitempty"`
 }
 
 // loadManifest reads and validates <dir>/MANIFEST.json.

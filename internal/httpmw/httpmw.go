@@ -39,11 +39,14 @@ func Chain(h http.Handler, mws ...Middleware) http.Handler {
 
 // The v1 error codes.  Every error response carries exactly one of these.
 const (
-	CodeBadQuery   = "bad_query"  // malformed input: body, query, parameters
-	CodeNotFound   = "not_found"  // unknown dataset, node, or route
-	CodeTimeout    = "timeout"    // the per-request deadline expired mid-work
-	CodeOverloaded = "overloaded" // the concurrency limiter shed the request
-	CodeInternal   = "internal"   // a bug: panic or unexpected failure
+	CodeBadQuery         = "bad_query"          // malformed input: body, query, parameters
+	CodeNotFound         = "not_found"          // unknown dataset, node, job, or route
+	CodeMethodNotAllowed = "method_not_allowed" // known path, unsupported method (see Allow)
+	CodeTooLarge         = "too_large"          // request body exceeded the ingest bound
+	CodeTimeout          = "timeout"            // the per-request deadline expired mid-work
+	CodeOverloaded       = "overloaded"         // the concurrency limiter or job queue shed the request
+	CodeGone             = "gone"               // a sunset legacy route with aliases disabled
+	CodeInternal         = "internal"           // a bug: panic or unexpected failure
 )
 
 // ErrorBody is the uniform v1 error envelope.
@@ -51,17 +54,31 @@ type ErrorBody struct {
 	Error ErrorDetail `json:"error"`
 }
 
-// ErrorDetail carries the machine-readable code and the human message.
+// ErrorDetail carries the machine-readable code, the human message, and the
+// request ID to join the failure with logs and traces.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RequestID echoes X-Request-Id; absent outside the middleware stack.
+	RequestID string `json:"requestId,omitempty"`
 }
 
-// WriteError writes the v1 JSON error envelope.
+// WriteError writes the v1 JSON error envelope.  Prefer WriteErrorCtx inside
+// the middleware stack, which also stamps the request ID into the body.
 func WriteError(w http.ResponseWriter, status int, code, message string) {
+	writeErrorDetail(w, status, ErrorDetail{Code: code, Message: message})
+}
+
+// WriteErrorCtx writes the v1 JSON error envelope with the request ID from
+// ctx (as injected by the RequestID middleware) stamped into the body.
+func WriteErrorCtx(ctx context.Context, w http.ResponseWriter, status int, code, message string) {
+	writeErrorDetail(w, status, ErrorDetail{Code: code, Message: message, RequestID: RequestIDFrom(ctx)})
+}
+
+func writeErrorDetail(w http.ResponseWriter, status int, d ErrorDetail) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
+	json.NewEncoder(w).Encode(ErrorBody{Error: d})
 }
 
 // CodeForStatus maps an HTTP status to its v1 error code.
@@ -69,10 +86,16 @@ func CodeForStatus(status int) string {
 	switch {
 	case status == http.StatusNotFound:
 		return CodeNotFound
+	case status == http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case status == http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
 	case status == http.StatusGatewayTimeout:
 		return CodeTimeout
 	case status == http.StatusTooManyRequests:
 		return CodeOverloaded
+	case status == http.StatusGone:
+		return CodeGone
 	case status >= 400 && status < 500:
 		return CodeBadQuery
 	default:
@@ -256,7 +279,7 @@ func Recover(l *slog.Logger) Middleware {
 					slog.String("stack", string(debug.Stack())),
 				)
 				if sw, ok := w.(*StatusWriter); !ok || !sw.Wrote() {
-					WriteError(w, http.StatusInternalServerError, CodeInternal, "internal server error")
+					WriteErrorCtx(r.Context(), w, http.StatusInternalServerError, CodeInternal, "internal server error")
 				}
 			}()
 			next.ServeHTTP(w, r)
@@ -329,7 +352,7 @@ func Limit(max int, opts LimitOptions) Middleware {
 					secs = 1
 				}
 				w.Header().Set("Retry-After", strconv.Itoa(secs))
-				WriteError(w, http.StatusTooManyRequests, CodeOverloaded,
+				WriteErrorCtx(r.Context(), w, http.StatusTooManyRequests, CodeOverloaded,
 					"server is at capacity, retry later")
 			}
 		})

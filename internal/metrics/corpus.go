@@ -13,6 +13,7 @@ import (
 // are safe for concurrent use on the query path.
 type CorpusMetrics struct {
 	shards   atomic.Int64
+	deltas   atomic.Int64 // delta shards awaiting compaction
 	Swaps    atomic.Int64 // snapshot publishes (Add/Remove/Reindex)
 	Searches atomic.Int64 // fan-out searches served
 	Fanout   Histogram    // wall-clock of the parallel per-shard phase
@@ -87,6 +88,13 @@ func (c *CorpusMetrics) SetShards(n int) { c.shards.Store(int64(n)) }
 // Shards returns the last recorded shard count.
 func (c *CorpusMetrics) Shards() int { return int(c.shards.Load()) }
 
+// SetDeltaShards records the delta-shard count of the current snapshot —
+// the compaction backlog.
+func (c *CorpusMetrics) SetDeltaShards(n int) { c.deltas.Store(int64(n)) }
+
+// DeltaShards returns the last recorded delta-shard count.
+func (c *CorpusMetrics) DeltaShards() int { return int(c.deltas.Load()) }
+
 // Swapped tallies one snapshot publish.
 func (c *CorpusMetrics) Swapped() { c.Swaps.Add(1) }
 
@@ -142,8 +150,10 @@ func (r *Registry) Corpus(name string) *CorpusMetrics {
 
 // CorpusSnapshot is the JSON shape of one corpus's metrics.
 type CorpusSnapshot struct {
-	Shards   int64           `json:"shards"`
-	Swaps    int64           `json:"swaps"`
+	Shards int64 `json:"shards"`
+	// DeltaShards counts async-ingested delta shards awaiting compaction.
+	DeltaShards int64           `json:"deltaShards,omitempty"`
+	Swaps       int64           `json:"swaps"`
 	Searches int64           `json:"searches"`
 	Fanout   LatencySnapshot `json:"fanout"`
 	Merge    LatencySnapshot `json:"merge"`
@@ -167,6 +177,7 @@ type CorpusSnapshot struct {
 func (c *CorpusMetrics) snapshot() CorpusSnapshot {
 	s := CorpusSnapshot{
 		Shards:          c.shards.Load(),
+		DeltaShards:     c.deltas.Load(),
 		Swaps:           c.Swaps.Load(),
 		Searches:        c.Searches.Load(),
 		Fanout:          snapshotHistogram(&c.Fanout),

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"sync/atomic"
+)
+
+// IngestMetrics aggregates the async ingestion pipeline (internal/ingest):
+// job counters by outcome, live queue-depth and worker gauges, latency
+// histograms for time-in-queue and time-running, and the background
+// compactor's counters.  All fields are safe for concurrent use; the queue
+// updates them from its enqueue path and worker goroutines.
+type IngestMetrics struct {
+	Enqueued atomic.Int64 // jobs accepted into the queue
+	Deduped  atomic.Int64 // enqueues collapsed into an already-active identical job
+	Rejected atomic.Int64 // enqueues refused because the queue was full
+	Done     atomic.Int64 // jobs that finished successfully
+	Failed   atomic.Int64 // jobs that finished with an error
+
+	depth   atomic.Int64 // jobs queued, not yet running
+	running atomic.Int64 // jobs currently on a worker
+
+	QueueWait Histogram // enqueue → worker pickup
+	Run       Histogram // worker pickup → finish
+
+	// Background compaction (delta shards folded into base shards).
+	Compactions        atomic.Int64 // successful compaction rounds
+	CompactionNoops    atomic.Int64 // rounds that found no deltas to merge
+	CompactionFailures atomic.Int64 // rounds that errored (incl. conflicts)
+	CompactedShards    atomic.Int64 // delta shards folded away, summed
+	CompactionRun      Histogram    // wall-clock per compaction round
+}
+
+// SetDepth records the number of queued (not yet running) jobs.
+func (m *IngestMetrics) SetDepth(n int) { m.depth.Store(int64(n)) }
+
+// Depth returns the last recorded queue depth.
+func (m *IngestMetrics) Depth() int64 { return m.depth.Load() }
+
+// SetRunning records the number of jobs currently on workers.
+func (m *IngestMetrics) SetRunning(n int) { m.running.Store(int64(n)) }
+
+// AddRunning adjusts the running-job gauge by d (workers call it with +1 on
+// pickup and -1 on finish).
+func (m *IngestMetrics) AddRunning(d int) { m.running.Add(int64(d)) }
+
+// Running returns the last recorded running-job count.
+func (m *IngestMetrics) Running() int64 { return m.running.Load() }
+
+// Ingest returns the registry's ingest-pipeline metrics, creating them on
+// first use.  There is one ingest queue per server, so the family is a
+// singleton rather than a named map.
+func (r *Registry) Ingest() *IngestMetrics {
+	r.mu.RLock()
+	m := r.ingest
+	r.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ingest == nil {
+		r.ingest = &IngestMetrics{}
+	}
+	return r.ingest
+}
+
+// IngestSnapshot is the JSON shape of the ingest pipeline's metrics.
+type IngestSnapshot struct {
+	Enqueued   int64           `json:"enqueued"`
+	Deduped    int64           `json:"deduped"`
+	Rejected   int64           `json:"rejected,omitempty"`
+	Done       int64           `json:"done"`
+	Failed     int64           `json:"failed"`
+	QueueDepth int64           `json:"queueDepth"`
+	Running    int64           `json:"running"`
+	QueueWait  LatencySnapshot `json:"queueWait"`
+	Run        LatencySnapshot `json:"run"`
+
+	Compactions        int64           `json:"compactions"`
+	CompactionNoops    int64           `json:"compactionNoops,omitempty"`
+	CompactionFailures int64           `json:"compactionFailures,omitempty"`
+	CompactedShards    int64           `json:"compactedShards"`
+	CompactionRun      LatencySnapshot `json:"compactionRun"`
+}
+
+// snapshot materializes the ingest pipeline's JSON view.
+func (m *IngestMetrics) snapshot() IngestSnapshot {
+	return IngestSnapshot{
+		Enqueued:           m.Enqueued.Load(),
+		Deduped:            m.Deduped.Load(),
+		Rejected:           m.Rejected.Load(),
+		Done:               m.Done.Load(),
+		Failed:             m.Failed.Load(),
+		QueueDepth:         m.depth.Load(),
+		Running:            m.running.Load(),
+		QueueWait:          snapshotHistogram(&m.QueueWait),
+		Run:                snapshotHistogram(&m.Run),
+		Compactions:        m.Compactions.Load(),
+		CompactionNoops:    m.CompactionNoops.Load(),
+		CompactionFailures: m.CompactionFailures.Load(),
+		CompactedShards:    m.CompactedShards.Load(),
+		CompactionRun:      snapshotHistogram(&m.CompactionRun),
+	}
+}

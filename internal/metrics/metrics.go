@@ -169,8 +169,19 @@ type Registry struct {
 	stages    map[string]*Histogram
 	corpora   map[string]*CorpusMetrics
 	caches    map[string]*CacheMetrics
+	ingest    *IngestMetrics
 	start     time.Time
+
+	// legacyHits counts requests served via deprecated pre-v1 route aliases
+	// (see internal/server: the Sunset-headered /api/... paths).
+	legacyHits atomic.Int64
 }
+
+// LegacyHit tallies one request served through a deprecated route alias.
+func (r *Registry) LegacyHit() { r.legacyHits.Add(1) }
+
+// LegacyHits returns the deprecated-alias request count.
+func (r *Registry) LegacyHits() int64 { return r.legacyHits.Load() }
 
 // New returns an empty Registry.
 func New() *Registry {
@@ -283,6 +294,12 @@ type Snapshot struct {
 	// internal/cache): per-cache hit/miss/eviction/singleflight counters
 	// plus live entry and byte counts.
 	Caches map[string]CacheSnapshot `json:"caches,omitempty"`
+	// Ingest appears once the async ingestion pipeline is running (see
+	// internal/ingest): job counters, queue gauges and compaction totals.
+	Ingest *IngestSnapshot `json:"ingest,omitempty"`
+	// LegacyRequests counts requests served via deprecated pre-v1 route
+	// aliases; absent until the first such request.
+	LegacyRequests int64 `json:"legacyRequests,omitempty"`
 }
 
 // Snapshot materializes a view of every endpoint, algorithm, stage and
@@ -325,5 +342,10 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Caches[name] = c.snapshot()
 		}
 	}
+	if r.ingest != nil {
+		snap := r.ingest.snapshot()
+		s.Ingest = &snap
+	}
+	s.LegacyRequests = r.legacyHits.Load()
 	return s
 }

@@ -44,6 +44,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for k, v := range r.caches {
 		caches[k] = v
 	}
+	ingest := r.ingest
 	r.mu.RUnlock()
 
 	fmt.Fprintf(w, "# HELP lotusx_uptime_seconds Time since the metrics registry was created.\n")
@@ -72,6 +73,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		cNames := sortedKeys(corpora)
 		gaugeFamily(w, "lotusx_corpus_shards", "Shard count of the current corpus snapshot.",
 			cNames, func(n string) int64 { return int64(corpora[n].Shards()) }, "corpus")
+		gaugeFamily(w, "lotusx_corpus_delta_shards", "Async-ingested delta shards awaiting compaction.",
+			cNames, func(n string) int64 { return int64(corpora[n].DeltaShards()) }, "corpus")
 		counterFamily(w, "lotusx_corpus_swaps_total", "Snapshot publishes (ingest, remove, reindex).",
 			cNames, func(n string) int64 { return corpora[n].Swaps.Load() }, "corpus")
 		counterFamily(w, "lotusx_corpus_searches_total", "Fan-out searches served.",
@@ -133,6 +136,47 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		gaugeFamily(w, "lotusx_cache_bytes", "Byte cost of the entries stored in the cache.",
 			names, func(n string) int64 { return caches[n].Bytes() }, "cache")
 	}
+
+	if ingest != nil {
+		scalarCounter(w, "lotusx_ingest_jobs_enqueued_total", "Ingest jobs accepted into the queue.", ingest.Enqueued.Load())
+		scalarCounter(w, "lotusx_ingest_jobs_deduped_total", "Enqueues collapsed into an identical active job.", ingest.Deduped.Load())
+		scalarCounter(w, "lotusx_ingest_jobs_rejected_total", "Enqueues refused because the queue was full.", ingest.Rejected.Load())
+		scalarCounter(w, "lotusx_ingest_jobs_completed_total", "Ingest jobs that finished successfully.", ingest.Done.Load())
+		scalarCounter(w, "lotusx_ingest_jobs_failed_total", "Ingest jobs that finished with an error.", ingest.Failed.Load())
+		scalarGauge(w, "lotusx_ingest_queue_depth", "Jobs queued, not yet running.", ingest.Depth())
+		scalarGauge(w, "lotusx_ingest_jobs_running", "Jobs currently on a worker.", ingest.Running())
+		scalarHistogram(w, "lotusx_ingest_queue_wait_seconds", "Time from enqueue to worker pickup.", ingest.QueueWait.Export())
+		scalarHistogram(w, "lotusx_ingest_job_duration_seconds", "Time from worker pickup to job finish.", ingest.Run.Export())
+		scalarCounter(w, "lotusx_ingest_compactions_total", "Successful delta-compaction rounds.", ingest.Compactions.Load())
+		scalarCounter(w, "lotusx_ingest_compaction_failures_total", "Delta-compaction rounds that errored.", ingest.CompactionFailures.Load())
+		scalarCounter(w, "lotusx_ingest_compacted_shards_total", "Delta shards folded into base shards.", ingest.CompactedShards.Load())
+		scalarHistogram(w, "lotusx_ingest_compaction_duration_seconds", "Wall-clock per compaction round.", ingest.CompactionRun.Export())
+	}
+
+	scalarCounter(w, "lotusx_http_legacy_requests_total", "Requests served via deprecated pre-v1 route aliases.", r.legacyHits.Load())
+}
+
+// scalarCounter writes one unlabeled counter.
+func scalarCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// scalarGauge writes one unlabeled gauge.
+func scalarGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// scalarHistogram writes one unlabeled histogram series.
+func scalarHistogram(w io.Writer, name, help string, e Export) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i := 0; i < bucketCount-1; i++ {
+		cum += e.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, fmtFloat(bucketBound(i).Seconds()), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, e.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(time.Duration(e.Sum).Seconds()))
+	fmt.Fprintf(w, "%s_count %d\n", name, e.Count)
 }
 
 // counterFamily writes one counter metric family with a single label.

@@ -1,7 +1,12 @@
 package server
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -11,6 +16,7 @@ import (
 	"lotusx/internal/core"
 	"lotusx/internal/corpus"
 	"lotusx/internal/httpmw"
+	"lotusx/internal/ingest"
 	"lotusx/internal/metrics"
 )
 
@@ -25,12 +31,31 @@ import (
 //	POST   /api/v1/datasets/{name}/shards/{shard}?shards=N   ingest body XML as shard(s)
 //	DELETE /api/v1/datasets/{name}/shards/{shard}            drop one shard (or split group)
 //	POST   /api/v1/datasets/{name}/reindex?shard=S           rebuild all (or one) shard
+//	POST   /api/v1/datasets/{name}/compact                   fold delta shards into base shards
 //
 // Ingest bodies are raw XML documents.  ?shards=N > 1 splits the document at
 // record boundaries into N shards (see corpus.SplitDocument).  Dataset and
 // shard names are strict path segments (see nameRE): dataset names become
 // directories under CorpusDir, so anything traversal-shaped is rejected
 // before it reaches the filesystem.
+//
+// # Async ingestion
+//
+// The two ingest routes are asynchronous by default: the body is spooled to
+// a temp file (hashed while it streams), a job is enqueued on the bounded
+// worker pool (internal/ingest), and the response is 202 Accepted with a
+// {"job": ...} envelope plus a Location header pointing at
+// /api/v1/jobs/{id} for polling.  Identical concurrent submissions (same
+// dataset, same content hash, same split factor) coalesce onto one job.
+// ?sync=1 restores the blocking behavior: the work runs on the request
+// goroutine and the response is the final 201 + {"status": ...}.
+//
+// A dataset create replaces the whole shard set (base shards) either way; an
+// asynchronous shard add lands as a DELTA shard — a small independent shard
+// published without touching the base set — and a background compaction job
+// folds accumulated deltas into base shards once the dataset crosses the
+// compaction threshold (or on explicit POST .../compact).  See
+// docs/API.md for the jobs lifecycle.
 
 // maxIngestSize bounds admin ingest bodies — far above query bodies, since
 // whole datasets arrive here.
@@ -80,36 +105,148 @@ func shardCount(r *http.Request) (int, error) {
 	return n, nil
 }
 
-// datasetStatus is the success payload of the mutating dataset routes.
+// syncRequested reports the ?sync=1 escape hatch: run the write on the
+// request goroutine instead of the async job queue.
+func syncRequested(r *http.Request) bool {
+	return r.URL.Query().Get("sync") == "1"
+}
+
+// datasetStatus is the typed status object of every dataset/shard write
+// route's success envelope, {"status": {...}}.
 type datasetStatus struct {
-	Dataset string   `json:"dataset"`
-	Shards  int      `json:"shards"`
-	Seq     uint64   `json:"seq"`
-	Names   []string `json:"shardNames,omitempty"`
+	Dataset string `json:"dataset"`
+	Shards  int    `json:"shards"`
+	// DeltaShards counts async-ingested delta shards awaiting compaction.
+	DeltaShards int      `json:"deltaShards,omitempty"`
+	Seq         uint64   `json:"seq"`
+	Names       []string `json:"shardNames,omitempty"`
+	// Removed marks the response of a successful DELETE.
+	Removed bool `json:"removed,omitempty"`
+	// Default names the catalog's default dataset after a DELETE changed it.
+	Default string `json:"default,omitempty"`
+}
+
+// statusEnvelope wraps datasetStatus — the uniform success body of the
+// mutating admin routes.
+type statusEnvelope struct {
+	Status datasetStatus `json:"status"`
 }
 
 func statusOf(name string, c *corpus.Corpus) datasetStatus {
 	snap := c.Snapshot()
-	return datasetStatus{Dataset: name, Shards: snap.Len(), Seq: snap.Seq(), Names: snap.Names()}
+	return datasetStatus{
+		Dataset:     name,
+		Shards:      snap.Len(),
+		DeltaShards: snap.DeltaCount(),
+		Seq:         snap.Seq(),
+		Names:       snap.Names(),
+	}
 }
 
-// handleDatasetCreate ingests the XML body as a new (or replacement)
-// corpus-backed dataset, optionally split into ?shards=N shards.  Creates
-// are serialized: re-POSTing a live corpus-backed name replaces its whole
-// shard set through the existing corpus object (one snapshot swap, the
-// sequence keeps climbing), so two creates can never interleave writes to
-// the same persistence directory.
-func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if err := validSegment("dataset", name); err != nil {
-		badQuery(w, err)
-		return
+// writeStatus answers a successful mutation: the {"status": ...} envelope,
+// with a Location header on resource-creating statuses (201/202).
+func writeStatus(w http.ResponseWriter, code int, location string, st datasetStatus) {
+	if location != "" && (code == http.StatusCreated || code == http.StatusAccepted) {
+		w.Header().Set("Location", location)
 	}
-	parts, err := shardCount(r)
+	writeJSON(w, code, statusEnvelope{Status: st})
+}
+
+// spooled is a request body staged to disk for async ingestion: the handler
+// streams (and hashes) the body before answering 202, so the job needs no
+// live connection and identical uploads dedup by content.
+type spooled struct {
+	path string
+	size int64
+	hash string // hex sha256 of the body
+}
+
+// cleanup removes the spool file; safe to call more than once.
+func (sp *spooled) cleanup() { os.Remove(sp.path) }
+
+// spoolBody streams the request body to a temp file, hashing as it copies.
+// The caller owns the file and must arrange cleanup on every path.
+func (s *Server) spoolBody(w http.ResponseWriter, r *http.Request) (*spooled, error) {
+	dir := os.TempDir()
+	if s.corpusDir != "" {
+		// Spool next to the corpus directories: same filesystem as the final
+		// shard files, and a place the operator already watches for space.
+		if err := os.MkdirAll(s.corpusDir, 0o755); err == nil {
+			dir = s.corpusDir
+		}
+	}
+	f, err := os.CreateTemp(dir, "ingest-spool-*.xml")
 	if err != nil {
-		badQuery(w, err)
+		return nil, fmt.Errorf("spooling ingest body: %w", err)
+	}
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(f, h), http.MaxBytesReader(w, r.Body, s.maxIngest))
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &spooled{path: f.Name(), size: n, hash: hex.EncodeToString(h.Sum(nil))}, nil
+}
+
+// isTooLarge reports whether err came from the MaxBytesReader bound.
+func isTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+// limitTracker remembers when the MaxBytesReader under it tripped.  The XML
+// lexer deliberately folds read errors into a truncation SyntaxError, which
+// would turn an over-limit body into a 400; the tracker lets the sync
+// handlers still answer 413.
+type limitTracker struct {
+	r       io.Reader
+	tripped bool
+}
+
+func (l *limitTracker) Read(p []byte) (int, error) {
+	n, err := l.r.Read(p)
+	if err != nil && isTooLarge(err) {
+		l.tripped = true
+	}
+	return n, err
+}
+
+// syncBody wraps the request body for a synchronous ingest: bounded, with
+// the bound's trip observable after the parse fails.
+func (s *Server) syncBody(w http.ResponseWriter, r *http.Request) *limitTracker {
+	return &limitTracker{r: http.MaxBytesReader(w, r.Body, s.maxIngest)}
+}
+
+// ingestErr substitutes the over-limit error when the tracker tripped, so
+// writeIngestError classifies it as 413 even though the parser rewrote it.
+func ingestErr(lt *limitTracker, err error) error {
+	if err != nil && lt.tripped && !isTooLarge(err) {
+		return &http.MaxBytesError{}
+	}
+	return err
+}
+
+// writeIngestError maps a sync-ingest failure to its envelope: 413 for an
+// over-limit body, 400 for everything else (parse errors, bad XML).
+func writeIngestError(w http.ResponseWriter, r *http.Request, err error) {
+	if isTooLarge(err) {
+		tooLarge(w, r, err)
 		return
 	}
+	badQuery(w, r, err)
+}
+
+// createDataset ingests body as a new (or replacement) corpus-backed dataset
+// split into parts shards — the shared core of the sync handler and the
+// async job.  Creates are serialized under adminMu: re-POSTing a live
+// corpus-backed name replaces its whole shard set through the existing
+// corpus object (one snapshot swap, the sequence keeps climbing), so two
+// creates can never interleave writes to the same persistence directory.
+func (s *Server) createDataset(name string, body io.Reader, parts int) (datasetStatus, error) {
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
 	dir := ""
@@ -131,12 +268,11 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 			Metrics: s.reg.Corpus(name),
 			Tuning:  s.corpusTuning,
 			Logger:  s.logger,
+			Faults:  s.faults,
 		})
 	}
-	body := http.MaxBytesReader(w, r.Body, maxIngestSize)
 	if err := c.SetSplitReader(name, body, parts); err != nil {
-		badQuery(w, fmt.Errorf("ingesting %q: %w", name, err))
-		return
+		return datasetStatus{}, fmt.Errorf("ingesting %q: %w", name, err)
 	}
 	s.catalog.AddBackend(name, c)
 	if replaced != nil {
@@ -147,7 +283,58 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 		// swap bumps the generation, which is part of every cache key.)
 		s.dropCached(replaced)
 	}
-	writeJSON(w, http.StatusCreated, statusOf(name, c))
+	return statusOf(name, c), nil
+}
+
+// handleDatasetCreate ingests the XML body as a new (or replacement)
+// corpus-backed dataset, optionally split into ?shards=N shards.  Default:
+// async — spool, enqueue, 202 + {"job": ...}.  ?sync=1: ingest on the
+// request goroutine, 201 + {"status": ...}.
+func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := validSegment("dataset", name); err != nil {
+		badQuery(w, r, err)
+		return
+	}
+	parts, err := shardCount(r)
+	if err != nil {
+		badQuery(w, r, err)
+		return
+	}
+	if syncRequested(r) {
+		lt := s.syncBody(w, r)
+		st, err := s.createDataset(name, lt, parts)
+		if err != nil {
+			writeIngestError(w, r, ingestErr(lt, err))
+			return
+		}
+		writeStatus(w, http.StatusCreated, "/api/v1/datasets/"+name, st)
+		return
+	}
+	sp, err := s.spoolBody(w, r)
+	if err != nil {
+		writeIngestError(w, r, err)
+		return
+	}
+	s.enqueue(w, r, ingest.Request{
+		Kind:    "dataset",
+		Dataset: name,
+		Key:     fmt.Sprintf("dataset:%s:%s:%d", name, sp.hash, parts),
+		Bytes:   sp.size,
+		Run: func(ctx context.Context) (ingest.Result, error) {
+			f, err := os.Open(sp.path)
+			if err != nil {
+				return ingest.Result{}, err
+			}
+			defer f.Close()
+			st, err := s.createDataset(name, f, parts)
+			if err != nil {
+				return ingest.Result{}, err
+			}
+			return ingest.Result{Shards: st.Shards, Seq: st.Seq}, nil
+		},
+		Cleanup: sp.cleanup,
+	})
 }
 
 // handleDatasetDelete drops a dataset (engine- or corpus-backed) from the
@@ -160,11 +347,11 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	defer s.adminMu.Unlock()
 	b, err := s.catalog.GetBackend(name)
 	if err != nil || name == "" {
-		notFound(w, fmt.Errorf("no dataset %q in catalog", name))
+		notFound(w, r, fmt.Errorf("no dataset %q in catalog", name))
 		return
 	}
 	if err := s.catalog.Remove(name); err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	s.dropCached(b)
@@ -177,38 +364,89 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 			os.RemoveAll(dir)
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "removed": true, "default": s.catalog.DefaultName(),
+	writeStatus(w, http.StatusOK, "", datasetStatus{
+		Dataset: name, Removed: true, Default: s.catalog.DefaultName(),
 	})
 }
 
+// addShard ingests body as one shard (or a ?shards=N split group) of an
+// existing corpus-backed dataset.  delta selects the async landing: a delta
+// shard published without touching the base set, left for compaction.
+func (s *Server) addShard(name, shard string, body io.Reader, parts int, delta bool) (datasetStatus, error) {
+	c, err := s.corpusFor(name)
+	if err != nil {
+		return datasetStatus{}, err
+	}
+	if delta {
+		err = c.AddDeltaSplitReader(shard, body, parts)
+	} else {
+		err = c.AddSplitReader(shard, body, parts)
+	}
+	if err != nil {
+		return datasetStatus{}, fmt.Errorf("ingesting shard %q: %w", shard, err)
+	}
+	return statusOf(name, c), nil
+}
+
 // handleShardAdd ingests the XML body as one shard (or, with ?shards=N, a
-// split group) of an existing corpus-backed dataset.
+// split group) of an existing corpus-backed dataset.  Default: async — the
+// shard lands as a delta shard and the response is 202 + {"job": ...};
+// crossing the compaction threshold schedules a background compaction.
+// ?sync=1: ingest on the request goroutine as a base shard, 201 +
+// {"status": ...}.
 func (s *Server) handleShardAdd(w http.ResponseWriter, r *http.Request) {
 	name, shard := r.PathValue("name"), r.PathValue("shard")
 	// Shard names never touch the filesystem (shard files are named by
 	// sequence), but the same strict shape keeps them addressable in the
 	// delete/reindex routes and unambiguous in the "name/NNN" group scheme.
 	if err := validSegment("shard", shard); err != nil {
-		badQuery(w, err)
+		badQuery(w, r, err)
 		return
 	}
-	c, err := s.corpusFor(name)
-	if err != nil {
-		notFound(w, err)
+	if _, err := s.corpusFor(name); err != nil {
+		notFound(w, r, err)
 		return
 	}
 	parts, err := shardCount(r)
 	if err != nil {
-		badQuery(w, err)
+		badQuery(w, r, err)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, maxIngestSize)
-	if err := c.AddSplitReader(shard, body, parts); err != nil {
-		badQuery(w, fmt.Errorf("ingesting shard %q: %w", shard, err))
+	if syncRequested(r) {
+		lt := s.syncBody(w, r)
+		st, err := s.addShard(name, shard, lt, parts, false)
+		if err != nil {
+			writeIngestError(w, r, ingestErr(lt, err))
+			return
+		}
+		writeStatus(w, http.StatusCreated, "/api/v1/datasets/"+name+"/shards/"+shard, st)
 		return
 	}
-	writeJSON(w, http.StatusCreated, statusOf(name, c))
+	sp, err := s.spoolBody(w, r)
+	if err != nil {
+		writeIngestError(w, r, err)
+		return
+	}
+	s.enqueue(w, r, ingest.Request{
+		Kind:    "shard",
+		Dataset: name,
+		Key:     fmt.Sprintf("shard:%s/%s:%s:%d", name, shard, sp.hash, parts),
+		Bytes:   sp.size,
+		Run: func(ctx context.Context) (ingest.Result, error) {
+			f, err := os.Open(sp.path)
+			if err != nil {
+				return ingest.Result{}, err
+			}
+			defer f.Close()
+			st, err := s.addShard(name, shard, f, parts, true)
+			if err != nil {
+				return ingest.Result{}, err
+			}
+			s.maybeCompact(name)
+			return ingest.Result{Shards: st.Shards, Seq: st.Seq}, nil
+		},
+		Cleanup: sp.cleanup,
+	})
 }
 
 // handleShardDelete drops one shard (or a whole split group) from a
@@ -217,14 +455,14 @@ func (s *Server) handleShardDelete(w http.ResponseWriter, r *http.Request) {
 	name, shard := r.PathValue("name"), r.PathValue("shard")
 	c, err := s.corpusFor(name)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	if err := c.Remove(shard); err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, statusOf(name, c))
+	writeStatus(w, http.StatusOK, "", statusOf(name, c))
 }
 
 // shardHealthStatus is the payload of the shard-health admin routes.
@@ -243,12 +481,12 @@ func (s *Server) handleShardHealth(w http.ResponseWriter, r *http.Request) {
 	name, shard := r.PathValue("name"), r.PathValue("shard")
 	c, err := s.corpusFor(name)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	h, err := c.ShardHealthOf(shard)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, shardHealthStatus{Dataset: name, Shard: shard, Health: h})
@@ -263,16 +501,16 @@ func (s *Server) handleShardHealthReset(w http.ResponseWriter, r *http.Request) 
 	name, shard := r.PathValue("name"), r.PathValue("shard")
 	c, err := s.corpusFor(name)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	if err := c.ResetShardHealth(shard); err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	h, err := c.ShardHealthOf(shard)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, shardHealthStatus{Dataset: name, Shard: shard, Health: h, Reset: true})
@@ -284,12 +522,12 @@ func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	c, err := s.corpusFor(name)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	if err := c.Reindex(r.URL.Query().Get("shard")); err != nil {
-		httpmw.WriteError(w, http.StatusNotFound, httpmw.CodeNotFound, err.Error())
+		httpmw.WriteErrorCtx(r.Context(), w, http.StatusNotFound, httpmw.CodeNotFound, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, statusOf(name, c))
+	writeStatus(w, http.StatusOK, "", statusOf(name, c))
 }

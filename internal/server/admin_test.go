@@ -63,16 +63,13 @@ func do(t *testing.T, method, url, body string, out any) int {
 func TestAdminDatasetLifecycle(t *testing.T) {
 	ts, _ := adminServer(t, Config{})
 
-	// Create a corpus dataset split into 2 shards.
-	var created struct {
-		Dataset    string   `json:"dataset"`
-		Shards     int      `json:"shards"`
-		ShardNames []string `json:"shardNames"`
-	}
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, &created); code != http.StatusCreated {
+	// Create a corpus dataset split into 2 shards (sync escape hatch: the
+	// async default answers 202 + a job; see jobs_test.go).
+	var created statusEnvelope
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML, &created); code != http.StatusCreated {
 		t.Fatalf("create: status %d", code)
 	}
-	if created.Dataset != "lib" || created.Shards != 2 {
+	if created.Status.Dataset != "lib" || created.Status.Shards != 2 {
 		t.Fatalf("create response: %+v", created)
 	}
 
@@ -109,33 +106,29 @@ func TestAdminDatasetLifecycle(t *testing.T) {
 	}
 
 	// Add a third shard, then drop it.
-	var st struct {
-		Shards int `json:"shards"`
-	}
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib/shards/extra", "<dblp><article><title>Delta</title></article></dblp>", &st); code != http.StatusCreated {
+	var st statusEnvelope
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib/shards/extra?sync=1", "<dblp><article><title>Delta</title></article></dblp>", &st); code != http.StatusCreated {
 		t.Fatalf("shard add: status %d", code)
 	}
-	if st.Shards != 3 {
-		t.Fatalf("after shard add: %d shards", st.Shards)
+	if st.Status.Shards != 3 {
+		t.Fatalf("after shard add: %d shards", st.Status.Shards)
 	}
 	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/lib/shards/extra", "", &st); code != http.StatusOK {
 		t.Fatalf("shard delete: status %d", code)
 	}
-	if st.Shards != 2 {
-		t.Fatalf("after shard delete: %d shards", st.Shards)
+	if st.Status.Shards != 2 {
+		t.Fatalf("after shard delete: %d shards", st.Status.Shards)
 	}
 	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/lib/shards/extra", "", nil); code != http.StatusNotFound {
 		t.Fatalf("double shard delete: status %d", code)
 	}
 
 	// Reindex republishes.
-	var ri struct {
-		Seq uint64 `json:"seq"`
-	}
+	var ri statusEnvelope
 	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib/reindex", "", &ri); code != http.StatusOK {
 		t.Fatalf("reindex: status %d", code)
 	}
-	if ri.Seq == 0 {
+	if ri.Status.Seq == 0 {
 		t.Fatal("reindex did not bump the snapshot seq")
 	}
 
@@ -178,7 +171,7 @@ func TestAdminBadInputs(t *testing.T) {
 	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=0", tinyXML, nil); code != http.StatusBadRequest {
 		t.Fatalf("shards=0: status %d", code)
 	}
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib", "<not-xml", nil); code != http.StatusBadRequest {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?sync=1", "<not-xml", nil); code != http.StatusBadRequest {
 		t.Fatalf("bad xml: status %d", code)
 	}
 	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/missing", "", nil); code != http.StatusNotFound {
@@ -190,7 +183,7 @@ func TestAdminBadInputs(t *testing.T) {
 // shard with ?shard=.
 func TestCorpusNodeAndGuideNeedShard(t *testing.T) {
 	ts, _ := adminServer(t, Config{})
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML, nil); code != http.StatusCreated {
 		t.Fatal("create failed")
 	}
 	var env errEnvelope
@@ -200,15 +193,13 @@ func TestCorpusNodeAndGuideNeedShard(t *testing.T) {
 	if !strings.Contains(env.Error.Message, "shard") {
 		t.Fatalf("error message: %q", env.Error.Message)
 	}
-	var created struct {
-		ShardNames []string `json:"shardNames"`
-	}
+	var created statusEnvelope
 	// Re-create to learn shard names (idempotent replace).
-	do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, &created)
+	do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML, &created)
 	var guide struct {
 		Tag string `json:"tag"`
 	}
-	url := fmt.Sprintf("%s/api/v1/guide?dataset=lib&shard=%s", ts.URL, created.ShardNames[0])
+	url := fmt.Sprintf("%s/api/v1/guide?dataset=lib&shard=%s", ts.URL, created.Status.Names[0])
 	if code := getJSON(t, url, &guide); code != http.StatusOK || guide.Tag != "dblp" {
 		t.Fatalf("guide with shard: %+v", guide)
 	}
@@ -220,7 +211,7 @@ func TestCorpusNodeAndGuideNeedShard(t *testing.T) {
 func TestMetricsExposeCorpora(t *testing.T) {
 	reg := metrics.New()
 	ts, _ := adminServer(t, Config{Metrics: reg})
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML, nil); code != http.StatusCreated {
 		t.Fatal("create failed")
 	}
 	if code := postJSON(t, ts.URL+"/api/v1/query?dataset=lib", `{"query":"//article/title","k":10}`, &struct{}{}); code != http.StatusOK {
@@ -298,21 +289,18 @@ func TestAdminRejectsTraversalNames(t *testing.T) {
 func TestAdminRecreateReplacesDataset(t *testing.T) {
 	dir := t.TempDir()
 	ts, _ := adminServer(t, Config{CorpusDir: dir})
-	var first, second struct {
-		Shards int    `json:"shards"`
-		Seq    uint64 `json:"seq"`
-	}
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, &first); code != http.StatusCreated {
+	var first, second statusEnvelope
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML, &first); code != http.StatusCreated {
 		t.Fatalf("create: status %d", code)
 	}
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib", tinyXML, &second); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?sync=1", tinyXML, &second); code != http.StatusCreated {
 		t.Fatalf("re-create: status %d", code)
 	}
-	if second.Shards != 1 {
-		t.Fatalf("re-create left %d shards, want 1", second.Shards)
+	if second.Status.Shards != 1 {
+		t.Fatalf("re-create left %d shards, want 1", second.Status.Shards)
 	}
-	if second.Seq != first.Seq+1 {
-		t.Fatalf("re-create seq %d after %d — a fresh corpus raced the directory", second.Seq, first.Seq)
+	if second.Status.Seq != first.Status.Seq+1 {
+		t.Fatalf("re-create seq %d after %d — a fresh corpus raced the directory", second.Status.Seq, first.Status.Seq)
 	}
 	var qr struct {
 		Answers []struct{} `json:"answers"`
@@ -328,8 +316,8 @@ func TestAdminRecreateReplacesDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if re.Snapshot().Len() != 1 || re.Seq() != second.Seq {
-		t.Fatalf("reopened: %d shards seq %d, want 1 shard seq %d", re.Snapshot().Len(), re.Seq(), second.Seq)
+	if re.Snapshot().Len() != 1 || re.Seq() != second.Status.Seq {
+		t.Fatalf("reopened: %d shards seq %d, want 1 shard seq %d", re.Snapshot().Len(), re.Seq(), second.Status.Seq)
 	}
 }
 
@@ -343,7 +331,7 @@ func TestAdminConcurrentCreates(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			req, err := http.NewRequest("POST", ts.URL+"/api/v1/datasets/lib?shards=2", strings.NewReader(tinyXML))
+			req, err := http.NewRequest("POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", strings.NewReader(tinyXML))
 			if err != nil {
 				t.Error(err)
 				return
@@ -374,7 +362,7 @@ func TestAdminConcurrentCreates(t *testing.T) {
 func TestAdminDeletePurgesPersistedDir(t *testing.T) {
 	dir := t.TempDir()
 	ts, _ := adminServer(t, Config{CorpusDir: dir})
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML, nil); code != http.StatusCreated {
 		t.Fatal("create failed")
 	}
 	sub := filepath.Join(dir, "lib")
@@ -398,7 +386,7 @@ func TestAdminDeletePurgesPersistedDir(t *testing.T) {
 func TestAdminPersistedCorpus(t *testing.T) {
 	dir := t.TempDir()
 	ts, _ := adminServer(t, Config{CorpusDir: dir})
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML, nil); code != http.StatusCreated {
 		t.Fatal("create failed")
 	}
 	re, err := corpus.Open(dir+"/lib", corpus.Config{})

@@ -40,7 +40,7 @@ func cacheCounters(t *testing.T, reg *metrics.Registry, name string) (hits, miss
 // content, never the cached old answer.
 func TestCacheWarmHitAndReingestInvalidation(t *testing.T) {
 	ts, reg := adminServer(t, Config{})
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML, nil); code != http.StatusCreated {
 		t.Fatalf("create: status %d", code)
 	}
 
@@ -67,7 +67,7 @@ func TestCacheWarmHitAndReingestInvalidation(t *testing.T) {
 	}
 
 	// Replace the dataset content through the same corpus (generation bump).
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML2, nil); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML2, nil); code != http.StatusCreated {
 		t.Fatalf("re-ingest: status %d", code)
 	}
 	after := query()
@@ -81,7 +81,7 @@ func TestCacheWarmHitAndReingestInvalidation(t *testing.T) {
 // old backend, whose generation counter the new one restarts) must be gone.
 func TestCacheDropOnDeleteAndRecreate(t *testing.T) {
 	ts, _ := adminServer(t, Config{})
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib", tinyXML, nil); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?sync=1", tinyXML, nil); code != http.StatusCreated {
 		t.Fatal("create failed")
 	}
 	var qr queryAnswers
@@ -93,7 +93,7 @@ func TestCacheDropOnDeleteAndRecreate(t *testing.T) {
 	if code := do(t, "DELETE", ts.URL+"/api/v1/datasets/lib", "", nil); code != http.StatusOK {
 		t.Fatal("delete failed")
 	}
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib", tinyXML2, nil); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?sync=1", tinyXML2, nil); code != http.StatusCreated {
 		t.Fatal("recreate failed")
 	}
 	var after queryAnswers
@@ -192,7 +192,7 @@ func TestPrometheusExposesCacheFamilies(t *testing.T) {
 // the total always matches the answers served for page 0).
 func TestCacheConcurrentQueriesAndMutations(t *testing.T) {
 	ts, _ := adminServer(t, Config{})
-	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", tinyXML, nil); code != http.StatusCreated {
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", tinyXML, nil); code != http.StatusCreated {
 		t.Fatal("create failed")
 	}
 	stop := make(chan struct{})
@@ -207,7 +207,7 @@ func TestCacheConcurrentQueriesAndMutations(t *testing.T) {
 				return
 			default:
 			}
-			do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2", bodies[i%2], nil)
+			do(t, "POST", ts.URL+"/api/v1/datasets/lib?shards=2&sync=1", bodies[i%2], nil)
 		}
 	}()
 	var readers sync.WaitGroup

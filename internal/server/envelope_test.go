@@ -1,0 +1,138 @@
+package server
+
+import (
+	"net/http"
+
+	"lotusx/internal/metrics"
+	"strings"
+	"testing"
+)
+
+// TestAdminErrorEnvelopes is the satellite contract check: every admin-route
+// failure mode answers the uniform v1 envelope — {"error": {code, message,
+// requestId}} — with the code matching the status class.
+func TestAdminErrorEnvelopes(t *testing.T) {
+	const smallXML = "<dblp><article><title>A</title></article></dblp>"
+	ts, _ := adminServer(t, Config{MaxIngestBytes: 64})
+
+	if code := do(t, "POST", ts.URL+"/api/v1/datasets/seeded?sync=1", smallXML, nil); code != http.StatusCreated {
+		t.Fatalf("seed dataset: status %d", code)
+	}
+
+	big := strings.Repeat("x", 65)
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     string
+		status   int
+		code     string
+		allow    bool // a 405 must carry the Allow header
+		contains string
+	}{
+		{name: "create bad name", method: "POST", path: "/api/v1/datasets/.hidden?sync=1", body: smallXML,
+			status: http.StatusBadRequest, code: "bad_query", contains: "dataset name"},
+		{name: "create bad shards", method: "POST", path: "/api/v1/datasets/x?shards=0&sync=1", body: smallXML,
+			status: http.StatusBadRequest, code: "bad_query"},
+		{name: "create bad xml sync", method: "POST", path: "/api/v1/datasets/x?sync=1", body: "<not-xml",
+			status: http.StatusBadRequest, code: "bad_query"},
+		{name: "shard add bad name", method: "POST", path: "/api/v1/datasets/seeded/shards/..%2Fevil", body: "<a/>",
+			status: http.StatusBadRequest, code: "bad_query"},
+
+		{name: "delete missing dataset", method: "DELETE", path: "/api/v1/datasets/missing",
+			status: http.StatusNotFound, code: "not_found"},
+		{name: "reindex missing dataset", method: "POST", path: "/api/v1/datasets/missing/reindex",
+			status: http.StatusNotFound, code: "not_found"},
+		{name: "compact missing dataset", method: "POST", path: "/api/v1/datasets/missing/compact",
+			status: http.StatusNotFound, code: "not_found"},
+		{name: "shard delete missing", method: "DELETE", path: "/api/v1/datasets/seeded/shards/nope",
+			status: http.StatusNotFound, code: "not_found"},
+		{name: "unknown job", method: "GET", path: "/api/v1/jobs/j424242",
+			status: http.StatusNotFound, code: "not_found"},
+
+		{name: "jobs wrong method", method: "DELETE", path: "/api/v1/jobs",
+			status: http.StatusMethodNotAllowed, code: "method_not_allowed", allow: true},
+		{name: "dataset wrong method", method: "PATCH", path: "/api/v1/datasets/seeded",
+			status: http.StatusMethodNotAllowed, code: "method_not_allowed", allow: true},
+		{name: "compact wrong method", method: "GET", path: "/api/v1/datasets/seeded/compact",
+			status: http.StatusMethodNotAllowed, code: "method_not_allowed", allow: true},
+		{name: "query wrong method", method: "DELETE", path: "/api/v1/query",
+			status: http.StatusMethodNotAllowed, code: "method_not_allowed", allow: true},
+
+		{name: "create too large sync", method: "POST", path: "/api/v1/datasets/x?sync=1", body: big,
+			status: http.StatusRequestEntityTooLarge, code: "too_large"},
+		{name: "create too large async", method: "POST", path: "/api/v1/datasets/x", body: big,
+			status: http.StatusRequestEntityTooLarge, code: "too_large"},
+		{name: "shard add too large", method: "POST", path: "/api/v1/datasets/seeded/shards/x?sync=1", body: big,
+			status: http.StatusRequestEntityTooLarge, code: "too_large"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var env errEnvelope
+			res, code := doFull(t, tc.method, ts.URL+tc.path, tc.body, &env)
+			if code != tc.status {
+				t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, code, tc.status)
+			}
+			if env.Error.Code != tc.code {
+				t.Errorf("code %q, want %q", env.Error.Code, tc.code)
+			}
+			if env.Error.Message == "" {
+				t.Error("empty error message")
+			}
+			if env.Error.RequestID == "" {
+				t.Error("missing requestId in error envelope")
+			}
+			if tc.contains != "" && !strings.Contains(env.Error.Message, tc.contains) {
+				t.Errorf("message %q does not mention %q", env.Error.Message, tc.contains)
+			}
+			if tc.allow {
+				if allow := res.Header.Get("Allow"); allow == "" {
+					t.Error("405 without Allow header")
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyAliasHeaders: the un-versioned aliases answer identically but
+// carry the RFC 8594 deprecation trio, and flipping DisableLegacyRoutes
+// turns them into 410 Gone envelopes.
+func TestLegacyAliasHeaders(t *testing.T) {
+	reg := metrics.New()
+	ts, _ := adminServer(t, Config{Metrics: reg})
+
+	res, code := doFull(t, "GET", ts.URL+"/api/stats", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("legacy stats: status %d", code)
+	}
+	if res.Header.Get("Sunset") != sunsetDate {
+		t.Fatalf("Sunset header %q", res.Header.Get("Sunset"))
+	}
+	if res.Header.Get("Deprecation") == "" {
+		t.Fatal("legacy alias without Deprecation header")
+	}
+	if link := res.Header.Get("Link"); !strings.Contains(link, "/api/v1/stats") {
+		t.Fatalf("Link header %q does not point at the v1 route", link)
+	}
+	// The v1 twin carries none of them.
+	res, code = doFull(t, "GET", ts.URL+"/api/v1/stats", "", nil)
+	if code != http.StatusOK || res.Header.Get("Sunset") != "" || res.Header.Get("Deprecation") != "" {
+		t.Fatalf("v1 route leaked deprecation headers (status %d)", code)
+	}
+	if n := reg.LegacyHits(); n != 1 {
+		t.Fatalf("lotusx_http_legacy_requests_total = %d, want 1", n)
+	}
+
+	off, _ := adminServer(t, Config{DisableLegacyRoutes: true})
+	var env errEnvelope
+	res, code = doFull(t, "GET", off.URL+"/api/stats", "", &env)
+	if code != http.StatusGone || env.Error.Code != "gone" {
+		t.Fatalf("disabled legacy route: status %d code %q, want 410 gone", code, env.Error.Code)
+	}
+	if res.Header.Get("Sunset") != sunsetDate {
+		t.Fatal("410 legacy answer dropped the Sunset header")
+	}
+	if code := getJSON(t, off.URL+"/api/v1/stats", &struct{}{}); code != http.StatusOK {
+		t.Fatalf("v1 route broken with legacy disabled: %d", code)
+	}
+}

@@ -25,7 +25,7 @@ type guideNode struct {
 func (s *Server) handleGuide(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFor(r)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	nvals := 0

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lotusx/internal/ingest"
+)
+
+// The jobs API exposes the async ingestion pipeline (internal/ingest):
+//
+//	GET /api/v1/jobs          every retained job, newest first
+//	GET /api/v1/jobs/{id}     one job's status — poll until "done"/"failed"
+//
+// Admin writes that enqueue work answer 202 Accepted with {"job": {...}}
+// and a Location header pointing at the job's poll URL; the job object is
+// the same shape everywhere.  See docs/API.md for the lifecycle.
+
+// jobEnvelope wraps one job — the body of the 202 responses and of
+// GET /api/v1/jobs/{id}.
+type jobEnvelope struct {
+	Job ingest.Job `json:"job"`
+}
+
+// jobsEnvelope wraps the job listing.
+type jobsEnvelope struct {
+	Jobs []ingest.Job `json:"jobs"`
+}
+
+// jobLocation is the poll URL of a job.
+func jobLocation(id string) string { return "/api/v1/jobs/" + id }
+
+// enqueue submits req to the ingest queue and answers for it: 202 +
+// {"job": ...} + Location normally (whether the job is fresh or the
+// submission coalesced onto a live identical one), 503 when the queue is
+// full or shutting down.  With ?sync=1 handled upstream, this is only
+// reached on the async path.
+func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, req ingest.Request) {
+	job, _, err := s.queue.Enqueue(req)
+	if err != nil {
+		if errors.Is(err, ingest.ErrQueueFull) || errors.Is(err, ingest.ErrClosed) {
+			overloaded(w, r, err)
+		} else {
+			internalError(w, r, err)
+		}
+		return
+	}
+	w.Header().Set("Location", jobLocation(job.ID))
+	writeJSON(w, http.StatusAccepted, jobEnvelope{Job: job})
+}
+
+// handleJobs lists every retained job, newest enqueue first.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.queue.List()
+	if jobs == nil {
+		jobs = []ingest.Job{}
+	}
+	writeJSON(w, http.StatusOK, jobsEnvelope{Jobs: jobs})
+}
+
+// handleJob reports one job's status.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.queue.Get(id)
+	if err != nil {
+		notFound(w, r, fmt.Errorf("no job %q (terminal jobs age out of retention)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobEnvelope{Job: job})
+}
+
+// maybeCompact schedules a background compaction of name when its delta
+// backlog has crossed the threshold.  Called from a finished delta-shard
+// job; the per-dataset dedup key means at most one compaction is ever
+// queued or running per dataset, and a full queue just defers the work to
+// the next ingest.
+func (s *Server) maybeCompact(name string) {
+	if s.compactThreshold <= 0 || s.queue == nil {
+		return
+	}
+	c, err := s.corpusFor(name)
+	if err != nil || c.DeltaShards() < s.compactThreshold {
+		return
+	}
+	s.enqueueCompact(name)
+}
+
+// enqueueCompact submits the compaction job for name.
+func (s *Server) enqueueCompact(name string) (ingest.Job, error) {
+	job, _, err := s.queue.Enqueue(ingest.Request{
+		Kind:    "compact",
+		Dataset: name,
+		Key:     "compact:" + name,
+		Run: func(ctx context.Context) (ingest.Result, error) {
+			return s.runCompaction(ctx, name)
+		},
+	})
+	return job, err
+}
+
+// runCompaction folds name's delta shards into base shards, recording the
+// round in the ingest metrics.
+func (s *Server) runCompaction(ctx context.Context, name string) (ingest.Result, error) {
+	c, err := s.corpusFor(name)
+	if err != nil {
+		return ingest.Result{}, err
+	}
+	im := s.reg.Ingest()
+	res, err := c.CompactDeltas(ctx, 0)
+	if err != nil {
+		im.CompactionFailures.Add(1)
+		return ingest.Result{}, err
+	}
+	if res == nil { // no deltas: nothing to do is not an error
+		im.CompactionNoops.Add(1)
+		return ingest.Result{}, nil
+	}
+	im.Compactions.Add(1)
+	im.CompactedShards.Add(int64(res.Merged))
+	im.CompactionRun.Observe(res.Elapsed)
+	return ingest.Result{Shards: len(res.Into), Seq: res.Seq}, nil
+}
+
+// handleCompact explicitly folds a dataset's delta shards into base shards.
+// Default: async — 202 + {"job": ...}.  ?sync=1: enqueue and wait for the
+// job, answering 200 with its terminal state.
+//
+//	POST /api/v1/datasets/{name}/compact
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, err := s.corpusFor(name); err != nil {
+		notFound(w, r, err)
+		return
+	}
+	job, err := s.enqueueCompact(name)
+	if err != nil {
+		if errors.Is(err, ingest.ErrQueueFull) || errors.Is(err, ingest.ErrClosed) {
+			overloaded(w, r, err)
+		} else {
+			internalError(w, r, err)
+		}
+		return
+	}
+	if syncRequested(r) {
+		final, err := s.queue.Wait(r.Context(), job.ID)
+		if err != nil {
+			writeCtxError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobEnvelope{Job: final})
+		return
+	}
+	w.Header().Set("Location", jobLocation(job.ID))
+	writeJSON(w, http.StatusAccepted, jobEnvelope{Job: job})
+}

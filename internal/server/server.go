@@ -18,6 +18,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,7 +29,9 @@ import (
 	"lotusx/internal/core"
 	"lotusx/internal/corpus"
 	"lotusx/internal/doc"
+	"lotusx/internal/faults"
 	"lotusx/internal/httpmw"
+	"lotusx/internal/ingest"
 	"lotusx/internal/join"
 	"lotusx/internal/metrics"
 	"lotusx/internal/obs"
@@ -86,7 +89,32 @@ type Config struct {
 	// completions 1/4).  0 means 64 MiB; negative disables both caches
 	// regardless of the Disable* flags.
 	CacheBytes int64
+	// IngestWorkers sizes the async-ingest worker pool (admin only; 0 means
+	// the ingest package default of 2).
+	IngestWorkers int
+	// IngestQueue bounds the queued-but-not-running ingest backlog; enqueues
+	// beyond it answer 503 (0 means the default of 32).
+	IngestQueue int
+	// CompactThreshold is the delta-shard count at which a finished async
+	// ingest schedules a background compaction of its dataset.  0 means the
+	// default (4); negative disables automatic compaction (the explicit
+	// POST .../compact route still works).
+	CompactThreshold int
+	// MaxIngestBytes bounds admin ingest bodies; larger uploads answer 413
+	// (0 means the default of 256 MiB).
+	MaxIngestBytes int64
+	// DisableLegacyRoutes turns the deprecated un-versioned /api/... aliases
+	// into 410 Gone answers (they still carry the Sunset header), the
+	// rollout lever for retiring the legacy surface.
+	DisableLegacyRoutes bool
+	// Faults, when non-nil, arms deterministic fault-injection sites in the
+	// ingest pipeline and in admin-created corpora (tests and fault drills).
+	Faults *faults.Registry
 }
+
+// defaultCompactThreshold is the delta-shard backlog that triggers an
+// automatic background compaction after an async ingest completes.
+const defaultCompactThreshold = 4
 
 // Server handles the LotusX HTTP API.  It serves one or more datasets from
 // a core.Catalog; requests select one with ?dataset=, defaulting to the
@@ -102,6 +130,17 @@ type Server struct {
 	corpusTuning corpus.Tuning
 	slowQuery    time.Duration
 	logger       *slog.Logger
+	faults       *faults.Registry
+
+	// queue is the async ingestion pipeline (nil unless EnableAdmin): admin
+	// writes enqueue jobs here and answer 202; see internal/ingest.
+	queue            *ingest.Queue
+	compactThreshold int
+	maxIngest        int64
+
+	// routes is the mounted route table — the single source of truth for the
+	// HTTP surface, kept for the API contract dump (see contract.go).
+	routes []route
 	// adminMu serializes the admin routes that create or delete whole
 	// datasets: concurrent creates of the same name must not race each
 	// other (or a delete) over the dataset's persistence directory.
@@ -146,6 +185,13 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 	if cacheBytes == 0 {
 		cacheBytes = 64 << 20
 	}
+	compactThreshold := cfg.CompactThreshold
+	switch {
+	case compactThreshold == 0:
+		compactThreshold = defaultCompactThreshold
+	case compactThreshold < 0:
+		compactThreshold = 0 // disabled
+	}
 	s := &Server{
 		catalog:      catalog,
 		mux:          http.NewServeMux(),
@@ -154,59 +200,33 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 		corpusTuning: cfg.Corpus,
 		slowQuery:    cfg.SlowQuery,
 		logger:       logger,
+		faults:       cfg.Faults,
 		caches: cache.NewSet(cache.Config{
 			Results:     !cfg.DisableResultCache,
 			Completions: !cfg.DisableCompletionCache,
 			MaxBytes:    cacheBytes,
 			Metrics:     reg,
 		}),
-		cached: make(map[core.Backend]core.Backend),
+		cached:           make(map[core.Backend]core.Backend),
+		compactThreshold: compactThreshold,
+		maxIngest:        cfg.MaxIngestBytes,
 	}
-
-	// The v1 surface.  Each route is instrumented under its endpoint name;
-	// the legacy un-versioned alias answers identically (same handler, same
-	// metrics) plus Deprecation headers.
-	routes := []struct {
-		method, path, name string
-		h                  http.HandlerFunc
-		legacy             bool // also mount under /api/ with Deprecation
-	}{
-		{"GET", "/api/v1/stats", "stats", s.handleStats, true},
-		{"GET", "/api/v1/datasets", "datasets", s.handleDatasets, true},
-		{"GET", "/api/v1/complete", "complete", s.handleComplete, true},
-		{"GET", "/api/v1/explain", "explain", s.handleExplain, true},
-		{"POST", "/api/v1/query", "query", s.handleQuery, true},
-		{"GET", "/api/v1/node/{id}", "node", s.handleNode, true},
-		{"GET", "/api/v1/guide", "guide", s.handleGuide, true},
-		{"GET", "/api/v1/metrics", "metrics", s.handleMetrics, false},
-		// The conventional Prometheus scrape path, outside the API prefix.
-		{"GET", "/metrics", "prometheus", s.handlePrometheus, false},
+	if s.maxIngest <= 0 {
+		s.maxIngest = maxIngestSize
 	}
 	if cfg.EnableAdmin {
-		routes = append(routes, []struct {
-			method, path, name string
-			h                  http.HandlerFunc
-			legacy             bool
-		}{
-			{"POST", "/api/v1/datasets/{name}", "admin", s.handleDatasetCreate, false},
-			{"DELETE", "/api/v1/datasets/{name}", "admin", s.handleDatasetDelete, false},
-			{"POST", "/api/v1/datasets/{name}/shards/{shard}", "admin", s.handleShardAdd, false},
-			{"DELETE", "/api/v1/datasets/{name}/shards/{shard}", "admin", s.handleShardDelete, false},
-			{"GET", "/api/v1/datasets/{name}/shards/{shard}/health", "admin", s.handleShardHealth, false},
-			{"POST", "/api/v1/datasets/{name}/shards/{shard}/health", "admin", s.handleShardHealthReset, false},
-			{"POST", "/api/v1/datasets/{name}/reindex", "admin", s.handleReindex, false},
-		}...)
+		s.queue = ingest.New(ingest.Config{
+			Workers:  cfg.IngestWorkers,
+			Capacity: cfg.IngestQueue,
+			Metrics:  reg.Ingest(),
+			Stages:   reg,
+			Faults:   cfg.Faults,
+			Logger:   logger,
+		})
 	}
-	for _, rt := range routes {
-		h := httpmw.Chain(rt.h, httpmw.Instrument(reg.Endpoint(rt.name)))
-		s.mux.Handle(rt.method+" "+rt.path, h)
-		if rt.legacy {
-			s.mux.Handle(rt.method+" "+strings.Replace(rt.path, "/api/v1/", "/api/", 1),
-				deprecated(rt.path, h))
-		}
-	}
-	s.mux.Handle("GET /", httpmw.Chain(http.HandlerFunc(s.handleIndex),
-		httpmw.Instrument(reg.Endpoint("page"))))
+
+	s.routes = routeTable(s)
+	s.mount(cfg)
 
 	s.handler = httpmw.Chain(s.mux,
 		httpmw.RequestID(),
@@ -219,22 +239,177 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 				// record them here so the endpoint's counters stay honest.
 				reg.Endpoint(endpointName(r.URL.Path)).Record(http.StatusTooManyRequests, 0)
 			},
-			// Observability must survive overload: metrics always answers.
-			Exempt: func(r *http.Request) bool { return metricsPath(r.URL.Path) },
+			// Shed-exempt routes (marked in the route table) bypass the
+			// limiter: observability must survive overload, and job polls
+			// must answer while the ingest that created them loads the box.
+			Exempt: shedExemptMatcher(s.routes),
 		}),
 		httpmw.Deadline(cfg.QueryTimeout),
 	)
 	return s
 }
 
-// deprecated wraps a legacy alias: RFC 8594-style headers pointing at the
-// v1 successor, then the normal handler.
-func deprecated(successor string, h http.Handler) http.Handler {
+// route is one row of the server's route table — the single source of truth
+// for the HTTP surface.  Everything derives from it: the mux registrations,
+// the legacy aliases, the per-path 405 fallbacks with their Allow headers,
+// the load-shedding exemptions, and the API contract dump (contract.go).
+type route struct {
+	method string // HTTP method
+	path   string // Go 1.22 ServeMux pattern
+	name   string // metrics endpoint name
+	h      http.HandlerFunc
+	admin  bool // mounted only with Config.EnableAdmin
+	legacy bool // also aliased under un-versioned /api/ with Deprecation+Sunset
+	exempt bool // bypasses the load limiter
+}
+
+// routeTable declares every route the server can serve.
+func routeTable(s *Server) []route {
+	return []route{
+		// The read surface, aliased under the legacy un-versioned prefix.
+		{method: "GET", path: "/api/v1/stats", name: "stats", h: s.handleStats, legacy: true},
+		{method: "GET", path: "/api/v1/datasets", name: "datasets", h: s.handleDatasets, legacy: true},
+		{method: "GET", path: "/api/v1/complete", name: "complete", h: s.handleComplete, legacy: true},
+		{method: "GET", path: "/api/v1/explain", name: "explain", h: s.handleExplain, legacy: true},
+		{method: "POST", path: "/api/v1/query", name: "query", h: s.handleQuery, legacy: true},
+		{method: "GET", path: "/api/v1/node/{id}", name: "node", h: s.handleNode, legacy: true},
+		{method: "GET", path: "/api/v1/guide", name: "guide", h: s.handleGuide, legacy: true},
+		// Observability; exempt from load shedding.
+		{method: "GET", path: "/api/v1/metrics", name: "metrics", h: s.handleMetrics, exempt: true},
+		{method: "GET", path: "/metrics", name: "prometheus", h: s.handlePrometheus, exempt: true},
+		// The async-ingestion jobs API; polls stay exempt so clients can watch
+		// a job while the ingest it describes loads the server.
+		{method: "GET", path: "/api/v1/jobs", name: "jobs", h: s.handleJobs, admin: true, exempt: true},
+		{method: "GET", path: "/api/v1/jobs/{id}", name: "jobs", h: s.handleJob, admin: true, exempt: true},
+		// The admin write surface.
+		{method: "POST", path: "/api/v1/datasets/{name}", name: "admin", h: s.handleDatasetCreate, admin: true},
+		{method: "DELETE", path: "/api/v1/datasets/{name}", name: "admin", h: s.handleDatasetDelete, admin: true},
+		{method: "POST", path: "/api/v1/datasets/{name}/shards/{shard}", name: "admin", h: s.handleShardAdd, admin: true},
+		{method: "DELETE", path: "/api/v1/datasets/{name}/shards/{shard}", name: "admin", h: s.handleShardDelete, admin: true},
+		{method: "GET", path: "/api/v1/datasets/{name}/shards/{shard}/health", name: "admin", h: s.handleShardHealth, admin: true},
+		{method: "POST", path: "/api/v1/datasets/{name}/shards/{shard}/health", name: "admin", h: s.handleShardHealthReset, admin: true},
+		{method: "POST", path: "/api/v1/datasets/{name}/reindex", name: "admin", h: s.handleReindex, admin: true},
+		{method: "POST", path: "/api/v1/datasets/{name}/compact", name: "admin", h: s.handleCompact, admin: true},
+	}
+}
+
+// sunsetDate is the RFC 8594 Sunset value advertised on every legacy alias:
+// the date after which the un-versioned /api/... surface may be removed.
+const sunsetDate = "Wed, 01 Sep 2027 00:00:00 GMT"
+
+// fallbackMethods is the method set considered when generating per-path 405
+// fallbacks; HEAD is omitted for paths that serve GET (the mux routes HEAD
+// through GET patterns).
+var fallbackMethods = []string{"GET", "HEAD", "POST", "PUT", "DELETE", "PATCH", "OPTIONS"}
+
+// mount derives the full mux from the route table: instrumented method
+// registrations, legacy aliases, and 405+Allow fallbacks for every known
+// path under each unregistered method.
+func (s *Server) mount(cfg Config) {
+	// methodsByPath collects, per mounted path, the methods it serves — the
+	// source of both the Allow headers and the fallback registrations.
+	methodsByPath := make(map[string][]string)
+	for _, rt := range s.routes {
+		if rt.admin && !cfg.EnableAdmin {
+			continue
+		}
+		h := httpmw.Chain(rt.h, httpmw.Instrument(s.reg.Endpoint(rt.name)))
+		s.mux.Handle(rt.method+" "+rt.path, h)
+		methodsByPath[rt.path] = append(methodsByPath[rt.path], rt.method)
+		if rt.legacy {
+			alias := legacyAlias(rt.path)
+			s.mux.Handle(rt.method+" "+alias, s.deprecated(rt.path, cfg.DisableLegacyRoutes, h))
+			methodsByPath[alias] = append(methodsByPath[alias], rt.method)
+		}
+	}
+	for path, methods := range methodsByPath {
+		sort.Strings(methods)
+		allow := strings.Join(methods, ", ")
+		serves := make(map[string]bool, len(methods))
+		for _, m := range methods {
+			serves[m] = true
+		}
+		for _, m := range fallbackMethods {
+			if serves[m] || (m == "HEAD" && serves["GET"]) {
+				continue
+			}
+			s.mux.Handle(m+" "+path, methodNotAllowed(allow))
+		}
+	}
+	s.mux.Handle("GET /", httpmw.Chain(http.HandlerFunc(s.handleIndex),
+		httpmw.Instrument(s.reg.Endpoint("page"))))
+}
+
+// legacyAlias maps a v1 path to its deprecated un-versioned twin.
+func legacyAlias(path string) string {
+	return strings.Replace(path, "/api/v1/", "/api/", 1)
+}
+
+// methodNotAllowed answers 405 with the Allow header and the v1 envelope —
+// a known path, an unsupported method.
+func methodNotAllowed(allow string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		httpmw.WriteErrorCtx(r.Context(), w, http.StatusMethodNotAllowed,
+			httpmw.CodeMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed here; allowed: %s", r.Method, allow))
+	})
+}
+
+// deprecated wraps a legacy alias: RFC 8594 Deprecation/Sunset headers
+// pointing at the v1 successor, a hit counter, then the normal handler — or
+// 410 Gone when the legacy surface has been turned off.
+func (s *Server) deprecated(successor string, disabled bool, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reg.LegacyHit()
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", sunsetDate)
 		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		if disabled {
+			httpmw.WriteErrorCtx(r.Context(), w, http.StatusGone, httpmw.CodeGone,
+				"legacy route disabled: use "+successor)
+			return
+		}
 		h.ServeHTTP(w, r)
 	})
+}
+
+// shedExemptMatcher compiles the route table's exempt marks into the load
+// limiter's bypass predicate.  Wildcard segments match any path with the
+// pattern's literal prefix (the table's exempt patterns put wildcards last).
+func shedExemptMatcher(routes []route) func(*http.Request) bool {
+	exact := make(map[string]bool)
+	var prefixes []string
+	for _, rt := range routes {
+		if !rt.exempt {
+			continue
+		}
+		if i := strings.IndexByte(rt.path, '{'); i >= 0 {
+			prefixes = append(prefixes, rt.path[:i])
+		} else {
+			exact[rt.path] = true
+		}
+	}
+	return func(r *http.Request) bool {
+		p := r.URL.Path
+		if exact[p] {
+			return true
+		}
+		for _, pre := range prefixes {
+			if strings.HasPrefix(p, pre) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Close stops the async-ingestion pipeline (waiting for running jobs'
+// contexts to unwind).  The HTTP handler itself is stateless.
+func (s *Server) Close() {
+	if s.queue != nil {
+		s.queue.Close()
+	}
 }
 
 // endpointName maps a request path to its metrics endpoint name.
@@ -330,26 +505,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // Error envelope helpers — every failure path answers with the uniform
-// {"error": {"code", "message"}} body (see internal/httpmw).
+// {"error": {"code", "message", "requestId"}} body (see internal/httpmw).
+// All take the request so the envelope carries its ID.
 
-func badQuery(w http.ResponseWriter, err error) {
-	httpmw.WriteError(w, http.StatusBadRequest, httpmw.CodeBadQuery, err.Error())
+func badQuery(w http.ResponseWriter, r *http.Request, err error) {
+	httpmw.WriteErrorCtx(r.Context(), w, http.StatusBadRequest, httpmw.CodeBadQuery, err.Error())
 }
 
-func notFound(w http.ResponseWriter, err error) {
-	httpmw.WriteError(w, http.StatusNotFound, httpmw.CodeNotFound, err.Error())
+func notFound(w http.ResponseWriter, r *http.Request, err error) {
+	httpmw.WriteErrorCtx(r.Context(), w, http.StatusNotFound, httpmw.CodeNotFound, err.Error())
 }
 
-func internalError(w http.ResponseWriter, err error) {
-	httpmw.WriteError(w, http.StatusInternalServerError, httpmw.CodeInternal, err.Error())
+func internalError(w http.ResponseWriter, r *http.Request, err error) {
+	httpmw.WriteErrorCtx(r.Context(), w, http.StatusInternalServerError, httpmw.CodeInternal, err.Error())
+}
+
+// tooLarge answers 413 for an ingest body that outgrew the request bound.
+func tooLarge(w http.ResponseWriter, r *http.Request, err error) {
+	httpmw.WriteErrorCtx(r.Context(), w, http.StatusRequestEntityTooLarge, httpmw.CodeTooLarge, err.Error())
+}
+
+// overloaded answers 503 for writes the ingest queue cannot absorb.
+func overloaded(w http.ResponseWriter, r *http.Request, err error) {
+	w.Header().Set("Retry-After", "1")
+	httpmw.WriteErrorCtx(r.Context(), w, http.StatusServiceUnavailable, httpmw.CodeOverloaded, err.Error())
 }
 
 // writeCtxError answers a request whose context died mid-evaluation: 504
 // with the timeout envelope.  (A client disconnect surfaces as
 // context.Canceled; the response goes nowhere, but the status keeps logs
 // and metrics honest.)
-func writeCtxError(w http.ResponseWriter, err error) {
-	httpmw.WriteError(w, http.StatusGatewayTimeout, httpmw.CodeTimeout,
+func writeCtxError(w http.ResponseWriter, r *http.Request, err error) {
+	httpmw.WriteErrorCtx(r.Context(), w, http.StatusGatewayTimeout, httpmw.CodeTimeout,
 		"query deadline exceeded: "+err.Error())
 }
 
@@ -361,7 +548,7 @@ func isCtxError(err error) bool {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	b, err := s.backendFor(r)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	// Single-engine datasets keep the original Stats payload shape; corpora
@@ -392,7 +579,7 @@ type completeResponse struct {
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	b, err := s.cachedBackendFor(r)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	qv := r.URL.Query()
@@ -402,7 +589,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if kv := qv.Get("k"); kv != "" {
 		n, err := strconv.Atoi(kv)
 		if err != nil || n < 1 || n > maxK {
-			badQuery(w, fmt.Errorf("bad k %q: want 1..%d", kv, maxK))
+			badQuery(w, r, fmt.Errorf("bad k %q: want 1..%d", kv, maxK))
 			return
 		}
 		k = n
@@ -420,7 +607,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		parsed, err := parseTraced(r, path)
 		if err != nil {
 			s.finishTrace(r, tr, nil)
-			badQuery(w, fmt.Errorf("bad path: %w", err))
+			badQuery(w, r, fmt.Errorf("bad path: %w", err))
 			return
 		}
 		q = parsed
@@ -434,22 +621,22 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	case "value":
 		if focus == complete.NewRoot {
 			s.finishTrace(r, tr, q)
-			badQuery(w, fmt.Errorf("value completion needs a path"))
+			badQuery(w, r, fmt.Errorf("value completion needs a path"))
 			return
 		}
 		cands, err = b.CompleteValues(r.Context(), q, focus, prefix, k)
 	default:
 		s.finishTrace(r, tr, q)
-		badQuery(w, fmt.Errorf("unknown kind %q", kind))
+		badQuery(w, r, fmt.Errorf("unknown kind %q", kind))
 		return
 	}
 	httpmw.Annotate(r.Context(), "candidates", len(cands))
 	trace := s.finishTrace(r, tr, q)
 	if err != nil {
 		if isCtxError(err) {
-			writeCtxError(w, err)
+			writeCtxError(w, r, err)
 		} else {
-			internalError(w, err)
+			internalError(w, r, err)
 		}
 		return
 	}
@@ -463,13 +650,13 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	b, err := s.backendFor(r)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	qv := r.URL.Query()
 	tag := qv.Get("tag")
 	if tag == "" {
-		badQuery(w, fmt.Errorf("tag is required"))
+		badQuery(w, r, fmt.Errorf("tag is required"))
 		return
 	}
 	axis := twig.Child
@@ -480,7 +667,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if m := qv.Get("max"); m != "" {
 		n, err := strconv.Atoi(m)
 		if err != nil || n < 0 || n > 100 {
-			badQuery(w, fmt.Errorf("bad max %q: want 0..100", m))
+			badQuery(w, r, fmt.Errorf("bad max %q: want 0..100", m))
 			return
 		}
 		max = n
@@ -491,7 +678,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if path != "" {
 		parsed, err := twig.Parse(path)
 		if err != nil {
-			badQuery(w, fmt.Errorf("bad path: %w", err))
+			badQuery(w, r, fmt.Errorf("bad path: %w", err))
 			return
 		}
 		q = parsed
@@ -500,9 +687,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	occs, err := b.ExplainTags(r.Context(), q, focus, axis, tag, max)
 	if err != nil {
 		if isCtxError(err) {
-			writeCtxError(w, err)
+			writeCtxError(w, r, err)
 		} else {
-			internalError(w, err)
+			internalError(w, r, err)
 		}
 		return
 	}
@@ -587,31 +774,31 @@ func algorithmNames() string {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	b, err := s.cachedBackendFor(r)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	var req queryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodySize)).Decode(&req); err != nil {
-		badQuery(w, fmt.Errorf("bad body: %w", err))
+		badQuery(w, r, fmt.Errorf("bad body: %w", err))
 		return
 	}
 	if req.K < 0 || req.K > maxK {
-		badQuery(w, fmt.Errorf("bad k %d: want 0..%d", req.K, maxK))
+		badQuery(w, r, fmt.Errorf("bad k %d: want 0..%d", req.K, maxK))
 		return
 	}
 	if req.Offset < 0 || req.Offset > maxOffset {
-		badQuery(w, fmt.Errorf("bad offset %d: want 0..%d", req.Offset, maxOffset))
+		badQuery(w, r, fmt.Errorf("bad offset %d: want 0..%d", req.Offset, maxOffset))
 		return
 	}
 	if !validAlgorithm(req.Algorithm) {
-		badQuery(w, fmt.Errorf("unknown algorithm %q: want one of %s", req.Algorithm, algorithmNames()))
+		badQuery(w, r, fmt.Errorf("unknown algorithm %q: want one of %s", req.Algorithm, algorithmNames()))
 		return
 	}
 	tr, r := s.startTrace(r, "query")
 	q, err := parseTraced(r, req.Query)
 	if err != nil {
 		s.finishTrace(r, tr, nil)
-		badQuery(w, err)
+		badQuery(w, r, err)
 		return
 	}
 	opts := core.SearchOptions{K: req.K, Offset: req.Offset, Rewrite: req.Rewrite, SnippetMax: 400}
@@ -622,9 +809,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.finishTrace(r, tr, q)
 		if isCtxError(err) {
-			writeCtxError(w, err)
+			writeCtxError(w, r, err)
 		} else {
-			badQuery(w, err)
+			badQuery(w, r, err)
 		}
 		return
 	}
@@ -674,12 +861,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFor(r)
 	if err != nil {
-		notFound(w, err)
+		notFound(w, r, err)
 		return
 	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil || id < 0 || id >= engine.Document().Len() {
-		notFound(w, fmt.Errorf("no node %q", r.PathValue("id")))
+		notFound(w, r, fmt.Errorf("no node %q", r.PathValue("id")))
 		return
 	}
 	d := engine.Document()

@@ -26,8 +26,9 @@ const bibXML = `<dblp>
 // errEnvelope mirrors the uniform v1 error body.
 type errEnvelope struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		RequestID string `json:"requestId"`
 	} `json:"error"`
 }
 
