@@ -6,7 +6,7 @@ GO ?= go
 
 RACE_PKGS := ./internal/server/... ./internal/core/... ./internal/corpus/... \
 	./internal/obs/... ./internal/metrics/... ./internal/cache/... \
-	./internal/join/... ./internal/ingest/...
+	./internal/join/... ./internal/ingest/... ./internal/remote/...
 
 .PHONY: check build vet test race api-check bench profile clean
 

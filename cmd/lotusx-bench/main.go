@@ -51,6 +51,7 @@ func main() {
 		"E14": runner.E14FaultTolerance,
 		"E15": runner.E15CacheWarmPath,
 		"E16": runner.E16AsyncIngest,
+		"E17": runner.E17RemoteRouter,
 		"A1":  runner.A1Pushdown,
 		"A2":  runner.A2Minimization,
 		"A3":  runner.A3PenaltyModel,

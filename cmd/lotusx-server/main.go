@@ -6,6 +6,14 @@
 //	lotusx-server -dataset dblp -query-timeout 2s -max-inflight 64
 //	lotusx-server -in dblp.xml -shards 4       # sharded corpus with fan-out
 //	lotusx-server -admin -corpus-dir ./data    # live ingestion, persisted
+//
+// Beyond the default serve mode, -mode selects the distributed roles (see
+// docs/CLUSTER.md):
+//
+//	lotusx-server -mode=shard -dataset xmark -slice 0/2 -addr :9001
+//	lotusx-server -mode=shard -dataset xmark -slice 1/2 -addr :9002
+//	lotusx-server -mode=router \
+//	    -shard-servers "http://h1:9001,http://h2:9001;http://h1:9002,http://h2:9002"
 package main
 
 import (
@@ -15,6 +23,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"lotusx/internal/core"
@@ -23,6 +33,7 @@ import (
 	"lotusx/internal/doc"
 	"lotusx/internal/metrics"
 	"lotusx/internal/obs"
+	"lotusx/internal/remote"
 	"lotusx/internal/server"
 )
 
@@ -72,6 +83,20 @@ func main() {
 		"largest accepted ingest body; 0 means the default (256 MiB)")
 	legacyRoutes := flag.String("legacy-routes", "on",
 		"serve unversioned /api/... aliases: on (with Sunset headers) or off (410 Gone)")
+	mode := flag.String("mode", "serve",
+		"role: \"serve\" (standalone), \"shard\" (serve one document slice to a router), \"router\" (fan out over -shard-servers)")
+	slice := flag.String("slice", "0/1",
+		"with -mode=shard: serve slice i of n (\"i/n\") of the input document")
+	shardServers := flag.String("shard-servers", "",
+		"with -mode=router: replica groups of shard base URLs — \",\" separates replicas of one shard, \";\" separates shards")
+	replication := flag.Int("replication", 1,
+		"with -mode=router and a flat (no \";\") -shard-servers list: group every R consecutive URLs into one shard's replica set")
+	remoteDataset := flag.String("remote-dataset", "",
+		"with -mode=router: dataset requested of shard servers (\"{shard}\" expands to the shard index; empty uses each server's default)")
+	hedgeDelay := flag.Duration("hedge-delay", 0,
+		"with -mode=router: delay before a search hedges to a second replica; 0 adapts to observed p95, negative disables hedging")
+	clusterName := flag.String("cluster-name", "cluster",
+		"with -mode=router: the router-side dataset name for the remote corpus")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -115,6 +140,26 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	switch *mode {
+	case "serve":
+	case "shard":
+		runShard(cfg, shardArgs{
+			in: *in, indexFile: *indexFile, kind: *kind, scale: *scale, seed: *seed,
+			slice: *slice, addr: *addr, debugAddr: *debugAddr, admin: *admin,
+		})
+		return
+	case "router":
+		runRouter(cfg, reg, tuning, routerArgs{
+			shardServers: *shardServers, replication: *replication,
+			remoteDataset: *remoteDataset, hedgeDelay: *hedgeDelay,
+			clusterName: *clusterName, addr: *addr, debugAddr: *debugAddr,
+			admin: *admin,
+		})
+		return
+	default:
+		fatal(fmt.Errorf("bad -mode %q: want serve, shard or router", *mode))
 	}
 
 	// The plain path: one engine-backed dataset, no catalog features needed.
@@ -282,6 +327,200 @@ func buildEngine(in, indexFile, kind string, scale int, seed int64) (*core.Engin
 	default:
 		return nil, fmt.Errorf("one of -in, -index or -dataset is required")
 	}
+}
+
+// ------------------------------------------------------------- shard mode
+
+type shardArgs struct {
+	in, indexFile, kind string
+	scale               int
+	seed                int64
+	slice               string
+	addr, debugAddr     string
+	admin               bool
+}
+
+// runShard serves one slice of the input document as a slim single-engine
+// server — the worker a router fans out to.  The slice split is the same
+// deterministic record partition corpus.FromDocument uses, so N shard
+// servers over -slice i/N collectively cover exactly the corpus a local
+// -shards N deployment would.
+func runShard(cfg server.Config, a shardArgs) {
+	if a.admin {
+		fatal(fmt.Errorf("-mode=shard is a slim serving role: the admin API is unsupported (mutate via re-deploy)"))
+	}
+	idx, parts, err := parseSlice(a.slice)
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := buildEngine(a.in, a.indexFile, a.kind, a.scale, a.seed)
+	if err != nil {
+		fatal(err)
+	}
+	if parts > 1 {
+		docs, err := corpus.SplitDocument(engine.Document(), parts)
+		if err != nil {
+			fatal(err)
+		}
+		if idx >= len(docs) {
+			fatal(fmt.Errorf("slice %d/%d: document only splits into %d part(s)", idx, parts, len(docs)))
+		}
+		engine = core.FromDocument(docs[idx])
+	}
+	st := engine.Stats()
+	srv := server.NewConfig(engine, cfg)
+	startDebug(a.debugAddr, srv)
+	fmt.Printf("serving shard %d/%d of %s (%d nodes, %d tags) on %s%s\n",
+		idx, parts, st.Document, st.Nodes, st.Tags, a.addr, servingNote(cfg))
+	if err := http.ListenAndServe(a.addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+// parseSlice parses "i/n" with 0 <= i < n.
+func parseSlice(s string) (idx, parts int, err error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if ok {
+		idx, err = strconv.Atoi(strings.TrimSpace(is))
+		if err == nil {
+			parts, err = strconv.Atoi(strings.TrimSpace(ns))
+		}
+	}
+	if !ok || err != nil || parts < 1 || idx < 0 || idx >= parts {
+		return 0, 0, fmt.Errorf("bad -slice %q: want \"i/n\" with 0 <= i < n", s)
+	}
+	return idx, parts, nil
+}
+
+// ------------------------------------------------------------ router mode
+
+type routerArgs struct {
+	shardServers    string
+	replication     int
+	remoteDataset   string
+	hedgeDelay      time.Duration
+	clusterName     string
+	addr, debugAddr string
+	admin           bool
+}
+
+// runRouter serves a remote corpus: one logical shard per replica group of
+// -shard-servers, fanned out with the same degrade/failfast policy, shard
+// budgets and circuit breakers a local corpus gets, plus R-way replica
+// racing (hedging + failover) inside each shard.
+func runRouter(cfg server.Config, reg *metrics.Registry, tuning corpus.Tuning, a routerArgs) {
+	if a.admin {
+		fatal(fmt.Errorf("-mode=router serves a read-only remote corpus: the admin API is unsupported (mutate the shard servers)"))
+	}
+	groups, err := parseShardServers(a.shardServers, a.replication)
+	if err != nil {
+		fatal(err)
+	}
+	// The hot-path caches key on the corpus snapshot generation, which a
+	// remote corpus freezes at 1 — it cannot see shard-server re-ingests.
+	// Default them off in router mode; an explicit -cache-* flag wins (a
+	// static cluster is a legitimate reason to turn them back on).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !explicit["cache-results"] {
+		cfg.DisableResultCache = true
+	}
+	if !explicit["cache-completions"] {
+		cfg.DisableCompletionCache = true
+	}
+
+	met := reg.Remote(a.clusterName)
+	shards := make([]*remote.Shard, len(groups))
+	backends := make([]corpus.ShardBackend, len(groups))
+	replicas := 0
+	for i, g := range groups {
+		name := fmt.Sprintf("%s-%02d", a.clusterName, i)
+		clients := make([]*remote.Client, len(g))
+		for j, u := range g {
+			clients[j], err = remote.NewClient(remote.ClientConfig{
+				BaseURL: u,
+				Dataset: strings.ReplaceAll(a.remoteDataset, "{shard}", strconv.Itoa(i)),
+				Metrics: met,
+			})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		replicas += len(g)
+		shards[i], err = remote.NewShard(name, clients, remote.ShardOptions{
+			HedgeDelay: a.hedgeDelay,
+			Metrics:    met,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		backends[i] = shards[i]
+	}
+	c, err := corpus.NewRemote(a.clusterName, backends, corpus.Config{
+		Metrics: reg.Corpus(a.clusterName),
+		Tuning:  tuning,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	catalog := core.NewCatalog()
+	catalog.AddBackend(a.clusterName, c)
+	cfg.ClusterStatus = func() any {
+		sts := make([]remote.ShardStatus, len(shards))
+		for i, sh := range shards {
+			sts[i] = sh.Status()
+		}
+		return map[string]any{"dataset": a.clusterName, "shards": sts}
+	}
+	srv := server.NewCatalogConfig(catalog, cfg)
+	startDebug(a.debugAddr, srv)
+	fmt.Printf("routing %s over %d shard(s), %d replica endpoint(s) on %s%s\n",
+		a.clusterName, len(groups), replicas, a.addr, servingNote(cfg))
+	if err := http.ListenAndServe(a.addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+// parseShardServers splits the -shard-servers value into replica groups:
+// ";" separates logical shards and "," separates replicas within one.  A
+// flat list (no ";") with -replication R > 1 instead groups every R
+// consecutive URLs into one shard.
+func parseShardServers(s string, replication int) ([][]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-mode=router requires -shard-servers")
+	}
+	if replication < 1 {
+		return nil, fmt.Errorf("bad -replication %d: want >= 1", replication)
+	}
+	split := func(s, sep string) []string {
+		var out []string
+		for _, p := range strings.Split(s, sep) {
+			if p = strings.TrimSpace(p); p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	var groups [][]string
+	if strings.Contains(s, ";") {
+		for _, g := range split(s, ";") {
+			if rs := split(g, ","); len(rs) > 0 {
+				groups = append(groups, rs)
+			}
+		}
+	} else {
+		flat := split(s, ",")
+		if len(flat)%replication != 0 {
+			return nil, fmt.Errorf("-shard-servers lists %d URL(s), not a multiple of -replication %d", len(flat), replication)
+		}
+		for i := 0; i < len(flat); i += replication {
+			groups = append(groups, flat[i:i+replication])
+		}
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("-shard-servers %q names no servers", s)
+	}
+	return groups, nil
 }
 
 func fatal(err error) {

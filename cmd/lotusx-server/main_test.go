@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -72,5 +73,90 @@ func TestBuildEngineErrors(t *testing.T) {
 	}
 	if _, err := buildEngine("", "", "bogus", 1, 1); err == nil {
 		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestParseSlice(t *testing.T) {
+	t.Parallel()
+	good := []struct {
+		in         string
+		idx, parts int
+	}{
+		{"0/1", 0, 1},
+		{"0/4", 0, 4},
+		{"3/4", 3, 4},
+		{" 1 / 2 ", 1, 2},
+	}
+	for _, tc := range good {
+		idx, parts, err := parseSlice(tc.in)
+		if err != nil || idx != tc.idx || parts != tc.parts {
+			t.Errorf("parseSlice(%q) = (%d, %d, %v), want (%d, %d, nil)",
+				tc.in, idx, parts, err, tc.idx, tc.parts)
+		}
+	}
+	for _, in := range []string{"", "1", "2/2", "4/2", "-1/2", "0/0", "a/b", "1/2/3"} {
+		if _, _, err := parseSlice(in); err == nil {
+			t.Errorf("parseSlice(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestParseShardServers(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name        string
+		in          string
+		replication int
+		want        [][]string
+	}{
+		{
+			"flat-r1", "http://a:1,http://b:1", 1,
+			[][]string{{"http://a:1"}, {"http://b:1"}},
+		},
+		{
+			"flat-r2", "http://a:1,http://a:2,http://b:1,http://b:2", 2,
+			[][]string{{"http://a:1", "http://a:2"}, {"http://b:1", "http://b:2"}},
+		},
+		{
+			"grouped", "http://a:1,http://a:2;http://b:1", 1,
+			[][]string{{"http://a:1", "http://a:2"}, {"http://b:1"}},
+		},
+		{
+			"grouped-whitespace", " http://a:1 , http://a:2 ; http://b:1 ", 2,
+			[][]string{{"http://a:1", "http://a:2"}, {"http://b:1"}},
+		},
+		{
+			"single", "http://a:1", 1,
+			[][]string{{"http://a:1"}},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := parseShardServers(tc.in, tc.replication)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+
+	bad := []struct {
+		in          string
+		replication int
+	}{
+		{"", 1},
+		{"   ", 2},
+		{"http://a:1,http://b:1,http://c:1", 2}, // 3 URLs not divisible by R=2
+		{"http://a:1", 0},                       // replication < 1
+		{";;", 1},                               // groups name no servers
+	}
+	for _, tc := range bad {
+		if _, err := parseShardServers(tc.in, tc.replication); err == nil {
+			t.Errorf("parseShardServers(%q, %d) accepted, want error", tc.in, tc.replication)
+		}
 	}
 }

@@ -144,6 +144,7 @@ func (r *Runner) RunAll() error {
 		r.E14FaultTolerance,
 		r.E15CacheWarmPath,
 		r.E16AsyncIngest,
+		r.E17RemoteRouter,
 		r.A1Pushdown,
 		r.A2Minimization,
 		r.A3PenaltyModel,

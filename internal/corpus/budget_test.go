@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestShardBudget pins the per-attempt budget derivation: a negative
+// configured timeout disables budgets, a request deadline derives a cap
+// (4/5 of the remainder, bounded by remainder minus the network
+// allowance), and a configured positive timeout is clamped by that
+// derivation so a per-hop timeout can never promise more time than the
+// caller has left.
+func TestShardBudget(t *testing.T) {
+	t.Parallel()
+	const tol = 15 * time.Millisecond
+	cases := []struct {
+		name     string
+		timeout  time.Duration // tuning.ShardTimeout
+		deadline time.Duration // request deadline from now; 0 = none
+		want     time.Duration // 0 = unbounded
+	}{
+		{"no-timeout-no-deadline", 0, 0, 0},
+		{"fixed-timeout-no-deadline", 500 * time.Millisecond, 0, 500 * time.Millisecond},
+		{"disabled", -1, 200 * time.Millisecond, 0},
+		// 100ms remaining: 4/5 = 80ms beats 100-20 = 80ms; both 80ms.
+		{"derived-from-deadline", 0, 100 * time.Millisecond, 80 * time.Millisecond},
+		// Configured 50ms is tighter than the 80ms derivation: keep it.
+		{"timeout-tighter-than-deadline", 50 * time.Millisecond, 100 * time.Millisecond, 50 * time.Millisecond},
+		// Configured 10s is looser than what the caller has left: clamp.
+		{"deadline-clamps-timeout", 10 * time.Second, 100 * time.Millisecond, 80 * time.Millisecond},
+		// 30ms remaining: allowance bound (30-20 = 10ms) beats 4/5 (24ms).
+		{"allowance-dominates-short-deadline", 0, 30 * time.Millisecond, 10 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			c := &Corpus{tuning: Tuning{ShardTimeout: tc.timeout}}
+			ctx := context.Background()
+			if tc.deadline > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, tc.deadline)
+				defer cancel()
+			}
+			got := c.shardBudget(ctx)
+			if tc.want == 0 {
+				if got != 0 {
+					t.Fatalf("shardBudget = %v, want unbounded", got)
+				}
+				return
+			}
+			if got > tc.want || tc.want-got > tol {
+				t.Fatalf("shardBudget = %v, want ~%v (tolerance %v)", got, tc.want, tol)
+			}
+		})
+	}
+}
+
+// TestShardBudgetExpiredDeadline: an already-expired deadline derives no
+// budget — the attempt's context is dead anyway and fails immediately.
+func TestShardBudgetExpiredDeadline(t *testing.T) {
+	t.Parallel()
+	c := &Corpus{tuning: Tuning{ShardTimeout: 0}}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if got := c.shardBudget(ctx); got != 0 {
+		t.Fatalf("shardBudget past deadline = %v, want 0", got)
+	}
+}

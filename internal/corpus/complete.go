@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"lotusx/internal/complete"
@@ -21,24 +22,16 @@ import (
 
 // CompleteTags implements core.Backend.
 func (c *Corpus) CompleteTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, prefix string, k int) ([]complete.Candidate, error) {
-	return c.mergeCandidates(ctx, k, func(e shardEngine, sq *twig.Query, askK int) ([]complete.Candidate, error) {
-		return e.CompleteTags(ctx, sq, anchor, axis, prefix, askK)
+	return c.mergeCandidates(ctx, k, func(be ShardBackend, sq *twig.Query, askK int) ([]complete.Candidate, error) {
+		return be.CompleteTags(ctx, sq, anchor, axis, prefix, askK)
 	}, q)
 }
 
 // CompleteValues implements core.Backend.
 func (c *Corpus) CompleteValues(ctx context.Context, q *twig.Query, focus int, prefix string, k int) ([]complete.Candidate, error) {
-	return c.mergeCandidates(ctx, k, func(e shardEngine, sq *twig.Query, askK int) ([]complete.Candidate, error) {
-		return e.CompleteValues(ctx, sq, focus, prefix, askK)
+	return c.mergeCandidates(ctx, k, func(be ShardBackend, sq *twig.Query, askK int) ([]complete.Candidate, error) {
+		return be.CompleteValues(ctx, sq, focus, prefix, askK)
 	}, q)
-}
-
-// shardEngine is the slice of core.Engine completion needs (it keeps the
-// merge helpers testable against fakes if ever needed).
-type shardEngine interface {
-	CompleteTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, prefix string, k int) ([]complete.Candidate, error)
-	CompleteValues(ctx context.Context, q *twig.Query, focus int, prefix string, k int) ([]complete.Candidate, error)
-	ExplainTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, tag string, max int) ([]complete.Occurrence, error)
 }
 
 // mergeAskKCap bounds the widened per-shard ask so a large k over a wide
@@ -60,10 +53,67 @@ func mergeAskK(k, shards int) int {
 	return askK
 }
 
-// mergeCandidates runs ask on every shard of the pinned snapshot
-// (sequentially — completion is sub-millisecond per shard) and merges by
-// (Text, Kind) with summed counts.
-func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(shardEngine, *twig.Query, int) ([]complete.Candidate, error), q *twig.Query) ([]complete.Candidate, error) {
+// forEachShard applies ask to every shard of the pinned snapshot under the
+// same breaker discipline as the search fan-out: a quarantined shard is
+// skipped (under failfast the request fails with its QuarantineError), a
+// failed ask advances the shard's breaker and the merge degrades to the
+// survivors, and when no shard answered the request fails — preferring the
+// quarantine error when breakers caused it — never an empty success.  A
+// context casualty with the caller's context dead is no verdict on a shard.
+func (c *Corpus) forEachShard(ctx context.Context, snap *Snapshot, ask func(sh *shard) error) error {
+	failfast := c.tuning.Policy == PolicyFailFast
+	var (
+		answered int
+		lastErr  error
+		quarErr  error
+	)
+	for _, sh := range snap.shards {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		name := sh.name
+		if !c.health.allow(name) {
+			qe := &QuarantineError{Shard: name, RetryAfter: c.health.retryIn(name)}
+			if failfast {
+				return qe
+			}
+			if quarErr == nil {
+				quarErr = qe
+			}
+			continue
+		}
+		if err := ask(sh); err != nil {
+			if isCtxErr(err) && ctx.Err() != nil {
+				c.health.release(name)
+				return err
+			}
+			c.health.failure(name, err)
+			wrapped := fmt.Errorf("corpus: shard %s: %w", name, err)
+			if failfast {
+				return wrapped
+			}
+			lastErr = wrapped
+			continue
+		}
+		c.health.success(name)
+		answered++
+	}
+	if answered == 0 && len(snap.shards) > 0 {
+		switch {
+		case lastErr != nil:
+			return fmt.Errorf("corpus: all %d shard(s) of %s failed: %w", len(snap.shards), c.name, lastErr)
+		case quarErr != nil:
+			return quarErr
+		}
+	}
+	return nil
+}
+
+// mergeCandidates runs ask on every shard backend of the pinned snapshot
+// (sequentially — completion is sub-millisecond per local shard, and remote
+// backends answer their own k-widened ask in one round trip each) and merges
+// by (Text, Kind) with summed counts.
+func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(ShardBackend, *twig.Query, int) ([]complete.Candidate, error), q *twig.Query) ([]complete.Candidate, error) {
 	snap := c.Snapshot()
 	sp, ctx := obs.Start(ctx, "complete:merge")
 	sp.SetInt("shards", len(snap.shards))
@@ -74,17 +124,14 @@ func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(shardEngin
 		kind complete.Kind
 	}
 	acc := make(map[key]*complete.Candidate)
-	for _, sh := range snap.shards {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	err := c.forEachShard(ctx, snap, func(sh *shard) error {
 		sq := q
 		if sq != nil {
 			sq = sq.Clone() // per-shard clone: Normalize mutates the tree
 		}
-		cands, err := ask(sh.engine, sq, askK)
+		cands, err := ask(sh.be(), sq, askK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, cand := range cands {
 			kk := key{cand.Text, cand.Kind}
@@ -97,6 +144,10 @@ func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(shardEngin
 				acc[kk] = &cc
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	exactSeen := false
@@ -130,21 +181,22 @@ func (c *Corpus) mergeCandidates(ctx context.Context, k int, ask func(shardEngin
 func (c *Corpus) ExplainTags(ctx context.Context, q *twig.Query, anchor int, axis twig.Axis, tag string, max int) ([]complete.Occurrence, error) {
 	snap := c.Snapshot()
 	acc := make(map[string]int)
-	for _, sh := range snap.shards {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	err := c.forEachShard(ctx, snap, func(sh *shard) error {
 		sq := q
 		if sq != nil {
 			sq = sq.Clone()
 		}
-		occs, err := sh.engine.ExplainTags(ctx, sq, anchor, axis, tag, 0)
+		occs, err := sh.be().ExplainTags(ctx, sq, anchor, axis, tag, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, o := range occs {
 			acc[o.Path] += o.Count
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := make([]complete.Occurrence, 0, len(acc))
 	for p, n := range acc {

@@ -35,10 +35,16 @@ import (
 	"lotusx/internal/metrics"
 )
 
-// shard is one immutable storage unit: a parsed document with its engine.
+// shard is one immutable storage unit: a parsed document with its engine,
+// or — for remote corpora — a ShardBackend speaking to a shard server.
 type shard struct {
 	name   string
-	engine *core.Engine
+	engine *core.Engine // nil for remote shards
+	// backend, when non-nil, overrides the in-process evaluation: the
+	// fan-out calls it instead of engine (see backend.go and
+	// internal/remote).  Local shards leave it nil and evaluate through the
+	// zero-allocation localShard view.
+	backend ShardBackend
 	// file is the persisted full-index file (base name), "" while unsaved.
 	file string
 	// delta marks a shard produced by async ingest that the background
@@ -176,6 +182,10 @@ type Corpus struct {
 	// loadQuarantined names manifest shards Open quarantined at startup
 	// (written once before the corpus is shared; read-only after).
 	loadQuarantined []string
+	// remote marks a corpus whose shards live behind ShardBackends on other
+	// processes (NewRemote): the shard set is fixed at construction and
+	// mutators refuse — the data belongs to the shard servers.
+	remote bool
 
 	// mu serializes mutations (Add/Remove/Reindex and their persistence);
 	// the query path never takes it.
@@ -289,6 +299,44 @@ func FromDocument(name string, d *doc.Document, parts int, cfg Config) (*Corpus,
 	}
 	return c, nil
 }
+
+// NewRemote builds a read-only corpus whose shards are the given backends —
+// typically internal/remote.Shard clients over shard servers.  The whole
+// fan-out stack (policy, budgets, retries, breakers, partial envelopes,
+// merge) applies to them exactly as to local shards; only mutation and
+// persistence are refused, since the data belongs to the shard servers.
+func NewRemote(name string, backends []ShardBackend, cfg Config) (*Corpus, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("corpus: remote corpus %s needs at least one shard backend", name)
+	}
+	if cfg.Dir != "" {
+		return nil, fmt.Errorf("corpus: remote corpus %s cannot persist (Dir must be empty)", name)
+	}
+	c := New(name, cfg)
+	c.remote = true
+	shards := make([]*shard, len(backends))
+	seen := make(map[string]bool, len(backends))
+	for i, be := range backends {
+		sn := be.ShardName()
+		if err := validShardName(sn); err != nil {
+			return nil, err
+		}
+		if seen[sn] {
+			return nil, fmt.Errorf("corpus: duplicate remote shard name %q in %s", sn, name)
+		}
+		seen[sn] = true
+		shards[i] = &shard{name: sn, backend: be}
+	}
+	sortShards(shards)
+	c.snap.Store(&Snapshot{seq: 1, shards: shards})
+	if c.met != nil {
+		c.met.SetShards(len(shards))
+	}
+	return c, nil
+}
+
+// Remote reports whether this corpus fans out to remote shard backends.
+func (c *Corpus) Remote() bool { return c.remote }
 
 // Name returns the corpus name.
 func (c *Corpus) Name() string { return c.name }
@@ -506,6 +554,9 @@ func removeByName(shards []*shard, name string) []*shard {
 // as a new snapshot: copy-on-write, one writer at a time, persisted before
 // the swap so a reopened corpus never regresses past what queries saw.
 func (c *Corpus) publish(mutate func([]*shard) ([]*shard, error)) error {
+	if c.remote {
+		return fmt.Errorf("corpus: %s is remote (read-only): mutate the shard servers instead", c.name)
+	}
 	c.mutating.Add(1)
 	defer c.mutating.Add(-1)
 	c.mu.Lock()
@@ -585,6 +636,9 @@ func (c *Corpus) Ready() error {
 func (c *Corpus) Shard(name string) (*core.Engine, error) {
 	for _, sh := range c.Snapshot().shards {
 		if sh.name == name {
+			if sh.engine == nil {
+				return nil, fmt.Errorf("corpus: shard %q of %s is remote (no local engine)", name, c.name)
+			}
 			return sh.engine, nil
 		}
 	}
@@ -597,16 +651,39 @@ func (c *Corpus) Shard(name string) (*core.Engine, error) {
 var _ core.Backend = (*Corpus)(nil)
 
 // Info implements core.Backend, aggregating over the pinned snapshot.
+// Remote shards contribute through the optional ShardInfoer interface
+// (best-effort: an unreachable shard server just reports zero sizes, since
+// Info feeds banners and dashboards, not answers).
 func (c *Corpus) Info() core.BackendInfo {
 	snap := c.Snapshot()
+	kind := "corpus"
+	if c.remote {
+		kind = "remote-corpus"
+	}
 	info := core.BackendInfo{
 		Name:        c.name,
-		Kind:        "corpus",
+		Kind:        kind,
 		Shards:      len(snap.shards),
 		DeltaShards: snap.DeltaCount(),
 	}
 	tags := map[string]struct{}{}
+	remoteTags := 0
 	for _, sh := range snap.shards {
+		if sh.engine == nil {
+			if si, ok := sh.backend.(ShardInfoer); ok {
+				ri, err := si.ShardInfo()
+				if err != nil {
+					continue
+				}
+				info.Nodes += ri.Nodes
+				info.GuidePaths += ri.GuidePaths
+				info.Valued += ri.Valued
+				// Distinct tags cannot be deduped across the wire; the summed
+				// count is an upper bound, good enough for a banner.
+				remoteTags += ri.Tags
+			}
+			continue
+		}
 		st := sh.engine.Stats()
 		info.Nodes += st.Nodes
 		info.GuidePaths += st.GuidePaths
@@ -616,16 +693,28 @@ func (c *Corpus) Info() core.BackendInfo {
 			tags[d.Tags().Name(doc.TagID(id))] = struct{}{}
 		}
 	}
-	info.Tags = len(tags)
+	info.Tags = len(tags) + remoteTags
 	return info
 }
 
+// ShardInfoer is the optional interface a ShardBackend implements to
+// contribute sizes to Corpus.Info (internal/remote.Shard fetches the shard
+// server's /api/v1/stats, best-effort with a short budget).
+type ShardInfoer interface {
+	ShardInfo() (core.BackendInfo, error)
+}
+
 // Engines implements core.Backend: the pinned snapshot's shard engines.
+// Remote shards have no local engine and are skipped — per-document views
+// (/node, /guide) must be asked of the shard server that owns the document.
 func (c *Corpus) Engines() []core.NamedEngine {
 	snap := c.Snapshot()
-	out := make([]core.NamedEngine, len(snap.shards))
-	for i, sh := range snap.shards {
-		out[i] = core.NamedEngine{Name: sh.name, Engine: sh.engine}
+	out := make([]core.NamedEngine, 0, len(snap.shards))
+	for _, sh := range snap.shards {
+		if sh.engine == nil {
+			continue
+		}
+		out = append(out, core.NamedEngine{Name: sh.name, Engine: sh.engine})
 	}
 	return out
 }

@@ -162,6 +162,26 @@ func (h *health) trip(b *shardBreaker) {
 	}
 }
 
+// retryIn reports the cooldown remaining before the named shard's open
+// breaker will admit a half-open probe — what a Retry-After header should
+// promise.  0 for closed/half-open breakers, expired cooldowns, or disabled
+// health tracking.
+func (h *health) retryIn(name string) time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.shards[name]
+	if b == nil || b.state != breakerOpen {
+		return 0
+	}
+	if rem := h.cooldown - h.now().Sub(b.openedAt); rem > 0 {
+		return rem
+	}
+	return 0
+}
+
 // release ends a half-open probe without a verdict — the evaluation was
 // abandoned (sibling cancellation, caller deadline) so the probe neither
 // closes nor reopens the breaker; the next allow admits a fresh probe.

@@ -51,15 +51,9 @@ const FaultShardSearch = "corpus/shard-search"
 
 // ErrShardQuarantined marks a shard skipped because its circuit breaker is
 // open (see health.go); under the degrade policy it counts the shard among
-// the failed without spending a worker on it.
+// the failed without spending a worker on it.  Skips wrap it in a
+// *QuarantineError carrying the cooldown remaining (see backend.go).
 var ErrShardQuarantined = errors.New("shard quarantined by circuit breaker")
-
-// shardResult is one worker's output, index-addressed so the merge is
-// deterministic whatever the completion order.
-type shardResult struct {
-	res *core.SearchResult
-	q   *twig.Query // the clone the shard evaluated (rewrites reference it)
-}
 
 // SearchHits implements core.Backend over the pinned snapshot.
 func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.SearchOptions) (*core.HitResult, error) {
@@ -80,7 +74,7 @@ func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.Search
 
 	fanSpan, fanCtx := obs.Start(ctx, "fanout")
 	fanSpan.SetInt("shards", len(snap.shards))
-	results, failed, err := c.fanout(fanCtx, fanSpan, snap, q, opts, want)
+	pages, failed, err := c.fanout(fanCtx, fanSpan, snap, q, opts, want)
 	if err == nil && len(failed) > 0 {
 		fanSpan.Set("partial", "true")
 		fanSpan.Set("failedShards", strings.Join(failed, ","))
@@ -93,7 +87,7 @@ func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.Search
 	fanoutDone := time.Now()
 
 	mergeSpan := obs.StartLeaf(ctx, "merge")
-	out := c.merge(snap, q, results, opts, want)
+	out := c.merge(pages, opts, want)
 	mergeSpan.SetInt("hits", len(out.Hits))
 	mergeSpan.End()
 	out.Shards = len(snap.shards)
@@ -118,7 +112,7 @@ func (c *Corpus) SearchHits(ctx context.Context, q *twig.Query, opts core.Search
 // errors instead).  fanSpan (nil when untraced) receives one child span per
 // shard and, on a failfast cancellation, a cancelCause attribute naming the
 // shard error that cancelled the siblings.
-func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, q *twig.Query, opts core.SearchOptions, want int) ([]shardResult, []string, error) {
+func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, q *twig.Query, opts core.SearchOptions, want int) ([]*ShardPage, []string, error) {
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	failfast := c.tuning.Policy == PolicyFailFast
@@ -133,7 +127,7 @@ func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, 
 		workers = n
 	}
 
-	results := make([]shardResult, n)
+	results := make([]*ShardPage, n)
 	errs := make([]error, n) // per-index: race-free without a lock
 	jobs := make(chan int)
 	var (
@@ -166,7 +160,7 @@ func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, 
 				ssp := fanSpan.Child("shard")
 				ssp.Set("shard", name)
 				if !c.health.allow(name) {
-					err := fmt.Errorf("corpus: shard %s: %w", name, ErrShardQuarantined)
+					err := error(&QuarantineError{Shard: name, RetryAfter: c.health.retryIn(name)})
 					ssp.Set("skipped", "breaker-open")
 					ssp.SetErr(err)
 					ssp.End()
@@ -177,7 +171,7 @@ func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, 
 					continue
 				}
 				shardStart := time.Now()
-				res, sq, attempts, err := c.evalShard(fctx, ssp, sh, q, shardOpts)
+				page, attempts, err := c.evalShard(fctx, ssp, sh, q, shardOpts)
 				if c.met != nil {
 					c.met.Shard(name).Observe(time.Since(shardStart))
 				}
@@ -203,9 +197,12 @@ func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, 
 					continue
 				}
 				c.health.success(name)
-				ssp.SetInt("hits", len(res.Answers))
+				ssp.SetInt("hits", len(page.Answers))
+				if len(page.PartialShards) > 0 {
+					ssp.Set("partialShards", strings.Join(page.PartialShards, ","))
+				}
 				ssp.End()
-				results[i] = shardResult{res: res, q: sq}
+				results[i] = page
 			}
 		}()
 	}
@@ -241,38 +238,47 @@ func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, 
 		// this is an error, not an empty page.
 		return nil, nil, fmt.Errorf("corpus: all %d shard(s) of %s failed: %w", n, c.name, firstFail)
 	}
+	// A remote shard server may itself have answered degraded; surface its
+	// failed sub-shards (prefixed with the shard's name) so the router's
+	// clients see exactly how partial the merged page is.
+	for i, page := range results {
+		if page == nil {
+			continue
+		}
+		for _, sub := range page.PartialShards {
+			failed = append(failed, snap.shards[i].name+"/"+sub)
+		}
+	}
+	sort.Strings(failed)
 	return results, failed, nil
 }
 
 // evalShard runs one shard's evaluation: up to two attempts (one transparent
 // retry after a jittered backoff, so a transient failure never surfaces),
 // each under the per-shard time budget, each preceded by the
-// FaultShardSearch injection site.  Returns the result, the query clone it
-// answered (rewrite pointers belong to that clone's ID space), and the
-// attempt count.
-func (c *Corpus) evalShard(fctx context.Context, ssp *obs.Span, sh *shard, q *twig.Query, shardOpts core.SearchOptions) (*core.SearchResult, *twig.Query, int, error) {
-	budget := c.shardBudget(fctx)
+// FaultShardSearch injection site.  Returns the shard's page and the attempt
+// count.  The budget is resolved per attempt, so the retry of a
+// deadline-derived budget only gets what actually remains of the request.
+func (c *Corpus) evalShard(fctx context.Context, ssp *obs.Span, sh *shard, q *twig.Query, shardOpts core.SearchOptions) (*ShardPage, int, error) {
+	be := sh.be()
 	var lastErr error
 	attempt := 1
 	for ; attempt <= 2; attempt++ {
+		budget := c.shardBudget(fctx)
 		actx := fctx
 		acancel := func() {}
 		if budget > 0 {
 			actx, acancel = context.WithTimeout(fctx, budget)
 		}
 		sctx := obs.ContextWith(actx, ssp)
-		// Each attempt evaluates its own clone: Normalize assigns the same
-		// preorder IDs to the same tree, so clones are interchangeable with
-		// q for ID-based bookkeeping.
-		sq := q.Clone()
 		err := c.faults.Fire(sctx, FaultShardSearch, sh.name)
-		var res *core.SearchResult
+		var page *ShardPage
 		if err == nil {
-			res, err = sh.engine.SearchContext(sctx, sq, shardOpts)
+			page, err = be.SearchShard(sctx, q, shardOpts)
 		}
 		acancel()
 		if err == nil {
-			return res, sq, attempt, nil
+			return page, attempt, nil
 		}
 		lastErr = err
 		if fctx.Err() != nil {
@@ -285,26 +291,43 @@ func (c *Corpus) evalShard(fctx context.Context, ssp *obs.Span, sh *shard, q *tw
 	if attempt > 2 {
 		attempt = 2
 	}
-	return nil, nil, attempt, lastErr
+	return nil, attempt, lastErr
 }
 
-// shardBudget resolves the per-attempt time budget: the configured
-// ShardTimeout when positive, none when negative, and 4/5 of the remaining
-// request deadline when unset (leaving headroom for the merge) — no budget
-// when the request has no deadline either.
+// shardNetAllowance is the slice of the remaining request deadline reserved
+// for everything a shard attempt is not: the merge, response encoding, and —
+// for remote shards — the network hop back.  Deducting it from the per-hop
+// budget keeps router retries and hedges from overrunning the caller.
+const shardNetAllowance = 20 * time.Millisecond
+
+// shardBudget resolves the per-attempt time budget.  A negative configured
+// ShardTimeout disables budgets.  When the request carries a deadline, a
+// budget is derived from what remains of it — 4/5 of the remainder, further
+// capped at remainder-minus-allowance — and a configured positive
+// ShardTimeout is clamped by that derivation, so a per-hop timeout can never
+// promise a shard more time than the caller has left.
 func (c *Corpus) shardBudget(ctx context.Context) time.Duration {
-	if t := c.tuning.ShardTimeout; t != 0 {
-		if t < 0 {
-			return 0
-		}
-		return t
+	t := c.tuning.ShardTimeout
+	if t < 0 {
+		return 0
 	}
+	var derived time.Duration
 	if dl, ok := ctx.Deadline(); ok {
 		if rem := time.Until(dl); rem > 0 {
-			return rem * 4 / 5
+			derived = rem * 4 / 5
+			if a := rem - shardNetAllowance; a > 0 && a < derived {
+				derived = a
+			}
 		}
 	}
-	return 0
+	switch {
+	case t == 0:
+		return derived
+	case derived > 0 && derived < t:
+		return derived
+	default:
+		return t
+	}
 }
 
 // sleepJittered pauses for base/2 plus up to base of jitter (so concurrent
@@ -329,35 +352,35 @@ func isCtxErr(err error) bool {
 
 // mergedAnswer pairs a per-shard answer with its origin for global ranking.
 type mergedAnswer struct {
-	shard int // index into snap.shards
-	ans   core.Answer
+	shard int // index into the page slice (snapshot shard order)
+	ans   ShardAnswer
 }
 
-// merge fuses per-shard results into one globally ranked, paged HitResult,
-// rendering only the surviving page under the still-pinned snapshot.
-// Failed shards have nil entries in results and simply contribute nothing —
-// the ranking and paging arithmetic is identical for whole and partial
-// answers.
-func (c *Corpus) merge(snap *Snapshot, q *twig.Query, results []shardResult, opts core.SearchOptions, want int) *core.HitResult {
+// merge fuses per-shard pages into one globally ranked, paged HitResult,
+// rendering only the surviving page (ShardAnswer.Render — lazy snippet
+// materialization for local shards, wire replay for remote ones).  Failed
+// shards have nil entries in pages and simply contribute nothing — the
+// ranking and paging arithmetic is identical for whole and partial answers.
+func (c *Corpus) merge(pages []*ShardPage, opts core.SearchOptions, want int) *core.HitResult {
 	out := &core.HitResult{}
 	var exacts, rewrites []mergedAnswer
 	algo := ""
-	for i, sr := range results {
-		if sr.res == nil {
+	for i, page := range pages {
+		if page == nil {
 			continue
 		}
-		out.RewritesTried += sr.res.RewritesTried
-		out.Stats.Add(sr.res.Stats)
+		out.RewritesTried += page.RewritesTried
+		out.Stats.Add(page.Stats)
 		switch algo {
 		case "":
-			algo = string(sr.res.Algorithm)
-		case string(sr.res.Algorithm):
+			algo = string(page.Algorithm)
+		case string(page.Algorithm):
 		default:
 			algo = "mixed"
 		}
-		for j, a := range sr.res.Answers {
+		for j, a := range page.Answers {
 			ma := mergedAnswer{shard: i, ans: a}
-			if j < sr.res.Exact {
+			if j < page.Exact {
 				exacts = append(exacts, ma)
 			} else {
 				rewrites = append(rewrites, ma)
@@ -381,9 +404,8 @@ func (c *Corpus) merge(snap *Snapshot, q *twig.Query, results []shardResult, opt
 	// Rewrite answers rank below all exacts: penalty ascending, then score.
 	sort.SliceStable(rewrites, func(i, j int) bool {
 		a, b := rewrites[i], rewrites[j]
-		ap, bp := a.ans.Rewrite.Penalty, b.ans.Rewrite.Penalty
-		if ap != bp {
-			return ap < bp
+		if a.ans.Penalty != b.ans.Penalty {
+			return a.ans.Penalty < b.ans.Penalty
 		}
 		if a.ans.Score != b.ans.Score {
 			return a.ans.Score > b.ans.Score
@@ -417,10 +439,7 @@ func (c *Corpus) merge(snap *Snapshot, q *twig.Query, results []shardResult, opt
 
 	snippetMax := opts.SnippetMax // already resolved by Canonical in SearchHits
 	for _, ma := range merged {
-		sh := snap.shards[ma.shard]
-		// Render against the clone the shard evaluated — its rewrite
-		// pointers belong to that clone's ID space.
-		out.Hits = append(out.Hits, sh.engine.RenderHit(sh.name, results[ma.shard].q, ma.ans, snippetMax))
+		out.Hits = append(out.Hits, ma.ans.Render(snippetMax))
 	}
 	return out
 }

@@ -169,6 +169,7 @@ type Registry struct {
 	stages    map[string]*Histogram
 	corpora   map[string]*CorpusMetrics
 	caches    map[string]*CacheMetrics
+	remotes   map[string]*RemoteMetrics
 	ingest    *IngestMetrics
 	start     time.Time
 
@@ -191,6 +192,7 @@ func New() *Registry {
 		stages:    make(map[string]*Histogram),
 		corpora:   make(map[string]*CorpusMetrics),
 		caches:    make(map[string]*CacheMetrics),
+		remotes:   make(map[string]*RemoteMetrics),
 		start:     time.Now(),
 	}
 }
@@ -294,6 +296,10 @@ type Snapshot struct {
 	// internal/cache): per-cache hit/miss/eviction/singleflight counters
 	// plus live entry and byte counts.
 	Caches map[string]CacheSnapshot `json:"caches,omitempty"`
+	// Remotes appears only on router nodes fanning out to remote shard
+	// servers (see internal/remote): hedging outcomes and per-replica RPC
+	// latency, keyed by cluster name.
+	Remotes map[string]RemoteSnapshot `json:"remote,omitempty"`
 	// Ingest appears once the async ingestion pipeline is running (see
 	// internal/ingest): job counters, queue gauges and compaction totals.
 	Ingest *IngestSnapshot `json:"ingest,omitempty"`
@@ -340,6 +346,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Caches = make(map[string]CacheSnapshot, len(r.caches))
 		for name, c := range r.caches {
 			s.Caches[name] = c.snapshot()
+		}
+	}
+	if len(r.remotes) > 0 {
+		s.Remotes = make(map[string]RemoteSnapshot, len(r.remotes))
+		for name, m := range r.remotes {
+			s.Remotes[name] = m.snapshot()
 		}
 	}
 	if r.ingest != nil {

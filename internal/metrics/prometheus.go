@@ -44,6 +44,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for k, v := range r.caches {
 		caches[k] = v
 	}
+	remotes := make(map[string]*RemoteMetrics, len(r.remotes))
+	for k, v := range r.remotes {
+		remotes[k] = v
+	}
 	ingest := r.ingest
 	r.mu.RUnlock()
 
@@ -135,6 +139,53 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			names, func(n string) int64 { return caches[n].Entries() }, "cache")
 		gaugeFamily(w, "lotusx_cache_bytes", "Byte cost of the entries stored in the cache.",
 			names, func(n string) int64 { return caches[n].Bytes() }, "cache")
+	}
+
+	if len(remotes) > 0 {
+		names := sortedKeys(remotes)
+		counterFamily(w, "lotusx_remote_searches_total", "Logical-shard searches routed to remote shard backends.",
+			names, func(n string) int64 { return remotes[n].Searches.Load() }, "cluster")
+		counterFamily(w, "lotusx_remote_hedges_fired_total", "Backup-replica requests launched after the hedge delay.",
+			names, func(n string) int64 { return remotes[n].HedgesFired.Load() }, "cluster")
+		counterFamily(w, "lotusx_remote_hedge_wins_total", "Searches answered first by a hedged (backup) request.",
+			names, func(n string) int64 { return remotes[n].HedgeWins.Load() }, "cluster")
+		counterFamily(w, "lotusx_remote_hedge_losses_total", "Searches where a hedge fired but the primary answered first.",
+			names, func(n string) int64 { return remotes[n].HedgeLosses.Load() }, "cluster")
+		counterFamily(w, "lotusx_remote_failovers_total", "Immediate next-replica launches after a replica error.",
+			names, func(n string) int64 { return remotes[n].Failovers.Load() }, "cluster")
+		counterFamily(w, "lotusx_remote_rpc_errors_total", "Individual replica RPC failures.",
+			names, func(n string) int64 { return remotes[n].RPCErrors.Load() }, "cluster")
+
+		// Per-replica RPC latency: two labels, rendered like the per-shard
+		// corpus family above.
+		type repKey struct{ cluster, replica string }
+		var keys []repKey
+		hists := make(map[repKey]*Histogram)
+		for _, cn := range names {
+			m := remotes[cn]
+			m.mu.RLock()
+			for rn, h := range m.replicas {
+				k := repKey{cn, rn}
+				keys = append(keys, k)
+				hists[k] = h
+			}
+			m.mu.RUnlock()
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].cluster != keys[j].cluster {
+				return keys[i].cluster < keys[j].cluster
+			}
+			return keys[i].replica < keys[j].replica
+		})
+		if len(keys) > 0 {
+			fmt.Fprintf(w, "# HELP lotusx_remote_replica_latency_seconds Per-replica RPC latency, failed RPCs included.\n")
+			fmt.Fprintf(w, "# TYPE lotusx_remote_replica_latency_seconds histogram\n")
+			for _, k := range keys {
+				writeHistogram(w, "lotusx_remote_replica_latency_seconds",
+					fmt.Sprintf(`cluster=%q,replica=%q`, k.cluster, k.replica),
+					hists[k].Export())
+			}
+		}
 	}
 
 	if ingest != nil {

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RemoteMetrics aggregates one cluster of remote shards (internal/remote):
+// hedging outcome counters plus one RPC latency histogram per replica
+// endpoint, so a slow or flapping replica shows up in /api/v1/metrics and
+// the Prometheus exposition without a trace.  All fields are safe for
+// concurrent use on the query path.
+type RemoteMetrics struct {
+	// Searches counts logical-shard searches routed through hedged remote
+	// backends (one per shard per fan-out, not per replica RPC).
+	Searches atomic.Int64
+	// HedgesFired counts backup-replica requests launched because the
+	// primary outlived the hedge delay.
+	HedgesFired atomic.Int64
+	// HedgeWins counts searches answered by a hedged (backup) request;
+	// HedgeLosses counts searches where a hedge was fired but the primary
+	// still answered first.  Wins+Losses ≤ HedgesFired (a search that fails
+	// outright counts neither).
+	HedgeWins   atomic.Int64
+	HedgeLosses atomic.Int64
+	// Failovers counts immediate next-replica launches after a fast replica
+	// error (distinct from hedges, which react to latency, not failure).
+	Failovers atomic.Int64
+	// RPCErrors counts individual replica RPCs that failed.
+	RPCErrors atomic.Int64
+
+	// mu guards replicas; the histograms are lock-free once handed out.
+	mu       sync.RWMutex
+	replicas map[string]*Histogram
+}
+
+// Replica returns (creating on first use) the RPC latency histogram of the
+// named replica endpoint.  Every RPC is observed, failed ones included —
+// error latency is exactly what hedging tuning needs to see.
+func (m *RemoteMetrics) Replica(name string) *Histogram {
+	m.mu.RLock()
+	h := m.replicas[name]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.replicas[name]; h == nil {
+		h = &Histogram{}
+		m.replicas[name] = h
+	}
+	return h
+}
+
+// ObserveReplica records one replica RPC's latency.
+func (m *RemoteMetrics) ObserveReplica(name string, d time.Duration) {
+	m.Replica(name).Observe(d)
+}
+
+// RemoteSnapshot is the JSON shape of one cluster's remote metrics.
+type RemoteSnapshot struct {
+	Searches    int64 `json:"searches"`
+	HedgesFired int64 `json:"hedgesFired"`
+	HedgeWins   int64 `json:"hedgeWins"`
+	HedgeLosses int64 `json:"hedgeLosses"`
+	Failovers   int64 `json:"failovers"`
+	RPCErrors   int64 `json:"rpcErrors"`
+	// Replicas maps replica endpoint name to its RPC latency aggregate.
+	Replicas map[string]LatencySnapshot `json:"replicas,omitempty"`
+}
+
+func (m *RemoteMetrics) snapshot() RemoteSnapshot {
+	s := RemoteSnapshot{
+		Searches:    m.Searches.Load(),
+		HedgesFired: m.HedgesFired.Load(),
+		HedgeWins:   m.HedgeWins.Load(),
+		HedgeLosses: m.HedgeLosses.Load(),
+		Failovers:   m.Failovers.Load(),
+		RPCErrors:   m.RPCErrors.Load(),
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.replicas) > 0 {
+		s.Replicas = make(map[string]LatencySnapshot, len(m.replicas))
+		for name, h := range m.replicas {
+			s.Replicas[name] = snapshotHistogram(h)
+		}
+	}
+	return s
+}
+
+// Remote returns (creating on first use) the remote-cluster metrics under
+// the given name — conventionally the router-side dataset name.
+func (r *Registry) Remote(name string) *RemoteMetrics {
+	r.mu.RLock()
+	m := r.remotes[name]
+	r.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m = r.remotes[name]; m == nil {
+		m = &RemoteMetrics{replicas: make(map[string]*Histogram)}
+		r.remotes[name] = m
+	}
+	return m
+}

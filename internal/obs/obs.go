@@ -50,6 +50,11 @@ type Span struct {
 	end      time.Time // zero while the span is open
 	attrs    []Attr
 	children []*Span
+	// grafts are pre-rendered span trees from another process (a shard
+	// server's trace, stitched in by the router's remote client).  They are
+	// render-only: Each and the stage-histogram folds never see them, so a
+	// remote "parse" span cannot double-count into local stage aggregates.
+	grafts []*Node
 }
 
 // Trace is the span tree of one request.  A nil *Trace is valid and inert.
@@ -140,6 +145,24 @@ func (s *Span) SetErr(err error) {
 		return
 	}
 	s.Set("error", err.Error())
+}
+
+// Graft attaches a span tree rendered by another process as a child of s —
+// how a router stitches a shard server's ?debug=trace output under the
+// local span for that shard.  The grafted tree keeps its internal timing;
+// when rendered, its offsets are shifted to start where s starts (clock
+// skew and network delay between the processes are unknowable, so aligning
+// the remote root with the local span is the honest convention).  Grafts
+// appear only in rendered output (Render), never in Each — remote
+// stages must not fold into local stage histograms.  Safe on nil and for
+// concurrent use, like every Span method.
+func (s *Span) Graft(n *Node) {
+	if s == nil || n == nil {
+		return
+	}
+	s.mu.Lock()
+	s.grafts = append(s.grafts, n)
+	s.mu.Unlock()
 }
 
 // Name returns the span's name, "" for nil.
@@ -279,11 +302,31 @@ func (s *Span) render(origin time.Time) *Node {
 		}
 	}
 	kids := append([]*Span(nil), s.children...)
+	grafts := append([]*Node(nil), s.grafts...)
 	s.mu.Unlock()
 	for _, c := range kids {
 		n.Children = append(n.Children, c.render(origin))
 	}
+	for _, g := range grafts {
+		n.Children = append(n.Children, shiftNode(g, n.StartMS))
+	}
 	return n
+}
+
+// shiftNode deep-copies a grafted node tree with every StartMS offset by
+// delta — re-basing a remote trace's internal offsets onto the local
+// timeline of the span it was grafted under.
+func shiftNode(g *Node, delta float64) *Node {
+	out := &Node{
+		Name:       g.Name,
+		StartMS:    g.StartMS + delta,
+		DurationMS: g.DurationMS,
+		Attrs:      g.Attrs,
+	}
+	for _, c := range g.Children {
+		out.Children = append(out.Children, shiftNode(c, delta))
+	}
+	return out
 }
 
 // lockedDuration is Duration with s.mu already held.

@@ -1,0 +1,63 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"lotusx/internal/httpmw"
+)
+
+// Error is a shard server's v1 error envelope decoded back into a typed
+// value: the transport succeeded but the remote answered with an error
+// status.  It deliberately does not wrap context errors — a remote 5xx is a
+// verdict on the shard, so the corpus breaker must advance on it, whereas a
+// local context casualty (which arrives as the http client's own error, not
+// as an Error) may only mean this router is giving up.
+type Error struct {
+	// Status is the HTTP status the replica answered with.
+	Status int
+	// Code is the v1 error code (httpmw.Code*); when the body was not a
+	// decodable envelope it is inferred from the status.
+	Code string
+	// Message is the envelope's human-readable message.
+	Message string
+	// Replica names the replica that answered, for logs and joined errors.
+	Replica string
+	// RetryAfter is the parsed Retry-After header when the replica sent one
+	// (quarantined corpus, shed load); 0 otherwise.
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("remote %s: %d %s: %s", e.Replica, e.Status, e.Code, e.Message)
+}
+
+// decodeError turns a non-200 response into an *Error, reading at most a
+// small bounded prefix of the body.  Envelope decoding is best-effort: a
+// proxy's HTML error page still yields a typed Error with the code inferred
+// from the status.
+func decodeError(resp *http.Response, body io.Reader, replica string) error {
+	data, _ := io.ReadAll(io.LimitReader(body, 8<<10))
+	e := &Error{Status: resp.StatusCode, Replica: replica}
+	var env httpmw.ErrorBody
+	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+		e.Code, e.Message = env.Error.Code, env.Error.Message
+	} else {
+		e.Code = httpmw.CodeForStatus(resp.StatusCode)
+		e.Message = strings.TrimSpace(string(data))
+		if e.Message == "" {
+			e.Message = http.StatusText(resp.StatusCode)
+		}
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}

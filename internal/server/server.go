@@ -110,6 +110,11 @@ type Config struct {
 	// Faults, when non-nil, arms deterministic fault-injection sites in the
 	// ingest pipeline and in admin-created corpora (tests and fault drills).
 	Faults *faults.Registry
+	// ClusterStatus, when non-nil, mounts GET /api/v1/cluster answering the
+	// callback's value — the router mode's topology, replication and hedging
+	// view (see docs/CLUSTER.md).  Nil (every non-router deployment) leaves
+	// the route unmounted.
+	ClusterStatus func() any
 }
 
 // defaultCompactThreshold is the delta-shard backlog that triggers an
@@ -131,6 +136,8 @@ type Server struct {
 	slowQuery    time.Duration
 	logger       *slog.Logger
 	faults       *faults.Registry
+	// clusterStatus backs GET /api/v1/cluster; nil leaves it unmounted.
+	clusterStatus func() any
 
 	// queue is the async ingestion pipeline (nil unless EnableAdmin): admin
 	// writes enqueue jobs here and answer 202; see internal/ingest.
@@ -210,6 +217,7 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 		cached:           make(map[core.Backend]core.Backend),
 		compactThreshold: compactThreshold,
 		maxIngest:        cfg.MaxIngestBytes,
+		clusterStatus:    cfg.ClusterStatus,
 	}
 	if s.maxIngest <= 0 {
 		s.maxIngest = maxIngestSize
@@ -261,6 +269,7 @@ type route struct {
 	admin  bool // mounted only with Config.EnableAdmin
 	legacy bool // also aliased under un-versioned /api/ with Deprecation+Sunset
 	exempt bool // bypasses the load limiter
+	router bool // mounted only with Config.ClusterStatus (router mode)
 }
 
 // routeTable declares every route the server can serve.
@@ -275,6 +284,7 @@ func routeTable(s *Server) []route {
 		{method: "GET", path: "/api/v1/node/{id}", name: "node", h: s.handleNode, legacy: true},
 		{method: "GET", path: "/api/v1/guide", name: "guide", h: s.handleGuide, legacy: true},
 		// Observability; exempt from load shedding.
+		{method: "GET", path: "/api/v1/cluster", name: "cluster", h: s.handleCluster, router: true, exempt: true},
 		{method: "GET", path: "/api/v1/metrics", name: "metrics", h: s.handleMetrics, exempt: true},
 		{method: "GET", path: "/metrics", name: "prometheus", h: s.handlePrometheus, exempt: true},
 		// The async-ingestion jobs API; polls stay exempt so clients can watch
@@ -311,6 +321,9 @@ func (s *Server) mount(cfg Config) {
 	methodsByPath := make(map[string][]string)
 	for _, rt := range s.routes {
 		if rt.admin && !cfg.EnableAdmin {
+			continue
+		}
+		if rt.router && s.clusterStatus == nil {
 			continue
 		}
 		h := httpmw.Chain(rt.h, httpmw.Instrument(s.reg.Endpoint(rt.name)))
@@ -495,6 +508,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 
+// handleCluster serves the router's topology and hedging status (mounted
+// only when Config.ClusterStatus is set).
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.clusterStatus())
+}
+
 // ServeHTTP implements http.Handler, serving through the middleware stack.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
@@ -528,6 +547,19 @@ func tooLarge(w http.ResponseWriter, r *http.Request, err error) {
 // overloaded answers 503 for writes the ingest queue cannot absorb.
 func overloaded(w http.ResponseWriter, r *http.Request, err error) {
 	w.Header().Set("Retry-After", "1")
+	httpmw.WriteErrorCtx(r.Context(), w, http.StatusServiceUnavailable, httpmw.CodeOverloaded, err.Error())
+}
+
+// quarantined answers 503 for a search that failed on open shard circuit
+// breakers, with Retry-After set to the breaker cooldown remaining (rounded
+// up) so well-behaved clients back off until the next half-open probe.
+func quarantined(w http.ResponseWriter, r *http.Request, err error) {
+	secs := 1
+	var qe *corpus.QuarantineError
+	if errors.As(err, &qe) && qe.RetryAfter > 0 {
+		secs = int((qe.RetryAfter + time.Second - 1) / time.Second)
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	httpmw.WriteErrorCtx(r.Context(), w, http.StatusServiceUnavailable, httpmw.CodeOverloaded, err.Error())
 }
 
@@ -633,9 +665,12 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	httpmw.Annotate(r.Context(), "candidates", len(cands))
 	trace := s.finishTrace(r, tr, q)
 	if err != nil {
-		if isCtxError(err) {
+		switch {
+		case isCtxError(err):
 			writeCtxError(w, r, err)
-		} else {
+		case errors.Is(err, corpus.ErrShardQuarantined):
+			quarantined(w, r, err)
+		default:
 			internalError(w, r, err)
 		}
 		return
@@ -686,9 +721,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	occs, err := b.ExplainTags(r.Context(), q, focus, axis, tag, max)
 	if err != nil {
-		if isCtxError(err) {
+		switch {
+		case isCtxError(err):
 			writeCtxError(w, r, err)
-		} else {
+		case errors.Is(err, corpus.ErrShardQuarantined):
+			quarantined(w, r, err)
+		default:
 			internalError(w, r, err)
 		}
 		return
@@ -705,7 +743,14 @@ type queryRequest struct {
 	// Algorithm optionally overrides the default TwigStack; it must name an
 	// implemented algorithm (or "auto").
 	Algorithm string `json:"algorithm"`
+	// SnippetMax overrides the snippet byte bound (1..65536); 0 keeps the
+	// 400-byte default.  Routers forward their bound here so shard servers
+	// render snippets once, at the size the client asked for.
+	SnippetMax int `json:"snippetMax"`
 }
+
+// maxSnippetMax bounds client-chosen snippet sizes.
+const maxSnippetMax = 1 << 16
 
 // queryAnswer is one answer in the response.
 type queryAnswer struct {
@@ -794,6 +839,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badQuery(w, r, fmt.Errorf("unknown algorithm %q: want one of %s", req.Algorithm, algorithmNames()))
 		return
 	}
+	if req.SnippetMax < 0 || req.SnippetMax > maxSnippetMax {
+		badQuery(w, r, fmt.Errorf("bad snippetMax %d: want 0..%d", req.SnippetMax, maxSnippetMax))
+		return
+	}
 	tr, r := s.startTrace(r, "query")
 	q, err := parseTraced(r, req.Query)
 	if err != nil {
@@ -802,15 +851,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := core.SearchOptions{K: req.K, Offset: req.Offset, Rewrite: req.Rewrite, SnippetMax: 400}
+	if req.SnippetMax > 0 {
+		opts.SnippetMax = req.SnippetMax
+	}
 	if req.Algorithm != "" {
 		opts.Algorithm = join.Algorithm(req.Algorithm)
 	}
 	res, err := b.SearchHits(r.Context(), q, opts)
 	if err != nil {
 		s.finishTrace(r, tr, q)
-		if isCtxError(err) {
+		switch {
+		case isCtxError(err):
 			writeCtxError(w, r, err)
-		} else {
+		case errors.Is(err, corpus.ErrShardQuarantined):
+			quarantined(w, r, err)
+		default:
 			badQuery(w, r, err)
 		}
 		return
