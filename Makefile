@@ -4,7 +4,7 @@
 
 GO ?= go
 
-RACE_PKGS := ./internal/server/... ./internal/core/... ./internal/corpus/... \
+RACE_PKGS := ./internal/server/... ./internal/core/... ./internal/corpus/... ./internal/slo/... \
 	./internal/obs/... ./internal/metrics/... ./internal/cache/... \
 	./internal/join/... ./internal/ingest/... ./internal/remote/...
 

@@ -52,6 +52,7 @@ func main() {
 		"E15": runner.E15CacheWarmPath,
 		"E16": runner.E16AsyncIngest,
 		"E17": runner.E17RemoteRouter,
+		"E18": runner.E18TailSampling,
 		"A1":  runner.A1Pushdown,
 		"A2":  runner.A2Minimization,
 		"A3":  runner.A3PenaltyModel,

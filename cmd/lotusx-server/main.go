@@ -35,6 +35,7 @@ import (
 	"lotusx/internal/obs"
 	"lotusx/internal/remote"
 	"lotusx/internal/server"
+	"lotusx/internal/slo"
 )
 
 func main() {
@@ -97,6 +98,16 @@ func main() {
 		"with -mode=router: delay before a search hedges to a second replica; 0 adapts to observed p95, negative disables hedging")
 	clusterName := flag.String("cluster-name", "cluster",
 		"with -mode=router: the router-side dataset name for the remote corpus")
+	traceCapacity := flag.Int("trace-capacity", 0,
+		"tail-sampled trace store size behind GET /api/v1/traces; 0 means the default (512), negative disables the store")
+	traceSampleEvery := flag.Int("trace-sample-every", 0,
+		"keep 1 of every N uninteresting traces as a uniform sample; 0 means the default (64), negative disables the sample")
+	sloSearchP99 := flag.Duration("slo-search-p99", 0,
+		"latency objective: 99% of /api/v1/query responses faster than this (0 disables)")
+	sloAvailability := flag.Float64("slo-availability", 0,
+		"availability objective as a percentage, e.g. 99.9: that fraction of all responses non-5xx (0 disables)")
+	federateInterval := flag.Duration("federate-interval", 0,
+		"with -mode=router: period between shard-server metrics pulls feeding /api/v1/cluster/metrics; 0 means the default (10s), negative disables federation")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -117,6 +128,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("bad -legacy-routes %q: want on or off", *legacyRoutes))
 	}
+	tracker, err := buildSLO(*sloSearchP99, *sloAvailability)
+	if err != nil {
+		fatal(err)
+	}
 	reg := metrics.New()
 	cfg := server.Config{
 		QueryTimeout:           *queryTimeout,
@@ -134,6 +149,9 @@ func main() {
 		CompactThreshold:       *compactThreshold,
 		MaxIngestBytes:         *maxIngestBytes,
 		DisableLegacyRoutes:    *legacyRoutes == "off",
+		TraceCapacity:          *traceCapacity,
+		TraceSampleEvery:       *traceSampleEvery,
+		SLO:                    tracker,
 	}
 	if *cacheBytes <= 0 {
 		cfg.CacheBytes = -1 // 0 would mean "use the default bound"
@@ -155,7 +173,7 @@ func main() {
 			shardServers: *shardServers, replication: *replication,
 			remoteDataset: *remoteDataset, hedgeDelay: *hedgeDelay,
 			clusterName: *clusterName, addr: *addr, debugAddr: *debugAddr,
-			admin: *admin,
+			admin: *admin, federateInterval: *federateInterval,
 		})
 		return
 	default:
@@ -241,11 +259,42 @@ func startDebug(addr string, srv *server.Server) {
 	}
 	fmt.Printf("debug endpoints (pprof, healthz, readyz, buildinfo) on %s\n", addr)
 	go func() {
-		mux := obs.DebugMux(obs.DebugOptions{Ready: srv.Ready, Degraded: srv.Degraded})
+		mux := obs.DebugMux(obs.DebugOptions{
+			Ready:    srv.Ready,
+			Degraded: srv.Degraded,
+			Burning:  srv.SLOBurning,
+		})
 		if err := http.ListenAndServe(addr, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "lotusx-server: debug listener:", err)
 		}
 	}()
+}
+
+// buildSLO translates the -slo-* flags into a tracker; both flags off
+// means no SLO engine at all (nil tracker, no lotusx_slo_* families).
+func buildSLO(searchP99 time.Duration, availability float64) (*slo.Tracker, error) {
+	var objectives []slo.Objective
+	if searchP99 > 0 {
+		objectives = append(objectives, slo.Objective{
+			Name:      "search-p99",
+			Endpoint:  "query",
+			Target:    0.99,
+			Threshold: searchP99,
+		})
+	}
+	if availability != 0 {
+		if availability <= 0 || availability >= 100 {
+			return nil, fmt.Errorf("bad -slo-availability %v: want a percentage in (0, 100), e.g. 99.9", availability)
+		}
+		objectives = append(objectives, slo.Objective{
+			Name:   "availability",
+			Target: availability / 100,
+		})
+	}
+	if len(objectives) == 0 {
+		return nil, nil
+	}
+	return slo.New(slo.Config{Objectives: objectives})
 }
 
 // addDataset registers d, split into parts shards when parts > 1, with
@@ -395,13 +444,14 @@ func parseSlice(s string) (idx, parts int, err error) {
 // ------------------------------------------------------------ router mode
 
 type routerArgs struct {
-	shardServers    string
-	replication     int
-	remoteDataset   string
-	hedgeDelay      time.Duration
-	clusterName     string
-	addr, debugAddr string
-	admin           bool
+	shardServers     string
+	replication      int
+	remoteDataset    string
+	hedgeDelay       time.Duration
+	clusterName      string
+	addr, debugAddr  string
+	admin            bool
+	federateInterval time.Duration
 }
 
 // runRouter serves a remote corpus: one logical shard per replica group of
@@ -432,6 +482,7 @@ func runRouter(cfg server.Config, reg *metrics.Registry, tuning corpus.Tuning, a
 	met := reg.Remote(a.clusterName)
 	shards := make([]*remote.Shard, len(groups))
 	backends := make([]corpus.ShardBackend, len(groups))
+	var allClients []*remote.Client
 	replicas := 0
 	for i, g := range groups {
 		name := fmt.Sprintf("%s-%02d", a.clusterName, i)
@@ -446,6 +497,7 @@ func runRouter(cfg server.Config, reg *metrics.Registry, tuning corpus.Tuning, a
 				fatal(err)
 			}
 		}
+		allClients = append(allClients, clients...)
 		replicas += len(g)
 		shards[i], err = remote.NewShard(name, clients, remote.ShardOptions{
 			HedgeDelay: a.hedgeDelay,
@@ -471,6 +523,15 @@ func runRouter(cfg server.Config, reg *metrics.Registry, tuning corpus.Tuning, a
 			sts[i] = sh.Status()
 		}
 		return map[string]any{"dataset": a.clusterName, "shards": sts}
+	}
+	if a.federateInterval >= 0 {
+		fed := remote.NewFederator(remote.FederatorConfig{
+			Clients:  allClients,
+			Cluster:  reg.Cluster(),
+			Interval: a.federateInterval,
+		})
+		fed.Start()
+		defer fed.Stop()
 	}
 	srv := server.NewCatalogConfig(catalog, cfg)
 	startDebug(a.debugAddr, srv)

@@ -145,6 +145,7 @@ func (r *Runner) RunAll() error {
 		r.E15CacheWarmPath,
 		r.E16AsyncIngest,
 		r.E17RemoteRouter,
+		r.E18TailSampling,
 		r.A1Pushdown,
 		r.A2Minimization,
 		r.A3PenaltyModel,

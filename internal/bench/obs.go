@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"lotusx/internal/core"
@@ -68,6 +69,97 @@ func (r *Runner) E13TracingOverhead() error {
 	return tw.Flush()
 }
 
+// E18TailSampling measures the always-on tail-sampling path: every request
+// roots a trace and offers it to the bounded store when it finishes, where
+// almost all of them are classified boring and dropped without rendering
+// (one in SampleEvery joins the uniform sample).  That is the steady-state
+// router/server configuration — tracing nobody asked for — so the claim is
+// stricter than E13's: rooting plus classification must sit within noise of
+// the untraced baseline, not just within a few percent.
+func (r *Runner) E18TailSampling() error {
+	r.header("E18", "tail sampling: always-on trace rooting + store offer vs untraced")
+
+	d, err := dataset.Build(dataset.XMark, r.cfg.Scale, r.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	c, err := corpus.FromDocument("xmark-tail", d, 4, corpus.Config{})
+	if err != nil {
+		return err
+	}
+	store := obs.NewStore(obs.StoreConfig{Capacity: 512, SampleEvery: 64})
+
+	// The effect under test (rooting + classify-and-drop, well under a
+	// microsecond) is two orders below the queries it rides on, so the
+	// estimator matters more than the sample count: the two variants
+	// alternate call by call — not batch by batch like E13 — and each call
+	// is timed individually, so CPU-frequency drift on the tens-of-ms
+	// timescale lands on both sides of every adjacent pair.  The medians
+	// of ~1000 interleaved calls per side are compared; the per-call timer
+	// reads cost tens of nanoseconds against sub-millisecond queries.
+	const calls = 992
+	tw := r.table()
+	fmt.Fprintln(tw, "query\tuntraced ms (median)\tsampled ms (median)\tdelta")
+	for _, q := range corpusQueries {
+		parsed := mustParse(q.Text)
+		if _, _, err := runBatch(c, parsed, false, 1); err != nil {
+			return err
+		}
+		if _, err := runSampledBatch(c, parsed, store, 1); err != nil {
+			return err
+		}
+		plain := make([]time.Duration, 0, calls)
+		sampled := make([]time.Duration, 0, calls)
+		for i := 0; i < calls; i++ {
+			el, _, err := runBatch(c, parsed, false, 1)
+			if err != nil {
+				return err
+			}
+			plain = append(plain, el)
+			el, err = runSampledBatch(c, parsed, store, 1)
+			if err != nil {
+				return err
+			}
+			sampled = append(sampled, el)
+		}
+		mu, mt := medianDur(plain), medianDur(sampled)
+		delta := 100 * (float64(mt) - float64(mu)) / float64(mu)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%+.1f%%\t\n", q.ID, ms(mu), ms(mt), delta)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	offered, kept, retained := store.Stats()
+	st := r.table()
+	fmt.Fprintln(st, "offered\tkept\tkeep ratio\tretained")
+	fmt.Fprintf(st, "%d\t%d\t%.2f%%\t%d\t\n", offered, kept, 100*float64(kept)/float64(offered), retained)
+	return st.Flush()
+}
+
+// runSampledBatch evaluates q batch times on the always-on tail-sampling
+// path: root a trace, search, finish, offer to the store — exactly what a
+// server does per request when nobody asked for ?debug=trace.
+func runSampledBatch(c *corpus.Corpus, q *twig.Query, store *obs.Store, batch int) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < batch; i++ {
+		tr := obs.New("query")
+		ctx := obs.ContextWith(context.Background(), tr.Root())
+		res, err := c.SearchHits(ctx, q, core.SearchOptions{K: 100})
+		if err != nil {
+			return 0, err
+		}
+		tr.Finish()
+		store.Offer(&obs.TraceRecord{
+			Endpoint:   "query",
+			Start:      tr.Root().Start(),
+			DurationMS: float64(tr.Root().Duration().Microseconds()) / 1000,
+			Partial:    res.Partial,
+		}, tr)
+	}
+	return time.Since(start) / time.Duration(batch), nil
+}
+
 // runBatch evaluates q against c batch times, each under a fresh trace when
 // traced, returning the mean per-call time and the span count of one trace.
 func runBatch(c *corpus.Corpus, q *twig.Query, traced bool, batch int) (time.Duration, int, error) {
@@ -89,6 +181,16 @@ func runBatch(c *corpus.Corpus, q *twig.Query, traced bool, batch int) (time.Dur
 		}
 	}
 	return time.Since(start) / time.Duration(batch), spans, nil
+}
+
+// medianDur returns the middle sample; samples is sorted in place.
+func medianDur(samples []time.Duration) time.Duration {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	n := len(samples)
+	if n%2 == 1 {
+		return samples[n/2]
+	}
+	return (samples[n/2-1] + samples[n/2]) / 2
 }
 
 // best returns the fastest sample — the noise floor of a path.  Comparing

@@ -158,3 +158,23 @@ func (e *QuarantineError) Error() string {
 
 // Unwrap chains to ErrShardQuarantined so errors.Is keeps working.
 func (e *QuarantineError) Unwrap() error { return ErrShardQuarantined }
+
+// ShardError reports a search or completion that failed because a shard
+// could not answer — an upstream failure, not a client error.  The HTTP
+// layer maps it to 502 so availability objectives and clients see shard
+// outages as server-side failures.
+type ShardError struct {
+	// Shard names the failed shard.
+	Shard string
+	// Err is the underlying failure (replica error, decode error, budget
+	// expiry of the shard's own attempt).
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("corpus: shard %s: %v", e.Shard, e.Err)
+}
+
+// Unwrap exposes the underlying failure so errors.Is/As keep working
+// (context errors, quarantine sentinels).
+func (e *ShardError) Unwrap() error { return e.Err }

@@ -88,7 +88,7 @@ func (c *Corpus) forEachShard(ctx context.Context, snap *Snapshot, ask func(sh *
 				return err
 			}
 			c.health.failure(name, err)
-			wrapped := fmt.Errorf("corpus: shard %s: %w", name, err)
+			wrapped := error(&ShardError{Shard: name, Err: err})
 			if failfast {
 				return wrapped
 			}

@@ -181,7 +181,7 @@ func (c *Corpus) fanout(ctx context.Context, fanSpan *obs.Span, snap *Snapshot, 
 				if err != nil {
 					ssp.SetErr(err)
 					ssp.End()
-					errs[i] = fmt.Errorf("corpus: shard %s: %w", name, err)
+					errs[i] = &ShardError{Shard: name, Err: err}
 					// A context casualty with the fan-out context already dead
 					// is no verdict on the shard (a failfast sibling or the
 					// caller cancelled it mid-join) — release any probe instead

@@ -46,6 +46,7 @@ const (
 	CodeTimeout          = "timeout"            // the per-request deadline expired mid-work
 	CodeOverloaded       = "overloaded"         // the concurrency limiter or job queue shed the request
 	CodeGone             = "gone"               // a sunset legacy route with aliases disabled
+	CodeUpstream         = "upstream_failed"    // a shard or replica could not answer (failfast fan-out)
 	CodeInternal         = "internal"           // a bug: panic or unexpected failure
 )
 
@@ -96,6 +97,8 @@ func CodeForStatus(status int) string {
 		return CodeOverloaded
 	case status == http.StatusGone:
 		return CodeGone
+	case status == http.StatusBadGateway:
+		return CodeUpstream
 	case status >= 400 && status < 500:
 		return CodeBadQuery
 	default:

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics federation: a router periodically pulls each shard server's
+// /api/v1/metrics snapshot (see internal/remote's Federator) and lands it
+// here, so one scrape target — the router's /metrics and
+// GET /api/v1/cluster/metrics — describes the whole cluster.  The router
+// keeps the last successful snapshot of a server that stops answering
+// (marked down, with the age visible), because "what was it doing right
+// before it died" is exactly the question an operator asks.
+
+// ClusterMetrics aggregates federated shard-server snapshots.
+type ClusterMetrics struct {
+	mu      sync.RWMutex
+	servers map[string]*serverStats
+}
+
+// serverStats is the federation state of one shard server.
+type serverStats struct {
+	up       bool
+	err      string    // last poll error, "" while up
+	polled   time.Time // last successful poll
+	snapshot Snapshot  // last successful snapshot
+	has      bool      // a snapshot has landed at least once
+}
+
+func newClusterMetrics() *ClusterMetrics {
+	return &ClusterMetrics{servers: make(map[string]*serverStats)}
+}
+
+// Cluster returns the registry's federation aggregate, creating it on first
+// use (routers only; a registry that never calls this exports no
+// lotusx_cluster_* families).
+func (r *Registry) Cluster() *ClusterMetrics {
+	r.mu.RLock()
+	c := r.cluster
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cluster == nil {
+		r.cluster = newClusterMetrics()
+	}
+	return r.cluster
+}
+
+// Update lands one successful poll of the named shard server.
+func (c *ClusterMetrics) Update(server string, snap Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.servers[server]
+	if st == nil {
+		st = &serverStats{}
+		c.servers[server] = st
+	}
+	st.up, st.err = true, ""
+	st.polled = time.Now()
+	st.snapshot, st.has = snap, true
+}
+
+// MarkDown records a failed poll.  The last successful snapshot is kept so
+// the rollup still answers "what was it doing before it went away".
+func (c *ClusterMetrics) MarkDown(server string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.servers[server]
+	if st == nil {
+		st = &serverStats{}
+		c.servers[server] = st
+	}
+	st.up = false
+	if err != nil {
+		st.err = err.Error()
+	} else {
+		st.err = "unreachable"
+	}
+}
+
+// ClusterServerSnapshot is the rollup view of one shard server.
+type ClusterServerSnapshot struct {
+	Up bool `json:"up"`
+	// Error is the last poll failure; absent while up.
+	Error string `json:"error,omitempty"`
+	// AgeSeconds is the age of the last successful snapshot; -1 when no poll
+	// ever succeeded.
+	AgeSeconds float64 `json:"ageSeconds"`
+	// Metrics is the server's last /api/v1/metrics snapshot, verbatim;
+	// absent when no poll ever succeeded.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// ClusterSnapshot is the payload of GET /api/v1/cluster/metrics.
+type ClusterSnapshot struct {
+	Servers map[string]ClusterServerSnapshot `json:"servers"`
+}
+
+// Snapshot materializes the federated view.
+func (c *ClusterMetrics) Snapshot() ClusterSnapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := ClusterSnapshot{Servers: make(map[string]ClusterServerSnapshot, len(c.servers))}
+	for name, st := range c.servers {
+		s := ClusterServerSnapshot{Up: st.up, Error: st.err, AgeSeconds: -1}
+		if st.has {
+			s.AgeSeconds = time.Since(st.polled).Seconds()
+			snap := st.snapshot
+			s.Metrics = &snap
+		}
+		out.Servers[name] = s
+	}
+	return out
+}
+
+// exportRow is the flattened per-server view the Prometheus renderer uses.
+type clusterRow struct {
+	name            string
+	up              bool
+	uptime          float64
+	requests        int64
+	errors          int64
+	errorRatio      float64
+	queryLatency    LatencySnapshot
+	hasQueryLatency bool
+}
+
+// rows flattens the federation state for rendering, sorted by server name.
+func (c *ClusterMetrics) rows() []clusterRow {
+	snap := c.Snapshot()
+	names := sortedKeys(snap.Servers)
+	out := make([]clusterRow, 0, len(names))
+	for _, name := range names {
+		sv := snap.Servers[name]
+		row := clusterRow{name: name, up: sv.Up}
+		if sv.Metrics != nil {
+			row.uptime = sv.Metrics.UptimeSeconds
+			for _, ep := range sv.Metrics.Endpoints {
+				row.requests += ep.Requests
+				row.errors += ep.Errors
+			}
+			if row.requests > 0 {
+				row.errorRatio = float64(row.errors) / float64(row.requests)
+			}
+			if q, ok := sv.Metrics.Endpoints["query"]; ok {
+				row.queryLatency, row.hasQueryLatency = q.Latency, true
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}

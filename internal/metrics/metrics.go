@@ -171,7 +171,10 @@ type Registry struct {
 	caches    map[string]*CacheMetrics
 	remotes   map[string]*RemoteMetrics
 	ingest    *IngestMetrics
-	start     time.Time
+	// cluster aggregates federated shard-server snapshots (router mode);
+	// nil until Cluster() is first called.
+	cluster *ClusterMetrics
+	start   time.Time
 
 	// legacyHits counts requests served via deprecated pre-v1 route aliases
 	// (see internal/server: the Sunset-headered /api/... paths).
@@ -303,6 +306,13 @@ type Snapshot struct {
 	// Ingest appears once the async ingestion pipeline is running (see
 	// internal/ingest): job counters, queue gauges and compaction totals.
 	Ingest *IngestSnapshot `json:"ingest,omitempty"`
+	// Process reports the Go runtime's view of the serving process:
+	// goroutines, heap bytes, GC totals, and the build identity.
+	Process ProcessSnapshot `json:"process"`
+	// SLO carries the slo.Tracker snapshot when objectives are declared (an
+	// opaque value here so the metrics package needs no slo import; see
+	// internal/server and internal/slo).
+	SLO any `json:"slo,omitempty"`
 	// LegacyRequests counts requests served via deprecated pre-v1 route
 	// aliases; absent until the first such request.
 	LegacyRequests int64 `json:"legacyRequests,omitempty"`
@@ -358,6 +368,7 @@ func (r *Registry) Snapshot() Snapshot {
 		snap := r.ingest.snapshot()
 		s.Ingest = &snap
 	}
+	s.Process = processSnapshot()
 	s.LegacyRequests = r.legacyHits.Load()
 	return s
 }

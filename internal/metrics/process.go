@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Process-level gauges: what the Go runtime says about the serving process
+// itself — goroutines, heap, GC pauses — exported in both /api/v1/metrics
+// and the Prometheus exposition, plus the conventional build_info family
+// carrying version labels.
+
+// ProcessSnapshot is the process slice of the metrics snapshot.
+type ProcessSnapshot struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapAllocBytes      uint64  `json:"heapAllocBytes"`
+	HeapSysBytes        uint64  `json:"heapSysBytes"`
+	GCCycles            uint32  `json:"gcCycles"`
+	GCPauseTotalSeconds float64 `json:"gcPauseTotalSeconds"`
+	GoVersion           string  `json:"goVersion"`
+	Version             string  `json:"version"`
+}
+
+// processSnapshot reads the runtime's current state.  ReadMemStats costs a
+// brief stop-the-world; it runs only when a snapshot or scrape asks, never
+// on the request path.
+func processSnapshot() ProcessSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	version, goVersion, _ := buildIdentity()
+	return ProcessSnapshot{
+		Goroutines:          runtime.NumGoroutine(),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapSysBytes:        ms.HeapSys,
+		GCCycles:            ms.NumGC,
+		GCPauseTotalSeconds: time.Duration(ms.PauseTotalNs).Seconds(),
+		GoVersion:           goVersion,
+		Version:             version,
+	}
+}
+
+var (
+	buildOnce             sync.Once
+	buildVersion          = "unknown"
+	buildGoVersion        = runtime.Version()
+	buildModule           = "unknown"
+)
+
+// buildIdentity resolves the module version labels once from the binary's
+// embedded build info (test binaries report their own module).
+func buildIdentity() (version, goVersion, module string) {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.GoVersion != "" {
+			buildGoVersion = bi.GoVersion
+		}
+		if bi.Main.Path != "" {
+			buildModule = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			buildVersion = bi.Main.Version
+		}
+	})
+	return buildVersion, buildGoVersion, buildModule
+}

@@ -49,6 +49,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		remotes[k] = v
 	}
 	ingest := r.ingest
+	cluster := r.cluster
 	r.mu.RUnlock()
 
 	fmt.Fprintf(w, "# HELP lotusx_uptime_seconds Time since the metrics registry was created.\n")
@@ -204,7 +205,92 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		scalarHistogram(w, "lotusx_ingest_compaction_duration_seconds", "Wall-clock per compaction round.", ingest.CompactionRun.Export())
 	}
 
+	if cluster != nil {
+		rows := cluster.rows()
+		if len(rows) > 0 {
+			writeClusterRows(w, rows)
+		}
+	}
+
+	ps := processSnapshot()
+	scalarGauge(w, "lotusx_process_goroutines", "Live goroutines in the serving process.", int64(ps.Goroutines))
+	scalarGauge(w, "lotusx_process_heap_alloc_bytes", "Bytes of allocated heap objects.", int64(ps.HeapAllocBytes))
+	scalarGauge(w, "lotusx_process_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", int64(ps.HeapSysBytes))
+	scalarCounter(w, "lotusx_process_gc_cycles_total", "Completed GC cycles.", int64(ps.GCCycles))
+	scalarFloatCounter(w, "lotusx_process_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", ps.GCPauseTotalSeconds)
+	version, goVersion, module := buildIdentity()
+	fmt.Fprintf(w, "# HELP lotusx_build_info Build identity of the serving binary; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE lotusx_build_info gauge\n")
+	fmt.Fprintf(w, "lotusx_build_info{version=%q,goversion=%q,module=%q} 1\n", version, goVersion, module)
+
 	scalarCounter(w, "lotusx_http_legacy_requests_total", "Requests served via deprecated pre-v1 route aliases.", r.legacyHits.Load())
+}
+
+// writeClusterRows renders the lotusx_cluster_* federation families — the
+// per-shard-server rollup a router exposes so one scrape target describes
+// the whole cluster.  The requests/errors families mirror the remote
+// servers' own monotone counters; the latency quantiles are the remote
+// "query" endpoint's, re-exported as gauges (a federated histogram cannot
+// be merged honestly across heterogeneous scrape times).
+func writeClusterRows(w io.Writer, rows []clusterRow) {
+	fmt.Fprintf(w, "# HELP lotusx_cluster_server_up 1 while the shard server answers federation polls.\n")
+	fmt.Fprintf(w, "# TYPE lotusx_cluster_server_up gauge\n")
+	for _, row := range rows {
+		up := 0
+		if row.up {
+			up = 1
+		}
+		fmt.Fprintf(w, "lotusx_cluster_server_up{server=%q} %d\n", row.name, up)
+	}
+	fmt.Fprintf(w, "# HELP lotusx_cluster_server_uptime_seconds Uptime the shard server reported on its last successful poll.\n")
+	fmt.Fprintf(w, "# TYPE lotusx_cluster_server_uptime_seconds gauge\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "lotusx_cluster_server_uptime_seconds{server=%q} %s\n", row.name, fmtFloat(row.uptime))
+	}
+	fmt.Fprintf(w, "# HELP lotusx_cluster_server_requests_total Requests the shard server reported across its endpoints.\n")
+	fmt.Fprintf(w, "# TYPE lotusx_cluster_server_requests_total counter\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "lotusx_cluster_server_requests_total{server=%q} %d\n", row.name, row.requests)
+	}
+	fmt.Fprintf(w, "# HELP lotusx_cluster_server_errors_total Error responses (status >= 400) the shard server reported.\n")
+	fmt.Fprintf(w, "# TYPE lotusx_cluster_server_errors_total counter\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "lotusx_cluster_server_errors_total{server=%q} %d\n", row.name, row.errors)
+	}
+	fmt.Fprintf(w, "# HELP lotusx_cluster_server_error_ratio Errors over requests on the shard server's last snapshot.\n")
+	fmt.Fprintf(w, "# TYPE lotusx_cluster_server_error_ratio gauge\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "lotusx_cluster_server_error_ratio{server=%q} %s\n", row.name, fmtFloat(row.errorRatio))
+	}
+	hasLatency := false
+	for _, row := range rows {
+		if row.hasQueryLatency {
+			hasLatency = true
+		}
+	}
+	if !hasLatency {
+		return
+	}
+	fmt.Fprintf(w, "# HELP lotusx_cluster_server_query_latency_seconds Query-endpoint latency quantiles the shard server reported.\n")
+	fmt.Fprintf(w, "# TYPE lotusx_cluster_server_query_latency_seconds gauge\n")
+	for _, row := range rows {
+		if !row.hasQueryLatency {
+			continue
+		}
+		for _, q := range []struct {
+			q  string
+			ms float64
+		}{{"0.5", row.queryLatency.P50MS}, {"0.95", row.queryLatency.P95MS}, {"0.99", row.queryLatency.P99MS}} {
+			fmt.Fprintf(w, "lotusx_cluster_server_query_latency_seconds{server=%q,quantile=%q} %s\n",
+				row.name, q.q, fmtFloat(q.ms/1000))
+		}
+	}
+}
+
+// scalarFloatCounter writes one unlabeled float-valued counter (GC pause
+// totals are fractional seconds).
+func scalarFloatCounter(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, fmtFloat(v))
 }
 
 // scalarCounter writes one unlabeled counter.

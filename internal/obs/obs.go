@@ -165,6 +165,14 @@ func (s *Span) Graft(n *Node) {
 	s.mu.Unlock()
 }
 
+// Start returns the span's start time, the zero time for nil.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
 // Name returns the span's name, "" for nil.
 func (s *Span) Name() string {
 	if s == nil {

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The trace store is the retention half of the observability plane: spans
+// answer "where did this request's time go", the store answers it for a
+// request that finished minutes ago.  Every request roots a trace (cheap —
+// see the package comment), and when it finishes the server offers the
+// trace here.  The store keeps it only if it is *interesting* — it errored,
+// was answered partially, hit quarantined shards, fired a hedge, or crossed
+// the slow threshold — plus a small uniform sample of everything else, so an
+// operator can compare a pathological trace against the contemporaneous
+// normal shape.  Retention is bounded: two rings (interesting and sampled)
+// evict oldest-first, so memory is fixed whatever the traffic.
+//
+// GET /api/v1/traces lists retained records, GET /api/v1/traces/{requestId}
+// fetches one with its full span tree — the tree a ?debug=trace request
+// would have returned, including span trees grafted from remote shard
+// servers.
+
+// TraceRecord is one retained request trace: the classification facts used
+// for retention and filtering, plus the rendered span tree.
+type TraceRecord struct {
+	// RequestID joins the record with access logs, slow-query logs and the
+	// X-Request-Id response header the client saw.
+	RequestID string `json:"requestId"`
+	// Endpoint is the root span name — "query" or "complete".
+	Endpoint string `json:"endpoint"`
+	// Dataset echoes the request's ?dataset= selector, "" for the default.
+	Dataset string `json:"dataset,omitempty"`
+	// Start is when the trace was rooted.
+	Start time.Time `json:"start"`
+	// DurationMS is the root span's wall-clock time in milliseconds.
+	DurationMS float64 `json:"durationMs"`
+	// Error is the failure that ended the request, "" on success.
+	Error string `json:"error,omitempty"`
+	// Partial marks a degraded answer (some shards failed, survivors served).
+	Partial bool `json:"partial,omitempty"`
+	// Quarantined marks a request refused on open shard circuit breakers.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Hedged marks a request whose fan-out fired at least one hedge RPC.
+	Hedged bool `json:"hedged,omitempty"`
+	// Slow marks a trace retained for crossing the store's slow threshold.
+	Slow bool `json:"slow,omitempty"`
+	// Sampled marks a trace retained only by the uniform sample of
+	// uninteresting traffic.
+	Sampled bool `json:"sampled,omitempty"`
+	// Trace is the rendered span tree; omitted in list responses (fetch the
+	// record by request ID for the tree).
+	Trace *Node `json:"trace,omitempty"`
+}
+
+// interesting reports whether the record must be retained unconditionally.
+func (rec *TraceRecord) interesting() bool {
+	return rec.Error != "" || rec.Partial || rec.Quarantined || rec.Hedged || rec.Slow
+}
+
+// StoreConfig tunes a Store.  The zero value is the production default.
+type StoreConfig struct {
+	// Capacity bounds the total retained records; 0 means 512.  Three
+	// quarters hold interesting traces, one quarter the uniform sample.
+	Capacity int
+	// SlowThreshold classifies a trace as slow (always retained); 0 disables
+	// the slow classification.  Conventionally the server's slow-query log
+	// threshold, so every logged slow query has a retrievable trace.
+	SlowThreshold time.Duration
+	// SampleEvery keeps one of every N uninteresting traces; 0 means 64,
+	// negative disables the uniform sample entirely.
+	SampleEvery int
+}
+
+// Store is a bounded tail-sampling trace store, safe for concurrent use.
+type Store struct {
+	slow        time.Duration
+	sampleEvery int
+
+	mu sync.Mutex
+	// interesting and sampled are bounded FIFO rings of retained records;
+	// byID indexes both for GET /api/v1/traces/{requestId}.
+	interesting ring
+	sampled     ring
+	byID        map[string]*TraceRecord
+	// boring counts uninteresting offers — the uniform sample's modulus.
+	boring int64
+	// offered and kept count all offers and retentions, for introspection.
+	offered int64
+	kept    int64
+}
+
+// ring is a fixed-capacity FIFO of trace records.
+type ring struct {
+	buf   []*TraceRecord
+	start int // index of the oldest record
+	n     int // live records
+}
+
+func (r *ring) push(rec *TraceRecord) (evicted *TraceRecord) {
+	if len(r.buf) == 0 {
+		return rec // zero capacity: nothing is ever retained
+	}
+	if r.n == len(r.buf) {
+		evicted = r.buf[r.start]
+		r.buf[r.start] = rec
+		r.start = (r.start + 1) % len(r.buf)
+		return evicted
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = rec
+	r.n++
+	return nil
+}
+
+// each visits the ring's records newest-first.
+func (r *ring) each(fn func(*TraceRecord)) {
+	for i := r.n - 1; i >= 0; i-- {
+		fn(r.buf[(r.start+i)%len(r.buf)])
+	}
+}
+
+// NewStore builds a trace store.
+func NewStore(cfg StoreConfig) *Store {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 512
+	}
+	sampleEvery := cfg.SampleEvery
+	switch {
+	case sampleEvery == 0:
+		sampleEvery = 64
+	case sampleEvery < 0:
+		sampleEvery = 0 // sampling off
+	}
+	sampleCap := capacity / 4
+	return &Store{
+		slow:        cfg.SlowThreshold,
+		sampleEvery: sampleEvery,
+		interesting: ring{buf: make([]*TraceRecord, capacity-sampleCap)},
+		sampled:     ring{buf: make([]*TraceRecord, sampleCap)},
+		byID:        make(map[string]*TraceRecord, capacity),
+	}
+}
+
+// Offer presents a finished trace for retention.  rec carries the
+// classification facts (error, partial, quarantined, hedged); the store
+// stamps the slow and sampled classifications itself.  The span tree is
+// rendered only when the record is retained — a dropped trace costs a
+// classification and one counter.  It reports whether the record was kept.
+func (s *Store) Offer(rec *TraceRecord, tr *Trace) bool {
+	if s == nil || tr == nil {
+		return false
+	}
+	if s.slow > 0 && rec.DurationMS >= float64(s.slow.Microseconds())/1000 {
+		rec.Slow = true
+	}
+	s.mu.Lock()
+	s.offered++
+	target := &s.interesting
+	if !rec.interesting() {
+		if s.sampleEvery == 0 {
+			s.mu.Unlock()
+			return false
+		}
+		s.boring++
+		if s.boring%int64(s.sampleEvery) != 0 {
+			s.mu.Unlock()
+			return false
+		}
+		rec.Sampled = true
+		target = &s.sampled
+	}
+	if len(target.buf) == 0 { // a tiny capacity can zero the sample ring
+		s.mu.Unlock()
+		return false
+	}
+	s.kept++
+	s.mu.Unlock()
+
+	// Render outside the lock: the tree walk takes the trace's own locks and
+	// its cost must not serialize unrelated offers.
+	rec.Trace = tr.Render()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if evicted := target.push(rec); evicted != nil && s.byID[evicted.RequestID] == evicted {
+		delete(s.byID, evicted.RequestID)
+	}
+	if rec.RequestID != "" {
+		s.byID[rec.RequestID] = rec
+	}
+	return true
+}
+
+// Get returns the retained record with the full span tree, nil when the
+// request ID is unknown (never offered, classified out, or evicted).
+func (s *Store) Get(requestID string) *TraceRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[requestID]
+}
+
+// Filter selects records for List.  Zero values match everything.
+type Filter struct {
+	// Stage retains only traces containing a span (grafted remote spans
+	// included) whose name equals or is prefixed by this value — "fanout",
+	// "join:" and "rpc" all work.
+	Stage string
+	// MinDuration drops traces faster than this.
+	MinDuration time.Duration
+	// ErrorsOnly keeps only traces that ended in an error.
+	ErrorsOnly bool
+	// Endpoint restricts to one root span name ("query", "complete").
+	Endpoint string
+	// Limit caps the result count; 0 means 100.
+	Limit int
+}
+
+// List returns matching records newest-first, without their span trees
+// (summaries; fetch the tree with Get).  retained is the total record count
+// before filtering.
+func (s *Store) List(f Filter) (records []TraceRecord, retained int) {
+	if s == nil {
+		return nil, 0
+	}
+	limit := f.Limit
+	if limit <= 0 {
+		limit = 100
+	}
+	minMS := float64(f.MinDuration.Microseconds()) / 1000
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	retained = s.interesting.n + s.sampled.n
+	var all []*TraceRecord
+	s.interesting.each(func(rec *TraceRecord) { all = append(all, rec) })
+	s.sampled.each(func(rec *TraceRecord) { all = append(all, rec) })
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.After(all[j].Start) })
+	for _, rec := range all {
+		if len(records) >= limit {
+			break
+		}
+		if f.ErrorsOnly && rec.Error == "" {
+			continue
+		}
+		if f.Endpoint != "" && rec.Endpoint != f.Endpoint {
+			continue
+		}
+		if rec.DurationMS < minMS {
+			continue
+		}
+		if f.Stage != "" && !hasStage(rec.Trace, f.Stage) {
+			continue
+		}
+		summary := *rec
+		summary.Trace = nil // list responses stay small; Get serves the tree
+		records = append(records, summary)
+	}
+	return records, retained
+}
+
+// Stats reports the store's lifetime offer/keep counters and live size.
+func (s *Store) Stats() (offered, kept, retained int64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offered, s.kept, int64(s.interesting.n + s.sampled.n)
+}
+
+// hasStage reports whether the rendered tree contains a span whose name
+// matches stage exactly or by prefix — grafted remote subtrees included,
+// which is the point: "did this request reach shard-server stage X".
+func hasStage(n *Node, stage string) bool {
+	if n == nil {
+		return false
+	}
+	if n.Name == stage || strings.HasPrefix(n.Name, stage) {
+		return true
+	}
+	for _, c := range n.Children {
+		if hasStage(c, stage) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// offer feeds one classified record with a minimal finished trace.
+func offer(s *Store, rec TraceRecord) bool {
+	tr := New("query")
+	sp := tr.Root().Child("fanout")
+	sp.Child("join:twigstack").End()
+	sp.End()
+	tr.Finish()
+	if rec.Endpoint == "" {
+		rec.Endpoint = "query"
+	}
+	return s.Offer(&rec, tr)
+}
+
+func TestStoreRetainsInteresting(t *testing.T) {
+	s := NewStore(StoreConfig{Capacity: 8, SampleEvery: -1})
+	cases := []TraceRecord{
+		{RequestID: "err", Error: "boom"},
+		{RequestID: "partial", Partial: true},
+		{RequestID: "quarantined", Quarantined: true},
+		{RequestID: "hedged", Hedged: true},
+	}
+	for _, rec := range cases {
+		if !offer(s, rec) {
+			t.Fatalf("interesting record %q dropped", rec.RequestID)
+		}
+	}
+	if offer(s, TraceRecord{RequestID: "boring"}) {
+		t.Fatal("boring record kept with sampling disabled")
+	}
+	for _, rec := range cases {
+		got := s.Get(rec.RequestID)
+		if got == nil {
+			t.Fatalf("Get(%q) = nil", rec.RequestID)
+		}
+		if got.Trace == nil || len(got.Trace.Children) == 0 {
+			t.Fatalf("retained record %q has no span tree", rec.RequestID)
+		}
+	}
+	if s.Get("boring") != nil {
+		t.Fatal("dropped record is retrievable")
+	}
+	offered, kept, retained := s.Stats()
+	if offered != 5 || kept != 4 || retained != 4 {
+		t.Fatalf("Stats() = %d/%d/%d, want 5/4/4", offered, kept, retained)
+	}
+}
+
+func TestStoreSlowThreshold(t *testing.T) {
+	s := NewStore(StoreConfig{Capacity: 8, SlowThreshold: 100 * time.Millisecond, SampleEvery: -1})
+	if offer(s, TraceRecord{RequestID: "fast", DurationMS: 5}) {
+		t.Fatal("fast trace kept")
+	}
+	if !offer(s, TraceRecord{RequestID: "slow", DurationMS: 250}) {
+		t.Fatal("slow trace dropped")
+	}
+	if rec := s.Get("slow"); rec == nil || !rec.Slow {
+		t.Fatalf("slow trace not stamped: %+v", rec)
+	}
+}
+
+func TestStoreUniformSample(t *testing.T) {
+	s := NewStore(StoreConfig{Capacity: 16, SampleEvery: 4})
+	kept := 0
+	for i := 0; i < 16; i++ {
+		if offer(s, TraceRecord{RequestID: fmt.Sprintf("r%d", i)}) {
+			kept++
+		}
+	}
+	if kept != 4 {
+		t.Fatalf("kept %d of 16 boring traces at SampleEvery=4, want 4", kept)
+	}
+	records, _ := s.List(Filter{})
+	for _, rec := range records {
+		if !rec.Sampled {
+			t.Fatalf("record %q retained by sampling lacks the Sampled mark", rec.RequestID)
+		}
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	// Capacity 4 gives a 3-slot interesting ring (1 slot sample ring).
+	s := NewStore(StoreConfig{Capacity: 4, SampleEvery: -1})
+	for i := 0; i < 5; i++ {
+		offer(s, TraceRecord{RequestID: fmt.Sprintf("e%d", i), Error: "boom"})
+	}
+	if s.Get("e0") != nil || s.Get("e1") != nil {
+		t.Fatal("oldest records not evicted")
+	}
+	for _, id := range []string{"e2", "e3", "e4"} {
+		if s.Get(id) == nil {
+			t.Fatalf("recent record %q evicted", id)
+		}
+	}
+	if _, _, retained := s.Stats(); retained != 3 {
+		t.Fatalf("retained = %d, want 3", retained)
+	}
+}
+
+func TestStoreListFilters(t *testing.T) {
+	s := NewStore(StoreConfig{Capacity: 16, SampleEvery: -1})
+	offer(s, TraceRecord{RequestID: "a", Error: "boom", DurationMS: 5})
+	offer(s, TraceRecord{RequestID: "b", Partial: true, DurationMS: 80})
+	offer(s, TraceRecord{RequestID: "c", Endpoint: "complete", Hedged: true, DurationMS: 3})
+
+	if records, retained := s.List(Filter{}); len(records) != 3 || retained != 3 {
+		t.Fatalf("unfiltered List = %d records, retained %d", len(records), retained)
+	}
+	if records, _ := s.List(Filter{ErrorsOnly: true}); len(records) != 1 || records[0].RequestID != "a" {
+		t.Fatalf("ErrorsOnly = %+v", records)
+	}
+	if records, _ := s.List(Filter{MinDuration: 50 * time.Millisecond}); len(records) != 1 || records[0].RequestID != "b" {
+		t.Fatalf("MinDuration = %+v", records)
+	}
+	if records, _ := s.List(Filter{Endpoint: "complete"}); len(records) != 1 || records[0].RequestID != "c" {
+		t.Fatalf("Endpoint = %+v", records)
+	}
+	if records, _ := s.List(Filter{Stage: "join"}); len(records) != 3 {
+		t.Fatalf("Stage prefix match = %d records, want 3", len(records))
+	}
+	if records, _ := s.List(Filter{Stage: "nope"}); len(records) != 0 {
+		t.Fatalf("bogus stage matched %d records", len(records))
+	}
+	if records, _ := s.List(Filter{Limit: 2}); len(records) != 2 {
+		t.Fatalf("Limit = %d records, want 2", len(records))
+	}
+	// Summaries stay lean; the tree comes from Get.
+	if records, _ := s.List(Filter{}); records[0].Trace != nil {
+		t.Fatal("List returned a span tree")
+	}
+}
+
+func TestStoreStageMatchesGraftedSpans(t *testing.T) {
+	s := NewStore(StoreConfig{Capacity: 8, SampleEvery: -1})
+	tr := New("query")
+	sp := tr.Root().Child("shard")
+	sp.Graft(&Node{Name: "query", Children: []*Node{{Name: "join:twigstack"}}})
+	sp.End()
+	tr.Finish()
+	s.Offer(&TraceRecord{RequestID: "g", Endpoint: "query", Hedged: true}, tr)
+
+	if records, _ := s.List(Filter{Stage: "join"}); len(records) != 1 {
+		t.Fatal("stage filter missed a grafted remote span")
+	}
+}
+
+func TestStoreNilSafe(t *testing.T) {
+	var s *Store
+	if s.Offer(&TraceRecord{}, New("query")) {
+		t.Fatal("nil store kept a record")
+	}
+	if s.Get("x") != nil {
+		t.Fatal("nil store returned a record")
+	}
+	if records, retained := s.List(Filter{}); records != nil || retained != 0 {
+		t.Fatal("nil store listed records")
+	}
+}

@@ -162,18 +162,47 @@ type SearchPage struct {
 	Trace        *obs.Node `json:"trace,omitempty"`
 }
 
-// Search runs one query RPC.  wantTrace asks the replica for its span tree
-// so the router can graft it under the local shard span.
-func (c *Client) Search(ctx context.Context, req SearchRequest, wantTrace bool) (*SearchPage, error) {
+// TraceMode selects how a search RPC asks the replica for its span tree.
+type TraceMode int
+
+const (
+	// TraceOff requests no trace (the replica still tail-samples its own).
+	TraceOff TraceMode = iota
+	// TraceSample asks for the span tree passively (X-Lotusx-Trace: sample):
+	// the replica returns its trace but serves through its hot-path caches
+	// like any other request.  This is the always-on tail-sampling mode — a
+	// router collecting traces must not turn every shard cache hit into a
+	// miss.
+	TraceSample
+	// TraceDebug asks with ?debug=trace, which bypasses the replica's caches
+	// to measure the real evaluation pipeline — the explicit-debug mode.
+	TraceDebug
+)
+
+// Search runs one query RPC.  mode asks the replica for its span tree so
+// the router can graft it under the local shard span (see TraceMode).
+func (c *Client) Search(ctx context.Context, req SearchRequest, mode TraceMode) (*SearchPage, error) {
 	qv := url.Values{}
-	if wantTrace {
+	var hdr http.Header
+	switch mode {
+	case TraceDebug:
 		qv.Set("debug", "trace")
+	case TraceSample:
+		hdr = http.Header{"X-Lotusx-Trace": []string{"sample"}}
 	}
 	var out SearchPage
-	if err := c.do(ctx, http.MethodPost, "/api/v1/query", qv, req, &out); err != nil {
+	if err := c.doHeader(ctx, http.MethodPost, "/api/v1/query", qv, hdr, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// MetricsSnapshot fetches the replica's /api/v1/metrics snapshot — the
+// federation poll (see Federator).
+func (c *Client) MetricsSnapshot(ctx context.Context) (metrics.Snapshot, error) {
+	var snap metrics.Snapshot
+	err := c.do(ctx, http.MethodGet, "/api/v1/metrics", url.Values{}, nil, &snap)
+	return snap, err
 }
 
 // Complete runs one completion RPC.  kind is "tag" or "value"; path is the
@@ -233,6 +262,11 @@ func (c *Client) Stats(ctx context.Context) (core.BackendInfo, error) {
 // is either a transport error (context errors included, wrapped by
 // net/http) or a typed *Error decoded from the v1 envelope.
 func (c *Client) do(ctx context.Context, method, path string, qv url.Values, body, out any) error {
+	return c.doHeader(ctx, method, path, qv, nil, body, out)
+}
+
+// doHeader is do with extra request headers (nil for none).
+func (c *Client) doHeader(ctx context.Context, method, path string, qv url.Values, hdr http.Header, body, out any) error {
 	if err := c.faults.Fire(ctx, FaultRPC, c.name); err != nil {
 		return err
 	}
@@ -254,6 +288,11 @@ func (c *Client) do(ctx context.Context, method, path string, qv url.Values, bod
 	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return fmt.Errorf("remote: build %s: %w", path, err)
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")

@@ -1,0 +1,137 @@
+package remote
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lotusx/internal/metrics"
+)
+
+// Metrics federation: the router periodically pulls each shard server's
+// /api/v1/metrics snapshot over the same v1 client the data path uses and
+// folds the results into the registry's ClusterMetrics, which the router
+// serves back merged at /api/v1/cluster/metrics and as lotusx_cluster_*
+// Prometheus families.  Pull keeps shard servers passive (they already
+// expose the snapshot; no push agent, no new wire surface) and the poll
+// budget keeps a hung shard from wedging the loop.
+
+// Federation timing defaults.
+const (
+	// DefaultFederateInterval is the poll period; each cycle costs one
+	// GET /api/v1/metrics per distinct shard server.
+	DefaultFederateInterval = 10 * time.Second
+	// DefaultFederateTimeout budgets one snapshot pull.
+	DefaultFederateTimeout = 2 * time.Second
+)
+
+// FederatorConfig configures the metrics federation loop.
+type FederatorConfig struct {
+	// Clients are the shard-server endpoints to poll, deduplicated by
+	// Client.Name — replica lists across shards typically share servers.
+	Clients []*Client
+	// Cluster receives the polled snapshots; required.
+	Cluster *metrics.ClusterMetrics
+	// Interval is the poll period; 0 means DefaultFederateInterval.
+	Interval time.Duration
+	// Timeout budgets each per-server pull; 0 means DefaultFederateTimeout.
+	Timeout time.Duration
+}
+
+// Federator polls shard servers' metrics snapshots on a fixed interval.
+type Federator struct {
+	clients  []*Client
+	cluster  *metrics.ClusterMetrics
+	interval time.Duration
+	timeout  time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewFederator builds a federation loop, deduplicating clients by name.
+// It does not start polling; call Start.
+func NewFederator(cfg FederatorConfig) *Federator {
+	seen := make(map[string]bool, len(cfg.Clients))
+	var clients []*Client
+	for _, c := range cfg.Clients {
+		if c == nil || seen[c.Name()] {
+			continue
+		}
+		seen[c.Name()] = true
+		clients = append(clients, c)
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = DefaultFederateInterval
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultFederateTimeout
+	}
+	return &Federator{
+		clients:  clients,
+		cluster:  cfg.Cluster,
+		interval: interval,
+		timeout:  timeout,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// PollOnce pulls every server's snapshot concurrently and records the
+// results: a success updates the server's snapshot, a failure marks it
+// down (its last-known snapshot is kept for the merged view).
+func (f *Federator) PollOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, c := range f.clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, f.timeout)
+			defer cancel()
+			snap, err := c.MetricsSnapshot(pctx)
+			if err != nil {
+				f.cluster.MarkDown(c.Name(), err)
+				return
+			}
+			f.cluster.Update(c.Name(), snap)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Start launches the poll loop: one immediate poll, then one per interval
+// until Stop.  Starting a federator with no clients or no cluster sink is
+// a no-op.
+func (f *Federator) Start() {
+	if len(f.clients) == 0 || f.cluster == nil {
+		return
+	}
+	go func() {
+		defer close(f.done)
+		f.PollOnce(context.Background())
+		t := time.NewTicker(f.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				f.PollOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop halts the poll loop and waits for it to exit.  Safe to call more
+// than once, and safe on a federator that never started (Start's no-op
+// case never closes done, so Stop returns immediately then).
+func (f *Federator) Stop() {
+	f.once.Do(func() { close(f.stop) })
+	if len(f.clients) == 0 || f.cluster == nil {
+		return
+	}
+	<-f.done
+}

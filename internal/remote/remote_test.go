@@ -408,7 +408,7 @@ func TestEnvelopeDecode(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, err = cl.Search(context.Background(), remote.SearchRequest{Query: "//a", K: 1}, false)
+			_, err = cl.Search(context.Background(), remote.SearchRequest{Query: "//a", K: 1}, remote.TraceOff)
 			var re *remote.Error
 			if !errors.As(err, &re) {
 				t.Fatalf("error %v (%T) is not a *remote.Error", err, err)
@@ -433,13 +433,13 @@ func TestEnvelopeDecode(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, err = cl.Search(context.Background(), remote.SearchRequest{Query: "//a", K: 1}, false)
+		_, err = cl.Search(context.Background(), remote.SearchRequest{Query: "//a", K: 1}, remote.TraceOff)
 		var re *remote.Error
 		if !errors.As(err, &re) {
 			t.Fatalf("error %v is not a *remote.Error", err)
 		}
-		if re.Status != http.StatusBadGateway || re.Code != httpmw.CodeInternal {
-			t.Fatalf("got status=%d code=%q, want 502 inferred as internal", re.Status, re.Code)
+		if re.Status != http.StatusBadGateway || re.Code != httpmw.CodeUpstream {
+			t.Fatalf("got status=%d code=%q, want 502 inferred as upstream_failed", re.Status, re.Code)
 		}
 	})
 
@@ -454,7 +454,7 @@ func TestEnvelopeDecode(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, err = cl.Search(context.Background(), remote.SearchRequest{Query: "//a", K: 1}, false)
+		_, err = cl.Search(context.Background(), remote.SearchRequest{Query: "//a", K: 1}, remote.TraceOff)
 		var re *remote.Error
 		if !errors.As(err, &re) {
 			t.Fatalf("error %v is not a *remote.Error", err)
@@ -615,8 +615,8 @@ func TestRouterRetryAfterOnQuarantine(t *testing.T) {
 	}
 	r1 := query()
 	r1.Body.Close()
-	if r1.StatusCode != http.StatusBadRequest {
-		t.Fatalf("outage search status = %d, want 400 (all shards failed)", r1.StatusCode)
+	if r1.StatusCode != http.StatusBadGateway {
+		t.Fatalf("outage search status = %d, want 502 (all shards failed)", r1.StatusCode)
 	}
 
 	r2 := query()

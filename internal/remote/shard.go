@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lotusx/internal/cache"
 	"lotusx/internal/complete"
 	"lotusx/internal/core"
 	"lotusx/internal/corpus"
@@ -171,8 +172,20 @@ func (s *Shard) SearchShard(ctx context.Context, q *twig.Query, opts core.Search
 	if opts.Algorithm != "" {
 		req.Algorithm = string(opts.Algorithm)
 	}
+	// Traced fan-outs ask replicas for their span trees: in debug mode
+	// (?debug=trace, recognizable by the cache bypass it set) the replica
+	// also bypasses its caches to measure the raw pipeline; in the always-on
+	// tail-sampling mode the ask is passive — the replica serves through its
+	// caches and the trace just rides along.
 	sp := obs.FromContext(ctx)
-	wantTrace := sp != nil
+	mode := TraceOff
+	if sp != nil {
+		if cache.Bypassed(ctx) {
+			mode = TraceDebug
+		} else {
+			mode = TraceSample
+		}
+	}
 
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -200,7 +213,7 @@ func (s *Shard) SearchShard(ctx context.Context, q *twig.Query, opts core.Search
 				asp.Set("hedged", "true")
 			}
 			start := time.Now()
-			page, err := c.Search(rctx, req, wantTrace)
+			page, err := c.Search(rctx, req, mode)
 			asp.SetErr(err)
 			asp.End()
 			ch <- attempt{page: page, err: err, replica: c.Name(), hedged: hedged, dur: time.Since(start)}
@@ -235,14 +248,24 @@ func (s *Shard) SearchShard(ctx context.Context, q *twig.Query, opts core.Search
 			if a.err == nil {
 				cancel() // the winner is decided; stop the losers mid-flight
 				s.lat.observe(a.dur)
-				if s.met != nil && hedgeFired {
+				if hedgeFired {
+					if s.met != nil {
+						if a.hedged {
+							s.met.HedgeWins.Add(1)
+						} else {
+							s.met.HedgeLosses.Add(1)
+						}
+					}
+					// The outcome lands on the shard span so slow-query logs
+					// and the trace store can report hedge fired/won without
+					// re-deriving it from rpc children.
 					if a.hedged {
-						s.met.HedgeWins.Add(1)
+						sp.Set("hedge", "won")
 					} else {
-						s.met.HedgeLosses.Add(1)
+						sp.Set("hedge", "lost")
 					}
 				}
-				if wantTrace && a.page.Trace != nil {
+				if mode != TraceOff && a.page.Trace != nil {
 					sp.Graft(a.page.Trace)
 				}
 				return s.toPage(a.page), nil

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lotusx/internal/obs"
+)
+
+// TestTraceStoreRetainsErrors: the store is on by default — a request that
+// errors is retrievable afterwards by its request ID, with the span tree,
+// without anyone having asked for ?debug=trace.
+func TestTraceStoreRetainsErrors(t *testing.T) {
+	_, ts := shardedServer(t, Config{})
+
+	req, _ := http.NewRequest("POST", ts.URL+"/api/v1/query",
+		strings.NewReader(`{"query": "]broken["}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "store-err-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d", resp.StatusCode)
+	}
+
+	var list struct {
+		Traces   []obs.TraceRecord `json:"traces"`
+		Retained int               `json:"retained"`
+		Offered  int64             `json:"offered"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/traces?error=1", &list); code != 200 {
+		t.Fatalf("trace list status = %d", code)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].RequestID != "store-err-1" {
+		t.Fatalf("error traces = %+v, want the failed request", list.Traces)
+	}
+	if list.Traces[0].Error == "" || list.Traces[0].Trace != nil {
+		t.Fatalf("summary = %+v, want error text without tree", list.Traces[0])
+	}
+	if list.Offered == 0 {
+		t.Fatal("store counters missing from the list response")
+	}
+
+	var rec obs.TraceRecord
+	if code := getJSON(t, ts.URL+"/api/v1/traces/store-err-1", &rec); code != 200 {
+		t.Fatalf("trace fetch status = %d", code)
+	}
+	if rec.Trace == nil || rec.Trace.Name != "query" {
+		t.Fatalf("record = %+v, want the query span tree", rec)
+	}
+}
+
+// TestTracesQueryValidation: filter parsing rejects junk with 400s and an
+// unknown ID is 404.
+func TestTracesQueryValidation(t *testing.T) {
+	_, ts := shardedServer(t, Config{})
+	for _, path := range []string{
+		"/api/v1/traces?minMs=abc",
+		"/api/v1/traces?minMs=-1",
+		"/api/v1/traces?limit=0",
+		"/api/v1/traces?limit=99999",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/traces/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown ID status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTraceStoreDisabled: negative capacity turns the store off — the
+// routes answer 404 and requests pay no rooting.
+func TestTraceStoreDisabled(t *testing.T) {
+	_, ts := shardedServer(t, Config{TraceCapacity: -1})
+	for _, path := range []string{"/api/v1/traces", "/api/v1/traces/any"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s status = %d, want 404 with the store disabled", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestPassiveTraceSampleServesThroughCache: the X-Lotusx-Trace: sample
+// spelling returns the span tree WITHOUT bypassing the hot-path caches —
+// the mode routers use for always-on tail sampling, which must not turn
+// every shard cache hit into a miss.
+func TestPassiveTraceSampleServesThroughCache(t *testing.T) {
+	ts, reg := adminServer(t, Config{})
+	body := `{"query":"//article/title","k":5}`
+
+	do := func() *struct{} {
+		req, _ := http.NewRequest("POST", ts.URL+"/api/v1/query?dataset=bib", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Lotusx-Trace", "sample")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Trace *struct{} `json:"trace"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Trace
+	}
+
+	if do() == nil {
+		t.Fatal("sample mode returned no trace")
+	}
+	if _, misses := cacheCounters(t, reg, "results"); misses != 1 {
+		t.Fatalf("first sampled request: misses=%d, want 1 (cache consulted, not bypassed)", misses)
+	}
+	if do() == nil {
+		t.Fatal("sampled cache hit returned no trace")
+	}
+	if hits, _ := cacheCounters(t, reg, "results"); hits != 1 {
+		t.Fatalf("second sampled request: hits=%d, want 1 (served from cache)", hits)
+	}
+}
+
+// TestSlowQueryLogEnriched: the slow-query line carries the request's
+// classification facts — here the cache verdict and, on failures, the error.
+func TestSlowQueryLogEnriched(t *testing.T) {
+	sink := &syncWriter{}
+	ts, _ := adminServer(t, Config{
+		SlowQuery: time.Nanosecond,
+		Logger:    slog.New(slog.NewTextHandler(sink, nil)),
+	})
+	body := `{"query":"//article/title","k":5}`
+	var out struct{ Answers []any }
+	postJSON(t, ts.URL+"/api/v1/query?dataset=bib", body, &out)
+	postJSON(t, ts.URL+"/api/v1/query?dataset=bib", body, &out)
+
+	logs := waitForLog(t, sink, "cache=hit")
+	var miss, hit bool
+	for _, l := range strings.Split(logs, "\n") {
+		if !strings.Contains(l, "slow query") {
+			continue
+		}
+		miss = miss || strings.Contains(l, "cache=miss")
+		hit = hit || strings.Contains(l, "cache=hit")
+	}
+	if !miss || !hit {
+		t.Fatalf("slow-query lines lack cache verdicts (miss=%v hit=%v):\n%s", miss, hit, logs)
+	}
+
+	postJSON(t, ts.URL+"/api/v1/query?dataset=bib", `{"query":"]bad["}`, &out)
+	logs = waitForLog(t, sink, "error=")
+	found := false
+	for _, l := range strings.Split(logs, "\n") {
+		if strings.Contains(l, "slow query") && strings.Contains(l, "error=") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failed query's slow-query line lacks error=:\n%s", logs)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"lotusx/internal/join"
 	"lotusx/internal/metrics"
 	"lotusx/internal/obs"
+	"lotusx/internal/slo"
 	"lotusx/internal/twig"
 )
 
@@ -115,6 +116,23 @@ type Config struct {
 	// view (see docs/CLUSTER.md).  Nil (every non-router deployment) leaves
 	// the route unmounted.
 	ClusterStatus func() any
+	// TraceCapacity bounds the tail-sampled trace store behind
+	// GET /api/v1/traces: every request roots a trace, and interesting ones
+	// (errors, partials, quarantines, hedges, slow-threshold crossings) plus
+	// a uniform sample are retained for after-the-fact inspection.  0 means
+	// the default (512 records); negative disables the store (and with it
+	// the always-on rooting it implies).
+	TraceCapacity int
+	// TraceSampleEvery keeps one of every N uninteresting traces in the
+	// store's uniform sample; 0 means the store default (64), negative
+	// disables the sample (interesting traces are still retained).
+	TraceSampleEvery int
+	// SLO, when non-nil, tracks the declared service-level objectives over
+	// the serving routes: every non-admin, non-observability response feeds
+	// it, /api/v1/metrics and the Prometheus exposition report compliance
+	// and burn rates, and /readyz flips to "ready (slo-burning)" while the
+	// fast window burns (see internal/slo and docs/OBSERVABILITY.md).
+	SLO *slo.Tracker
 }
 
 // defaultCompactThreshold is the delta-shard backlog that triggers an
@@ -138,6 +156,11 @@ type Server struct {
 	faults       *faults.Registry
 	// clusterStatus backs GET /api/v1/cluster; nil leaves it unmounted.
 	clusterStatus func() any
+	// traces is the tail-sampled trace store behind GET /api/v1/traces; nil
+	// when Config.TraceCapacity is negative.
+	traces *obs.Store
+	// slo tracks the declared service-level objectives; nil when none are.
+	slo *slo.Tracker
 
 	// queue is the async ingestion pipeline (nil unless EnableAdmin): admin
 	// writes enqueue jobs here and answer 202; see internal/ingest.
@@ -218,6 +241,14 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 		compactThreshold: compactThreshold,
 		maxIngest:        cfg.MaxIngestBytes,
 		clusterStatus:    cfg.ClusterStatus,
+		slo:              cfg.SLO,
+	}
+	if cfg.TraceCapacity >= 0 {
+		s.traces = obs.NewStore(obs.StoreConfig{
+			Capacity:      cfg.TraceCapacity,
+			SlowThreshold: cfg.SlowQuery,
+			SampleEvery:   cfg.TraceSampleEvery,
+		})
 	}
 	if s.maxIngest <= 0 {
 		s.maxIngest = maxIngestSize
@@ -285,7 +316,10 @@ func routeTable(s *Server) []route {
 		{method: "GET", path: "/api/v1/guide", name: "guide", h: s.handleGuide, legacy: true},
 		// Observability; exempt from load shedding.
 		{method: "GET", path: "/api/v1/cluster", name: "cluster", h: s.handleCluster, router: true, exempt: true},
+		{method: "GET", path: "/api/v1/cluster/metrics", name: "cluster", h: s.handleClusterMetrics, router: true, exempt: true},
 		{method: "GET", path: "/api/v1/metrics", name: "metrics", h: s.handleMetrics, exempt: true},
+		{method: "GET", path: "/api/v1/traces", name: "traces", h: s.handleTraces, exempt: true},
+		{method: "GET", path: "/api/v1/traces/{id}", name: "traces", h: s.handleTrace, exempt: true},
 		{method: "GET", path: "/metrics", name: "prometheus", h: s.handlePrometheus, exempt: true},
 		// The async-ingestion jobs API; polls stay exempt so clients can watch
 		// a job while the ingest it describes loads the server.
@@ -327,6 +361,11 @@ func (s *Server) mount(cfg Config) {
 			continue
 		}
 		h := httpmw.Chain(rt.h, httpmw.Instrument(s.reg.Endpoint(rt.name)))
+		if s.slo != nil && !rt.admin && !rt.exempt {
+			// The serving surface feeds the SLO engine; admin writes and the
+			// observability routes are operations, not the product.
+			h = sloObserve(s.slo, rt.name)(h)
+		}
 		s.mux.Handle(rt.method+" "+rt.path, h)
 		methodsByPath[rt.path] = append(methodsByPath[rt.path], rt.method)
 		if rt.legacy {
@@ -505,7 +544,11 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	snap := s.reg.Snapshot()
+	if s.slo != nil {
+		snap.SLO = s.slo.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // handleCluster serves the router's topology and hedging status (mounted
@@ -561,6 +604,20 @@ func quarantined(w http.ResponseWriter, r *http.Request, err error) {
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	httpmw.WriteErrorCtx(r.Context(), w, http.StatusServiceUnavailable, httpmw.CodeOverloaded, err.Error())
+}
+
+// upstreamFailed answers 502 for a search the corpus could not complete
+// because a shard failed (failfast policy, or every shard down).  Distinct
+// from badQuery so availability objectives and clients see shard outages
+// as server-side failures, never as their own malformed input.
+func upstreamFailed(w http.ResponseWriter, r *http.Request, err error) {
+	httpmw.WriteErrorCtx(r.Context(), w, http.StatusBadGateway, httpmw.CodeUpstream, err.Error())
+}
+
+// isShardError reports whether err is (or wraps) a shard upstream failure.
+func isShardError(err error) bool {
+	var se *corpus.ShardError
+	return errors.As(err, &se)
 }
 
 // writeCtxError answers a request whose context died mid-evaluation: 504
@@ -638,6 +695,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if path != "" {
 		parsed, err := parseTraced(r, path)
 		if err != nil {
+			annotateTraceError(r, err)
 			s.finishTrace(r, tr, nil)
 			badQuery(w, r, fmt.Errorf("bad path: %w", err))
 			return
@@ -662,6 +720,9 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		badQuery(w, r, fmt.Errorf("unknown kind %q", kind))
 		return
 	}
+	if err != nil {
+		annotateTraceError(r, err)
+	}
 	httpmw.Annotate(r.Context(), "candidates", len(cands))
 	trace := s.finishTrace(r, tr, q)
 	if err != nil {
@@ -670,6 +731,8 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 			writeCtxError(w, r, err)
 		case errors.Is(err, corpus.ErrShardQuarantined):
 			quarantined(w, r, err)
+		case isShardError(err):
+			upstreamFailed(w, r, err)
 		default:
 			internalError(w, r, err)
 		}
@@ -846,6 +909,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr, r := s.startTrace(r, "query")
 	q, err := parseTraced(r, req.Query)
 	if err != nil {
+		annotateTraceError(r, err)
 		s.finishTrace(r, tr, nil)
 		badQuery(w, r, err)
 		return
@@ -859,12 +923,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := b.SearchHits(r.Context(), q, opts)
 	if err != nil {
+		annotateTraceError(r, err)
 		s.finishTrace(r, tr, q)
 		switch {
 		case isCtxError(err):
 			writeCtxError(w, r, err)
 		case errors.Is(err, corpus.ErrShardQuarantined):
 			quarantined(w, r, err)
+		case isShardError(err):
+			upstreamFailed(w, r, err)
 		default:
 			badQuery(w, r, err)
 		}
