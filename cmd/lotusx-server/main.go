@@ -48,7 +48,13 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0,
 		"per-request deadline; expired requests answer 504 (0 disables)")
 	maxInflight := flag.Int("max-inflight", 0,
-		"max concurrent API requests; excess load is shed with 429 (0 disables)")
+		"max concurrent API requests; excess load is shed with 503 + Retry-After (0 disables)")
+	rateQPS := flag.Float64("rate-qps", 0,
+		"per-client request rate (token bucket keyed by X-Lotusx-Client, else the remote address); over-rate clients answer 429 + Retry-After (0 disables)")
+	rateBurst := flag.Int("rate-burst", 0,
+		"per-client burst depth for -rate-qps; 0 derives a default from the rate")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"graceful-shutdown budget after SIGTERM/SIGINT: in-flight requests and queued ingests get this long to finish before the process exits")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	admin := flag.Bool("admin", false,
 		"enable the dataset admin API (POST/DELETE /api/v1/datasets/...)")
@@ -108,6 +114,8 @@ func main() {
 		"availability objective as a percentage, e.g. 99.9: that fraction of all responses non-5xx (0 disables)")
 	federateInterval := flag.Duration("federate-interval", 0,
 		"with -mode=router: period between shard-server metrics pulls feeding /api/v1/cluster/metrics; 0 means the default (10s), negative disables federation")
+	retryBudget := flag.Float64("retry-budget", 0.2,
+		"with -mode=router: cap hedges+failovers at this fraction of primary traffic (brownout containment); negative disables the cap")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -136,6 +144,8 @@ func main() {
 	cfg := server.Config{
 		QueryTimeout:           *queryTimeout,
 		MaxInflight:            *maxInflight,
+		RateQPS:                *rateQPS,
+		RateBurst:              *rateBurst,
 		Metrics:                reg,
 		EnableAdmin:            *admin,
 		CorpusDir:              *corpusDir,
@@ -166,6 +176,7 @@ func main() {
 		runShard(cfg, shardArgs{
 			in: *in, indexFile: *indexFile, kind: *kind, scale: *scale, seed: *seed,
 			slice: *slice, addr: *addr, debugAddr: *debugAddr, admin: *admin,
+			drainTimeout: *drainTimeout,
 		})
 		return
 	case "router":
@@ -174,6 +185,7 @@ func main() {
 			remoteDataset: *remoteDataset, hedgeDelay: *hedgeDelay,
 			clusterName: *clusterName, addr: *addr, debugAddr: *debugAddr,
 			admin: *admin, federateInterval: *federateInterval,
+			retryBudget: *retryBudget, drainTimeout: *drainTimeout,
 		})
 		return
 	default:
@@ -190,7 +202,7 @@ func main() {
 		srv := server.NewConfig(engine, cfg)
 		startDebug(*debugAddr, srv)
 		fmt.Printf("serving %s (%d nodes, %d tags) on %s%s\n", st.Document, st.Nodes, st.Tags, *addr, servingNote(cfg))
-		if err := http.ListenAndServe(*addr, srv); err != nil {
+		if err := serveUntilSignal(*addr, srv, *drainTimeout, nil); err != nil {
 			fatal(err)
 		}
 		return
@@ -246,7 +258,7 @@ func main() {
 	srv := server.NewCatalogConfig(catalog, cfg)
 	startDebug(*debugAddr, srv)
 	fmt.Printf("serving %d datasets on %s%s\n", catalog.Len(), *addr, note)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := serveUntilSignal(*addr, srv, *drainTimeout, nil); err != nil {
 		fatal(err)
 	}
 }
@@ -387,6 +399,7 @@ type shardArgs struct {
 	slice               string
 	addr, debugAddr     string
 	admin               bool
+	drainTimeout        time.Duration
 }
 
 // runShard serves one slice of the input document as a slim single-engine
@@ -421,7 +434,7 @@ func runShard(cfg server.Config, a shardArgs) {
 	startDebug(a.debugAddr, srv)
 	fmt.Printf("serving shard %d/%d of %s (%d nodes, %d tags) on %s%s\n",
 		idx, parts, st.Document, st.Nodes, st.Tags, a.addr, servingNote(cfg))
-	if err := http.ListenAndServe(a.addr, srv); err != nil {
+	if err := serveUntilSignal(a.addr, srv, a.drainTimeout, nil); err != nil {
 		fatal(err)
 	}
 }
@@ -452,6 +465,8 @@ type routerArgs struct {
 	addr, debugAddr  string
 	admin            bool
 	federateInterval time.Duration
+	retryBudget      float64
+	drainTimeout     time.Duration
 }
 
 // runRouter serves a remote corpus: one logical shard per replica group of
@@ -480,6 +495,9 @@ func runRouter(cfg server.Config, reg *metrics.Registry, tuning corpus.Tuning, a
 	}
 
 	met := reg.Remote(a.clusterName)
+	// One retry budget shared across every shard: the cluster-wide
+	// amplification bound is what contains a brownout.
+	budget := remote.NewRetryBudget(a.retryBudget, reg.Admission())
 	shards := make([]*remote.Shard, len(groups))
 	backends := make([]corpus.ShardBackend, len(groups))
 	var allClients []*remote.Client
@@ -502,6 +520,7 @@ func runRouter(cfg server.Config, reg *metrics.Registry, tuning corpus.Tuning, a
 		shards[i], err = remote.NewShard(name, clients, remote.ShardOptions{
 			HedgeDelay: a.hedgeDelay,
 			Metrics:    met,
+			Budget:     budget,
 		})
 		if err != nil {
 			fatal(err)
@@ -524,6 +543,7 @@ func runRouter(cfg server.Config, reg *metrics.Registry, tuning corpus.Tuning, a
 		}
 		return map[string]any{"dataset": a.clusterName, "shards": sts}
 	}
+	var onStop func()
 	if a.federateInterval >= 0 {
 		fed := remote.NewFederator(remote.FederatorConfig{
 			Clients:  allClients,
@@ -531,13 +551,13 @@ func runRouter(cfg server.Config, reg *metrics.Registry, tuning corpus.Tuning, a
 			Interval: a.federateInterval,
 		})
 		fed.Start()
-		defer fed.Stop()
+		onStop = fed.Stop
 	}
 	srv := server.NewCatalogConfig(catalog, cfg)
 	startDebug(a.debugAddr, srv)
 	fmt.Printf("routing %s over %d shard(s), %d replica endpoint(s) on %s%s\n",
 		a.clusterName, len(groups), replicas, a.addr, servingNote(cfg))
-	if err := http.ListenAndServe(a.addr, srv); err != nil {
+	if err := serveUntilSignal(a.addr, srv, a.drainTimeout, onStop); err != nil {
 		fatal(err)
 	}
 }

@@ -1,8 +1,13 @@
 // Package httpmw is the serving middleware stack of the LotusX HTTP API:
 // request-ID injection, structured request logging (log/slog), panic
-// recovery with JSON 500s, per-request deadlines, a semaphore concurrency
-// limiter that sheds load with 429 + Retry-After, and per-endpoint metrics
-// instrumentation.  The package also owns the v1 error envelope —
+// recovery with JSON 500s, per-request deadlines, a drain gate that refuses
+// new work during graceful shutdown (503 + Retry-After), a semaphore
+// concurrency limiter that sheds server-wide overload (503 + Retry-After),
+// a per-client token-bucket rate limiter (429 + Retry-After), and
+// per-endpoint metrics instrumentation.  The status split is deliberate:
+// 503 says "the server as a whole cannot take this right now, try another
+// instance", 429 says "you specifically are over your rate, slow down".
+// The package also owns the v1 error envelope —
 // {"error": {"code": ..., "message": ...}} — shared by middleware and
 // handlers so every failure path answers in one shape.
 package httpmw
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -324,14 +330,12 @@ type LimitOptions struct {
 }
 
 // Limit caps in-flight requests at max with a semaphore.  Requests beyond
-// the cap are shed immediately with 429 + Retry-After and the overloaded
-// envelope — bounded degradation instead of collapse.  max <= 0 disables
-// the middleware.
+// the cap are shed immediately with 503 + Retry-After and the overloaded
+// envelope — bounded degradation instead of collapse.  503 (not 429) because
+// the condition is server-wide, not the caller's fault: a load balancer
+// should retry against another instance, matching the quarantine and
+// queue-full paths.  max <= 0 disables the middleware.
 func Limit(max int, opts LimitOptions) Middleware {
-	retryAfter := opts.RetryAfter
-	if retryAfter <= 0 {
-		retryAfter = time.Second
-	}
 	return func(next http.Handler) http.Handler {
 		if max <= 0 {
 			return next
@@ -350,15 +354,213 @@ func Limit(max int, opts LimitOptions) Middleware {
 				if opts.OnShed != nil {
 					opts.OnShed(r)
 				}
-				secs := int(retryAfter.Round(time.Second) / time.Second)
-				if secs < 1 {
-					secs = 1
-				}
-				w.Header().Set("Retry-After", strconv.Itoa(secs))
-				WriteErrorCtx(r.Context(), w, http.StatusTooManyRequests, CodeOverloaded,
+				setRetryAfter(w, opts.RetryAfter)
+				WriteErrorCtx(r.Context(), w, http.StatusServiceUnavailable, CodeOverloaded,
 					"server is at capacity, retry later")
 			}
 		})
+	}
+}
+
+// setRetryAfter advertises d (rounded up to whole seconds, minimum 1) in the
+// Retry-After header; d <= 0 means 1s.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// ------------------------------------------------------------- drain gate
+
+// DrainGateOptions tunes DrainGate.
+type DrainGateOptions struct {
+	// RetryAfter is advertised on refused requests; 0 means 1s.  Keep it
+	// short — the instance is going away, the client should go elsewhere.
+	RetryAfter time.Duration
+	// OnReject, when non-nil, observes every refused request (metrics hook).
+	OnReject func(*http.Request)
+	// Exempt, when non-nil, bypasses the gate — observability and job polls
+	// must answer while the server drains.
+	Exempt func(*http.Request) bool
+}
+
+// DrainGate refuses new work with 503 + Retry-After while draining()
+// reports true — the intake stop of graceful shutdown.  Requests already
+// past the gate are untouched; http.Server.Shutdown waits for them, so a
+// drain completes in-flight queries with zero failures from this layer.
+func DrainGate(draining func() bool, opts DrainGateOptions) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !draining() || (opts.Exempt != nil && opts.Exempt(r)) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			if opts.OnReject != nil {
+				opts.OnReject(r)
+			}
+			setRetryAfter(w, opts.RetryAfter)
+			WriteErrorCtx(r.Context(), w, http.StatusServiceUnavailable, CodeOverloaded,
+				"server is draining for shutdown, retry against another instance")
+		})
+	}
+}
+
+// ------------------------------------------------------------- rate limit
+
+// RateLimitOptions tunes RateLimit.
+type RateLimitOptions struct {
+	// QPS is the sustained per-client request rate; <= 0 disables the
+	// middleware.
+	QPS float64
+	// Burst is the bucket capacity — the size of a full-speed burst a client
+	// may spend before the sustained rate applies.  <= 0 derives a default of
+	// max(1, ceil(2*QPS)).
+	Burst int
+	// MaxClients bounds the bucket table (one bucket per distinct client
+	// identity); at the bound, idle buckets are evicted before new clients
+	// are admitted.  0 means 4096.
+	MaxClients int
+	// OnLimited, when non-nil, observes every refused request and the client
+	// identity it was attributed to (metrics hook).
+	OnLimited func(r *http.Request, client string)
+	// Exempt, when non-nil, bypasses the limiter — health, metrics and job
+	// polls must answer even for a client that spent its query budget.
+	Exempt func(*http.Request) bool
+	// Metrics, when non-nil, receives allowed/limited/evicted counters and
+	// the live client-bucket gauge.
+	Metrics *metrics.AdmissionMetrics
+	// Now overrides the refill clock in tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// ClientID resolves the identity a request is limited under: the
+// X-Lotusx-Client header when present (cooperating clients and forwarding
+// proxies name themselves), else the remote address host.  Deliberately not
+// X-Forwarded-For — an unauthenticated upstream header would let any client
+// mint fresh buckets at will.
+func ClientID(r *http.Request) string {
+	if id := r.Header.Get("X-Lotusx-Client"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// tokenBucket is one client's admission state.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time // last refill
+}
+
+// RateLimit enforces a per-client token bucket: each request spends one
+// token, tokens refill continuously at QPS up to Burst, and an empty bucket
+// answers 429 + Retry-After (the time until the next token accrues).  429 —
+// not the limiter's 503 — because the condition is this caller's own rate,
+// not server overload: the hot client backs off while everyone else is
+// untouched.
+func RateLimit(opts RateLimitOptions) Middleware {
+	return func(next http.Handler) http.Handler {
+		if opts.QPS <= 0 {
+			return next
+		}
+		burst := float64(opts.Burst)
+		if opts.Burst <= 0 {
+			burst = 2 * opts.QPS
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		maxClients := opts.MaxClients
+		if maxClients <= 0 {
+			maxClients = 4096
+		}
+		now := opts.Now
+		if now == nil {
+			now = time.Now
+		}
+		var (
+			mu      sync.Mutex
+			buckets = make(map[string]*tokenBucket)
+		)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if opts.Exempt != nil && opts.Exempt(r) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			id := ClientID(r)
+			t := now()
+			mu.Lock()
+			b := buckets[id]
+			if b == nil {
+				if len(buckets) >= maxClients {
+					evictIdle(buckets, t, burst/opts.QPS, opts.Metrics)
+				}
+				b = &tokenBucket{tokens: burst, last: t}
+				buckets[id] = b
+			}
+			if dt := t.Sub(b.last).Seconds(); dt > 0 {
+				b.tokens = min(burst, b.tokens+dt*opts.QPS)
+			}
+			b.last = t
+			allowed := b.tokens >= 1
+			var wait time.Duration
+			if allowed {
+				b.tokens--
+			} else {
+				wait = time.Duration((1 - b.tokens) / opts.QPS * float64(time.Second))
+			}
+			clients := len(buckets)
+			mu.Unlock()
+			if m := opts.Metrics; m != nil {
+				m.SetClients(clients)
+				if allowed {
+					m.Allowed.Add(1)
+				} else {
+					m.Limited.Add(1)
+				}
+			}
+			if allowed {
+				next.ServeHTTP(w, r)
+				return
+			}
+			if opts.OnLimited != nil {
+				opts.OnLimited(r, id)
+			}
+			setRetryAfter(w, wait)
+			WriteErrorCtx(r.Context(), w, http.StatusTooManyRequests, CodeOverloaded,
+				"client "+id+" is over its request rate, slow down")
+		})
+	}
+}
+
+// evictIdle drops buckets idle long enough to have refilled completely (they
+// carry no state a fresh bucket wouldn't), then — if none were — the
+// longest-idle bucket, so one crawl over many client identities cannot pin
+// the table.  Called with the limiter lock held.
+func evictIdle(buckets map[string]*tokenBucket, now time.Time, fullRefill float64, m *metrics.AdmissionMetrics) {
+	evicted := 0
+	var oldestKey string
+	var oldest time.Time
+	for k, b := range buckets {
+		if now.Sub(b.last).Seconds() >= fullRefill {
+			delete(buckets, k)
+			evicted++
+			continue
+		}
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	if evicted == 0 && oldestKey != "" {
+		delete(buckets, oldestKey)
+		evicted++
+	}
+	if m != nil {
+		m.Evicted.Add(int64(evicted))
 	}
 }
 

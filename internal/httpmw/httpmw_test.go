@@ -102,8 +102,8 @@ func TestLimitSheds(t *testing.T) {
 
 	rr := httptest.NewRecorder()
 	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
-	if rr.Code != http.StatusTooManyRequests {
-		t.Fatalf("status = %d, want 429", rr.Code)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rr.Code)
 	}
 	if rr.Header().Get("Retry-After") == "" {
 		t.Error("Retry-After missing")
@@ -160,5 +160,171 @@ func TestCodeForStatus(t *testing.T) {
 		if got := CodeForStatus(status); got != want {
 			t.Errorf("CodeForStatus(%d) = %q, want %q", status, got, want)
 		}
+	}
+}
+
+func TestDrainGateRefusesWhileDraining(t *testing.T) {
+	var draining bool
+	var rejected int
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		DrainGate(func() bool { return draining }, DrainGateOptions{
+			OnReject: func(*http.Request) { rejected++ },
+			Exempt:   func(r *http.Request) bool { return r.URL.Path == "/readyz" },
+		}))
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/query", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("gate refused before drain: %d", rr.Code)
+	}
+
+	draining = true
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/query", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Error("Retry-After missing on drain refusal")
+	}
+	if body := decodeErr(t, rr); body.Error.Code != CodeOverloaded {
+		t.Fatalf("code = %q", body.Error.Code)
+	}
+	if rejected != 1 {
+		t.Fatalf("rejected = %d", rejected)
+	}
+
+	// Exempt routes still answer: the load balancer must be able to read
+	// /readyz to learn the instance is going away.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("exempt path gated: %d", rr.Code)
+	}
+}
+
+func TestRateLimitPerClientBuckets(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	am := metrics.New().Admission()
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		RateLimit(RateLimitOptions{
+			QPS: 10, Burst: 2, Metrics: am,
+			Now: func() time.Time { return clock },
+		}))
+
+	send := func(client string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/api/v1/query", nil)
+		req.Header.Set("X-Lotusx-Client", client)
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+
+	// The burst admits two; the third is refused.
+	for i := 0; i < 2; i++ {
+		if rr := send("alice"); rr.Code != http.StatusOK {
+			t.Fatalf("burst request %d: %d", i, rr.Code)
+		}
+	}
+	rr := send("alice")
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate status = %d, want 429", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Error("Retry-After missing on 429")
+	}
+	if body := decodeErr(t, rr); body.Error.Code != CodeOverloaded {
+		t.Fatalf("code = %q", body.Error.Code)
+	}
+
+	// A different client has its own untouched bucket.
+	if rr := send("bob"); rr.Code != http.StatusOK {
+		t.Fatalf("second client limited: %d", rr.Code)
+	}
+
+	// Advancing the clock refills alice at QPS.
+	clock = clock.Add(100 * time.Millisecond) // 10 QPS -> one token
+	if rr := send("alice"); rr.Code != http.StatusOK {
+		t.Fatalf("refilled request refused: %d", rr.Code)
+	}
+
+	if am.Allowed.Load() != 4 || am.Limited.Load() != 1 {
+		t.Fatalf("admission counters: allowed=%d limited=%d", am.Allowed.Load(), am.Limited.Load())
+	}
+	if am.Clients() != 2 {
+		t.Fatalf("client gauge = %d, want 2", am.Clients())
+	}
+}
+
+func TestRateLimitExemptAndDisabled(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		RateLimit(RateLimitOptions{
+			QPS: 1, Burst: 1,
+			Exempt: func(r *http.Request) bool { return r.URL.Path == "/metrics" },
+		}))
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("X-Lotusx-Client", "alice")
+	for i := 0; i < 5; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("exempt request %d limited: %d", i, rr.Code)
+		}
+	}
+
+	// QPS <= 0 is the disabled middleware: requests pass untouched.
+	off := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		RateLimit(RateLimitOptions{QPS: 0}))
+	for i := 0; i < 5; i++ {
+		rr := httptest.NewRecorder()
+		off.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("disabled limiter refused: %d", rr.Code)
+		}
+	}
+}
+
+func TestRateLimitEvictsIdleBuckets(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	am := metrics.New().Admission()
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		RateLimit(RateLimitOptions{
+			QPS: 10, Burst: 2, MaxClients: 2, Metrics: am,
+			Now: func() time.Time { return clock },
+		}))
+	send := func(client string) {
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header.Set("X-Lotusx-Client", client)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	send("a")
+	send("b")
+	clock = clock.Add(time.Minute) // both buckets idle back to full
+	send("c")                      // table full: an idle bucket is evicted
+	if am.Evicted.Load() == 0 {
+		t.Fatal("no eviction at the client-table bound")
+	}
+	if am.Clients() > 2 {
+		t.Fatalf("client gauge = %d, want <= 2", am.Clients())
+	}
+}
+
+func TestClientID(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if got := ClientID(r); got != "10.1.2.3" {
+		t.Fatalf("ClientID = %q", got)
+	}
+	r.Header.Set("X-Lotusx-Client", "svc-a")
+	if got := ClientID(r); got != "svc-a" {
+		t.Fatalf("ClientID with header = %q", got)
+	}
+	// X-Forwarded-For is deliberately ignored: it is unauthenticated and
+	// would let any caller mint fresh buckets.
+	r2 := httptest.NewRequest("GET", "/", nil)
+	r2.RemoteAddr = "10.1.2.3:5555"
+	r2.Header.Set("X-Forwarded-For", "1.2.3.4")
+	if got := ClientID(r2); got != "10.1.2.3" {
+		t.Fatalf("ClientID honoured X-Forwarded-For: %q", got)
 	}
 }

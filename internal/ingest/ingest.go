@@ -11,10 +11,14 @@
 // existing job instead of creating a new one — two clients uploading the same
 // document index it once and poll the same job.
 //
-// The queue is deliberately not persistent.  Jobs describe work derived
-// entirely from a spooled request body; on restart the corpus manifest is the
-// durable truth and clients simply resubmit.  Terminal jobs are retained
-// in a bounded ring for polling, then forgotten.
+// The queue itself is in-memory, but accepted work survives a crash: the
+// admin layer records every accepted ingest in the durable Journal (this
+// package) before answering 202, keeps the spooled body until the job
+// reaches a terminal state, and replays accepts without a terminal record on
+// restart.  Replay is idempotent because corpus publication replaces
+// same-name shards and groups.  Terminal jobs are retained in a bounded ring
+// for polling, then forgotten — the journal, not the ring, is the durable
+// promise.
 package ingest
 
 import (
@@ -370,6 +374,34 @@ func (q *Queue) Close() {
 	q.mu.Unlock()
 	q.cancel()
 	q.wg.Wait()
+}
+
+// Drain stops intake and waits for queued and running jobs to finish, up to
+// ctx's deadline.  Unlike Close, running jobs keep their context until the
+// deadline expires, so a SIGTERM'd server finishes accepted work instead of
+// abandoning it.  On timeout the remaining jobs' contexts are cancelled and
+// Drain waits for the workers to exit before returning ctx's error.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.intake)
+	}
+	q.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	q.cancel()
+	<-done
+	return err
 }
 
 // worker drains the intake channel until Close.

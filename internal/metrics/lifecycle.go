@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"sync/atomic"
+)
+
+// LifecycleMetrics aggregates the server's lifecycle-robustness tier: the
+// graceful-drain state machine (SIGTERM flips the draining gauge, new work
+// is refused while in-flight requests finish) and the durable ingest
+// journal (fsync'd accept/terminal records, replay on restart, orphan spool
+// sweep).  All fields are safe for concurrent use.
+type LifecycleMetrics struct {
+	draining      atomic.Int64 // 1 while the server is draining for shutdown
+	DrainRejected atomic.Int64 // requests refused with 503 during drain
+
+	JournalAccepted  atomic.Int64 // accept records written (durable 202 promises)
+	JournalCompleted atomic.Int64 // terminal records written (done, failed, deduped)
+	JournalReplayed  atomic.Int64 // pending records re-enqueued at startup
+	journalPending   atomic.Int64 // accepted jobs without a terminal record
+	OrphansSwept     atomic.Int64 // orphaned spool files removed at startup
+}
+
+// SetDraining records whether the server is draining (the /readyz flip).
+func (m *LifecycleMetrics) SetDraining(on bool) {
+	v := int64(0)
+	if on {
+		v = 1
+	}
+	m.draining.Store(v)
+}
+
+// Draining returns 1 while the server drains, else 0.
+func (m *LifecycleMetrics) Draining() int64 { return m.draining.Load() }
+
+// SetJournalPending records the journal's live pending-record count.
+func (m *LifecycleMetrics) SetJournalPending(n int) { m.journalPending.Store(int64(n)) }
+
+// JournalPending returns the last recorded pending-record count.
+func (m *LifecycleMetrics) JournalPending() int64 { return m.journalPending.Load() }
+
+// Lifecycle returns the registry's lifecycle metrics, creating them on first
+// use.  Like the ingest pipeline, drain state and the journal are per-server
+// singletons rather than named families.
+func (r *Registry) Lifecycle() *LifecycleMetrics {
+	r.mu.RLock()
+	m := r.lifecycle
+	r.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lifecycle == nil {
+		r.lifecycle = &LifecycleMetrics{}
+	}
+	return r.lifecycle
+}
+
+// LifecycleSnapshot is the JSON shape of the lifecycle metrics.
+type LifecycleSnapshot struct {
+	Draining         bool  `json:"draining"`
+	DrainRejected    int64 `json:"drainRejected,omitempty"`
+	JournalAccepted  int64 `json:"journalAccepted,omitempty"`
+	JournalCompleted int64 `json:"journalCompleted,omitempty"`
+	JournalReplayed  int64 `json:"journalReplayed,omitempty"`
+	JournalPending   int64 `json:"journalPending,omitempty"`
+	OrphansSwept     int64 `json:"orphanSpoolsSwept,omitempty"`
+}
+
+func (m *LifecycleMetrics) snapshot() LifecycleSnapshot {
+	return LifecycleSnapshot{
+		Draining:         m.draining.Load() != 0,
+		DrainRejected:    m.DrainRejected.Load(),
+		JournalAccepted:  m.JournalAccepted.Load(),
+		JournalCompleted: m.JournalCompleted.Load(),
+		JournalReplayed:  m.JournalReplayed.Load(),
+		JournalPending:   m.journalPending.Load(),
+		OrphansSwept:     m.OrphansSwept.Load(),
+	}
+}
+
+// AdmissionMetrics aggregates per-client admission control (the token-bucket
+// rate limiter in internal/httpmw) and the router-side retry budget that
+// caps hedges and failovers as a fraction of primary traffic.
+type AdmissionMetrics struct {
+	Allowed atomic.Int64 // requests that consumed a token and proceeded
+	Limited atomic.Int64 // requests refused with 429 + Retry-After
+	Evicted atomic.Int64 // idle client buckets evicted from the table
+	clients atomic.Int64 // live client buckets (gauge)
+
+	RetryBudgetGranted atomic.Int64 // hedges/failovers the budget allowed
+	RetryBudgetDenied  atomic.Int64 // hedges/failovers skipped: budget spent
+}
+
+// SetClients records the live client-bucket count.
+func (m *AdmissionMetrics) SetClients(n int) { m.clients.Store(int64(n)) }
+
+// Clients returns the last recorded client-bucket count.
+func (m *AdmissionMetrics) Clients() int64 { return m.clients.Load() }
+
+// Admission returns the registry's admission-control metrics, creating them
+// on first use.
+func (r *Registry) Admission() *AdmissionMetrics {
+	r.mu.RLock()
+	m := r.admission
+	r.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.admission == nil {
+		r.admission = &AdmissionMetrics{}
+	}
+	return r.admission
+}
+
+// AdmissionSnapshot is the JSON shape of the admission-control metrics.
+type AdmissionSnapshot struct {
+	Allowed            int64 `json:"allowed"`
+	Limited            int64 `json:"limited"`
+	Evicted            int64 `json:"evicted,omitempty"`
+	Clients            int64 `json:"clients"`
+	RetryBudgetGranted int64 `json:"retryBudgetGranted,omitempty"`
+	RetryBudgetDenied  int64 `json:"retryBudgetDenied,omitempty"`
+}
+
+func (m *AdmissionMetrics) snapshot() AdmissionSnapshot {
+	return AdmissionSnapshot{
+		Allowed:            m.Allowed.Load(),
+		Limited:            m.Limited.Load(),
+		Evicted:            m.Evicted.Load(),
+		Clients:            m.clients.Load(),
+		RetryBudgetGranted: m.RetryBudgetGranted.Load(),
+		RetryBudgetDenied:  m.RetryBudgetDenied.Load(),
+	}
+}

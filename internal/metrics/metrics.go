@@ -142,7 +142,11 @@ type Endpoint struct {
 	Requests atomic.Int64 // all requests routed to the endpoint
 	Errors   atomic.Int64 // responses with status >= 400 (including the two below)
 	Timeouts atomic.Int64 // responses that hit the per-request deadline (504)
-	Shed     atomic.Int64 // responses rejected by the load limiter (429)
+	// Shed counts responses refused by admission control: per-client rate
+	// limiting (429, tallied by Record) plus the in-flight limiter's and the
+	// drain gate's 503s (tallied explicitly by their OnShed hooks, so
+	// handler-path 503s like shard quarantine are never conflated in).
+	Shed atomic.Int64
 	Latency  Histogram
 }
 
@@ -171,6 +175,12 @@ type Registry struct {
 	caches    map[string]*CacheMetrics
 	remotes   map[string]*RemoteMetrics
 	ingest    *IngestMetrics
+	// lifecycle tracks drain state and the ingest journal; nil until
+	// Lifecycle() is first called.
+	lifecycle *LifecycleMetrics
+	// admission tracks per-client rate limiting and the router retry budget;
+	// nil until Admission() is first called.
+	admission *AdmissionMetrics
 	// cluster aggregates federated shard-server snapshots (router mode);
 	// nil until Cluster() is first called.
 	cluster *ClusterMetrics
@@ -306,6 +316,12 @@ type Snapshot struct {
 	// Ingest appears once the async ingestion pipeline is running (see
 	// internal/ingest): job counters, queue gauges and compaction totals.
 	Ingest *IngestSnapshot `json:"ingest,omitempty"`
+	// Lifecycle appears on servers with the lifecycle tier wired: the drain
+	// state machine and the durable ingest journal.
+	Lifecycle *LifecycleSnapshot `json:"lifecycle,omitempty"`
+	// Admission appears once per-client rate limiting or the router retry
+	// budget is active.
+	Admission *AdmissionSnapshot `json:"admission,omitempty"`
 	// Process reports the Go runtime's view of the serving process:
 	// goroutines, heap bytes, GC totals, and the build identity.
 	Process ProcessSnapshot `json:"process"`
@@ -367,6 +383,14 @@ func (r *Registry) Snapshot() Snapshot {
 	if r.ingest != nil {
 		snap := r.ingest.snapshot()
 		s.Ingest = &snap
+	}
+	if r.lifecycle != nil {
+		snap := r.lifecycle.snapshot()
+		s.Lifecycle = &snap
+	}
+	if r.admission != nil {
+		snap := r.admission.snapshot()
+		s.Admission = &snap
 	}
 	s.Process = processSnapshot()
 	s.LegacyRequests = r.legacyHits.Load()

@@ -49,6 +49,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		remotes[k] = v
 	}
 	ingest := r.ingest
+	lifecycle := r.lifecycle
+	admission := r.admission
 	cluster := r.cluster
 	r.mu.RUnlock()
 
@@ -63,7 +65,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		epNames, func(n string) int64 { return endpoints[n].Errors.Load() }, "endpoint")
 	counterFamily(w, "lotusx_endpoint_timeouts_total", "Responses that hit the per-request deadline (504).",
 		epNames, func(n string) int64 { return endpoints[n].Timeouts.Load() }, "endpoint")
-	counterFamily(w, "lotusx_endpoint_shed_total", "Requests rejected by the load limiter (429).",
+	counterFamily(w, "lotusx_endpoint_shed_total", "Requests refused by admission control: the per-client rate limiter (429), the in-flight limiter and the drain gate (503).",
 		epNames, func(n string) int64 { return endpoints[n].Shed.Load() }, "endpoint")
 	histogramFamily(w, "lotusx_endpoint_latency_seconds", "Request latency by endpoint.",
 		epNames, func(n string) Export { return endpoints[n].Latency.Export() }, "endpoint")
@@ -203,6 +205,25 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		scalarCounter(w, "lotusx_ingest_compaction_failures_total", "Delta-compaction rounds that errored.", ingest.CompactionFailures.Load())
 		scalarCounter(w, "lotusx_ingest_compacted_shards_total", "Delta shards folded into base shards.", ingest.CompactedShards.Load())
 		scalarHistogram(w, "lotusx_ingest_compaction_duration_seconds", "Wall-clock per compaction round.", ingest.CompactionRun.Export())
+	}
+
+	if lifecycle != nil {
+		scalarGauge(w, "lotusx_lifecycle_draining", "1 while the server drains for shutdown (readyz answers draining, new work is refused).", lifecycle.Draining())
+		scalarCounter(w, "lotusx_lifecycle_drain_rejected_total", "Requests refused with 503 while the server was draining.", lifecycle.DrainRejected.Load())
+		scalarCounter(w, "lotusx_lifecycle_journal_accepted_total", "Ingest-journal accept records written (durable 202 promises).", lifecycle.JournalAccepted.Load())
+		scalarCounter(w, "lotusx_lifecycle_journal_completed_total", "Ingest-journal terminal records written.", lifecycle.JournalCompleted.Load())
+		scalarCounter(w, "lotusx_lifecycle_journal_replayed_total", "Pending journal records re-enqueued at startup.", lifecycle.JournalReplayed.Load())
+		scalarGauge(w, "lotusx_lifecycle_journal_pending", "Accepted ingest jobs without a terminal journal record.", lifecycle.JournalPending())
+		scalarCounter(w, "lotusx_lifecycle_spool_orphans_swept_total", "Orphaned ingest spool files removed at startup.", lifecycle.OrphansSwept.Load())
+	}
+
+	if admission != nil {
+		scalarCounter(w, "lotusx_admission_allowed_total", "Requests that passed the per-client rate limiter.", admission.Allowed.Load())
+		scalarCounter(w, "lotusx_admission_limited_total", "Requests refused with 429 + Retry-After by the per-client rate limiter.", admission.Limited.Load())
+		scalarCounter(w, "lotusx_admission_evicted_total", "Idle client token buckets evicted from the limiter table.", admission.Evicted.Load())
+		scalarGauge(w, "lotusx_admission_clients", "Live client token buckets in the limiter table.", admission.Clients())
+		scalarCounter(w, "lotusx_admission_retry_budget_granted_total", "Hedges and failovers the router retry budget allowed.", admission.RetryBudgetGranted.Load())
+		scalarCounter(w, "lotusx_admission_retry_budget_denied_total", "Hedges and failovers skipped because the retry budget was spent.", admission.RetryBudgetDenied.Load())
 	}
 
 	if cluster != nil {

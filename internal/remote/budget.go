@@ -1,0 +1,80 @@
+package remote
+
+import (
+	"sync"
+
+	"lotusx/internal/metrics"
+)
+
+// RetryBudget caps a router's secondary attempts — hedges and error
+// failovers — as a fraction of its primary traffic.  Every primary attempt
+// deposits ratio tokens (capped at a small burst), every secondary attempt
+// withdraws one; when the bucket is empty the secondary is skipped and the
+// caller settles for its primary outcome.  The point is brownout
+// containment: when a whole cluster slows down, hedge timers fire on every
+// search and error failovers cascade, and without a budget the retry volume
+// multiplies the overload that caused it.  A budget of 0.2 means secondary
+// traffic can never exceed ~20% of primary traffic, no matter how bad the
+// tail gets.
+//
+// One budget is shared across all shards of a router (hot shards borrow
+// headroom earned by healthy ones, and the cluster-wide amplification bound
+// is what matters).  A nil *RetryBudget disables the cap: Allow always
+// grants.  All methods are safe for concurrent use.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+	met    *metrics.AdmissionMetrics
+}
+
+// retryBudgetBurst is the token cap: how many secondaries may fire back to
+// back after a quiet period before the earn rate applies.
+const retryBudgetBurst = 10
+
+// NewRetryBudget builds a budget earning ratio tokens per primary attempt.
+// ratio <= 0 returns nil (no cap).  met, when non-nil, receives the
+// granted/denied counters.
+func NewRetryBudget(ratio float64, met *metrics.AdmissionMetrics) *RetryBudget {
+	if ratio <= 0 {
+		return nil
+	}
+	return &RetryBudget{tokens: retryBudgetBurst, max: retryBudgetBurst, ratio: ratio, met: met}
+}
+
+// RecordPrimary deposits one primary attempt's earnings.
+func (b *RetryBudget) RecordPrimary() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Allow withdraws one token for a secondary attempt, reporting whether the
+// budget covers it.  A denied attempt is simply not launched — the primary's
+// outcome stands.
+func (b *RetryBudget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	b.mu.Unlock()
+	if b.met != nil {
+		if ok {
+			b.met.RetryBudgetGranted.Add(1)
+		} else {
+			b.met.RetryBudgetDenied.Add(1)
+		}
+	}
+	return ok
+}

@@ -1,0 +1,175 @@
+package remote_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lotusx/internal/core"
+	"lotusx/internal/faults"
+	"lotusx/internal/metrics"
+	"lotusx/internal/remote"
+)
+
+func TestRetryBudgetNilDisablesCap(t *testing.T) {
+	if b := remote.NewRetryBudget(0, nil); b != nil {
+		t.Fatal("ratio 0 built a budget")
+	}
+	if b := remote.NewRetryBudget(-1, nil); b != nil {
+		t.Fatal("negative ratio built a budget")
+	}
+	var b *remote.RetryBudget
+	b.RecordPrimary() // nil-safe
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("nil budget denied a secondary")
+		}
+	}
+}
+
+func TestRetryBudgetBurstThenEarnRate(t *testing.T) {
+	am := metrics.New().Admission()
+	b := remote.NewRetryBudget(0.2, am)
+
+	// A fresh budget carries the burst: 10 secondaries, then denial.
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatalf("burst secondary %d denied", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("secondary granted past the burst with no primaries")
+	}
+
+	// Five primaries at ratio 0.2 earn one secondary — no more.
+	for i := 0; i < 5; i++ {
+		b.RecordPrimary()
+	}
+	if !b.Allow() {
+		t.Fatal("earned secondary denied")
+	}
+	if b.Allow() {
+		t.Fatal("secondary granted beyond the earned tokens")
+	}
+
+	if am.RetryBudgetGranted.Load() != 11 || am.RetryBudgetDenied.Load() != 2 {
+		t.Fatalf("counters: granted=%d denied=%d",
+			am.RetryBudgetGranted.Load(), am.RetryBudgetDenied.Load())
+	}
+}
+
+func TestRetryBudgetTokensCapAtBurst(t *testing.T) {
+	b := remote.NewRetryBudget(1, nil)
+	// A long healthy stretch must not bank unlimited retries.
+	for i := 0; i < 1000; i++ {
+		b.RecordPrimary()
+	}
+	granted := 0
+	for b.Allow() {
+		granted++
+		if granted > 100 {
+			break
+		}
+	}
+	if granted != 10 {
+		t.Fatalf("banked %d secondaries, want the burst cap of 10", granted)
+	}
+}
+
+func TestRetryBudgetConcurrent(t *testing.T) {
+	b := remote.NewRetryBudget(0.5, metrics.New().Admission())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				b.RecordPrimary()
+				b.Allow()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBudgetExhaustedStopsFailover: with the retry budget spent, a failed
+// primary is NOT retried against its replica — the shard surfaces the
+// primary's error instead of multiplying load on a struggling cluster.
+// (Driven at the Shard layer: the corpus fan-out above it adds its own
+// transparent retry, which would mask the denial by rotating to the healthy
+// replica as the next attempt's primary.)
+func TestBudgetExhaustedStopsFailover(t *testing.T) {
+	t.Parallel()
+	docs := slices(t, 1)
+	ts := shardServer(t, docs[0])
+	reg := faults.New()
+	met := metrics.New().Remote("cluster")
+	am := metrics.New().Admission()
+
+	clients := make([]*remote.Client, 2)
+	for j := 0; j < 2; j++ {
+		cl, err := remote.NewClient(remote.ClientConfig{
+			BaseURL: ts.URL,
+			Name:    fmt.Sprintf("r0-%d", j),
+			Faults:  reg,
+			Metrics: met,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[j] = cl
+	}
+	budget := remote.NewRetryBudget(0.1, am)
+	for budget.Allow() {
+		// burn the initial burst so the next secondary needs earned tokens
+	}
+	sh, err := remote.NewShard("cluster-00", clients, remote.ShardOptions{
+		HedgeDelay: -1,
+		Metrics:    met,
+		Budget:     budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Enable(faults.Injection{
+		Site: remote.FaultRPC,
+		Keys: []string{"r0-0"},
+		Err:  errors.New("injected connection failure"),
+	})
+	q := parse(t, "//item/name")
+	opts := core.SearchOptions{K: 5}
+
+	// Round-robin puts r0-0 (faulted) first: the primary fails, the budget
+	// denies the failover, the search fails.
+	if _, err := sh.SearchShard(context.Background(), q, opts); err == nil {
+		t.Fatal("search succeeded: failover ran despite an exhausted retry budget")
+	}
+	if met.Failovers.Load() != 0 {
+		t.Fatalf("Failovers = %d, want 0 (budget denied)", met.Failovers.Load())
+	}
+	if am.RetryBudgetDenied.Load() == 0 {
+		t.Fatal("denial not counted")
+	}
+
+	// Earn a retry (ten primaries at ratio 0.1), let the rotation pass the
+	// healthy replica, then hit the faulted primary again: this time the
+	// budget covers the failover and the replica answers.
+	for i := 0; i < 10; i++ {
+		budget.RecordPrimary()
+	}
+	if _, err := sh.SearchShard(context.Background(), q, opts); err != nil {
+		t.Fatalf("healthy-primary search failed: %v", err)
+	}
+	res, err := sh.SearchShard(context.Background(), q, opts)
+	if err != nil {
+		t.Fatalf("earned failover failed: %v", err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("failover answer empty")
+	}
+	if met.Failovers.Load() != 1 {
+		t.Fatalf("Failovers = %d, want 1", met.Failovers.Load())
+	}
+}

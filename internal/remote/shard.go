@@ -82,6 +82,9 @@ type ShardOptions struct {
 	// one RemoteMetrics across the shards of a cluster — the per-replica
 	// histograms inside it are keyed by replica name.
 	Metrics *metrics.RemoteMetrics
+	// Budget, when non-nil, caps hedges and failovers as a fraction of
+	// primary traffic (shared across the router's shards); see RetryBudget.
+	Budget *RetryBudget
 }
 
 // Shard is one logical corpus shard served by R replica shard servers.  It
@@ -94,6 +97,7 @@ type Shard struct {
 	replicas []*Client
 	hedge    time.Duration
 	met      *metrics.RemoteMetrics
+	budget   *RetryBudget
 	rr       atomic.Uint64
 	lat      latencyRing
 }
@@ -118,6 +122,7 @@ func NewShard(name string, replicas []*Client, opts ShardOptions) (*Shard, error
 		replicas: replicas,
 		hedge:    opts.HedgeDelay,
 		met:      opts.Metrics,
+		budget:   opts.Budget,
 	}, nil
 }
 
@@ -221,6 +226,7 @@ func (s *Shard) SearchShard(ctx context.Context, q *twig.Query, opts core.Search
 		return true
 	}
 	launch(false)
+	s.budget.RecordPrimary()
 	inflight := 1
 	hedgeFired := false
 
@@ -236,7 +242,10 @@ func (s *Shard) SearchShard(ctx context.Context, q *twig.Query, opts core.Search
 		select {
 		case <-timerC:
 			timerC = nil // at most one hedge per search
-			if launch(true) {
+			// The retry budget gates the hedge: in a cluster-wide brownout
+			// every search's timer fires, and unbudgeted hedges would double
+			// the load on servers that are slow because of load.
+			if s.budget.Allow() && launch(true) {
 				inflight++
 				hedgeFired = true
 				if s.met != nil {
@@ -277,8 +286,9 @@ func (s *Shard) SearchShard(ctx context.Context, q *twig.Query, opts core.Search
 				s.met.RPCErrors.Add(1)
 			}
 			// Fast failover: don't wait for the hedge timer when a replica
-			// has already said no.
-			if ctx.Err() == nil && launch(a.hedged) {
+			// has already said no — if the budget covers it (a cascading
+			// outage must not turn into a retry storm).
+			if ctx.Err() == nil && s.budget.Allow() && launch(a.hedged) {
 				inflight++
 				if s.met != nil {
 					s.met.Failovers.Add(1)
@@ -342,6 +352,13 @@ func (s *Shard) failover(ctx context.Context, fn func(c *Client) error) error {
 	var errs []error
 	order := s.rotation()
 	for i, c := range order {
+		if i == 0 {
+			s.budget.RecordPrimary()
+		} else if !s.budget.Allow() {
+			// Retry budget spent: settle for the primary's failure rather
+			// than pile secondaries onto a struggling cluster.
+			break
+		}
 		err := fn(c)
 		if err == nil {
 			return nil

@@ -316,7 +316,7 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 		writeIngestError(w, r, err)
 		return
 	}
-	s.enqueue(w, r, ingest.Request{
+	s.enqueueJournaled(w, r, sp, "", parts, ingest.Request{
 		Kind:    "dataset",
 		Dataset: name,
 		Key:     fmt.Sprintf("dataset:%s:%s:%d", name, sp.hash, parts),
@@ -333,7 +333,6 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 			}
 			return ingest.Result{Shards: st.Shards, Seq: st.Seq}, nil
 		},
-		Cleanup: sp.cleanup,
 	})
 }
 
@@ -427,7 +426,7 @@ func (s *Server) handleShardAdd(w http.ResponseWriter, r *http.Request) {
 		writeIngestError(w, r, err)
 		return
 	}
-	s.enqueue(w, r, ingest.Request{
+	s.enqueueJournaled(w, r, sp, shard, parts, ingest.Request{
 		Kind:    "shard",
 		Dataset: name,
 		Key:     fmt.Sprintf("shard:%s/%s:%s:%d", name, shard, sp.hash, parts),
@@ -445,7 +444,6 @@ func (s *Server) handleShardAdd(w http.ResponseWriter, r *http.Request) {
 			s.maybeCompact(name)
 			return ingest.Result{Shards: st.Shards, Seq: st.Seq}, nil
 		},
-		Cleanup: sp.cleanup,
 	})
 }
 

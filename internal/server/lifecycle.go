@@ -1,0 +1,287 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"lotusx/internal/ingest"
+)
+
+// Lifecycle: graceful drain plus the durable ingest journal.
+//
+// # Drain
+//
+// BeginDrain flips the server into draining: /readyz reports not ready (so
+// load balancers stop routing here), and the drain gate in the middleware
+// chain answers new non-exempt requests 503 + Retry-After while requests
+// already past the gate finish normally.  Drain then waits for the ingest
+// queue to empty under the caller's deadline.  cmd/lotusx-server wires
+// SIGTERM to BeginDrain + http.Server.Shutdown + Drain, so a rolling restart
+// completes in-flight queries and accepted ingests instead of dropping them.
+//
+// # Journal
+//
+// With EnableAdmin and a CorpusDir, accepted async ingests are recorded in a
+// crash-safe journal under <CorpusDir>/_journal/ before their 202 goes out
+// (see ingest.Journal).  On startup the server replays accepts that never
+// reached a terminal record — one sequential job per dataset, preserving the
+// create-before-shard order within it — and sweeps spool files no pending
+// record references.
+
+// journalDirName is the journal's directory under CorpusDir.  The leading
+// underscore keeps it out of the dataset namespace: dataset names must start
+// with an alphanumeric (nameRE), and the corpus reload skips directories
+// without a manifest.
+const journalDirName = "_journal"
+
+// BeginDrain flips the server into draining (idempotent).  New non-exempt
+// requests are refused by the drain gate; /readyz reports not ready.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.reg.Lifecycle().SetDraining(true)
+		s.logger.Info("drain started: refusing new work, finishing in-flight requests and queued ingests")
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain begins draining (if not already begun) and waits, up to ctx's
+// deadline, for the ingest queue to finish queued and running jobs.  The
+// journal stays open until Close so late terminal records still land.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	if s.queue == nil {
+		return nil
+	}
+	err := s.queue.Drain(ctx)
+	if err != nil {
+		s.logger.Warn("drain deadline expired with ingest jobs unfinished; journaled jobs will replay on restart", "err", err)
+	} else {
+		s.logger.Info("drain complete: ingest queue empty")
+	}
+	return err
+}
+
+// startJournal opens the journal at startup when prior state exists on disk
+// (replaying pending accepts and sweeping orphaned spools).  A brand-new
+// deployment — no corpus directory yet — defers creation to the first
+// accepted ingest, so a server that only ever rejects writes leaves no
+// footprint (the traversal-name tests rely on that).
+func (s *Server) startJournal() {
+	if _, err := os.Stat(s.corpusDir); err != nil {
+		return
+	}
+	if s.ensureJournal() == nil {
+		return
+	}
+	s.replayJournal()
+	s.sweepOrphanSpools()
+}
+
+// ensureJournal returns the journal, opening it on first use.  A journal
+// that cannot open is a fault of the journal alone: the server logs, marks
+// it off, and keeps serving without durability rather than failing writes
+// forever.
+func (s *Server) ensureJournal() *ingest.Journal {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	if s.journal != nil || s.journalOff || s.corpusDir == "" {
+		return s.journal
+	}
+	j, err := ingest.OpenJournal(filepath.Join(s.corpusDir, journalDirName), ingest.JournalConfig{
+		Faults:  s.faults,
+		Metrics: s.reg.Lifecycle(),
+		Logger:  s.logger,
+	})
+	if err != nil {
+		s.journalOff = true
+		s.logger.Error("ingest journal unavailable: accepted writes will not survive a crash", "err", err)
+		return nil
+	}
+	s.journal = j
+	return j
+}
+
+// journalRef returns the journal if it has been opened, without opening it.
+func (s *Server) journalRef() *ingest.Journal {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	return s.journal
+}
+
+// replayJournal re-enqueues every pending accept, grouped into one
+// sequential job per dataset so a journaled dataset create always runs
+// before that dataset's journaled shard adds.
+func (s *Server) replayJournal() {
+	pending := s.journal.Pending()
+	if len(pending) == 0 {
+		return
+	}
+	byDataset := make(map[string][]ingest.JournalRecord)
+	var order []string
+	for _, rec := range pending {
+		if len(byDataset[rec.Dataset]) == 0 {
+			order = append(order, rec.Dataset)
+		}
+		byDataset[rec.Dataset] = append(byDataset[rec.Dataset], rec)
+	}
+	lc := s.reg.Lifecycle()
+	for _, ds := range order {
+		recs := byDataset[ds]
+		_, _, err := s.queue.Enqueue(ingest.Request{
+			Kind:    "replay",
+			Dataset: ds,
+			Key:     "replay:" + ds,
+			Run: func(ctx context.Context) (ingest.Result, error) {
+				var last ingest.Result
+				for _, rec := range recs {
+					res, err := s.replayRecord(ctx, rec)
+					if err != nil {
+						return last, err
+					}
+					last = res
+				}
+				return last, nil
+			},
+		})
+		if err != nil {
+			s.logger.Warn("journal replay deferred: queue refused the job; records stay pending", "dataset", ds, "err", err)
+			continue
+		}
+		lc.JournalReplayed.Add(int64(len(recs)))
+		s.logger.Info("replaying journaled ingests", "dataset", ds, "records", len(recs))
+	}
+}
+
+// replayRecord re-executes one journaled accept from its retained spool and
+// writes its terminal record.  A missing spool is terminal: the body is
+// gone, the promise cannot be kept, and retrying forever would not bring it
+// back.  A context error (drain during replay) leaves the record pending.
+func (s *Server) replayRecord(ctx context.Context, rec ingest.JournalRecord) (ingest.Result, error) {
+	run := func(ctx context.Context) (ingest.Result, error) {
+		f, err := os.Open(rec.Spool)
+		if err != nil {
+			return ingest.Result{}, err
+		}
+		defer f.Close()
+		switch rec.Kind {
+		case "dataset":
+			st, err := s.createDataset(rec.Dataset, f, rec.Parts)
+			if err != nil {
+				return ingest.Result{}, err
+			}
+			return ingest.Result{Shards: st.Shards, Seq: st.Seq}, nil
+		case "shard":
+			st, err := s.addShard(rec.Dataset, rec.Shard, f, rec.Parts, true)
+			if err != nil {
+				return ingest.Result{}, err
+			}
+			s.maybeCompact(rec.Dataset)
+			return ingest.Result{Shards: st.Shards, Seq: st.Seq}, nil
+		default:
+			return ingest.Result{}, fmt.Errorf("journal: unknown record kind %q", rec.Kind)
+		}
+	}
+	res, err := run(ctx)
+	switch {
+	case err == nil:
+		s.journal.Terminal(ctx, rec.ID, ingest.OpDone, nil)
+	case isCtxError(err) && ctx.Err() != nil:
+		// Shutdown mid-replay: no terminal record, the next start retries.
+	default:
+		s.journal.Terminal(ctx, rec.ID, ingest.OpFailed, err)
+	}
+	return res, err
+}
+
+// sweepOrphanSpools removes ingest spool files in the corpus directory that
+// no pending journal record references — bodies whose job finished but whose
+// deletion a crash interrupted, or pre-journal leftovers.  Mirrors the
+// corpus reload's sweep of stale MANIFEST.json.tmp* files.
+func (s *Server) sweepOrphanSpools() {
+	paths, err := filepath.Glob(filepath.Join(s.corpusDir, "ingest-spool-*.xml"))
+	if err != nil || len(paths) == 0 {
+		return
+	}
+	lc := s.reg.Lifecycle()
+	swept := 0
+	for _, p := range paths {
+		if s.journal != nil && s.journal.SpoolReferenced(p) {
+			continue
+		}
+		if os.Remove(p) == nil {
+			swept++
+		}
+	}
+	if swept > 0 {
+		lc.OrphansSwept.Add(int64(swept))
+		s.logger.Info("swept orphaned ingest spool files", "count", swept)
+	}
+}
+
+// enqueueJournaled is enqueue with the durable-202 contract: the accept is
+// journaled (fsync'd) before the job is enqueued and before the 202 goes
+// out, the spool is retained until the job's terminal record lands, and a
+// job killed by shutdown writes no terminal — it replays on restart.
+// Without a journal (no CorpusDir: nothing would survive a restart anyway)
+// this degrades to the plain in-memory enqueue.
+func (s *Server) enqueueJournaled(w http.ResponseWriter, r *http.Request, sp *spooled, shard string, parts int, req ingest.Request) {
+	j := s.ensureJournal()
+	if j == nil {
+		req.Cleanup = sp.cleanup
+		s.enqueue(w, r, req)
+		return
+	}
+	id, err := j.Accept(r.Context(), ingest.JournalRecord{
+		Kind:    req.Kind,
+		Dataset: req.Dataset,
+		Shard:   shard,
+		Parts:   parts,
+		Spool:   sp.path,
+		Bytes:   sp.size,
+		Hash:    sp.hash,
+	})
+	if err != nil {
+		// The durable promise cannot be made, so no 202 is made either.
+		sp.cleanup()
+		internalError(w, r, err)
+		return
+	}
+	inner := req.Run
+	req.Cleanup = nil // the spool now belongs to the journal's lifecycle
+	req.Run = func(ctx context.Context) (ingest.Result, error) {
+		res, err := inner(ctx)
+		switch {
+		case err == nil:
+			j.Terminal(ctx, id, ingest.OpDone, nil)
+		case isCtxError(err) && ctx.Err() != nil:
+			// Shutdown cancelled the job: keep the accept pending (and the
+			// spool on disk) so the next start replays it.
+		default:
+			j.Terminal(ctx, id, ingest.OpFailed, err)
+		}
+		return res, err
+	}
+	job, created, err := s.queue.Enqueue(req)
+	if err != nil {
+		j.Terminal(r.Context(), id, ingest.OpRejected, err)
+		if errors.Is(err, ingest.ErrQueueFull) || errors.Is(err, ingest.ErrClosed) {
+			overloaded(w, r, err)
+		} else {
+			internalError(w, r, err)
+		}
+		return
+	}
+	if !created {
+		// Coalesced onto a live identical job: that job's terminal record is
+		// the one that matters; this accept is settled (and its spool freed).
+		j.Terminal(r.Context(), id, ingest.OpDeduped, nil)
+	}
+	w.Header().Set("Location", jobLocation(job.ID))
+	writeJSON(w, http.StatusAccepted, jobEnvelope{Job: job})
+}

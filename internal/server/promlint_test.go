@@ -276,6 +276,30 @@ func TestPrometheusLint(t *testing.T) {
 		}
 	})
 
+	t.Run("lifecycle", func(t *testing.T) {
+		// Admin + per-client rate limiting: the lifecycle and admission
+		// families must be present and lint-clean.
+		reg := metrics.New()
+		ts, _ := adminServer(t, Config{Metrics: reg, RateQPS: 1000, RateBurst: 2000})
+		body := scrape(t, ts)
+		for _, family := range []string{
+			"lotusx_lifecycle_draining",
+			"lotusx_lifecycle_drain_rejected_total",
+			"lotusx_lifecycle_journal_pending",
+			"lotusx_lifecycle_journal_accepted_total",
+			"lotusx_admission_allowed_total",
+			"lotusx_admission_limited_total",
+			"lotusx_admission_clients",
+		} {
+			if !strings.Contains(body, family) {
+				t.Errorf("lifecycle exposition missing %s family", family)
+			}
+		}
+		for _, p := range lintExposition(t, body) {
+			t.Error(p)
+		}
+	})
+
 	t.Run("router", func(t *testing.T) {
 		reg := metrics.New()
 		// Cluster rollup: one healthy server (snapshot from a scratch

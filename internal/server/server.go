@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lotusx/internal/cache"
@@ -54,8 +55,19 @@ type Config struct {
 	// with the timeout envelope.  0 disables the deadline.
 	QueryTimeout time.Duration
 	// MaxInflight caps concurrent API requests; excess load is shed with
-	// 429 + Retry-After.  0 disables the limiter.
+	// 503 + Retry-After (the server as a whole is saturated — retry against
+	// another instance).  0 disables the limiter.
 	MaxInflight int
+	// RateQPS enables per-client admission control: each client (the
+	// X-Lotusx-Client header, else the remote address) gets a token bucket
+	// refilled at this rate, and requests beyond it answer 429 + Retry-After
+	// (this client specifically is over its rate — slow down).  0 disables
+	// the limiter.  Health, metrics and job-poll routes are exempt, like the
+	// in-flight limiter's.
+	RateQPS float64
+	// RateBurst is the rate limiter's bucket depth — how far a client may
+	// burst above the sustained rate.  0 derives a default from RateQPS.
+	RateBurst int
 	// Logger receives structured request and panic logs; nil discards them.
 	Logger *slog.Logger
 	// Metrics is the registry backing /api/v1/metrics; nil allocates a
@@ -167,6 +179,18 @@ type Server struct {
 	queue            *ingest.Queue
 	compactThreshold int
 	maxIngest        int64
+	// journal is the durable accept/terminal log behind the async admin
+	// writes, opened lazily under journalMu on the first accepted write (or
+	// at startup when the corpus dir already exists); nil unless EnableAdmin
+	// with a CorpusDir.  journalOff latches an open failure so the server
+	// keeps serving (without durability) instead of retrying forever.  See
+	// lifecycle.go.
+	journal    *ingest.Journal
+	journalMu  sync.Mutex
+	journalOff bool
+	// draining flips on BeginDrain: the drain gate refuses new non-exempt
+	// requests and /readyz reports not ready.
+	draining atomic.Bool
 
 	// routes is the mounted route table — the single source of truth for the
 	// HTTP surface, kept for the API contract dump (see contract.go).
@@ -253,6 +277,9 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 	if s.maxIngest <= 0 {
 		s.maxIngest = maxIngestSize
 	}
+	// Lifecycle metrics exist on every server so the exposition is uniform
+	// (draining 0 until a drain starts, journal counters 0 without admin).
+	lifecycle := reg.Lifecycle()
 	if cfg.EnableAdmin {
 		s.queue = ingest.New(ingest.Config{
 			Workers:  cfg.IngestWorkers,
@@ -262,29 +289,61 @@ func NewCatalogConfig(catalog *core.Catalog, cfg Config) *Server {
 			Faults:   cfg.Faults,
 			Logger:   logger,
 		})
+		if s.corpusDir != "" {
+			s.startJournal()
+		}
 	}
 
 	s.routes = routeTable(s)
 	s.mount(cfg)
 
-	s.handler = httpmw.Chain(s.mux,
+	exempt := shedExemptMatcher(s.routes)
+	mws := []httpmw.Middleware{
 		httpmw.RequestID(),
 		httpmw.Logging(cfg.Logger),
 		httpmw.Recover(cfg.Logger),
+		// The drain gate sits ahead of the limiters: once BeginDrain flips,
+		// new non-exempt requests answer 503 immediately while requests
+		// already past the gate finish on their own time.
+		httpmw.DrainGate(s.draining.Load, httpmw.DrainGateOptions{
+			RetryAfter: time.Second,
+			OnReject: func(r *http.Request) {
+				lifecycle.DrainRejected.Add(1)
+				ep := reg.Endpoint(endpointName(r.URL.Path))
+				ep.Record(http.StatusServiceUnavailable, 0)
+				ep.Shed.Add(1)
+			},
+			Exempt: exempt,
+		}),
 		httpmw.Limit(cfg.MaxInflight, httpmw.LimitOptions{
 			RetryAfter: time.Second,
 			OnShed: func(r *http.Request) {
 				// Shed requests never reach per-endpoint instrumentation;
 				// record them here so the endpoint's counters stay honest.
-				reg.Endpoint(endpointName(r.URL.Path)).Record(http.StatusTooManyRequests, 0)
+				ep := reg.Endpoint(endpointName(r.URL.Path))
+				ep.Record(http.StatusServiceUnavailable, 0)
+				ep.Shed.Add(1)
 			},
 			// Shed-exempt routes (marked in the route table) bypass the
 			// limiter: observability must survive overload, and job polls
 			// must answer while the ingest that created them loads the box.
-			Exempt: shedExemptMatcher(s.routes),
+			Exempt: exempt,
 		}),
-		httpmw.Deadline(cfg.QueryTimeout),
-	)
+	}
+	if cfg.RateQPS > 0 {
+		mws = append(mws, httpmw.RateLimit(httpmw.RateLimitOptions{
+			QPS:     cfg.RateQPS,
+			Burst:   cfg.RateBurst,
+			Metrics: reg.Admission(),
+			OnLimited: func(r *http.Request, client string) {
+				// Record tallies 429s into Shed itself.
+				reg.Endpoint(endpointName(r.URL.Path)).Record(http.StatusTooManyRequests, 0)
+			},
+			Exempt: exempt,
+		}))
+	}
+	mws = append(mws, httpmw.Deadline(cfg.QueryTimeout))
+	s.handler = httpmw.Chain(s.mux, mws...)
 	return s
 }
 
@@ -457,10 +516,14 @@ func shedExemptMatcher(routes []route) func(*http.Request) bool {
 }
 
 // Close stops the async-ingestion pipeline (waiting for running jobs'
-// contexts to unwind).  The HTTP handler itself is stateless.
+// contexts to unwind) and closes the ingest journal.  The HTTP handler
+// itself is stateless.
 func (s *Server) Close() {
 	if s.queue != nil {
 		s.queue.Close()
+	}
+	if j := s.journalRef(); j != nil {
+		j.Close()
 	}
 }
 

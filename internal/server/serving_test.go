@@ -251,7 +251,7 @@ func TestQueryTimeoutEnvelopeAndMetrics(t *testing.T) {
 	}
 }
 
-func TestLoadShed429(t *testing.T) {
+func TestLoadShed503(t *testing.T) {
 	reg := metrics.New()
 	srv := NewConfig(slowEngine(t), Config{
 		QueryTimeout: 2 * time.Second, // bounds the blocking query
@@ -280,7 +280,7 @@ func TestLoadShed429(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.StatusCode == http.StatusTooManyRequests {
+		if res.StatusCode == http.StatusServiceUnavailable {
 			shedRes = res
 			break
 		}
@@ -288,7 +288,7 @@ func TestLoadShed429(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	if shedRes == nil {
-		t.Fatal("never saw a 429 while the limiter was full")
+		t.Fatal("never saw a 503 while the limiter was full")
 	}
 	defer shedRes.Body.Close()
 	if shedRes.Header.Get("Retry-After") == "" {

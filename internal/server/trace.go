@@ -218,8 +218,12 @@ type readyReporter interface{ Ready() error }
 
 // Ready aggregates readiness over every serving dataset: nil when each
 // backend that reports readiness is ready.  GET /readyz on the debug
-// listener serves this.
+// listener serves this.  A draining server reports not ready first — the
+// load balancer's cue to route elsewhere while shutdown completes.
 func (s *Server) Ready() error {
+	if s.draining.Load() {
+		return errors.New("draining for shutdown")
+	}
 	for _, name := range s.catalog.Names() {
 		b, err := s.catalog.GetBackend(name)
 		if err != nil {
