@@ -53,6 +53,7 @@ func main() {
 		"E16": runner.E16AsyncIngest,
 		"E17": runner.E17RemoteRouter,
 		"E18": runner.E18TailSampling,
+		"E19": runner.E19IndexCompression,
 		"A1":  runner.A1Pushdown,
 		"A2":  runner.A2Minimization,
 		"A3":  runner.A3PenaltyModel,

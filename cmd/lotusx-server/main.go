@@ -62,6 +62,8 @@ func main() {
 		"directory persisting corpus-backed datasets; existing corpora reload at startup")
 	shards := flag.Int("shards", 1,
 		"split each served dataset into N shards queried with parallel fan-out")
+	compressIndex := flag.Bool("compress-index", false,
+		"build indexes on the DAG-compressed substrate: repeated subtree shapes are stored once and joins run once per distinct shape; each index falls back to raw when its data doesn't repeat enough to pay for itself")
 	slowQuery := flag.Duration("slow-query", 250*time.Millisecond,
 		"log queries slower than this with a per-stage breakdown (0 disables)")
 	debugAddr := flag.String("debug-addr", "",
@@ -150,6 +152,7 @@ func main() {
 		EnableAdmin:            *admin,
 		CorpusDir:              *corpusDir,
 		Corpus:                 tuning,
+		CompressIndex:          *compressIndex,
 		SlowQuery:              *slowQuery,
 		DisableResultCache:     !*cacheResults,
 		DisableCompletionCache: !*cacheCompletions,
@@ -194,7 +197,7 @@ func main() {
 
 	// The plain path: one engine-backed dataset, no catalog features needed.
 	if *kind != "all" && !*admin && *corpusDir == "" && *shards == 1 {
-		engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed)
+		engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed, *compressIndex)
 		if err != nil {
 			fatal(err)
 		}
@@ -211,7 +214,7 @@ func main() {
 	// Catalog mode: multiple datasets, corpus-backed sharding, live admin.
 	catalog := core.NewCatalog()
 	if *corpusDir != "" {
-		if err := reloadCorpora(catalog, *corpusDir, reg, tuning); err != nil {
+		if err := reloadCorpora(catalog, *corpusDir, reg, tuning, *compressIndex); err != nil {
 			fatal(err)
 		}
 	}
@@ -225,19 +228,19 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := addDataset(catalog, string(k), d, *shards, *corpusDir, reg, tuning); err != nil {
+			if err := addDataset(catalog, string(k), d, *shards, *corpusDir, reg, tuning, *compressIndex); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("loaded %s (%d nodes, %d shards)\n", k, d.Len(), *shards)
 		}
 	case *in != "" || *indexFile != "" || *kind != "":
-		engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed)
+		engine, err := buildEngine(*in, *indexFile, *kind, *scale, *seed, *compressIndex)
 		if err != nil {
 			fatal(err)
 		}
 		d := engine.Document()
 		if *shards > 1 {
-			if err := addDataset(catalog, d.Name(), d, *shards, *corpusDir, reg, tuning); err != nil {
+			if err := addDataset(catalog, d.Name(), d, *shards, *corpusDir, reg, tuning, *compressIndex); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("loaded %s (%d nodes, %d shards)\n", d.Name(), d.Len(), *shards)
@@ -311,12 +314,12 @@ func buildSLO(searchP99 time.Duration, availability float64) (*slo.Tracker, erro
 
 // addDataset registers d, split into parts shards when parts > 1, with
 // persistence under corpusDir when set.
-func addDataset(catalog *core.Catalog, name string, d *doc.Document, parts int, corpusDir string, reg *metrics.Registry, tuning corpus.Tuning) error {
+func addDataset(catalog *core.Catalog, name string, d *doc.Document, parts int, corpusDir string, reg *metrics.Registry, tuning corpus.Tuning, compress bool) error {
 	if parts == 1 {
-		catalog.Add(name, core.FromDocument(d))
+		catalog.Add(name, core.FromDocumentOpts(d, core.BuildOptions{Compress: compress}))
 		return nil
 	}
-	ccfg := corpus.Config{Metrics: reg.Corpus(name), Tuning: tuning}
+	ccfg := corpus.Config{Metrics: reg.Corpus(name), Tuning: tuning, Compress: compress}
 	if corpusDir != "" {
 		ccfg.Dir = filepath.Join(corpusDir, name)
 	}
@@ -330,7 +333,7 @@ func addDataset(catalog *core.Catalog, name string, d *doc.Document, parts int, 
 
 // reloadCorpora reopens every persisted corpus under dir (one subdirectory
 // with a manifest each) so admin-created datasets survive restarts.
-func reloadCorpora(catalog *core.Catalog, dir string, reg *metrics.Registry, tuning corpus.Tuning) error {
+func reloadCorpora(catalog *core.Catalog, dir string, reg *metrics.Registry, tuning corpus.Tuning, compress bool) error {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return nil // created on first ingest
@@ -346,7 +349,9 @@ func reloadCorpora(catalog *core.Catalog, dir string, reg *metrics.Registry, tun
 		if _, err := os.Stat(filepath.Join(sub, "MANIFEST.json")); err != nil {
 			continue
 		}
-		c, err := corpus.Open(sub, corpus.Config{Metrics: reg.Corpus(e.Name()), Tuning: tuning})
+		// Shard files are self-describing (a compressed shard reloads
+		// compressed); Compress only steers future rebuilds of this corpus.
+		c, err := corpus.Open(sub, corpus.Config{Metrics: reg.Corpus(e.Name()), Tuning: tuning, Compress: compress})
 		if err != nil {
 			return fmt.Errorf("reopening corpus %s: %w", sub, err)
 		}
@@ -368,23 +373,34 @@ func servingNote(cfg server.Config) string {
 	return s
 }
 
-func buildEngine(in, indexFile, kind string, scale int, seed int64) (*core.Engine, error) {
+func buildEngine(in, indexFile, kind string, scale int, seed int64, compress bool) (*core.Engine, error) {
+	opts := core.BuildOptions{Compress: compress}
 	switch {
 	case in != "":
-		return core.FromFile(in)
+		e, err := core.FromFile(in)
+		if err != nil || !compress {
+			return e, err
+		}
+		return core.FromDocumentOpts(e.Document(), opts), nil
 	case indexFile != "":
 		f, err := os.Open(indexFile)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return core.Open(f)
+		e, err := core.Open(f)
+		if err != nil || !compress || e.Compressed() {
+			return e, err
+		}
+		// A raw persisted index under -compress-index: rebuild on the
+		// compressed substrate from the loaded document.
+		return core.FromDocumentOpts(e.Document(), opts), nil
 	case kind != "":
 		d, err := dataset.Build(dataset.Kind(kind), scale, seed)
 		if err != nil {
 			return nil, err
 		}
-		return core.FromDocument(d), nil
+		return core.FromDocumentOpts(d, opts), nil
 	default:
 		return nil, fmt.Errorf("one of -in, -index or -dataset is required")
 	}
@@ -415,7 +431,7 @@ func runShard(cfg server.Config, a shardArgs) {
 	if err != nil {
 		fatal(err)
 	}
-	engine, err := buildEngine(a.in, a.indexFile, a.kind, a.scale, a.seed)
+	engine, err := buildEngine(a.in, a.indexFile, a.kind, a.scale, a.seed, cfg.CompressIndex)
 	if err != nil {
 		fatal(err)
 	}
@@ -427,7 +443,7 @@ func runShard(cfg server.Config, a shardArgs) {
 		if idx >= len(docs) {
 			fatal(fmt.Errorf("slice %d/%d: document only splits into %d part(s)", idx, parts, len(docs)))
 		}
-		engine = core.FromDocument(docs[idx])
+		engine = core.FromDocumentOpts(docs[idx], core.BuildOptions{Compress: cfg.CompressIndex})
 	}
 	st := engine.Stats()
 	srv := server.NewConfig(engine, cfg)

@@ -13,7 +13,7 @@ func TestBuildEngineFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("<a><b>x</b></a>"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	e, err := buildEngine(path, "", "", 1, 1)
+	e, err := buildEngine(path, "", "", 1, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestBuildEngineFromIndexFile(t *testing.T) {
 	if err := os.WriteFile(xmlPath, []byte("<a><b>x</b></a>"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	e, err := buildEngine(xmlPath, "", "", 1, 1)
+	e, err := buildEngine(xmlPath, "", "", 1, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestBuildEngineFromIndexFile(t *testing.T) {
 	}
 	f.Close()
 
-	e2, err := buildEngine("", idxPath, "", 1, 1)
+	e2, err := buildEngine("", idxPath, "", 1, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestBuildEngineFromIndexFile(t *testing.T) {
 }
 
 func TestBuildEngineFromDataset(t *testing.T) {
-	e, err := buildEngine("", "", "dblp", 1, 7)
+	e, err := buildEngine("", "", "dblp", 1, 7, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,16 +62,16 @@ func TestBuildEngineFromDataset(t *testing.T) {
 }
 
 func TestBuildEngineErrors(t *testing.T) {
-	if _, err := buildEngine("", "", "", 1, 1); err == nil {
+	if _, err := buildEngine("", "", "", 1, 1, false); err == nil {
 		t.Error("no source should fail")
 	}
-	if _, err := buildEngine("/nonexistent.xml", "", "", 1, 1); err == nil {
+	if _, err := buildEngine("/nonexistent.xml", "", "", 1, 1, false); err == nil {
 		t.Error("missing file should fail")
 	}
-	if _, err := buildEngine("", "/nonexistent.ltx", "", 1, 1); err == nil {
+	if _, err := buildEngine("", "/nonexistent.ltx", "", 1, 1, false); err == nil {
 		t.Error("missing index should fail")
 	}
-	if _, err := buildEngine("", "", "bogus", 1, 1); err == nil {
+	if _, err := buildEngine("", "", "bogus", 1, 1, false); err == nil {
 		t.Error("unknown dataset should fail")
 	}
 }

@@ -146,6 +146,7 @@ func (r *Runner) RunAll() error {
 		r.E16AsyncIngest,
 		r.E17RemoteRouter,
 		r.E18TailSampling,
+		r.E19IndexCompression,
 		r.A1Pushdown,
 		r.A2Minimization,
 		r.A3PenaltyModel,

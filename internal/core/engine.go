@@ -33,10 +33,32 @@ type Engine struct {
 	rewriter  *rewrite.Engine
 }
 
+// BuildOptions tunes engine construction.
+type BuildOptions struct {
+	// Compress opts the index into the DAG-compressed substrate, falling
+	// back to raw when the document's dedup ratio is poor (see
+	// index.BuildWith).
+	Compress bool
+}
+
 // FromDocument builds an Engine over an already-parsed document.
 func FromDocument(d *doc.Document) *Engine {
 	return fromIndex(index.Build(d))
 }
+
+// FromDocumentOpts builds an Engine over an already-parsed document with
+// build options.
+func FromDocumentOpts(d *doc.Document, opts BuildOptions) *Engine {
+	return fromIndex(index.BuildWith(d, index.BuildOptions{Compress: opts.Compress}))
+}
+
+// Compressed reports whether the engine's index runs on the DAG-compressed
+// substrate.
+func (e *Engine) Compressed() bool { return e.ix.Compressed() != nil }
+
+// CompressionStats reports the index substrate's size accounting: resident
+// bytes, the raw-equivalent estimate, and (when compressed) shape counts.
+func (e *Engine) CompressionStats() index.CompressionStats { return e.ix.CompressionStats() }
 
 // FromReader parses XML from r and builds an Engine.
 func FromReader(name string, r io.Reader) (*Engine, error) {

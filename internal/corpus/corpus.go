@@ -167,6 +167,12 @@ type Config struct {
 	// Logger receives quarantine and degradation warnings; nil means
 	// slog.Default().
 	Logger *slog.Logger
+	// Compress opts new shard indexes into the DAG-compressed substrate
+	// (index.BuildOptions.Compress): repeated subtree shapes are stored once
+	// and joins run once per distinct shape.  Per shard the builder falls
+	// back to the raw substrate when the document doesn't repeat enough to
+	// pay for itself, so enabling this on mixed corpora is safe.
+	Compress bool
 }
 
 // Corpus is a mutable, concurrently queryable shard set.
@@ -179,6 +185,8 @@ type Corpus struct {
 	health  *health // nil when breakers are disabled
 	faults  *faults.Registry
 	log     *slog.Logger
+	// compress opts shard builds into the DAG-compressed index substrate.
+	compress bool
 	// loadQuarantined names manifest shards Open quarantined at startup
 	// (written once before the corpus is shared; read-only after).
 	loadQuarantined []string
@@ -202,13 +210,14 @@ type Corpus struct {
 // New returns an empty corpus.
 func New(name string, cfg Config) *Corpus {
 	c := &Corpus{
-		name:    name,
-		dir:     cfg.Dir,
-		workers: cfg.Workers,
-		met:     cfg.Metrics,
-		tuning:  cfg.Tuning,
-		faults:  cfg.Faults,
-		log:     cfg.Logger,
+		name:     name,
+		dir:      cfg.Dir,
+		workers:  cfg.Workers,
+		met:      cfg.Metrics,
+		tuning:   cfg.Tuning,
+		faults:   cfg.Faults,
+		log:      cfg.Logger,
+		compress: cfg.Compress,
 	}
 	if c.tuning.Policy == "" {
 		c.tuning.Policy = PolicyDegrade
@@ -286,6 +295,7 @@ func Open(dir string, cfg Config) (*Corpus, error) {
 	if c.met != nil {
 		c.met.SetShards(len(shards))
 		c.met.SetDeltaShards(snap.DeltaCount())
+		c.updateResident(shards)
 	}
 	return c, nil
 }
@@ -360,6 +370,29 @@ func (c *Corpus) DeltaShards() int { return c.Snapshot().DeltaCount() }
 // from before a mutation become unreachable the instant it lands.
 func (c *Corpus) Generation() uint64 { return c.Seq() }
 
+// updateResident publishes the snapshot's index-substrate size accounting —
+// resident vs raw-equivalent bytes, dedup-DAG shape/instance counts, and how
+// many shards compressed — to the corpus gauges.  Remote shards have no
+// local engine and contribute nothing.  Caller holds c.met != nil.
+func (c *Corpus) updateResident(shards []*shard) {
+	var resident, raw, shapes, instances int64
+	compressed := 0
+	for _, sh := range shards {
+		if sh.engine == nil {
+			continue
+		}
+		st := sh.engine.CompressionStats()
+		resident += st.ResidentBytes
+		raw += st.RawBytes
+		if st.Compressed {
+			compressed++
+			shapes += int64(st.Shapes)
+			instances += int64(st.Instances)
+		}
+	}
+	c.met.SetResident(resident, raw, shapes, instances, compressed)
+}
+
 // sortShards orders shards by name for deterministic iteration and merges.
 func sortShards(shards []*shard) {
 	sort.Slice(shards, func(i, j int) bool { return shards[i].name < shards[j].name })
@@ -384,7 +417,7 @@ func (c *Corpus) Add(name string, d *doc.Document) error {
 	// Index construction is the expensive part — do it before taking the
 	// mutation lock so concurrent readers and other writers never wait on
 	// parsing or index builds.
-	engine := core.FromDocument(d)
+	engine := core.FromDocumentOpts(d, core.BuildOptions{Compress: c.compress})
 	return c.publish(func(shards []*shard) ([]*shard, error) {
 		return replaceShard(shards, &shard{name: name, engine: engine}), nil
 	})
@@ -418,7 +451,7 @@ func (c *Corpus) addSplit(name string, d *doc.Document, parts int, delta bool) e
 	if err := validShardName(name); err != nil {
 		return err
 	}
-	fresh, err := buildShards(name, d, parts, delta)
+	fresh, err := buildShards(name, d, parts, delta, c.compress)
 	if err != nil {
 		return err
 	}
@@ -431,17 +464,18 @@ func (c *Corpus) addSplit(name string, d *doc.Document, parts int, delta bool) e
 // buildShards splits d and indexes each part (the expensive work, done
 // before the caller takes the mutation lock): one shard named name for an
 // unsplit document, or a "name/NNN" group.
-func buildShards(name string, d *doc.Document, parts int, delta bool) ([]*shard, error) {
+func buildShards(name string, d *doc.Document, parts int, delta, compress bool) ([]*shard, error) {
 	docs, err := SplitDocument(d, parts)
 	if err != nil {
 		return nil, err
 	}
+	opts := core.BuildOptions{Compress: compress}
 	if len(docs) == 1 {
-		return []*shard{{name: name, engine: core.FromDocument(docs[0]), delta: delta}}, nil
+		return []*shard{{name: name, engine: core.FromDocumentOpts(docs[0], opts), delta: delta}}, nil
 	}
 	out := make([]*shard, len(docs))
 	for i, sd := range docs {
-		out[i] = &shard{name: fmt.Sprintf("%s/%03d", name, i), engine: core.FromDocument(sd), delta: delta}
+		out[i] = &shard{name: fmt.Sprintf("%s/%03d", name, i), engine: core.FromDocumentOpts(sd, opts), delta: delta}
 	}
 	return out, nil
 }
@@ -475,7 +509,7 @@ func (c *Corpus) SetSplit(name string, d *doc.Document, parts int) error {
 	if err := validShardName(name); err != nil {
 		return err
 	}
-	fresh, err := buildShards(name, d, parts, false)
+	fresh, err := buildShards(name, d, parts, false, c.compress)
 	if err != nil {
 		return err
 	}
@@ -517,7 +551,7 @@ func (c *Corpus) Reindex(name string) error {
 		for i, sh := range shards {
 			if name == "" || sh.name == name || strings.HasPrefix(sh.name, name+"/") {
 				hit = true
-				next[i] = &shard{name: sh.name, engine: core.FromDocument(sh.engine.Document()), delta: sh.delta}
+				next[i] = &shard{name: sh.name, engine: core.FromDocumentOpts(sh.engine.Document(), core.BuildOptions{Compress: c.compress}), delta: sh.delta}
 			} else {
 				next[i] = sh
 			}
@@ -579,6 +613,7 @@ func (c *Corpus) publish(mutate func([]*shard) ([]*shard, error)) error {
 	if c.met != nil {
 		c.met.SetShards(len(ns.shards))
 		c.met.SetDeltaShards(ns.DeltaCount())
+		c.updateResident(ns.shards)
 		c.met.Swapped()
 	}
 	if c.dir != "" {
@@ -609,10 +644,11 @@ func (c *Corpus) persist(ns *Snapshot) error {
 			sh.file = file
 		}
 		m.Shards = append(m.Shards, manifestShard{
-			Name:  sh.name,
-			File:  sh.file,
-			Nodes: sh.engine.Document().Len(),
-			Delta: sh.delta,
+			Name:       sh.name,
+			File:       sh.file,
+			Nodes:      sh.engine.Document().Len(),
+			Delta:      sh.delta,
+			Compressed: sh.engine.Compressed(),
 		})
 	}
 	return saveManifest(c.dir, m)

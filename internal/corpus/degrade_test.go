@@ -414,7 +414,7 @@ func TestBreakerHalfOpenProbeHeals(t *testing.T) {
 		t.Fatalf("state = %q, want open", h.State)
 	}
 	time.Sleep(50 * time.Millisecond) // let the cooldown lapse
-	res := mustSearch(t, c, qs, opts)  // the half-open probe; injection is spent
+	res := mustSearch(t, c, qs, opts) // the half-open probe; injection is spent
 	if res.Partial {
 		t.Fatalf("probe fan-out still partial: %v", res.FailedShards)
 	}

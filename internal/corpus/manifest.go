@@ -66,6 +66,12 @@ type manifestShard struct {
 	// Delta marks an async-ingested delta shard awaiting compaction; absent
 	// (false) for base shards, so pre-delta manifests load unchanged.
 	Delta bool `json:"delta,omitempty"`
+	// Compressed marks a shard whose index runs on the DAG-compressed
+	// substrate (its file carries the version-2 payload); absent (false) for
+	// raw shards, so pre-compression manifests load unchanged.  Informational:
+	// the shard file itself is self-describing, this flag lets operators see
+	// which shards compressed without opening files.
+	Compressed bool `json:"compressed,omitempty"`
 }
 
 // loadManifest reads and validates <dir>/MANIFEST.json.

@@ -1,0 +1,281 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lotusx/internal/doc"
+	"lotusx/internal/trie"
+)
+
+// repetitiveXML has three distinct record shapes instantiated many times —
+// comfortably past the fallback heuristic — plus residue (the header, and
+// one record with a unique value).
+func repetitiveXML(copies int) string {
+	var b strings.Builder
+	b.WriteString("<dblp><header><created>2012</created></header>")
+	for i := 0; i < copies; i++ {
+		b.WriteString(`<article key="a1"><author>Jiaheng Lu</author><author>Ting Chen</author>` +
+			`<title>Holistic Twig Joins</title><year>2005</year><pages>310</pages><publisher>VLDB</publisher></article>`)
+		b.WriteString(`<article key="a2"><author>Chunbin Lin</author><author>Jiaheng Lu</author>` +
+			`<title>LotusX Position Aware Search</title><year>2012</year><pages>1515</pages><publisher>ICDE</publisher></article>`)
+		b.WriteString(`<book key="b1"><author>Tok Wang Ling</author><title>XML Databases</title>` +
+			`<year>2008</year><publisher>Springer</publisher><isbn>978</isbn></book>`)
+	}
+	b.WriteString(`<article key="zz"><author>Unique Author</author><title>One Off</title><year>1999</year></article>`)
+	b.WriteString("</dblp>")
+	return b.String()
+}
+
+func mustDoc(t testing.TB, src string) *doc.Document {
+	t.Helper()
+	d, err := doc.FromString("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// collectTokens gathers every distinct token in the document's values.
+func collectTokens(d *doc.Document) []string {
+	seen := map[string]struct{}{}
+	var toks []string
+	for i := 0; i < d.Len(); i++ {
+		for _, tok := range Tokenize(d.Value(doc.NodeID(i))) {
+			if _, dup := seen[tok]; dup {
+				continue
+			}
+			seen[tok] = struct{}{}
+			toks = append(toks, tok)
+		}
+	}
+	return toks
+}
+
+// assertIndexesAgree compares every access path of two indexes over the
+// same document; the raw one is the reference.
+func assertIndexesAgree(t *testing.T, raw, got *Index) {
+	t.Helper()
+	d := raw.Document()
+	tags := d.Tags()
+	for id := doc.TagID(0); int(id) < tags.Len(); id++ {
+		if raw.TagCount(id) != got.TagCount(id) {
+			t.Errorf("TagCount(%s): raw %d, got %d", tags.Name(id), raw.TagCount(id), got.TagCount(id))
+		}
+		if a, b := raw.Nodes(id), got.Nodes(id); !reflect.DeepEqual(a, b) {
+			t.Errorf("Nodes(%s): raw %v, got %v", tags.Name(id), a, b)
+		}
+	}
+	if a, b := raw.AllElements(), got.AllElements(); !reflect.DeepEqual(a, b) {
+		t.Errorf("AllElements: raw %d nodes, got %d", len(a), len(b))
+	}
+	if raw.WildcardCount() != got.WildcardCount() {
+		t.Errorf("WildcardCount: raw %d, got %d", raw.WildcardCount(), got.WildcardCount())
+	}
+	if raw.ValuedNodes() != got.ValuedNodes() {
+		t.Errorf("ValuedNodes: raw %d, got %d", raw.ValuedNodes(), got.ValuedNodes())
+	}
+	for _, tok := range collectTokens(d) {
+		if a, b := raw.TokenPostings(tok), got.TokenPostings(tok); !reflect.DeepEqual(a, b) {
+			t.Errorf("TokenPostings(%q): raw %v, got %v", tok, a, b)
+		}
+		if raw.DF(tok) != got.DF(tok) {
+			t.Errorf("DF(%q): raw %d, got %d", tok, raw.DF(tok), got.DF(tok))
+		}
+	}
+	for i := 0; i < d.Len(); i++ {
+		v := d.Value(doc.NodeID(i))
+		if v == "" {
+			continue
+		}
+		if a, b := raw.ExactMatches(v), got.ExactMatches(v); !reflect.DeepEqual(a, b) {
+			t.Errorf("ExactMatches(%q): raw %v, got %v", v, a, b)
+		}
+		if a, b := raw.ContainsAll(v), got.ContainsAll(v); !reflect.DeepEqual(a, b) {
+			t.Errorf("ContainsAll(%q): raw %v, got %v", v, a, b)
+		}
+	}
+	// Completion must be oblivious to the substrate: same entries, same
+	// weights, same data (the trie keeps the last-inserted datum, which in
+	// document order is the highest node with that value).
+	if !triesEqual(raw.TagTrie(), got.TagTrie()) {
+		t.Error("tag tries differ")
+	}
+	for id := doc.TagID(0); int(id) < tags.Len(); id++ {
+		rt, gt := raw.ValueTrie(id), got.ValueTrie(id)
+		if (rt == nil) != (gt == nil) {
+			t.Errorf("ValueTrie(%s): one side nil", tags.Name(id))
+			continue
+		}
+		if rt != nil && !triesEqual(rt, gt) {
+			t.Errorf("ValueTrie(%s) differs", tags.Name(id))
+		}
+	}
+}
+
+func triesEqual(a, b *trie.Trie) bool {
+	dump := func(tr *trie.Trie) string {
+		var sb strings.Builder
+		tr.Walk(func(e trie.Entry) bool {
+			fmt.Fprintf(&sb, "%s|%d|%d\n", e.Word, e.Weight, e.Datum)
+			return true
+		})
+		return sb.String()
+	}
+	return dump(a) == dump(b)
+}
+
+func TestCompressedAccessorsMatchRaw(t *testing.T) {
+	d := mustDoc(t, repetitiveXML(100))
+	raw := Build(d)
+	comp := BuildCompressed(d)
+	if comp.Compressed() == nil {
+		t.Fatal("high-repetition document did not compress")
+	}
+	assertIndexesAgree(t, raw, comp)
+}
+
+func TestCompressedStats(t *testing.T) {
+	d := mustDoc(t, repetitiveXML(100))
+	comp := BuildCompressed(d)
+	c := comp.Compressed()
+	if c == nil {
+		t.Fatal("high-repetition document did not compress")
+	}
+	st := comp.CompressionStats()
+	if !st.Compressed {
+		t.Error("stats not marked compressed")
+	}
+	if st.Shapes <= 0 || st.Shapes >= st.Nodes {
+		t.Errorf("implausible shape count %d for %d nodes", st.Shapes, st.Nodes)
+	}
+	if st.Instances < 2 {
+		t.Errorf("instances = %d, want >= 2", st.Instances)
+	}
+	if st.ResidentBytes <= 0 || st.RawBytes <= st.ResidentBytes {
+		t.Errorf("no byte win: resident %d, raw %d", st.ResidentBytes, st.RawBytes)
+	}
+	if st.Ratio() < 3 {
+		t.Errorf("ratio = %.2f, want >= 3 on 100 copies of 3 shapes", st.Ratio())
+	}
+	raw := Build(d)
+	rst := raw.CompressionStats()
+	if rst.Compressed || rst.ResidentBytes != rst.RawBytes {
+		t.Errorf("raw stats inconsistent: %+v", rst)
+	}
+	// The raw estimate inside the compressed stats should track the real
+	// raw substrate within a reasonable tolerance — it drives the fallback.
+	if ratio := float64(st.RawBytes) / float64(rst.ResidentBytes); ratio < 0.5 || ratio > 2 {
+		t.Errorf("raw estimate %d vs actual raw %d (off by %.2fx)", st.RawBytes, rst.ResidentBytes, ratio)
+	}
+}
+
+func TestOccurrenceLookup(t *testing.T) {
+	d := mustDoc(t, repetitiveXML(100))
+	comp := BuildCompressed(d)
+	c := comp.Compressed()
+	if c == nil {
+		t.Fatal("did not compress")
+	}
+	covered := 0
+	for i := 0; i < d.Len(); i++ {
+		n := doc.NodeID(i)
+		canonical, roots, ok := c.Occurrence(n)
+		if !ok {
+			continue
+		}
+		covered++
+		if len(roots) < 1 {
+			t.Fatalf("node %d: empty occurrence list", n)
+		}
+		if roots[0] != canonical {
+			t.Fatalf("node %d: canonical %d is not roots[0]=%d", n, canonical, roots[0])
+		}
+		// The covering root must be the greatest occurrence root <= n.
+		found := false
+		for _, r := range roots {
+			if r <= n {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d: no occurrence root at or before it (roots %v)", n, roots)
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no node is covered by a shared occurrence")
+	}
+	// The document root is never shared.
+	if _, _, ok := c.Occurrence(0); ok {
+		t.Error("document root reported as covered")
+	}
+}
+
+func TestCompressedPersistRoundTrip(t *testing.T) {
+	d := mustDoc(t, repetitiveXML(100))
+	comp := BuildCompressed(d)
+	if comp.Compressed() == nil {
+		t.Fatal("did not compress")
+	}
+	var buf bytes.Buffer
+	if err := comp.SaveFull(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if v := data[4]; v != fullVersionFlags {
+		t.Fatalf("compressed save wrote version %d, want %d", v, fullVersionFlags)
+	}
+	loaded, err := LoadFull(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Compressed() == nil {
+		t.Fatal("round trip lost the compressed substrate")
+	}
+	assertIndexesAgree(t, Build(d), loaded)
+
+	// A raw index keeps the version-1 layout byte-for-byte, and loading it
+	// yields a raw index — old shard files keep working.
+	var rawBuf bytes.Buffer
+	if err := Build(d).SaveFull(&rawBuf); err != nil {
+		t.Fatal(err)
+	}
+	if v := rawBuf.Bytes()[4]; v != fullVersion {
+		t.Fatalf("raw save wrote version %d, want %d", v, fullVersion)
+	}
+	rawLoaded, err := LoadFull(bytes.NewReader(rawBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawLoaded.Compressed() != nil {
+		t.Fatal("raw file loaded as compressed")
+	}
+	// The compressed file should also be the smaller one on this data: it
+	// omits the postings section entirely.
+	if buf.Len() >= rawBuf.Len() {
+		t.Errorf("compressed file %dB not smaller than raw %dB", buf.Len(), rawBuf.Len())
+	}
+}
+
+func TestForceCompressOnUniqueData(t *testing.T) {
+	// All-unique values: the heuristic declines, force keeps it on, and the
+	// all-residue substrate still answers identically.
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&b, "<a><b>val%d</b></a>", i)
+	}
+	b.WriteString("</r>")
+	d := mustDoc(t, b.String())
+	if ix := BuildCompressed(d); ix.Compressed() != nil {
+		t.Fatal("unique document unexpectedly compressed")
+	}
+	forced := BuildWith(d, BuildOptions{ForceCompress: true})
+	if forced.Compressed() == nil {
+		t.Fatal("ForceCompress did not keep the substrate")
+	}
+	assertIndexesAgree(t, Build(d), forced)
+}

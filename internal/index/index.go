@@ -8,6 +8,12 @@
 // derived deterministically from its Document, so persistence stores the
 // document and rebuilds the derived structures on load (rebuild is a single
 // O(n) pass; see Save/Load).
+//
+// The index has two interchangeable substrates.  Build materializes the raw
+// per-node arrays; BuildWith/BuildCompressed can instead store the
+// DAG-compressed form (compress.go), which dedups repeated subtrees and
+// expands node lists lazily.  Every accessor answers identically under
+// either substrate.
 package index
 
 import (
@@ -24,6 +30,10 @@ import (
 // Index holds all access structures over one document.
 type Index struct {
 	document *doc.Document
+
+	// comp, when non-nil, is the DAG-compressed substrate; streams,
+	// postings and exact are then nil and accessors materialize from it.
+	comp *Compressed
 
 	// streams[tag] lists the nodes with that tag in document order.
 	streams [][]doc.NodeID
@@ -87,7 +97,7 @@ func Build(d *doc.Document) *Index {
 			continue
 		}
 		ix.valued++
-		lower := strings.ToLower(v)
+		lower := foldValue(v)
 		ix.exact[lower] = append(ix.exact[lower], n)
 
 		seen := make(map[string]struct{})
@@ -115,38 +125,77 @@ func Build(d *doc.Document) *Index {
 // Document returns the indexed document.
 func (ix *Index) Document() *doc.Document { return ix.document }
 
+// foldValue is THE canonical fold for the exact-value and value-trie
+// keyspaces.  Build and every lookup go through it, so a probe can never
+// miss an indexed value for folding reasons.
+func foldValue(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// foldToken is THE canonical fold for the token-postings keyspace: the same
+// fold Tokenize applies while indexing.  A single-token input ("Title",
+// " TITLE.") maps onto its indexed form; input that does not reduce to one
+// token keeps a plain lowercase fold, which by construction cannot collide
+// with a postings key.
+func foldToken(s string) string {
+	if toks := Tokenize(s); len(toks) == 1 {
+		return toks[0]
+	}
+	return strings.ToLower(s)
+}
+
 // TagCount returns the number of nodes with the given tag.
 func (ix *Index) TagCount(tag doc.TagID) int {
+	if ix.comp != nil {
+		return ix.comp.tagCount(tag)
+	}
 	if tag < 0 || int(tag) >= len(ix.streams) {
 		return 0
 	}
 	return len(ix.streams[tag])
 }
 
-// Nodes returns the document-order node list for tag.  The slice is shared;
-// callers must not modify it.
+// Nodes returns the document-order node list for tag.  The slice is shared
+// on a raw index and freshly materialized on a compressed one; callers must
+// not modify it either way.
 func (ix *Index) Nodes(tag doc.TagID) []doc.NodeID {
+	if ix.comp != nil {
+		return ix.comp.tagStream(tag)
+	}
 	if tag < 0 || int(tag) >= len(ix.streams) {
 		return nil
 	}
 	return ix.streams[tag]
 }
 
-// TokenPostings returns the nodes whose value contains token (lowercased by
-// the caller or not — the lookup lowercases), in document order.
+// TokenPostings returns the nodes whose value contains token, in document
+// order.  The token is canonicalized with the same fold indexing applies.
 func (ix *Index) TokenPostings(token string) []doc.NodeID {
-	return ix.postings[strings.ToLower(token)]
+	tok := foldToken(token)
+	if ix.comp != nil {
+		return ix.comp.tokenPostings(tok)
+	}
+	return ix.postings[tok]
 }
 
 // ExactMatches returns the nodes whose whole value equals v
 // case-insensitively, in document order.
 func (ix *Index) ExactMatches(v string) []doc.NodeID {
-	return ix.exact[strings.ToLower(strings.TrimSpace(v))]
+	folded := foldValue(v)
+	if ix.comp != nil {
+		return ix.comp.exactMatches(folded)
+	}
+	return ix.exact[folded]
 }
 
 // DF returns the document frequency of token: the number of nodes whose
-// value contains it.
-func (ix *Index) DF(token string) int { return len(ix.postings[strings.ToLower(token)]) }
+// value contains it.  It folds exactly like TokenPostings, so
+// DF(t) == len(TokenPostings(t)) for every t.
+func (ix *Index) DF(token string) int {
+	tok := foldToken(token)
+	if ix.comp != nil {
+		return ix.comp.tokenCount(tok)
+	}
+	return len(ix.postings[tok])
+}
 
 // ValuedNodes returns the number of nodes carrying a non-empty value.
 func (ix *Index) ValuedNodes() int { return ix.valued }
@@ -168,7 +217,11 @@ func (ix *Index) ContainsAll(query string) []doc.NodeID {
 	}
 	lists := make([][]doc.NodeID, len(toks))
 	for i, tok := range toks {
-		lists[i] = ix.postings[tok]
+		if ix.comp != nil {
+			lists[i] = ix.comp.tokenPostings(tok)
+		} else {
+			lists[i] = ix.postings[tok]
+		}
 		if len(lists[i]) == 0 {
 			return nil
 		}
@@ -184,8 +237,26 @@ func (ix *Index) ContainsAll(query string) []doc.NodeID {
 	return cur
 }
 
-// intersect merges two sorted node lists.
+// gallopSkew is the length ratio beyond which intersect switches from the
+// linear merge to galloping: under it the merge's cache-friendly scan wins,
+// over it the O(small · log big) search does.
+const gallopSkew = 8
+
+// intersect intersects two sorted node lists, choosing linear merge for
+// similar lengths and galloping search for skewed ones (the common shape of
+// ContainsAll with one rare and one common token).
 func intersect(a, b []doc.NodeID) []doc.NodeID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= gallopSkew*len(a) {
+		return intersectGallop(a, b)
+	}
+	return intersectLinear(a, b)
+}
+
+// intersectLinear merges two sorted node lists of comparable length.
+func intersectLinear(a, b []doc.NodeID) []doc.NodeID {
 	var out []doc.NodeID
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -199,6 +270,35 @@ func intersect(a, b []doc.NodeID) []doc.NodeID {
 			i++
 			j++
 		}
+	}
+	return out
+}
+
+// intersectGallop intersects a short sorted list against a much longer one:
+// for each element of small, gallop (exponential search) forward through
+// big to bracket a window containing the first element >= x, then binary
+// search inside it.  Total cost O(|small| · log |big|) instead of
+// O(|small| + |big|).
+func intersectGallop(small, big []doc.NodeID) []doc.NodeID {
+	var out []doc.NodeID
+	base := 0
+	for _, x := range small {
+		step := 1
+		for base+step < len(big) && big[base+step] < x {
+			step <<= 1
+		}
+		lo, hi := base+step>>1, base+step
+		if hi > len(big) {
+			hi = len(big)
+		}
+		i := lo + sort.Search(hi-lo, func(k int) bool { return big[lo+k] >= x })
+		if i >= len(big) {
+			break
+		}
+		if big[i] == x {
+			out = append(out, x)
+		}
+		base = i
 	}
 	return out
 }

@@ -35,6 +35,29 @@ func mustIndex(t *testing.T, src string) *Index {
 	return Build(d)
 }
 
+// TestTokenFoldUnified pins the canonical token fold: DF and TokenPostings
+// must agree for every spelling of a token — mixed case, stray punctuation,
+// Unicode case pairs — because both go through foldToken, the same fold
+// Tokenize applies while indexing.  A divergence here silently skews
+// ranking (DF) against retrieval (postings).
+func TestTokenFoldUnified(t *testing.T) {
+	ix := mustIndex(t, bibXML)
+	inputs := []string{
+		"twig", "Twig", "TWIG", " Twig.", "title", "Title", "TITLE",
+		"jiaheng", "JiaHeng", "2005", "lotusx", "LotusX", "Ärger", "ÄRGER",
+		"no such token", "",
+	}
+	for _, in := range inputs {
+		if df, n := ix.DF(in), len(ix.TokenPostings(in)); df != n {
+			t.Errorf("DF(%q) = %d but len(TokenPostings(%q)) = %d", in, df, in, n)
+		}
+	}
+	// Spellings that fold to the same token hit the same postings list.
+	if got, want := ix.DF(" Twig."), ix.DF("twig"); got != want || want == 0 {
+		t.Errorf("DF(\" Twig.\") = %d, want %d (nonzero)", got, want)
+	}
+}
+
 func TestTokenize(t *testing.T) {
 	cases := []struct {
 		in   string

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"strings"
 
 	"lotusx/internal/doc"
 	"lotusx/internal/trie"
@@ -36,13 +35,28 @@ var (
 //
 // Layout: magic "LTXI" | version u32 | payload len u64 | crc32 u32 | payload
 // where payload = document | valued u32 | postings section.
+//
+// Version 2 prefixes the payload with a flags word.  A compressed index
+// (flagCompressed) persists only its document — the DAG substrate dedups
+// the very repetition that makes postings expensive to rebuild, so
+// re-deriving it on load is cheap and the file stays small.  Version-1
+// files still load unchanged.
 const (
-	fullMagic   = "LTXI"
-	fullVersion = 1
+	fullMagic        = "LTXI"
+	fullVersion      = 1
+	fullVersionFlags = 2
+
+	// flagCompressed marks a version-2 payload whose index was built on
+	// the DAG-compressed substrate; the load rebuilds it in that mode.
+	flagCompressed = 1 << 0
 )
 
-// SaveFull writes the index with its postings, checksummed.
+// SaveFull writes the index with its postings, checksummed.  A compressed
+// index writes the version-2 document-only layout instead.
 func (ix *Index) SaveFull(w io.Writer) error {
+	if ix.comp != nil {
+		return ix.saveFullCompressed(w)
+	}
 	// The document section is length-prefixed because doc.Load buffers its
 	// reader and would otherwise consume bytes of the following sections.
 	var docBuf bytes.Buffer
@@ -101,6 +115,37 @@ func (ix *Index) SaveFull(w io.Writer) error {
 	return bw.Flush()
 }
 
+// saveFullCompressed writes the version-2 layout: flags word plus the
+// length-prefixed document, checksummed like version 1.
+func (ix *Index) saveFullCompressed(w io.Writer) error {
+	var docBuf bytes.Buffer
+	if err := ix.document.Save(&docBuf); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	var hdr12 [12]byte
+	binary.LittleEndian.PutUint32(hdr12[0:4], flagCompressed)
+	binary.LittleEndian.PutUint64(hdr12[4:12], uint64(docBuf.Len()))
+	payload.Write(hdr12[:])
+	payload.Write(docBuf.Bytes())
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fullMagic); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], fullVersionFlags)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // LoadFull reads an index written by SaveFull, verifying the checksum.
 func LoadFull(r io.Reader) (*Index, error) {
 	magic := make([]byte, len(fullMagic))
@@ -114,8 +159,9 @@ func LoadFull(r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != fullVersion {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, v, fullVersion)
+	version := binary.LittleEndian.Uint32(hdr[0:4])
+	if version != fullVersion && version != fullVersionFlags {
+		return nil, fmt.Errorf("%w: got %d, want %d or %d", ErrBadVersion, version, fullVersion, fullVersionFlags)
 	}
 	plen := binary.LittleEndian.Uint64(hdr[4:12])
 	if plen > 1<<34 {
@@ -129,6 +175,14 @@ func LoadFull(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
 
+	var flags uint32
+	if version == fullVersionFlags {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("%w: payload too short", ErrCorrupt)
+		}
+		flags = binary.LittleEndian.Uint32(payload[:4])
+		payload = payload[4:]
+	}
 	if len(payload) < 8 {
 		return nil, fmt.Errorf("%w: payload too short", ErrCorrupt)
 	}
@@ -139,6 +193,12 @@ func LoadFull(r io.Reader) (*Index, error) {
 	d, err := doc.Load(bytes.NewReader(payload[8 : 8+docLen]))
 	if err != nil {
 		return nil, err
+	}
+	if flags&flagCompressed != 0 {
+		// The substrate is derived, not stored: rebuild it in compressed
+		// mode.  ForceCompress keeps the on-disk flag and the manifest's
+		// view of the shard in agreement even for borderline documents.
+		return BuildWith(d, BuildOptions{ForceCompress: true}), nil
 	}
 	br := bytes.NewReader(payload[8+docLen:])
 	var scratch [4]byte
@@ -222,7 +282,7 @@ func rebuildFromParts(d *doc.Document, postings map[string][]doc.NodeID, valued 
 		if v == "" {
 			continue
 		}
-		lower := strings.ToLower(v)
+		lower := foldValue(v)
 		ix.exact[lower] = append(ix.exact[lower], n)
 		vt := ix.valueTries[tag]
 		if vt == nil {

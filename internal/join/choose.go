@@ -56,7 +56,9 @@ func Choose(ix *index.Index, q *twig.Query) Algorithm {
 func EstimateStream(ix *index.Index, qn *twig.Node) int {
 	var base int
 	if qn.IsWildcard() {
-		base = len(ix.AllElements())
+		// WildcardCount avoids materializing the wildcard stream on a
+		// compressed index just to take its length.
+		base = ix.WildcardCount()
 	} else {
 		base = ix.TagCount(ix.Document().Tags().ID(qn.Tag))
 	}

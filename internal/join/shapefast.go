@@ -1,0 +1,84 @@
+// The shape-level fast path over the DAG-compressed index substrate
+// (internal/index/compress.go).  Preorder NodeIDs make every occurrence of
+// a shared subtree shape an exact ID-translated copy of its canonical
+// occurrence: the node at offset k under occurrence root r is the copy of
+// canonical r0+k, and every query-visible relation — parent/child,
+// ancestor/descendant, document order, values — holds between translated
+// nodes iff it holds between the canonical ones.
+//
+// Twig semantics bound every binding of a match inside the subtree of the
+// query root's binding, so the match set splits into two disjoint classes
+// by where that root binding lives:
+//
+//   - Class A — inside a shared occurrence.  The whole match then lies
+//     inside that occurrence's subtree, so it is a translated copy of a
+//     match whose root binds inside the canonical occurrence.  Pass 1
+//     restricts every stream to canonical-occurrence nodes, runs the
+//     algorithm once — once per distinct shape, not per instance — and
+//     translates each match to the group's remaining occurrences.
+//   - Class B — on a residue node (outside every shared occurrence).  Pass
+//     2 restricts only the root stream to residue, leaves the other
+//     streams full, and runs the algorithm again.
+//
+// Cover subtrees are disjoint and residue is their complement, so the two
+// passes enumerate exactly the raw match set: every algorithm returns
+// byte-identical results on compressed and raw substrates (the property
+// suite in randomtwig_test.go holds all six to that).
+package join
+
+import (
+	"lotusx/internal/index"
+)
+
+// runCompressed evaluates the query over a compressed index with the
+// two-pass shape fast path.
+func (ev *evaluator) runCompressed(alg Algorithm, comp *index.Compressed) error {
+	// Pass 1: canonical occurrences only, then expand per occurrence.
+	if ev.buildStreamsMode(streamCanonical) {
+		if err := ev.dispatch(alg); err != nil {
+			return err
+		}
+		if ev.err == nil && !ev.capped {
+			ev.expandOccurrences(comp)
+		}
+	}
+	if ev.err != nil || ev.capped {
+		// A sticky context error surfaces through Run's ev.err check; at
+		// the cap there is nothing more to enumerate.
+		return nil
+	}
+	// Pass 2: residue-rooted matches against full streams.
+	if ev.buildStreamsMode(streamResidueRoot) {
+		return ev.dispatch(alg)
+	}
+	return nil
+}
+
+// expandOccurrences translates every canonical-pass match to the remaining
+// occurrences of the group covering its root binding.  All bindings of a
+// match sit inside the root binding's subtree, hence inside the same
+// occurrence subtree, so one delta per target occurrence translates the
+// whole match.
+func (ev *evaluator) expandOccurrences(comp *index.Compressed) {
+	rootID := ev.q.Root.ID
+	base := ev.matches // snapshot: addMatch appends behind it
+	tm := make(Match, ev.q.Len())
+	for _, m := range base {
+		r0, roots, ok := comp.Occurrence(m[rootID])
+		if !ok || len(roots) < 2 {
+			continue
+		}
+		for _, r := range roots {
+			if r == r0 {
+				continue
+			}
+			delta := r - r0
+			for i, n := range m {
+				tm[i] = n + delta
+			}
+			if !ev.addMatch(tm) {
+				return
+			}
+		}
+	}
+}

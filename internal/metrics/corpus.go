@@ -12,12 +12,22 @@ import (
 // so a straggling shard shows up in aggregates without a trace.  All fields
 // are safe for concurrent use on the query path.
 type CorpusMetrics struct {
-	shards   atomic.Int64
-	deltas   atomic.Int64 // delta shards awaiting compaction
-	Swaps    atomic.Int64 // snapshot publishes (Add/Remove/Reindex)
-	Searches atomic.Int64 // fan-out searches served
-	Fanout   Histogram    // wall-clock of the parallel per-shard phase
-	Merge    Histogram    // wall-clock of the global merge + render phase
+	shards atomic.Int64
+	deltas atomic.Int64 // delta shards awaiting compaction
+	// Index-substrate size accounting, summed over local shards (see
+	// internal/index compression): resident is what the snapshot's indexes
+	// actually hold, raw is the raw-substrate-equivalent estimate, shapes and
+	// instances describe the subtree-dedup DAG, compressed counts shards
+	// whose index runs on the compressed substrate.
+	residentBytes    atomic.Int64
+	rawBytes         atomic.Int64
+	indexShapes      atomic.Int64
+	indexInstances   atomic.Int64
+	compressedShards atomic.Int64
+	Swaps            atomic.Int64 // snapshot publishes (Add/Remove/Reindex)
+	Searches         atomic.Int64 // fan-out searches served
+	Fanout           Histogram    // wall-clock of the parallel per-shard phase
+	Merge            Histogram    // wall-clock of the global merge + render phase
 
 	// Fault-tolerance counters (see internal/corpus: degrade policy and the
 	// per-shard circuit breakers).
@@ -95,6 +105,23 @@ func (c *CorpusMetrics) SetDeltaShards(n int) { c.deltas.Store(int64(n)) }
 // DeltaShards returns the last recorded delta-shard count.
 func (c *CorpusMetrics) DeltaShards() int { return int(c.deltas.Load()) }
 
+// SetResident records the snapshot's index-substrate size accounting:
+// resident and raw-equivalent bytes, DAG shape/instance counts, and how many
+// shards compressed.  Corpora publish it on every snapshot swap.
+func (c *CorpusMetrics) SetResident(resident, raw, shapes, instances int64, compressed int) {
+	c.residentBytes.Store(resident)
+	c.rawBytes.Store(raw)
+	c.indexShapes.Store(shapes)
+	c.indexInstances.Store(instances)
+	c.compressedShards.Store(int64(compressed))
+}
+
+// ResidentBytes returns the last recorded resident index size in bytes.
+func (c *CorpusMetrics) ResidentBytes() int64 { return c.residentBytes.Load() }
+
+// CompressedShards returns the last recorded compressed-shard count.
+func (c *CorpusMetrics) CompressedShards() int64 { return c.compressedShards.Load() }
+
 // Swapped tallies one snapshot publish.
 func (c *CorpusMetrics) Swapped() { c.Swaps.Add(1) }
 
@@ -154,9 +181,9 @@ type CorpusSnapshot struct {
 	// DeltaShards counts async-ingested delta shards awaiting compaction.
 	DeltaShards int64           `json:"deltaShards,omitempty"`
 	Swaps       int64           `json:"swaps"`
-	Searches int64           `json:"searches"`
-	Fanout   LatencySnapshot `json:"fanout"`
-	Merge    LatencySnapshot `json:"merge"`
+	Searches    int64           `json:"searches"`
+	Fanout      LatencySnapshot `json:"fanout"`
+	Merge       LatencySnapshot `json:"merge"`
 	// PartialSearches counts fan-outs answered from a strict subset of
 	// shards under the degrade policy.
 	PartialSearches int64 `json:"partialSearches,omitempty"`
@@ -165,6 +192,18 @@ type CorpusSnapshot struct {
 	ShardFailures int64 `json:"shardFailures,omitempty"`
 	// BreakerTrips counts circuit-breaker closed→open transitions.
 	BreakerTrips int64 `json:"breakerTrips,omitempty"`
+	// ResidentBytes is the summed resident size of the snapshot's local
+	// shard indexes; RawBytes is the raw-substrate equivalent (equal when
+	// nothing compressed).  Absent for remote corpora.
+	ResidentBytes int64 `json:"residentBytes,omitempty"`
+	RawBytes      int64 `json:"rawBytes,omitempty"`
+	// IndexShapes / IndexInstances describe the subtree-dedup DAG of the
+	// compressed shards: distinct shapes stored vs occurrences they stand
+	// for.  Zero when no shard compressed.
+	IndexShapes    int64 `json:"indexShapes,omitempty"`
+	IndexInstances int64 `json:"indexInstances,omitempty"`
+	// CompressedShards counts shards running on the compressed substrate.
+	CompressedShards int64 `json:"compressedShards,omitempty"`
 	// Health reports each shard's circuit-breaker state, keyed by shard
 	// name; absent when the corpus has not installed a health provider.
 	Health map[string]ShardHealth `json:"health,omitempty"`
@@ -176,16 +215,21 @@ type CorpusSnapshot struct {
 // snapshot materializes the corpus's JSON view.
 func (c *CorpusMetrics) snapshot() CorpusSnapshot {
 	s := CorpusSnapshot{
-		Shards:          c.shards.Load(),
-		DeltaShards:     c.deltas.Load(),
-		Swaps:           c.Swaps.Load(),
-		Searches:        c.Searches.Load(),
-		Fanout:          snapshotHistogram(&c.Fanout),
-		Merge:           snapshotHistogram(&c.Merge),
-		PartialSearches: c.Partial.Load(),
-		ShardFailures:   c.ShardFailures.Load(),
-		BreakerTrips:    c.BreakerTrips.Load(),
-		Health:          c.health(),
+		Shards:           c.shards.Load(),
+		DeltaShards:      c.deltas.Load(),
+		Swaps:            c.Swaps.Load(),
+		Searches:         c.Searches.Load(),
+		Fanout:           snapshotHistogram(&c.Fanout),
+		Merge:            snapshotHistogram(&c.Merge),
+		PartialSearches:  c.Partial.Load(),
+		ShardFailures:    c.ShardFailures.Load(),
+		BreakerTrips:     c.BreakerTrips.Load(),
+		ResidentBytes:    c.residentBytes.Load(),
+		RawBytes:         c.rawBytes.Load(),
+		IndexShapes:      c.indexShapes.Load(),
+		IndexInstances:   c.indexInstances.Load(),
+		CompressedShards: c.compressedShards.Load(),
+		Health:           c.health(),
 	}
 	per := c.shardHistograms()
 	if len(per) > 0 {

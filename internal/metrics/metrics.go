@@ -146,8 +146,8 @@ type Endpoint struct {
 	// limiting (429, tallied by Record) plus the in-flight limiter's and the
 	// drain gate's 503s (tallied explicitly by their OnShed hooks, so
 	// handler-path 503s like shard quarantine are never conflated in).
-	Shed atomic.Int64
-	Latency  Histogram
+	Shed    atomic.Int64
+	Latency Histogram
 }
 
 // Record tallies one finished request given its response status.

@@ -42,10 +42,10 @@ func processSnapshot() ProcessSnapshot {
 }
 
 var (
-	buildOnce             sync.Once
-	buildVersion          = "unknown"
-	buildGoVersion        = runtime.Version()
-	buildModule           = "unknown"
+	buildOnce      sync.Once
+	buildVersion   = "unknown"
+	buildGoVersion = runtime.Version()
+	buildModule    = "unknown"
 )
 
 // buildIdentity resolves the module version labels once from the binary's

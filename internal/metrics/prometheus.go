@@ -94,6 +94,16 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			cNames, func(n string) int64 { return corpora[n].BreakerTrips.Load() }, "corpus")
 		gaugeFamily(w, "lotusx_corpus_quarantined_shards", "Shards whose circuit breaker is currently not closed.",
 			cNames, func(n string) int64 { return corpora[n].Quarantined() }, "corpus")
+		gaugeFamily(w, "lotusx_corpus_resident_bytes", "Resident index-substrate bytes across the snapshot's local shards.",
+			cNames, func(n string) int64 { return corpora[n].residentBytes.Load() }, "corpus")
+		gaugeFamily(w, "lotusx_corpus_raw_bytes", "Raw-substrate-equivalent bytes the snapshot's indexes would occupy uncompressed.",
+			cNames, func(n string) int64 { return corpora[n].rawBytes.Load() }, "corpus")
+		gaugeFamily(w, "lotusx_corpus_index_shapes", "Distinct subtree shapes stored by the DAG-compressed shards.",
+			cNames, func(n string) int64 { return corpora[n].indexShapes.Load() }, "corpus")
+		gaugeFamily(w, "lotusx_corpus_index_instances", "Shared-subtree occurrences the stored shapes stand for.",
+			cNames, func(n string) int64 { return corpora[n].indexInstances.Load() }, "corpus")
+		gaugeFamily(w, "lotusx_corpus_compressed_shards", "Shards whose index runs on the DAG-compressed substrate.",
+			cNames, func(n string) int64 { return corpora[n].compressedShards.Load() }, "corpus")
 		histogramFamily(w, "lotusx_corpus_fanout_latency_seconds", "Wall-clock of the parallel per-shard fan-out phase.",
 			cNames, func(n string) Export { return corpora[n].Fanout.Export() }, "corpus")
 		histogramFamily(w, "lotusx_corpus_merge_latency_seconds", "Wall-clock of the global merge and render phase.",

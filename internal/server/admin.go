@@ -264,11 +264,12 @@ func (s *Server) createDataset(name string, body io.Reader, parts int) (datasetS
 	}
 	if c == nil {
 		c = corpus.New(name, corpus.Config{
-			Dir:     dir,
-			Metrics: s.reg.Corpus(name),
-			Tuning:  s.corpusTuning,
-			Logger:  s.logger,
-			Faults:  s.faults,
+			Dir:      dir,
+			Metrics:  s.reg.Corpus(name),
+			Tuning:   s.corpusTuning,
+			Logger:   s.logger,
+			Faults:   s.faults,
+			Compress: s.compress,
 		})
 	}
 	if err := c.SetSplitReader(name, body, parts); err != nil {
